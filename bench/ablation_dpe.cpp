@@ -1,0 +1,126 @@
+// Ablation: Dense-DPE design choices.
+//  (a) Threshold delta sweep: the security/utility dial — smaller delta
+//      (lower threshold t) leaks less distance information but degrades
+//      retrieval precision; larger delta preserves more distances.
+//  (b) Output size M sweep: more encoding bits reduce quantization noise
+//      (better precision) at the cost of larger encodings on the wire.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <numbers>
+
+#include "common.hpp"
+#include "eval/leakage.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mie;
+using namespace mie::bench;
+
+/// mAP of an MIE deployment whose Dense-DPE uses (delta, bits).
+double map_with_dpe(double delta, std::size_t bits, std::uint64_t seed) {
+    const sim::HolidaysLikeGenerator holidays(sim::HolidaysLikeParams{
+        .num_groups = scaled(40),
+        .group_size = 3,
+        .image_size = 64,
+        .intra_group_jitter = 0.45,
+        .seed = seed});
+    const auto dataset = holidays.generate();
+
+    MieServer server;
+    net::MeteredTransport transport(server, net::LinkProfile::loopback());
+    MieClient client(transport, "ablation",
+                     RepositoryKey::generate(to_bytes("ablation"), 64, bits,
+                                             delta),
+                     to_bytes("user"));
+    client.train_params.tree_branch = 10;
+    client.train_params.tree_depth = 2;
+    client.create_repository();
+    for (const auto& object : dataset.objects) client.update(object);
+    client.train();
+    return 100.0 * scheme_map(client, dataset, 16);
+}
+
+}  // namespace
+
+int main() {
+    const double unit_delta = std::sqrt(2.0 / std::numbers::pi);
+
+    std::cout << "=== Ablation A: Dense-DPE threshold (delta -> t) vs "
+                 "retrieval precision ===\n"
+              << "t = 0.5 * delta * sqrt(pi/2); the paper's prototype uses "
+                 "t = 0.5\n";
+    mie::TextTable threshold_table({"delta", "threshold t", "mAP (%)"});
+    for (const double factor : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+        const double delta = unit_delta * factor;
+        const double t = 0.5 * delta * std::sqrt(std::numbers::pi / 2.0);
+        const double map = map_with_dpe(delta, 64, 77);
+        threshold_table.add_row({mie::fmt_double(delta, 3),
+                                 mie::fmt_double(t, 3),
+                                 mie::fmt_double(map, 2)});
+    }
+    threshold_table.print(std::cout);
+    std::cout << "Shape: precision collapses when t is far below the "
+                 "typical descriptor distance (over-aggressive hiding) and "
+                 "plateaus once t covers the nearest-neighbor range.\n";
+
+    std::cout << "\n=== Ablation F: the security side of the threshold "
+                 "dial ===\n"
+              << "Honest-but-curious server clusters the stored encodings "
+                 "(Hamming k-means)\nand tries to recover the objects' "
+                 "semantic classes (chance = 12.5%).\n";
+    {
+        // 8 classes x 12 objects; per-object encodings under each delta.
+        constexpr std::size_t kClasses = 8;
+        constexpr std::size_t kPerClass = 12;
+        const sim::FlickrLikeGenerator gen(sim::FlickrLikeParams{
+            .num_classes = kClasses, .image_size = 64, .seed = 99});
+        mie::TextTable table(
+            {"delta", "threshold t", "attack accuracy (%)", "mAP (%)"});
+        for (const double factor : {0.125, 0.5, 1.0, 4.0}) {
+            const double delta = unit_delta * factor;
+            const auto key = mie::dpe::DenseDpe::keygen(
+                mie::to_bytes("leak"), 64, 256, delta);
+            const mie::dpe::DenseDpe dpe(key);
+            std::vector<std::vector<mie::dpe::BitCode>> encodings;
+            std::vector<std::uint32_t> labels;
+            for (std::size_t i = 0; i < kClasses * kPerClass; ++i) {
+                const auto object = gen.make(i);
+                const auto features = mie::extract_features(object);
+                std::vector<mie::dpe::BitCode> codes;
+                for (const auto& d : features.descriptors) {
+                    codes.push_back(dpe.encode(d));
+                }
+                encodings.push_back(std::move(codes));
+                labels.push_back(object.label);
+            }
+            const double attack = 100.0 * mie::eval::dpe_clustering_attack(
+                                              encodings, labels, 7);
+            const double t =
+                0.5 * delta * std::sqrt(std::numbers::pi / 2.0);
+            table.add_row({mie::fmt_double(delta, 3), mie::fmt_double(t, 3),
+                           mie::fmt_double(attack, 1),
+                           mie::fmt_double(map_with_dpe(delta, 64, 77), 1)});
+        }
+        table.print(std::cout);
+        std::cout << "Shape: the threshold is a genuine dial — raising t "
+                     "buys retrieval precision by revealing more distance "
+                     "structure, which the same curve shows the adversary "
+                     "exploiting.\n";
+    }
+
+    std::cout << "\n=== Ablation B: Dense-DPE output size M vs precision "
+                 "and encoding bytes ===\n";
+    mie::TextTable size_table({"M (bits)", "mAP (%)", "bytes/descriptor"});
+    for (const std::size_t bits : {16u, 32u, 64u, 128u, 256u}) {
+        const double map = map_with_dpe(unit_delta, bits, 78);
+        size_table.add_row({std::to_string(bits), mie::fmt_double(map, 2),
+                            std::to_string(8 + ((bits + 63) / 64) * 8)});
+    }
+    size_table.print(std::cout);
+    std::cout << "Shape: precision saturates once M reaches the input "
+                 "dimensionality (the paper uses M = N = 64); smaller M "
+                 "trades precision for bandwidth.\n";
+    return 0;
+}

@@ -1,0 +1,198 @@
+// Ablation: server-side indexing and fusion design choices.
+//  (a) Vocabulary size (tree branch^depth) vs retrieval precision.
+//  (b) Rank-fusion function comparison (logISR — the paper's choice — vs
+//      reciprocal-rank and CombSUM) on the same per-modality rankings.
+//  (c) Champion-list depth vs memory footprint (the §VI scalability
+//      technique).
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include <unordered_set>
+
+#include "common.hpp"
+#include "eval/metrics.hpp"
+#include "fusion/rank_fusion.hpp"
+#include "index/champion.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mie;
+using namespace mie::bench;
+
+sim::HolidaysLikeGenerator::Dataset make_dataset(std::uint64_t seed) {
+    const sim::HolidaysLikeGenerator holidays(sim::HolidaysLikeParams{
+        .num_groups = scaled(40),
+        .group_size = 3,
+        .image_size = 64,
+        .intra_group_jitter = 0.45,
+        .seed = seed});
+    return holidays.generate();
+}
+
+}  // namespace
+
+int main() {
+    using namespace mie;
+    using namespace mie::bench;
+
+    std::cout << "=== Ablation C: vocabulary size vs precision (MIE) ===\n";
+    {
+        const auto dataset = make_dataset(301);
+        TextTable table({"branch^depth", "visual words (max)", "mAP (%)"});
+        const std::array<std::pair<std::size_t, std::size_t>, 4> shapes = {
+            {{4, 2}, {10, 2}, {10, 3}, {16, 2}}};
+        for (const auto& [branch, depth] : shapes) {
+            MieServer server;
+            net::MeteredTransport transport(server,
+                                            net::LinkProfile::loopback());
+            MieClient client(transport, "repo",
+                             RepositoryKey::generate(to_bytes("vw"), 64, 64,
+                                                     0.7978845608),
+                             to_bytes("u"));
+            client.train_params.tree_branch = branch;
+            client.train_params.tree_depth = depth;
+            client.create_repository();
+            for (const auto& object : dataset.objects) client.update(object);
+            client.train();
+            const double map = 100.0 * scheme_map(client, dataset, 16);
+            std::size_t max_words = 1;
+            for (std::size_t d = 0; d < depth; ++d) max_words *= branch;
+            table.add_row({std::to_string(branch) + "^" +
+                               std::to_string(depth),
+                           std::to_string(max_words), fmt_double(map, 2)});
+        }
+        table.print(std::cout);
+        std::cout << "Shape: too few visual words blur objects together; "
+                     "precision recovers with a finer vocabulary.\n";
+    }
+
+    std::cout << "\n=== Ablation D: rank-fusion function vs precision ===\n";
+    {
+        // One plaintext pipeline; identical per-modality ranked lists are
+        // merged with each fusion function and scored by mAP.
+        const auto dataset = make_dataset(302);
+        PlaintextRetrieval plaintext;
+        for (const auto& object : dataset.objects) plaintext.add(object);
+        plaintext.train();
+
+        const std::size_t top_k = 16;
+        using Fuser = std::vector<index::ScoredDoc> (*)(
+            std::span<const fusion::RankedList>, std::size_t);
+        const std::array<std::pair<const char*, Fuser>, 3> fusers = {{
+            {"logISR (paper's choice)",
+             +[](std::span<const fusion::RankedList> lists, std::size_t k) {
+                 return fusion::log_isr_fusion(lists, k);
+             }},
+            {"Reciprocal rank (k0=60)",
+             +[](std::span<const fusion::RankedList> lists, std::size_t k) {
+                 return fusion::reciprocal_rank_fusion(lists, k);
+             }},
+            {"CombSUM (min-max)",
+             +[](std::span<const fusion::RankedList> lists, std::size_t k) {
+                 return fusion::comb_sum_fusion(lists, k);
+             }},
+        }};
+
+        TextTable table({"Fusion", "mAP (%)"});
+        for (const auto& [name, fuse] : fusers) {
+            std::vector<std::vector<std::uint64_t>> ranked_lists;
+            std::vector<std::unordered_set<std::uint64_t>> relevant_sets;
+            for (const std::size_t query_index : dataset.query_indices) {
+                const auto& query = dataset.objects[query_index];
+                std::unordered_set<std::uint64_t> relevant;
+                for (const auto& object : dataset.objects) {
+                    if (object.label == query.label &&
+                        object.id != query.id) {
+                        relevant.insert(object.id);
+                    }
+                }
+                const auto lists =
+                    plaintext.search_modalities(query, top_k * 4);
+                std::vector<std::uint64_t> ranked;
+                for (const auto& item : fuse(lists, top_k)) {
+                    if (item.doc != query.id) ranked.push_back(item.doc);
+                }
+                ranked_lists.push_back(std::move(ranked));
+                relevant_sets.push_back(std::move(relevant));
+            }
+            table.add_row(
+                {name, fmt_double(100.0 * eval::mean_average_precision(
+                                              ranked_lists, relevant_sets),
+                                  2)});
+        }
+        table.print(std::cout);
+        std::cout << "Shape: all three fusers land within a few mAP points; "
+                     "logISR favors cross-modality consensus.\n";
+    }
+
+    std::cout << "\n=== Ablation G: ranking function (server-side) ===\n";
+    {
+        // Identical MIE deployments, TF-IDF vs BM25 scorer.
+        const auto dataset = make_dataset(303);
+        TextTable table({"Ranking", "mAP (%)"});
+        for (const auto ranking :
+             {TrainParams::Ranking::kTfIdf, TrainParams::Ranking::kBm25}) {
+            MieServer server;
+            net::MeteredTransport transport(server,
+                                            net::LinkProfile::loopback());
+            MieClient client(transport, "repo",
+                             RepositoryKey::generate(to_bytes("rk"), 64, 64,
+                                                     0.7978845608),
+                             to_bytes("u"));
+            client.train_params.tree_branch = 10;
+            client.train_params.tree_depth = 2;
+            client.train_params.ranking = ranking;
+            client.create_repository();
+            for (const auto& object : dataset.objects) client.update(object);
+            client.train();
+            const double map = 100.0 * scheme_map(client, dataset, 16);
+            table.add_row({ranking == TrainParams::Ranking::kTfIdf
+                               ? "TF-IDF (paper default)"
+                               : "BM25",
+                           fmt_double(map, 2)});
+        }
+        table.print(std::cout);
+        std::cout << "Shape: BM25 (the 'more complex function' the paper's §VI "
+                     "mentions) is drop-in on the encrypted index — the "
+                     "server never needed plaintext to swap scorers.\n";
+    }
+
+    std::cout << "\n=== Ablation E: champion-list depth vs memory ===\n";
+    {
+        // Index a Zipf-ish posting stream; measure hot postings kept in
+        // memory vs spilled to disk at different champion depths.
+        TextTable table({"champion size R", "hot postings", "spilled",
+                         "hot fraction"});
+        for (const std::size_t champion_size : {4u, 16u, 64u, 256u}) {
+            index::ChampionIndex champ(
+                std::filesystem::temp_directory_path() /
+                    ("mie_ablation_champ_" + std::to_string(champion_size)),
+                {.champion_size = champion_size, .buffer_budget = 1u << 30});
+            SplitMix64 rng(13);
+            std::size_t total = 0;
+            for (int term = 0; term < 50; ++term) {
+                const std::size_t postings = 10 + rng.next_below(500);
+                for (std::size_t d = 0; d < postings; ++d) {
+                    champ.add("t" + std::to_string(term), d,
+                              1 + static_cast<std::uint32_t>(
+                                      rng.next_below(20)));
+                    ++total;
+                }
+            }
+            champ.spill();
+            const std::size_t hot = total - champ.spilled_postings();
+            table.add_row({std::to_string(champion_size),
+                           std::to_string(hot),
+                           std::to_string(champ.spilled_postings()),
+                           fmt_double(static_cast<double>(hot) / total, 3)});
+        }
+        table.print(std::cout);
+        std::cout << "Shape: memory residency is bounded by R per term "
+                     "regardless of collection growth — the §VI technique "
+                     "that keeps the cloud index in RAM.\n";
+    }
+    return 0;
+}

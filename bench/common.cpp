@@ -1,0 +1,334 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <unordered_set>
+
+#include "eval/metrics.hpp"
+#include "fusion/rank_fusion.hpp"
+#include "index/bovw.hpp"
+#include "util/table.hpp"
+
+namespace mie::bench {
+
+std::string scheme_name(Scheme scheme) {
+    switch (scheme) {
+        case Scheme::kMsse: return "MSSE";
+        case Scheme::kHomMsse: return "Hom-MSSE";
+        case Scheme::kMie: return "MIE";
+    }
+    return "?";
+}
+
+double bench_scale() {
+    if (const char* env = std::getenv("MIE_BENCH_SCALE")) {
+        const double value = std::atof(env);
+        if (value > 0.0) return std::clamp(value, 0.1, 100.0);
+    }
+    return 1.0;
+}
+
+std::size_t scaled(std::size_t base_count) {
+    return std::max<std::size_t>(
+        4, static_cast<std::size_t>(
+               static_cast<double>(base_count) * bench_scale()));
+}
+
+namespace {
+// The synthetic objects are ~16x smaller than the paper's photos (fewer
+// descriptors per object). To preserve the paper's RTT-to-payload balance
+// on the modeled WAN, the RTT is scaled by the same factor.
+constexpr double kPayloadScale = 16.0;
+
+sim::DeviceProfile scaled_device(sim::DeviceProfile device) {
+    device.link.rtt_seconds /= kPayloadScale;
+    return device;
+}
+
+constexpr std::size_t kSurfDims = 64;
+// 128-bit encodings: per-keypoint payloads that, multiplied by the dense
+// pyramid's keypoint count, exceed MSSE's per-unique-word index entries —
+// the reason MIE's update traffic is the largest in Figs. 2-3.
+constexpr std::size_t kDpeBits = 128;
+constexpr double kUnitSlopeDelta = 0.7978845608028654;  // sqrt(2/pi), t=0.5
+}  // namespace
+
+SchemeBundle make_bundle(Scheme scheme, const sim::DeviceProfile& raw_device,
+                         std::uint64_t seed, std::size_t paillier_bits) {
+    const sim::DeviceProfile device = scaled_device(raw_device);
+    SchemeBundle bundle;
+    const Bytes entropy = to_bytes("bench-entropy-" + std::to_string(seed));
+    const Bytes user_secret = to_bytes("bench-user-" + std::to_string(seed));
+    switch (scheme) {
+        case Scheme::kMie: {
+            auto server = std::make_shared<MieServer>();
+            bundle.transport = std::make_unique<net::MeteredTransport>(
+                *server, device.link);
+            auto client = std::make_unique<MieClient>(
+                *bundle.transport, "bench-repo",
+                RepositoryKey::generate(entropy, kSurfDims, kDpeBits,
+                                        kUnitSlopeDelta),
+                user_secret, device.cpu_scale);
+            // Cloud-side hierarchical vocabulary (17^2 ~= 290 words,
+            // the paper's 1000-word vocabulary scaled with the dataset).
+            client->train_params.tree_branch = 17;
+            client->train_params.tree_depth = 2;
+            client->train_params.kmeans_iterations = 8;
+            client->train_params.max_training_samples = 100000;
+            client->extraction.pyramid.base_stride = 4;
+            bundle.server = std::move(server);
+            bundle.client = std::move(client);
+            break;
+        }
+        case Scheme::kMsse: {
+            auto server = std::make_shared<baseline::MsseServer>();
+            bundle.transport = std::make_unique<net::MeteredTransport>(
+                *server, device.link);
+            auto client = std::make_unique<baseline::MsseClient>(
+                *bundle.transport, "bench-repo", entropy, user_secret,
+                device.cpu_scale);
+            // Client-side FLAT 300-word codebook (depth-1 tree == plain
+            // k-means), matching the paper's linear visual-word matching
+            // on the client.
+            client->train_params.tree_branch = 300;
+            client->train_params.tree_depth = 1;
+            client->train_params.kmeans_iterations = 8;
+            client->train_params.max_training_samples = 100000;
+            client->extraction.pyramid.base_stride = 4;
+            // Single-user configuration: features live in the client's
+            // O(n) local state, not on the cloud.
+            client->store_features_in_cloud = false;
+            bundle.server = std::move(server);
+            bundle.client = std::move(client);
+            break;
+        }
+        case Scheme::kHomMsse: {
+            auto server = std::make_shared<baseline::HomMsseServer>();
+            bundle.transport = std::make_unique<net::MeteredTransport>(
+                *server, device.link);
+            baseline::HomMsseParams params;
+            params.tree_branch = 300;  // flat client-side codebook
+            params.tree_depth = 1;
+            params.kmeans_iterations = 8;
+            params.max_training_samples = 100000;
+            params.paillier_bits = paillier_bits;
+            auto client = std::make_unique<baseline::HomMsseClient>(
+                *bundle.transport, "bench-repo", entropy, user_secret,
+                params, device.cpu_scale);
+            client->extraction.pyramid.base_stride = 4;
+            client->store_features_in_cloud = false;  // single-user config
+            bundle.server = std::move(server);
+            bundle.client = std::move(client);
+            break;
+        }
+    }
+    return bundle;
+}
+
+std::unique_ptr<SearchableScheme> join_mie_client(
+    const sim::DeviceProfile& device, net::MeteredTransport& transport,
+    std::uint64_t seed) {
+    const Bytes entropy =
+        to_bytes("bench-entropy-" + std::to_string(seed));
+    auto client = std::make_unique<MieClient>(
+        transport, "bench-repo",
+        RepositoryKey::generate(entropy, kSurfDims, kDpeBits,
+                                kUnitSlopeDelta),
+        to_bytes("bench-user2-" + std::to_string(seed)), device.cpu_scale);
+    client->train_params.tree_branch = 17;
+    client->train_params.tree_depth = 2;
+    client->extraction.pyramid.base_stride = 4;
+    return client;
+}
+
+sim::FlickrLikeGenerator default_generator(std::uint64_t seed) {
+    return sim::FlickrLikeGenerator(sim::FlickrLikeParams{
+        .num_classes = 20, .image_size = 96, .seed = seed});
+}
+
+CostBreakdown CostBreakdown::of(const sim::CostMeter& meter) {
+    return CostBreakdown{
+        .encrypt = meter.seconds(sim::SubOp::kEncrypt),
+        .network = meter.seconds(sim::SubOp::kNetwork),
+        .index = meter.seconds(sim::SubOp::kIndex),
+        .train = meter.seconds(sim::SubOp::kTrain),
+    };
+}
+
+CostBreakdown CostBreakdown::minus(const CostBreakdown& other) const {
+    return CostBreakdown{
+        .encrypt = encrypt - other.encrypt,
+        .network = network - other.network,
+        .index = index - other.index,
+        .train = train - other.train,
+    };
+}
+
+CostBreakdown run_load_workload(SchemeBundle& bundle,
+                                const sim::FlickrLikeGenerator& generator,
+                                std::size_t num_objects) {
+    // Paper workload (§VII-A): a small bootstrap load, one training pass,
+    // then the bulk of the adds through the trained path — which is where
+    // MSSE/Hom-MSSE pay client-side clustering + index encryption per add.
+    const CostBreakdown before = CostBreakdown::of(bundle.client->meter());
+    const std::size_t bootstrap =
+        std::max<std::size_t>(8, (num_objects * 3) / 10);
+    bundle.client->create_repository();
+    for (const auto& object : generator.make_batch(0, bootstrap)) {
+        bundle.client->update(object);
+    }
+    bundle.client->train();
+    for (const auto& object :
+         generator.make_batch(bootstrap, num_objects - bootstrap)) {
+        bundle.client->update(object);
+    }
+    return CostBreakdown::of(bundle.client->meter()).minus(before);
+}
+
+void print_cost_table(const std::string& title,
+                      const std::vector<std::string>& row_labels,
+                      const std::vector<CostBreakdown>& rows) {
+    std::cout << "\n" << title << "\n";
+    TextTable table({"Workload", "Encrypt(s)", "Network(s)", "Index(s)",
+                     "Train(s)", "Total(s)"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        table.add_row({row_labels[i], fmt_double(rows[i].encrypt),
+                       fmt_double(rows[i].network), fmt_double(rows[i].index),
+                       fmt_double(rows[i].train),
+                       fmt_double(rows[i].total())});
+    }
+    table.print(std::cout);
+}
+
+// ---------------------------------------------------------------------------
+// Plaintext baseline
+// ---------------------------------------------------------------------------
+
+PlaintextRetrieval::PlaintextRetrieval() : PlaintextRetrieval(Params{}) {}
+
+void PlaintextRetrieval::add(const sim::MultimodalObject& object) {
+    ExtractedFeatures features = extract_features(object);
+    ++num_objects_;
+    if (!trained_) {
+        pending_.emplace_back(object.id, std::move(features));
+        return;
+    }
+    for (const auto& descriptor : features.descriptors) {
+        image_index_.add(index::visual_word_term(tree_.quantize(descriptor)),
+                         object.id, 1);
+    }
+    for (const auto& [term, freq] : features.terms) {
+        text_index_.add(term, object.id, freq);
+    }
+}
+
+void PlaintextRetrieval::train() {
+    std::vector<features::FeatureVec> training;
+    for (const auto& [id, features] : pending_) {
+        for (const auto& descriptor : features.descriptors) {
+            training.push_back(descriptor);
+        }
+    }
+    if (training.size() > params_.max_training_samples) {
+        training.resize(params_.max_training_samples);
+    }
+    if (!training.empty()) {
+        tree_ = index::VocabTree<index::EuclideanSpace>::build(
+            training,
+            {.branch = params_.tree_branch,
+             .depth = params_.tree_depth,
+             .kmeans_iterations = params_.kmeans_iterations},
+            params_.seed);
+    }
+    trained_ = true;
+    const auto pending = std::move(pending_);
+    num_objects_ -= pending.size();
+    for (const auto& [id, features] : pending) {
+        ++num_objects_;
+        for (const auto& descriptor : features.descriptors) {
+            image_index_.add(
+                index::visual_word_term(tree_.quantize(descriptor)), id, 1);
+        }
+        for (const auto& [term, freq] : features.terms) {
+            text_index_.add(term, id, freq);
+        }
+    }
+}
+
+std::array<std::vector<index::ScoredDoc>, 2>
+PlaintextRetrieval::search_modalities(const sim::MultimodalObject& query,
+                                      std::size_t pool) const {
+    const ExtractedFeatures features = extract_features(query);
+    std::array<fusion::RankedList, 2> lists;
+    if (trained_ && !tree_.empty()) {
+        const auto histogram =
+            index::bovw_histogram(tree_, features.descriptors);
+        lists[0] = index::rank_tfidf(image_index_, histogram, num_objects_,
+                                     pool);
+    }
+    index::QueryHistogram text_query(features.terms.begin(),
+                                     features.terms.end());
+    lists[1] = index::rank_tfidf(text_index_, text_query, num_objects_, pool);
+    return lists;
+}
+
+std::vector<std::uint64_t> PlaintextRetrieval::search(
+    const sim::MultimodalObject& query, std::size_t top_k) const {
+    const auto lists =
+        search_modalities(query, std::max<std::size_t>(top_k * 4, 32));
+    const auto fused = fusion::log_isr_fusion(lists, top_k);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(fused.size());
+    for (const auto& item : fused) ids.push_back(item.doc);
+    return ids;
+}
+
+double scheme_map(SearchableScheme& scheme,
+                  const sim::HolidaysLikeGenerator::Dataset& dataset,
+                  std::size_t top_k) {
+    std::vector<std::vector<std::uint64_t>> ranked_lists;
+    std::vector<std::unordered_set<std::uint64_t>> relevant_sets;
+    for (const std::size_t query_index : dataset.query_indices) {
+        const auto& query = dataset.objects[query_index];
+        std::unordered_set<std::uint64_t> relevant;
+        for (const auto& object : dataset.objects) {
+            if (object.label == query.label && object.id != query.id) {
+                relevant.insert(object.id);
+            }
+        }
+        std::vector<std::uint64_t> ranked;
+        for (const auto& result : scheme.search(query, top_k)) {
+            if (result.object_id == query.id) continue;  // Holidays rule
+            ranked.push_back(result.object_id);
+        }
+        ranked_lists.push_back(std::move(ranked));
+        relevant_sets.push_back(std::move(relevant));
+    }
+    return eval::mean_average_precision(ranked_lists, relevant_sets);
+}
+
+double plaintext_map(PlaintextRetrieval& system,
+                     const sim::HolidaysLikeGenerator::Dataset& dataset,
+                     std::size_t top_k) {
+    std::vector<std::vector<std::uint64_t>> ranked_lists;
+    std::vector<std::unordered_set<std::uint64_t>> relevant_sets;
+    for (const std::size_t query_index : dataset.query_indices) {
+        const auto& query = dataset.objects[query_index];
+        std::unordered_set<std::uint64_t> relevant;
+        for (const auto& object : dataset.objects) {
+            if (object.label == query.label && object.id != query.id) {
+                relevant.insert(object.id);
+            }
+        }
+        std::vector<std::uint64_t> ranked;
+        for (const std::uint64_t id : system.search(query, top_k)) {
+            if (id == query.id) continue;
+            ranked.push_back(id);
+        }
+        ranked_lists.push_back(std::move(ranked));
+        relevant_sets.push_back(std::move(relevant));
+    }
+    return eval::mean_average_precision(ranked_lists, relevant_sets);
+}
+
+}  // namespace mie::bench

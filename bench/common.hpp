@@ -1,0 +1,138 @@
+// Shared benchmark harness: scheme factories, workload runners, and the
+// plaintext retrieval baseline used by Table III.
+//
+// Workload scale: the paper loads 1000/2000/3000 MIR-Flickr objects from
+// real devices. This harness defaults to a 1:16.7 scale (60/120/180
+// synthetic objects, 64x64 images) so the whole suite reruns in minutes on
+// one core; set MIE_BENCH_SCALE (e.g. 2.0) to scale the object counts up.
+// Per-object work is the real algorithms end to end, so sub-operation
+// ratios — the shape the paper's figures report — are preserved.
+#pragma once
+
+#include <array>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/hom_msse_client.hpp"
+#include "baseline/hom_msse_server.hpp"
+#include "baseline/msse_client.hpp"
+#include "baseline/msse_server.hpp"
+#include "mie/client.hpp"
+#include "mie/server.hpp"
+#include "sim/dataset.hpp"
+#include "sim/device.hpp"
+#include "sim/energy.hpp"
+
+namespace mie::bench {
+
+enum class Scheme { kMsse, kHomMsse, kMie };
+
+constexpr std::array<Scheme, 3> kAllSchemes = {Scheme::kMsse,
+                                               Scheme::kHomMsse, Scheme::kMie};
+
+std::string scheme_name(Scheme scheme);
+
+/// Multiplier from MIE_BENCH_SCALE (default 1.0, clamped to [0.1, 100]).
+double bench_scale();
+
+/// Scaled object count helper.
+std::size_t scaled(std::size_t base_count);
+
+/// A scheme instance wired to its own fresh server and metered transport.
+struct SchemeBundle {
+    std::shared_ptr<net::RequestHandler> server;
+    std::unique_ptr<net::MeteredTransport> transport;
+    std::unique_ptr<SearchableScheme> client;
+};
+
+/// Builds a bundle for `scheme` on `device`. Training parameters are the
+/// harness defaults (branch 10, depth 2 vocabulary tree; 384-bit Paillier
+/// for Hom-MSSE unless overridden).
+SchemeBundle make_bundle(Scheme scheme, const sim::DeviceProfile& device,
+                         std::uint64_t seed,
+                         std::size_t paillier_bits = 256);
+
+/// Creates a second MIE client bound to an existing server's repository
+/// (used by the Fig. 4 concurrent-writers experiment); `transport` must
+/// already wrap that server.
+std::unique_ptr<SearchableScheme> join_mie_client(
+    const sim::DeviceProfile& device, net::MeteredTransport& transport,
+    std::uint64_t seed);
+
+/// Default generator matching the MIR-Flickr stand-in.
+sim::FlickrLikeGenerator default_generator(std::uint64_t seed = 2017);
+
+/// Per-sub-operation cost snapshot of a client meter.
+struct CostBreakdown {
+    double encrypt = 0.0;
+    double network = 0.0;
+    double index = 0.0;
+    double train = 0.0;
+
+    double total() const { return encrypt + network + index + train; }
+    static CostBreakdown of(const sim::CostMeter& meter);
+    CostBreakdown minus(const CostBreakdown& other) const;
+};
+
+/// Runs the repository-load workload (create + N updates + train) and
+/// returns the client cost breakdown.
+CostBreakdown run_load_workload(SchemeBundle& bundle,
+                                const sim::FlickrLikeGenerator& generator,
+                                std::size_t num_objects);
+
+/// Prints one figure-style cost table row set.
+void print_cost_table(const std::string& title,
+                      const std::vector<std::string>& row_labels,
+                      const std::vector<CostBreakdown>& rows);
+
+// ---------------------------------------------------------------------------
+// Plaintext retrieval baseline (Table III reference system): the same
+// SURF + BOVW + TF-IDF + logISR pipeline with no encryption anywhere.
+// ---------------------------------------------------------------------------
+class PlaintextRetrieval {
+public:
+    struct Params {
+        std::size_t tree_branch = 10;
+        std::size_t tree_depth = 2;
+        int kmeans_iterations = 8;
+        std::size_t max_training_samples = 20000;
+        std::uint64_t seed = 2017;
+    };
+
+    PlaintextRetrieval();  // default params; defined out of line
+    explicit PlaintextRetrieval(Params params) : params_(params) {}
+
+    void add(const sim::MultimodalObject& object);
+    void train();
+    std::vector<std::uint64_t> search(const sim::MultimodalObject& query,
+                                      std::size_t top_k) const;
+
+    /// Per-modality ranked lists before fusion (image, text) — lets the
+    /// fusion ablation swap merging functions on identical inputs.
+    std::array<std::vector<index::ScoredDoc>, 2> search_modalities(
+        const sim::MultimodalObject& query, std::size_t pool) const;
+
+private:
+    Params params_;
+    bool trained_ = false;
+    index::VocabTree<index::EuclideanSpace> tree_;
+    index::InvertedIndex image_index_;
+    index::InvertedIndex text_index_;
+    std::vector<std::pair<std::uint64_t, ExtractedFeatures>> pending_;
+    std::size_t num_objects_ = 0;
+};
+
+/// Mean average precision of a SearchableScheme over a Holidays-like
+/// dataset (query = first member of each group; relevant = other members).
+double scheme_map(SearchableScheme& scheme,
+                  const sim::HolidaysLikeGenerator::Dataset& dataset,
+                  std::size_t top_k);
+
+/// Same for the plaintext baseline.
+double plaintext_map(PlaintextRetrieval& system,
+                     const sim::HolidaysLikeGenerator::Dataset& dataset,
+                     std::size_t top_k);
+
+}  // namespace mie::bench

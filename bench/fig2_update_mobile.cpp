@@ -1,0 +1,69 @@
+// Figure 2: performance of the update operation (repository initialization
+// + bulk load + training where applicable) on the MOBILE device, broken
+// into Encrypt / Network / Index / Train sub-operations, for MSSE,
+// Hom-MSSE, and MIE at three dataset sizes.
+//
+// Expected shape (paper §VII-A): MIE spends nothing on Train and the least
+// on Index, but the most on Network (it uploads encoded feature vectors);
+// Hom-MSSE's Encrypt dominates everything (Paillier); totals order
+// MIE < MSSE < Hom-MSSE.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+    using namespace mie;
+    using namespace mie::bench;
+
+    const auto device = sim::DeviceProfile::mobile();
+    const auto generator = default_generator();
+    const std::array<std::size_t, 3> sizes = {scaled(60), scaled(120),
+                                              scaled(180)};
+
+    std::cout << "=== Figure 2: update/load performance, mobile client ("
+              << device.name << ") ===\n"
+              << "(paper workload 1000/2000/3000 MIR-Flickr objects; here "
+              << sizes[0] << "/" << sizes[1] << "/" << sizes[2]
+              << " synthetic objects — see EXPERIMENTS.md for the scale)\n";
+
+    for (const Scheme scheme : kAllSchemes) {
+        std::vector<std::string> labels;
+        std::vector<CostBreakdown> rows;
+        for (const std::size_t size : sizes) {
+            SchemeBundle bundle = make_bundle(scheme, device, 7);
+            rows.push_back(run_load_workload(bundle, generator, size));
+            labels.push_back(std::to_string(size) + " objects");
+        }
+        print_cost_table("Scheme: " + scheme_name(scheme), labels, rows);
+    }
+
+    std::cout << "\nShape checks (smallest size, fresh runs):\n";
+    // Re-derive the headline comparisons from fresh runs at the mid size.
+    std::array<CostBreakdown, 3> costs;
+    for (std::size_t i = 0; i < kAllSchemes.size(); ++i) {
+        SchemeBundle bundle = make_bundle(kAllSchemes[i], device, 7);
+        costs[i] = run_load_workload(bundle, generator, sizes[0]);
+    }
+    const auto& msse = costs[0];
+    const auto& hom = costs[1];
+    const auto& mie_cost = costs[2];
+    std::printf("  MIE train == 0:                 %s\n",
+                mie_cost.train == 0.0 ? "yes" : "NO");
+    std::printf("  MIE index < MSSE index:         %s (%.2f vs %.2f s)\n",
+                mie_cost.index < msse.index ? "yes" : "NO", mie_cost.index,
+                msse.index);
+    std::printf("  MIE network > MSSE network:     %s (%.2f vs %.2f s)\n",
+                mie_cost.network > msse.network ? "yes" : "NO",
+                mie_cost.network, msse.network);
+    std::printf("  Hom-MSSE encrypt dominates:     %s (%.2f s encrypt)\n",
+                hom.encrypt > hom.index + hom.train ? "yes" : "NO",
+                hom.encrypt);
+    std::printf("  Total: MIE < MSSE < Hom-MSSE:   %s (%.2f < %.2f < %.2f)\n",
+                (mie_cost.total() < msse.total() &&
+                 msse.total() < hom.total())
+                    ? "yes"
+                    : "NO",
+                mie_cost.total(), msse.total(), hom.total());
+    return 0;
+}

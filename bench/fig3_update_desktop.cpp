@@ -1,0 +1,48 @@
+// Figure 3: the Figure-2 workload on the DESKTOP client. The paper finds
+// the same scheme ordering as on mobile, with CPU-bound sub-operations
+// roughly one order of magnitude faster.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+    using namespace mie;
+    using namespace mie::bench;
+
+    const auto desktop = sim::DeviceProfile::desktop();
+    const auto mobile = sim::DeviceProfile::mobile();
+    const auto generator = default_generator();
+    const std::array<std::size_t, 3> sizes = {scaled(60), scaled(120),
+                                              scaled(180)};
+
+    std::cout << "=== Figure 3: update/load performance, desktop client ("
+              << desktop.name << ") ===\n";
+
+    for (const Scheme scheme : kAllSchemes) {
+        std::vector<std::string> labels;
+        std::vector<CostBreakdown> rows;
+        for (const std::size_t size : sizes) {
+            SchemeBundle bundle = make_bundle(scheme, desktop, 7);
+            rows.push_back(run_load_workload(bundle, generator, size));
+            labels.push_back(std::to_string(size) + " objects");
+        }
+        print_cost_table("Scheme: " + scheme_name(scheme), labels, rows);
+    }
+
+    // Cross-device check: desktop CPU-bound cost ~10x below mobile.
+    std::cout << "\nShape check: desktop vs mobile CPU cost (MIE, "
+              << sizes[0] << " objects)\n";
+    SchemeBundle on_desktop = make_bundle(Scheme::kMie, desktop, 7);
+    const auto desktop_cost =
+        run_load_workload(on_desktop, generator, sizes[0]);
+    SchemeBundle on_mobile = make_bundle(Scheme::kMie, mobile, 7);
+    const auto mobile_cost = run_load_workload(on_mobile, generator, sizes[0]);
+    const double desktop_cpu =
+        desktop_cost.encrypt + desktop_cost.index + desktop_cost.train;
+    const double mobile_cpu =
+        mobile_cost.encrypt + mobile_cost.index + mobile_cost.train;
+    std::printf("  mobile/desktop CPU ratio: %.1fx (expected ~10x)\n",
+                mobile_cpu / desktop_cpu);
+    return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 4: two clients (one mobile, one desktop) concurrently adding
+// objects to a SINGLE shared repository. Only MIE runs this experiment:
+// it needs no client state and no counter locks, so both writers make
+// independent progress. The bench also demonstrates why the baselines
+// cannot: MSSE's counter lock rejects a concurrent trained writer.
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "common.hpp"
+
+int main() {
+    using namespace mie;
+    using namespace mie::bench;
+
+    const auto mobile = sim::DeviceProfile::mobile();
+    const auto desktop = sim::DeviceProfile::desktop();
+    const std::size_t per_client = scaled(60);
+
+    std::cout << "=== Figure 4: concurrent update, 1 mobile + 1 desktop "
+                 "client, shared MIE repository ===\n"
+              << "(paper: 1000 objects per client; here " << per_client
+              << " per client)\n";
+
+    // Shared MIE server; each client has its own transport/link.
+    SchemeBundle mobile_bundle = make_bundle(Scheme::kMie, mobile, 7);
+    net::MeteredTransport desktop_transport(
+        *mobile_bundle.server, desktop.link);
+    auto desktop_client =
+        join_mie_client(desktop, desktop_transport, 7);
+
+    mobile_bundle.client->create_repository();
+
+    const auto mobile_gen = default_generator(101);
+    const auto desktop_gen = default_generator(202);
+
+    // Both clients write concurrently (the MIE server serializes internally
+    // but neither blocks on client-side shared state).
+    std::thread mobile_writer([&] {
+        for (std::size_t i = 0; i < per_client; ++i) {
+            mobile_bundle.client->update(mobile_gen.make(i));
+        }
+    });
+    std::thread desktop_writer([&] {
+        for (std::size_t i = 0; i < per_client; ++i) {
+            desktop_client->update(desktop_gen.make(100000 + i));
+        }
+    });
+    mobile_writer.join();
+    desktop_writer.join();
+
+    const auto mobile_cost =
+        CostBreakdown::of(mobile_bundle.client->meter());
+    const auto desktop_cost = CostBreakdown::of(desktop_client->meter());
+    print_cost_table("Per-client cost (each uploaded " +
+                         std::to_string(per_client) + " objects)",
+                     {"Mobile client", "Desktop client"},
+                     {mobile_cost, desktop_cost});
+
+    // Integrity: the shared repository holds every object from both.
+    auto* server = dynamic_cast<MieServer*>(mobile_bundle.server.get());
+    const auto stats = server->stats("bench-repo");
+    std::printf("\nRepository now holds %zu objects (expected %zu): %s\n",
+                stats.num_objects, 2 * per_client,
+                stats.num_objects == 2 * per_client ? "ok" : "MISMATCH");
+
+    // Contrast: MSSE's trained-update path cannot overlap writers.
+    std::cout << "\nContrast: MSSE concurrent trained writers\n";
+    SchemeBundle msse = make_bundle(Scheme::kMsse, desktop, 9);
+    const auto gen = default_generator(5);
+    msse.client->create_repository();
+    for (std::size_t i = 0; i < 8; ++i) msse.client->update(gen.make(i));
+    msse.client->train();
+    // Writer A takes the counter lock mid-update (simulated by the raw
+    // GetCtrs RPC); writer B's lock request is refused.
+    net::MessageWriter lock_req;
+    lock_req.write_u8(
+        static_cast<std::uint8_t>(baseline::MsseOp::kGetCtrs));
+    lock_req.write_string("bench-repo");
+    lock_req.write_u8(1);
+    msse.transport->call(lock_req.take());
+    net::MessageWriter second;
+    second.write_u8(static_cast<std::uint8_t>(baseline::MsseOp::kGetCtrs));
+    second.write_string("bench-repo");
+    second.write_u8(1);
+    try {
+        msse.transport->call(second.take());
+        std::cout << "  second writer acquired the lock (UNEXPECTED)\n";
+    } catch (const baseline::CounterLockedError&) {
+        std::cout << "  second writer blocked on the counter lock, as "
+                     "designed — MSSE updates serialize; MIE's do not\n";
+    }
+    return 0;
+}

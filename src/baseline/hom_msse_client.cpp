@@ -1,0 +1,467 @@
+#include "baseline/hom_msse_client.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/ctr.hpp"
+#include "crypto/kdf.hpp"
+#include "fusion/rank_fusion.hpp"
+#include "mie/object_codec.hpp"
+
+namespace mie::baseline {
+
+using crypto::BigUint;
+
+namespace {
+constexpr std::size_t kImage = static_cast<std::size_t>(Modality::kImage);
+}  // namespace
+
+HomMsseClient::HomMsseClient(net::Transport& transport,
+                             std::string repo_id, BytesView repo_entropy,
+                             Bytes user_secret, const HomMsseParams& p,
+                             double device_cpu_scale)
+    : transport_(transport),
+      repo_id_(std::move(repo_id)),
+      rk1_(crypto::derive_key(repo_entropy, "hom-msse-rk1")),
+      rk2_(crypto::derive_key(repo_entropy, "hom-msse-rk2")),
+      keyring_(std::move(user_secret)),
+      meter_(device_cpu_scale),
+      drbg_(crypto::derive_key(repo_entropy, "hom-msse-paillier-seed")),
+      paillier_(crypto::Paillier::generate(drbg_, p.paillier_bits)),
+      params(p) {}
+
+Bytes HomMsseClient::call(BytesView request, bool synchronous) {
+    const double wire_before = transport_.network_seconds();
+    const double server_before = transport_.server_seconds();
+    Bytes response = transport_.call(request);
+    meter_.add_modeled_seconds(sim::SubOp::kNetwork,
+                               transport_.network_seconds() - wire_before);
+    if (synchronous) {
+        meter_.add_modeled_seconds(
+            sim::SubOp::kNetwork,
+            transport_.server_seconds() - server_before);
+    }
+    return response;
+}
+
+Bytes HomMsseClient::encrypt_with_rk1(BytesView plaintext) {
+    const crypto::AesCtr cipher(rk1_);
+    Bytes nonce(crypto::AesCtr::kNonceSize, 0);
+    store_be<std::uint64_t>(nonce.data() + 8, ++nonce_counter_);
+    const Bytes user_salt = keyring_.data_key(0);
+    for (std::size_t i = 0; i < 8; ++i) nonce[i] = user_salt[i];
+    return cipher.seal(nonce, plaintext);
+}
+
+Bytes HomMsseClient::decrypt_with_rk1(BytesView sealed) const {
+    return crypto::AesCtr(rk1_).open(sealed);
+}
+
+Bytes HomMsseClient::encrypt_object_blob(
+    const sim::MultimodalObject& object) {
+    const Bytes dk = keyring_.data_key(object.id);
+    const crypto::AesCtr cipher(dk);
+    crypto::CtrDrbg nonce_gen(
+        crypto::derive_key(dk, "nonce/" + std::to_string(object.id)));
+    return cipher.seal(nonce_gen.generate(crypto::AesCtr::kNonceSize),
+                       mie::encode_object(object));
+}
+
+void HomMsseClient::create_repository() {
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(HomOp::kCreate));
+    writer.write_string(repo_id_);
+    writer.write_bytes(paillier_.public_key().n.to_bytes_be());
+    call(writer.take(), /*synchronous=*/false);
+}
+
+std::array<features::TermHistogram, kNumModalities>
+HomMsseClient::modality_histograms(const ExtractedFeatures& features) const {
+    std::array<features::TermHistogram, kNumModalities> hists;
+    if (trained_) {
+        for (const auto& descriptor : features.descriptors) {
+            ++hists[kImage][std::to_string(
+                trained_->codebook.quantize(descriptor))];
+        }
+    }
+    hists[static_cast<std::size_t>(Modality::kText)] = features.terms;
+    return hists;
+}
+
+std::array<std::vector<IndexEntry>, kNumModalities>
+HomMsseClient::build_entries(
+    std::uint64_t doc,
+    const std::array<features::TermHistogram, kNumModalities>& hists,
+    std::array<CounterDict, kNumModalities>& counters) {
+    std::array<std::vector<IndexEntry>, kNumModalities> entries;
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        for (const auto& [raw_term, freq] : hists[m]) {
+            const std::string term =
+                modality_term(static_cast<Modality>(m), raw_term);
+            Bytes k1, label;
+            meter_.timed(sim::SubOp::kIndex, [&] {
+                k1 = derive_k1(rk2_, term);
+                label = index_label(k1, counters[m][term]++);
+            });
+            // Homomorphic encryption of the frequency — the dominant
+            // client cost of Hom-MSSE.
+            Bytes value = meter_.timed(sim::SubOp::kEncrypt, [&] {
+                return paillier_.encrypt(BigUint(freq), drbg_).to_bytes_be();
+            });
+            entries[m].push_back(IndexEntry{label, doc, std::move(value)});
+        }
+    }
+    return entries;
+}
+
+void HomMsseClient::write_entries(
+    net::MessageWriter& writer,
+    const std::array<std::vector<IndexEntry>, kNumModalities>& entries)
+    const {
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        writer.write_u32(static_cast<std::uint32_t>(entries[m].size()));
+        for (const auto& entry : entries[m]) {
+            writer.write_bytes(entry.label);
+            writer.write_u64(entry.doc);
+            writer.write_bytes(entry.encrypted_freq);
+        }
+    }
+}
+
+std::array<CounterDict, kNumModalities> HomMsseClient::get_and_inc_counters(
+    const std::array<std::vector<std::string>, kNumModalities>& terms,
+    std::uint64_t increment) {
+    // Build the request: real terms with Enc(increment), plus padding terms
+    // with Enc(0) so the server cannot tell how many terms the object
+    // really has (the 1.6x padding of the appendix).
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(HomOp::kGetAndIncCtrs));
+    writer.write_string(repo_id_);
+    std::array<std::unordered_map<std::string, std::string>, kNumModalities>
+        id_to_term;
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        const std::size_t padded = static_cast<std::size_t>(
+            std::ceil(static_cast<double>(terms[m].size()) *
+                      std::max(1.0, params.counter_padding)));
+        writer.write_u32(static_cast<std::uint32_t>(padded));
+        for (std::size_t i = 0; i < padded; ++i) {
+            std::string id;
+            BigUint enc;
+            if (i < terms[m].size()) {
+                id = meter_.timed(sim::SubOp::kIndex, [&] {
+                    return term_id(rk2_, terms[m][i]);
+                });
+                id_to_term[m][id] = terms[m][i];
+                enc = meter_.timed(sim::SubOp::kEncrypt, [&] {
+                    return paillier_.encrypt(BigUint(increment), drbg_);
+                });
+            } else {
+                // Padding: a random fake term id incremented by Enc(0).
+                id = "pad" + hex_encode(drbg_.generate(8));
+                enc = meter_.timed(sim::SubOp::kEncrypt, [&] {
+                    return paillier_.encrypt(BigUint(0), drbg_);
+                });
+            }
+            writer.write_string(id);
+            writer.write_bytes(enc.to_bytes_be());
+        }
+    }
+
+    const Bytes response = call(writer.take(), /*synchronous=*/true);
+    net::MessageReader reader(response);
+    std::array<CounterDict, kNumModalities> counters;
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        const auto count = reader.read_u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const std::string id = reader.read_string();
+            const BigUint enc = BigUint::from_bytes_be(reader.read_bytes());
+            const auto it = id_to_term[m].find(id);
+            if (it == id_to_term[m].end()) continue;  // padding echo
+            const BigUint plain = meter_.timed(sim::SubOp::kEncrypt, [&] {
+                return paillier_.decrypt(enc);
+            });
+            counters[m][it->second] = plain.low_u64();
+        }
+    }
+    return counters;
+}
+
+void HomMsseClient::update(const sim::MultimodalObject& object) {
+    const ExtractedFeatures features = meter_.timed(sim::SubOp::kIndex, [&] {
+        return extract_features(object, extraction);
+    });
+    local_features_[object.id] = features;
+
+    Bytes blob;
+    meter_.timed(sim::SubOp::kEncrypt,
+                 [&] { blob = encrypt_object_blob(object); });
+
+    if (!trained_) {
+        // Untrained adds optionally ship the encrypted feature blob so the
+        // cloud holds training material for users without a local cache.
+        Bytes efvs;
+        if (store_features_in_cloud) {
+            efvs = meter_.timed(sim::SubOp::kEncrypt, [&] {
+                return encrypt_with_rk1(encode_features(features));
+            });
+        }
+        net::MessageWriter writer;
+        writer.write_u8(static_cast<std::uint8_t>(HomOp::kStoreObject));
+        writer.write_string(repo_id_);
+        writer.write_u64(object.id);
+        writer.write_bytes(blob);
+        writer.write_bytes(efvs);
+        call(writer.take(), /*synchronous=*/false);
+        return;
+    }
+
+    const auto hists = modality_histograms(features);
+    std::array<std::vector<std::string>, kNumModalities> term_lists;
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        for (const auto& [raw_term, freq] : hists[m]) {
+            term_lists[m].push_back(
+                modality_term(static_cast<Modality>(m), raw_term));
+        }
+    }
+    // The server hands back current counters and increments them by one —
+    // no write lock, unlike MSSE.
+    auto counters = get_and_inc_counters(term_lists, /*increment=*/1);
+    const auto entries = build_entries(object.id, hists, counters);
+
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(HomOp::kTrainedUpdate));
+    writer.write_string(repo_id_);
+    writer.write_u64(object.id);
+    writer.write_bytes(blob);
+    write_entries(writer, entries);
+    call(writer.take(), /*synchronous=*/false);
+}
+
+void HomMsseClient::train() {
+    std::vector<std::pair<std::uint64_t, ExtractedFeatures>> corpus;
+    {
+        net::MessageWriter writer;
+        writer.write_u8(static_cast<std::uint8_t>(HomOp::kGetFeatures));
+        writer.write_string(repo_id_);
+        const Bytes response = call(writer.take(), /*synchronous=*/true);
+        net::MessageReader reader(response);
+        const auto count = reader.read_u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint64_t id = reader.read_u64();
+            const Bytes sealed = reader.read_bytes();
+            if (const auto it = local_features_.find(id);
+                it != local_features_.end()) {
+                corpus.emplace_back(id, it->second);
+            } else if (!sealed.empty()) {
+                const Bytes plain = meter_.timed(sim::SubOp::kEncrypt, [&] {
+                    return decrypt_with_rk1(sealed);
+                });
+                corpus.emplace_back(id, decode_features(plain));
+            }
+            // Objects with neither a cloud feature blob nor a local cache
+            // entry cannot be (re)indexed by this client and are skipped.
+        }
+    }
+
+    meter_.timed(sim::SubOp::kTrain, [&] {
+        std::vector<features::FeatureVec> training;
+        std::size_t total = 0;
+        for (const auto& [id, features] : corpus) {
+            total += features.descriptors.size();
+        }
+        const std::size_t stride = std::max<std::size_t>(
+            1,
+            total / std::max<std::size_t>(1, params.max_training_samples));
+        std::size_t cursor = 0;
+        for (const auto& [id, features] : corpus) {
+            for (const auto& descriptor : features.descriptors) {
+                if (cursor++ % stride == 0) training.push_back(descriptor);
+            }
+        }
+        index::VocabTree<index::EuclideanSpace>::Params tree_params;
+        tree_params.branch = params.tree_branch;
+        tree_params.depth = params.tree_depth;
+        tree_params.kmeans_iterations = params.kmeans_iterations;
+        if (!training.empty()) {
+            trained_ = TrainedState{index::VocabTree<index::EuclideanSpace>::
+                                        build(training, tree_params,
+                                              params.seed)};
+        } else {
+            trained_ = TrainedState{};
+        }
+    });
+
+    std::array<CounterDict, kNumModalities> counters;
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(HomOp::kStoreIndex));
+    writer.write_string(repo_id_);
+    std::array<std::vector<IndexEntry>, kNumModalities> all_entries;
+    for (const auto& [id, features] : corpus) {
+        const auto hists = meter_.timed(sim::SubOp::kIndex, [&] {
+            return modality_histograms(features);
+        });
+        auto entries = build_entries(id, hists, counters);
+        for (std::size_t m = 0; m < kNumModalities; ++m) {
+            all_entries[m].insert(all_entries[m].end(),
+                                  std::make_move_iterator(entries[m].begin()),
+                                  std::make_move_iterator(entries[m].end()));
+        }
+    }
+    write_entries(writer, all_entries);
+    // Upload counters as Paillier ciphertexts keyed by deterministic ids.
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        writer.write_u32(static_cast<std::uint32_t>(counters[m].size()));
+        for (const auto& [term, counter] : counters[m]) {
+            const std::string id = term_id(rk2_, term);
+            const BigUint enc = meter_.timed(sim::SubOp::kEncrypt, [&] {
+                return paillier_.encrypt(BigUint(counter), drbg_);
+            });
+            writer.write_string(id);
+            writer.write_bytes(enc.to_bytes_be());
+        }
+    }
+    call(writer.take(), /*synchronous=*/false);
+}
+
+void HomMsseClient::remove(std::uint64_t object_id) {
+    local_features_.erase(object_id);
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(HomOp::kRemove));
+    writer.write_string(repo_id_);
+    writer.write_u64(object_id);
+    call(writer.take(), /*synchronous=*/false);
+}
+
+std::vector<SearchResult> HomMsseClient::search(
+    const sim::MultimodalObject& query, std::size_t top_k) {
+    const ExtractedFeatures features = meter_.timed(sim::SubOp::kIndex, [&] {
+        return extract_features(query, extraction);
+    });
+
+    if (!trained_) {
+        net::MessageWriter writer;
+        writer.write_u8(static_cast<std::uint8_t>(HomOp::kGetAllObjects));
+        writer.write_string(repo_id_);
+        const Bytes response = call(writer.take(), /*synchronous=*/true);
+        net::MessageReader reader(response);
+        const auto count = reader.read_u32();
+        std::vector<PlainScoredObject> objects;
+        objects.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            PlainScoredObject object;
+            object.id = reader.read_u64();
+            object.blob = reader.read_bytes();
+            const Bytes sealed = reader.read_bytes();
+            object.features =
+                decode_features(meter_.timed(sim::SubOp::kEncrypt, [&] {
+                    return decrypt_with_rk1(sealed);
+                }));
+            objects.push_back(std::move(object));
+        }
+        const auto fused = meter_.timed(sim::SubOp::kIndex, [&] {
+            return linear_ranked_search(features, objects, top_k);
+        });
+        std::vector<SearchResult> results;
+        for (const auto& [doc, score] : fused) {
+            const auto it = std::find_if(
+                objects.begin(), objects.end(),
+                [doc](const PlainScoredObject& o) { return o.id == doc; });
+            results.push_back(SearchResult{doc, score, it->blob});
+        }
+        return results;
+    }
+
+    const auto hists = meter_.timed(sim::SubOp::kIndex, [&] {
+        return modality_histograms(features);
+    });
+    // Fetch counter values for the query terms (zero increments: searching
+    // must not disturb the counters).
+    std::array<std::vector<std::string>, kNumModalities> term_lists;
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        for (const auto& [raw_term, freq] : hists[m]) {
+            term_lists[m].push_back(
+                modality_term(static_cast<Modality>(m), raw_term));
+        }
+    }
+    auto counters = get_and_inc_counters(term_lists, /*increment=*/0);
+
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(HomOp::kSearch));
+    writer.write_string(repo_id_);
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        std::vector<QueryTerm> query_terms;
+        meter_.timed(sim::SubOp::kIndex, [&] {
+            for (const auto& [raw_term, freq] : hists[m]) {
+                const std::string term =
+                    modality_term(static_cast<Modality>(m), raw_term);
+                const auto counter_it = counters[m].find(term);
+                if (counter_it == counters[m].end() ||
+                    counter_it->second == 0) {
+                    continue;
+                }
+                QueryTerm qt;
+                const Bytes k1 = derive_k1(rk2_, term);
+                qt.query_freq = freq;
+                qt.labels.reserve(counter_it->second);
+                for (std::uint64_t c = 0; c < counter_it->second; ++c) {
+                    qt.labels.push_back(index_label(k1, c));
+                }
+                query_terms.push_back(std::move(qt));
+            }
+        });
+        writer.write_u32(static_cast<std::uint32_t>(query_terms.size()));
+        for (const auto& qt : query_terms) {
+            writer.write_u32(static_cast<std::uint32_t>(qt.labels.size()));
+            for (const auto& label : qt.labels) writer.write_bytes(label);
+            writer.write_u32(qt.query_freq);
+        }
+    }
+
+    const Bytes response = call(writer.take(), /*synchronous=*/true);
+    net::MessageReader reader(response);
+
+    // All blobs come back; scores are encrypted per modality.
+    const auto num_objects = reader.read_u32();
+    std::unordered_map<std::uint64_t, Bytes> blobs;
+    for (std::uint32_t i = 0; i < num_objects; ++i) {
+        const std::uint64_t id = reader.read_u64();
+        blobs[id] = reader.read_bytes();
+    }
+    std::array<fusion::RankedList, kNumModalities> ranked;
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        const auto count = reader.read_u32();
+        std::map<index::DocId, double> scores;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint64_t doc = reader.read_u64();
+            const BigUint enc = BigUint::from_bytes_be(reader.read_bytes());
+            // Client-side homomorphic decryption of every score.
+            const BigUint plain = meter_.timed(sim::SubOp::kEncrypt, [&] {
+                return paillier_.decrypt(enc);
+            });
+            scores[doc] = static_cast<double>(plain.low_u64()) / 1000.0;
+        }
+        const std::size_t pool = std::max<std::size_t>(top_k * 4, 32);
+        ranked[m] = meter_.timed(sim::SubOp::kIndex, [&] {
+            return index::top_k_of(std::move(scores), pool);
+        });
+    }
+    const auto fused = meter_.timed(sim::SubOp::kIndex, [&] {
+        return fusion::log_isr_fusion(ranked, top_k);
+    });
+
+    std::vector<SearchResult> results;
+    results.reserve(fused.size());
+    for (const auto& item : fused) {
+        results.push_back(
+            SearchResult{item.doc, item.score, blobs.at(item.doc)});
+    }
+    return results;
+}
+
+sim::MultimodalObject HomMsseClient::decrypt_result(
+    const SearchResult& result) const {
+    const crypto::AesCtr cipher(keyring_.data_key(result.object_id));
+    return mie::decode_object(cipher.open(result.encrypted_object));
+}
+
+}  // namespace mie::baseline

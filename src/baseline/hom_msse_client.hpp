@@ -1,0 +1,113 @@
+// Hom-MSSE client (paper appendix, Fig. 8, user side).
+//
+// Same structure as the MSSE client, but frequencies and counters are
+// Paillier-encrypted. The client pays for it everywhere: every index entry
+// is a homomorphic encryption, counter fetches require homomorphic
+// decryption, and searching ends with the client decrypting one score per
+// (document, modality) and doing the sort/fusion itself. This is the
+// "worst Encrypt performance" baseline of Figs. 2-6.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/hom_msse_server.hpp"
+#include "baseline/msse_common.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/paillier.hpp"
+#include "index/space.hpp"
+#include "index/vocab_tree.hpp"
+#include "mie/keys.hpp"
+#include "mie/scheme.hpp"
+#include "net/transport.hpp"
+
+namespace mie::baseline {
+
+struct HomMsseParams {
+    std::size_t tree_branch = 10;
+    std::size_t tree_depth = 3;
+    int kmeans_iterations = 8;
+    std::size_t max_training_samples = 20000;
+    std::uint64_t seed = 2017;
+    std::size_t paillier_bits = 384;  ///< modulus size (toy-scale default)
+    double counter_padding = 1.6;     ///< request inflation, per [10]
+};
+
+class HomMsseClient final : public SearchableScheme {
+public:
+    HomMsseClient(net::Transport& transport, std::string repo_id,
+                  BytesView repo_entropy, Bytes user_secret,
+                  const HomMsseParams& params = HomMsseParams{},
+                  double device_cpu_scale = 1.0);
+
+    std::string name() const override { return "Hom-MSSE"; }
+
+    void create_repository() override;
+    void train() override;
+    void update(const sim::MultimodalObject& object) override;
+    void remove(std::uint64_t object_id) override;
+    std::vector<SearchResult> search(const sim::MultimodalObject& query,
+                                     std::size_t top_k) override;
+
+    sim::CostMeter& meter() override { return meter_; }
+
+    sim::MultimodalObject decrypt_result(const SearchResult& result) const;
+
+    bool trained() const { return trained_.has_value(); }
+
+    HomMsseParams params;
+    ExtractionParams extraction;
+
+    /// When true (default), untrained adds upload the AES-encrypted feature
+    /// blob so the cloud holds training material for other users. Single-
+    /// user deployments (the paper's measured configuration) can disable
+    /// this and rely on the client's O(n) plaintext-feature cache, keeping
+    /// update traffic to blob + index entries.
+    bool store_features_in_cloud = true;
+
+private:
+    struct TrainedState {
+        index::VocabTree<index::EuclideanSpace> codebook;
+    };
+
+    std::array<features::TermHistogram, kNumModalities> modality_histograms(
+        const ExtractedFeatures& features) const;
+
+    /// Builds index entries (Paillier frequencies), advancing `counters`.
+    std::array<std::vector<IndexEntry>, kNumModalities> build_entries(
+        std::uint64_t doc,
+        const std::array<features::TermHistogram, kNumModalities>& hists,
+        std::array<CounterDict, kNumModalities>& counters);
+
+    /// GetAndIncCtrs round-trip: returns decrypted current counters for the
+    /// requested terms, incrementing each by `increment` server-side (with
+    /// Enc(0) padding terms appended).
+    std::array<CounterDict, kNumModalities> get_and_inc_counters(
+        const std::array<std::vector<std::string>, kNumModalities>& terms,
+        std::uint64_t increment);
+
+    Bytes encrypt_with_rk1(BytesView plaintext);
+    Bytes decrypt_with_rk1(BytesView sealed) const;
+    Bytes encrypt_object_blob(const sim::MultimodalObject& object);
+
+    Bytes call(BytesView request, bool synchronous);
+    void write_entries(net::MessageWriter& writer,
+                       const std::array<std::vector<IndexEntry>,
+                                        kNumModalities>& entries) const;
+
+    net::Transport& transport_;
+    std::string repo_id_;
+    Bytes rk1_;
+    Bytes rk2_;
+    DataKeyring keyring_;
+    sim::CostMeter meter_;
+    crypto::CtrDrbg drbg_;
+    crypto::Paillier paillier_;
+    std::optional<TrainedState> trained_;
+    std::uint64_t nonce_counter_ = 0;
+    std::unordered_map<std::uint64_t, ExtractedFeatures> local_features_;
+};
+
+}  // namespace mie::baseline

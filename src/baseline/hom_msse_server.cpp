@@ -1,0 +1,274 @@
+#include "baseline/hom_msse_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mie::baseline {
+
+using crypto::BigUint;
+
+namespace {
+std::string label_key(BytesView label) {
+    return std::string(label.begin(), label.end());
+}
+}  // namespace
+
+Bytes HomMsseServer::handle(BytesView request) {
+    const std::scoped_lock lock(mutex_);
+    net::MessageReader reader(request);
+    const auto op = static_cast<HomOp>(reader.read_u8());
+    switch (op) {
+        case HomOp::kCreate: return handle_create(reader);
+        case HomOp::kStoreObject: return handle_store_object(reader);
+        case HomOp::kGetFeatures: return handle_get_features(reader);
+        case HomOp::kStoreIndex: return handle_store_index(reader);
+        case HomOp::kGetAndIncCtrs: return handle_get_and_inc_ctrs(reader);
+        case HomOp::kTrainedUpdate: return handle_trained_update(reader);
+        case HomOp::kRemove: return handle_remove(reader);
+        case HomOp::kSearch: return handle_search(reader);
+        case HomOp::kGetAllObjects: return handle_get_all_objects(reader);
+    }
+    throw std::invalid_argument("HomMsseServer: unknown opcode");
+}
+
+HomMsseServer::Repository& HomMsseServer::require_repo(
+    const std::string& repo_id) {
+    const auto it = repositories_.find(repo_id);
+    if (it == repositories_.end()) {
+        throw std::invalid_argument("HomMsseServer: unknown repository " +
+                                    repo_id);
+    }
+    return it->second;
+}
+
+Bytes HomMsseServer::handle_create(net::MessageReader& reader) {
+    const std::string repo_id = reader.read_string();
+    Repository repo;
+    repo.n = BigUint::from_bytes_be(reader.read_bytes());
+    repo.n_squared = repo.n * repo.n;
+    repo.mont.emplace(repo.n_squared);
+    repositories_[repo_id] = std::move(repo);
+    net::MessageWriter writer;
+    writer.write_u8(1);
+    return writer.take();
+}
+
+Bytes HomMsseServer::handle_store_object(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    const std::uint64_t id = reader.read_u64();
+    repo.objects[id] = reader.read_bytes();
+    repo.features[id] = reader.read_bytes();
+    net::MessageWriter writer;
+    writer.write_u8(1);
+    return writer.take();
+}
+
+Bytes HomMsseServer::handle_get_features(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    net::MessageWriter writer;
+    // One entry per stored object; the feature blob is empty for objects
+    // whose writer kept features in local state (the client falls back to
+    // its own cache for those).
+    writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
+    for (const auto& [id, blob] : repo.objects) {
+        writer.write_u64(id);
+        const auto it = repo.features.find(id);
+        writer.write_bytes(it == repo.features.end() ? Bytes{} : it->second);
+    }
+    return writer.take();
+}
+
+void HomMsseServer::insert_entries(Repository& repo,
+                                   net::MessageReader& reader) {
+    for (std::size_t modality = 0; modality < kNumModalities; ++modality) {
+        const auto count = reader.read_u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const Bytes label = reader.read_bytes();
+            const std::uint64_t doc = reader.read_u64();
+            const Bytes efreq = reader.read_bytes();
+            const std::string key = label_key(label);
+            repo.index[modality][key] =
+                IndexValue{doc, BigUint::from_bytes_be(efreq)};
+            repo.doc_labels[doc].emplace_back(static_cast<int>(modality),
+                                              key);
+        }
+    }
+}
+
+Bytes HomMsseServer::handle_store_index(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    for (auto& modality_index : repo.index) modality_index.clear();
+    repo.doc_labels.clear();
+    insert_entries(repo, reader);
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        repo.counters[m].clear();
+        const auto count = reader.read_u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const std::string id = reader.read_string();
+            repo.counters[m][id] = BigUint::from_bytes_be(reader.read_bytes());
+        }
+    }
+    net::MessageWriter writer;
+    writer.write_u8(1);
+    return writer.take();
+}
+
+Bytes HomMsseServer::handle_get_and_inc_ctrs(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    net::MessageWriter writer;
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        const auto count = reader.read_u32();
+        writer.write_u32(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const std::string term = reader.read_string();
+            const BigUint increment =
+                BigUint::from_bytes_be(reader.read_bytes());
+            auto it = repo.counters[m].find(term);
+            if (it == repo.counters[m].end()) {
+                // Fresh counter: Enc(0) with r = 1 is the ciphertext 1; the
+                // server learns nothing it didn't know (new term id).
+                it = repo.counters[m].emplace(term, BigUint(1)).first;
+            }
+            // Return the value *before* incrementing (Fig. 8 semantics).
+            writer.write_string(term);
+            writer.write_bytes(it->second.to_bytes_be());
+            it->second = repo.mont->mul(it->second, increment);
+        }
+    }
+    return writer.take();
+}
+
+Bytes HomMsseServer::handle_trained_update(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    const std::uint64_t id = reader.read_u64();
+    if (const auto it = repo.doc_labels.find(id);
+        it != repo.doc_labels.end()) {
+        for (const auto& [modality, key] : it->second) {
+            repo.index[static_cast<std::size_t>(modality)].erase(key);
+        }
+        repo.doc_labels.erase(it);
+    }
+    repo.objects[id] = reader.read_bytes();
+    repo.features.erase(id);  // trained updates carry no feature blob
+    insert_entries(repo, reader);
+    net::MessageWriter writer;
+    writer.write_u8(1);
+    return writer.take();
+}
+
+Bytes HomMsseServer::handle_remove(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    const std::uint64_t id = reader.read_u64();
+    const bool existed = repo.objects.erase(id) > 0;
+    repo.features.erase(id);
+    if (const auto it = repo.doc_labels.find(id);
+        it != repo.doc_labels.end()) {
+        for (const auto& [modality, key] : it->second) {
+            repo.index[static_cast<std::size_t>(modality)].erase(key);
+        }
+        repo.doc_labels.erase(it);
+    }
+    net::MessageWriter writer;
+    writer.write_u8(existed ? 1 : 0);
+    return writer.take();
+}
+
+Bytes HomMsseServer::handle_search(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    const double total_docs = static_cast<double>(repo.objects.size());
+
+    // Per modality: per-document encrypted score accumulators. Enc(0) with
+    // r = 1 is the multiplicative identity 1.
+    std::array<std::unordered_map<std::uint64_t, BigUint>, kNumModalities>
+        scores;
+
+    for (std::size_t modality = 0; modality < kNumModalities; ++modality) {
+        const auto num_terms = reader.read_u32();
+        for (std::uint32_t t = 0; t < num_terms; ++t) {
+            const auto num_labels = reader.read_u32();
+            std::vector<Bytes> labels;
+            labels.reserve(num_labels);
+            for (std::uint32_t l = 0; l < num_labels; ++l) {
+                labels.push_back(reader.read_bytes());
+            }
+            const auto query_freq = reader.read_u32();
+
+            std::vector<const IndexValue*> postings;
+            for (const Bytes& label : labels) {
+                const auto it = repo.index[modality].find(label_key(label));
+                if (it != repo.index[modality].end()) {
+                    postings.push_back(&it->second);
+                }
+            }
+            if (postings.empty() || total_docs == 0.0) continue;
+            // idf is computable from public information (N and df); scale
+            // to a positive integer weight for the homomorphic exponent.
+            const double idf =
+                std::log(total_docs / static_cast<double>(postings.size()));
+            const auto weight = static_cast<std::uint64_t>(
+                std::llround(std::max(0.0, idf) * 1000.0)) *
+                query_freq;
+            if (weight == 0) continue;
+            for (const IndexValue* value : postings) {
+                const BigUint contribution =
+                    repo.mont->pow(value->encrypted_freq, BigUint(weight));
+                auto [it, inserted] =
+                    scores[modality].try_emplace(value->doc, contribution);
+                if (!inserted) {
+                    it->second = repo.mont->mul(it->second, contribution);
+                }
+            }
+        }
+    }
+
+    // Return *everything*: all blobs plus per-modality encrypted scores.
+    net::MessageWriter writer;
+    writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
+    for (const auto& [id, blob] : repo.objects) {
+        writer.write_u64(id);
+        writer.write_bytes(blob);
+    }
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        writer.write_u32(static_cast<std::uint32_t>(scores[m].size()));
+        for (const auto& [doc, escore] : scores[m]) {
+            writer.write_u64(doc);
+            writer.write_bytes(escore.to_bytes_be());
+        }
+    }
+    return writer.take();
+}
+
+Bytes HomMsseServer::handle_get_all_objects(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    net::MessageWriter writer;
+    writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
+    for (const auto& [id, blob] : repo.objects) {
+        writer.write_u64(id);
+        writer.write_bytes(blob);
+        writer.write_bytes(repo.features.at(id));
+    }
+    return writer.take();
+}
+
+HomMsseServer::RepoStats HomMsseServer::stats(
+    const std::string& repo_id) const {
+    const std::scoped_lock lock(mutex_);
+    const auto it = repositories_.find(repo_id);
+    if (it == repositories_.end()) {
+        throw std::invalid_argument("HomMsseServer: unknown repository");
+    }
+    std::size_t entries = 0, counter_entries = 0;
+    for (const auto& modality_index : it->second.index) {
+        entries += modality_index.size();
+    }
+    for (const auto& counters : it->second.counters) {
+        counter_entries += counters.size();
+    }
+    return RepoStats{
+        .num_objects = it->second.objects.size(),
+        .index_entries = entries,
+        .counter_entries = counter_entries,
+    };
+}
+
+}  // namespace mie::baseline

@@ -1,0 +1,93 @@
+// Hom-MSSE cloud server (paper appendix, Fig. 8, cloud side).
+//
+// Iterates on MSSE: index frequencies and update counters are encrypted
+// under the client's additively-homomorphic Paillier key, so the server
+// never learns them (no freq(w) leakage). Consequences implemented here:
+//   * GetAndIncCtrs: the server returns current encrypted counters and
+//     homomorphically increments them by client-supplied encrypted amounts
+//     (some of which are Enc(0) padding) — no write lock needed;
+//   * Search: the server combines encrypted frequencies into per-document
+//     encrypted TF-IDF scores (Enc(freq)^(qfreq*idf_scaled), multiplied
+//     across terms) and returns *all* documents' scores and blobs; sorting
+//     and fusion fall back to the client, which is what makes Hom-MSSE's
+//     search so much more expensive (Fig. 5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/msse_common.hpp"
+#include "crypto/bignum.hpp"
+#include "net/transport.hpp"
+
+namespace mie::baseline {
+
+enum class HomOp : std::uint8_t {
+    kCreate = 1,       ///< repo id + Paillier public modulus n
+    kStoreObject = 2,
+    kGetFeatures = 3,
+    kStoreIndex = 4,   ///< entries + encrypted counter map
+    kGetAndIncCtrs = 5,
+    kTrainedUpdate = 6,
+    kRemove = 7,
+    kSearch = 8,       ///< returns all docs' encrypted scores + blobs
+    kGetAllObjects = 9,
+};
+
+class HomMsseServer final : public net::RequestHandler {
+public:
+    Bytes handle(BytesView request) override;
+
+    struct RepoStats {
+        std::size_t num_objects = 0;
+        std::size_t index_entries = 0;
+        std::size_t counter_entries = 0;
+    };
+    RepoStats stats(const std::string& repo_id) const;
+
+private:
+    struct IndexValue {
+        std::uint64_t doc = 0;
+        crypto::BigUint encrypted_freq;  ///< Paillier ciphertext
+    };
+    struct Repository {
+        crypto::BigUint n;          ///< Paillier public modulus
+        crypto::BigUint n_squared;
+        std::optional<crypto::Montgomery> mont;  ///< over n^2
+        std::unordered_map<std::uint64_t, Bytes> objects;
+        std::unordered_map<std::uint64_t, Bytes> features;
+        std::array<std::unordered_map<std::string, IndexValue>,
+                   kNumModalities>
+            index;
+        std::unordered_map<std::uint64_t,
+                           std::vector<std::pair<int, std::string>>>
+            doc_labels;
+        /// Per-modality term-id -> Paillier-encrypted counter.
+        std::array<std::unordered_map<std::string, crypto::BigUint>,
+                   kNumModalities>
+            counters;
+    };
+
+    Bytes handle_create(net::MessageReader& reader);
+    Bytes handle_store_object(net::MessageReader& reader);
+    Bytes handle_get_features(net::MessageReader& reader);
+    Bytes handle_store_index(net::MessageReader& reader);
+    Bytes handle_get_and_inc_ctrs(net::MessageReader& reader);
+    Bytes handle_trained_update(net::MessageReader& reader);
+    Bytes handle_remove(net::MessageReader& reader);
+    Bytes handle_search(net::MessageReader& reader);
+    Bytes handle_get_all_objects(net::MessageReader& reader);
+
+    void insert_entries(Repository& repo, net::MessageReader& reader);
+    Repository& require_repo(const std::string& repo_id);
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Repository> repositories_;
+};
+
+}  // namespace mie::baseline

@@ -1,0 +1,410 @@
+#include "baseline/msse_client.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/ctr.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/kdf.hpp"
+#include "fusion/rank_fusion.hpp"
+#include "mie/object_codec.hpp"
+
+namespace mie::baseline {
+
+namespace {
+constexpr std::size_t kImage = static_cast<std::size_t>(Modality::kImage);
+constexpr std::size_t kText = static_cast<std::size_t>(Modality::kText);
+}  // namespace
+
+MsseClient::MsseClient(net::Transport& transport, std::string repo_id,
+                       BytesView repo_entropy, Bytes user_secret,
+                       double device_cpu_scale)
+    : transport_(transport),
+      repo_id_(std::move(repo_id)),
+      rk1_(crypto::derive_key(repo_entropy, "msse-rk1")),
+      rk2_(crypto::derive_key(repo_entropy, "msse-rk2")),
+      keyring_(std::move(user_secret)),
+      meter_(device_cpu_scale) {}
+
+Bytes MsseClient::call(BytesView request, bool synchronous) {
+    const double wire_before = transport_.network_seconds();
+    const double server_before = transport_.server_seconds();
+    Bytes response = transport_.call(request);
+    meter_.add_modeled_seconds(sim::SubOp::kNetwork,
+                               transport_.network_seconds() - wire_before);
+    if (synchronous) {
+        meter_.add_modeled_seconds(
+            sim::SubOp::kNetwork,
+            transport_.server_seconds() - server_before);
+    }
+    return response;
+}
+
+Bytes MsseClient::encrypt_with_rk1(BytesView plaintext) {
+    const crypto::AesCtr cipher(rk1_);
+    Bytes nonce(crypto::AesCtr::kNonceSize, 0);
+    store_be<std::uint64_t>(nonce.data() + 8, ++nonce_counter_);
+    // Nonce uniqueness across clients: fold in the user secret.
+    const Bytes user_salt = keyring_.data_key(0);
+    for (std::size_t i = 0; i < 8; ++i) nonce[i] = user_salt[i];
+    return cipher.seal(nonce, plaintext);
+}
+
+Bytes MsseClient::decrypt_with_rk1(BytesView sealed) const {
+    return crypto::AesCtr(rk1_).open(sealed);
+}
+
+Bytes MsseClient::encrypt_object_blob(const sim::MultimodalObject& object) {
+    const Bytes dk = keyring_.data_key(object.id);
+    const crypto::AesCtr cipher(dk);
+    crypto::CtrDrbg nonce_gen(
+        crypto::derive_key(dk, "nonce/" + std::to_string(object.id)));
+    return cipher.seal(nonce_gen.generate(crypto::AesCtr::kNonceSize),
+                       mie::encode_object(object));
+}
+
+void MsseClient::create_repository() {
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MsseOp::kCreate));
+    writer.write_string(repo_id_);
+    call(writer.take(), /*synchronous=*/false);
+}
+
+std::array<features::TermHistogram, kNumModalities>
+MsseClient::modality_histograms(const ExtractedFeatures& features) const {
+    std::array<features::TermHistogram, kNumModalities> hists;
+    if (trained_) {
+        for (const auto& descriptor : features.descriptors) {
+            ++hists[kImage][std::to_string(
+                trained_->codebook.quantize(descriptor))];
+        }
+    }
+    hists[kText] = features.terms;
+    return hists;
+}
+
+std::array<std::vector<IndexEntry>, kNumModalities> MsseClient::build_entries(
+    std::uint64_t doc,
+    const std::array<features::TermHistogram, kNumModalities>& hists,
+    std::array<CounterDict, kNumModalities>& counters) {
+    std::array<std::vector<IndexEntry>, kNumModalities> entries;
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        for (const auto& [raw_term, freq] : hists[m]) {
+            const std::string term =
+                modality_term(static_cast<Modality>(m), raw_term);
+            // Label derivation (indexing work).
+            Bytes k1, k2, label;
+            std::uint64_t counter = 0;
+            meter_.timed(sim::SubOp::kIndex, [&] {
+                k1 = derive_k1(rk2_, term);
+                k2 = derive_k2(rk2_, term);
+                counter = counters[m][term]++;
+                label = index_label(k1, counter);
+            });
+            // Value encryption (crypto work).
+            Bytes value = meter_.timed(sim::SubOp::kEncrypt, [&] {
+                Bytes freq_le;
+                append_le<std::uint32_t>(freq_le, freq);
+                const crypto::AesCtr cipher(k2);
+                Bytes nonce(crypto::AesCtr::kNonceSize, 0);
+                store_be<std::uint64_t>(nonce.data() + 8, counter);
+                return cipher.seal(nonce, freq_le);
+            });
+            entries[m].push_back(IndexEntry{label, doc, std::move(value)});
+        }
+    }
+    return entries;
+}
+
+void MsseClient::write_entries(
+    net::MessageWriter& writer,
+    const std::array<std::vector<IndexEntry>, kNumModalities>& entries)
+    const {
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        writer.write_u32(static_cast<std::uint32_t>(entries[m].size()));
+        for (const auto& entry : entries[m]) {
+            writer.write_bytes(entry.label);
+            writer.write_u64(entry.doc);
+            writer.write_bytes(entry.encrypted_freq);
+        }
+    }
+}
+
+std::array<CounterDict, kNumModalities> MsseClient::fetch_counters(
+    bool lock) {
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MsseOp::kGetCtrs));
+    writer.write_string(repo_id_);
+    writer.write_u8(lock ? 1 : 0);
+    const Bytes response = call(writer.take(), /*synchronous=*/true);
+    net::MessageReader reader(response);
+    std::array<CounterDict, kNumModalities> counters;
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        const Bytes sealed = reader.read_bytes();
+        if (sealed.empty()) continue;  // fresh repository
+        const Bytes plain = meter_.timed(
+            sim::SubOp::kEncrypt, [&] { return decrypt_with_rk1(sealed); });
+        counters[m] = decode_counter_dict(plain);
+    }
+    return counters;
+}
+
+void MsseClient::update(const sim::MultimodalObject& object) {
+    const ExtractedFeatures features = meter_.timed(sim::SubOp::kIndex, [&] {
+        return extract_features(object, extraction);
+    });
+    local_features_[object.id] = features;
+
+    Bytes blob;
+    meter_.timed(sim::SubOp::kEncrypt,
+                 [&] { blob = encrypt_object_blob(object); });
+
+    if (!trained_) {
+        // Untrained adds optionally ship the encrypted feature blob so the
+        // cloud holds training material for users without a local cache.
+        Bytes efvs;
+        if (store_features_in_cloud) {
+            efvs = meter_.timed(sim::SubOp::kEncrypt, [&] {
+                return encrypt_with_rk1(encode_features(features));
+            });
+        }
+        net::MessageWriter writer;
+        writer.write_u8(static_cast<std::uint8_t>(MsseOp::kStoreObject));
+        writer.write_string(repo_id_);
+        writer.write_u64(object.id);
+        writer.write_bytes(blob);
+        writer.write_bytes(efvs);
+        call(writer.take(), /*synchronous=*/false);
+        return;
+    }
+
+    // Trained update: counters come from the local replica when present;
+    // a fresh client takes the server lock, downloads them once, and from
+    // then on syncs the encrypted dictionaries back only periodically
+    // (every kCounterSyncPeriod updates) rather than on every update.
+    const bool fresh_replica = !counters_cache_.has_value();
+    if (fresh_replica) counters_cache_ = fetch_counters(/*lock=*/true);
+    auto& counters = *counters_cache_;
+    const auto hists = modality_histograms(features);
+    const auto entries = build_entries(object.id, hists, counters);
+
+    constexpr std::uint64_t kCounterSyncPeriod = 32;
+    const bool sync_counters =
+        fresh_replica || (++updates_since_sync_ >= kCounterSyncPeriod);
+    if (sync_counters) updates_since_sync_ = 0;
+
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MsseOp::kTrainedUpdate));
+    writer.write_string(repo_id_);
+    writer.write_u64(object.id);
+    writer.write_bytes(blob);
+    write_entries(writer, entries);
+    writer.write_u8(sync_counters ? 1 : 0);
+    if (sync_counters) {
+        for (std::size_t m = 0; m < kNumModalities; ++m) {
+            const Bytes sealed = meter_.timed(sim::SubOp::kEncrypt, [&] {
+                return encrypt_with_rk1(encode_counter_dict(counters[m]));
+            });
+            writer.write_bytes(sealed);
+        }
+    }
+    call(writer.take(), /*synchronous=*/false);
+}
+
+void MsseClient::train() {
+    // Assemble the training corpus: the local plaintext-feature cache,
+    // topped up from the cloud for objects other users added.
+    std::vector<std::pair<std::uint64_t, ExtractedFeatures>> corpus;
+    {
+        net::MessageWriter writer;
+        writer.write_u8(static_cast<std::uint8_t>(MsseOp::kGetFeatures));
+        writer.write_string(repo_id_);
+        const Bytes response = call(writer.take(), /*synchronous=*/true);
+        net::MessageReader reader(response);
+        const auto count = reader.read_u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint64_t id = reader.read_u64();
+            const Bytes sealed = reader.read_bytes();
+            if (const auto it = local_features_.find(id);
+                it != local_features_.end()) {
+                corpus.emplace_back(id, it->second);
+            } else if (!sealed.empty()) {
+                const Bytes plain = meter_.timed(sim::SubOp::kEncrypt, [&] {
+                    return decrypt_with_rk1(sealed);
+                });
+                corpus.emplace_back(id, decode_features(plain));
+            }
+            // Objects with neither a cloud feature blob nor a local cache
+            // entry cannot be (re)indexed by this client and are skipped.
+        }
+    }
+
+    // Machine learning on the device: hierarchical k-means codebook.
+    meter_.timed(sim::SubOp::kTrain, [&] {
+        std::vector<features::FeatureVec> training;
+        std::size_t total = 0;
+        for (const auto& [id, features] : corpus) {
+            total += features.descriptors.size();
+        }
+        const std::size_t stride = std::max<std::size_t>(
+            1, total / std::max<std::size_t>(1,
+                                             train_params.max_training_samples));
+        std::size_t cursor = 0;
+        for (const auto& [id, features] : corpus) {
+            for (const auto& descriptor : features.descriptors) {
+                if (cursor++ % stride == 0) training.push_back(descriptor);
+            }
+        }
+        index::VocabTree<index::EuclideanSpace>::Params tree_params;
+        tree_params.branch = train_params.tree_branch;
+        tree_params.depth = train_params.tree_depth;
+        tree_params.kmeans_iterations = train_params.kmeans_iterations;
+        if (!training.empty()) {
+            trained_ = TrainedState{index::VocabTree<index::EuclideanSpace>::
+                                        build(training, tree_params,
+                                              train_params.seed)};
+        } else {
+            trained_ = TrainedState{};
+        }
+    });
+
+    // Index every object on the device and upload the encrypted index.
+    std::array<CounterDict, kNumModalities> counters;
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MsseOp::kStoreIndex));
+    writer.write_string(repo_id_);
+    std::array<std::vector<IndexEntry>, kNumModalities> all_entries;
+    for (const auto& [id, features] : corpus) {
+        const auto hists = meter_.timed(sim::SubOp::kIndex, [&] {
+            return modality_histograms(features);
+        });
+        auto entries = build_entries(id, hists, counters);
+        for (std::size_t m = 0; m < kNumModalities; ++m) {
+            all_entries[m].insert(all_entries[m].end(),
+                                  std::make_move_iterator(entries[m].begin()),
+                                  std::make_move_iterator(entries[m].end()));
+        }
+    }
+    write_entries(writer, all_entries);
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        const Bytes sealed = meter_.timed(sim::SubOp::kEncrypt, [&] {
+            return encrypt_with_rk1(encode_counter_dict(counters[m]));
+        });
+        writer.write_bytes(sealed);
+    }
+    counters_cache_ = counters;
+    call(writer.take(), /*synchronous=*/false);
+}
+
+void MsseClient::remove(std::uint64_t object_id) {
+    local_features_.erase(object_id);
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MsseOp::kRemove));
+    writer.write_string(repo_id_);
+    writer.write_u64(object_id);
+    call(writer.take(), /*synchronous=*/false);
+}
+
+std::vector<SearchResult> MsseClient::search(
+    const sim::MultimodalObject& query, std::size_t top_k) {
+    const ExtractedFeatures features = meter_.timed(sim::SubOp::kIndex, [&] {
+        return extract_features(query, extraction);
+    });
+
+    if (!trained_) {
+        // Untrained path (Fig. 7 lines 4-10): download everything and do a
+        // linear ranked search on the device.
+        net::MessageWriter writer;
+        writer.write_u8(static_cast<std::uint8_t>(MsseOp::kGetAllObjects));
+        writer.write_string(repo_id_);
+        const Bytes response = call(writer.take(), /*synchronous=*/true);
+        net::MessageReader reader(response);
+        const auto count = reader.read_u32();
+        std::vector<PlainScoredObject> objects;
+        objects.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            PlainScoredObject object;
+            object.id = reader.read_u64();
+            object.blob = reader.read_bytes();
+            const Bytes sealed_features = reader.read_bytes();
+            object.features =
+                decode_features(meter_.timed(sim::SubOp::kEncrypt, [&] {
+                    return decrypt_with_rk1(sealed_features);
+                }));
+            objects.push_back(std::move(object));
+        }
+        const auto fused = meter_.timed(sim::SubOp::kIndex, [&] {
+            return linear_ranked_search(features, objects, top_k);
+        });
+        std::vector<SearchResult> results;
+        for (const auto& [doc, score] : fused) {
+            const auto it = std::find_if(
+                objects.begin(), objects.end(),
+                [doc](const PlainScoredObject& o) { return o.id == doc; });
+            results.push_back(SearchResult{doc, score, it->blob});
+        }
+        return results;
+    }
+
+    // Trained path: expand query terms into labels using the counter
+    // replica (fetched once if absent).
+    if (!counters_cache_) counters_cache_ = fetch_counters(/*lock=*/false);
+    auto& counters = *counters_cache_;
+    const auto hists = meter_.timed(sim::SubOp::kIndex, [&] {
+        return modality_histograms(features);
+    });
+
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MsseOp::kSearch));
+    writer.write_string(repo_id_);
+    writer.write_u32(static_cast<std::uint32_t>(top_k));
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        std::vector<QueryTerm> query_terms;
+        meter_.timed(sim::SubOp::kIndex, [&] {
+            for (const auto& [raw_term, freq] : hists[m]) {
+                const std::string term =
+                    modality_term(static_cast<Modality>(m), raw_term);
+                const auto counter_it = counters[m].find(term);
+                if (counter_it == counters[m].end()) continue;
+                QueryTerm qt;
+                const Bytes k1 = derive_k1(rk2_, term);
+                qt.value_key = derive_k2(rk2_, term);
+                qt.query_freq = freq;
+                qt.labels.reserve(counter_it->second);
+                for (std::uint64_t c = 0; c < counter_it->second; ++c) {
+                    qt.labels.push_back(index_label(k1, c));
+                }
+                query_terms.push_back(std::move(qt));
+            }
+        });
+        writer.write_u32(static_cast<std::uint32_t>(query_terms.size()));
+        for (const auto& qt : query_terms) {
+            writer.write_u32(static_cast<std::uint32_t>(qt.labels.size()));
+            for (const auto& label : qt.labels) writer.write_bytes(label);
+            writer.write_bytes(qt.value_key);
+            writer.write_u32(qt.query_freq);
+        }
+    }
+
+    const Bytes response = call(writer.take(), /*synchronous=*/true);
+    net::MessageReader reader(response);
+    const auto count = reader.read_u32();
+    std::vector<SearchResult> results;
+    results.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        SearchResult result;
+        result.object_id = reader.read_u64();
+        result.score = reader.read_f64();
+        result.encrypted_object = reader.read_bytes();
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+sim::MultimodalObject MsseClient::decrypt_result(
+    const SearchResult& result) const {
+    const crypto::AesCtr cipher(keyring_.data_key(result.object_id));
+    return mie::decode_object(cipher.open(result.encrypted_object));
+}
+
+}  // namespace mie::baseline

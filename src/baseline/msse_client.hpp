@@ -1,0 +1,114 @@
+// MSSE client (paper appendix, Fig. 7, user side).
+//
+// The defining contrast with MIE: everything heavy happens on the client.
+// Training downloads the (locally cached) feature vectors, runs Euclidean
+// hierarchical k-means *on the device*, quantizes every object against the
+// resulting codebook, and uploads an encrypted index whose positions are
+// PRF-labelled counters. Trained updates must first fetch and lock the
+// encrypted counter dictionaries (the multi-writer coordination MIE does
+// not need), and searching expands each query term into its candidate
+// labels client-side.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/msse_common.hpp"
+#include "baseline/msse_server.hpp"
+#include "index/space.hpp"
+#include "index/vocab_tree.hpp"
+#include "mie/keys.hpp"
+#include "mie/scheme.hpp"
+#include "net/transport.hpp"
+
+namespace mie::baseline {
+
+/// Client-side training parameters (codebook construction).
+struct MsseTrainParams {
+    std::size_t tree_branch = 10;
+    std::size_t tree_depth = 3;
+    int kmeans_iterations = 8;
+    std::size_t max_training_samples = 20000;
+    std::uint64_t seed = 2017;
+};
+
+class MsseClient final : public SearchableScheme {
+public:
+    /// rk1 keys feature/counter encryption (AES-256); rk2 keys label
+    /// derivation (PRF). Both derived from `repo_entropy`.
+    MsseClient(net::Transport& transport, std::string repo_id,
+               BytesView repo_entropy, Bytes user_secret,
+               double device_cpu_scale = 1.0);
+
+    std::string name() const override { return "MSSE"; }
+
+    void create_repository() override;
+    void train() override;
+    void update(const sim::MultimodalObject& object) override;
+    void remove(std::uint64_t object_id) override;
+    std::vector<SearchResult> search(const sim::MultimodalObject& query,
+                                     std::size_t top_k) override;
+
+    sim::CostMeter& meter() override { return meter_; }
+
+    sim::MultimodalObject decrypt_result(const SearchResult& result) const;
+
+    bool trained() const { return trained_.has_value(); }
+
+    MsseTrainParams train_params;
+    ExtractionParams extraction;
+
+    /// When true (default), untrained adds upload the AES-encrypted feature
+    /// blob so the cloud holds training material for other users. Single-
+    /// user deployments (the paper's measured configuration) can disable
+    /// this and rely on the client's O(n) plaintext-feature cache, keeping
+    /// update traffic to blob + index entries.
+    bool store_features_in_cloud = true;
+
+private:
+    struct TrainedState {
+        index::VocabTree<index::EuclideanSpace> codebook;
+    };
+
+    /// Per-modality term histograms of one object.
+    std::array<features::TermHistogram, kNumModalities> modality_histograms(
+        const ExtractedFeatures& features) const;
+
+    /// Builds index entries for one object, advancing `counters`.
+    std::array<std::vector<IndexEntry>, kNumModalities> build_entries(
+        std::uint64_t doc,
+        const std::array<features::TermHistogram, kNumModalities>& hists,
+        std::array<CounterDict, kNumModalities>& counters);
+
+    Bytes encrypt_with_rk1(BytesView plaintext);
+    Bytes decrypt_with_rk1(BytesView sealed) const;
+    Bytes encrypt_object_blob(const sim::MultimodalObject& object);
+
+    std::array<CounterDict, kNumModalities> fetch_counters(bool lock);
+    Bytes call(BytesView request, bool synchronous);
+
+    void write_entries(net::MessageWriter& writer,
+                       const std::array<std::vector<IndexEntry>,
+                                        kNumModalities>& entries) const;
+
+    net::Transport& transport_;
+    std::string repo_id_;
+    Bytes rk1_;  ///< AES key for features + counters
+    Bytes rk2_;  ///< PRF key for labels / value keys
+    DataKeyring keyring_;
+    sim::CostMeter meter_;
+    std::optional<TrainedState> trained_;
+    /// Local counter replica (part of the scheme's O(n) client storage, as
+    /// in Cash'14): avoids a GetCtrs round trip per operation. A fresh
+    /// client joining an existing repository populates it via GetCtrs.
+    std::optional<std::array<CounterDict, kNumModalities>> counters_cache_;
+    std::uint64_t updates_since_sync_ = 0;
+    std::uint64_t nonce_counter_ = 0;
+    /// Local plaintext-feature cache (this is the O(n) client storage the
+    /// complexity table charges to Cash'14-style schemes).
+    std::unordered_map<std::uint64_t, ExtractedFeatures> local_features_;
+};
+
+}  // namespace mie::baseline

@@ -1,0 +1,132 @@
+#include "baseline/msse_common.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "crypto/prf.hpp"
+#include "fusion/rank_fusion.hpp"
+
+namespace mie::baseline {
+
+Bytes encode_counter_dict(const CounterDict& dict) {
+    net::MessageWriter writer;
+    writer.write_u32(static_cast<std::uint32_t>(dict.size()));
+    for (const auto& [term, counter] : dict) {
+        writer.write_string(term);
+        writer.write_u64(counter);
+    }
+    return writer.take();
+}
+
+CounterDict decode_counter_dict(BytesView data) {
+    net::MessageReader reader(data);
+    CounterDict dict;
+    const auto count = reader.read_u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::string term = reader.read_string();
+        dict[term] = reader.read_u64();
+    }
+    return dict;
+}
+
+Bytes encode_features(const ExtractedFeatures& features) {
+    net::MessageWriter writer;
+    writer.write_u32(static_cast<std::uint32_t>(features.descriptors.size()));
+    for (const auto& descriptor : features.descriptors) {
+        writer.write_u32(static_cast<std::uint32_t>(descriptor.size()));
+        for (float x : descriptor) writer.write_f32(x);
+    }
+    writer.write_u32(static_cast<std::uint32_t>(features.terms.size()));
+    for (const auto& [term, freq] : features.terms) {
+        writer.write_string(term);
+        writer.write_u32(freq);
+    }
+    return writer.take();
+}
+
+ExtractedFeatures decode_features(BytesView data) {
+    net::MessageReader reader(data);
+    ExtractedFeatures features;
+    const auto num_descriptors = reader.read_u32();
+    features.descriptors.reserve(num_descriptors);
+    for (std::uint32_t i = 0; i < num_descriptors; ++i) {
+        const auto dims = reader.read_u32();
+        features::FeatureVec descriptor(dims);
+        for (auto& x : descriptor) x = reader.read_f32();
+        features.descriptors.push_back(std::move(descriptor));
+    }
+    const auto num_terms = reader.read_u32();
+    for (std::uint32_t i = 0; i < num_terms; ++i) {
+        const std::string term = reader.read_string();
+        features.terms[term] = reader.read_u32();
+    }
+    return features;
+}
+
+Bytes derive_k1(BytesView rk2, const std::string& term) {
+    return crypto::prf_sha1(rk2, to_bytes(term + "\x01"));
+}
+
+Bytes derive_k2(BytesView rk2, const std::string& term) {
+    // Truncated to 16 bytes: k2 keys an AES-128-CTR value encryption.
+    Bytes k2 = crypto::prf_sha1(rk2, to_bytes(term + "\x02"));
+    k2.resize(16);
+    return k2;
+}
+
+Bytes index_label(BytesView k1, std::uint64_t counter) {
+    return crypto::prf_counter(k1, counter);
+}
+
+std::string term_id(BytesView rk2, const std::string& term) {
+    const Bytes id = crypto::prf_sha1(rk2, to_bytes(term + "\x03"));
+    return hex_encode(id);
+}
+
+std::string modality_term(Modality modality, const std::string& raw_term) {
+    return (modality == Modality::kImage ? "i/" : "t/") + raw_term;
+}
+
+std::vector<std::pair<std::uint64_t, double>> linear_ranked_search(
+    const ExtractedFeatures& query,
+    const std::vector<PlainScoredObject>& objects, std::size_t top_k) {
+    std::map<index::DocId, double> image_scores, text_scores;
+    for (const auto& object : objects) {
+        if (!query.descriptors.empty() &&
+            !object.features.descriptors.empty()) {
+            double total = 0.0;
+            for (const auto& q : query.descriptors) {
+                double best = std::numeric_limits<double>::infinity();
+                for (const auto& d : object.features.descriptors) {
+                    best = std::min(best, features::squared_distance(q, d));
+                }
+                total += 1.0 / (1.0 + std::sqrt(best));
+            }
+            image_scores[object.id] =
+                total / static_cast<double>(query.descriptors.size());
+        }
+        double overlap = 0.0;
+        for (const auto& [term, freq] : object.features.terms) {
+            const auto it = query.terms.find(term);
+            if (it != query.terms.end()) {
+                overlap += std::min(freq, it->second);
+            }
+        }
+        if (overlap > 0.0) text_scores[object.id] = overlap;
+    }
+    const std::size_t pool = std::max<std::size_t>(top_k * 4, 32);
+    const std::array<fusion::RankedList, 2> lists = {
+        index::top_k_of(std::move(image_scores), pool),
+        index::top_k_of(std::move(text_scores), pool)};
+    const auto fused = fusion::log_isr_fusion(lists, top_k);
+    std::vector<std::pair<std::uint64_t, double>> results;
+    results.reserve(fused.size());
+    for (const auto& item : fused) {
+        results.emplace_back(item.doc, item.score);
+    }
+    return results;
+}
+
+}  // namespace mie::baseline

@@ -1,0 +1,88 @@
+// Shared machinery of the MSSE / Hom-MSSE baselines (paper appendix,
+// Figs. 7-8).
+//
+// Both baselines extend Cash et al. (NDSS'14) to multimodal ranked search:
+// index positions are PRF labels l = PRF(k1, ctr) derived per keyword from
+// per-keyword counters, index values carry the document id (plaintext, for
+// removal support — the paper's appendix variant) plus an encrypted
+// frequency. They differ only in how frequencies and counters are
+// encrypted: AES (MSSE, frequencies revealed at search time) vs Paillier
+// (Hom-MSSE, frequencies hidden; the cloud scores homomorphically).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "features/feature.hpp"
+#include "features/text.hpp"
+#include "mie/extract.hpp"
+#include "net/message.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::baseline {
+
+/// Modalities of the prototype (paper §VI: image + text).
+enum class Modality : std::uint8_t { kImage = 0, kText = 1 };
+constexpr std::size_t kNumModalities = 2;
+
+/// Per-keyword counters of one modality: term -> number of index entries.
+using CounterDict = std::map<std::string, std::uint64_t>;
+
+/// Serializes a counter dictionary (plaintext; callers encrypt the result).
+Bytes encode_counter_dict(const CounterDict& dict);
+CounterDict decode_counter_dict(BytesView data);
+
+/// Serializes extracted features (descriptors + term histogram) for
+/// client-side encryption and cloud storage; the client re-downloads and
+/// decrypts these to run training locally.
+Bytes encode_features(const ExtractedFeatures& features);
+ExtractedFeatures decode_features(BytesView data);
+
+/// Key derivation for index labels, following Fig. 7:
+///   k1 = PRF(rk2, term || '1')   -- label derivation key
+///   k2 = PRF(rk2, term || '2')   -- value encryption key
+Bytes derive_k1(BytesView rk2, const std::string& term);
+Bytes derive_k2(BytesView rk2, const std::string& term);
+
+/// Index label l = PRF(k1, ctr).
+Bytes index_label(BytesView k1, std::uint64_t counter);
+
+/// Deterministic term id used by Hom-MSSE's server-side counter store.
+std::string term_id(BytesView rk2, const std::string& term);
+
+/// One client-produced index entry (the {l, d} pairs of Fig. 7).
+struct IndexEntry {
+    Bytes label;
+    std::uint64_t doc = 0;
+    Bytes encrypted_freq;
+};
+
+/// One query term expanded into its candidate labels (the {ll, k2, freq}
+/// triples of Fig. 7). `value_key` is empty for Hom-MSSE (the server never
+/// decrypts frequencies there).
+struct QueryTerm {
+    std::vector<Bytes> labels;
+    Bytes value_key;
+    std::uint32_t query_freq = 0;
+};
+
+/// Counter-dict term key for a visual word / text keyword.
+std::string modality_term(Modality modality, const std::string& raw_term);
+
+/// One downloaded object during an untrained (pre-TRAIN) search.
+struct PlainScoredObject {
+    std::uint64_t id = 0;
+    Bytes blob;
+    ExtractedFeatures features;
+};
+
+/// Client-side linear ranked search over plaintext features (Fig. 7
+/// lines 4-10): per-modality scoring + logISR fusion. Shared by the
+/// untrained paths of MSSE and Hom-MSSE.
+std::vector<std::pair<std::uint64_t, double>> linear_ranked_search(
+    const ExtractedFeatures& query,
+    const std::vector<PlainScoredObject>& objects, std::size_t top_k);
+
+}  // namespace mie::baseline

@@ -1,0 +1,257 @@
+#include "baseline/msse_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/ctr.hpp"
+#include "fusion/rank_fusion.hpp"
+
+namespace mie::baseline {
+
+namespace {
+std::string label_key(BytesView label) {
+    return std::string(label.begin(), label.end());
+}
+}  // namespace
+
+Bytes MsseServer::handle(BytesView request) {
+    const std::scoped_lock lock(mutex_);
+    net::MessageReader reader(request);
+    const auto op = static_cast<MsseOp>(reader.read_u8());
+    switch (op) {
+        case MsseOp::kCreate: return handle_create(reader);
+        case MsseOp::kStoreObject: return handle_store_object(reader);
+        case MsseOp::kGetFeatures: return handle_get_features(reader);
+        case MsseOp::kStoreIndex: return handle_store_index(reader);
+        case MsseOp::kGetCtrs: return handle_get_ctrs(reader);
+        case MsseOp::kTrainedUpdate: return handle_trained_update(reader);
+        case MsseOp::kRemove: return handle_remove(reader);
+        case MsseOp::kSearch: return handle_search(reader);
+        case MsseOp::kGetAllObjects: return handle_get_all_objects(reader);
+    }
+    throw std::invalid_argument("MsseServer: unknown opcode");
+}
+
+MsseServer::Repository& MsseServer::require_repo(const std::string& repo_id) {
+    const auto it = repositories_.find(repo_id);
+    if (it == repositories_.end()) {
+        throw std::invalid_argument("MsseServer: unknown repository " +
+                                    repo_id);
+    }
+    return it->second;
+}
+
+Bytes MsseServer::handle_create(net::MessageReader& reader) {
+    const std::string repo_id = reader.read_string();
+    repositories_[repo_id] = Repository{};
+    net::MessageWriter writer;
+    writer.write_u8(1);
+    return writer.take();
+}
+
+Bytes MsseServer::handle_store_object(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    const std::uint64_t id = reader.read_u64();
+    repo.objects[id] = reader.read_bytes();
+    repo.features[id] = reader.read_bytes();
+    net::MessageWriter writer;
+    writer.write_u8(1);
+    return writer.take();
+}
+
+Bytes MsseServer::handle_get_features(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    net::MessageWriter writer;
+    // One entry per stored object; the feature blob is empty for objects
+    // whose writer kept features in local state (the client falls back to
+    // its own cache for those).
+    writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
+    for (const auto& [id, blob] : repo.objects) {
+        writer.write_u64(id);
+        const auto it = repo.features.find(id);
+        writer.write_bytes(it == repo.features.end() ? Bytes{} : it->second);
+    }
+    return writer.take();
+}
+
+void MsseServer::insert_entries(Repository& repo,
+                                net::MessageReader& reader) {
+    for (std::size_t modality = 0; modality < kNumModalities; ++modality) {
+        const auto count = reader.read_u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const Bytes label = reader.read_bytes();
+            const std::uint64_t doc = reader.read_u64();
+            Bytes encrypted_freq = reader.read_bytes();
+            const std::string key = label_key(label);
+            repo.index[modality][key] =
+                IndexValue{doc, std::move(encrypted_freq)};
+            repo.doc_labels[doc].emplace_back(static_cast<int>(modality),
+                                              key);
+        }
+    }
+}
+
+Bytes MsseServer::handle_store_index(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    // A fresh index replaces any previous one (train rebuilds from scratch).
+    for (auto& modality_index : repo.index) modality_index.clear();
+    repo.doc_labels.clear();
+    insert_entries(repo, reader);
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        repo.counters[m] = reader.read_bytes();
+    }
+    repo.counters_locked = false;
+    net::MessageWriter writer;
+    writer.write_u8(1);
+    return writer.take();
+}
+
+Bytes MsseServer::handle_get_ctrs(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    const bool lock_for_write = reader.read_u8() != 0;
+    if (lock_for_write) {
+        if (repo.counters_locked) throw CounterLockedError();
+        repo.counters_locked = true;
+    }
+    net::MessageWriter writer;
+    for (std::size_t m = 0; m < kNumModalities; ++m) {
+        writer.write_bytes(repo.counters[m]);
+    }
+    return writer.take();
+}
+
+Bytes MsseServer::handle_trained_update(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    const std::uint64_t id = reader.read_u64();
+
+    // Re-adding an object first drops its old postings (Fig. 7 line 37).
+    if (const auto it = repo.doc_labels.find(id);
+        it != repo.doc_labels.end()) {
+        for (const auto& [modality, key] : it->second) {
+            repo.index[static_cast<std::size_t>(modality)].erase(key);
+        }
+        repo.doc_labels.erase(it);
+    }
+
+    repo.objects[id] = reader.read_bytes();
+    // Trained updates carry no feature blob and no counter dictionaries:
+    // the client keeps both in its O(n) local state (Cash'14 model), so
+    // the upload is just the processed index entries — which is why MSSE's
+    // update traffic is smaller than MIE's in Figs. 2-3. The encrypted
+    // counter dictionaries on the server are refreshed by StoreIndex and
+    // by explicit counter syncs. Stale features are dropped.
+    repo.features.erase(id);
+    insert_entries(repo, reader);
+    if (reader.read_u8() != 0) {  // optional counter sync piggyback
+        for (std::size_t m = 0; m < kNumModalities; ++m) {
+            repo.counters[m] = reader.read_bytes();
+        }
+    }
+    repo.counters_locked = false;  // write lock released with the upload
+    net::MessageWriter writer;
+    writer.write_u8(1);
+    return writer.take();
+}
+
+Bytes MsseServer::handle_remove(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    const std::uint64_t id = reader.read_u64();
+    const bool existed = repo.objects.erase(id) > 0;
+    repo.features.erase(id);
+    if (const auto it = repo.doc_labels.find(id);
+        it != repo.doc_labels.end()) {
+        for (const auto& [modality, key] : it->second) {
+            repo.index[static_cast<std::size_t>(modality)].erase(key);
+        }
+        repo.doc_labels.erase(it);
+    }
+    net::MessageWriter writer;
+    writer.write_u8(existed ? 1 : 0);
+    return writer.take();
+}
+
+Bytes MsseServer::handle_search(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    const auto top_k = static_cast<std::size_t>(reader.read_u32());
+    const double total_docs = static_cast<double>(repo.objects.size());
+
+    std::array<fusion::RankedList, kNumModalities> ranked;
+    for (std::size_t modality = 0; modality < kNumModalities; ++modality) {
+        std::map<index::DocId, double> scores;
+        const auto num_terms = reader.read_u32();
+        for (std::uint32_t t = 0; t < num_terms; ++t) {
+            const auto num_labels = reader.read_u32();
+            std::vector<Bytes> labels;
+            labels.reserve(num_labels);
+            for (std::uint32_t l = 0; l < num_labels; ++l) {
+                labels.push_back(reader.read_bytes());
+            }
+            const Bytes k2 = reader.read_bytes();
+            const auto query_freq = reader.read_u32();
+
+            // Collect matching postings; tf values are decrypted with the
+            // per-term value key the client just revealed (freq leakage).
+            std::vector<std::pair<index::DocId, std::uint32_t>> postings;
+            for (const Bytes& label : labels) {
+                const auto it =
+                    repo.index[modality].find(label_key(label));
+                if (it == repo.index[modality].end()) continue;
+                const crypto::AesCtr cipher(k2);
+                const Bytes plain = cipher.open(it->second.encrypted_freq);
+                postings.emplace_back(
+                    it->second.doc,
+                    read_le<std::uint32_t>(plain, 0));
+            }
+            if (postings.empty() || total_docs == 0.0) continue;
+            const double idf =
+                std::log(total_docs / static_cast<double>(postings.size()));
+            if (idf <= 0.0) continue;
+            for (const auto& [doc, freq] : postings) {
+                scores[doc] += static_cast<double>(query_freq) * freq * idf;
+            }
+        }
+        const std::size_t pool = std::max<std::size_t>(top_k * 4, 32);
+        ranked[modality] = index::top_k_of(std::move(scores), pool);
+    }
+
+    const auto fused = fusion::log_isr_fusion(ranked, top_k);
+    net::MessageWriter writer;
+    writer.write_u32(static_cast<std::uint32_t>(fused.size()));
+    for (const auto& item : fused) {
+        writer.write_u64(item.doc);
+        writer.write_f64(item.score);
+        writer.write_bytes(repo.objects.at(item.doc));
+    }
+    return writer.take();
+}
+
+Bytes MsseServer::handle_get_all_objects(net::MessageReader& reader) {
+    Repository& repo = require_repo(reader.read_string());
+    net::MessageWriter writer;
+    writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
+    for (const auto& [id, blob] : repo.objects) {
+        writer.write_u64(id);
+        writer.write_bytes(blob);
+        writer.write_bytes(repo.features.at(id));
+    }
+    return writer.take();
+}
+
+MsseServer::RepoStats MsseServer::stats(const std::string& repo_id) const {
+    const std::scoped_lock lock(mutex_);
+    const auto it = repositories_.find(repo_id);
+    if (it == repositories_.end()) {
+        throw std::invalid_argument("MsseServer: unknown repository");
+    }
+    std::size_t entries = 0;
+    for (const auto& modality_index : it->second.index) {
+        entries += modality_index.size();
+    }
+    return RepoStats{
+        .num_objects = it->second.objects.size(),
+        .index_entries = entries,
+        .counters_locked = it->second.counters_locked,
+    };
+}
+
+}  // namespace mie::baseline

@@ -1,0 +1,98 @@
+// MSSE cloud server (paper appendix, Fig. 7, cloud side).
+//
+// Unlike the MIE server, this server is a dumb encrypted store: the client
+// builds the index. The server keeps, per repository:
+//   * encrypted data-object blobs and encrypted feature blobs (the client
+//     re-downloads the latter to train locally);
+//   * per-modality label -> (doc, Enc(freq)) index maps, plus a reverse
+//     doc -> labels map maintained "in background" to speed up removals;
+//   * the encrypted counter dictionaries, with a write lock so concurrent
+//     updaters cannot clobber each other's counter increments (the
+//     centralized consistency mechanism of the appendix).
+// At search time the server receives per-term label lists and value keys,
+// decrypts frequencies (MSSE's freq(w) leakage), computes TF-IDF per
+// modality, fuses, and returns the top-k.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/msse_common.hpp"
+#include "index/scoring.hpp"
+#include "net/transport.hpp"
+
+namespace mie::baseline {
+
+enum class MsseOp : std::uint8_t {
+    kCreate = 1,
+    kStoreObject = 2,     ///< untrained update: blob + encrypted features
+    kGetFeatures = 3,     ///< train step 1: download all encrypted features
+    kStoreIndex = 4,      ///< train step 2: upload index + counters
+    kGetCtrs = 5,         ///< download counters (flag: lock for write)
+    kTrainedUpdate = 6,   ///< entries + new counters + blob (+ unlock)
+    kRemove = 7,
+    kSearch = 8,
+    kGetAllObjects = 9,   ///< untrained search support
+};
+
+/// Thrown (server-side) and surfaced when a second writer requests the
+/// counter lock while it is held: the coordination cost MIE avoids.
+class CounterLockedError : public std::runtime_error {
+public:
+    CounterLockedError() : std::runtime_error("MSSE: counters locked") {}
+};
+
+class MsseServer final : public net::RequestHandler {
+public:
+    Bytes handle(BytesView request) override;
+
+    struct RepoStats {
+        std::size_t num_objects = 0;
+        std::size_t index_entries = 0;
+        bool counters_locked = false;
+    };
+    RepoStats stats(const std::string& repo_id) const;
+
+private:
+    struct IndexValue {
+        std::uint64_t doc = 0;
+        Bytes encrypted_freq;
+    };
+    struct Repository {
+        std::unordered_map<std::uint64_t, Bytes> objects;  ///< blobs
+        std::unordered_map<std::uint64_t, Bytes> features; ///< enc. fvs
+        // Per-modality PRF-label index.
+        std::array<std::unordered_map<std::string, IndexValue>,
+                   kNumModalities>
+            index;
+        // Reverse map for removals.
+        std::unordered_map<std::uint64_t, std::vector<std::pair<int, std::string>>>
+            doc_labels;
+        // Encrypted counter dictionaries (one blob per modality).
+        std::array<Bytes, kNumModalities> counters;
+        bool counters_locked = false;
+    };
+
+    Bytes handle_create(net::MessageReader& reader);
+    Bytes handle_store_object(net::MessageReader& reader);
+    Bytes handle_get_features(net::MessageReader& reader);
+    Bytes handle_store_index(net::MessageReader& reader);
+    Bytes handle_get_ctrs(net::MessageReader& reader);
+    Bytes handle_trained_update(net::MessageReader& reader);
+    Bytes handle_remove(net::MessageReader& reader);
+    Bytes handle_search(net::MessageReader& reader);
+    Bytes handle_get_all_objects(net::MessageReader& reader);
+
+    void insert_entries(Repository& repo, net::MessageReader& reader);
+
+    Repository& require_repo(const std::string& repo_id);
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Repository> repositories_;
+};
+
+}  // namespace mie::baseline

@@ -1,0 +1,39 @@
+// AES-128/AES-256 block cipher (FIPS 197), encryption direction only.
+//
+// CTR mode and the DRBG need only the forward permutation, so no inverse
+// cipher is implemented. Table-based software implementation; validated
+// against the FIPS 197 appendix vectors in the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+
+class Aes {
+public:
+    static constexpr std::size_t kBlockSize = 16;
+    using Block = std::array<std::uint8_t, kBlockSize>;
+
+    /// Key must be 16 bytes (AES-128) or 32 bytes (AES-256);
+    /// throws std::invalid_argument otherwise.
+    explicit Aes(BytesView key);
+
+    /// Encrypts one 16-byte block in place.
+    void encrypt_block(std::uint8_t* block) const;
+
+    /// Encrypts `in` into a new block.
+    Block encrypt_block(const Block& in) const {
+        Block out = in;
+        encrypt_block(out.data());
+        return out;
+    }
+
+private:
+    std::array<std::uint32_t, 60> round_keys_{};
+    int rounds_ = 0;
+};
+
+}  // namespace mie::crypto

@@ -1,0 +1,568 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace mie::crypto {
+
+namespace {
+constexpr std::size_t kLimbBits = 32;
+constexpr std::uint64_t kLimbBase = 1ULL << kLimbBits;
+}  // namespace
+
+BigUint::BigUint(std::uint64_t value) {
+    if (value != 0) {
+        limbs_.push_back(static_cast<std::uint32_t>(value));
+        if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+    }
+}
+
+void BigUint::trim() {
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_bytes_be(BytesView bytes) {
+    BigUint out;
+    for (std::uint8_t b : bytes) {
+        out = (out << 8) + BigUint(b);
+    }
+    return out;
+}
+
+BigUint BigUint::from_hex(std::string_view hex) {
+    return from_bytes_be(hex_decode(hex.size() % 2 ? "0" + std::string(hex)
+                                                   : std::string(hex)));
+}
+
+Bytes BigUint::to_bytes_be() const {
+    Bytes out;
+    out.reserve(limbs_.size() * 4);
+    for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+        for (int shift = 24; shift >= 0; shift -= 8) {
+            out.push_back(static_cast<std::uint8_t>(*it >> shift));
+        }
+    }
+    const auto first_nonzero =
+        std::find_if(out.begin(), out.end(), [](std::uint8_t b) { return b != 0; });
+    out.erase(out.begin(), first_nonzero);
+    return out;
+}
+
+Bytes BigUint::to_bytes_be(std::size_t width) const {
+    Bytes raw = to_bytes_be();
+    if (raw.size() > width) {
+        throw std::length_error("BigUint: value does not fit in width");
+    }
+    Bytes out(width - raw.size(), 0);
+    out.insert(out.end(), raw.begin(), raw.end());
+    return out;
+}
+
+std::string BigUint::to_hex() const {
+    if (is_zero()) return "0";
+    std::string hex = hex_encode(to_bytes_be());
+    const auto pos = hex.find_first_not_of('0');
+    return hex.substr(pos);
+}
+
+std::size_t BigUint::bit_length() const {
+    if (limbs_.empty()) return 0;
+    return (limbs_.size() - 1) * kLimbBits +
+           (kLimbBits - std::countl_zero(limbs_.back()));
+}
+
+bool BigUint::bit(std::size_t i) const {
+    const std::size_t limb = i / kLimbBits;
+    if (limb >= limbs_.size()) return false;
+    return (limbs_[limb] >> (i % kLimbBits)) & 1u;
+}
+
+std::uint64_t BigUint::low_u64() const {
+    std::uint64_t v = 0;
+    if (!limbs_.empty()) v = limbs_[0];
+    if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+    return v;
+}
+
+int compare(const BigUint& a, const BigUint& b) {
+    if (a.limbs_.size() != b.limbs_.size()) {
+        return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+    }
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+        if (a.limbs_[i] != b.limbs_[i]) {
+            return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+        }
+    }
+    return 0;
+}
+
+BigUint operator+(const BigUint& a, const BigUint& b) {
+    BigUint out;
+    const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+    out.limbs_.resize(n + 1, 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = carry;
+        if (i < a.limbs_.size()) sum += a.limbs_[i];
+        if (i < b.limbs_.size()) sum += b.limbs_[i];
+        out.limbs_[i] = static_cast<std::uint32_t>(sum);
+        carry = sum >> kLimbBits;
+    }
+    out.limbs_[n] = static_cast<std::uint32_t>(carry);
+    out.trim();
+    return out;
+}
+
+BigUint operator-(const BigUint& a, const BigUint& b) {
+    if (compare(a, b) < 0) {
+        throw std::underflow_error("BigUint: negative result");
+    }
+    BigUint out;
+    out.limbs_.resize(a.limbs_.size(), 0);
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+        std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+        if (i < b.limbs_.size()) diff -= b.limbs_[i];
+        if (diff < 0) {
+            diff += static_cast<std::int64_t>(kLimbBase);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.limbs_[i] = static_cast<std::uint32_t>(diff);
+    }
+    out.trim();
+    return out;
+}
+
+BigUint operator*(const BigUint& a, const BigUint& b) {
+    if (a.is_zero() || b.is_zero()) return BigUint();
+    BigUint out;
+    out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+    for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+        std::uint64_t carry = 0;
+        const std::uint64_t ai = a.limbs_[i];
+        for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+            const std::uint64_t cur =
+                ai * b.limbs_[j] + out.limbs_[i + j] + carry;
+            out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+            carry = cur >> kLimbBits;
+        }
+        std::size_t k = i + b.limbs_.size();
+        while (carry != 0) {
+            const std::uint64_t cur = out.limbs_[k] + carry;
+            out.limbs_[k] = static_cast<std::uint32_t>(cur);
+            carry = cur >> kLimbBits;
+            ++k;
+        }
+    }
+    out.trim();
+    return out;
+}
+
+BigUint BigUint::operator<<(std::size_t bits) const {
+    if (is_zero() || bits == 0) {
+        BigUint out = *this;
+        return out;
+    }
+    const std::size_t limb_shift = bits / kLimbBits;
+    const std::size_t bit_shift = bits % kLimbBits;
+    BigUint out;
+    out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i])
+                                << bit_shift;
+        out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+        out.limbs_[i + limb_shift + 1] |=
+            static_cast<std::uint32_t>(v >> kLimbBits);
+    }
+    out.trim();
+    return out;
+}
+
+BigUint BigUint::operator>>(std::size_t bits) const {
+    const std::size_t limb_shift = bits / kLimbBits;
+    const std::size_t bit_shift = bits % kLimbBits;
+    if (limb_shift >= limbs_.size()) return BigUint();
+    BigUint out;
+    out.limbs_.assign(limbs_.size() - limb_shift, 0);
+    for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+        std::uint64_t v =
+            static_cast<std::uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+        if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+            v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+                 << (kLimbBits - bit_shift);
+        }
+        out.limbs_[i] = static_cast<std::uint32_t>(v);
+    }
+    out.trim();
+    return out;
+}
+
+std::pair<BigUint, BigUint> BigUint::divmod(const BigUint& a, const BigUint& b) {
+    if (b.is_zero()) throw std::domain_error("BigUint: division by zero");
+    if (compare(a, b) < 0) return {BigUint(), a};
+    if (b.limbs_.size() == 1) {
+        // Fast path: single-limb divisor.
+        const std::uint64_t d = b.limbs_[0];
+        BigUint q;
+        q.limbs_.assign(a.limbs_.size(), 0);
+        std::uint64_t rem = 0;
+        for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+            const std::uint64_t cur = (rem << kLimbBits) | a.limbs_[i];
+            q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+            rem = cur % d;
+        }
+        q.trim();
+        return {q, BigUint(rem)};
+    }
+
+    // Knuth Algorithm D with 32-bit digits.
+    const std::size_t shift = std::countl_zero(b.limbs_.back());
+    const BigUint u_big = a << shift;
+    const BigUint v_big = b << shift;
+    const std::size_t n = v_big.limbs_.size();
+    const std::size_t m = u_big.limbs_.size() - n;
+
+    std::vector<std::uint32_t> u = u_big.limbs_;
+    u.push_back(0);  // u has m+n+1 digits
+    const std::vector<std::uint32_t>& v = v_big.limbs_;
+
+    BigUint q;
+    q.limbs_.assign(m + 1, 0);
+
+    for (std::size_t j = m + 1; j-- > 0;) {
+        // Estimate q_hat = (u[j+n]*B + u[j+n-1]) / v[n-1].
+        const std::uint64_t numerator =
+            (static_cast<std::uint64_t>(u[j + n]) << kLimbBits) | u[j + n - 1];
+        std::uint64_t q_hat = numerator / v[n - 1];
+        std::uint64_t r_hat = numerator % v[n - 1];
+        while (q_hat >= kLimbBase ||
+               q_hat * v[n - 2] > ((r_hat << kLimbBits) | u[j + n - 2])) {
+            --q_hat;
+            r_hat += v[n - 1];
+            if (r_hat >= kLimbBase) break;
+        }
+
+        // Multiply-and-subtract: u[j..j+n] -= q_hat * v.
+        std::int64_t borrow = 0;
+        std::uint64_t carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t product = q_hat * v[i] + carry;
+            carry = product >> kLimbBits;
+            const std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                                      static_cast<std::int64_t>(
+                                          product & 0xffffffffULL) -
+                                      borrow;
+            if (diff < 0) {
+                u[i + j] = static_cast<std::uint32_t>(diff + kLimbBase);
+                borrow = 1;
+            } else {
+                u[i + j] = static_cast<std::uint32_t>(diff);
+                borrow = 0;
+            }
+        }
+        const std::int64_t top = static_cast<std::int64_t>(u[j + n]) -
+                                 static_cast<std::int64_t>(carry) - borrow;
+        if (top < 0) {
+            // q_hat was one too large: add back.
+            u[j + n] = static_cast<std::uint32_t>(top + kLimbBase);
+            --q_hat;
+            std::uint64_t add_carry = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint64_t sum =
+                    static_cast<std::uint64_t>(u[i + j]) + v[i] + add_carry;
+                u[i + j] = static_cast<std::uint32_t>(sum);
+                add_carry = sum >> kLimbBits;
+            }
+            u[j + n] = static_cast<std::uint32_t>(u[j + n] + add_carry);
+        } else {
+            u[j + n] = static_cast<std::uint32_t>(top);
+        }
+        q.limbs_[j] = static_cast<std::uint32_t>(q_hat);
+    }
+    q.trim();
+
+    BigUint r;
+    r.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+    r.trim();
+    return {q, r >> shift};
+}
+
+BigUint BigUint::mod_mul(const BigUint& a, const BigUint& b,
+                         const BigUint& m) {
+    return (a * b) % m;
+}
+
+BigUint BigUint::mod_pow(const BigUint& base, const BigUint& exp,
+                         const BigUint& m) {
+    if (m.is_zero() || m == BigUint(1)) {
+        throw std::domain_error("BigUint: modulus must be > 1");
+    }
+    if (!m.is_even()) {
+        return Montgomery(m).pow(base, exp);
+    }
+    // Even modulus: plain square-and-multiply.
+    BigUint result(1);
+    BigUint b = base % m;
+    for (std::size_t i = 0; i < exp.bit_length(); ++i) {
+        if (exp.bit(i)) result = mod_mul(result, b, m);
+        b = mod_mul(b, b, m);
+    }
+    return result;
+}
+
+BigUint BigUint::mod_inverse(const BigUint& a, const BigUint& m) {
+    // Extended Euclid on non-negative values, tracking signs separately.
+    BigUint old_r = a % m, r = m;
+    BigUint old_s(1), s(0);
+    bool old_s_neg = false, s_neg = false;
+    while (!r.is_zero()) {
+        const auto [q, rem] = divmod(old_r, r);
+        old_r = r;
+        r = rem;
+        // new_s = old_s - q * s (with sign tracking)
+        const BigUint qs = q * s;
+        BigUint new_s;
+        bool new_s_neg;
+        if (old_s_neg == s_neg) {
+            if (old_s >= qs) {
+                new_s = old_s - qs;
+                new_s_neg = old_s_neg;
+            } else {
+                new_s = qs - old_s;
+                new_s_neg = !old_s_neg;
+            }
+        } else {
+            new_s = old_s + qs;
+            new_s_neg = old_s_neg;
+        }
+        old_s = s;
+        old_s_neg = s_neg;
+        s = new_s;
+        s_neg = new_s_neg;
+    }
+    if (old_r != BigUint(1)) {
+        throw std::domain_error("BigUint: not invertible");
+    }
+    BigUint inv = old_s % m;
+    if (old_s_neg && !inv.is_zero()) inv = m - inv;
+    return inv;
+}
+
+BigUint BigUint::gcd(BigUint a, BigUint b) {
+    while (!b.is_zero()) {
+        BigUint r = a % b;
+        a = std::move(b);
+        b = std::move(r);
+    }
+    return a;
+}
+
+BigUint BigUint::lcm(const BigUint& a, const BigUint& b) {
+    if (a.is_zero() || b.is_zero()) return BigUint();
+    return (a / gcd(a, b)) * b;
+}
+
+BigUint BigUint::random_below(CtrDrbg& drbg, const BigUint& bound) {
+    if (bound.is_zero()) {
+        throw std::domain_error("BigUint: random_below(0)");
+    }
+    const std::size_t bits = bound.bit_length();
+    const std::size_t bytes = (bits + 7) / 8;
+    while (true) {
+        Bytes raw = drbg.generate(bytes);
+        // Mask excess high bits to make rejection likely to succeed.
+        const std::size_t excess = bytes * 8 - bits;
+        raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+        BigUint candidate = from_bytes_be(raw);
+        if (candidate < bound) return candidate;
+    }
+}
+
+bool BigUint::is_probable_prime(const BigUint& n, CtrDrbg& drbg, int rounds) {
+    if (n < BigUint(2)) return false;
+    for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                            19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n == BigUint(p)) return true;
+        if ((n % BigUint(p)).is_zero()) return false;
+    }
+    // Write n-1 = d * 2^s.
+    const BigUint n_minus_1 = n - BigUint(1);
+    BigUint d = n_minus_1;
+    std::size_t s = 0;
+    while (d.is_even()) {
+        d = d >> 1;
+        ++s;
+    }
+    const BigUint two(2);
+    const BigUint n_minus_3 = n - BigUint(3);
+    for (int round = 0; round < rounds; ++round) {
+        const BigUint a = random_below(drbg, n_minus_3) + two;  // [2, n-2]
+        BigUint x = mod_pow(a, d, n);
+        if (x == BigUint(1) || x == n_minus_1) continue;
+        bool composite = true;
+        for (std::size_t i = 1; i < s; ++i) {
+            x = mod_mul(x, x, n);
+            if (x == n_minus_1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite) return false;
+    }
+    return true;
+}
+
+BigUint BigUint::generate_prime(CtrDrbg& drbg, std::size_t bits) {
+    if (bits < 8) throw std::invalid_argument("generate_prime: bits < 8");
+    while (true) {
+        Bytes raw = drbg.generate((bits + 7) / 8);
+        const std::size_t excess = raw.size() * 8 - bits;
+        raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+        raw[0] |= static_cast<std::uint8_t>(0x80 >> excess);  // top bit
+        raw.back() |= 1;                                      // odd
+        BigUint candidate = from_bytes_be(raw);
+        if (is_probable_prime(candidate, drbg, 20)) return candidate;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery context
+// ---------------------------------------------------------------------------
+
+Montgomery::Montgomery(const BigUint& modulus) : n_(modulus) {
+    if (n_.is_even() || n_ <= BigUint(1)) {
+        throw std::domain_error("Montgomery: modulus must be odd and > 1");
+    }
+    limbs_ = n_.limbs_.size();
+
+    // n0_inv = -n^{-1} mod 2^32 via Newton iteration.
+    const std::uint32_t n0 = n_.limbs_[0];
+    std::uint32_t inv = 1;
+    for (int i = 0; i < 5; ++i) inv *= 2 - n0 * inv;
+    n0_inv_ = ~inv + 1;  // negate mod 2^32
+
+    // R mod n and R^2 mod n by shifting with reduction.
+    BigUint r(1);
+    for (std::size_t i = 0; i < limbs_ * kLimbBits; ++i) {
+        r = r << 1;
+        if (r >= n_) r = r - n_;
+    }
+    r_mod_n_ = r;
+    BigUint r2 = r;
+    for (std::size_t i = 0; i < limbs_ * kLimbBits; ++i) {
+        r2 = r2 << 1;
+        if (r2 >= n_) r2 = r2 - n_;
+    }
+    r2_mod_n_ = r2;
+}
+
+std::vector<std::uint32_t> Montgomery::mont_mul(
+    const std::vector<std::uint32_t>& a,
+    const std::vector<std::uint32_t>& b) const {
+    // CIOS Montgomery multiplication; a, b < n, both `limbs_` long.
+    const std::size_t s = limbs_;
+    std::vector<std::uint32_t> t(s + 2, 0);
+    const std::vector<std::uint32_t>& n = n_.limbs_;
+
+    for (std::size_t i = 0; i < s; ++i) {
+        // t += a[i] * b
+        std::uint64_t carry = 0;
+        const std::uint64_t ai = a[i];
+        for (std::size_t j = 0; j < s; ++j) {
+            const std::uint64_t cur = t[j] + ai * b[j] + carry;
+            t[j] = static_cast<std::uint32_t>(cur);
+            carry = cur >> kLimbBits;
+        }
+        std::uint64_t cur = t[s] + carry;
+        t[s] = static_cast<std::uint32_t>(cur);
+        t[s + 1] = static_cast<std::uint32_t>(cur >> kLimbBits);
+
+        // m = t[0] * n0_inv mod 2^32; t += m * n; t >>= 32
+        const std::uint32_t m =
+            static_cast<std::uint32_t>(t[0] * n0_inv_);
+        carry = 0;
+        {
+            const std::uint64_t c0 =
+                t[0] + static_cast<std::uint64_t>(m) * n[0];
+            carry = c0 >> kLimbBits;
+        }
+        for (std::size_t j = 1; j < s; ++j) {
+            const std::uint64_t c =
+                t[j] + static_cast<std::uint64_t>(m) * n[j] + carry;
+            t[j - 1] = static_cast<std::uint32_t>(c);
+            carry = c >> kLimbBits;
+        }
+        cur = t[s] + carry;
+        t[s - 1] = static_cast<std::uint32_t>(cur);
+        t[s] = t[s + 1] + static_cast<std::uint32_t>(cur >> kLimbBits);
+        t[s + 1] = 0;
+    }
+    t.resize(s + 1);
+
+    // Conditional subtraction if t >= n.
+    bool ge = t[s] != 0;
+    if (!ge) {
+        ge = true;
+        for (std::size_t i = s; i-- > 0;) {
+            if (t[i] != n[i]) {
+                ge = t[i] > n[i];
+                break;
+            }
+        }
+    }
+    if (ge) {
+        std::int64_t borrow = 0;
+        for (std::size_t i = 0; i < s; ++i) {
+            std::int64_t diff =
+                static_cast<std::int64_t>(t[i]) - n[i] - borrow;
+            if (diff < 0) {
+                diff += static_cast<std::int64_t>(kLimbBase);
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            t[i] = static_cast<std::uint32_t>(diff);
+        }
+    }
+    t.resize(s);
+    return t;
+}
+
+std::vector<std::uint32_t> Montgomery::to_mont(const BigUint& x) const {
+    BigUint reduced = x % n_;
+    std::vector<std::uint32_t> xr = reduced.limbs_;
+    xr.resize(limbs_, 0);
+    std::vector<std::uint32_t> r2 = r2_mod_n_.limbs_;
+    r2.resize(limbs_, 0);
+    return mont_mul(xr, r2);
+}
+
+BigUint Montgomery::from_mont(std::vector<std::uint32_t> x) const {
+    std::vector<std::uint32_t> one(limbs_, 0);
+    one[0] = 1;
+    BigUint out;
+    out.limbs_ = mont_mul(x, one);
+    out.trim();
+    return out;
+}
+
+BigUint Montgomery::mul(const BigUint& a, const BigUint& b) const {
+    return from_mont(mont_mul(to_mont(a), to_mont(b)));
+}
+
+BigUint Montgomery::pow(const BigUint& base, const BigUint& exp) const {
+    std::vector<std::uint32_t> result = r_mod_n_.limbs_;  // 1 in Mont form
+    result.resize(limbs_, 0);
+    std::vector<std::uint32_t> b = to_mont(base);
+    const std::size_t bits = exp.bit_length();
+    for (std::size_t i = 0; i < bits; ++i) {
+        if (exp.bit(i)) result = mont_mul(result, b);
+        b = mont_mul(b, b);
+    }
+    return from_mont(std::move(result));
+}
+
+}  // namespace mie::crypto

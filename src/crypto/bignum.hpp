@@ -1,0 +1,160 @@
+// Arbitrary-precision unsigned integers.
+//
+// Supports the Paillier cryptosystem (Hom-MSSE baseline): addition,
+// subtraction, schoolbook multiplication, Knuth Algorithm D division,
+// modular exponentiation via Montgomery multiplication, extended-Euclid
+// modular inverse, gcd/lcm, Miller–Rabin primality and prime generation.
+//
+// Limbs are 32-bit stored little-endian with 64-bit intermediates, trading
+// some speed for straightforward, auditable carry/borrow handling.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+
+class BigUint {
+public:
+    /// Zero.
+    BigUint() = default;
+
+    /// From a machine word.
+    BigUint(std::uint64_t value);  // NOLINT(google-explicit-constructor)
+
+    /// Parses big-endian bytes (leading zeros allowed).
+    static BigUint from_bytes_be(BytesView bytes);
+
+    /// Parses a hex string (no 0x prefix).
+    static BigUint from_hex(std::string_view hex);
+
+    /// Serializes to big-endian bytes with no leading zeros ("0" -> empty).
+    Bytes to_bytes_be() const;
+
+    /// Serializes to big-endian bytes left-padded to `width` bytes;
+    /// throws std::length_error if the value does not fit.
+    Bytes to_bytes_be(std::size_t width) const;
+
+    /// Lowercase hex, no leading zeros ("0" for zero).
+    std::string to_hex() const;
+
+    bool is_zero() const { return limbs_.empty(); }
+    bool is_even() const { return limbs_.empty() || (limbs_[0] & 1u) == 0; }
+
+    /// Number of significant bits (0 for zero).
+    std::size_t bit_length() const;
+
+    /// Value of bit `i` (false beyond bit_length).
+    bool bit(std::size_t i) const;
+
+    /// Low 64 bits.
+    std::uint64_t low_u64() const;
+
+    // Comparison.
+    friend int compare(const BigUint& a, const BigUint& b);
+    friend bool operator==(const BigUint& a, const BigUint& b) {
+        return compare(a, b) == 0;
+    }
+    friend bool operator!=(const BigUint& a, const BigUint& b) {
+        return compare(a, b) != 0;
+    }
+    friend bool operator<(const BigUint& a, const BigUint& b) {
+        return compare(a, b) < 0;
+    }
+    friend bool operator<=(const BigUint& a, const BigUint& b) {
+        return compare(a, b) <= 0;
+    }
+    friend bool operator>(const BigUint& a, const BigUint& b) {
+        return compare(a, b) > 0;
+    }
+    friend bool operator>=(const BigUint& a, const BigUint& b) {
+        return compare(a, b) >= 0;
+    }
+
+    // Arithmetic. operator- throws std::underflow_error if b > a.
+    friend BigUint operator+(const BigUint& a, const BigUint& b);
+    friend BigUint operator-(const BigUint& a, const BigUint& b);
+    friend BigUint operator*(const BigUint& a, const BigUint& b);
+
+    /// Quotient and remainder; throws std::domain_error on division by zero.
+    static std::pair<BigUint, BigUint> divmod(const BigUint& a,
+                                              const BigUint& b);
+
+    friend BigUint operator/(const BigUint& a, const BigUint& b) {
+        return divmod(a, b).first;
+    }
+    friend BigUint operator%(const BigUint& a, const BigUint& b) {
+        return divmod(a, b).second;
+    }
+
+    BigUint operator<<(std::size_t bits) const;
+    BigUint operator>>(std::size_t bits) const;
+
+    /// (a * b) mod m.
+    static BigUint mod_mul(const BigUint& a, const BigUint& b,
+                           const BigUint& m);
+
+    /// (base ^ exp) mod m. m must be > 1; uses Montgomery form when m is odd.
+    static BigUint mod_pow(const BigUint& base, const BigUint& exp,
+                           const BigUint& m);
+
+    /// Modular inverse; throws std::domain_error if gcd(a, m) != 1.
+    static BigUint mod_inverse(const BigUint& a, const BigUint& m);
+
+    static BigUint gcd(BigUint a, BigUint b);
+    static BigUint lcm(const BigUint& a, const BigUint& b);
+
+    /// Uniform value in [0, bound) drawn from `drbg`; bound must be nonzero.
+    static BigUint random_below(CtrDrbg& drbg, const BigUint& bound);
+
+    /// Miller–Rabin probable-prime test with `rounds` random bases.
+    static bool is_probable_prime(const BigUint& n, CtrDrbg& drbg,
+                                  int rounds = 32);
+
+    /// Generates a random prime of exactly `bits` bits (top bit set).
+    static BigUint generate_prime(CtrDrbg& drbg, std::size_t bits);
+
+private:
+    void trim();
+
+    std::vector<std::uint32_t> limbs_;  // little-endian, normalized
+
+    friend class Montgomery;
+};
+
+/// Montgomery multiplication context for a fixed odd modulus. Exposed so
+/// Paillier can amortize the per-modulus precomputation across many
+/// operations with the same n^2.
+class Montgomery {
+public:
+    /// Modulus must be odd and > 1.
+    explicit Montgomery(const BigUint& modulus);
+
+    /// (base ^ exp) mod modulus.
+    BigUint pow(const BigUint& base, const BigUint& exp) const;
+
+    /// (a * b) mod modulus.
+    BigUint mul(const BigUint& a, const BigUint& b) const;
+
+    const BigUint& modulus() const { return n_; }
+
+private:
+    std::vector<std::uint32_t> mont_mul(
+        const std::vector<std::uint32_t>& a,
+        const std::vector<std::uint32_t>& b) const;
+    std::vector<std::uint32_t> to_mont(const BigUint& x) const;
+    BigUint from_mont(std::vector<std::uint32_t> x) const;
+
+    BigUint n_;
+    std::size_t limbs_ = 0;      // number of limbs in n
+    std::uint32_t n0_inv_ = 0;   // -n^{-1} mod 2^32
+    BigUint r_mod_n_;            // R mod n, R = 2^(32*limbs)
+    BigUint r2_mod_n_;           // R^2 mod n
+};
+
+}  // namespace mie::crypto

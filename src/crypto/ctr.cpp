@@ -1,0 +1,50 @@
+#include "crypto/ctr.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mie::crypto {
+
+void AesCtr::transform(BytesView nonce, std::span<std::uint8_t> data) const {
+    if (nonce.size() != kNonceSize) {
+        throw std::invalid_argument("AesCtr: nonce must be 16 bytes");
+    }
+    Aes::Block counter;
+    std::memcpy(counter.data(), nonce.data(), kNonceSize);
+
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+        Aes::Block keystream = counter;
+        aes_.encrypt_block(keystream.data());
+        const std::size_t take =
+            std::min(Aes::kBlockSize, data.size() - offset);
+        for (std::size_t i = 0; i < take; ++i) {
+            data[offset + i] ^= keystream[i];
+        }
+        offset += take;
+        // Increment the big-endian counter in the low 8 bytes.
+        for (int i = 15; i >= 8; --i) {
+            if (++counter[static_cast<std::size_t>(i)] != 0) break;
+        }
+    }
+}
+
+Bytes AesCtr::seal(BytesView nonce, BytesView plaintext) const {
+    Bytes out;
+    out.reserve(kNonceSize + plaintext.size());
+    out.insert(out.end(), nonce.begin(), nonce.end());
+    out.insert(out.end(), plaintext.begin(), plaintext.end());
+    transform(nonce, std::span(out).subspan(kNonceSize));
+    return out;
+}
+
+Bytes AesCtr::open(BytesView sealed) const {
+    if (sealed.size() < kNonceSize) {
+        throw std::invalid_argument("AesCtr: sealed buffer too short");
+    }
+    Bytes out(sealed.begin() + kNonceSize, sealed.end());
+    transform(sealed.first(kNonceSize), std::span(out));
+    return out;
+}
+
+}  // namespace mie::crypto

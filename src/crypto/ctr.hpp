@@ -1,0 +1,35 @@
+// AES-CTR stream cipher (SP 800-38A). Encryption == decryption.
+//
+// This is the IND-CPA block-cipher mode the paper uses for data-object
+// encryption (AES in CTR mode, §III-A) and for MSSE's encrypted index
+// values. A fresh random nonce must be used per message; the convenience
+// wrappers in this header prepend the nonce to the ciphertext.
+#pragma once
+
+#include "crypto/aes.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+
+class AesCtr {
+public:
+    static constexpr std::size_t kNonceSize = 16;
+
+    /// Key must be 16 or 32 bytes.
+    explicit AesCtr(BytesView key) : aes_(key) {}
+
+    /// XORs the keystream for (nonce, starting counter 0) into `data`.
+    void transform(BytesView nonce, std::span<std::uint8_t> data) const;
+
+    /// Encrypts and returns nonce || ciphertext.
+    Bytes seal(BytesView nonce, BytesView plaintext) const;
+
+    /// Decrypts a buffer produced by seal(); throws std::invalid_argument if
+    /// the buffer is shorter than a nonce.
+    Bytes open(BytesView sealed) const;
+
+private:
+    Aes aes_;
+};
+
+}  // namespace mie::crypto

@@ -1,0 +1,93 @@
+#include "crypto/drbg.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+#include <random>
+
+#include "crypto/sha256.hpp"
+
+namespace mie::crypto {
+
+namespace {
+Bytes seed_to_key(BytesView seed) {
+    const Sha256::Digest d = Sha256::hash(seed);
+    return Bytes(d.begin(), d.end());
+}
+}  // namespace
+
+CtrDrbg::CtrDrbg(BytesView seed) : aes_(seed_to_key(seed)) {}
+
+void CtrDrbg::refill() {
+    // Increment the 128-bit big-endian counter and encrypt it.
+    for (int i = 15; i >= 0; --i) {
+        if (++counter_[static_cast<std::size_t>(i)] != 0) break;
+    }
+    buffer_ = counter_;
+    aes_.encrypt_block(buffer_.data());
+    buffer_pos_ = 0;
+}
+
+void CtrDrbg::generate(std::span<std::uint8_t> out) {
+    std::size_t offset = 0;
+    while (offset < out.size()) {
+        if (buffer_pos_ == Aes::kBlockSize) refill();
+        const std::size_t take =
+            std::min(Aes::kBlockSize - buffer_pos_, out.size() - offset);
+        std::memcpy(out.data() + offset, buffer_.data() + buffer_pos_, take);
+        buffer_pos_ += take;
+        offset += take;
+    }
+}
+
+Bytes CtrDrbg::generate(std::size_t n) {
+    Bytes out(n);
+    generate(std::span(out));
+    return out;
+}
+
+std::uint64_t CtrDrbg::next_u64() {
+    std::uint8_t raw[8];
+    generate(std::span(raw, 8));
+    return read_le<std::uint64_t>(BytesView(raw, 8), 0);
+}
+
+std::uint64_t CtrDrbg::next_below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    std::uint64_t v;
+    do {
+        v = next_u64();
+    } while (v >= limit);
+    return v % bound;
+}
+
+double CtrDrbg::next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double CtrDrbg::next_gaussian() {
+    if (have_spare_gaussian_) {
+        have_spare_gaussian_ = false;
+        return spare_gaussian_;
+    }
+    double u1;
+    do {
+        u1 = next_double();
+    } while (u1 <= 0.0);
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_gaussian_ = r * std::sin(theta);
+    have_spare_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+Bytes os_random(std::size_t n) {
+    std::random_device rd;
+    Bytes out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(rd());
+    return out;
+}
+
+}  // namespace mie::crypto

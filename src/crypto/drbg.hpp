@@ -1,0 +1,59 @@
+// AES-CTR deterministic random bit generator.
+//
+// The paper's prototype uses "an AES-based Pseudo-Random Number Generator
+// (PRNG) for random number generation" (§VI); this DRBG plays that role and
+// also instantiates the PRG G of Dense-DPE's KeyGen (§IV-B): given a short
+// seed it expands the matrix A and dither w on demand, keeping repository
+// keys O(1).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/aes.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+
+class CtrDrbg {
+public:
+    /// Seeds the generator. The seed is hashed to a 32-byte AES-256 key, so
+    /// any seed length is acceptable (but should carry >=128 bits entropy
+    /// for cryptographic use).
+    explicit CtrDrbg(BytesView seed);
+
+    /// Fills `out` with pseudo-random bytes.
+    void generate(std::span<std::uint8_t> out);
+
+    /// Returns `n` pseudo-random bytes.
+    Bytes generate(std::size_t n);
+
+    /// Uniform double in [0, 1) with 53 bits of precision.
+    double next_double();
+
+    /// Uniform double in [0, limit).
+    double next_double(double limit) { return next_double() * limit; }
+
+    /// Standard normal variate (Box–Muller over DRBG output).
+    double next_gaussian();
+
+    /// Uniform uint64.
+    std::uint64_t next_u64();
+
+    /// Uniform integer in [0, bound); bound must be > 0.
+    std::uint64_t next_below(std::uint64_t bound);
+
+private:
+    void refill();
+
+    Aes aes_;
+    Aes::Block counter_{};
+    Aes::Block buffer_{};
+    std::size_t buffer_pos_ = Aes::kBlockSize;  // force refill on first use
+    bool have_spare_gaussian_ = false;
+    double spare_gaussian_ = 0.0;
+};
+
+/// Gathers `n` bytes of OS entropy (std::random_device).
+Bytes os_random(std::size_t n);
+
+}  // namespace mie::crypto

@@ -1,0 +1,66 @@
+// HMAC (RFC 2104) over any hash with the Sha1/Sha256 interface.
+//
+// HMAC-SHA1 instantiates the paper's PRF (§VI); HMAC-SHA256 is used where a
+// 256-bit output is convenient (key derivation, Sparse-DPE tokens).
+#pragma once
+
+#include <array>
+
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+
+template <typename Hash>
+class Hmac {
+public:
+    static constexpr std::size_t kDigestSize = Hash::kDigestSize;
+    using Digest = typename Hash::Digest;
+
+    /// Initializes HMAC with `key` (any length; hashed if over block size).
+    explicit Hmac(BytesView key) {
+        std::array<std::uint8_t, Hash::kBlockSize> block{};
+        if (key.size() > Hash::kBlockSize) {
+            const Digest hashed = Hash::hash(key);
+            std::copy(hashed.begin(), hashed.end(), block.begin());
+        } else {
+            std::copy(key.begin(), key.end(), block.begin());
+        }
+        for (std::size_t i = 0; i < block.size(); ++i) {
+            ipad_[i] = block[i] ^ 0x36;
+            opad_[i] = block[i] ^ 0x5c;
+        }
+        inner_.update(BytesView(ipad_.data(), ipad_.size()));
+    }
+
+    /// Absorbs message data.
+    void update(BytesView data) { inner_.update(data); }
+
+    /// Finalizes the MAC; the object may be reused after reset().
+    Digest finalize() {
+        const Digest inner_digest = inner_.finalize();
+        Hash outer;
+        outer.update(BytesView(opad_.data(), opad_.size()));
+        outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+        return outer.finalize();
+    }
+
+    /// Restores the keyed initial state for another message.
+    void reset() {
+        inner_.reset();
+        inner_.update(BytesView(ipad_.data(), ipad_.size()));
+    }
+
+    /// One-shot convenience.
+    static Digest mac(BytesView key, BytesView data) {
+        Hmac h(key);
+        h.update(data);
+        return h.finalize();
+    }
+
+private:
+    Hash inner_;
+    std::array<std::uint8_t, Hash::kBlockSize> ipad_{};
+    std::array<std::uint8_t, Hash::kBlockSize> opad_{};
+};
+
+}  // namespace mie::crypto

@@ -1,0 +1,45 @@
+#include "crypto/kdf.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mie::crypto {
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) {
+    const auto prk = Hmac<Sha256>::mac(salt, ikm);
+    return Bytes(prk.begin(), prk.end());
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+    constexpr std::size_t kHashLen = Sha256::kDigestSize;
+    if (length > 255 * kHashLen) {
+        throw std::invalid_argument("hkdf_expand: length too large");
+    }
+    Bytes out;
+    out.reserve(length);
+    Bytes t;
+    std::uint8_t counter = 1;
+    while (out.size() < length) {
+        Hmac<Sha256> h(prk);
+        h.update(t);
+        h.update(info);
+        h.update(BytesView(&counter, 1));
+        const auto block = h.finalize();
+        t.assign(block.begin(), block.end());
+        const std::size_t take = std::min(kHashLen, length - out.size());
+        out.insert(out.end(), t.begin(), t.begin() + take);
+        ++counter;
+    }
+    return out;
+}
+
+Bytes derive_key(BytesView master, std::string_view label,
+                 std::size_t length) {
+    const Bytes salt = to_bytes("mie-kdf-v1");
+    const Bytes prk = hkdf_extract(salt, master);
+    return hkdf_expand(prk, to_bytes(label), length);
+}
+
+}  // namespace mie::crypto

@@ -1,0 +1,25 @@
+// HKDF (RFC 5869) over HMAC-SHA256, plus a label-based sub-key helper.
+//
+// Repository keys in MIE are master secrets from which per-purpose sub-keys
+// (Dense-DPE seed, Sparse-DPE PRF key, MSSE k1/k2 derivation keys, ...) are
+// derived with distinct labels.
+#pragma once
+
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: derives `length` bytes from `prk` and `info`.
+/// length must be <= 255 * 32.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// One-shot labelled sub-key derivation: HKDF(ikm=master, info=label).
+Bytes derive_key(BytesView master, std::string_view label,
+                 std::size_t length = 32);
+
+}  // namespace mie::crypto

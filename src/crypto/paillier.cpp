@@ -1,0 +1,79 @@
+#include "crypto/paillier.hpp"
+
+#include <stdexcept>
+
+namespace mie::crypto {
+
+Paillier::Paillier(PaillierPublicKey pub, PaillierPrivateKey priv)
+    : pub_(std::move(pub)),
+      priv_(std::move(priv)),
+      mont_n2_(std::make_shared<Montgomery>(pub_.n_squared)) {}
+
+Paillier Paillier::generate(CtrDrbg& drbg, std::size_t modulus_bits) {
+    if (modulus_bits < 64) {
+        throw std::invalid_argument("Paillier: modulus too small");
+    }
+    BigUint p, q, n;
+    do {
+        p = BigUint::generate_prime(drbg, modulus_bits / 2);
+        q = BigUint::generate_prime(drbg, modulus_bits / 2);
+        n = p * q;
+    } while (p == q || n.bit_length() != modulus_bits);
+
+    const BigUint p1 = p - BigUint(1);
+    const BigUint q1 = q - BigUint(1);
+    PaillierPublicKey pub{n, n * n};
+    PaillierPrivateKey priv;
+    priv.lambda = BigUint::lcm(p1, q1);
+
+    // With g = n + 1: L(g^lambda mod n^2) = lambda mod n (up to the L map),
+    // so mu = lambda^{-1} mod n; computed generically below for clarity.
+    const BigUint g = n + BigUint(1);
+    const BigUint x = BigUint::mod_pow(g, priv.lambda, pub.n_squared);
+    const BigUint l = (x - BigUint(1)) / n;
+    priv.mu = BigUint::mod_inverse(l, n);
+
+    return Paillier(std::move(pub), std::move(priv));
+}
+
+BigUint Paillier::encrypt(const BigUint& m, CtrDrbg& drbg) const {
+    if (m >= pub_.n) {
+        throw std::invalid_argument("Paillier: plaintext >= n");
+    }
+    BigUint r;
+    do {
+        r = BigUint::random_below(drbg, pub_.n);
+    } while (r.is_zero() || BigUint::gcd(r, pub_.n) != BigUint(1));
+
+    // g^m = (1 + n)^m = 1 + m*n (mod n^2)
+    const BigUint gm = (BigUint(1) + m * pub_.n) % pub_.n_squared;
+    const BigUint rn = mont_n2_->pow(r, pub_.n);
+    return mont_n2_->mul(gm, rn);
+}
+
+BigUint Paillier::decrypt(const BigUint& c) const {
+    if (c >= pub_.n_squared) {
+        throw std::invalid_argument("Paillier: ciphertext out of range");
+    }
+    const BigUint x = mont_n2_->pow(c, priv_.lambda);
+    const BigUint l = (x - BigUint(1)) / pub_.n;
+    return BigUint::mod_mul(l, priv_.mu, pub_.n);
+}
+
+BigUint Paillier::add(const BigUint& ca, const BigUint& cb) const {
+    return mont_n2_->mul(ca, cb);
+}
+
+BigUint Paillier::scalar_mul(const BigUint& ca, const BigUint& k) const {
+    return mont_n2_->pow(ca, k);
+}
+
+Bytes Paillier::serialize_ciphertext(const BigUint& c) const {
+    return c.to_bytes_be(pub_.ciphertext_bytes());
+}
+
+BigUint Paillier::parse_ciphertext(BytesView bytes) const {
+    return BigUint::from_bytes_be(bytes);
+}
+
+}  // namespace mie::crypto

@@ -1,0 +1,68 @@
+// Paillier additively-homomorphic public-key encryption (Paillier, 1999).
+//
+// Hom-MSSE (paper appendix, Fig. 8) encrypts index frequencies and update
+// counters under Paillier so the cloud can add to them and compute TF-IDF
+// scores without learning the values. Properties used:
+//   Enc(a) * Enc(b) mod n^2        = Enc(a + b)
+//   Enc(a) ^ k     mod n^2         = Enc(a * k)
+// We use the standard g = n + 1 optimization, so encryption is
+// (1 + m*n) * r^n mod n^2.
+#pragma once
+
+#include <memory>
+
+#include "crypto/bignum.hpp"
+#include "crypto/drbg.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+
+struct PaillierPublicKey {
+    BigUint n;         // modulus
+    BigUint n_squared;  // n^2, cached
+
+    /// Serialized size of one ciphertext in bytes.
+    std::size_t ciphertext_bytes() const { return (n_squared.bit_length() + 7) / 8; }
+};
+
+struct PaillierPrivateKey {
+    BigUint lambda;  // lcm(p-1, q-1)
+    BigUint mu;      // (L(g^lambda mod n^2))^{-1} mod n
+};
+
+class Paillier {
+public:
+    /// Generates a fresh key pair with an `n` of `modulus_bits` bits.
+    /// 512/1024 bits are typical for simulation; 2048+ for real deployments.
+    static Paillier generate(CtrDrbg& drbg, std::size_t modulus_bits);
+
+    /// Reconstructs from existing key material.
+    Paillier(PaillierPublicKey pub, PaillierPrivateKey priv);
+
+    const PaillierPublicKey& public_key() const { return pub_; }
+
+    /// Encrypts m (must be < n) with fresh randomness from `drbg`.
+    BigUint encrypt(const BigUint& m, CtrDrbg& drbg) const;
+
+    /// Decrypts a ciphertext to the plaintext in [0, n).
+    BigUint decrypt(const BigUint& c) const;
+
+    /// Homomorphic addition: returns Enc(a + b) given Enc(a), Enc(b).
+    BigUint add(const BigUint& ca, const BigUint& cb) const;
+
+    /// Homomorphic scalar multiplication: returns Enc(a * k) given Enc(a).
+    BigUint scalar_mul(const BigUint& ca, const BigUint& k) const;
+
+    /// Serializes a ciphertext to fixed-width big-endian bytes.
+    Bytes serialize_ciphertext(const BigUint& c) const;
+
+    /// Parses a ciphertext serialized by serialize_ciphertext().
+    BigUint parse_ciphertext(BytesView bytes) const;
+
+private:
+    PaillierPublicKey pub_;
+    PaillierPrivateKey priv_;
+    std::shared_ptr<const Montgomery> mont_n2_;  // shared: Paillier is copyable
+};
+
+}  // namespace mie::crypto

@@ -1,0 +1,35 @@
+// Pseudo-random function wrappers.
+//
+// The paper instantiates its PRF as HMAC-SHA1 (§VI). `Prf` is the keyed
+// function used for Sparse-DPE tokens and MSSE index labels; outputs are
+// full digests, optionally truncated by callers.
+#pragma once
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+
+/// HMAC-SHA1 PRF, matching the paper's prototype.
+inline Bytes prf_sha1(BytesView key, BytesView input) {
+    const auto d = Hmac<Sha1>::mac(key, input);
+    return Bytes(d.begin(), d.end());
+}
+
+/// HMAC-SHA256 PRF for callers wanting 256-bit outputs.
+inline Bytes prf_sha256(BytesView key, BytesView input) {
+    const auto d = Hmac<Sha256>::mac(key, input);
+    return Bytes(d.begin(), d.end());
+}
+
+/// PRF evaluated on a 64-bit counter (little-endian), as used by MSSE to
+/// derive index labels l = PRF(k1, ctr).
+inline Bytes prf_counter(BytesView key, std::uint64_t counter) {
+    Bytes input;
+    append_le(input, counter);
+    return prf_sha1(key, input);
+}
+
+}  // namespace mie::crypto

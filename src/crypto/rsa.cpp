@@ -1,0 +1,177 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace mie::crypto {
+
+namespace {
+constexpr std::size_t kHashLen = Sha256::kDigestSize;
+}
+
+Bytes RsaPublicKey::serialize() const {
+    // Self-contained framing (crypto must not depend on net/): two
+    // length-prefixed big-endian integers.
+    Bytes out;
+    const Bytes n_bytes = n.to_bytes_be();
+    const Bytes e_bytes = e.to_bytes_be();
+    append_le<std::uint32_t>(out, static_cast<std::uint32_t>(n_bytes.size()));
+    out.insert(out.end(), n_bytes.begin(), n_bytes.end());
+    append_le<std::uint32_t>(out, static_cast<std::uint32_t>(e_bytes.size()));
+    out.insert(out.end(), e_bytes.begin(), e_bytes.end());
+    return out;
+}
+
+RsaPublicKey RsaPublicKey::deserialize(BytesView data) {
+    RsaPublicKey key;
+    const auto n_len = read_le<std::uint32_t>(data, 0);
+    if (data.size() < 4 + n_len + 4) {
+        throw std::out_of_range("RsaPublicKey: truncated");
+    }
+    key.n = BigUint::from_bytes_be(data.subspan(4, n_len));
+    const auto e_len = read_le<std::uint32_t>(data, 4 + n_len);
+    if (data.size() < 8 + n_len + e_len) {
+        throw std::out_of_range("RsaPublicKey: truncated");
+    }
+    key.e = BigUint::from_bytes_be(data.subspan(8 + n_len, e_len));
+    return key;
+}
+
+RsaKeyPair RsaKeyPair::generate(CtrDrbg& drbg, std::size_t modulus_bits) {
+    if (modulus_bits < 512) {
+        throw std::invalid_argument("RsaKeyPair: modulus too small");
+    }
+    const BigUint e(65537);
+    while (true) {
+        const BigUint p = BigUint::generate_prime(drbg, modulus_bits / 2);
+        const BigUint q = BigUint::generate_prime(drbg, modulus_bits / 2);
+        if (p == q) continue;
+        const BigUint n = p * q;
+        if (n.bit_length() != modulus_bits) continue;
+        const BigUint phi = (p - BigUint(1)) * (q - BigUint(1));
+        if (BigUint::gcd(e, phi) != BigUint(1)) continue;
+        const BigUint d = BigUint::mod_inverse(e, phi);
+        return RsaKeyPair(RsaPublicKey{n, e}, RsaPrivateKey{n, d});
+    }
+}
+
+Bytes mgf1_sha256(BytesView seed, std::size_t length) {
+    Bytes mask;
+    mask.reserve(length);
+    std::uint32_t counter = 0;
+    while (mask.size() < length) {
+        Sha256 hash;
+        hash.update(seed);
+        std::uint8_t counter_be[4];
+        store_be<std::uint32_t>(counter_be, counter);
+        hash.update(BytesView(counter_be, 4));
+        const auto block = hash.finalize();
+        const std::size_t take = std::min(kHashLen, length - mask.size());
+        mask.insert(mask.end(), block.begin(), block.begin() + take);
+        ++counter;
+    }
+    return mask;
+}
+
+Bytes rsa_oaep_encrypt(const RsaPublicKey& key, BytesView message,
+                       CtrDrbg& drbg) {
+    const std::size_t k = key.modulus_bytes();
+    if (k < 2 * kHashLen + 2 || message.size() > k - 2 * kHashLen - 2) {
+        throw std::invalid_argument("rsa_oaep_encrypt: message too long");
+    }
+    // EME-OAEP encoding (label = empty): DB = lHash || PS || 0x01 || M,
+    // with |DB| = k - hLen - 1.
+    const auto l_hash = Sha256::hash({});
+    Bytes db(l_hash.begin(), l_hash.end());
+    db.resize(k - kHashLen - 2 - message.size(), 0);  // PS zeros
+    db.push_back(0x01);
+    db.insert(db.end(), message.begin(), message.end());
+
+    const Bytes seed = drbg.generate(kHashLen);
+    const Bytes db_mask = mgf1_sha256(seed, db.size());
+    xor_into(std::span(db), db_mask);
+    Bytes masked_seed = seed;
+    const Bytes seed_mask = mgf1_sha256(db, kHashLen);
+    xor_into(std::span(masked_seed), seed_mask);
+
+    Bytes em;
+    em.reserve(k);
+    em.push_back(0x00);
+    em.insert(em.end(), masked_seed.begin(), masked_seed.end());
+    em.insert(em.end(), db.begin(), db.end());
+
+    const BigUint m = BigUint::from_bytes_be(em);
+    return BigUint::mod_pow(m, key.e, key.n).to_bytes_be(k);
+}
+
+Bytes rsa_oaep_decrypt(const RsaPrivateKey& key, BytesView ciphertext) {
+    const std::size_t k = (key.n.bit_length() + 7) / 8;
+    if (ciphertext.size() != k || k < 2 * kHashLen + 2) {
+        throw std::invalid_argument("rsa_oaep_decrypt: bad ciphertext");
+    }
+    const BigUint c = BigUint::from_bytes_be(ciphertext);
+    if (c >= key.n) {
+        throw std::invalid_argument("rsa_oaep_decrypt: bad ciphertext");
+    }
+    const Bytes em = BigUint::mod_pow(c, key.d, key.n).to_bytes_be(k);
+    if (em[0] != 0x00) {
+        throw std::invalid_argument("rsa_oaep_decrypt: bad padding");
+    }
+    Bytes masked_seed(em.begin() + 1, em.begin() + 1 + kHashLen);
+    Bytes db(em.begin() + 1 + kHashLen, em.end());
+
+    const Bytes seed_mask = mgf1_sha256(db, kHashLen);
+    xor_into(std::span(masked_seed), seed_mask);
+    const Bytes db_mask = mgf1_sha256(masked_seed, db.size());
+    xor_into(std::span(db), db_mask);
+
+    const auto l_hash = Sha256::hash({});
+    if (!ct_equal(BytesView(db.data(), kHashLen),
+                  BytesView(l_hash.data(), kHashLen))) {
+        throw std::invalid_argument("rsa_oaep_decrypt: bad padding");
+    }
+    std::size_t index = kHashLen;
+    while (index < db.size() && db[index] == 0x00) ++index;
+    if (index == db.size() || db[index] != 0x01) {
+        throw std::invalid_argument("rsa_oaep_decrypt: bad padding");
+    }
+    return Bytes(db.begin() + static_cast<std::ptrdiff_t>(index + 1),
+                 db.end());
+}
+
+namespace {
+/// EMSA-PKCS1-v1_5-style encoding of SHA-256(message) into k bytes.
+Bytes emsa_encode(BytesView message, std::size_t k) {
+    const auto digest = Sha256::hash(message);
+    if (k < kHashLen + 11) {
+        throw std::invalid_argument("rsa_sign: modulus too small");
+    }
+    Bytes em;
+    em.reserve(k);
+    em.push_back(0x00);
+    em.push_back(0x01);
+    em.insert(em.end(), k - kHashLen - 3, 0xff);
+    em.push_back(0x00);
+    em.insert(em.end(), digest.begin(), digest.end());
+    return em;
+}
+}  // namespace
+
+Bytes rsa_sign(const RsaPrivateKey& key, BytesView message) {
+    const std::size_t k = (key.n.bit_length() + 7) / 8;
+    const BigUint m = BigUint::from_bytes_be(emsa_encode(message, k));
+    return BigUint::mod_pow(m, key.d, key.n).to_bytes_be(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, BytesView message,
+                BytesView signature) {
+    const std::size_t k = key.modulus_bytes();
+    if (signature.size() != k) return false;
+    const BigUint s = BigUint::from_bytes_be(signature);
+    if (s >= key.n) return false;
+    const Bytes em = BigUint::mod_pow(s, key.e, key.n).to_bytes_be(k);
+    return ct_equal(em, emsa_encode(message, k));
+}
+
+}  // namespace mie::crypto

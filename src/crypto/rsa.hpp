@@ -1,0 +1,68 @@
+// RSA public-key encryption and signatures over the BigUint substrate.
+//
+// §III-A delegates repository-key distribution to "a key-sharing protocol
+// based on public-key authentication"; this module provides that
+// substrate: RSAES-OAEP (SHA-256 / MGF1) for key wrapping and a
+// deterministic RSASSA signature (EMSA-PKCS1-v1_5 style padding over
+// SHA-256, without the ASN.1 DigestInfo header) for sender authentication.
+// Used by mie/key_sharing.hpp; key sizes of 1024 bits keep the test suite
+// fast — use 3072+ in production.
+#pragma once
+
+#include "crypto/bignum.hpp"
+#include "crypto/drbg.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+
+struct RsaPublicKey {
+    BigUint n;
+    BigUint e;
+
+    std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+    Bytes serialize() const;
+    static RsaPublicKey deserialize(BytesView data);
+};
+
+struct RsaPrivateKey {
+    BigUint n;
+    BigUint d;
+};
+
+class RsaKeyPair {
+public:
+    /// Generates a key pair with public exponent 65537.
+    static RsaKeyPair generate(CtrDrbg& drbg, std::size_t modulus_bits);
+
+    const RsaPublicKey& public_key() const { return public_; }
+    const RsaPrivateKey& private_key() const { return private_; }
+
+private:
+    RsaKeyPair(RsaPublicKey pub, RsaPrivateKey priv)
+        : public_(std::move(pub)), private_(std::move(priv)) {}
+
+    RsaPublicKey public_;
+    RsaPrivateKey private_;
+};
+
+/// MGF1 mask generation (RFC 8017 B.2.1) over SHA-256.
+Bytes mgf1_sha256(BytesView seed, std::size_t length);
+
+/// RSAES-OAEP encryption; message must fit (modulus_bytes - 66).
+/// Throws std::invalid_argument otherwise.
+Bytes rsa_oaep_encrypt(const RsaPublicKey& key, BytesView message,
+                       CtrDrbg& drbg);
+
+/// RSAES-OAEP decryption; throws std::invalid_argument on any padding or
+/// length failure (no distinction, to avoid oracle-style error channels).
+Bytes rsa_oaep_decrypt(const RsaPrivateKey& key, BytesView ciphertext);
+
+/// Deterministic signature over SHA-256(message).
+Bytes rsa_sign(const RsaPrivateKey& key, BytesView message);
+
+/// Verifies a signature produced by rsa_sign.
+bool rsa_verify(const RsaPublicKey& key, BytesView message,
+                BytesView signature);
+
+}  // namespace mie::crypto

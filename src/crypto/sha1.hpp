@@ -1,0 +1,43 @@
+// SHA-1 (FIPS 180-4). Used as the hash under HMAC-SHA1, matching the paper's
+// prototype which instantiated its PRF as HMAC-SHA1. Do not use bare SHA-1
+// for collision resistance; here it only ever appears keyed under HMAC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+
+class Sha1 {
+public:
+    static constexpr std::size_t kDigestSize = 20;
+    static constexpr std::size_t kBlockSize = 64;
+    using Digest = std::array<std::uint8_t, kDigestSize>;
+
+    Sha1();
+
+    /// Absorbs `data` into the hash state.
+    void update(BytesView data);
+
+    /// Finalizes and returns the digest. The object must not be reused
+    /// afterwards without calling reset().
+    Digest finalize();
+
+    /// Restores the initial state.
+    void reset();
+
+    /// One-shot convenience.
+    static Digest hash(BytesView data);
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 5> state_;
+    std::array<std::uint8_t, kBlockSize> buffer_;
+    std::size_t buffer_len_ = 0;
+    std::uint64_t total_len_ = 0;
+};
+
+}  // namespace mie::crypto

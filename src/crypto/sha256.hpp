@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4). The default hash for HKDF and HMAC-SHA256-based
+// PRFs in this library.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+
+class Sha256 {
+public:
+    static constexpr std::size_t kDigestSize = 32;
+    static constexpr std::size_t kBlockSize = 64;
+    using Digest = std::array<std::uint8_t, kDigestSize>;
+
+    Sha256();
+
+    /// Absorbs `data` into the hash state.
+    void update(BytesView data);
+
+    /// Finalizes and returns the digest; call reset() before reuse.
+    Digest finalize();
+
+    /// Restores the initial state.
+    void reset();
+
+    /// One-shot convenience.
+    static Digest hash(BytesView data);
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, kBlockSize> buffer_;
+    std::size_t buffer_len_ = 0;
+    std::uint64_t total_len_ = 0;
+};
+
+}  // namespace mie::crypto

@@ -1,0 +1,53 @@
+#include "dpe/bitcode.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mie::dpe {
+
+BitCode::BitCode(std::size_t bits)
+    : words_((bits + 63) / 64, 0), bits_(bits) {}
+
+std::size_t BitCode::hamming_distance(const BitCode& other) const {
+    if (bits_ != other.bits_) {
+        throw std::invalid_argument("BitCode: size mismatch");
+    }
+    std::size_t distance = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        distance += static_cast<std::size_t>(
+            std::popcount(words_[i] ^ other.words_[i]));
+    }
+    return distance;
+}
+
+double BitCode::normalized_hamming(const BitCode& other) const {
+    if (bits_ == 0) return 0.0;
+    return static_cast<double>(hamming_distance(other)) /
+           static_cast<double>(bits_);
+}
+
+Bytes BitCode::serialize() const {
+    Bytes out;
+    out.reserve(8 + words_.size() * 8);
+    append_le<std::uint64_t>(out, bits_);
+    for (std::uint64_t w : words_) append_le<std::uint64_t>(out, w);
+    return out;
+}
+
+BitCode BitCode::deserialize(BytesView data) {
+    const auto bits = read_le<std::uint64_t>(data, 0);
+    // Validate against the buffer BEFORE allocating: a hostile length
+    // field must not trigger a huge allocation.
+    const std::uint64_t words = (bits + 63) / 64;
+    if (bits > (static_cast<std::uint64_t>(data.size()) - 8) * 8 ||
+        data.size() < 8 + words * 8) {
+        throw std::out_of_range("BitCode: truncated buffer");
+    }
+    BitCode code(static_cast<std::size_t>(bits));
+    for (std::size_t i = 0; i < code.words_.size(); ++i) {
+        code.words_[i] = read_le<std::uint64_t>(data, 8 + 8 * i);
+    }
+    return code;
+}
+
+}  // namespace mie::dpe

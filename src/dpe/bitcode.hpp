@@ -1,0 +1,56 @@
+// Packed bit-vector encodings and Hamming distance.
+//
+// Dense-DPE encodings are M-bit strings (one bit per output dimension of the
+// universal scalar quantizer). Normalized Hamming distance between encodings
+// is the de(.,.) of Definition 1 for the dense implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mie::dpe {
+
+class BitCode {
+public:
+    BitCode() = default;
+
+    /// Creates an all-zero code of `bits` bits.
+    explicit BitCode(std::size_t bits);
+
+    std::size_t size() const { return bits_; }
+    bool empty() const { return bits_ == 0; }
+
+    bool get(std::size_t i) const {
+        return (words_[i >> 6] >> (i & 63)) & 1u;
+    }
+    void set(std::size_t i, bool value) {
+        const std::uint64_t mask = 1ULL << (i & 63);
+        if (value) {
+            words_[i >> 6] |= mask;
+        } else {
+            words_[i >> 6] &= ~mask;
+        }
+    }
+
+    /// Hamming distance in bits; both codes must have equal size.
+    std::size_t hamming_distance(const BitCode& other) const;
+
+    /// Hamming distance divided by code length, in [0, 1].
+    double normalized_hamming(const BitCode& other) const;
+
+    bool operator==(const BitCode& other) const = default;
+
+    /// Serializes as bit-count (LE u64) followed by packed words.
+    Bytes serialize() const;
+    static BitCode deserialize(BytesView data);
+
+    const std::vector<std::uint64_t>& words() const { return words_; }
+
+private:
+    std::vector<std::uint64_t> words_;
+    std::size_t bits_ = 0;
+};
+
+}  // namespace mie::dpe

@@ -1,0 +1,105 @@
+#include "dpe/dense_dpe.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+#include <stdexcept>
+
+#include "crypto/drbg.hpp"
+#include "crypto/kdf.hpp"
+
+namespace mie::dpe {
+
+Bytes DenseDpeKey::serialize() const {
+    Bytes out;
+    append_le<std::uint32_t>(out, static_cast<std::uint32_t>(seed.size()));
+    out.insert(out.end(), seed.begin(), seed.end());
+    append_le<std::uint64_t>(out, input_dims);
+    append_le<std::uint64_t>(out, output_bits);
+    std::uint64_t delta_bits;
+    static_assert(sizeof(delta_bits) == sizeof(delta));
+    std::memcpy(&delta_bits, &delta, sizeof(delta_bits));
+    append_le<std::uint64_t>(out, delta_bits);
+    return out;
+}
+
+DenseDpeKey DenseDpeKey::deserialize(BytesView data) {
+    DenseDpeKey key;
+    const auto seed_len = read_le<std::uint32_t>(data, 0);
+    if (data.size() < 4 + seed_len + 24) {
+        throw std::out_of_range("DenseDpeKey: truncated buffer");
+    }
+    key.seed.assign(data.begin() + 4, data.begin() + 4 + seed_len);
+    key.input_dims =
+        static_cast<std::size_t>(read_le<std::uint64_t>(data, 4 + seed_len));
+    key.output_bits = static_cast<std::size_t>(
+        read_le<std::uint64_t>(data, 12 + seed_len));
+    const auto delta_bits = read_le<std::uint64_t>(data, 20 + seed_len);
+    std::memcpy(&key.delta, &delta_bits, sizeof(key.delta));
+    return key;
+}
+
+DenseDpeKey DenseDpe::keygen(BytesView entropy, std::size_t input_dims,
+                             std::size_t output_bits, double delta) {
+    if (input_dims == 0 || output_bits == 0 || delta <= 0.0) {
+        throw std::invalid_argument("DenseDpe: invalid parameters");
+    }
+    DenseDpeKey key;
+    key.seed = crypto::derive_key(entropy, "dense-dpe-seed");
+    key.input_dims = input_dims;
+    key.output_bits = output_bits;
+    key.delta = delta;
+    return key;
+}
+
+double DenseDpe::threshold(const DenseDpeKey& key) {
+    // t = Func(Δ): the normalized-Hamming response is linear with slope
+    // sqrt(2/π)/Δ and saturates near 1/2, so plaintext distances are
+    // preserved up to d = 0.5 * Δ * sqrt(π/2).
+    return 0.5 * key.delta * std::sqrt(std::numbers::pi / 2.0);
+}
+
+DenseDpe::DenseDpe(const DenseDpeKey& key) : key_(key) {
+    if (key_.seed.empty()) {
+        throw std::invalid_argument("DenseDpe: empty seed");
+    }
+    // Expand A (M x N iid standard Gaussians) and w (uniform [0, Δ]^M) from
+    // the PRG. The expansion is deterministic in the seed, so every key
+    // holder derives the same encoder.
+    crypto::CtrDrbg prg(key_.seed);
+    matrix_.resize(key_.output_bits * key_.input_dims);
+    for (float& a : matrix_) {
+        a = static_cast<float>(prg.next_gaussian());
+    }
+    dither_.resize(key_.output_bits);
+    for (float& w : dither_) {
+        w = static_cast<float>(prg.next_double(key_.delta));
+    }
+}
+
+BitCode DenseDpe::encode(const features::FeatureVec& plaintext) const {
+    if (plaintext.size() != key_.input_dims) {
+        throw std::invalid_argument("DenseDpe: dimension mismatch");
+    }
+    BitCode code(key_.output_bits);
+    const double inv_delta = 1.0 / key_.delta;
+    for (std::size_t m = 0; m < key_.output_bits; ++m) {
+        const float* row = matrix_.data() + m * key_.input_dims;
+        double dot = 0.0;
+        for (std::size_t n = 0; n < key_.input_dims; ++n) {
+            dot += static_cast<double>(row[n]) * plaintext[n];
+        }
+        // Q(.): values in [2v, 2v+1) -> 1, [2v+1, 2v+2) -> 0, i.e. bit is
+        // the complemented parity of floor((A x + w) / Δ).
+        const double q = (dot + dither_[m]) * inv_delta;
+        const long long cell = static_cast<long long>(std::floor(q));
+        code.set(m, (cell & 1LL) == 0);
+    }
+    return code;
+}
+
+double DenseDpe::distance(const BitCode& e1, const BitCode& e2) {
+    return e1.normalized_hamming(e2);
+}
+
+}  // namespace mie::dpe

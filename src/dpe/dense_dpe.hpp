@@ -1,0 +1,72 @@
+// Dense-DPE (paper §IV-B, Algorithm 2).
+//
+// Distance-preserving encoding for dense, high-dimensional feature vectors
+// (images, audio, video). Extends the universal scalar quantization scheme
+// of Boufounos & Rane:
+//
+//     e(x) = Q( Δ^{-1} (A x + w) )
+//
+// where A is an M x N matrix of iid Gaussians, w is a dither uniform in
+// [0, Δ]^M, and Q maps [2v, 2v+1) -> 1 and [2v+1, 2v+2) -> 0 — i.e. the
+// parity of the floor. Normalized Hamming distance between encodings tracks
+// the Euclidean distance between plaintexts up to a tunable threshold t and
+// conveys (almost) no information beyond it.
+//
+// Following the paper's key-size fix, A and w are expanded from a short
+// PRG seed (AES-CTR DRBG), so the shared repository key is O(1) in (N, M).
+// This object caches the expansion; the serialized key is just
+// {seed, N, M, Δ}.
+#pragma once
+
+#include <vector>
+
+#include "dpe/bitcode.hpp"
+#include "features/feature.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::dpe {
+
+/// Secret key + public parameters of a Dense-DPE instance.
+struct DenseDpeKey {
+    Bytes seed;            ///< PRG seed; the actual secret
+    std::size_t input_dims = 0;   ///< N
+    std::size_t output_bits = 0;  ///< M
+    double delta = 1.0;           ///< Δ, controls the threshold t
+
+    Bytes serialize() const;
+    static DenseDpeKey deserialize(BytesView data);
+};
+
+class DenseDpe {
+public:
+    /// KEYGEN(N, M, Δ): draws a fresh seed from `entropy` and derives the
+    /// distance threshold t = Func(Δ).
+    static DenseDpeKey keygen(BytesView entropy, std::size_t input_dims,
+                              std::size_t output_bits, double delta);
+
+    /// Threshold t below which plaintext Euclidean distances are preserved
+    /// (Definition 1). For the universal quantizer the encoded distance
+    /// saturates at 1/2 when d >= Δ·sqrt(π/2), so t is that saturation point
+    /// expressed in the normalized-Hamming range, i.e. t = 0.5.
+    static double threshold(const DenseDpeKey& key);
+
+    /// Instantiates the encoder, expanding A and w from the key's seed.
+    explicit DenseDpe(const DenseDpeKey& key);
+
+    /// ENCODE(K, p): deterministic encoding of an N-dim feature vector.
+    BitCode encode(const features::FeatureVec& plaintext) const;
+
+    /// DISTANCE(e1, e2): normalized Hamming distance between encodings;
+    /// equals the plaintext Euclidean distance (in expectation, up to
+    /// quantization noise) when that distance is below t.
+    static double distance(const BitCode& e1, const BitCode& e2);
+
+    const DenseDpeKey& key() const { return key_; }
+
+private:
+    DenseDpeKey key_;
+    std::vector<float> matrix_;  // A, row-major M x N
+    std::vector<float> dither_;  // w, length M
+};
+
+}  // namespace mie::dpe

@@ -1,0 +1,28 @@
+#include "dpe/sparse_dpe.hpp"
+
+#include <stdexcept>
+
+#include "crypto/kdf.hpp"
+#include "crypto/prf.hpp"
+
+namespace mie::dpe {
+
+SparseDpeKey SparseDpe::keygen(BytesView entropy) {
+    return SparseDpeKey{crypto::derive_key(entropy, "sparse-dpe-key")};
+}
+
+SparseDpe::SparseDpe(SparseDpeKey key) : key_(std::move(key)) {
+    if (key_.key.empty()) {
+        throw std::invalid_argument("SparseDpe: empty key");
+    }
+}
+
+Bytes SparseDpe::encode(std::string_view keyword) const {
+    return crypto::prf_sha1(key_.key, to_bytes(keyword));
+}
+
+double SparseDpe::distance(BytesView e1, BytesView e2) {
+    return ct_equal(e1, e2) ? 0.0 : 1.0;
+}
+
+}  // namespace mie::dpe

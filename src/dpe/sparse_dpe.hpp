@@ -1,0 +1,49 @@
+// Sparse-DPE (paper §IV-C, Algorithm 3).
+//
+// Distance-preserving encoding for sparse media (text): a PRF applied to
+// each keyword, with threshold t = 0. The only distance information
+// revealed is equality — two encodings match iff the keywords are equal;
+// keywords one character apart yield unrelated encodings.
+#pragma once
+
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace mie::dpe {
+
+/// Secret key of a Sparse-DPE instance (a PRF key).
+struct SparseDpeKey {
+    Bytes key;
+
+    Bytes serialize() const { return key; }
+    static SparseDpeKey deserialize(BytesView data) {
+        return SparseDpeKey{Bytes(data.begin(), data.end())};
+    }
+};
+
+class SparseDpe {
+public:
+    /// Encoded token size in bytes (HMAC-SHA1 output, as in the paper's
+    /// prototype).
+    static constexpr std::size_t kTokenSize = 20;
+
+    /// KEYGEN(k): derives a PRF key from `entropy`; threshold t is 0.
+    static SparseDpeKey keygen(BytesView entropy);
+
+    static constexpr double threshold() { return 0.0; }
+
+    explicit SparseDpe(SparseDpeKey key);
+
+    /// ENCODE(K, p): PRF of a single keyword.
+    Bytes encode(std::string_view keyword) const;
+
+    /// DISTANCE(e1, e2): 0 if equal, 1 otherwise (a constant value distinct
+    /// from every preserved distance, per Definition 1 with t = 0).
+    static double distance(BytesView e1, BytesView e2);
+
+private:
+    SparseDpeKey key_;
+};
+
+}  // namespace mie::dpe

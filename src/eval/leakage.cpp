@@ -1,0 +1,66 @@
+#include "eval/leakage.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "index/kmeans.hpp"
+#include "index/space.hpp"
+
+namespace mie::eval {
+
+double cluster_label_accuracy(const std::vector<std::uint32_t>& assignment,
+                              const std::vector<std::uint32_t>& labels) {
+    if (assignment.size() != labels.size() || assignment.empty()) {
+        throw std::invalid_argument("cluster_label_accuracy: size mismatch");
+    }
+    // cluster -> label -> count
+    std::map<std::uint32_t, std::map<std::uint32_t, std::size_t>> votes;
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+        ++votes[assignment[i]][labels[i]];
+    }
+    std::map<std::uint32_t, std::uint32_t> majority;
+    for (const auto& [cluster, counts] : votes) {
+        const auto best = std::max_element(
+            counts.begin(), counts.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+        majority[cluster] = best->first;
+    }
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+        if (majority[assignment[i]] == labels[i]) ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(assignment.size());
+}
+
+double dpe_clustering_attack(
+    const std::vector<std::vector<dpe::BitCode>>& object_encodings,
+    const std::vector<std::uint32_t>& labels, std::uint64_t seed) {
+    if (object_encodings.size() != labels.size() || labels.empty()) {
+        throw std::invalid_argument("dpe_clustering_attack: size mismatch");
+    }
+    // Summarize each object by the bit-majority of its encodings (the
+    // adversary's cheapest per-object signature).
+    std::vector<dpe::BitCode> signatures;
+    signatures.reserve(object_encodings.size());
+    for (const auto& encodings : object_encodings) {
+        if (encodings.empty()) {
+            throw std::invalid_argument(
+                "dpe_clustering_attack: object without encodings");
+        }
+        std::vector<const dpe::BitCode*> members;
+        members.reserve(encodings.size());
+        for (const auto& code : encodings) members.push_back(&code);
+        signatures.push_back(index::HammingSpace::centroid(
+            std::span<const dpe::BitCode* const>(members)));
+    }
+
+    const std::set<std::uint32_t> distinct(labels.begin(), labels.end());
+    const auto clusters = index::kmeans<index::HammingSpace>(
+        signatures, distinct.size(), /*max_iterations=*/20, seed);
+    return cluster_label_accuracy(clusters.assignment, labels);
+}
+
+}  // namespace mie::eval

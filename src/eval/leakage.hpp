@@ -1,0 +1,33 @@
+// Empirical leakage analysis for DPE encodings.
+//
+// §V-A observes that the impact of MIE's update-time leakage "is not yet
+// fully understood" and depends on adversarial background knowledge. This
+// module quantifies one concrete passive attack: an honest-but-curious
+// server clustering the Dense-DPE encodings it stores (it can — encoded
+// distances below t are real distances) and trying to recover the objects'
+// semantic grouping. Clustering accuracy against ground-truth labels
+// measures how much structure the threshold t actually reveals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dpe/bitcode.hpp"
+
+namespace mie::eval {
+
+/// Accuracy of a cluster assignment against ground-truth labels: each
+/// cluster votes for its majority label, and accuracy is the fraction of
+/// points whose cluster's majority label matches their own. 1.0 = labels
+/// fully recovered; ~1/num_labels = chance.
+double cluster_label_accuracy(const std::vector<std::uint32_t>& assignment,
+                              const std::vector<std::uint32_t>& labels);
+
+/// The attack: Hamming k-means over per-object encoding sets (each object
+/// summarized by the bit-majority of its encodings), k = number of
+/// distinct labels. Returns the achieved label-recovery accuracy.
+double dpe_clustering_attack(
+    const std::vector<std::vector<dpe::BitCode>>& object_encodings,
+    const std::vector<std::uint32_t>& labels, std::uint64_t seed = 1);
+
+}  // namespace mie::eval

@@ -1,0 +1,60 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mie::eval {
+
+double average_precision(const std::vector<std::uint64_t>& ranked,
+                         const std::unordered_set<std::uint64_t>& relevant) {
+    if (relevant.empty()) return 0.0;
+    double hits = 0.0;
+    double precision_sum = 0.0;
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        if (relevant.contains(ranked[i])) {
+            hits += 1.0;
+            precision_sum += hits / static_cast<double>(i + 1);
+        }
+    }
+    return precision_sum / static_cast<double>(relevant.size());
+}
+
+double mean_average_precision(
+    const std::vector<std::vector<std::uint64_t>>& ranked_lists,
+    const std::vector<std::unordered_set<std::uint64_t>>& relevant_sets) {
+    if (ranked_lists.size() != relevant_sets.size()) {
+        throw std::invalid_argument("mAP: list count mismatch");
+    }
+    if (ranked_lists.empty()) return 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < ranked_lists.size(); ++i) {
+        total += average_precision(ranked_lists[i], relevant_sets[i]);
+    }
+    return total / static_cast<double>(ranked_lists.size());
+}
+
+double precision_at_k(const std::vector<std::uint64_t>& ranked,
+                      const std::unordered_set<std::uint64_t>& relevant,
+                      std::size_t k) {
+    if (k == 0) return 0.0;
+    const std::size_t limit = std::min(k, ranked.size());
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < limit; ++i) {
+        if (relevant.contains(ranked[i])) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double recall_at_k(const std::vector<std::uint64_t>& ranked,
+                   const std::unordered_set<std::uint64_t>& relevant,
+                   std::size_t k) {
+    if (relevant.empty()) return 0.0;
+    const std::size_t limit = std::min(k, ranked.size());
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < limit; ++i) {
+        if (relevant.contains(ranked[i])) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+}  // namespace mie::eval

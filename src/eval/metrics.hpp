@@ -1,0 +1,33 @@
+// Retrieval-quality metrics: average precision and mean average precision,
+// as used by the INRIA Holidays evaluation package the paper relies on for
+// Table III.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace mie::eval {
+
+/// Average precision of one ranked list against a relevant set. The query
+/// itself should be excluded from `ranked` by the caller (Holidays
+/// convention). Returns 0 if `relevant` is empty.
+double average_precision(const std::vector<std::uint64_t>& ranked,
+                         const std::unordered_set<std::uint64_t>& relevant);
+
+/// Mean of per-query average precisions (as a fraction in [0, 1]).
+double mean_average_precision(
+    const std::vector<std::vector<std::uint64_t>>& ranked_lists,
+    const std::vector<std::unordered_set<std::uint64_t>>& relevant_sets);
+
+/// Precision at k for one ranked list.
+double precision_at_k(const std::vector<std::uint64_t>& ranked,
+                      const std::unordered_set<std::uint64_t>& relevant,
+                      std::size_t k);
+
+/// Recall at k for one ranked list.
+double recall_at_k(const std::vector<std::uint64_t>& ranked,
+                   const std::unordered_set<std::uint64_t>& relevant,
+                   std::size_t k);
+
+}  // namespace mie::eval

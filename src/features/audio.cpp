@@ -1,0 +1,83 @@
+#include "features/audio.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mie::features {
+
+namespace {
+
+/// Goertzel band energy of one windowed frame at frequency `hz`.
+double goertzel_energy(std::span<const float> frame, double hz,
+                       double sample_rate) {
+    const double k = 2.0 * std::numbers::pi * hz / sample_rate;
+    const double coeff = 2.0 * std::cos(k);
+    double s_prev = 0.0, s_prev2 = 0.0;
+    for (std::size_t n = 0; n < frame.size(); ++n) {
+        // Hann window applied inline.
+        const double w =
+            0.5 - 0.5 * std::cos(2.0 * std::numbers::pi *
+                                 static_cast<double>(n) /
+                                 static_cast<double>(frame.size() - 1));
+        const double s = w * frame[n] + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    return s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2;
+}
+
+}  // namespace
+
+std::vector<FeatureVec> extract_audio_descriptors(
+    std::span<const float> waveform, const AudioFeatureParams& params) {
+    std::vector<FeatureVec> descriptors;
+    if (waveform.size() < params.frame_size || params.bands == 0) {
+        return descriptors;
+    }
+
+    // Geometrically spaced band centers between min_hz and max_hz.
+    std::vector<double> centers(params.bands);
+    const double ratio =
+        std::pow(params.max_hz / params.min_hz,
+                 1.0 / static_cast<double>(params.bands - 1));
+    double hz = params.min_hz;
+    for (auto& center : centers) {
+        center = hz;
+        hz *= ratio;
+    }
+
+    std::vector<double> previous_bands;
+    for (std::size_t start = 0; start + params.frame_size <= waveform.size();
+         start += params.hop) {
+        const std::span<const float> frame =
+            waveform.subspan(start, params.frame_size);
+
+        // Skip near-silent frames (no information, like flat image patches).
+        double rms = 0.0;
+        for (float x : frame) rms += static_cast<double>(x) * x;
+        rms = std::sqrt(rms / static_cast<double>(frame.size()));
+        if (rms < 1e-4) {
+            previous_bands.clear();
+            continue;
+        }
+
+        std::vector<double> bands(params.bands);
+        for (std::size_t b = 0; b < params.bands; ++b) {
+            bands[b] = std::log1p(
+                goertzel_energy(frame, centers[b], params.sample_rate));
+        }
+
+        FeatureVec descriptor(audio_descriptor_dims(params), 0.0f);
+        for (std::size_t b = 0; b < params.bands; ++b) {
+            descriptor[b] = static_cast<float>(bands[b]);
+            descriptor[params.bands + b] = static_cast<float>(
+                previous_bands.empty() ? 0.0 : bands[b] - previous_bands[b]);
+        }
+        normalize(descriptor);
+        descriptors.push_back(std::move(descriptor));
+        previous_bands = std::move(bands);
+    }
+    return descriptors;
+}
+
+}  // namespace mie::features

@@ -1,0 +1,41 @@
+// Audio feature extraction.
+//
+// The paper's dense-media examples are "images, audio, and video" (§IV-B);
+// its prototype covers images, and this module adds the audio modality the
+// design anticipates. Descriptors are classic frame-based spectral
+// features: each analysis frame yields log-energies in geometrically
+// spaced frequency bands (Goertzel filters — a tiny DFT specialized to the
+// bands we need) plus their deltas against the previous frame, giving a
+// 64-dim dense descriptor compatible with the repository's Dense-DPE key.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "features/feature.hpp"
+
+namespace mie::features {
+
+struct AudioFeatureParams {
+    std::size_t frame_size = 512;   ///< samples per analysis frame
+    std::size_t hop = 256;          ///< frame step
+    std::size_t bands = 32;         ///< spectral bands (descriptor = 2x)
+    double sample_rate = 8000.0;
+    double min_hz = 80.0;           ///< lowest band center
+    double max_hz = 3600.0;         ///< highest band center
+};
+
+/// Descriptor dimensionality for given params (bands + deltas).
+constexpr std::size_t audio_descriptor_dims(const AudioFeatureParams& p) {
+    return 2 * p.bands;
+}
+
+/// Extracts one L2-normalized descriptor per frame (empty input or input
+/// shorter than one frame yields no descriptors). Frames with negligible
+/// energy are skipped, mirroring the flat-patch behaviour of SURF.
+std::vector<FeatureVec> extract_audio_descriptors(
+    std::span<const float> waveform,
+    const AudioFeatureParams& params = AudioFeatureParams{});
+
+}  // namespace mie::features

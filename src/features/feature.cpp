@@ -1,0 +1,35 @@
+#include "features/feature.hpp"
+
+#include <stdexcept>
+
+namespace mie::features {
+
+double squared_distance(const FeatureVec& a, const FeatureVec& b) {
+    if (a.size() != b.size()) {
+        throw std::invalid_argument("squared_distance: dimension mismatch");
+    }
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+double euclidean_distance(const FeatureVec& a, const FeatureVec& b) {
+    return std::sqrt(squared_distance(a, b));
+}
+
+double norm(const FeatureVec& v) {
+    double sum = 0.0;
+    for (float x : v) sum += static_cast<double>(x) * x;
+    return std::sqrt(sum);
+}
+
+void normalize(FeatureVec& v) {
+    const double n = norm(v);
+    if (n == 0.0) return;
+    for (float& x : v) x = static_cast<float>(x / n);
+}
+
+}  // namespace mie::features

@@ -1,0 +1,28 @@
+// Common feature-vector type and distance helpers.
+//
+// Dense modalities (images) produce 64-dim float descriptors (U-SURF);
+// sparse modalities (text) produce keyword histograms (see text.hpp).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace mie::features {
+
+/// Dense feature vector (row of descriptors, e.g. one SURF keypoint).
+using FeatureVec = std::vector<float>;
+
+/// Euclidean (L2) distance between two equal-length vectors.
+double euclidean_distance(const FeatureVec& a, const FeatureVec& b);
+
+/// Squared Euclidean distance (avoids the sqrt for nearest-neighbor scans).
+double squared_distance(const FeatureVec& a, const FeatureVec& b);
+
+/// Euclidean norm.
+double norm(const FeatureVec& v);
+
+/// Scales `v` to unit L2 norm in place (no-op for the zero vector).
+void normalize(FeatureVec& v);
+
+}  // namespace mie::features

@@ -1,0 +1,45 @@
+#include "features/image.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mie::features {
+
+Image::Image(int width, int height) : width_(width), height_(height) {
+    if (width <= 0 || height <= 0) {
+        throw std::invalid_argument("Image: non-positive dimensions");
+    }
+    pixels_.assign(static_cast<std::size_t>(width) * height, 0.0f);
+}
+
+float Image::at_clamped(int x, int y) const {
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return at(x, y);
+}
+
+IntegralImage::IntegralImage(const Image& image)
+    : width_(image.width()),
+      height_(image.height()),
+      table_(static_cast<std::size_t>(width_ + 1) * (height_ + 1), 0.0) {
+    for (int y = 0; y < height_; ++y) {
+        double row_sum = 0.0;
+        for (int x = 0; x < width_; ++x) {
+            row_sum += image.at(x, y);
+            table_[static_cast<std::size_t>(y + 1) * (width_ + 1) + x + 1] =
+                table(x + 1, y) + row_sum;
+        }
+    }
+}
+
+double IntegralImage::box_sum(int x0, int y0, int x1, int y1) const {
+    x0 = std::max(x0, 0);
+    y0 = std::max(y0, 0);
+    x1 = std::min(x1, width_ - 1);
+    y1 = std::min(y1, height_ - 1);
+    if (x0 > x1 || y0 > y1) return 0.0;
+    return table(x1 + 1, y1 + 1) - table(x0, y1 + 1) - table(x1 + 1, y0) +
+           table(x0, y0);
+}
+
+}  // namespace mie::features

@@ -1,0 +1,70 @@
+// Grayscale image container and integral image.
+//
+// The reproduction has no image-file I/O: images come from the synthetic
+// dataset generators (sim/dataset.hpp), which substitute for MIR-Flickr and
+// INRIA Holidays (see DESIGN.md §1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mie::features {
+
+/// Row-major grayscale image with float pixels (any range; generators emit
+/// [0, 1]).
+class Image {
+public:
+    Image() = default;
+
+    /// Creates a width x height image initialized to zero.
+    Image(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /// Unchecked pixel access.
+    float at(int x, int y) const {
+        return pixels_[static_cast<std::size_t>(y) * width_ + x];
+    }
+    float& at(int x, int y) {
+        return pixels_[static_cast<std::size_t>(x) +
+                       static_cast<std::size_t>(y) * width_];
+    }
+
+    /// Pixel access clamped to the image border (for filters).
+    float at_clamped(int x, int y) const;
+
+    const std::vector<float>& pixels() const { return pixels_; }
+
+private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<float> pixels_;
+};
+
+/// Summed-area table enabling O(1) box sums, the core trick behind SURF's
+/// Haar-wavelet responses.
+class IntegralImage {
+public:
+    explicit IntegralImage(const Image& image);
+
+    /// Sum of pixels in the inclusive rectangle [x0, x1] x [y0, y1],
+    /// clamped to the image bounds. Empty (inverted) rectangles sum to 0.
+    double box_sum(int x0, int y0, int x1, int y1) const;
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+private:
+    // table_ has (width+1) x (height+1) entries; table(x, y) is the sum of
+    // pixels strictly above/left of (x, y).
+    double table(int x, int y) const {
+        return table_[static_cast<std::size_t>(y) * (width_ + 1) + x];
+    }
+
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<double> table_;
+};
+
+}  // namespace mie::features

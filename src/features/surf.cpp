@@ -1,0 +1,110 @@
+#include "features/surf.hpp"
+
+#include <cmath>
+
+namespace mie::features {
+
+std::vector<Keypoint> dense_pyramid_keypoints(
+    int width, int height, const DensePyramidParams& params) {
+    std::vector<Keypoint> keypoints;
+    float stride = static_cast<float>(params.base_stride);
+    float scale = params.base_scale;
+    for (int level = 0; level < params.levels; ++level) {
+        // Keep a margin so the 20s descriptor window stays mostly inside.
+        const int margin = static_cast<int>(std::ceil(10.0f * scale));
+        for (float y = static_cast<float>(margin); y < height - margin;
+             y += stride) {
+            for (float x = static_cast<float>(margin); x < width - margin;
+                 x += stride) {
+                keypoints.push_back(Keypoint{x, y, scale});
+            }
+        }
+        stride *= params.level_factor;
+        scale *= params.level_factor;
+    }
+    return keypoints;
+}
+
+namespace {
+
+/// Haar wavelet response in x at (x, y) with filter size 2s:
+/// right half minus left half box sums.
+double haar_x(const IntegralImage& ii, int x, int y, int s) {
+    return ii.box_sum(x, y - s, x + s - 1, y + s - 1) -
+           ii.box_sum(x - s, y - s, x - 1, y + s - 1);
+}
+
+/// Haar wavelet response in y: bottom half minus top half.
+double haar_y(const IntegralImage& ii, int x, int y, int s) {
+    return ii.box_sum(x - s, y, x + s - 1, y + s - 1) -
+           ii.box_sum(x - s, y - s, x + s - 1, y - 1);
+}
+
+/// Gaussian weight relative to the patch center, sigma = 3.3 * scale as in
+/// the SURF paper.
+double gaussian_weight(double dx, double dy, double sigma) {
+    return std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+}
+
+}  // namespace
+
+FeatureVec SurfExtractor::describe(const IntegralImage& integral,
+                                   const Keypoint& kp) const {
+    FeatureVec descriptor(kDescriptorSize, 0.0f);
+    const double s = kp.scale;
+    const int haar_size = std::max(1, static_cast<int>(std::lround(s)));
+    const double sigma = 3.3 * s;
+
+    // 4x4 subregions, each sampled at 5x5 points spaced s apart, spanning
+    // the canonical 20s x 20s window centered on the keypoint.
+    for (int sub_y = 0; sub_y < 4; ++sub_y) {
+        for (int sub_x = 0; sub_x < 4; ++sub_x) {
+            double sum_dx = 0.0, sum_dy = 0.0;
+            double sum_abs_dx = 0.0, sum_abs_dy = 0.0;
+            for (int j = 0; j < 5; ++j) {
+                for (int i = 0; i < 5; ++i) {
+                    // Offset from the keypoint in units of s: subregion
+                    // origin (-10 + 5*sub) plus sample position.
+                    const double off_x = (-10.0 + 5.0 * sub_x + i + 0.5) * s;
+                    const double off_y = (-10.0 + 5.0 * sub_y + j + 0.5) * s;
+                    const int px = static_cast<int>(std::lround(kp.x + off_x));
+                    const int py = static_cast<int>(std::lround(kp.y + off_y));
+                    const double w = gaussian_weight(off_x, off_y, sigma);
+                    const double dx = w * haar_x(integral, px, py, haar_size);
+                    const double dy = w * haar_y(integral, px, py, haar_size);
+                    sum_dx += dx;
+                    sum_dy += dy;
+                    sum_abs_dx += std::abs(dx);
+                    sum_abs_dy += std::abs(dy);
+                }
+            }
+            const std::size_t base =
+                (static_cast<std::size_t>(sub_y) * 4 + sub_x) * 4;
+            descriptor[base + 0] = static_cast<float>(sum_dx);
+            descriptor[base + 1] = static_cast<float>(sum_dy);
+            descriptor[base + 2] = static_cast<float>(sum_abs_dx);
+            descriptor[base + 3] = static_cast<float>(sum_abs_dy);
+        }
+    }
+    normalize(descriptor);
+    return descriptor;
+}
+
+std::vector<FeatureVec> SurfExtractor::describe_all(
+    const Image& image, const std::vector<Keypoint>& keypoints) const {
+    const IntegralImage integral(image);
+    std::vector<FeatureVec> descriptors;
+    descriptors.reserve(keypoints.size());
+    for (const Keypoint& kp : keypoints) {
+        descriptors.push_back(describe(integral, kp));
+    }
+    return descriptors;
+}
+
+std::vector<FeatureVec> SurfExtractor::extract(
+    const Image& image, const DensePyramidParams& params) const {
+    return describe_all(
+        image, dense_pyramid_keypoints(image.width(), image.height(), params));
+}
+
+}  // namespace mie::features

@@ -1,0 +1,60 @@
+// U-SURF descriptor with dense-pyramid keypoint sampling.
+//
+// The paper's prototype uses the SURF descriptor (Bay et al., ECCV'06) with
+// Dense Pyramid feature detection (Lazebnik et al., CVPR'06) — §VI. This
+// module reproduces that pipeline from scratch:
+//   * keypoints are sampled on a regular grid at several pyramid scales
+//     (no interest-point detection, exactly the "dense" strategy);
+//   * each keypoint yields the upright SURF ("U-SURF") 64-dim descriptor:
+//     the 20s x 20s patch around the point is split into 4x4 subregions,
+//     each contributing (Σdx, Σdy, Σ|dx|, Σ|dy|) of Haar wavelet responses
+//     computed with integral-image box filters;
+//   * descriptors are L2-normalized.
+#pragma once
+
+#include <vector>
+
+#include "features/feature.hpp"
+#include "features/image.hpp"
+
+namespace mie::features {
+
+/// A sampled keypoint: position in pixels and SURF scale s.
+struct Keypoint {
+    float x = 0.0f;
+    float y = 0.0f;
+    float scale = 1.2f;
+};
+
+/// Parameters for the dense pyramid sampler.
+struct DensePyramidParams {
+    int levels = 3;          ///< number of pyramid levels
+    int base_stride = 12;    ///< grid stride at level 0, in pixels
+    float base_scale = 1.2f; ///< SURF scale at level 0
+    float level_factor = 1.6f; ///< stride/scale multiplier per level
+};
+
+/// Samples keypoints on a multi-scale grid covering the image interior.
+std::vector<Keypoint> dense_pyramid_keypoints(int width, int height,
+                                              const DensePyramidParams& params);
+
+/// Computes 64-dim U-SURF descriptors.
+class SurfExtractor {
+public:
+    static constexpr std::size_t kDescriptorSize = 64;
+
+    /// Computes the descriptor of a single keypoint.
+    FeatureVec describe(const IntegralImage& integral,
+                        const Keypoint& kp) const;
+
+    /// Computes descriptors for all keypoints.
+    std::vector<FeatureVec> describe_all(
+        const Image& image, const std::vector<Keypoint>& keypoints) const;
+
+    /// Full pipeline: dense pyramid sampling + description.
+    std::vector<FeatureVec> extract(
+        const Image& image,
+        const DensePyramidParams& params = DensePyramidParams{}) const;
+};
+
+}  // namespace mie::features

@@ -1,0 +1,272 @@
+#include "features/text.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+namespace mie::features {
+
+std::vector<std::string> tokenize(std::string_view text) {
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : text) {
+        // Alphanumeric keeps realistic tags like "dsc042" or "nikon2013".
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            current.push_back(
+                static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+        } else if (!current.empty()) {
+            if (current.size() >= 2) tokens.push_back(std::move(current));
+            current.clear();
+        }
+    }
+    if (current.size() >= 2) tokens.push_back(std::move(current));
+    return tokens;
+}
+
+bool is_stop_word(std::string_view word) {
+    static const std::unordered_set<std::string_view> kStopWords = {
+        "a",     "about", "above", "after",  "again", "all",   "am",
+        "an",    "and",   "any",   "are",    "as",    "at",    "be",
+        "been",  "being", "below", "but",    "by",    "can",   "did",
+        "do",    "does",  "doing", "down",   "each",  "few",   "for",
+        "from",  "had",   "has",   "have",   "he",    "her",   "here",
+        "hers",  "him",   "his",   "how",    "i",     "if",    "in",
+        "into",  "is",    "it",    "its",    "just",  "me",    "more",
+        "most",  "my",    "no",    "nor",    "not",   "now",   "of",
+        "off",   "on",    "once",  "only",   "or",    "other", "our",
+        "out",   "over",  "own",   "same",   "she",   "so",    "some",
+        "such",  "than",  "that",  "the",    "their", "them",  "then",
+        "there", "these", "they",  "this",   "those", "to",    "too",
+        "under", "until", "up",    "very",   "was",   "we",    "were",
+        "what",  "when",  "where", "which",  "while", "who",   "whom",
+        "why",   "will",  "with",  "you",    "your",  "yours", "during",
+        "before", "because", "against", "between", "through", "further",
+        "both",  "it",    "ours",  "theirs", "itself", "himself",
+        "herself", "myself", "yourself", "themselves", "ourselves",
+    };
+    return kStopWords.contains(word);
+}
+
+namespace {
+
+/// Porter stemmer working buffer. Implements the 1980 algorithm with the
+/// commonly adopted revisions (bli->ble, logi->log).
+class PorterStemmer {
+public:
+    explicit PorterStemmer(std::string_view word) : b_(word) {}
+
+    std::string stem() {
+        if (b_.size() <= 2) return b_;
+        step1a();
+        step1b();
+        step1c();
+        step2();
+        step3();
+        step4();
+        step5a();
+        step5b();
+        return b_;
+    }
+
+private:
+    std::string b_;
+
+    bool is_consonant(std::size_t i) const {
+        switch (b_[i]) {
+            case 'a':
+            case 'e':
+            case 'i':
+            case 'o':
+            case 'u':
+                return false;
+            case 'y':
+                return i == 0 ? true : !is_consonant(i - 1);
+            default:
+                return true;
+        }
+    }
+
+    /// Measure of b_[0..k]: number of VC sequences.
+    int measure(std::size_t len) const {
+        int n = 0;
+        std::size_t i = 0;
+        // Skip initial consonants.
+        while (i < len && is_consonant(i)) ++i;
+        while (i < len) {
+            // Skip vowels.
+            while (i < len && !is_consonant(i)) ++i;
+            if (i >= len) break;
+            ++n;
+            while (i < len && is_consonant(i)) ++i;
+        }
+        return n;
+    }
+
+    int measure_of_stem(std::size_t suffix_len) const {
+        return measure(b_.size() - suffix_len);
+    }
+
+    bool stem_has_vowel(std::size_t suffix_len) const {
+        const std::size_t len = b_.size() - suffix_len;
+        for (std::size_t i = 0; i < len; ++i) {
+            if (!is_consonant(i)) return true;
+        }
+        return false;
+    }
+
+    bool ends_double_consonant() const {
+        const std::size_t n = b_.size();
+        return n >= 2 && b_[n - 1] == b_[n - 2] && is_consonant(n - 1);
+    }
+
+    /// *o: stem ends consonant-vowel-consonant where the final consonant is
+    /// not w, x or y.
+    bool ends_cvc(std::size_t suffix_len) const {
+        const std::size_t len = b_.size() - suffix_len;
+        if (len < 3) return false;
+        if (!is_consonant(len - 3) || is_consonant(len - 2) ||
+            !is_consonant(len - 1)) {
+            return false;
+        }
+        const char c = b_[len - 1];
+        return c != 'w' && c != 'x' && c != 'y';
+    }
+
+    bool ends_with(std::string_view suffix) const {
+        return b_.size() >= suffix.size() &&
+               b_.compare(b_.size() - suffix.size(), suffix.size(), suffix) ==
+                   0;
+    }
+
+    void replace_suffix(std::size_t suffix_len, std::string_view replacement) {
+        b_.replace(b_.size() - suffix_len, suffix_len, replacement);
+    }
+
+    /// If b_ ends with `suffix` and measure(stem) > threshold, replace it.
+    bool rule(std::string_view suffix, std::string_view replacement,
+              int m_threshold) {
+        if (!ends_with(suffix)) return false;
+        if (measure_of_stem(suffix.size()) <= m_threshold) return true;
+        replace_suffix(suffix.size(), replacement);
+        return true;
+    }
+
+    void step1a() {
+        if (ends_with("sses")) {
+            replace_suffix(4, "ss");
+        } else if (ends_with("ies")) {
+            replace_suffix(3, "i");
+        } else if (!ends_with("ss") && ends_with("s")) {
+            replace_suffix(1, "");
+        }
+    }
+
+    void step1b() {
+        if (ends_with("eed")) {
+            if (measure_of_stem(3) > 0) replace_suffix(3, "ee");
+            return;
+        }
+        bool fired = false;
+        if (ends_with("ed") && stem_has_vowel(2)) {
+            replace_suffix(2, "");
+            fired = true;
+        } else if (ends_with("ing") && stem_has_vowel(3)) {
+            replace_suffix(3, "");
+            fired = true;
+        }
+        if (!fired) return;
+        if (ends_with("at") || ends_with("bl") || ends_with("iz")) {
+            b_.push_back('e');
+        } else if (ends_double_consonant()) {
+            const char c = b_.back();
+            if (c != 'l' && c != 's' && c != 'z') b_.pop_back();
+        } else if (measure(b_.size()) == 1 && ends_cvc(0)) {
+            b_.push_back('e');
+        }
+    }
+
+    void step1c() {
+        if (ends_with("y") && stem_has_vowel(1)) b_.back() = 'i';
+    }
+
+    void step2() {
+        struct Rule {
+            std::string_view suffix, replacement;
+        };
+        static constexpr std::array<Rule, 21> kRules = {{
+            {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+            {"anci", "ance"},   {"izer", "ize"},    {"bli", "ble"},
+            {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+            {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+            {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+            {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+            {"iviti", "ive"},   {"biliti", "ble"},  {"logi", "log"},
+        }};
+        for (const Rule& r : kRules) {
+            if (rule(r.suffix, r.replacement, 0)) return;
+        }
+    }
+
+    void step3() {
+        struct Rule {
+            std::string_view suffix, replacement;
+        };
+        static constexpr std::array<Rule, 7> kRules = {{
+            {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+            {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+        }};
+        for (const Rule& r : kRules) {
+            if (rule(r.suffix, r.replacement, 0)) return;
+        }
+    }
+
+    void step4() {
+        static constexpr std::array<std::string_view, 18> kSuffixes = {
+            "al",   "ance", "ence", "er",  "ic",  "able", "ible", "ant",
+            "ement", "ment", "ent",  "ou",  "ism", "ate",  "iti",  "ous",
+            "ive",  "ize"};
+        for (std::string_view suffix : kSuffixes) {
+            if (ends_with(suffix)) {
+                if (measure_of_stem(suffix.size()) > 1) {
+                    replace_suffix(suffix.size(), "");
+                }
+                return;
+            }
+        }
+        // (m>1 and (*S or *T)) ion ->
+        if (ends_with("ion") && measure_of_stem(3) > 1) {
+            const std::size_t len = b_.size() - 3;
+            if (len > 0 && (b_[len - 1] == 's' || b_[len - 1] == 't')) {
+                replace_suffix(3, "");
+            }
+        }
+    }
+
+    void step5a() {
+        if (!ends_with("e")) return;
+        const int m = measure_of_stem(1);
+        if (m > 1 || (m == 1 && !ends_cvc(1))) replace_suffix(1, "");
+    }
+
+    void step5b() {
+        if (ends_with("ll") && measure(b_.size()) > 1) b_.pop_back();
+    }
+};
+
+}  // namespace
+
+std::string porter_stem(std::string_view word) {
+    return PorterStemmer(word).stem();
+}
+
+TermHistogram extract_term_histogram(std::string_view text) {
+    TermHistogram histogram;
+    for (const std::string& token : tokenize(text)) {
+        if (is_stop_word(token)) continue;
+        ++histogram[porter_stem(token)];
+    }
+    return histogram;
+}
+
+}  // namespace mie::features

@@ -1,0 +1,34 @@
+// Text feature extraction: tokenization, stop-word removal, Porter stemming,
+// and keyword-frequency histograms.
+//
+// The paper's prototype performs "standard keyword stemming, stop-words
+// removal, and histogram extraction" on the client before Sparse-DPE
+// encoding (§VI). This module implements that pipeline from scratch,
+// including the full Porter (1980) stemming algorithm.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mie::features {
+
+/// Lowercases and splits `text` on non-alphabetic characters; tokens
+/// shorter than 2 characters are dropped.
+std::vector<std::string> tokenize(std::string_view text);
+
+/// True if `word` (lowercase) is an English stop word.
+bool is_stop_word(std::string_view word);
+
+/// Porter stemming algorithm (M.F. Porter, 1980), steps 1a through 5b.
+/// Input must be lowercase alphabetic.
+std::string porter_stem(std::string_view word);
+
+/// Keyword -> frequency histogram of a document.
+using TermHistogram = std::map<std::string, std::uint32_t>;
+
+/// Full text pipeline: tokenize, drop stop words, stem, count.
+TermHistogram extract_term_histogram(std::string_view text);
+
+}  // namespace mie::features

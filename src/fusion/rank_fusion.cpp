@@ -1,0 +1,61 @@
+#include "fusion/rank_fusion.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace mie::fusion {
+
+using index::DocId;
+using index::ScoredDoc;
+
+std::vector<ScoredDoc> log_isr_fusion(std::span<const RankedList> lists,
+                                      std::size_t top_k) {
+    std::map<DocId, double> isr;
+    std::map<DocId, int> appearances;
+    for (const RankedList& list : lists) {
+        for (std::size_t rank = 0; rank < list.size(); ++rank) {
+            const double r = static_cast<double>(rank + 1);
+            isr[list[rank].doc] += 1.0 / (r * r);
+            ++appearances[list[rank].doc];
+        }
+    }
+    std::map<DocId, double> scores;
+    for (const auto& [doc, sum] : isr) {
+        scores[doc] = std::log(1.0 + appearances[doc]) * sum;
+    }
+    return index::top_k_of(std::move(scores), top_k);
+}
+
+std::vector<ScoredDoc> reciprocal_rank_fusion(
+    std::span<const RankedList> lists, std::size_t top_k, double k0) {
+    std::map<DocId, double> scores;
+    for (const RankedList& list : lists) {
+        for (std::size_t rank = 0; rank < list.size(); ++rank) {
+            scores[list[rank].doc] +=
+                1.0 / (k0 + static_cast<double>(rank + 1));
+        }
+    }
+    return index::top_k_of(std::move(scores), top_k);
+}
+
+std::vector<ScoredDoc> comb_sum_fusion(std::span<const RankedList> lists,
+                                       std::size_t top_k) {
+    std::map<DocId, double> scores;
+    for (const RankedList& list : lists) {
+        if (list.empty()) continue;
+        double lo = list.front().score, hi = list.front().score;
+        for (const ScoredDoc& item : list) {
+            lo = std::min(lo, item.score);
+            hi = std::max(hi, item.score);
+        }
+        const double range = hi - lo;
+        for (const ScoredDoc& item : list) {
+            const double normalized =
+                range == 0.0 ? 1.0 : (item.score - lo) / range;
+            scores[item.doc] += normalized;
+        }
+    }
+    return index::top_k_of(std::move(scores), top_k);
+}
+
+}  // namespace mie::fusion

@@ -1,0 +1,33 @@
+// Multimodal late rank fusion.
+//
+// MIE searches each modality separately and merges the per-modality ranked
+// lists into the final multimodal result. The paper uses the logarithmic
+// inverse square rank (logISR) fusion of Mourão et al. (TREC'13 / CMIG'14);
+// reciprocal-rank fusion and CombSUM are provided as alternatives (used by
+// the fusion ablation bench).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "index/scoring.hpp"
+
+namespace mie::fusion {
+
+using RankedList = std::vector<index::ScoredDoc>;
+
+/// Logarithmic inverse square rank fusion:
+///   score(d) = log(1 + |lists containing d|) * Σ 1 / rank(d)^2
+/// with ranks starting at 1 in each modality list.
+std::vector<index::ScoredDoc> log_isr_fusion(
+    std::span<const RankedList> lists, std::size_t top_k);
+
+/// Reciprocal rank fusion: score(d) = Σ 1 / (k0 + rank(d)).
+std::vector<index::ScoredDoc> reciprocal_rank_fusion(
+    std::span<const RankedList> lists, std::size_t top_k, double k0 = 60.0);
+
+/// CombSUM over min-max normalized scores.
+std::vector<index::ScoredDoc> comb_sum_fusion(
+    std::span<const RankedList> lists, std::size_t top_k);
+
+}  // namespace mie::fusion

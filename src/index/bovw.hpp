@@ -1,0 +1,32 @@
+// Bag-of-Visual-Words quantization (§VI).
+//
+// Maps a set of descriptors (plaintext or DPE-encoded) to a visual-word
+// frequency histogram via the vocabulary tree, "the same way as text":
+// visual word ids become index terms.
+#pragma once
+
+#include <string>
+
+#include "index/scoring.hpp"
+#include "index/vocab_tree.hpp"
+
+namespace mie::index {
+
+/// Renders a visual word id as an index term key.
+inline Term visual_word_term(std::uint32_t word) {
+    return "vw:" + std::to_string(word);
+}
+
+/// Quantizes descriptors to a visual-word histogram.
+template <typename Space>
+QueryHistogram bovw_histogram(
+    const VocabTree<Space>& tree,
+    const std::vector<typename Space::Point>& descriptors) {
+    QueryHistogram histogram;
+    for (const auto& descriptor : descriptors) {
+        ++histogram[visual_word_term(tree.quantize(descriptor))];
+    }
+    return histogram;
+}
+
+}  // namespace mie::index

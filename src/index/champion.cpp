@@ -1,0 +1,118 @@
+#include "index/champion.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace mie::index {
+
+namespace {
+bool by_descending_frequency(const Posting& a, const Posting& b) {
+    if (a.frequency != b.frequency) return a.frequency > b.frequency;
+    return a.doc < b.doc;
+}
+}  // namespace
+
+ChampionIndex::ChampionIndex(std::filesystem::path spill_path,
+                             const Params& params)
+    : path_(std::move(spill_path)), params_(params) {
+    if (params_.champion_size == 0) {
+        throw std::invalid_argument("ChampionIndex: champion_size == 0");
+    }
+    std::ofstream truncate(path_, std::ios::binary | std::ios::trunc);
+    if (!truncate) {
+        throw std::runtime_error("ChampionIndex: cannot open spill file");
+    }
+}
+
+ChampionIndex::~ChampionIndex() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);  // best-effort cleanup
+}
+
+void ChampionIndex::add(const Term& term, DocId doc, std::uint32_t freq) {
+    if (freq == 0) return;
+    auto& hot = champions_[term];
+    const auto existing = std::find_if(
+        hot.begin(), hot.end(),
+        [doc](const Posting& p) { return p.doc == doc; });
+    if (existing != hot.end()) {
+        existing->frequency += freq;
+        std::sort(hot.begin(), hot.end(), by_descending_frequency);
+        return;
+    }
+
+    hot.push_back(Posting{doc, freq});
+    std::sort(hot.begin(), hot.end(), by_descending_frequency);
+    if (hot.size() > params_.champion_size) {
+        // Demote the weakest posting to the overflow buffer.
+        overflow_[term].push_back(hot.back());
+        hot.pop_back();
+        ++buffered_;
+        if (buffered_ >= params_.buffer_budget) spill();
+    }
+}
+
+const std::vector<Posting>* ChampionIndex::champions(const Term& term) const {
+    const auto it = champions_.find(term);
+    return it == champions_.end() ? nullptr : &it->second;
+}
+
+void ChampionIndex::spill() {
+    for (const auto& [term, postings] : overflow_) {
+        for (const Posting& posting : postings) {
+            append_to_log(term, posting);
+            ++spilled_;
+        }
+    }
+    overflow_.clear();
+    buffered_ = 0;
+}
+
+void ChampionIndex::append_to_log(const Term& term, const Posting& posting) {
+    std::ofstream log(path_, std::ios::binary | std::ios::app);
+    Bytes record;
+    append_le<std::uint32_t>(record, static_cast<std::uint32_t>(term.size()));
+    record.insert(record.end(), term.begin(), term.end());
+    append_le<std::uint64_t>(record, posting.doc);
+    append_le<std::uint32_t>(record, posting.frequency);
+    log.write(reinterpret_cast<const char*>(record.data()),
+              static_cast<std::streamsize>(record.size()));
+}
+
+std::vector<Posting> ChampionIndex::full_postings(const Term& term) const {
+    std::map<DocId, std::uint32_t> merged;
+    if (const auto* hot = champions(term)) {
+        for (const Posting& p : *hot) merged[p.doc] += p.frequency;
+    }
+    if (const auto it = overflow_.find(term); it != overflow_.end()) {
+        for (const Posting& p : it->second) merged[p.doc] += p.frequency;
+    }
+
+    std::ifstream log(path_, std::ios::binary);
+    while (log) {
+        std::uint8_t len_buf[4];
+        if (!log.read(reinterpret_cast<char*>(len_buf), 4)) break;
+        const auto term_len = read_le<std::uint32_t>(BytesView(len_buf, 4), 0);
+        std::string record_term(term_len, '\0');
+        std::uint8_t body[12];
+        if (!log.read(record_term.data(), term_len) ||
+            !log.read(reinterpret_cast<char*>(body), 12)) {
+            break;  // torn tail record
+        }
+        if (record_term != term) continue;
+        const auto doc = read_le<std::uint64_t>(BytesView(body, 12), 0);
+        const auto freq = read_le<std::uint32_t>(BytesView(body, 12), 8);
+        merged[doc] += freq;
+    }
+
+    std::vector<Posting> out;
+    out.reserve(merged.size());
+    for (const auto& [doc, freq] : merged) out.push_back(Posting{doc, freq});
+    std::sort(out.begin(), out.end(), by_descending_frequency);
+    return out;
+}
+
+}  // namespace mie::index

@@ -1,0 +1,71 @@
+// Champion posting lists with a disk-resident full index.
+//
+// §VI: "if an index grows too large to fit in the cloud server's main
+// memory, champion posting lists are used to ensure that only the top
+// ranked data-objects for each index entry are kept in memory, while the
+// full index is stored in disk and periodically merged with updated/newly
+// added index entries."
+//
+// This class keeps, per term, the `champion_size` highest-frequency
+// postings in memory; the complete posting stream is appended to a disk
+// log that is compacted when the in-memory overflow buffer exceeds its
+// budget. Search reads champions only, so retrieval cost is bounded while
+// precision is preserved for top-k queries.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.hpp"
+
+namespace mie::index {
+
+class ChampionIndex {
+public:
+    struct Params {
+        std::size_t champion_size = 16;   ///< postings kept hot per term
+        std::size_t buffer_budget = 4096; ///< overflow postings before spill
+    };
+
+    /// `spill_path` is created/truncated on construction.
+    ChampionIndex(std::filesystem::path spill_path, const Params& params);
+    ~ChampionIndex();
+
+    ChampionIndex(const ChampionIndex&) = delete;
+    ChampionIndex& operator=(const ChampionIndex&) = delete;
+
+    /// Adds `freq` occurrences of `term` in `doc`.
+    void add(const Term& term, DocId doc, std::uint32_t freq = 1);
+
+    /// In-memory champion postings of a term (nullptr if absent), sorted by
+    /// descending frequency.
+    const std::vector<Posting>* champions(const Term& term) const;
+
+    /// Full posting list of a term, merging champions, the overflow buffer
+    /// and the disk log. O(disk size); intended for maintenance paths.
+    std::vector<Posting> full_postings(const Term& term) const;
+
+    /// Forces the overflow buffer to disk.
+    void spill();
+
+    std::size_t num_terms() const { return champions_.size(); }
+    std::size_t buffered_postings() const { return buffered_; }
+    std::size_t spilled_postings() const { return spilled_; }
+    const std::filesystem::path& spill_path() const { return path_; }
+
+private:
+    void append_to_log(const Term& term, const Posting& posting);
+
+    std::filesystem::path path_;
+    Params params_;
+    std::unordered_map<Term, std::vector<Posting>> champions_;
+    std::unordered_map<Term, std::vector<Posting>> overflow_;
+    std::size_t buffered_ = 0;
+    std::size_t spilled_ = 0;
+};
+
+}  // namespace mie::index

@@ -1,0 +1,63 @@
+#include "index/inverted_index.hpp"
+
+#include <algorithm>
+
+namespace mie::index {
+
+void InvertedIndex::add(const Term& term, DocId doc, std::uint32_t freq) {
+    if (freq == 0) return;
+    auto& list = postings_[term];
+    const auto it = std::find_if(list.begin(), list.end(),
+                                 [doc](const Posting& p) { return p.doc == doc; });
+    if (it != list.end()) {
+        it->frequency += freq;
+    } else {
+        list.push_back(Posting{doc, freq});
+        ++num_postings_;
+    }
+    doc_terms_[doc].insert(term);
+}
+
+void InvertedIndex::remove_document(DocId doc) {
+    const auto it = doc_terms_.find(doc);
+    if (it == doc_terms_.end()) return;
+    for (const Term& term : it->second) {
+        auto list_it = postings_.find(term);
+        if (list_it == postings_.end()) continue;
+        auto& list = list_it->second;
+        const auto posting = std::find_if(
+            list.begin(), list.end(),
+            [doc](const Posting& p) { return p.doc == doc; });
+        if (posting != list.end()) {
+            *posting = list.back();
+            list.pop_back();
+            --num_postings_;
+        }
+        if (list.empty()) postings_.erase(list_it);
+    }
+    doc_terms_.erase(it);
+}
+
+const std::vector<Posting>* InvertedIndex::postings(const Term& term) const {
+    const auto it = postings_.find(term);
+    return it == postings_.end() ? nullptr : &it->second;
+}
+
+std::size_t InvertedIndex::document_frequency(const Term& term) const {
+    const auto* list = postings(term);
+    return list == nullptr ? 0 : list->size();
+}
+
+std::vector<Term> InvertedIndex::terms_of(DocId doc) const {
+    const auto it = doc_terms_.find(doc);
+    if (it == doc_terms_.end()) return {};
+    return std::vector<Term>(it->second.begin(), it->second.end());
+}
+
+void InvertedIndex::clear() {
+    postings_.clear();
+    doc_terms_.clear();
+    num_postings_ = 0;
+}
+
+}  // namespace mie::index

@@ -1,0 +1,58 @@
+// Inverted index with per-document term frequencies.
+//
+// One instance per (repository, modality), as in the paper's server design
+// (§VI): "each index key represents a distinct keyword and index values
+// compose a list of all object identifiers containing the keyword", plus
+// the frequency needed for TF-IDF ranking. Terms are opaque byte strings:
+// Sparse-DPE tokens for text, visual-word ids for images.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mie::index {
+
+using DocId = std::uint64_t;
+using Term = std::string;  ///< opaque term key (token bytes / word id)
+
+struct Posting {
+    DocId doc = 0;
+    std::uint32_t frequency = 0;
+};
+
+class InvertedIndex {
+public:
+    /// Adds `freq` occurrences of `term` in `doc` (accumulates).
+    void add(const Term& term, DocId doc, std::uint32_t freq = 1);
+
+    /// Removes every posting of `doc`; O(terms of doc) via the reverse map.
+    void remove_document(DocId doc);
+
+    /// Postings of a term (nullptr if absent). Order is unspecified.
+    const std::vector<Posting>* postings(const Term& term) const;
+
+    /// Number of documents containing the term.
+    std::size_t document_frequency(const Term& term) const;
+
+    std::size_t num_terms() const { return postings_.size(); }
+    std::size_t num_documents() const { return doc_terms_.size(); }
+    std::size_t num_postings() const { return num_postings_; }
+    bool contains_document(DocId doc) const {
+        return doc_terms_.contains(doc);
+    }
+
+    /// All terms of a document (empty if unknown).
+    std::vector<Term> terms_of(DocId doc) const;
+
+    void clear();
+
+private:
+    std::unordered_map<Term, std::vector<Posting>> postings_;
+    std::unordered_map<DocId, std::unordered_set<Term>> doc_terms_;
+    std::size_t num_postings_ = 0;
+};
+
+}  // namespace mie::index

@@ -1,0 +1,137 @@
+// Lloyd's k-means with k-means++ seeding, generic over a metric-space
+// policy (see space.hpp).
+//
+// This is the "training task" of the paper (§III): clustering dense
+// feature-vectors to find distinctive keypoints / visual words. MIE runs it
+// on the cloud over DPE encodings (HammingSpace); the baselines run it on
+// the client over plaintext descriptors (EuclideanSpace).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mie::index {
+
+template <typename Space>
+struct KMeansResult {
+    std::vector<typename Space::Point> centroids;
+    std::vector<std::uint32_t> assignment;  ///< cluster of each input point
+    double inertia = 0.0;  ///< sum of distances to assigned centroids
+    int iterations = 0;
+};
+
+template <typename Space>
+std::uint32_t nearest_centroid(
+    const typename Space::Point& point,
+    const std::vector<typename Space::Point>& centroids) {
+    std::uint32_t best = 0;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (std::uint32_t c = 0; c < centroids.size(); ++c) {
+        const double d = Space::distance(point, centroids[c]);
+        if (d < best_distance) {
+            best_distance = d;
+            best = c;
+        }
+    }
+    return best;
+}
+
+/// Runs k-means over `points`. If k >= points.size(), every point becomes
+/// its own centroid. Deterministic given `seed`.
+template <typename Space>
+KMeansResult<Space> kmeans(
+    const std::vector<typename Space::Point>& points, std::size_t k,
+    int max_iterations, std::uint64_t seed) {
+    using Point = typename Space::Point;
+    if (points.empty() || k == 0) {
+        throw std::invalid_argument("kmeans: empty input or k == 0");
+    }
+    KMeansResult<Space> result;
+    if (k >= points.size()) {
+        result.centroids = points;
+        result.assignment.resize(points.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            result.assignment[i] = static_cast<std::uint32_t>(i);
+        }
+        return result;
+    }
+
+    SplitMix64 rng(seed);
+
+    // k-means++ seeding: first centroid uniform, the rest proportional to
+    // squared distance from the nearest chosen centroid.
+    result.centroids.reserve(k);
+    result.centroids.push_back(points[rng.next_below(points.size())]);
+    std::vector<double> min_distance(points.size(),
+                                     std::numeric_limits<double>::infinity());
+    while (result.centroids.size() < k) {
+        const Point& latest = result.centroids.back();
+        double total = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            min_distance[i] =
+                std::min(min_distance[i], Space::distance(points[i], latest));
+            total += min_distance[i];
+        }
+        if (total == 0.0) {
+            // All points coincide with centroids; pick any point.
+            result.centroids.push_back(points[rng.next_below(points.size())]);
+            continue;
+        }
+        double target = rng.next_double() * total;
+        std::size_t chosen = points.size() - 1;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            target -= min_distance[i];
+            if (target <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        result.centroids.push_back(points[chosen]);
+    }
+
+    // Lloyd iterations.
+    result.assignment.assign(points.size(), 0);
+    for (int iteration = 0; iteration < max_iterations; ++iteration) {
+        bool changed = false;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const std::uint32_t nearest =
+                nearest_centroid<Space>(points[i], result.centroids);
+            if (nearest != result.assignment[i]) {
+                result.assignment[i] = nearest;
+                changed = true;
+            }
+        }
+        result.iterations = iteration + 1;
+        if (!changed && iteration > 0) break;
+
+        // Recompute centroids; empty clusters are reseeded from the point
+        // farthest from its centroid.
+        std::vector<std::vector<const Point*>> members(k);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            members[result.assignment[i]].push_back(&points[i]);
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (members[c].empty()) {
+                result.centroids[c] = points[rng.next_below(points.size())];
+            } else {
+                result.centroids[c] = Space::centroid(
+                    std::span<const Point* const>(members[c]));
+            }
+        }
+        if (!changed) break;
+    }
+
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        result.inertia +=
+            Space::distance(points[i], result.centroids[result.assignment[i]]);
+    }
+    return result;
+}
+
+}  // namespace mie::index

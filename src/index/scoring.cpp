@@ -1,0 +1,77 @@
+#include "index/scoring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mie::index {
+
+std::vector<ScoredDoc> top_k_of(std::map<DocId, double> scores,
+                                std::size_t top_k) {
+    std::vector<ScoredDoc> ranked;
+    ranked.reserve(scores.size());
+    for (const auto& [doc, score] : scores) {
+        ranked.push_back(ScoredDoc{doc, score});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const ScoredDoc& a, const ScoredDoc& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.doc < b.doc;
+              });
+    if (ranked.size() > top_k) ranked.resize(top_k);
+    return ranked;
+}
+
+std::vector<ScoredDoc> rank_tfidf(const InvertedIndex& index,
+                                  const QueryHistogram& query,
+                                  std::size_t total_documents,
+                                  std::size_t top_k) {
+    std::map<DocId, double> scores;
+    if (total_documents == 0) return {};
+    for (const auto& [term, query_freq] : query) {
+        const auto* list = index.postings(term);
+        if (list == nullptr || list->empty()) continue;
+        const double idf = std::log(static_cast<double>(total_documents) /
+                                    static_cast<double>(list->size()));
+        if (idf <= 0.0) continue;
+        for (const Posting& posting : *list) {
+            scores[posting.doc] +=
+                static_cast<double>(query_freq) * posting.frequency * idf;
+        }
+    }
+    return top_k_of(std::move(scores), top_k);
+}
+
+std::vector<ScoredDoc> rank_bm25(const InvertedIndex& index,
+                                 const QueryHistogram& query,
+                                 std::size_t total_documents,
+                                 std::size_t top_k, const Bm25Params& params) {
+    if (total_documents == 0) return {};
+    const double avg_length =
+        index.num_documents() == 0
+            ? 1.0
+            : static_cast<double>(index.num_postings()) /
+                  static_cast<double>(index.num_documents());
+
+    std::map<DocId, double> scores;
+    for (const auto& [term, query_freq] : query) {
+        const auto* list = index.postings(term);
+        if (list == nullptr || list->empty()) continue;
+        const double df = static_cast<double>(list->size());
+        const double idf = std::log(
+            1.0 + (static_cast<double>(total_documents) - df + 0.5) /
+                      (df + 0.5));
+        for (const Posting& posting : *list) {
+            const double doc_length =
+                static_cast<double>(index.terms_of(posting.doc).size());
+            const double tf = posting.frequency;
+            const double denom =
+                tf + params.k1 * (1.0 - params.b +
+                                  params.b * doc_length / avg_length);
+            scores[posting.doc] += static_cast<double>(query_freq) * idf *
+                                   (tf * (params.k1 + 1.0)) / denom;
+        }
+    }
+    return top_k_of(std::move(scores), top_k);
+}
+
+}  // namespace mie::index

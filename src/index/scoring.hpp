@@ -1,0 +1,46 @@
+// Ranked retrieval over an inverted index: TF-IDF (the paper's default
+// weighting, §VI) and BM25 (the "more complex function" it mentions).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "index/inverted_index.hpp"
+
+namespace mie::index {
+
+struct ScoredDoc {
+    DocId doc = 0;
+    double score = 0.0;
+};
+
+/// Query representation: term -> frequency in the query object.
+using QueryHistogram = std::map<Term, std::uint32_t>;
+
+struct Bm25Params {
+    double k1 = 1.2;
+    double b = 0.75;
+};
+
+/// TF-IDF ranking: score(d) = Σ_t qf(t) * tf(d,t) * ln(N / df(t)).
+/// `total_documents` is the repository size N. Returns the top_k documents
+/// sorted by descending score (ties by ascending doc id).
+std::vector<ScoredDoc> rank_tfidf(const InvertedIndex& index,
+                                  const QueryHistogram& query,
+                                  std::size_t total_documents,
+                                  std::size_t top_k);
+
+/// BM25 ranking with document length = number of postings of the document.
+std::vector<ScoredDoc> rank_bm25(const InvertedIndex& index,
+                                 const QueryHistogram& query,
+                                 std::size_t total_documents,
+                                 std::size_t top_k,
+                                 const Bm25Params& params = Bm25Params{});
+
+/// Sorts scores descending and truncates to top_k (helper shared with the
+/// schemes that accumulate scores themselves).
+std::vector<ScoredDoc> top_k_of(std::map<DocId, double> scores,
+                                std::size_t top_k);
+
+}  // namespace mie::index

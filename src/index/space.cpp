@@ -1,0 +1,42 @@
+#include "index/space.hpp"
+
+#include <stdexcept>
+
+namespace mie::index {
+
+EuclideanSpace::Point EuclideanSpace::centroid(
+    std::span<const Point* const> members) {
+    if (members.empty()) {
+        throw std::invalid_argument("centroid: empty cluster");
+    }
+    Point mean(members.front()->size(), 0.0f);
+    for (const Point* p : members) {
+        for (std::size_t i = 0; i < mean.size(); ++i) mean[i] += (*p)[i];
+    }
+    const float inv = 1.0f / static_cast<float>(members.size());
+    for (float& x : mean) x *= inv;
+    return mean;
+}
+
+HammingSpace::Point HammingSpace::centroid(
+    std::span<const Point* const> members) {
+    if (members.empty()) {
+        throw std::invalid_argument("centroid: empty cluster");
+    }
+    const std::size_t bits = members.front()->size();
+    std::vector<std::uint32_t> ones(bits, 0);
+    for (const Point* p : members) {
+        for (std::size_t i = 0; i < bits; ++i) {
+            if (p->get(i)) ++ones[i];
+        }
+    }
+    Point majority(bits);
+    const std::uint32_t half =
+        static_cast<std::uint32_t>(members.size() / 2);
+    for (std::size_t i = 0; i < bits; ++i) {
+        if (ones[i] > half) majority.set(i, true);
+    }
+    return majority;
+}
+
+}  // namespace mie::index

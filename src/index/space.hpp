@@ -1,0 +1,43 @@
+// Metric-space policies for clustering and vocabulary trees.
+//
+// The same training code (k-means, hierarchical k-means) must run in two
+// spaces: Euclidean over plaintext float descriptors (the MSSE/plaintext
+// pipeline, which trains on the client) and normalized-Hamming over
+// Dense-DPE bit encodings (the MIE cloud server, which trains on encodings —
+// the "small modification" §VI describes). Each policy provides the point
+// type, the distance, and the centroid rule (mean vs bit-majority vote).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dpe/bitcode.hpp"
+#include "features/feature.hpp"
+
+namespace mie::index {
+
+struct EuclideanSpace {
+    using Point = features::FeatureVec;
+
+    static double distance(const Point& a, const Point& b) {
+        // Squared distance preserves nearest-neighbor order and is cheaper.
+        return features::squared_distance(a, b);
+    }
+
+    /// Component-wise mean of the member points.
+    static Point centroid(std::span<const Point* const> members);
+};
+
+struct HammingSpace {
+    using Point = dpe::BitCode;
+
+    static double distance(const Point& a, const Point& b) {
+        return static_cast<double>(a.hamming_distance(b));
+    }
+
+    /// Bit-majority vote of the member points (ties resolve to 0).
+    static Point centroid(std::span<const Point* const> members);
+};
+
+}  // namespace mie::index

@@ -1,0 +1,117 @@
+// Hierarchical k-means vocabulary tree (Nistér & Stewénius, CVPR'06).
+//
+// The paper builds "a tree-like structure ... over all visual words,
+// through hierarchical k-means" with height 3 and width 10 (§VI), giving
+// 1000 visual words at the leaves while keeping quantization cost
+// O(height * width) per descriptor. Generic over the metric-space policy so
+// the cloud can build it over DPE encodings.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "index/kmeans.hpp"
+
+namespace mie::index {
+
+template <typename Space>
+class VocabTree {
+public:
+    using Point = typename Space::Point;
+
+    struct Params {
+        std::size_t branch = 10;  ///< width: children per internal node
+        std::size_t depth = 3;    ///< height: levels of k-means splits
+        int kmeans_iterations = 10;
+        std::size_t min_node_size = 2;  ///< don't split smaller nodes
+    };
+
+    VocabTree() = default;
+
+    /// Builds the tree over training points. Deterministic given `seed`.
+    static VocabTree build(const std::vector<Point>& points,
+                           const Params& params, std::uint64_t seed) {
+        if (points.empty()) {
+            throw std::invalid_argument("VocabTree: no training points");
+        }
+        VocabTree tree;
+        tree.params_ = params;
+        tree.build_node(points, params.depth, seed);
+        return tree;
+    }
+
+    /// Quantizes a point to a leaf id in [0, num_leaves()).
+    std::uint32_t quantize(const Point& point) const {
+        if (nodes_.empty()) {
+            throw std::logic_error("VocabTree: not built");
+        }
+        std::size_t node = 0;
+        while (!nodes_[node].children.empty()) {
+            const Node& n = nodes_[node];
+            std::uint32_t best = 0;
+            double best_distance = std::numeric_limits<double>::infinity();
+            for (std::uint32_t c = 0; c < n.children.size(); ++c) {
+                const double d =
+                    Space::distance(point, nodes_[n.children[c]].centroid);
+                if (d < best_distance) {
+                    best_distance = d;
+                    best = c;
+                }
+            }
+            node = n.children[best];
+        }
+        return nodes_[node].leaf_id;
+    }
+
+    std::size_t num_leaves() const { return num_leaves_; }
+    bool empty() const { return nodes_.empty(); }
+
+private:
+    struct Node {
+        Point centroid{};
+        std::vector<std::size_t> children;  ///< indices into nodes_
+        std::uint32_t leaf_id = 0;          ///< valid when children empty
+    };
+
+    // Recursively builds the subtree for `points`, returning its node index.
+    std::size_t build_node(const std::vector<Point>& points,
+                           std::size_t levels_left, std::uint64_t seed) {
+        const std::size_t index = nodes_.size();
+        nodes_.push_back(Node{});
+        if (levels_left == 0 || points.size() < params_.min_node_size ||
+            points.size() <= params_.branch) {
+            // Leaf: represent all points by their centroid.
+            std::vector<const Point*> all;
+            all.reserve(points.size());
+            for (const Point& p : points) all.push_back(&p);
+            nodes_[index].centroid =
+                Space::centroid(std::span<const Point* const>(all));
+            nodes_[index].leaf_id = num_leaves_++;
+            return index;
+        }
+
+        const auto clusters = kmeans<Space>(points, params_.branch,
+                                            params_.kmeans_iterations, seed);
+        nodes_[index].centroid = clusters.centroids[0];  // unused at root
+        std::vector<std::vector<Point>> split(params_.branch);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            split[clusters.assignment[i]].push_back(points[i]);
+        }
+        for (std::size_t c = 0; c < params_.branch; ++c) {
+            if (split[c].empty()) continue;
+            const std::size_t child =
+                build_node(split[c], levels_left - 1, seed + c + 1);
+            // Child keeps the k-means centroid for routing.
+            nodes_[child].centroid = clusters.centroids[c];
+            nodes_[index].children.push_back(child);
+        }
+        return index;
+    }
+
+    Params params_;
+    std::vector<Node> nodes_;
+    std::uint32_t num_leaves_ = 0;
+};
+
+}  // namespace mie::index

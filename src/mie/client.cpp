@@ -1,0 +1,171 @@
+#include "mie/client.hpp"
+
+#include "crypto/ctr.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/drbg.hpp"
+#include "mie/object_codec.hpp"
+#include "mie/wire.hpp"
+
+namespace mie {
+
+MieClient::MieClient(net::Transport& transport, std::string repo_id,
+                     RepositoryKey repo_key, Bytes user_secret,
+                     double device_cpu_scale)
+    : transport_(transport),
+      repo_id_(std::move(repo_id)),
+      repo_key_(std::move(repo_key)),
+      dense_dpe_(repo_key_.dense),
+      sparse_dpe_(repo_key_.sparse),
+      keyring_(std::move(user_secret)),
+      meter_(device_cpu_scale) {}
+
+Bytes MieClient::call(BytesView request, bool synchronous) {
+    const double wire_before = transport_.network_seconds();
+    const double server_before = transport_.server_seconds();
+    Bytes response = transport_.call(request);
+    meter_.add_modeled_seconds(sim::SubOp::kNetwork,
+                               transport_.network_seconds() - wire_before);
+    if (synchronous) {
+        meter_.add_modeled_seconds(
+            sim::SubOp::kNetwork,
+            transport_.server_seconds() - server_before);
+    }
+    return response;
+}
+
+void MieClient::create_repository() {
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MieOp::kCreateRepository));
+    writer.write_string(repo_id_);
+    call(writer.take(), /*synchronous=*/false);
+}
+
+void MieClient::train() {
+    // The TRAIN invocation is a single small message: all machine-learning
+    // work happens on the cloud. Nothing lands in the client Train bucket.
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MieOp::kTrain));
+    writer.write_string(repo_id_);
+    writer.write_u32(static_cast<std::uint32_t>(train_params.tree_branch));
+    writer.write_u32(static_cast<std::uint32_t>(train_params.tree_depth));
+    writer.write_u32(static_cast<std::uint32_t>(train_params.kmeans_iterations));
+    writer.write_u32(static_cast<std::uint32_t>(train_params.max_training_samples));
+    writer.write_u64(train_params.seed);
+    writer.write_u8(static_cast<std::uint8_t>(train_params.ranking));
+    call(writer.take(), /*synchronous=*/false);
+}
+
+MieClient::EncodedFeatures MieClient::encode_features(
+    const MultimodalFeatures& features) const {
+    EncodedFeatures encoded;
+    for (const auto& [modality, descriptors] : features.dense) {
+        auto& codes = encoded.dense_codes[modality];
+        codes.reserve(descriptors.size());
+        for (const auto& descriptor : descriptors) {
+            codes.push_back(dense_dpe_.encode(descriptor));
+        }
+    }
+    for (const auto& [modality, terms] : features.sparse) {
+        auto& tokens = encoded.sparse_tokens[modality];
+        tokens.reserve(terms.size());
+        for (const auto& [term, freq] : terms) {
+            tokens.emplace_back(sparse_dpe_.encode(term), freq);
+        }
+    }
+    return encoded;
+}
+
+void MieClient::write_modalities(net::MessageWriter& writer,
+                                 const EncodedFeatures& encoded) const {
+    writer.write_u8(static_cast<std::uint8_t>(encoded.dense_codes.size()));
+    for (const auto& [modality, codes] : encoded.dense_codes) {
+        writer.write_u8(modality);
+        writer.write_u32(static_cast<std::uint32_t>(codes.size()));
+        for (const auto& code : codes) writer.write_bytes(code.serialize());
+    }
+    writer.write_u8(static_cast<std::uint8_t>(encoded.sparse_tokens.size()));
+    for (const auto& [modality, tokens] : encoded.sparse_tokens) {
+        writer.write_u8(modality);
+        writer.write_u32(static_cast<std::uint32_t>(tokens.size()));
+        for (const auto& [token, freq] : tokens) {
+            writer.write_bytes(token);
+            writer.write_u32(freq);
+        }
+    }
+}
+
+void MieClient::update(const sim::MultimodalObject& object) {
+    // Index: extract multimodal feature vectors.
+    const MultimodalFeatures features = meter_.timed(
+        sim::SubOp::kIndex,
+        [&] { return extract_multimodal(object, extraction); });
+
+    // Encrypt: DPE-encode features and AES-CTR the object payload.
+    EncodedFeatures encoded;
+    Bytes blob;
+    meter_.timed(sim::SubOp::kEncrypt, [&] {
+        encoded = encode_features(features);
+        const Bytes dk = keyring_.data_key(object.id);
+        const crypto::AesCtr cipher(dk);
+        crypto::CtrDrbg nonce_gen(crypto::derive_key(
+            dk, "nonce/" + std::to_string(object.id)));
+        blob = cipher.seal(nonce_gen.generate(crypto::AesCtr::kNonceSize),
+                           encode_object(object));
+    });
+
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MieOp::kUpdate));
+    writer.write_string(repo_id_);
+    writer.write_u64(object.id);
+    writer.write_bytes(blob);
+    write_modalities(writer, encoded);
+    call(writer.take(), /*synchronous=*/false);
+}
+
+void MieClient::remove(std::uint64_t object_id) {
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MieOp::kRemove));
+    writer.write_string(repo_id_);
+    writer.write_u64(object_id);
+    call(writer.take(), /*synchronous=*/false);
+}
+
+std::vector<SearchResult> MieClient::search(
+    const sim::MultimodalObject& query, std::size_t top_k) {
+    const MultimodalFeatures features = meter_.timed(
+        sim::SubOp::kIndex,
+        [&] { return extract_multimodal(query, extraction); });
+    const EncodedFeatures encoded = meter_.timed(
+        sim::SubOp::kEncrypt, [&] { return encode_features(features); });
+
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MieOp::kSearch));
+    writer.write_string(repo_id_);
+    writer.write_u32(static_cast<std::uint32_t>(top_k));
+    write_modalities(writer, encoded);
+
+    // Search is synchronous: the user waits for the reply, so server
+    // processing time counts toward perceived Network cost (Fig. 5).
+    const Bytes response = call(writer.take(), /*synchronous=*/true);
+
+    net::MessageReader reader(response);
+    const auto count = reader.read_u32();
+    std::vector<SearchResult> results;
+    results.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        SearchResult result;
+        result.object_id = reader.read_u64();
+        result.score = reader.read_f64();
+        result.encrypted_object = reader.read_bytes();
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+sim::MultimodalObject MieClient::decrypt_result(
+    const SearchResult& result) const {
+    const crypto::AesCtr cipher(keyring_.data_key(result.object_id));
+    return decode_object(cipher.open(result.encrypted_object));
+}
+
+}  // namespace mie

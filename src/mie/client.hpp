@@ -1,0 +1,79 @@
+// MIE client component (paper §V, Algorithms 5-9, user side).
+//
+// The client's only heavy work per update/search is feature extraction;
+// feature vectors are DPE-encoded (Encrypt) and shipped to the cloud, which
+// performs training and indexing. This is what makes MIE suitable for
+// mobile devices: there is no client-side Train sub-operation at all.
+//
+// Sub-operation attribution (for Figs. 2-6):
+//   Index   = multimodal feature extraction
+//   Encrypt = DPE encoding of feature vectors + AES-CTR of the data-object
+//   Network = modeled WAN time (plus server processing for synchronous
+//             operations, i.e. search)
+//   Train   = always zero for MIE (outsourced)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mie/extract.hpp"
+#include "mie/keys.hpp"
+#include "mie/scheme.hpp"
+#include "mie/server.hpp"
+#include "net/transport.hpp"
+
+namespace mie {
+
+class MieClient final : public SearchableScheme {
+public:
+    /// `transport` must outlive the client. `user_secret` seeds the data
+    /// keyring; users sharing a repository share `repo_key` but keep their
+    /// own user secrets.
+    MieClient(net::Transport& transport, std::string repo_id,
+              RepositoryKey repo_key, Bytes user_secret,
+              double device_cpu_scale = 1.0);
+
+    std::string name() const override { return "MIE"; }
+
+    void create_repository() override;
+    void train() override;
+    void update(const sim::MultimodalObject& object) override;
+    void remove(std::uint64_t object_id) override;
+    std::vector<SearchResult> search(const sim::MultimodalObject& query,
+                                     std::size_t top_k) override;
+
+    sim::CostMeter& meter() override { return meter_; }
+
+    /// Decrypts a search result that belongs to this user.
+    sim::MultimodalObject decrypt_result(const SearchResult& result) const;
+
+    /// Server-side training parameters sent by train().
+    TrainParams train_params;
+
+    /// Feature-extraction parameters (client side).
+    ExtractionParams extraction;
+
+private:
+    struct EncodedFeatures {
+        std::map<ModalityId, std::vector<dpe::BitCode>> dense_codes;
+        std::map<ModalityId, std::vector<std::pair<Bytes, std::uint32_t>>>
+            sparse_tokens;
+    };
+    EncodedFeatures encode_features(const MultimodalFeatures& features) const;
+    void write_modalities(net::MessageWriter& writer,
+                          const EncodedFeatures& encoded) const;
+
+    /// Issues the RPC, charging wire time (and server time when
+    /// `synchronous`) to the Network bucket.
+    Bytes call(BytesView request, bool synchronous);
+
+    net::Transport& transport_;
+    std::string repo_id_;
+    RepositoryKey repo_key_;
+    dpe::DenseDpe dense_dpe_;
+    dpe::SparseDpe sparse_dpe_;
+    DataKeyring keyring_;
+    sim::CostMeter meter_;
+};
+
+}  // namespace mie

@@ -1,0 +1,55 @@
+#include "mie/extract.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace mie {
+
+ExtractedFeatures extract_features(const sim::MultimodalObject& object,
+                                   const ExtractionParams& params) {
+    ExtractedFeatures out;
+    const features::SurfExtractor surf;
+    out.descriptors = surf.extract(object.image, params.pyramid);
+    out.terms = features::extract_term_histogram(object.text);
+    return out;
+}
+
+MultimodalFeatures extract_multimodal(const sim::MultimodalObject& object,
+                                      const ExtractionParams& params) {
+    MultimodalFeatures out;
+    const features::SurfExtractor surf;
+    auto image_descriptors = surf.extract(object.image, params.pyramid);
+    if (!image_descriptors.empty()) {
+        out.dense[kImageModality] = std::move(image_descriptors);
+    }
+    auto terms = features::extract_term_histogram(object.text);
+    if (!terms.empty()) {
+        out.sparse[kTextModality] = std::move(terms);
+    }
+    if (!object.audio.empty()) {
+        auto audio_descriptors =
+            features::extract_audio_descriptors(object.audio, params.audio);
+        if (!audio_descriptors.empty()) {
+            out.dense[kAudioModality] = std::move(audio_descriptors);
+        }
+    }
+    if (!object.video.empty()) {
+        std::vector<features::FeatureVec> video_descriptors;
+        const std::size_t stride = std::max<std::size_t>(
+            1, params.video_frame_stride);
+        for (std::size_t f = 0; f < object.video.size(); f += stride) {
+            auto frame_descriptors =
+                surf.extract(object.video[f], params.video_pyramid);
+            video_descriptors.insert(
+                video_descriptors.end(),
+                std::make_move_iterator(frame_descriptors.begin()),
+                std::make_move_iterator(frame_descriptors.end()));
+        }
+        if (!video_descriptors.empty()) {
+            out.dense[kVideoModality] = std::move(video_descriptors);
+        }
+    }
+    return out;
+}
+
+}  // namespace mie

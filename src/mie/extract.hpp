@@ -1,0 +1,57 @@
+// Client-side multimodal feature extraction shared by all schemes.
+//
+// Every scheme (MIE, MSSE, Hom-MSSE) starts an update or search the same
+// way: extract SURF descriptors from the image modality, a stemmed keyword
+// histogram from the text modality, and (MIE only) spectral descriptors
+// from the audio modality when present. What happens next — DPE encoding
+// vs client-side clustering + index encryption — is where the schemes
+// diverge.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "features/audio.hpp"
+#include "features/feature.hpp"
+#include "features/surf.hpp"
+#include "features/text.hpp"
+#include "mie/modality.hpp"
+#include "sim/dataset.hpp"
+
+namespace mie {
+
+/// Image + text features: the paper's prototype modalities, used by the
+/// MSSE / Hom-MSSE baselines.
+struct ExtractedFeatures {
+    std::vector<features::FeatureVec> descriptors;  ///< dense (image)
+    features::TermHistogram terms;                  ///< sparse (text)
+};
+
+/// Open-ended per-modality features, used by the MIE framework: any number
+/// of dense and sparse modalities, fused at search time.
+struct MultimodalFeatures {
+    std::map<ModalityId, std::vector<features::FeatureVec>> dense;
+    std::map<ModalityId, features::TermHistogram> sparse;
+};
+
+struct ExtractionParams {
+    features::DensePyramidParams pyramid;
+    features::AudioFeatureParams audio;
+    /// Video: every `video_frame_stride`-th frame is described with a
+    /// coarser dense pyramid (fewer keypoints per frame than stills).
+    std::size_t video_frame_stride = 2;
+    features::DensePyramidParams video_pyramid{
+        .levels = 2, .base_stride = 16, .base_scale = 1.2f,
+        .level_factor = 1.6f};
+};
+
+/// Image + text pipeline (baseline schemes).
+ExtractedFeatures extract_features(const sim::MultimodalObject& object,
+                                   const ExtractionParams& params = {});
+
+/// Full pipeline: image + text, plus audio when the object carries a
+/// waveform. Modalities with no features are omitted from the maps.
+MultimodalFeatures extract_multimodal(const sim::MultimodalObject& object,
+                                      const ExtractionParams& params = {});
+
+}  // namespace mie

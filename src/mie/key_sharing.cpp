@@ -1,0 +1,121 @@
+#include "mie/key_sharing.hpp"
+
+#include <stdexcept>
+
+#include "crypto/ctr.hpp"
+#include "net/message.hpp"
+
+namespace mie {
+
+namespace {
+
+/// The byte string the sender signs: everything an attacker might splice.
+Bytes signing_material(const KeyEnvelope& envelope) {
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(envelope.grant));
+    writer.write_string(envelope.repo_id);
+    writer.write_u64(envelope.object_id);
+    writer.write_bytes(envelope.wrapped_aes_key);
+    writer.write_bytes(envelope.sealed_payload);
+    return writer.take();
+}
+
+KeyEnvelope make_envelope(KeyGrant grant, const std::string& repo_id,
+                          std::uint64_t object_id, BytesView payload,
+                          const crypto::RsaPublicKey& recipient,
+                          const crypto::RsaPrivateKey& sender,
+                          crypto::CtrDrbg& drbg) {
+    KeyEnvelope envelope;
+    envelope.grant = grant;
+    envelope.repo_id = repo_id;
+    envelope.object_id = object_id;
+
+    const Bytes aes_key = drbg.generate(32);
+    envelope.wrapped_aes_key =
+        crypto::rsa_oaep_encrypt(recipient, aes_key, drbg);
+    const crypto::AesCtr cipher(aes_key);
+    envelope.sealed_payload =
+        cipher.seal(drbg.generate(crypto::AesCtr::kNonceSize), payload);
+    envelope.signature = crypto::rsa_sign(sender, signing_material(envelope));
+    return envelope;
+}
+
+Bytes open_payload(const KeyEnvelope& envelope,
+                   const crypto::RsaPrivateKey& recipient) {
+    const Bytes aes_key =
+        crypto::rsa_oaep_decrypt(recipient, envelope.wrapped_aes_key);
+    return crypto::AesCtr(aes_key).open(envelope.sealed_payload);
+}
+
+}  // namespace
+
+Bytes KeyEnvelope::serialize() const {
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(grant));
+    writer.write_string(repo_id);
+    writer.write_u64(object_id);
+    writer.write_bytes(wrapped_aes_key);
+    writer.write_bytes(sealed_payload);
+    writer.write_bytes(signature);
+    return writer.take();
+}
+
+KeyEnvelope KeyEnvelope::deserialize(BytesView data) {
+    net::MessageReader reader(data);
+    KeyEnvelope envelope;
+    envelope.grant = static_cast<KeyGrant>(reader.read_u8());
+    envelope.repo_id = reader.read_string();
+    envelope.object_id = reader.read_u64();
+    envelope.wrapped_aes_key = reader.read_bytes();
+    envelope.sealed_payload = reader.read_bytes();
+    envelope.signature = reader.read_bytes();
+    return envelope;
+}
+
+KeyEnvelope share_repository_key(const RepositoryKey& key,
+                                 const std::string& repo_id,
+                                 const crypto::RsaPublicKey& recipient,
+                                 const crypto::RsaPrivateKey& sender,
+                                 crypto::CtrDrbg& drbg) {
+    return make_envelope(KeyGrant::kRepository, repo_id, 0, key.serialize(),
+                         recipient, sender, drbg);
+}
+
+KeyEnvelope share_data_key(const DataKeyring& keyring,
+                           std::uint64_t object_id,
+                           const std::string& repo_id,
+                           const crypto::RsaPublicKey& recipient,
+                           const crypto::RsaPrivateKey& sender,
+                           crypto::CtrDrbg& drbg) {
+    return make_envelope(KeyGrant::kDataKey, repo_id, object_id,
+                         keyring.data_key(object_id), recipient, sender,
+                         drbg);
+}
+
+std::optional<RepositoryKey> open_repository_key(
+    const KeyEnvelope& envelope, const crypto::RsaPrivateKey& recipient,
+    const crypto::RsaPublicKey& sender) {
+    if (envelope.grant != KeyGrant::kRepository) {
+        throw std::invalid_argument("open_repository_key: wrong grant");
+    }
+    if (!crypto::rsa_verify(sender, signing_material(envelope),
+                            envelope.signature)) {
+        return std::nullopt;
+    }
+    return RepositoryKey::deserialize(open_payload(envelope, recipient));
+}
+
+std::optional<Bytes> open_data_key(const KeyEnvelope& envelope,
+                                   const crypto::RsaPrivateKey& recipient,
+                                   const crypto::RsaPublicKey& sender) {
+    if (envelope.grant != KeyGrant::kDataKey) {
+        throw std::invalid_argument("open_data_key: wrong grant");
+    }
+    if (!crypto::rsa_verify(sender, signing_material(envelope),
+                            envelope.signature)) {
+        return std::nullopt;
+    }
+    return open_payload(envelope, recipient);
+}
+
+}  // namespace mie

@@ -1,0 +1,76 @@
+// Repository- and data-key sharing (paper §III-A).
+//
+// "Key sharing interactions can be done asynchronously and out-of-band by
+// resorting to ... a key-sharing protocol based on public-key
+// authentication": this module implements that protocol as signed,
+// hybrid-encrypted key envelopes.
+//
+//   envelope = RSA-OAEP_recipient(fresh AES key)
+//           || AES-CTR(payload)
+//           || RSA-SIGN_sender(ciphertext material)
+//
+// Envelopes carry either a repository key rkR (granting index/search
+// rights) or a single data key dkp (granting access to one object's
+// contents — the fine-grained control of §III-A). Recipients verify the
+// sender's signature before trusting the key, giving the public-key
+// authentication the adversary model (§III-B) calls for against
+// malicious-user key injection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/rsa.hpp"
+#include "mie/keys.hpp"
+#include "util/bytes.hpp"
+
+namespace mie {
+
+/// What a key envelope grants.
+enum class KeyGrant : std::uint8_t {
+    kRepository = 1,  ///< carries a RepositoryKey (search + update rights)
+    kDataKey = 2,     ///< carries one object's data key (read rights)
+};
+
+struct KeyEnvelope {
+    KeyGrant grant = KeyGrant::kRepository;
+    std::string repo_id;
+    std::uint64_t object_id = 0;  ///< meaningful for kDataKey
+
+    Bytes wrapped_aes_key;  ///< RSA-OAEP to the recipient
+    Bytes sealed_payload;   ///< AES-CTR of the serialized key material
+    Bytes signature;        ///< sender's signature over the above
+
+    Bytes serialize() const;
+    static KeyEnvelope deserialize(BytesView data);
+};
+
+/// Wraps a repository key for `recipient`, signed by `sender`.
+KeyEnvelope share_repository_key(const RepositoryKey& key,
+                                 const std::string& repo_id,
+                                 const crypto::RsaPublicKey& recipient,
+                                 const crypto::RsaPrivateKey& sender,
+                                 crypto::CtrDrbg& drbg);
+
+/// Wraps one object's data key (from the owner's keyring).
+KeyEnvelope share_data_key(const DataKeyring& keyring,
+                           std::uint64_t object_id,
+                           const std::string& repo_id,
+                           const crypto::RsaPublicKey& recipient,
+                           const crypto::RsaPrivateKey& sender,
+                           crypto::CtrDrbg& drbg);
+
+/// Opens a repository-key envelope. Returns nullopt if the signature does
+/// not verify against `sender`; throws std::invalid_argument on grant
+/// mismatch or decryption failure (wrong recipient).
+std::optional<RepositoryKey> open_repository_key(
+    const KeyEnvelope& envelope, const crypto::RsaPrivateKey& recipient,
+    const crypto::RsaPublicKey& sender);
+
+/// Opens a data-key envelope (same failure contract).
+std::optional<Bytes> open_data_key(const KeyEnvelope& envelope,
+                                   const crypto::RsaPrivateKey& recipient,
+                                   const crypto::RsaPublicKey& sender);
+
+}  // namespace mie

@@ -1,0 +1,41 @@
+#include "mie/keys.hpp"
+
+#include "crypto/kdf.hpp"
+#include "net/message.hpp"
+
+namespace mie {
+
+RepositoryKey RepositoryKey::generate(BytesView entropy,
+                                      std::size_t input_dims,
+                                      std::size_t output_bits, double delta) {
+    RepositoryKey key;
+    key.dense = dpe::DenseDpe::keygen(crypto::derive_key(entropy, "rk1"),
+                                      input_dims, output_bits, delta);
+    key.sparse = dpe::SparseDpe::keygen(crypto::derive_key(entropy, "rk2"));
+    return key;
+}
+
+Bytes RepositoryKey::serialize() const {
+    net::MessageWriter writer;
+    writer.write_bytes(dense.serialize());
+    writer.write_bytes(sparse.serialize());
+    return writer.take();
+}
+
+RepositoryKey RepositoryKey::deserialize(BytesView data) {
+    net::MessageReader reader(data);
+    RepositoryKey key;
+    key.dense = dpe::DenseDpeKey::deserialize(reader.read_bytes());
+    key.sparse = dpe::SparseDpeKey::deserialize(reader.read_bytes());
+    return key;
+}
+
+DataKeyring::DataKeyring(Bytes master_secret)
+    : master_(std::move(master_secret)) {}
+
+Bytes DataKeyring::data_key(std::uint64_t object_id) const {
+    return crypto::derive_key(master_,
+                              "data-key/" + std::to_string(object_id));
+}
+
+}  // namespace mie

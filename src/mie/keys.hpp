@@ -1,0 +1,47 @@
+// Key material for MIE repositories (paper §III-A).
+//
+// A repository key rkR is what the creating user shares with trusted users:
+// it bundles the Dense-DPE key (rk1) and the Sparse-DPE key (rk2) and is
+// O(1)-sized thanks to the PRG-seeded Dense-DPE. Data keys dkp encrypt the
+// data-objects themselves and give per-object access control; they are
+// derived from a per-user master secret and the object id.
+#pragma once
+
+#include <cstdint>
+
+#include "dpe/dense_dpe.hpp"
+#include "dpe/sparse_dpe.hpp"
+#include "util/bytes.hpp"
+
+namespace mie {
+
+struct RepositoryKey {
+    dpe::DenseDpeKey dense;   ///< rk1: for dense modalities (images)
+    dpe::SparseDpeKey sparse; ///< rk2: for sparse modalities (text)
+
+    /// KEYGEN for a repository: derives both DPE keys from fresh entropy.
+    /// `input_dims`/`output_bits`/`delta` parameterize Dense-DPE; the
+    /// paper's prototype uses 64-dim SURF inputs, equal output size, and
+    /// delta chosen so the distance threshold t is 0.5.
+    static RepositoryKey generate(BytesView entropy, std::size_t input_dims,
+                                  std::size_t output_bits, double delta);
+
+    Bytes serialize() const;
+    static RepositoryKey deserialize(BytesView data);
+};
+
+/// Derives per-object data keys dkp from a user master secret. Sharing a
+/// data key grants access to that object only (fine-grained access control,
+/// §III-A); systems not needing it can use one keyring for everything.
+class DataKeyring {
+public:
+    explicit DataKeyring(Bytes master_secret);
+
+    /// 32-byte AES-256 key for object `id`.
+    Bytes data_key(std::uint64_t object_id) const;
+
+private:
+    Bytes master_;
+};
+
+}  // namespace mie

@@ -1,0 +1,21 @@
+// Modality identifiers.
+//
+// MIE indexes each modality separately and fuses ranked results (§III).
+// A modality is either dense (feature vectors -> Dense-DPE encodings ->
+// cloud-side clustering) or sparse (keywords -> Sparse-DPE tokens).
+// The framework is open-ended; these are the ids the built-in extraction
+// pipeline produces.
+#pragma once
+
+#include <cstdint>
+
+namespace mie {
+
+using ModalityId = std::uint8_t;
+
+inline constexpr ModalityId kImageModality = 0;  ///< dense (SURF)
+inline constexpr ModalityId kTextModality = 1;   ///< sparse (keywords)
+inline constexpr ModalityId kAudioModality = 2;  ///< dense (spectral)
+inline constexpr ModalityId kVideoModality = 3;  ///< dense (frame SURF)
+
+}  // namespace mie

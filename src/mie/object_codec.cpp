@@ -1,0 +1,106 @@
+#include "mie/object_codec.hpp"
+
+#include <algorithm>
+
+#include "net/message.hpp"
+
+namespace mie {
+
+Bytes encode_object(const sim::MultimodalObject& object) {
+    net::MessageWriter writer;
+    writer.write_u64(object.id);
+    writer.write_string(object.text);
+    writer.write_u32(static_cast<std::uint32_t>(object.image.width()));
+    writer.write_u32(static_cast<std::uint32_t>(object.image.height()));
+    Bytes pixels;
+    pixels.reserve(static_cast<std::size_t>(object.image.width()) *
+                   object.image.height());
+    for (int y = 0; y < object.image.height(); ++y) {
+        for (int x = 0; x < object.image.width(); ++x) {
+            const float clamped = std::clamp(object.image.at(x, y), 0.0f, 1.0f);
+            pixels.push_back(static_cast<std::uint8_t>(clamped * 255.0f));
+        }
+    }
+    writer.write_bytes(pixels);
+    // Audio as 16-bit PCM little-endian.
+    Bytes pcm;
+    pcm.reserve(object.audio.size() * 2);
+    for (float sample : object.audio) {
+        const float clamped = std::clamp(sample, -1.0f, 1.0f);
+        append_le<std::int16_t>(
+            pcm, static_cast<std::int16_t>(clamped * 32767.0f));
+    }
+    writer.write_bytes(pcm);
+    // Video frames, each 8-bit grayscale.
+    writer.write_u32(static_cast<std::uint32_t>(object.video.size()));
+    for (const auto& frame : object.video) {
+        writer.write_u32(static_cast<std::uint32_t>(frame.width()));
+        writer.write_u32(static_cast<std::uint32_t>(frame.height()));
+        Bytes frame_pixels;
+        frame_pixels.reserve(
+            static_cast<std::size_t>(frame.width()) * frame.height());
+        for (int y = 0; y < frame.height(); ++y) {
+            for (int x = 0; x < frame.width(); ++x) {
+                const float clamped = std::clamp(frame.at(x, y), 0.0f, 1.0f);
+                frame_pixels.push_back(
+                    static_cast<std::uint8_t>(clamped * 255.0f));
+            }
+        }
+        writer.write_bytes(frame_pixels);
+    }
+    return writer.take();
+}
+
+sim::MultimodalObject decode_object(BytesView data) {
+    net::MessageReader reader(data);
+    sim::MultimodalObject object;
+    object.id = reader.read_u64();
+    object.text = reader.read_string();
+    const auto width = static_cast<int>(reader.read_u32());
+    const auto height = static_cast<int>(reader.read_u32());
+    const Bytes pixels = reader.read_bytes();
+    if (pixels.size() != static_cast<std::size_t>(width) * height) {
+        throw std::out_of_range("decode_object: pixel buffer size mismatch");
+    }
+    object.image = features::Image(width, height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            object.image.at(x, y) =
+                static_cast<float>(
+                    pixels[static_cast<std::size_t>(y) * width + x]) /
+                255.0f;
+        }
+    }
+    const Bytes pcm = reader.read_bytes();
+    object.audio.resize(pcm.size() / 2);
+    for (std::size_t i = 0; i < object.audio.size(); ++i) {
+        object.audio[i] =
+            static_cast<float>(read_le<std::int16_t>(pcm, 2 * i)) / 32767.0f;
+    }
+    const auto num_frames = reader.read_u32();
+    object.video.reserve(std::min<std::uint32_t>(num_frames, 4096));
+    for (std::uint32_t f = 0; f < num_frames; ++f) {
+        const auto frame_width = static_cast<int>(reader.read_u32());
+        const auto frame_height = static_cast<int>(reader.read_u32());
+        const Bytes frame_pixels = reader.read_bytes();
+        if (frame_pixels.size() !=
+            static_cast<std::size_t>(frame_width) * frame_height) {
+            throw std::out_of_range("decode_object: frame size mismatch");
+        }
+        features::Image frame(frame_width, frame_height);
+        for (int y = 0; y < frame_height; ++y) {
+            for (int x = 0; x < frame_width; ++x) {
+                frame.at(x, y) =
+                    static_cast<float>(
+                        frame_pixels[static_cast<std::size_t>(y) *
+                                         frame_width +
+                                     x]) /
+                    255.0f;
+            }
+        }
+        object.video.push_back(std::move(frame));
+    }
+    return object;
+}
+
+}  // namespace mie

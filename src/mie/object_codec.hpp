@@ -1,0 +1,20 @@
+// Plaintext serialization of multimodal objects.
+//
+// The serialized form is what gets AES-CTR-encrypted under the data key
+// dkp and stored in the cloud; pixels are quantized to 8 bits, standing in
+// for the JPEG payloads of the paper's datasets.
+#pragma once
+
+#include "sim/dataset.hpp"
+#include "util/bytes.hpp"
+
+namespace mie {
+
+/// Serializes id + text + image (8-bit pixels).
+Bytes encode_object(const sim::MultimodalObject& object);
+
+/// Inverse of encode_object (pixels come back quantized; label is not
+/// stored — it is evaluation-only ground truth and never leaves the client).
+sim::MultimodalObject decode_object(BytesView data);
+
+}  // namespace mie

@@ -1,0 +1,44 @@
+#include "mie/persistence.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace mie {
+
+void save_server_snapshot(const MieServer& server,
+                          const std::filesystem::path& path) {
+    const Bytes snapshot = server.export_snapshot();
+    const std::filesystem::path temp = path.string() + ".tmp";
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw std::runtime_error("save_server_snapshot: cannot open " +
+                                     temp.string());
+        }
+        out.write(reinterpret_cast<const char*>(snapshot.data()),
+                  static_cast<std::streamsize>(snapshot.size()));
+        if (!out) {
+            throw std::runtime_error("save_server_snapshot: write failed");
+        }
+    }
+    std::filesystem::rename(temp, path);  // atomic on POSIX
+}
+
+void load_server_snapshot(MieServer& server,
+                          const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+        throw std::runtime_error("load_server_snapshot: cannot open " +
+                                 path.string());
+    }
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    Bytes snapshot(size);
+    if (!in.read(reinterpret_cast<char*>(snapshot.data()),
+                 static_cast<std::streamsize>(size))) {
+        throw std::runtime_error("load_server_snapshot: read failed");
+    }
+    server.restore_snapshot(snapshot);
+}
+
+}  // namespace mie

@@ -1,0 +1,30 @@
+// Cloud-side repository persistence.
+//
+// A production cloud server must survive restarts. Repository state
+// serializes to a snapshot: ciphertext blobs, DPE encodings, token lists,
+// and training parameters. Vocabulary trees and inverted indexes are NOT
+// serialized — training is deterministic in (data, seed), so load simply
+// re-runs the server-side training/indexing pass, trading restart CPU for
+// snapshot size and format stability.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "mie/server.hpp"
+
+namespace mie {
+
+/// Writes every repository of `server` to `path` (atomic via temp+rename).
+/// Throws std::runtime_error on I/O failure.
+void save_server_snapshot(const MieServer& server,
+                          const std::filesystem::path& path);
+
+/// Restores `server` from a snapshot written by save_server_snapshot
+/// (replacing its current state). Trained repositories are retrained
+/// (deterministically) on load.
+/// Throws std::runtime_error / std::out_of_range on corrupt input.
+void load_server_snapshot(MieServer& server,
+                          const std::filesystem::path& path);
+
+}  // namespace mie

@@ -1,0 +1,58 @@
+#include "mie/rotation.hpp"
+
+#include "crypto/ctr.hpp"
+#include "mie/object_codec.hpp"
+#include "mie/wire.hpp"
+#include "net/message.hpp"
+
+namespace mie {
+
+RotationReport rotate_repository_key(
+    net::Transport& transport, const std::string& repo_id,
+    const RepositoryKey& new_key, const DataKeyring& keyring,
+    const Bytes& user_secret, const TrainParams& train_params,
+    const ExtractionParams& extraction) {
+    // 1. Download the ciphertext blobs.
+    net::MessageWriter request;
+    request.write_u8(static_cast<std::uint8_t>(MieOp::kListObjects));
+    request.write_string(repo_id);
+    const Bytes response = transport.call(request.take());
+    net::MessageReader reader(response);
+    const auto count = reader.read_u32();
+
+    // 2. Decrypt what this owner's keyring can open.
+    RotationReport report;
+    std::vector<sim::MultimodalObject> objects;
+    objects.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t id = reader.read_u64();
+        const Bytes blob = reader.read_bytes();
+        try {
+            const crypto::AesCtr cipher(keyring.data_key(id));
+            sim::MultimodalObject object = decode_object(cipher.open(blob));
+            if (object.id != id) {
+                // Wrong-key decryptions produce garbage ids with
+                // overwhelming probability: treat as not ours.
+                ++report.objects_skipped;
+                continue;
+            }
+            objects.push_back(std::move(object));
+        } catch (const std::exception&) {
+            ++report.objects_skipped;  // not decryptable by this keyring
+        }
+    }
+
+    // 3. Recreate the repository under the new key and re-upload.
+    MieClient client(transport, repo_id, new_key, user_secret);
+    client.train_params = train_params;
+    client.extraction = extraction;
+    client.create_repository();  // wipes all old-key state server-side
+    for (const auto& object : objects) {
+        client.update(object);
+    }
+    if (!objects.empty()) client.train();
+    report.objects_rotated = objects.size();
+    return report;
+}
+
+}  // namespace mie

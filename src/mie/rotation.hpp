@@ -1,0 +1,41 @@
+// Repository-key rotation (§III-B: revocation is mitigated by "user access
+// control enforcement and revocation mechanisms, complemented with
+// public-key authentication and periodic key refreshment").
+//
+// Revoking a user means the old repository key must stop working: the
+// owner generates a fresh key, downloads their ciphertext blobs, re-encodes
+// everything under the new key, and rebuilds the repository. Holders of
+// the old key can no longer produce matching search tokens or encodings.
+//
+// Multi-owner repositories rotate cooperatively: each owner re-uploads the
+// objects only they can decrypt; this helper handles the calling owner's
+// share and reports what it had to skip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mie/client.hpp"
+#include "mie/keys.hpp"
+#include "net/transport.hpp"
+
+namespace mie {
+
+struct RotationReport {
+    std::size_t objects_rotated = 0;
+    /// Objects whose data key is not in the caller's keyring (other
+    /// owners' objects) — they must be rotated by their owners.
+    std::size_t objects_skipped = 0;
+};
+
+/// Rotates `repo_id` to `new_key`: downloads the caller's objects,
+/// recreates the repository (wiping all old-key encodings), re-uploads
+/// under the new key, and retrains. `keyring` must be the caller's data
+/// keyring; `train_params`/`extraction` configure the rebuilt repository.
+RotationReport rotate_repository_key(
+    net::Transport& transport, const std::string& repo_id,
+    const RepositoryKey& new_key, const DataKeyring& keyring,
+    const Bytes& user_secret, const TrainParams& train_params = {},
+    const ExtractionParams& extraction = {});
+
+}  // namespace mie

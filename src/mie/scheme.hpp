@@ -1,0 +1,52 @@
+// Common interface implemented by MIE and both baselines (MSSE, Hom-MSSE).
+//
+// Every experiment drives all three schemes through this interface, so the
+// benchmark harness and the precision evaluation compare identical code
+// paths. Implementations attribute their client-side work to the
+// Encrypt / Network / Index / Train sub-operation buckets of a CostMeter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/dataset.hpp"
+#include "sim/meter.hpp"
+#include "util/bytes.hpp"
+
+namespace mie {
+
+struct SearchResult {
+    std::uint64_t object_id = 0;
+    double score = 0.0;
+    Bytes encrypted_object;  ///< ciphertext; decrypt with the object's dkp
+};
+
+class SearchableScheme {
+public:
+    virtual ~SearchableScheme() = default;
+
+    virtual std::string name() const = 0;
+
+    /// Initializes the repository representation on the server.
+    virtual void create_repository() = 0;
+
+    /// Triggers training (machine-learning + bulk indexing). Where it runs
+    /// (client vs cloud) is the defining difference between the schemes.
+    virtual void train() = 0;
+
+    /// Adds or replaces one multimodal data-object.
+    virtual void update(const sim::MultimodalObject& object) = 0;
+
+    /// Fully removes an object and its index entries.
+    virtual void remove(std::uint64_t object_id) = 0;
+
+    /// Multimodal query-by-example: returns the top-k ranked matches.
+    virtual std::vector<SearchResult> search(
+        const sim::MultimodalObject& query, std::size_t top_k) = 0;
+
+    /// Client-side cost accounting for the figures.
+    virtual sim::CostMeter& meter() = 0;
+};
+
+}  // namespace mie

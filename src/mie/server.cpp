@@ -1,0 +1,491 @@
+#include "mie/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fusion/rank_fusion.hpp"
+#include "index/bovw.hpp"
+#include "mie/wire.hpp"
+
+namespace mie {
+
+namespace {
+
+/// Sparse tokens arrive as raw PRF bytes; wrap them as index terms.
+index::Term sparse_term(BytesView token) {
+    return index::Term(token.begin(), token.end());
+}
+
+void write_status(net::MessageWriter& writer, bool ok) {
+    writer.write_u8(ok ? 1 : 0);
+}
+
+/// Reads the per-modality sections of an update/search body.
+struct ModalityPayload {
+    std::map<ModalityId, std::vector<dpe::BitCode>> dense;
+    std::map<ModalityId,
+             std::vector<std::pair<index::Term, std::uint32_t>>>
+        sparse;
+};
+
+ModalityPayload read_modalities(net::MessageReader& reader) {
+    ModalityPayload payload;
+    const auto num_dense = reader.read_u8();
+    for (std::uint8_t m = 0; m < num_dense; ++m) {
+        const ModalityId id = reader.read_u8();
+        const auto count = reader.read_u32();
+        auto& codes = payload.dense[id];
+        codes.reserve(std::min<std::uint32_t>(count, 4096));
+        for (std::uint32_t i = 0; i < count; ++i) {
+            codes.push_back(dpe::BitCode::deserialize(reader.read_bytes()));
+        }
+    }
+    const auto num_sparse = reader.read_u8();
+    for (std::uint8_t m = 0; m < num_sparse; ++m) {
+        const ModalityId id = reader.read_u8();
+        const auto count = reader.read_u32();
+        auto& terms = payload.sparse[id];
+        terms.reserve(std::min<std::uint32_t>(count, 4096));
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const Bytes token = reader.read_bytes();
+            const auto freq = reader.read_u32();
+            terms.emplace_back(sparse_term(token), freq);
+        }
+    }
+    return payload;
+}
+
+}  // namespace
+
+Bytes MieServer::handle(BytesView request) {
+    const std::scoped_lock lock(mutex_);
+    net::MessageReader reader(request);
+    const auto op = static_cast<MieOp>(reader.read_u8());
+    switch (op) {
+        case MieOp::kCreateRepository: return handle_create(reader);
+        case MieOp::kTrain: return handle_train(reader);
+        case MieOp::kUpdate: return handle_update(reader);
+        case MieOp::kRemove: return handle_remove(reader);
+        case MieOp::kSearch: return handle_search(reader);
+        case MieOp::kStats: return handle_stats(reader);
+        case MieOp::kListObjects: return handle_list_objects(reader);
+    }
+    throw std::invalid_argument("MieServer: unknown opcode");
+}
+
+MieServer::Repository& MieServer::require_repo(const std::string& repo_id) {
+    const auto it = repositories_.find(repo_id);
+    if (it == repositories_.end()) {
+        throw std::invalid_argument("MieServer: unknown repository " +
+                                    repo_id);
+    }
+    return it->second;
+}
+
+Bytes MieServer::handle_create(net::MessageReader& reader) {
+    const std::string repo_id = reader.read_string();
+    repositories_[repo_id] = Repository{};  // fresh (re)initialization
+    net::MessageWriter writer;
+    write_status(writer, true);
+    return writer.take();
+}
+
+Bytes MieServer::handle_train(net::MessageReader& reader) {
+    const std::string repo_id = reader.read_string();
+    Repository& repo = require_repo(repo_id);
+    TrainParams params;
+    params.tree_branch = reader.read_u32();
+    params.tree_depth = reader.read_u32();
+    params.kmeans_iterations = static_cast<int>(reader.read_u32());
+    params.max_training_samples = reader.read_u32();
+    params.seed = reader.read_u64();
+    params.ranking = static_cast<TrainParams::Ranking>(reader.read_u8());
+    train_repository(repo, params);
+
+    net::MessageWriter writer;
+    write_status(writer, true);
+    std::uint64_t total_leaves = 0;
+    for (const auto& [modality, state] : repo.dense) {
+        if (!state.tree.empty()) total_leaves += state.tree.num_leaves();
+    }
+    writer.write_u64(total_leaves);
+    return writer.take();
+}
+
+void MieServer::train_repository(Repository& repo,
+                                 const TrainParams& params) {
+    repo.train_params = params;
+
+    // Deterministic object order: training (and thus the resulting trees)
+    // must be identical across runs and across snapshot restores, so the
+    // unordered storage map is walked in sorted-id order.
+    std::vector<std::uint64_t> object_ids;
+    object_ids.reserve(repo.objects.size());
+    for (const auto& [id, object] : repo.objects) object_ids.push_back(id);
+    std::sort(object_ids.begin(), object_ids.end());
+
+    // Which dense modalities exist in the repository right now?
+    repo.dense.clear();
+    repo.sparse.clear();
+    for (const auto& [id, object] : repo.objects) {
+        for (const auto& [modality, codes] : object.dense_codes) {
+            if (!codes.empty()) repo.dense[modality];  // default-construct
+        }
+        for (const auto& [modality, terms] : object.sparse_terms) {
+            if (!terms.empty()) repo.sparse[modality];
+        }
+    }
+
+    // Per dense modality: gather encodings (stride subsampling) and build
+    // the vocabulary tree — the machine-learning step the clients avoid.
+    for (auto& [modality, state] : repo.dense) {
+        std::size_t total = 0;
+        for (const auto& [id, object] : repo.objects) {
+            const auto it = object.dense_codes.find(modality);
+            if (it != object.dense_codes.end()) total += it->second.size();
+        }
+        const std::size_t stride = std::max<std::size_t>(
+            1, total / std::max<std::size_t>(1,
+                                             params.max_training_samples));
+        std::vector<dpe::BitCode> training;
+        std::size_t cursor = 0;
+        for (const std::uint64_t id : object_ids) {
+            const auto& object = repo.objects.at(id);
+            const auto it = object.dense_codes.find(modality);
+            if (it == object.dense_codes.end()) continue;
+            for (const auto& code : it->second) {
+                if (cursor++ % stride == 0) training.push_back(code);
+            }
+        }
+        if (training.empty()) continue;
+        index::VocabTree<index::HammingSpace>::Params tree_params;
+        tree_params.branch = params.tree_branch;
+        tree_params.depth = params.tree_depth;
+        tree_params.kmeans_iterations = params.kmeans_iterations;
+        state.tree = index::VocabTree<index::HammingSpace>::build(
+            training, tree_params, params.seed + modality);
+    }
+
+    // (Re)index everything already stored.
+    repo.trained = true;
+    for (const std::uint64_t id : object_ids) {
+        index_object(repo, id, repo.objects.at(id));
+    }
+}
+
+void MieServer::index_object(Repository& repo, std::uint64_t id,
+                             const StoredObject& object) {
+    for (const auto& [modality, codes] : object.dense_codes) {
+        const auto state = repo.dense.find(modality);
+        if (state == repo.dense.end() || state->second.tree.empty()) {
+            continue;  // modality appeared after training; indexed next train
+        }
+        for (const auto& code : codes) {
+            state->second.index.add(
+                index::visual_word_term(state->second.tree.quantize(code)),
+                id, 1);
+        }
+    }
+    for (const auto& [modality, terms] : object.sparse_terms) {
+        auto& idx = repo.sparse[modality];
+        for (const auto& [term, freq] : terms) {
+            idx.add(term, id, freq);
+        }
+    }
+}
+
+void MieServer::deindex_object(Repository& repo, std::uint64_t id) {
+    for (auto& [modality, state] : repo.dense) {
+        state.index.remove_document(id);
+    }
+    for (auto& [modality, idx] : repo.sparse) {
+        idx.remove_document(id);
+    }
+}
+
+Bytes MieServer::handle_update(net::MessageReader& reader) {
+    const std::string repo_id = reader.read_string();
+    Repository& repo = require_repo(repo_id);
+    const std::uint64_t id = reader.read_u64();
+
+    StoredObject object;
+    object.blob = reader.read_bytes();
+    ModalityPayload payload = read_modalities(reader);
+    object.dense_codes = std::move(payload.dense);
+    object.sparse_terms = std::move(payload.sparse);
+
+    // Updates are remove-then-add (Algorithm 7 line 11).
+    if (repo.objects.contains(id)) deindex_object(repo, id);
+    auto [slot, inserted] =
+        repo.objects.insert_or_assign(id, std::move(object));
+    if (repo.trained) index_object(repo, id, slot->second);
+
+    net::MessageWriter writer;
+    write_status(writer, true);
+    return writer.take();
+}
+
+Bytes MieServer::handle_remove(net::MessageReader& reader) {
+    const std::string repo_id = reader.read_string();
+    Repository& repo = require_repo(repo_id);
+    const std::uint64_t id = reader.read_u64();
+    const bool existed = repo.objects.contains(id);
+    if (existed) {
+        deindex_object(repo, id);
+        repo.objects.erase(id);
+    }
+    net::MessageWriter writer;
+    write_status(writer, existed);
+    return writer.take();
+}
+
+std::vector<index::ScoredDoc> MieServer::rank(
+    const Repository& repo, const index::InvertedIndex& index,
+    const index::QueryHistogram& query, std::size_t top_k) const {
+    if (repo.train_params.ranking == TrainParams::Ranking::kBm25) {
+        return index::rank_bm25(index, query, repo.objects.size(), top_k);
+    }
+    return index::rank_tfidf(index, query, repo.objects.size(), top_k);
+}
+
+std::vector<std::vector<index::ScoredDoc>> MieServer::ranked_search(
+    const Repository& repo,
+    const std::map<ModalityId, std::vector<dpe::BitCode>>& query_codes,
+    const std::map<ModalityId, index::QueryHistogram>& query_terms,
+    std::size_t top_k) const {
+    std::vector<std::vector<index::ScoredDoc>> lists;
+    for (const auto& [modality, codes] : query_codes) {
+        const auto state = repo.dense.find(modality);
+        if (state == repo.dense.end() || state->second.tree.empty() ||
+            codes.empty()) {
+            continue;
+        }
+        const index::QueryHistogram histogram =
+            index::bovw_histogram(state->second.tree, codes);
+        lists.push_back(rank(repo, state->second.index, histogram, top_k));
+    }
+    for (const auto& [modality, terms] : query_terms) {
+        const auto idx = repo.sparse.find(modality);
+        if (idx == repo.sparse.end() || terms.empty()) continue;
+        lists.push_back(rank(repo, idx->second, terms, top_k));
+    }
+    return lists;
+}
+
+std::vector<std::vector<index::ScoredDoc>> MieServer::linear_search(
+    const Repository& repo,
+    const std::map<ModalityId, std::vector<dpe::BitCode>>& query_codes,
+    const std::map<ModalityId, index::QueryHistogram>& query_terms,
+    std::size_t top_k) const {
+    std::vector<std::vector<index::ScoredDoc>> lists;
+    for (const auto& [modality, codes] : query_codes) {
+        if (codes.empty()) continue;
+        std::map<index::DocId, double> scores;
+        for (const auto& [id, object] : repo.objects) {
+            const auto it = object.dense_codes.find(modality);
+            if (it == object.dense_codes.end() || it->second.empty()) {
+                continue;
+            }
+            // Average similarity of each query descriptor to its nearest
+            // stored descriptor; distances beyond the DPE threshold carry
+            // no information, so similarity floors near 0.5.
+            double total = 0.0;
+            for (const auto& q : codes) {
+                double best = 1.0;
+                for (const auto& d : it->second) {
+                    best = std::min(best, q.normalized_hamming(d));
+                }
+                total += 1.0 - best;
+            }
+            scores[id] = total / static_cast<double>(codes.size());
+        }
+        lists.push_back(index::top_k_of(std::move(scores), top_k));
+    }
+    for (const auto& [modality, terms] : query_terms) {
+        if (terms.empty()) continue;
+        std::map<index::DocId, double> scores;
+        for (const auto& [id, object] : repo.objects) {
+            const auto it = object.sparse_terms.find(modality);
+            if (it == object.sparse_terms.end()) continue;
+            double overlap = 0.0;
+            for (const auto& [term, freq] : it->second) {
+                const auto match = terms.find(term);
+                if (match != terms.end()) {
+                    overlap += std::min<double>(freq, match->second);
+                }
+            }
+            if (overlap > 0.0) scores[id] = overlap;
+        }
+        lists.push_back(index::top_k_of(std::move(scores), top_k));
+    }
+    return lists;
+}
+
+Bytes MieServer::handle_search(net::MessageReader& reader) {
+    const std::string repo_id = reader.read_string();
+    Repository& repo = require_repo(repo_id);
+    const auto top_k = static_cast<std::size_t>(reader.read_u32());
+
+    ModalityPayload payload = read_modalities(reader);
+    std::map<ModalityId, index::QueryHistogram> query_terms;
+    for (const auto& [modality, terms] : payload.sparse) {
+        auto& histogram = query_terms[modality];
+        for (const auto& [term, freq] : terms) histogram[term] = freq;
+    }
+
+    // Fetch a deeper pool per modality so fusion has material to merge.
+    const std::size_t pool = std::max<std::size_t>(top_k * 4, 32);
+    const auto lists =
+        repo.trained
+            ? ranked_search(repo, payload.dense, query_terms, pool)
+            : linear_search(repo, payload.dense, query_terms, pool);
+
+    const auto fused = fusion::log_isr_fusion(lists, top_k);
+
+    net::MessageWriter writer;
+    writer.write_u32(static_cast<std::uint32_t>(fused.size()));
+    for (const auto& item : fused) {
+        writer.write_u64(item.doc);
+        writer.write_f64(item.score);
+        writer.write_bytes(repo.objects.at(item.doc).blob);
+    }
+    return writer.take();
+}
+
+Bytes MieServer::handle_list_objects(net::MessageReader& reader) {
+    const std::string repo_id = reader.read_string();
+    const Repository& repo = require_repo(repo_id);
+    net::MessageWriter writer;
+    writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
+    for (const auto& [id, object] : repo.objects) {
+        writer.write_u64(id);
+        writer.write_bytes(object.blob);
+    }
+    return writer.take();
+}
+
+Bytes MieServer::handle_stats(net::MessageReader& reader) {
+    const std::string repo_id = reader.read_string();
+    const Repository& repo = require_repo(repo_id);
+    net::MessageWriter writer;
+    writer.write_u64(repo.objects.size());
+    writer.write_u8(repo.trained ? 1 : 0);
+    std::uint64_t leaves = 0, dense_terms = 0, sparse_terms = 0;
+    for (const auto& [modality, state] : repo.dense) {
+        if (!state.tree.empty()) leaves += state.tree.num_leaves();
+        dense_terms += state.index.num_terms();
+    }
+    for (const auto& [modality, idx] : repo.sparse) {
+        sparse_terms += idx.num_terms();
+    }
+    writer.write_u64(leaves);
+    writer.write_u64(dense_terms);
+    writer.write_u64(sparse_terms);
+    return writer.take();
+}
+
+Bytes MieServer::export_snapshot() const {
+    const std::scoped_lock lock(mutex_);
+    net::MessageWriter writer;
+    writer.write_u32(static_cast<std::uint32_t>(repositories_.size()));
+    for (const auto& [repo_id, repo] : repositories_) {
+        writer.write_string(repo_id);
+        writer.write_u8(repo.trained ? 1 : 0);
+        writer.write_u32(static_cast<std::uint32_t>(
+            repo.train_params.tree_branch));
+        writer.write_u32(
+            static_cast<std::uint32_t>(repo.train_params.tree_depth));
+        writer.write_u32(static_cast<std::uint32_t>(
+            repo.train_params.kmeans_iterations));
+        writer.write_u32(static_cast<std::uint32_t>(
+            repo.train_params.max_training_samples));
+        writer.write_u64(repo.train_params.seed);
+        writer.write_u8(
+            static_cast<std::uint8_t>(repo.train_params.ranking));
+        writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
+        for (const auto& [id, object] : repo.objects) {
+            writer.write_u64(id);
+            writer.write_bytes(object.blob);
+            writer.write_u8(
+                static_cast<std::uint8_t>(object.dense_codes.size()));
+            for (const auto& [modality, codes] : object.dense_codes) {
+                writer.write_u8(modality);
+                writer.write_u32(static_cast<std::uint32_t>(codes.size()));
+                for (const auto& code : codes) {
+                    writer.write_bytes(code.serialize());
+                }
+            }
+            writer.write_u8(
+                static_cast<std::uint8_t>(object.sparse_terms.size()));
+            for (const auto& [modality, terms] : object.sparse_terms) {
+                writer.write_u8(modality);
+                writer.write_u32(static_cast<std::uint32_t>(terms.size()));
+                for (const auto& [term, freq] : terms) {
+                    writer.write_bytes(to_bytes(term));
+                    writer.write_u32(freq);
+                }
+            }
+        }
+    }
+    return writer.take();
+}
+
+void MieServer::restore_snapshot(BytesView snapshot) {
+    const std::scoped_lock lock(mutex_);
+    repositories_.clear();
+    net::MessageReader reader(snapshot);
+    const auto num_repos = reader.read_u32();
+    for (std::uint32_t r = 0; r < num_repos; ++r) {
+        const std::string repo_id = reader.read_string();
+        Repository repo;
+        const bool trained = reader.read_u8() != 0;
+        TrainParams params;
+        params.tree_branch = reader.read_u32();
+        params.tree_depth = reader.read_u32();
+        params.kmeans_iterations = static_cast<int>(reader.read_u32());
+        params.max_training_samples = reader.read_u32();
+        params.seed = reader.read_u64();
+        params.ranking =
+            static_cast<TrainParams::Ranking>(reader.read_u8());
+        repo.train_params = params;
+        const auto num_objects = reader.read_u32();
+        for (std::uint32_t i = 0; i < num_objects; ++i) {
+            const std::uint64_t id = reader.read_u64();
+            StoredObject object;
+            object.blob = reader.read_bytes();
+            ModalityPayload payload = read_modalities(reader);
+            object.dense_codes = std::move(payload.dense);
+            object.sparse_terms = std::move(payload.sparse);
+            repo.objects.emplace(id, std::move(object));
+        }
+        if (trained) {
+            // Deterministic retraining rebuilds trees and indexes exactly.
+            train_repository(repo, params);
+        }
+        repositories_.emplace(repo_id, std::move(repo));
+    }
+}
+
+MieServer::RepoStats MieServer::stats(const std::string& repo_id) const {
+    const std::scoped_lock lock(mutex_);
+    const auto it = repositories_.find(repo_id);
+    if (it == repositories_.end()) {
+        throw std::invalid_argument("MieServer: unknown repository");
+    }
+    const Repository& repo = it->second;
+    RepoStats stats;
+    stats.num_objects = repo.objects.size();
+    stats.trained = repo.trained;
+    for (const auto& [modality, state] : repo.dense) {
+        if (!state.tree.empty()) stats.visual_words += state.tree.num_leaves();
+        stats.image_index_terms += state.index.num_terms();
+    }
+    for (const auto& [modality, idx] : repo.sparse) {
+        stats.text_index_terms += idx.num_terms();
+    }
+    stats.dense_modalities = repo.dense.size();
+    stats.sparse_modalities = repo.sparse.size();
+    return stats;
+}
+
+}  // namespace mie

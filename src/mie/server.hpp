@@ -1,0 +1,141 @@
+// MIE cloud server component (paper §V, Algorithms 5-9, cloud side).
+//
+// The untrusted server stores encrypted data-objects alongside their
+// DPE-encoded feature vectors, and — this is the paper's key move — runs
+// the heavy training (hierarchical k-means over Dense-DPE encodings, using
+// normalized Hamming distances) and indexing itself, so the mobile client
+// never does. Searching is ranked TF-IDF per modality plus logISR fusion.
+//
+// The server handles any number of modalities per repository: each dense
+// modality (images, audio, ...) gets its own vocabulary tree + inverted
+// index; each sparse modality (text, ...) gets an inverted index over PRF
+// tokens. Queries may carry any subset of modalities.
+//
+// The server sees only: deterministic ids, DPE encodings (which reveal
+// pairwise distances up to the threshold t), token frequencies, and
+// ciphertext blobs — exactly the leakage profile of F_MIE (Algorithm 4).
+//
+// Thread-safe: one mutex per server (multiple users can share a
+// repository, Fig. 4's concurrent-writers experiment relies on this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dpe/bitcode.hpp"
+#include "index/inverted_index.hpp"
+#include "index/scoring.hpp"
+#include "index/space.hpp"
+#include "index/vocab_tree.hpp"
+#include "mie/modality.hpp"
+#include "net/message.hpp"
+#include "net/transport.hpp"
+
+namespace mie {
+
+/// Server-side training parameters ({ID_mi, ip_mi} of TRAIN).
+struct TrainParams {
+    std::size_t tree_branch = 10;  ///< vocabulary-tree width (paper: 10)
+    std::size_t tree_depth = 3;    ///< vocabulary-tree height (paper: 3)
+    int kmeans_iterations = 8;
+    std::size_t max_training_samples = 20000;  ///< descriptor subsample cap
+    std::uint64_t seed = 2017;
+    /// Ranking function used at search time.
+    enum class Ranking : std::uint8_t { kTfIdf = 0, kBm25 = 1 };
+    Ranking ranking = Ranking::kTfIdf;
+};
+
+class MieServer final : public net::RequestHandler {
+public:
+    /// Serialized RPC entry point (see wire.hpp for opcodes).
+    Bytes handle(BytesView request) override;
+
+    /// Introspection used by tests/benches (bypasses the wire).
+    struct RepoStats {
+        std::size_t num_objects = 0;
+        bool trained = false;
+        std::size_t visual_words = 0;        ///< total leaves, all dense
+        std::size_t image_index_terms = 0;   ///< total dense index terms
+        std::size_t text_index_terms = 0;    ///< total sparse index terms
+        std::size_t dense_modalities = 0;
+        std::size_t sparse_modalities = 0;
+    };
+    RepoStats stats(const std::string& repo_id) const;
+
+    /// Serializes all repositories (blobs, encodings, tokens, training
+    /// parameters). Indexes/trees are rebuilt on restore — training is
+    /// deterministic in (data, seed).
+    Bytes export_snapshot() const;
+
+    /// Replaces this server's state with a snapshot from export_snapshot.
+    void restore_snapshot(BytesView snapshot);
+
+private:
+    struct StoredObject {
+        Bytes blob;  ///< AES-CTR ciphertext of the data-object
+        std::map<ModalityId, std::vector<dpe::BitCode>> dense_codes;
+        std::map<ModalityId,
+                 std::vector<std::pair<index::Term, std::uint32_t>>>
+            sparse_terms;
+    };
+
+    struct DenseModalityState {
+        index::VocabTree<index::HammingSpace> tree;
+        index::InvertedIndex index;
+    };
+
+    struct Repository {
+        std::unordered_map<std::uint64_t, StoredObject> objects;
+        bool trained = false;
+        TrainParams train_params;
+        std::map<ModalityId, DenseModalityState> dense;
+        std::map<ModalityId, index::InvertedIndex> sparse;
+    };
+
+    Bytes handle_create(net::MessageReader& reader);
+    Bytes handle_train(net::MessageReader& reader);
+    Bytes handle_update(net::MessageReader& reader);
+    Bytes handle_remove(net::MessageReader& reader);
+    Bytes handle_search(net::MessageReader& reader);
+    Bytes handle_stats(net::MessageReader& reader);
+    Bytes handle_list_objects(net::MessageReader& reader);
+
+    Repository& require_repo(const std::string& repo_id);
+
+    /// Core of TRAIN: builds per-modality vocabulary trees and re-indexes
+    /// every stored object. Shared by handle_train and restore_snapshot.
+    void train_repository(Repository& repo, const TrainParams& params);
+
+    void index_object(Repository& repo, std::uint64_t id,
+                      const StoredObject& object);
+    void deindex_object(Repository& repo, std::uint64_t id);
+
+    /// Ranks with the repository's configured ranking function.
+    std::vector<index::ScoredDoc> rank(const Repository& repo,
+                                       const index::InvertedIndex& index,
+                                       const index::QueryHistogram& query,
+                                       std::size_t top_k) const;
+
+    /// Per-modality ranked lists for a trained repository.
+    std::vector<std::vector<index::ScoredDoc>> ranked_search(
+        const Repository& repo,
+        const std::map<ModalityId, std::vector<dpe::BitCode>>& query_codes,
+        const std::map<ModalityId, index::QueryHistogram>& query_terms,
+        std::size_t top_k) const;
+
+    /// Linear-scan fallback for untrained repositories.
+    std::vector<std::vector<index::ScoredDoc>> linear_search(
+        const Repository& repo,
+        const std::map<ModalityId, std::vector<dpe::BitCode>>& query_codes,
+        const std::map<ModalityId, index::QueryHistogram>& query_terms,
+        std::size_t top_k) const;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Repository> repositories_;
+};
+
+}  // namespace mie

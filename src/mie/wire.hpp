@@ -1,0 +1,22 @@
+// MIE client <-> cloud wire protocol opcodes.
+//
+// One opcode per operation of Definition 2 (plus a stats probe used by
+// tests and benchmarks). Request/response bodies are serialized with
+// net::MessageWriter/Reader; see server.cpp for the exact layouts.
+#pragma once
+
+#include <cstdint>
+
+namespace mie {
+
+enum class MieOp : std::uint8_t {
+    kCreateRepository = 1,
+    kTrain = 2,
+    kUpdate = 3,
+    kRemove = 4,
+    kSearch = 5,
+    kStats = 6,
+    kListObjects = 7,  ///< ids + blobs (key-rotation support)
+};
+
+}  // namespace mie

@@ -1,0 +1,110 @@
+// Length-prefixed binary message serialization for client <-> cloud RPCs.
+//
+// All scheme traffic (MIE, MSSE, Hom-MSSE) is serialized through these
+// writers/readers so the transport can meter real byte counts — the
+// Network sub-operation of Figs. 2-5 depends on them.
+#pragma once
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace mie::net {
+
+class MessageWriter {
+public:
+    void write_u8(std::uint8_t v) { buffer_.push_back(v); }
+    void write_u32(std::uint32_t v) { append_le(buffer_, v); }
+    void write_u64(std::uint64_t v) { append_le(buffer_, v); }
+
+    void write_f64(double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        append_le(buffer_, bits);
+    }
+
+    void write_f32(float v) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        append_le(buffer_, bits);
+    }
+
+    /// Writes a length-prefixed byte string.
+    void write_bytes(BytesView data) {
+        write_u32(static_cast<std::uint32_t>(data.size()));
+        buffer_.insert(buffer_.end(), data.begin(), data.end());
+    }
+
+    void write_string(std::string_view s) {
+        write_bytes(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                              s.size()));
+    }
+
+    Bytes take() { return std::move(buffer_); }
+    std::size_t size() const { return buffer_.size(); }
+
+private:
+    Bytes buffer_;
+};
+
+class MessageReader {
+public:
+    explicit MessageReader(BytesView data) : data_(data) {}
+
+    std::uint8_t read_u8() {
+        require(1);
+        return data_[offset_++];
+    }
+    std::uint32_t read_u32() {
+        const auto v = read_le<std::uint32_t>(data_, offset_);
+        offset_ += 4;
+        return v;
+    }
+    std::uint64_t read_u64() {
+        const auto v = read_le<std::uint64_t>(data_, offset_);
+        offset_ += 8;
+        return v;
+    }
+    double read_f64() {
+        const auto bits = read_u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+    float read_f32() {
+        const auto bits = read_u32();
+        float v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+    Bytes read_bytes() {
+        const auto len = read_u32();
+        require(len);
+        Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(offset_ + len));
+        offset_ += len;
+        return out;
+    }
+    std::string read_string() {
+        const Bytes raw = read_bytes();
+        return std::string(raw.begin(), raw.end());
+    }
+
+    bool at_end() const { return offset_ == data_.size(); }
+    std::size_t remaining() const { return data_.size() - offset_; }
+
+private:
+    void require(std::size_t n) const {
+        if (offset_ + n > data_.size()) {
+            throw std::out_of_range("MessageReader: truncated message");
+        }
+    }
+
+    BytesView data_;
+    std::size_t offset_ = 0;
+};
+
+}  // namespace mie::net

@@ -1,0 +1,197 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace mie::net {
+
+namespace {
+
+/// Reads exactly `length` bytes; returns false on orderly shutdown before
+/// any byte, throws on mid-message EOF or errors.
+bool read_exact(int fd, std::uint8_t* out, std::size_t length) {
+    std::size_t received = 0;
+    while (received < length) {
+        const ssize_t n = ::recv(fd, out + received, length - received, 0);
+        if (n == 0) {
+            if (received == 0) return false;  // clean close between frames
+            throw std::runtime_error("tcp: connection closed mid-message");
+        }
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw std::runtime_error("tcp: recv failed");
+        }
+        received += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t length) {
+    std::size_t sent = 0;
+    while (sent < length) {
+        const ssize_t n = ::send(fd, data + sent, length - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw std::runtime_error("tcp: send failed");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void write_frame(int fd, BytesView payload) {
+    std::uint8_t header[4];
+    const auto length = static_cast<std::uint32_t>(payload.size());
+    header[0] = static_cast<std::uint8_t>(length);
+    header[1] = static_cast<std::uint8_t>(length >> 8);
+    header[2] = static_cast<std::uint8_t>(length >> 16);
+    header[3] = static_cast<std::uint8_t>(length >> 24);
+    write_all(fd, header, 4);
+    write_all(fd, payload.data(), payload.size());
+}
+
+/// Returns false on clean close before a frame starts.
+bool read_frame(int fd, Bytes& out) {
+    std::uint8_t header[4];
+    if (!read_exact(fd, header, 4)) return false;
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(header[0]) |
+        (static_cast<std::uint32_t>(header[1]) << 8) |
+        (static_cast<std::uint32_t>(header[2]) << 16) |
+        (static_cast<std::uint32_t>(header[3]) << 24);
+    constexpr std::uint32_t kMaxFrame = 256u << 20;  // 256 MiB sanity cap
+    if (length > kMaxFrame) {
+        throw std::runtime_error("tcp: oversized frame");
+    }
+    out.resize(length);
+    if (length > 0 && !read_exact(fd, out.data(), length)) {
+        throw std::runtime_error("tcp: connection closed mid-message");
+    }
+    return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(RequestHandler& handler, std::uint16_t port)
+    : handler_(handler) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("tcp: socket failed");
+    const int enable = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+                 sizeof(enable));
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+               sizeof(address)) != 0) {
+        ::close(listen_fd_);
+        throw std::runtime_error("tcp: bind failed");
+    }
+    if (::listen(listen_fd_, 16) != 0) {
+        ::close(listen_fd_);
+        throw std::runtime_error("tcp: listen failed");
+    }
+    socklen_t address_length = sizeof(address);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                      &address_length) != 0) {
+        ::close(listen_fd_);
+        throw std::runtime_error("tcp: getsockname failed");
+    }
+    port_ = ntohs(address.sin_port);
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::start() {
+    bool expected = false;
+    if (!running_.compare_exchange_strong(expected, true)) return;
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void TcpServer::stop() {
+    running_.store(false);
+    if (listen_fd_ >= 0) {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+        const std::scoped_lock lock(connections_mutex_);
+        for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    for (auto& thread : connection_threads_) {
+        if (thread.joinable()) thread.join();
+    }
+    connection_threads_.clear();
+    connection_fds_.clear();
+}
+
+void TcpServer::accept_loop() {
+    while (running_.load()) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            break;  // listener closed
+        }
+        const std::scoped_lock lock(connections_mutex_);
+        connection_fds_.push_back(fd);
+        connection_threads_.emplace_back(
+            [this, fd] { serve_connection(fd); });
+    }
+}
+
+void TcpServer::serve_connection(int fd) {
+    try {
+        Bytes request;
+        while (running_.load() && read_frame(fd, request)) {
+            const Bytes response = handler_.handle(request);
+            write_frame(fd, response);
+        }
+    } catch (const std::exception&) {
+        // Connection-level failure: drop this client, keep serving others.
+    }
+    ::close(fd);
+}
+
+TcpTransport::TcpTransport(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("tcp: socket failed");
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+        ::close(fd_);
+        throw std::runtime_error("tcp: bad address " + host);
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+        ::close(fd_);
+        throw std::runtime_error("tcp: connect failed");
+    }
+}
+
+TcpTransport::~TcpTransport() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+Bytes TcpTransport::call(BytesView request) {
+    const Stopwatch watch;
+    write_frame(fd_, request);
+    Bytes response;
+    if (!read_frame(fd_, response)) {
+        throw std::runtime_error("tcp: server closed connection");
+    }
+    network_seconds_ += watch.elapsed_seconds();
+    return response;
+}
+
+}  // namespace mie::net

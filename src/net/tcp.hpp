@@ -1,0 +1,83 @@
+// TCP transport: the same RequestHandler interface served over real
+// sockets.
+//
+// The simulation benches use the in-process MeteredTransport; this module
+// proves the client/server separation is genuine by running the identical
+// wire protocol over TCP. A production deployment would put TLS in front
+// (the paper assumes TLS for all remote communication, §III-A); framing is
+// a 4-byte little-endian length prefix per message in both directions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace mie::net {
+
+/// Serves a RequestHandler on a TCP port. Each connection gets its own
+/// thread; requests on one connection are processed in order.
+class TcpServer {
+public:
+    /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral; see port()).
+    /// Throws std::runtime_error on socket failures.
+    explicit TcpServer(RequestHandler& handler, std::uint16_t port = 0);
+
+    /// Stops the server and joins all threads.
+    ~TcpServer();
+
+    TcpServer(const TcpServer&) = delete;
+    TcpServer& operator=(const TcpServer&) = delete;
+
+    /// Starts the accept loop (idempotent).
+    void start();
+
+    /// Stops accepting, closes connections, joins threads (idempotent).
+    void stop();
+
+    /// The bound port (useful with port = 0).
+    std::uint16_t port() const { return port_; }
+
+private:
+    void accept_loop();
+    void serve_connection(int fd);
+
+    RequestHandler& handler_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::thread accept_thread_;
+    std::mutex connections_mutex_;
+    std::vector<int> connection_fds_;
+    std::vector<std::thread> connection_threads_;
+};
+
+/// Client-side connection to a TcpServer. One synchronous request at a
+/// time per transport (matching the scheme clients' usage).
+class TcpTransport final : public Transport {
+public:
+    /// Connects to host:port; throws std::runtime_error on failure.
+    TcpTransport(const std::string& host, std::uint16_t port);
+    ~TcpTransport() override;
+
+    TcpTransport(const TcpTransport&) = delete;
+    TcpTransport& operator=(const TcpTransport&) = delete;
+
+    /// Sends the framed request and blocks for the framed response.
+    /// Throws std::runtime_error if the connection drops.
+    Bytes call(BytesView request) override;
+
+    /// Measured wall time spent inside call() — wire + server, since a
+    /// real socket cannot observe them separately.
+    double network_seconds() const override { return network_seconds_; }
+
+private:
+    int fd_ = -1;
+    double network_seconds_ = 0.0;
+};
+
+}  // namespace mie::net

@@ -1,0 +1,110 @@
+// Client <-> cloud transport with metered traffic.
+//
+// Every scheme operation is a synchronous RPC: the client serializes a
+// request, the transport delivers it to the server's RequestHandler, and
+// the response travels back. MeteredTransport accounts real byte counts
+// and models WAN cost (RTT + bytes/bandwidth) so the simulation layer can
+// charge network time and radio energy; the experimental setup mirrors the
+// paper's EC2 m3.large with 52.160 ms average round-trip time (§VII).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mie::net {
+
+/// Server-side entry point: consumes a request, produces a response.
+class RequestHandler {
+public:
+    virtual ~RequestHandler() = default;
+    virtual Bytes handle(BytesView request) = 0;
+};
+
+/// Client-side entry point. The metering accessors let scheme clients
+/// attribute communication cost regardless of the concrete transport:
+/// modeled time for the simulated WAN, measured wall time for real
+/// sockets, zero for transports that do not track it.
+class Transport {
+public:
+    virtual ~Transport() = default;
+    virtual Bytes call(BytesView request) = 0;
+
+    /// Cumulative seconds attributable to the network itself.
+    virtual double network_seconds() const { return 0.0; }
+
+    /// Cumulative seconds the server spent processing (when known
+    /// separately from transfer time; otherwise 0).
+    virtual double server_seconds() const { return 0.0; }
+};
+
+/// WAN link model. Defaults match the paper's mobile setup: EC2 RTT plus
+/// WiFi 802.11g effective throughput (~20 Mbit/s).
+struct LinkProfile {
+    double rtt_seconds = 0.052160;
+    double uplink_bytes_per_second = 20e6 / 8;
+    double downlink_bytes_per_second = 20e6 / 8;
+
+    /// Paper's desktop client: 100 Mbit/s ethernet, same EC2 RTT.
+    static LinkProfile desktop() {
+        return LinkProfile{0.052160, 100e6 / 8, 100e6 / 8};
+    }
+    /// Paper's mobile client: WiFi 802.11g.
+    static LinkProfile mobile() { return LinkProfile{}; }
+    /// Zero-latency link for unit tests.
+    static LinkProfile loopback() { return LinkProfile{0.0, 1e12, 1e12}; }
+};
+
+/// Delivers requests directly to a handler while accumulating modeled
+/// network time and byte counters. Not thread-safe; each simulated client
+/// owns its transport (matching one TLS connection per client).
+class MeteredTransport final : public Transport {
+public:
+    MeteredTransport(RequestHandler& handler, const LinkProfile& link)
+        : handler_(handler), link_(link) {}
+
+    Bytes call(BytesView request) override {
+        bytes_up_ += request.size();
+        const Stopwatch server_watch;
+        Bytes response = handler_.handle(request);
+        server_seconds_ += server_watch.elapsed_seconds();
+        bytes_down_ += response.size();
+        network_seconds_ +=
+            link_.rtt_seconds +
+            static_cast<double>(request.size()) /
+                link_.uplink_bytes_per_second +
+            static_cast<double>(response.size()) /
+                link_.downlink_bytes_per_second;
+        ++calls_;
+        return response;
+    }
+
+    /// Modeled on-the-wire seconds accumulated so far (RTT + transfer;
+    /// excludes server processing, reported separately so callers can
+    /// charge it only for synchronous operations).
+    double network_seconds() const override { return network_seconds_; }
+
+    /// Wall-clock seconds the server spent handling requests.
+    double server_seconds() const override { return server_seconds_; }
+    std::uint64_t bytes_up() const { return bytes_up_; }
+    std::uint64_t bytes_down() const { return bytes_down_; }
+    std::uint64_t calls() const { return calls_; }
+
+    void reset_stats() {
+        network_seconds_ = 0.0;
+        server_seconds_ = 0.0;
+        bytes_up_ = bytes_down_ = calls_ = 0;
+    }
+
+private:
+    RequestHandler& handler_;
+    LinkProfile link_;
+    double network_seconds_ = 0.0;
+    double server_seconds_ = 0.0;
+    std::uint64_t bytes_up_ = 0;
+    std::uint64_t bytes_down_ = 0;
+    std::uint64_t calls_ = 0;
+};
+
+}  // namespace mie::net

@@ -1,0 +1,224 @@
+#include "sim/dataset.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace mie::sim {
+
+namespace {
+
+/// Zipf-ish rank sampler: P(rank k) ~ 1/(k+1); cheap inverse-CDF-free
+/// rejection method good enough for tag skew.
+std::size_t sample_zipf(SplitMix64& rng, std::size_t n) {
+    // Draw from harmonic-like distribution by repeated halving.
+    std::size_t k = 0;
+    while (k + 1 < n && rng.next_double() < 0.55) ++k;
+    // Mix with a uniform tail so deep vocabulary still appears.
+    if (rng.next_double() < 0.15) k = rng.next_below(n);
+    return k;
+}
+
+}  // namespace
+
+FlickrLikeGenerator::FlickrLikeGenerator(FlickrLikeParams params)
+    : params_(std::move(params)) {
+    // Materialize per-class prototypes: a field of Gaussian blobs whose
+    // layout is the class identity.
+    class_blobs_.resize(params_.num_classes);
+    for (std::size_t c = 0; c < params_.num_classes; ++c) {
+        SplitMix64 rng(params_.seed * 1000003 + c);
+        constexpr int kBlobsPerClass = 24;
+        auto& blobs = class_blobs_[c];
+        blobs.reserve(kBlobsPerClass);
+        const auto size = static_cast<float>(params_.image_size);
+        for (int b = 0; b < kBlobsPerClass; ++b) {
+            blobs.push_back(Blob{
+                .cx = static_cast<float>(rng.next_double()) * size,
+                .cy = static_cast<float>(rng.next_double()) * size,
+                .sigma = 2.0f + static_cast<float>(rng.next_double()) *
+                                    size * 0.12f,
+                .amplitude =
+                    (rng.next_double() < 0.5 ? -1.0f : 1.0f) *
+                    (0.3f + 0.7f * static_cast<float>(rng.next_double())),
+            });
+        }
+    }
+}
+
+features::Image FlickrLikeGenerator::render(std::uint32_t label,
+                                            std::uint64_t instance_seed,
+                                            double jitter_scale) const {
+    SplitMix64 rng(instance_seed);
+    const auto& blobs = class_blobs_[label % params_.num_classes];
+
+    // Instance-level geometric jitter: global translation plus small
+    // per-blob amplitude wobble.
+    const float max_shift =
+        static_cast<float>(jitter_scale) * params_.image_size * 0.06f;
+    const float dx =
+        (static_cast<float>(rng.next_double()) * 2.0f - 1.0f) * max_shift;
+    const float dy =
+        (static_cast<float>(rng.next_double()) * 2.0f - 1.0f) * max_shift;
+
+    features::Image img(params_.image_size, params_.image_size);
+    std::vector<float> amplitude_jitter(blobs.size());
+    for (auto& a : amplitude_jitter) {
+        a = 1.0f + static_cast<float>(jitter_scale) * 0.3f *
+                       (static_cast<float>(rng.next_double()) * 2.0f - 1.0f);
+    }
+
+    for (int y = 0; y < params_.image_size; ++y) {
+        for (int x = 0; x < params_.image_size; ++x) {
+            float value = 0.5f;
+            for (std::size_t b = 0; b < blobs.size(); ++b) {
+                const Blob& blob = blobs[b];
+                const float ox = static_cast<float>(x) - (blob.cx + dx);
+                const float oy = static_cast<float>(y) - (blob.cy + dy);
+                const float r2 = ox * ox + oy * oy;
+                const float s2 = 2.0f * blob.sigma * blob.sigma;
+                if (r2 < 9.0f * blob.sigma * blob.sigma) {
+                    value += 0.35f * blob.amplitude * amplitude_jitter[b] *
+                             std::exp(-r2 / s2);
+                }
+            }
+            value += static_cast<float>(params_.noise) *
+                     (static_cast<float>(rng.next_double()) * 2.0f - 1.0f);
+            img.at(x, y) = value;
+        }
+    }
+    return img;
+}
+
+std::string FlickrLikeGenerator::make_tags(std::uint32_t label,
+                                           std::uint64_t instance_seed) const {
+    SplitMix64 rng(instance_seed ^ 0x9e3779b97f4a7c15ULL);
+    const std::size_t class_base =
+        (static_cast<std::size_t>(label) * params_.class_vocab) %
+        params_.vocab_size;
+    std::string text;
+    for (std::size_t t = 0; t < params_.tags_per_object; ++t) {
+        std::size_t word;
+        if (rng.next_double() < 0.8) {
+            // Class-preferred vocabulary slice (wrapping).
+            word = (class_base + sample_zipf(rng, params_.class_vocab)) %
+                   params_.vocab_size;
+        } else {
+            word = sample_zipf(rng, params_.vocab_size);
+        }
+        if (!text.empty()) text.push_back(' ');
+        text += "tag" + std::to_string(word);
+    }
+    return text;
+}
+
+std::vector<float> FlickrLikeGenerator::render_audio(
+    std::uint32_t label, std::uint64_t instance_seed) const {
+    // Per-class "chord": three sinusoids whose fundamentals identify the
+    // class; instances detune slightly and add noise, so same-class clips
+    // are spectrally close and cross-class clips are not.
+    SplitMix64 class_rng(params_.seed * 7919 + label);
+    double fundamentals[3];
+    for (double& f : fundamentals) {
+        f = 120.0 + class_rng.next_double() * 1400.0;
+    }
+    SplitMix64 rng(instance_seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+    const double detune = 1.0 + (rng.next_double() - 0.5) * 0.02;
+    double phases[3];
+    for (double& p : phases) p = rng.next_double() * 6.283185307;
+
+    constexpr double kSampleRate = 8000.0;
+    std::vector<float> wave(params_.audio_samples);
+    for (std::size_t n = 0; n < wave.size(); ++n) {
+        const double t = static_cast<double>(n) / kSampleRate;
+        double sample = 0.0;
+        for (int h = 0; h < 3; ++h) {
+            sample += (0.5 - 0.1 * h) *
+                      std::sin(6.283185307 * fundamentals[h] * detune * t +
+                               phases[h]);
+        }
+        sample += (rng.next_double() - 0.5) * 0.05;
+        wave[n] = static_cast<float>(sample * 0.4);
+    }
+    return wave;
+}
+
+std::vector<features::Image> FlickrLikeGenerator::render_video(
+    std::uint32_t label, std::uint64_t instance_seed) const {
+    // A short clip: the class scene with per-frame jitter (camera shake /
+    // subject motion), so frames are near-duplicates of the class
+    // prototype rather than of each other pixel-for-pixel.
+    std::vector<features::Image> frames;
+    frames.reserve(params_.video_frames);
+    for (std::size_t f = 0; f < params_.video_frames; ++f) {
+        frames.push_back(
+            render(label, instance_seed ^ (0x517cc1b727220a95ULL * (f + 1)),
+                   0.8));
+    }
+    return frames;
+}
+
+MultimodalObject FlickrLikeGenerator::make(std::uint64_t id) const {
+    MultimodalObject object;
+    object.id = id;
+    object.label =
+        static_cast<std::uint32_t>(id % params_.num_classes);
+    const std::uint64_t instance_seed = params_.seed ^ (id * 0x2545f4914f6cdd1dULL + 1);
+    object.image = render(object.label, instance_seed, 1.0);
+    object.text = make_tags(object.label, instance_seed);
+    if (params_.with_audio) {
+        object.audio = render_audio(object.label, instance_seed);
+    }
+    if (params_.with_video) {
+        object.video = render_video(object.label, instance_seed);
+    }
+    return object;
+}
+
+std::vector<MultimodalObject> FlickrLikeGenerator::make_batch(
+    std::uint64_t first_id, std::size_t count) const {
+    std::vector<MultimodalObject> batch;
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        batch.push_back(make(first_id + i));
+    }
+    return batch;
+}
+
+HolidaysLikeGenerator::HolidaysLikeGenerator(HolidaysLikeParams params)
+    : params_(std::move(params)),
+      base_(FlickrLikeParams{
+          .num_classes = params_.num_groups,
+          .image_size = params_.image_size,
+          .vocab_size = std::max<std::size_t>(params_.num_groups * 4, 64),
+          .class_vocab = 8,
+          .tags_per_object = 6,
+          .noise = 0.03,
+          .seed = params_.seed,
+      }) {}
+
+HolidaysLikeGenerator::Dataset HolidaysLikeGenerator::generate() const {
+    Dataset dataset;
+    dataset.objects.reserve(params_.num_groups * params_.group_size);
+    std::uint64_t next_id = 0;
+    for (std::size_t g = 0; g < params_.num_groups; ++g) {
+        for (std::size_t member = 0; member < params_.group_size; ++member) {
+            MultimodalObject object;
+            object.id = next_id++;
+            object.label = static_cast<std::uint32_t>(g);
+            const std::uint64_t instance_seed =
+                params_.seed ^ (object.id * 0x9e3779b97f4a7c15ULL + 17);
+            object.image =
+                base_.render(object.label, instance_seed,
+                             params_.intra_group_jitter);
+            object.text = base_.make_tags(object.label, instance_seed);
+            if (member == 0) {
+                dataset.query_indices.push_back(dataset.objects.size());
+            }
+            dataset.objects.push_back(std::move(object));
+        }
+    }
+    return dataset;
+}
+
+}  // namespace mie::sim

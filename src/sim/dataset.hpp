@@ -1,0 +1,108 @@
+// Synthetic multimodal dataset generators.
+//
+// Substitutes for the paper's datasets (DESIGN.md §1):
+//  * FlickrLikeGenerator stands in for MIR-Flickr (one million photos with
+//    user tags): objects are textured synthetic images drawn from class
+//    prototypes plus class-correlated Zipf-distributed tag lists, giving
+//    realistic dense-descriptor statistics and posting-list skew.
+//  * HolidaysLikeGenerator stands in for INRIA Holidays (1491 photos, 500
+//    groups of near-duplicates, mAP evaluation): groups of jittered
+//    variants of one scene; the first member of each group is the query
+//    and the remaining members are its relevant results.
+//
+// All output is deterministic in the generator seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "features/image.hpp"
+
+namespace mie::sim {
+
+/// One multimodal data-object: image + text modalities, optionally audio.
+struct MultimodalObject {
+    std::uint64_t id = 0;
+    features::Image image;
+    std::string text;
+    std::vector<float> audio;  ///< waveform samples; empty = no audio
+    std::vector<features::Image> video;  ///< frames; empty = no video
+    std::uint32_t label = 0;  ///< ground-truth class / group (never uploaded)
+};
+
+struct FlickrLikeParams {
+    std::size_t num_classes = 20;
+    int image_size = 96;
+    std::size_t vocab_size = 400;      ///< global tag vocabulary
+    std::size_t class_vocab = 30;      ///< preferred tags per class
+    std::size_t tags_per_object = 8;
+    double noise = 0.04;               ///< per-pixel additive noise
+    bool with_audio = false;           ///< attach a per-class audio clip
+    std::size_t audio_samples = 4096;  ///< clip length (8 kHz samples)
+    bool with_video = false;           ///< attach a short per-class clip
+    std::size_t video_frames = 6;
+    std::uint64_t seed = 1;
+};
+
+class FlickrLikeGenerator {
+public:
+    explicit FlickrLikeGenerator(FlickrLikeParams params);
+
+    /// Generates object `id` (deterministic); class = id mod num_classes.
+    MultimodalObject make(std::uint64_t id) const;
+
+    /// Generates objects [first_id, first_id + count).
+    std::vector<MultimodalObject> make_batch(std::uint64_t first_id,
+                                             std::size_t count) const;
+
+    const FlickrLikeParams& params() const { return params_; }
+
+private:
+    struct Blob {
+        float cx, cy, sigma, amplitude;
+    };
+
+    features::Image render(std::uint32_t label, std::uint64_t instance_seed,
+                           double jitter_scale) const;
+    std::string make_tags(std::uint32_t label,
+                          std::uint64_t instance_seed) const;
+    std::vector<float> render_audio(std::uint32_t label,
+                                    std::uint64_t instance_seed) const;
+    std::vector<features::Image> render_video(
+        std::uint32_t label, std::uint64_t instance_seed) const;
+
+    FlickrLikeParams params_;
+    std::vector<std::vector<Blob>> class_blobs_;  // per-class prototype
+
+    friend class HolidaysLikeGenerator;
+};
+
+struct HolidaysLikeParams {
+    std::size_t num_groups = 100;
+    std::size_t group_size = 3;  ///< images per group (1 query + relevant)
+    int image_size = 96;
+    double intra_group_jitter = 0.5;  ///< 0 = identical, 1 = class-level
+    std::uint64_t seed = 7;
+};
+
+class HolidaysLikeGenerator {
+public:
+    struct Dataset {
+        std::vector<MultimodalObject> objects;
+        /// Indices into `objects` of the query images (one per group).
+        std::vector<std::size_t> query_indices;
+    };
+
+    explicit HolidaysLikeGenerator(HolidaysLikeParams params);
+
+    Dataset generate() const;
+
+    const HolidaysLikeParams& params() const { return params_; }
+
+private:
+    HolidaysLikeParams params_;
+    FlickrLikeGenerator base_;
+};
+
+}  // namespace mie::sim

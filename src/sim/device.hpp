@@ -1,0 +1,62 @@
+// Device profiles for the simulated experimental test-bench.
+//
+// The paper's evaluation (§VII) runs clients on a 2013 Nexus 7 tablet
+// (Snapdragon S4 Pro, Android 5.1, 3448 mAh measured battery) and a
+// MacBook Pro (2.3 GHz quad-core i7), against an Amazon EC2 m3.large
+// (52.160 ms average RTT). We reproduce that test-bench by measuring the
+// real CPU work of the real algorithms on the build machine and scaling it
+// by a per-device factor; network time and energy come from the link and
+// power models. The paper observes roughly one order of magnitude between
+// desktop and mobile on CPU-bound sub-operations, which fixes the relative
+// scale factors.
+#pragma once
+
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace mie::sim {
+
+/// Android-power-profile-style current draws (milliamperes).
+struct PowerProfile {
+    double cpu_active_ma = 0.0;   ///< CPU fully busy
+    double wifi_active_ma = 0.0;  ///< radio transmitting/receiving
+    double idle_ma = 0.0;         ///< screen-off baseline
+};
+
+struct DeviceProfile {
+    std::string name;
+    double cpu_scale = 1.0;  ///< multiplier on measured CPU seconds
+    net::LinkProfile link;
+    PowerProfile power;
+    double battery_mah = 0.0;  ///< 0 = mains-powered
+
+    /// 2013 Nexus 7: ~10x slower than the desktop on this workload; WiFi
+    /// 802.11g; power-profile currents typical of the Snapdragon S4 Pro
+    /// generation; measured battery capacity from the paper.
+    static DeviceProfile mobile() {
+        return DeviceProfile{
+            .name = "mobile(Nexus7-2013)",
+            .cpu_scale = 10.0,
+            .link = net::LinkProfile::mobile(),
+            .power = PowerProfile{.cpu_active_ma = 1400.0,
+                                  .wifi_active_ma = 350.0,
+                                  .idle_ma = 18.0},
+            .battery_mah = 3448.0,
+        };
+    }
+
+    /// MacBook Pro class desktop: reference CPU speed, 100 Mb/s ethernet,
+    /// mains powered (battery/power fields unused by the figures).
+    static DeviceProfile desktop() {
+        return DeviceProfile{
+            .name = "desktop(MacBookPro)",
+            .cpu_scale = 1.0,
+            .link = net::LinkProfile::desktop(),
+            .power = PowerProfile{},
+            .battery_mah = 0.0,
+        };
+    }
+};
+
+}  // namespace mie::sim

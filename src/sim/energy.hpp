@@ -1,0 +1,43 @@
+// Battery-drain model (Fig. 6).
+//
+// Mirrors the Android Power Profiles accounting the paper used: energy is
+// the integral of per-component current over active time,
+//   mAh = Σ_component current_mA * active_hours.
+// CPU-bound sub-operations charge the CPU rail; network time charges the
+// WiFi rail (CPU assumed idle-waiting during synchronous transfers).
+#pragma once
+
+#include "sim/device.hpp"
+#include "sim/meter.hpp"
+
+namespace mie::sim {
+
+struct EnergyReport {
+    double cpu_mah = 0.0;
+    double network_mah = 0.0;
+    double idle_mah = 0.0;
+
+    double total_mah() const { return cpu_mah + network_mah + idle_mah; }
+
+    /// True if this drain exceeds the device's battery capacity (the
+    /// Fig. 6 condition under which the Nexus 7 shut down mid-experiment).
+    bool exceeds_battery(const DeviceProfile& device) const {
+        return device.battery_mah > 0.0 && total_mah() > device.battery_mah;
+    }
+};
+
+/// Converts a metered operation cost into battery drain on `device`.
+inline EnergyReport energy_of(const CostMeter& meter,
+                              const DeviceProfile& device) {
+    constexpr double kSecondsPerHour = 3600.0;
+    EnergyReport report;
+    report.cpu_mah = meter.cpu_seconds() * device.power.cpu_active_ma /
+                     kSecondsPerHour;
+    report.network_mah = meter.seconds(SubOp::kNetwork) *
+                         device.power.wifi_active_ma / kSecondsPerHour;
+    report.idle_mah =
+        meter.total_seconds() * device.power.idle_ma / kSecondsPerHour;
+    return report;
+}
+
+}  // namespace mie::sim

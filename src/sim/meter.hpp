@@ -1,0 +1,89 @@
+// Per-sub-operation cost accounting.
+//
+// Figures 2, 3 and 5 of the paper break client cost into Encrypt, Network,
+// Index and Train sub-operations. Scheme clients attribute their work to
+// these buckets through a CostMeter: CPU work is measured with a wall-clock
+// stopwatch and scaled by the device profile's cpu_scale; network time is
+// credited from the metered transport (already modeled, never scaled).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <utility>
+
+#include "util/stopwatch.hpp"
+
+namespace mie::sim {
+
+enum class SubOp : std::size_t {
+    kEncrypt = 0,  ///< data / feature-vector / index encryption
+    kNetwork,      ///< communication + server processing (synchronous ops)
+    kIndex,        ///< feature extraction + client-side indexing
+    kTrain,        ///< client-side machine-learning (baselines only)
+};
+constexpr std::size_t kNumSubOps = 4;
+
+constexpr std::string_view sub_op_name(SubOp op) {
+    switch (op) {
+        case SubOp::kEncrypt: return "Encrypt";
+        case SubOp::kNetwork: return "Network";
+        case SubOp::kIndex: return "Index";
+        case SubOp::kTrain: return "Train";
+    }
+    return "?";
+}
+
+class CostMeter {
+public:
+    explicit CostMeter(double cpu_scale = 1.0) : cpu_scale_(cpu_scale) {}
+
+    /// Runs `fn`, charging its wall time (device-scaled) to `op`.
+    template <typename F>
+    auto timed(SubOp op, F&& fn) {
+        const Stopwatch watch;
+        if constexpr (std::is_void_v<decltype(fn())>) {
+            std::forward<F>(fn)();
+            add_cpu_seconds(op, watch.elapsed_seconds());
+        } else {
+            auto result = std::forward<F>(fn)();
+            add_cpu_seconds(op, watch.elapsed_seconds());
+            return result;
+        }
+    }
+
+    /// Charges raw (already measured) CPU seconds, applying the device scale.
+    void add_cpu_seconds(SubOp op, double raw_seconds) {
+        seconds_[static_cast<std::size_t>(op)] += raw_seconds * cpu_scale_;
+    }
+
+    /// Charges modeled seconds verbatim (network time is not CPU-scaled).
+    void add_modeled_seconds(SubOp op, double seconds) {
+        seconds_[static_cast<std::size_t>(op)] += seconds;
+    }
+
+    double seconds(SubOp op) const {
+        return seconds_[static_cast<std::size_t>(op)];
+    }
+
+    double total_seconds() const {
+        double total = 0.0;
+        for (double s : seconds_) total += s;
+        return total;
+    }
+
+    double cpu_seconds() const {
+        return seconds(SubOp::kEncrypt) + seconds(SubOp::kIndex) +
+               seconds(SubOp::kTrain);
+    }
+
+    double cpu_scale() const { return cpu_scale_; }
+
+    void reset() { seconds_.fill(0.0); }
+
+private:
+    double cpu_scale_;
+    std::array<double, kNumSubOps> seconds_{};
+};
+
+}  // namespace mie::sim

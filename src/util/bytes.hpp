@@ -1,0 +1,88 @@
+// Byte-buffer helpers shared across the library.
+//
+// All cryptographic material and serialized messages are carried as
+// `mie::Bytes` (a std::vector<std::uint8_t>). Helpers here convert between
+// bytes, hex, and integral values with explicit endianness; nothing in this
+// header allocates global state.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mie {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Converts an ASCII string to a byte buffer (no terminator).
+inline Bytes to_bytes(std::string_view s) {
+    return Bytes(s.begin(), s.end());
+}
+
+/// Converts a byte buffer to a std::string (bytes copied verbatim).
+inline std::string to_string(BytesView b) {
+    return std::string(b.begin(), b.end());
+}
+
+/// Hex-encodes a byte buffer using lowercase digits.
+std::string hex_encode(BytesView data);
+
+/// Decodes a hex string; throws std::invalid_argument on malformed input.
+Bytes hex_decode(std::string_view hex);
+
+/// Appends `value` to `out` in little-endian order.
+template <typename T>
+    requires std::is_integral_v<T>
+void append_le(Bytes& out, T value) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+}
+
+/// Reads a little-endian integral value from `data` at `offset`.
+/// Throws std::out_of_range if the buffer is too short.
+template <typename T>
+    requires std::is_integral_v<T>
+T read_le(BytesView data, std::size_t offset) {
+    if (offset + sizeof(T) > data.size()) {
+        throw std::out_of_range("read_le: buffer too short");
+    }
+    T value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        value |= static_cast<T>(static_cast<T>(data[offset + i]) << (8 * i));
+    }
+    return value;
+}
+
+/// Writes `value` big-endian into `out[offset..offset+sizeof(T))`.
+template <typename T>
+    requires std::is_integral_v<T>
+void store_be(std::uint8_t* out, T value) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        out[i] = static_cast<std::uint8_t>(value >> (8 * (sizeof(T) - 1 - i)));
+    }
+}
+
+/// Reads a big-endian value of type T from `in`.
+template <typename T>
+    requires std::is_integral_v<T>
+T load_be(const std::uint8_t* in) {
+    T value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        value = static_cast<T>((value << 8) | in[i]);
+    }
+    return value;
+}
+
+/// Constant-time equality over byte buffers (length leak is acceptable).
+bool ct_equal(BytesView a, BytesView b);
+
+/// XORs `src` into `dst` element-wise; buffers must have equal size.
+void xor_into(std::span<std::uint8_t> dst, BytesView src);
+
+}  // namespace mie

@@ -1,0 +1,45 @@
+// Fast non-cryptographic randomness for simulation workloads.
+//
+// Cryptographic randomness lives in crypto/drbg.hpp; this generator is for
+// dataset synthesis, workload shuffling, and other places where speed and
+// reproducibility matter but security does not.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mie {
+
+/// SplitMix64 generator. Deterministic given a seed, satisfies
+/// std::uniform_random_bit_generator so it can drive <random> distributions.
+class SplitMix64 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t next_below(std::uint64_t bound) { return (*this)() % bound; }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace mie

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used to measure the real CPU work of sub-operations
+// before device scaling (see sim/clock.hpp for the simulated timeline).
+#pragma once
+
+#include <chrono>
+
+namespace mie {
+
+class Stopwatch {
+public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /// Resets the stopwatch to now.
+    void reset() { start_ = Clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    double elapsed_seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace mie

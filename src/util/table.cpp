@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace mie {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    if (headers_.empty()) {
+        throw std::invalid_argument("TextTable: need at least one column");
+    }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("TextTable: row width mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+        for (const auto& row : rows_) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "| " << row[c]
+               << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    print_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << "|" << std::string(widths[c] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_double(double v, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+}  // namespace mie

@@ -1,0 +1,30 @@
+// Plain-text aligned table printer used by the benchmark harness to emit the
+// paper's tables/figures as rows on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mie {
+
+class TextTable {
+public:
+    /// Creates a table with the given column headers.
+    explicit TextTable(std::vector<std::string> headers);
+
+    /// Appends one row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders the table with column alignment and a header rule.
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string fmt_double(double v, int digits = 3);
+
+}  // namespace mie

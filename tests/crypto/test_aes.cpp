@@ -1,0 +1,160 @@
+// AES / AES-CTR / DRBG / HKDF tests against FIPS 197, SP 800-38A and
+// RFC 5869 vectors.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/ctr.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/kdf.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+namespace {
+
+TEST(Aes, Fips197Aes128) {
+    const Aes aes(hex_decode("000102030405060708090a0b0c0d0e0f"));
+    Bytes block = hex_decode("00112233445566778899aabbccddeeff");
+    aes.encrypt_block(block.data());
+    EXPECT_EQ(hex_encode(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Fips197Aes256) {
+    const Aes aes(hex_decode(
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+    Bytes block = hex_decode("00112233445566778899aabbccddeeff");
+    aes.encrypt_block(block.data());
+    EXPECT_EQ(hex_encode(block), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, Sp80038aEcbVector) {
+    const Aes aes(hex_decode("2b7e151628aed2a6abf7158809cf4f3c"));
+    Bytes block = hex_decode("6bc1bee22e409f96e93d7e117393172a");
+    aes.encrypt_block(block.data());
+    EXPECT_EQ(hex_encode(block), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes, RejectsBadKeySize) {
+    EXPECT_THROW(Aes(Bytes(15, 0)), std::invalid_argument);
+    EXPECT_THROW(Aes(Bytes(24, 0)), std::invalid_argument);
+    EXPECT_THROW(Aes(Bytes(0, 0)), std::invalid_argument);
+}
+
+TEST(AesCtr, Sp80038aCtrVector) {
+    // SP 800-38A F.5.1 CTR-AES128.Encrypt
+    const AesCtr ctr(hex_decode("2b7e151628aed2a6abf7158809cf4f3c"));
+    const Bytes nonce = hex_decode("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+    Bytes data = hex_decode(
+        "6bc1bee22e409f96e93d7e117393172a"
+        "ae2d8a571e03ac9c9eb76fac45af8e51"
+        "30c81c46a35ce411e5fbc1191a0a52ef"
+        "f69f2445df4f9b17ad2b417be66c3710");
+    ctr.transform(nonce, std::span(data));
+    EXPECT_EQ(hex_encode(data),
+              "874d6191b620e3261bef6864990db6ce"
+              "9806f66b7970fdff8617187bb9fffdff"
+              "5ae4df3edbd5d35e5b4f09020db03eab"
+              "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(AesCtr, SealOpenRoundtrip) {
+    const AesCtr ctr(Bytes(16, 0x42));
+    const Bytes nonce(16, 0x07);
+    const Bytes plaintext = to_bytes("multimodal data object payload");
+    const Bytes sealed = ctr.seal(nonce, plaintext);
+    EXPECT_EQ(sealed.size(), 16 + plaintext.size());
+    EXPECT_EQ(ctr.open(sealed), plaintext);
+    // Ciphertext body differs from plaintext.
+    EXPECT_NE(Bytes(sealed.begin() + 16, sealed.end()), plaintext);
+}
+
+TEST(AesCtr, OpenRejectsTruncated) {
+    const AesCtr ctr(Bytes(16, 1));
+    EXPECT_THROW(ctr.open(Bytes(8, 0)), std::invalid_argument);
+}
+
+TEST(AesCtr, EmptyPlaintext) {
+    const AesCtr ctr(Bytes(16, 9));
+    const Bytes sealed = ctr.seal(Bytes(16, 3), {});
+    EXPECT_EQ(sealed.size(), 16u);
+    EXPECT_TRUE(ctr.open(sealed).empty());
+}
+
+TEST(CtrDrbg, Deterministic) {
+    CtrDrbg a(to_bytes("seed"));
+    CtrDrbg b(to_bytes("seed"));
+    EXPECT_EQ(a.generate(64), b.generate(64));
+}
+
+TEST(CtrDrbg, DifferentSeedsDiffer) {
+    CtrDrbg a(to_bytes("seed-1"));
+    CtrDrbg b(to_bytes("seed-2"));
+    EXPECT_NE(a.generate(64), b.generate(64));
+}
+
+TEST(CtrDrbg, StreamIsSplitInvariant) {
+    CtrDrbg a(to_bytes("s"));
+    CtrDrbg b(to_bytes("s"));
+    Bytes whole = a.generate(100);
+    Bytes parts = b.generate(33);
+    const Bytes tail = b.generate(67);
+    parts.insert(parts.end(), tail.begin(), tail.end());
+    EXPECT_EQ(whole, parts);
+}
+
+TEST(CtrDrbg, DoublesInUnitInterval) {
+    CtrDrbg d(to_bytes("doubles"));
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = d.next_double();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(CtrDrbg, GaussianMoments) {
+    CtrDrbg d(to_bytes("gauss"));
+    double sum = 0, sum_sq = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+        const double v = d.next_gaussian();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / kN, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(CtrDrbg, NextBelowIsInRange) {
+    CtrDrbg d(to_bytes("below"));
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(d.next_below(17), 17u);
+    }
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+    const Bytes ikm(22, 0x0b);
+    const Bytes salt = hex_decode("000102030405060708090a0b0c");
+    const Bytes info = hex_decode("f0f1f2f3f4f5f6f7f8f9");
+    const Bytes prk = hkdf_extract(salt, ikm);
+    EXPECT_EQ(hex_encode(prk),
+              "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+    const Bytes okm = hkdf_expand(prk, info, 42);
+    EXPECT_EQ(hex_encode(okm),
+              "3cb25f25faacd57a90434f64d0362f2a"
+              "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+              "34007208d5b887185865");
+}
+
+TEST(Hkdf, DeriveKeyLabelsAreIndependent) {
+    const Bytes master = to_bytes("master-secret");
+    const Bytes a = derive_key(master, "dense-dpe");
+    const Bytes b = derive_key(master, "sparse-dpe");
+    EXPECT_EQ(a.size(), 32u);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, derive_key(master, "dense-dpe"));
+}
+
+}  // namespace
+}  // namespace mie::crypto

@@ -1,0 +1,224 @@
+// BigUint arithmetic and number-theory tests, including randomized
+// property checks cross-validated with 64-bit native arithmetic.
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.hpp"
+#include "util/rng.hpp"
+
+namespace mie::crypto {
+namespace {
+
+TEST(BigUint, BasicConstruction) {
+    EXPECT_TRUE(BigUint().is_zero());
+    EXPECT_TRUE(BigUint(0).is_zero());
+    EXPECT_EQ(BigUint(42).low_u64(), 42u);
+    EXPECT_EQ(BigUint(UINT64_MAX).low_u64(), UINT64_MAX);
+    EXPECT_EQ(BigUint(UINT64_MAX).bit_length(), 64u);
+}
+
+TEST(BigUint, HexRoundtrip) {
+    const std::string hex = "deadbeefcafebabe0123456789abcdef";
+    EXPECT_EQ(BigUint::from_hex(hex).to_hex(), hex);
+    EXPECT_EQ(BigUint().to_hex(), "0");
+    EXPECT_EQ(BigUint(255).to_hex(), "ff");
+}
+
+TEST(BigUint, BytesRoundtrip) {
+    const Bytes b = {0x01, 0x02, 0x03, 0x04, 0x05};
+    EXPECT_EQ(BigUint::from_bytes_be(b).to_bytes_be(), b);
+    // Leading zeros are dropped on output.
+    const Bytes padded = {0x00, 0x00, 0x07};
+    EXPECT_EQ(BigUint::from_bytes_be(padded).to_bytes_be(), Bytes{0x07});
+    // Fixed-width output pads.
+    EXPECT_EQ(BigUint(7).to_bytes_be(4), (Bytes{0, 0, 0, 7}));
+    EXPECT_THROW(BigUint::from_hex("ffff").to_bytes_be(1), std::length_error);
+}
+
+TEST(BigUint, AddSubProperties) {
+    SplitMix64 rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t a = rng() >> (rng() % 40);
+        const std::uint64_t b = rng() >> (rng() % 40);
+        const BigUint ba(a), bb(b);
+        // 64-bit values: emulate 128-bit sum via BigUint and check low bits.
+        const BigUint sum = ba + bb;
+        const unsigned __int128 expect =
+            static_cast<unsigned __int128>(a) + b;
+        EXPECT_EQ(sum.low_u64(), static_cast<std::uint64_t>(expect));
+        EXPECT_EQ((sum - bb), ba);
+        EXPECT_EQ((sum - ba), bb);
+    }
+}
+
+TEST(BigUint, SubUnderflowThrows) {
+    EXPECT_THROW(BigUint(1) - BigUint(2), std::underflow_error);
+}
+
+TEST(BigUint, MulDivProperties) {
+    SplitMix64 rng(2);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t a = rng();
+        const std::uint64_t b = rng() | 1;  // nonzero divisor
+        const BigUint ba(a), bb(b);
+        const BigUint prod = ba * bb;
+        const unsigned __int128 expect =
+            static_cast<unsigned __int128>(a) * b;
+        EXPECT_EQ(prod.low_u64(), static_cast<std::uint64_t>(expect));
+        EXPECT_EQ((prod >> 64).low_u64(),
+                  static_cast<std::uint64_t>(expect >> 64));
+        const auto [q, r] = BigUint::divmod(ba, bb);
+        EXPECT_EQ(q.low_u64(), a / b);
+        EXPECT_EQ(r.low_u64(), a % b);
+    }
+}
+
+TEST(BigUint, DivModInvariantLargeNumbers) {
+    CtrDrbg drbg(to_bytes("divmod"));
+    for (int i = 0; i < 200; ++i) {
+        const BigUint a = BigUint::from_bytes_be(drbg.generate(40));
+        BigUint b = BigUint::from_bytes_be(drbg.generate(17));
+        if (b.is_zero()) b = BigUint(3);
+        const auto [q, r] = BigUint::divmod(a, b);
+        EXPECT_TRUE(r < b);
+        EXPECT_EQ(q * b + r, a);
+    }
+}
+
+TEST(BigUint, DivByZeroThrows) {
+    EXPECT_THROW(BigUint(1) / BigUint(0), std::domain_error);
+}
+
+TEST(BigUint, Shifts) {
+    const BigUint one(1);
+    EXPECT_EQ((one << 100).bit_length(), 101u);
+    EXPECT_EQ(((one << 100) >> 100), one);
+    EXPECT_TRUE((one >> 1).is_zero());
+    const BigUint x = BigUint::from_hex("123456789abcdef0");
+    EXPECT_EQ(((x << 13) >> 13), x);
+    EXPECT_EQ((x << 0), x);
+    EXPECT_EQ((x >> 0), x);
+}
+
+TEST(BigUint, ModPowSmallCases) {
+    // 2^10 mod 1000 = 24
+    EXPECT_EQ(BigUint::mod_pow(2, 10, 1000).low_u64(), 24u);
+    // Fermat: a^(p-1) = 1 mod p for prime p
+    const BigUint p(1000003);
+    for (std::uint64_t a : {2ULL, 3ULL, 12345ULL}) {
+        EXPECT_EQ(BigUint::mod_pow(a, p - BigUint(1), p).low_u64(), 1u);
+    }
+    // Even modulus path
+    EXPECT_EQ(BigUint::mod_pow(3, 5, 100).low_u64(), 43u);
+}
+
+TEST(BigUint, ModPowMatchesNaive) {
+    SplitMix64 rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t base = rng() % 1000000;
+        const std::uint64_t exp = rng() % 50;
+        const std::uint64_t mod = (rng() % 999983) | 1;  // odd
+        if (mod <= 1) continue;
+        std::uint64_t expect = 1 % mod;
+        for (std::uint64_t j = 0; j < exp; ++j) {
+            expect = static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(expect) * base) % mod);
+        }
+        EXPECT_EQ(BigUint::mod_pow(base, exp, mod).low_u64(), expect)
+            << base << "^" << exp << " mod " << mod;
+    }
+}
+
+TEST(BigUint, ModInverse) {
+    EXPECT_EQ(BigUint::mod_inverse(3, 7).low_u64(), 5u);  // 3*5=15=1 mod 7
+    CtrDrbg drbg(to_bytes("inv"));
+    const BigUint m = BigUint::from_hex("fffffffffffffffffffffffffffffff1");
+    for (int i = 0; i < 50; ++i) {
+        const BigUint a = BigUint::random_below(drbg, m);
+        if (BigUint::gcd(a, m) != BigUint(1)) continue;
+        const BigUint inv = BigUint::mod_inverse(a, m);
+        EXPECT_EQ(BigUint::mod_mul(a, inv, m), BigUint(1));
+    }
+    EXPECT_THROW(BigUint::mod_inverse(4, 8), std::domain_error);
+}
+
+TEST(BigUint, GcdLcm) {
+    EXPECT_EQ(BigUint::gcd(48, 36).low_u64(), 12u);
+    EXPECT_EQ(BigUint::lcm(4, 6).low_u64(), 12u);
+    EXPECT_EQ(BigUint::gcd(BigUint(0), BigUint(5)).low_u64(), 5u);
+    EXPECT_TRUE(BigUint::lcm(BigUint(0), BigUint(5)).is_zero());
+}
+
+TEST(BigUint, MillerRabinKnownValues) {
+    CtrDrbg drbg(to_bytes("mr"));
+    for (std::uint64_t p :
+         {2ULL, 3ULL, 5ULL, 97ULL, 65537ULL, 1000003ULL, 2147483647ULL}) {
+        EXPECT_TRUE(BigUint::is_probable_prime(p, drbg)) << p;
+    }
+    for (std::uint64_t c : {1ULL, 4ULL, 100ULL, 65541ULL, 1000001ULL,
+                            561ULL /* Carmichael */, 341ULL}) {
+        EXPECT_FALSE(BigUint::is_probable_prime(c, drbg)) << c;
+    }
+}
+
+TEST(BigUint, GeneratePrimeHasRequestedSize) {
+    CtrDrbg drbg(to_bytes("prime-gen"));
+    const BigUint p = BigUint::generate_prime(drbg, 128);
+    EXPECT_EQ(p.bit_length(), 128u);
+    EXPECT_TRUE(BigUint::is_probable_prime(p, drbg));
+    EXPECT_FALSE(p.is_even());
+}
+
+TEST(BigUint, RandomBelowIsUniform) {
+    CtrDrbg drbg(to_bytes("rb"));
+    const BigUint bound(100);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 10000; ++i) {
+        const BigUint v = BigUint::random_below(drbg, bound);
+        ASSERT_TRUE(v < bound);
+        counts[v.low_u64()]++;
+    }
+    for (int c : counts) EXPECT_GT(c, 40);  // expectation 100
+}
+
+TEST(Montgomery, MatchesPlainModMul) {
+    CtrDrbg drbg(to_bytes("mont"));
+    BigUint m = BigUint::from_bytes_be(drbg.generate(33));
+    if (m.is_even()) m = m + BigUint(1);
+    const Montgomery mont(m);
+    for (int i = 0; i < 100; ++i) {
+        const BigUint a = BigUint::random_below(drbg, m);
+        const BigUint b = BigUint::random_below(drbg, m);
+        EXPECT_EQ(mont.mul(a, b), (a * b) % m);
+    }
+}
+
+TEST(Montgomery, PowMatchesRepeatedMul) {
+    CtrDrbg drbg(to_bytes("mont-pow"));
+    const BigUint m = BigUint::from_hex("f123456789abcdef0123456789abcde1");
+    const Montgomery mont(m);
+    const BigUint base = BigUint::random_below(drbg, m);
+    BigUint expect(1);
+    for (std::uint64_t e = 0; e < 20; ++e) {
+        EXPECT_EQ(mont.pow(base, BigUint(e)), expect);
+        expect = mont.mul(expect, base);
+    }
+}
+
+TEST(Montgomery, PowAgainstFermat) {
+    CtrDrbg drbg(to_bytes("mont-fermat"));
+    const BigUint p = BigUint::generate_prime(drbg, 96);
+    const Montgomery mont(p);
+    for (int i = 0; i < 20; ++i) {
+        BigUint a = BigUint::random_below(drbg, p);
+        if (a.is_zero()) a = BigUint(2);
+        EXPECT_EQ(mont.pow(a, p - BigUint(1)), BigUint(1));
+    }
+}
+
+TEST(Montgomery, RejectsEvenModulus) {
+    EXPECT_THROW(Montgomery(BigUint(10)), std::domain_error);
+    EXPECT_THROW(Montgomery(BigUint(1)), std::domain_error);
+}
+
+}  // namespace
+}  // namespace mie::crypto

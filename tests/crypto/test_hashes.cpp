@@ -1,0 +1,121 @@
+// SHA-1 / SHA-256 / HMAC tests against FIPS 180-4 and RFC 2202/4231 vectors.
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+namespace {
+
+template <typename Digest>
+std::string hex(const Digest& d) {
+    return hex_encode(BytesView(d.data(), d.size()));
+}
+
+TEST(Sha1, Fips180Vectors) {
+    EXPECT_EQ(hex(Sha1::hash(to_bytes("abc"))),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+    EXPECT_EQ(hex(Sha1::hash(to_bytes(""))),
+              "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    EXPECT_EQ(hex(Sha1::hash(to_bytes(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+              "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+    Sha1 h;
+    const Bytes chunk(1000, static_cast<std::uint8_t>('a'));
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    EXPECT_EQ(hex(h.finalize()),
+              "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+    const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog");
+    for (std::size_t split = 0; split <= data.size(); ++split) {
+        Sha1 h;
+        h.update(BytesView(data.data(), split));
+        h.update(BytesView(data.data() + split, data.size() - split));
+        EXPECT_EQ(h.finalize(), Sha1::hash(data)) << "split=" << split;
+    }
+}
+
+TEST(Sha256, Fips180Vectors) {
+    EXPECT_EQ(hex(Sha256::hash(to_bytes("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(hex(Sha256::hash(to_bytes(""))),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(hex(Sha256::hash(to_bytes(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+    Sha256 h;
+    const Bytes chunk(1000, static_cast<std::uint8_t>('a'));
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    EXPECT_EQ(hex(h.finalize()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+    const Bytes data = to_bytes("incremental hashing must be split-invariant");
+    for (std::size_t split = 0; split <= data.size(); ++split) {
+        Sha256 h;
+        h.update(BytesView(data.data(), split));
+        h.update(BytesView(data.data() + split, data.size() - split));
+        EXPECT_EQ(h.finalize(), Sha256::hash(data)) << "split=" << split;
+    }
+}
+
+TEST(HmacSha1, Rfc2202Vectors) {
+    // Case 1
+    EXPECT_EQ(hex(Hmac<Sha1>::mac(Bytes(20, 0x0b), to_bytes("Hi There"))),
+              "b617318655057264e28bc0b6fb378c8ef146be00");
+    // Case 2
+    EXPECT_EQ(hex(Hmac<Sha1>::mac(to_bytes("Jefe"),
+                                  to_bytes("what do ya want for nothing?"))),
+              "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    // Case 3
+    EXPECT_EQ(hex(Hmac<Sha1>::mac(Bytes(20, 0xaa), Bytes(50, 0xdd))),
+              "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+    // Case 6: key longer than block size
+    EXPECT_EQ(hex(Hmac<Sha1>::mac(
+                  Bytes(80, 0xaa),
+                  to_bytes("Test Using Larger Than Block-Size Key - "
+                           "Hash Key First"))),
+              "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha256, Rfc4231Vectors) {
+    // Case 1
+    EXPECT_EQ(hex(Hmac<Sha256>::mac(Bytes(20, 0x0b), to_bytes("Hi There"))),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+    // Case 2
+    EXPECT_EQ(hex(Hmac<Sha256>::mac(to_bytes("Jefe"),
+                                    to_bytes("what do ya want for nothing?"))),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+    // Case 3
+    EXPECT_EQ(hex(Hmac<Sha256>::mac(Bytes(20, 0xaa), Bytes(50, 0xdd))),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, ResetAllowsReuse) {
+    Hmac<Sha256> h(to_bytes("key"));
+    h.update(to_bytes("message"));
+    const auto first = h.finalize();
+    h.reset();
+    h.update(to_bytes("message"));
+    EXPECT_EQ(h.finalize(), first);
+}
+
+TEST(Hmac, DifferentKeysDiffer) {
+    const auto a = Hmac<Sha256>::mac(to_bytes("key-a"), to_bytes("m"));
+    const auto b = Hmac<Sha256>::mac(to_bytes("key-b"), to_bytes("m"));
+    EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mie::crypto

@@ -1,0 +1,94 @@
+// Paillier cryptosystem tests: correctness, homomorphic properties, and
+// probabilistic-encryption behaviour.
+#include <gtest/gtest.h>
+
+#include "crypto/paillier.hpp"
+
+namespace mie::crypto {
+namespace {
+
+class PaillierTest : public ::testing::Test {
+protected:
+    // 256-bit keys keep the suite fast; homomorphic properties are
+    // independent of key size.
+    PaillierTest() : drbg_(to_bytes("paillier-test-seed")),
+                     scheme_(Paillier::generate(drbg_, 256)) {}
+
+    CtrDrbg drbg_;
+    Paillier scheme_;
+};
+
+TEST_F(PaillierTest, EncryptDecryptRoundtrip) {
+    for (std::uint64_t m : {0ULL, 1ULL, 2ULL, 255ULL, 65536ULL, 123456789ULL}) {
+        const BigUint c = scheme_.encrypt(m, drbg_);
+        EXPECT_EQ(scheme_.decrypt(c), BigUint(m)) << m;
+    }
+}
+
+TEST_F(PaillierTest, EncryptionIsProbabilistic) {
+    const BigUint c1 = scheme_.encrypt(42, drbg_);
+    const BigUint c2 = scheme_.encrypt(42, drbg_);
+    EXPECT_NE(c1, c2);
+    EXPECT_EQ(scheme_.decrypt(c1), scheme_.decrypt(c2));
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+    const BigUint ca = scheme_.encrypt(1000, drbg_);
+    const BigUint cb = scheme_.encrypt(234, drbg_);
+    EXPECT_EQ(scheme_.decrypt(scheme_.add(ca, cb)), BigUint(1234));
+}
+
+TEST_F(PaillierTest, HomomorphicAdditionChain) {
+    // Sum 1..20 homomorphically, as Hom-MSSE does for counter updates.
+    BigUint acc = scheme_.encrypt(0, drbg_);
+    for (std::uint64_t i = 1; i <= 20; ++i) {
+        acc = scheme_.add(acc, scheme_.encrypt(i, drbg_));
+    }
+    EXPECT_EQ(scheme_.decrypt(acc), BigUint(210));
+}
+
+TEST_F(PaillierTest, ScalarMultiplication) {
+    const BigUint c = scheme_.encrypt(17, drbg_);
+    EXPECT_EQ(scheme_.decrypt(scheme_.scalar_mul(c, 100)), BigUint(1700));
+    // TF-IDF shape: freq * (query_freq * idf_scaled)
+    EXPECT_EQ(scheme_.decrypt(scheme_.scalar_mul(c, 0)), BigUint(0));
+}
+
+TEST_F(PaillierTest, AddOfZeroIsIdentityPlaintext) {
+    const BigUint c = scheme_.encrypt(99, drbg_);
+    const BigUint zero = scheme_.encrypt(0, drbg_);
+    EXPECT_EQ(scheme_.decrypt(scheme_.add(c, zero)), BigUint(99));
+}
+
+TEST_F(PaillierTest, CiphertextSerializationRoundtrip) {
+    const BigUint c = scheme_.encrypt(31337, drbg_);
+    const Bytes wire = scheme_.serialize_ciphertext(c);
+    EXPECT_EQ(wire.size(), scheme_.public_key().ciphertext_bytes());
+    EXPECT_EQ(scheme_.parse_ciphertext(wire), c);
+}
+
+TEST_F(PaillierTest, RejectsOversizedPlaintext) {
+    EXPECT_THROW(scheme_.encrypt(scheme_.public_key().n, drbg_),
+                 std::invalid_argument);
+}
+
+TEST_F(PaillierTest, LargePlaintextNearModulus) {
+    const BigUint m = scheme_.public_key().n - BigUint(1);
+    EXPECT_EQ(scheme_.decrypt(scheme_.encrypt(m, drbg_)), m);
+}
+
+TEST(Paillier, KeyGenerationProducesDistinctKeys) {
+    CtrDrbg drbg(to_bytes("kg"));
+    const Paillier a = Paillier::generate(drbg, 128);
+    const Paillier b = Paillier::generate(drbg, 128);
+    EXPECT_NE(a.public_key().n, b.public_key().n);
+    EXPECT_EQ(a.public_key().n.bit_length(), 128u);
+}
+
+TEST(Paillier, RejectsTinyModulus) {
+    CtrDrbg drbg(to_bytes("tiny"));
+    EXPECT_THROW(Paillier::generate(drbg, 32), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mie::crypto

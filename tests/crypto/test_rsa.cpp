@@ -1,0 +1,122 @@
+// RSA (OAEP encryption + signatures) tests.
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.hpp"
+
+namespace mie::crypto {
+namespace {
+
+class RsaTest : public ::testing::Test {
+protected:
+    // 1024-bit keys: fast enough for CI, structurally identical to 3072.
+    RsaTest()
+        : drbg_(to_bytes("rsa-test")),
+          keys_(RsaKeyPair::generate(drbg_, 1024)) {}
+
+    CtrDrbg drbg_;
+    RsaKeyPair keys_;
+};
+
+TEST_F(RsaTest, KeyGeneration) {
+    EXPECT_EQ(keys_.public_key().n.bit_length(), 1024u);
+    EXPECT_EQ(keys_.public_key().e, BigUint(65537));
+    EXPECT_EQ(keys_.public_key().modulus_bytes(), 128u);
+    // ed = 1 mod phi implies m^(ed) = m: checked via roundtrips below.
+}
+
+TEST_F(RsaTest, OaepRoundtrip) {
+    for (const char* message :
+         {"", "x", "a 32-byte AES key goes here!!!!",
+          "repository key material of moderate length padded out"}) {
+        const Bytes plaintext = to_bytes(message);
+        const Bytes ciphertext =
+            rsa_oaep_encrypt(keys_.public_key(), plaintext, drbg_);
+        EXPECT_EQ(ciphertext.size(), 128u);
+        EXPECT_EQ(rsa_oaep_decrypt(keys_.private_key(), ciphertext),
+                  plaintext)
+            << message;
+    }
+}
+
+TEST_F(RsaTest, OaepIsRandomized) {
+    const Bytes message = to_bytes("same message");
+    const Bytes c1 = rsa_oaep_encrypt(keys_.public_key(), message, drbg_);
+    const Bytes c2 = rsa_oaep_encrypt(keys_.public_key(), message, drbg_);
+    EXPECT_NE(c1, c2);
+}
+
+TEST_F(RsaTest, OaepRejectsOversizedMessage) {
+    // 128 - 2*32 - 2 = 62 bytes max.
+    EXPECT_NO_THROW(rsa_oaep_encrypt(keys_.public_key(), Bytes(62, 1), drbg_));
+    EXPECT_THROW(rsa_oaep_encrypt(keys_.public_key(), Bytes(63, 1), drbg_),
+                 std::invalid_argument);
+}
+
+TEST_F(RsaTest, OaepRejectsTamperedCiphertext) {
+    Bytes ciphertext =
+        rsa_oaep_encrypt(keys_.public_key(), to_bytes("secret"), drbg_);
+    ciphertext[10] ^= 0x01;
+    EXPECT_THROW(rsa_oaep_decrypt(keys_.private_key(), ciphertext),
+                 std::invalid_argument);
+    EXPECT_THROW(rsa_oaep_decrypt(keys_.private_key(), Bytes(5, 0)),
+                 std::invalid_argument);
+}
+
+TEST_F(RsaTest, DecryptWithWrongKeyFails) {
+    CtrDrbg other_drbg(to_bytes("other"));
+    const auto other = RsaKeyPair::generate(other_drbg, 1024);
+    const Bytes ciphertext =
+        rsa_oaep_encrypt(keys_.public_key(), to_bytes("secret"), drbg_);
+    EXPECT_THROW(rsa_oaep_decrypt(other.private_key(), ciphertext),
+                 std::invalid_argument);
+}
+
+TEST_F(RsaTest, SignVerify) {
+    const Bytes message = to_bytes("share repository key with bob");
+    const Bytes signature = rsa_sign(keys_.private_key(), message);
+    EXPECT_TRUE(rsa_verify(keys_.public_key(), message, signature));
+    // Tampered message or signature fails.
+    EXPECT_FALSE(rsa_verify(keys_.public_key(),
+                            to_bytes("share repository key with eve"),
+                            signature));
+    Bytes tampered = signature;
+    tampered[0] ^= 1;
+    EXPECT_FALSE(rsa_verify(keys_.public_key(), message, tampered));
+    EXPECT_FALSE(rsa_verify(keys_.public_key(), message, Bytes(3, 0)));
+}
+
+TEST_F(RsaTest, SignatureBoundToSigner) {
+    CtrDrbg other_drbg(to_bytes("other-signer"));
+    const auto other = RsaKeyPair::generate(other_drbg, 1024);
+    const Bytes message = to_bytes("m");
+    const Bytes signature = rsa_sign(other.private_key(), message);
+    EXPECT_TRUE(rsa_verify(other.public_key(), message, signature));
+    EXPECT_FALSE(rsa_verify(keys_.public_key(), message, signature));
+}
+
+TEST_F(RsaTest, PublicKeySerialization) {
+    const Bytes wire = keys_.public_key().serialize();
+    const auto parsed = RsaPublicKey::deserialize(wire);
+    EXPECT_EQ(parsed.n, keys_.public_key().n);
+    EXPECT_EQ(parsed.e, keys_.public_key().e);
+    EXPECT_THROW(RsaPublicKey::deserialize(Bytes(3, 0)), std::out_of_range);
+}
+
+TEST(Mgf1, KnownLengthAndDeterminism) {
+    const Bytes seed = to_bytes("seed");
+    const Bytes mask = mgf1_sha256(seed, 100);
+    EXPECT_EQ(mask.size(), 100u);
+    EXPECT_EQ(mask, mgf1_sha256(seed, 100));
+    // Prefix property: longer masks extend shorter ones.
+    const Bytes longer = mgf1_sha256(seed, 150);
+    EXPECT_TRUE(std::equal(mask.begin(), mask.end(), longer.begin()));
+    EXPECT_NE(mgf1_sha256(to_bytes("other"), 100), mask);
+}
+
+TEST(Rsa, RejectsTinyModulus) {
+    CtrDrbg drbg(to_bytes("tiny"));
+    EXPECT_THROW(RsaKeyPair::generate(drbg, 256), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mie::crypto

@@ -1,0 +1,96 @@
+// util/bytes and util/table tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace mie {
+namespace {
+
+TEST(Bytes, HexRoundtrip) {
+    const Bytes data = {0x00, 0x01, 0xab, 0xff};
+    EXPECT_EQ(hex_encode(data), "0001abff");
+    EXPECT_EQ(hex_decode("0001abff"), data);
+    EXPECT_EQ(hex_decode("0001ABFF"), data);
+    EXPECT_TRUE(hex_decode("").empty());
+}
+
+TEST(Bytes, HexDecodeRejectsMalformed) {
+    EXPECT_THROW(hex_decode("abc"), std::invalid_argument);
+    EXPECT_THROW(hex_decode("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, LittleEndianRoundtrip) {
+    Bytes out;
+    append_le<std::uint32_t>(out, 0xdeadbeef);
+    append_le<std::uint64_t>(out, 0x0123456789abcdefULL);
+    EXPECT_EQ(read_le<std::uint32_t>(out, 0), 0xdeadbeefu);
+    EXPECT_EQ(read_le<std::uint64_t>(out, 4), 0x0123456789abcdefULL);
+    EXPECT_THROW(read_le<std::uint64_t>(out, 8), std::out_of_range);
+}
+
+TEST(Bytes, BigEndianRoundtrip) {
+    std::uint8_t buf[8];
+    store_be<std::uint64_t>(buf, 0x1122334455667788ULL);
+    EXPECT_EQ(buf[0], 0x11);
+    EXPECT_EQ(buf[7], 0x88);
+    EXPECT_EQ(load_be<std::uint64_t>(buf), 0x1122334455667788ULL);
+}
+
+TEST(Bytes, CtEqual) {
+    EXPECT_TRUE(ct_equal(to_bytes("abc"), to_bytes("abc")));
+    EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("abd")));
+    EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("ab")));
+    EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, XorInto) {
+    Bytes a = {0xff, 0x00, 0x55};
+    const Bytes b = {0x0f, 0xf0, 0x55};
+    xor_into(std::span(a), b);
+    EXPECT_EQ(a, (Bytes{0xf0, 0xf0, 0x00}));
+    Bytes c = {1};
+    EXPECT_THROW(xor_into(std::span(c), b), std::invalid_argument);
+}
+
+TEST(Bytes, StringConversion) {
+    EXPECT_EQ(to_string(to_bytes("hello")), "hello");
+}
+
+TEST(SplitMix64, DeterministicAndDistributed) {
+    SplitMix64 a(7), b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+    SplitMix64 c(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) sum += c.next_double();
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(TextTable, RendersAligned) {
+    TextTable t({"Scheme", "Time"});
+    t.add_row({"MIE", "1.5"});
+    t.add_row({"Hom-MSSE", "30.6"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Scheme"), std::string::npos);
+    EXPECT_NE(out.find("Hom-MSSE"), std::string::npos);
+    EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsBadRows) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(FmtDouble, Formats) {
+    EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt_double(0.0, 1), "0.0");
+}
+
+}  // namespace
+}  // namespace mie

@@ -1,0 +1,226 @@
+// Dense-DPE property tests: determinism, key expansion, and — the core
+// contract of Definition 1 — preservation of Euclidean distances below the
+// threshold t and saturation above it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "crypto/drbg.hpp"
+#include "dpe/dense_dpe.hpp"
+#include "util/rng.hpp"
+
+namespace mie::dpe {
+namespace {
+
+using features::FeatureVec;
+
+// Slope-1 delta: normalized Hamming ~= Euclidean distance for d < t.
+const double kUnitSlopeDelta = std::sqrt(2.0 / std::numbers::pi);
+
+FeatureVec random_unit_vector(SplitMix64& rng, std::size_t dims) {
+    FeatureVec v(dims);
+    double norm_sq = 0.0;
+    for (auto& x : v) {
+        // Crude Gaussian via sum of uniforms is fine for test geometry.
+        double g = 0.0;
+        for (int i = 0; i < 12; ++i) g += rng.next_double();
+        x = static_cast<float>(g - 6.0);
+        norm_sq += static_cast<double>(x) * x;
+    }
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& x : v) x = static_cast<float>(x * inv);
+    return v;
+}
+
+/// Returns a vector at exact Euclidean distance `d` from `p`.
+FeatureVec at_distance(SplitMix64& rng, const FeatureVec& p, double d) {
+    const FeatureVec direction = random_unit_vector(rng, p.size());
+    FeatureVec q = p;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        q[i] += static_cast<float>(d * direction[i]);
+    }
+    return q;
+}
+
+TEST(DenseDpe, KeygenValidatesParameters) {
+    const auto entropy = to_bytes("e");
+    EXPECT_THROW(DenseDpe::keygen(entropy, 0, 64, 1.0), std::invalid_argument);
+    EXPECT_THROW(DenseDpe::keygen(entropy, 64, 0, 1.0), std::invalid_argument);
+    EXPECT_THROW(DenseDpe::keygen(entropy, 64, 64, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(DenseDpe::keygen(entropy, 64, 64, -1.0),
+                 std::invalid_argument);
+}
+
+TEST(DenseDpe, EncodingIsDeterministicPerKey) {
+    const auto key = DenseDpe::keygen(to_bytes("seed"), 16, 128, 1.0);
+    const DenseDpe a(key), b(key);
+    SplitMix64 rng(1);
+    const FeatureVec p = random_unit_vector(rng, 16);
+    EXPECT_EQ(a.encode(p), b.encode(p));
+    EXPECT_EQ(a.encode(p).size(), 128u);
+}
+
+TEST(DenseDpe, DifferentSeedsGiveDifferentEncodings) {
+    const auto k1 = DenseDpe::keygen(to_bytes("seed-1"), 16, 128, 1.0);
+    const auto k2 = DenseDpe::keygen(to_bytes("seed-2"), 16, 128, 1.0);
+    SplitMix64 rng(2);
+    const FeatureVec p = random_unit_vector(rng, 16);
+    const BitCode e1 = DenseDpe(k1).encode(p);
+    const BitCode e2 = DenseDpe(k2).encode(p);
+    // Unrelated keys: encodings look independent (Hamming ~ 0.5).
+    EXPECT_GT(e1.normalized_hamming(e2), 0.3);
+}
+
+TEST(DenseDpe, IdenticalPlaintextsHaveZeroDistance) {
+    const auto key = DenseDpe::keygen(to_bytes("zero"), 32, 256, 1.0);
+    const DenseDpe dpe(key);
+    SplitMix64 rng(3);
+    const FeatureVec p = random_unit_vector(rng, 32);
+    EXPECT_EQ(DenseDpe::distance(dpe.encode(p), dpe.encode(p)), 0.0);
+}
+
+TEST(DenseDpe, KeyIsCompactAndSerializable) {
+    const auto key = DenseDpe::keygen(to_bytes("entropy"), 64, 64, 0.5);
+    const Bytes wire = key.serialize();
+    // O(1) in (N, M): the key is a seed plus parameters, not an M x N
+    // matrix (which would be 64*64*4 = 16 KiB).
+    EXPECT_LT(wire.size(), 100u);
+    const auto parsed = DenseDpeKey::deserialize(wire);
+    EXPECT_EQ(parsed.seed, key.seed);
+    EXPECT_EQ(parsed.input_dims, key.input_dims);
+    EXPECT_EQ(parsed.output_bits, key.output_bits);
+    EXPECT_DOUBLE_EQ(parsed.delta, key.delta);
+    // Same wire key -> same encoder.
+    SplitMix64 rng(4);
+    const FeatureVec p = random_unit_vector(rng, 64);
+    EXPECT_EQ(DenseDpe(key).encode(p), DenseDpe(parsed).encode(p));
+}
+
+TEST(DenseDpe, ThresholdScalesWithDelta) {
+    const auto k1 = DenseDpe::keygen(to_bytes("t"), 8, 8, 0.5);
+    const auto k2 = DenseDpe::keygen(to_bytes("t"), 8, 8, 1.0);
+    EXPECT_NEAR(DenseDpe::threshold(k2) / DenseDpe::threshold(k1), 2.0, 1e-9);
+    // With the unit-slope delta the threshold is 0.5, as in the paper's
+    // prototype (t = 0.5).
+    const auto k3 = DenseDpe::keygen(to_bytes("t"), 8, 8, kUnitSlopeDelta);
+    EXPECT_NEAR(DenseDpe::threshold(k3), 0.5, 1e-9);
+}
+
+// The core DPE property, checked over a sweep of plaintext distances: the
+// encoded (normalized Hamming) distance tracks the plaintext (Euclidean)
+// distance below the threshold and stays near the saturation value above.
+class DenseDpeDistanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DenseDpeDistanceSweep, PreservesDistanceBelowThreshold) {
+    const double dp = GetParam();
+    constexpr std::size_t kDims = 64;
+    constexpr std::size_t kBits = 4096;  // large M reduces estimator noise
+    const auto key =
+        DenseDpe::keygen(to_bytes("sweep"), kDims, kBits, kUnitSlopeDelta);
+    const DenseDpe dpe(key);
+
+    SplitMix64 rng(42 + static_cast<std::uint64_t>(dp * 1000));
+    double total = 0.0;
+    constexpr int kTrials = 8;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const FeatureVec p = random_unit_vector(rng, kDims);
+        const FeatureVec q = at_distance(rng, p, dp);
+        total += DenseDpe::distance(dpe.encode(p), dpe.encode(q));
+    }
+    const double de = total / kTrials;
+
+    if (dp < 0.45) {
+        // Below threshold: encoded distance approximates plaintext distance.
+        EXPECT_NEAR(de, dp, 0.05) << "dp=" << dp;
+    } else {
+        // Above threshold: saturates around 1/2 (with the documented
+        // overshoot hump just past the threshold, cf. Table II's 0.59).
+        EXPECT_GT(de, 0.40) << "dp=" << dp;
+        EXPECT_LT(de, 0.68) << "dp=" << dp;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DenseDpeDistanceSweep,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2, 0.3, 0.4,
+                                           0.5, 0.7, 1.0, 1.5, 2.0));
+
+TEST(DenseDpe, MonotoneBelowThreshold) {
+    constexpr std::size_t kDims = 64;
+    const auto key =
+        DenseDpe::keygen(to_bytes("mono"), kDims, 4096, kUnitSlopeDelta);
+    const DenseDpe dpe(key);
+    SplitMix64 rng(7);
+    const FeatureVec p = random_unit_vector(rng, kDims);
+    double previous = -1.0;
+    for (double dp : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+        double total = 0.0;
+        for (int trial = 0; trial < 8; ++trial) {
+            total += DenseDpe::distance(dpe.encode(p),
+                                        dpe.encode(at_distance(rng, p, dp)));
+        }
+        const double de = total / 8;
+        EXPECT_GT(de, previous) << "dp=" << dp;
+        previous = de;
+    }
+}
+
+TEST(DenseDpe, FarDistancesLeakNothingBeyondSaturation) {
+    // Distances 1.5 and 3.0 (both far above t) must be statistically
+    // indistinguishable in encoded space: the adversary cannot rank them.
+    constexpr std::size_t kDims = 64;
+    const auto key =
+        DenseDpe::keygen(to_bytes("sat"), kDims, 4096, kUnitSlopeDelta);
+    const DenseDpe dpe(key);
+    SplitMix64 rng(8);
+    double sum_near = 0.0, sum_far = 0.0;
+    constexpr int kTrials = 16;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const FeatureVec p = random_unit_vector(rng, kDims);
+        sum_near += DenseDpe::distance(dpe.encode(p),
+                                       dpe.encode(at_distance(rng, p, 1.5)));
+        sum_far += DenseDpe::distance(dpe.encode(p),
+                                      dpe.encode(at_distance(rng, p, 3.0)));
+    }
+    EXPECT_NEAR(sum_near / kTrials, sum_far / kTrials, 0.05);
+}
+
+TEST(DenseDpe, EncodeRejectsWrongDimension) {
+    const auto key = DenseDpe::keygen(to_bytes("dim"), 8, 64, 1.0);
+    const DenseDpe dpe(key);
+    EXPECT_THROW(dpe.encode(FeatureVec(7, 0.0f)), std::invalid_argument);
+}
+
+TEST(BitCode, SetGetAndHamming) {
+    BitCode a(130), b(130);
+    a.set(0, true);
+    a.set(64, true);
+    a.set(129, true);
+    EXPECT_TRUE(a.get(0));
+    EXPECT_FALSE(a.get(1));
+    EXPECT_EQ(a.hamming_distance(b), 3u);
+    b.set(0, true);
+    EXPECT_EQ(a.hamming_distance(b), 2u);
+    EXPECT_DOUBLE_EQ(a.normalized_hamming(b), 2.0 / 130.0);
+    a.set(0, false);
+    EXPECT_EQ(a.hamming_distance(b), 3u);
+}
+
+TEST(BitCode, SizeMismatchThrows) {
+    BitCode a(10), b(11);
+    EXPECT_THROW(a.hamming_distance(b), std::invalid_argument);
+}
+
+TEST(BitCode, SerializeRoundtrip) {
+    BitCode a(77);
+    a.set(0, true);
+    a.set(76, true);
+    a.set(33, true);
+    const BitCode b = BitCode::deserialize(a.serialize());
+    EXPECT_EQ(a, b);
+    EXPECT_THROW(BitCode::deserialize(Bytes(4, 0)), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mie::dpe

@@ -1,0 +1,68 @@
+// Sparse-DPE tests: PRF determinism, equality-only distance (t = 0), and
+// token unlinkability across keys.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "dpe/sparse_dpe.hpp"
+
+namespace mie::dpe {
+namespace {
+
+TEST(SparseDpe, DeterministicPerKey) {
+    const auto key = SparseDpe::keygen(to_bytes("entropy"));
+    const SparseDpe a(key), b(key);
+    EXPECT_EQ(a.encode("cloud"), b.encode("cloud"));
+    EXPECT_EQ(a.encode("cloud").size(), SparseDpe::kTokenSize);
+}
+
+TEST(SparseDpe, EqualKeywordsHaveZeroDistance) {
+    const SparseDpe dpe(SparseDpe::keygen(to_bytes("k")));
+    EXPECT_EQ(SparseDpe::distance(dpe.encode("privacy"),
+                                  dpe.encode("privacy")),
+              0.0);
+}
+
+TEST(SparseDpe, OneCharApartIsMaximallyDistant) {
+    // t = 0: no similarity is preserved, even for near-identical keywords.
+    const SparseDpe dpe(SparseDpe::keygen(to_bytes("k")));
+    EXPECT_EQ(SparseDpe::distance(dpe.encode("privacy"),
+                                  dpe.encode("privacz")),
+              1.0);
+    EXPECT_EQ(SparseDpe::distance(dpe.encode("a"), dpe.encode("b")), 1.0);
+}
+
+TEST(SparseDpe, TokensAreUnlinkableAcrossKeys) {
+    const SparseDpe a(SparseDpe::keygen(to_bytes("key-a")));
+    const SparseDpe b(SparseDpe::keygen(to_bytes("key-b")));
+    EXPECT_NE(a.encode("word"), b.encode("word"));
+}
+
+TEST(SparseDpe, NoCollisionsOnVocabulary) {
+    const SparseDpe dpe(SparseDpe::keygen(to_bytes("vocab")));
+    std::set<Bytes> tokens;
+    for (int i = 0; i < 5000; ++i) {
+        tokens.insert(dpe.encode("word" + std::to_string(i)));
+    }
+    EXPECT_EQ(tokens.size(), 5000u);
+}
+
+TEST(SparseDpe, EmptyKeywordIsEncodable) {
+    const SparseDpe dpe(SparseDpe::keygen(to_bytes("e")));
+    EXPECT_EQ(dpe.encode("").size(), SparseDpe::kTokenSize);
+    EXPECT_NE(dpe.encode(""), dpe.encode("x"));
+}
+
+TEST(SparseDpe, KeySerializationRoundtrip) {
+    const auto key = SparseDpe::keygen(to_bytes("roundtrip"));
+    const auto parsed = SparseDpeKey::deserialize(key.serialize());
+    EXPECT_EQ(SparseDpe(parsed).encode("w"), SparseDpe(key).encode("w"));
+}
+
+TEST(SparseDpe, RejectsEmptyKey) {
+    EXPECT_THROW(SparseDpe(SparseDpeKey{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mie::dpe

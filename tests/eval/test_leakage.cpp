@@ -1,0 +1,89 @@
+// Leakage-analysis tests: the clustering attack must succeed on raw
+// structure and fail on structure the DPE threshold hides.
+#include <gtest/gtest.h>
+
+#include "dpe/dense_dpe.hpp"
+#include "eval/leakage.hpp"
+#include "util/rng.hpp"
+
+namespace mie::eval {
+namespace {
+
+TEST(ClusterLabelAccuracy, PerfectAndChance) {
+    // Perfect: clusters == labels.
+    EXPECT_DOUBLE_EQ(cluster_label_accuracy({0, 0, 1, 1}, {5, 5, 9, 9}),
+                     1.0);
+    // One cluster holding both labels: majority vote gets half.
+    EXPECT_DOUBLE_EQ(cluster_label_accuracy({0, 0, 0, 0}, {5, 5, 9, 9}),
+                     0.5);
+    EXPECT_THROW(cluster_label_accuracy({0}, {1, 2}), std::invalid_argument);
+    EXPECT_THROW(cluster_label_accuracy({}, {}), std::invalid_argument);
+}
+
+TEST(ClusterLabelAccuracy, LabelPermutationInvariant) {
+    // Accuracy must not depend on cluster numbering.
+    EXPECT_DOUBLE_EQ(cluster_label_accuracy({1, 1, 0, 0}, {5, 5, 9, 9}),
+                     1.0);
+}
+
+std::vector<dpe::BitCode> class_codes(std::uint32_t label, int count,
+                                      SplitMix64& rng) {
+    // Class prototype: a distinct third of the bits set.
+    std::vector<dpe::BitCode> codes;
+    for (int i = 0; i < count; ++i) {
+        dpe::BitCode code(96);
+        for (std::size_t b = 0; b < 32; ++b) {
+            code.set((static_cast<std::size_t>(label) * 32 + b) % 96, true);
+        }
+        for (int flip = 0; flip < 4; ++flip) {
+            const std::size_t bit = rng.next_below(96);
+            code.set(bit, !code.get(bit));
+        }
+        codes.push_back(code);
+    }
+    return codes;
+}
+
+TEST(DpeClusteringAttack, RecoversObviousStructure) {
+    SplitMix64 rng(3);
+    std::vector<std::vector<dpe::BitCode>> objects;
+    std::vector<std::uint32_t> labels;
+    for (std::uint32_t label = 0; label < 3; ++label) {
+        for (int i = 0; i < 10; ++i) {
+            objects.push_back(class_codes(label, 5, rng));
+            labels.push_back(label);
+        }
+    }
+    EXPECT_GT(dpe_clustering_attack(objects, labels), 0.9);
+}
+
+TEST(DpeClusteringAttack, ChanceOnRandomCodes) {
+    SplitMix64 rng(4);
+    std::vector<std::vector<dpe::BitCode>> objects;
+    std::vector<std::uint32_t> labels;
+    for (std::uint32_t label = 0; label < 4; ++label) {
+        for (int i = 0; i < 10; ++i) {
+            std::vector<dpe::BitCode> codes;
+            for (int c = 0; c < 5; ++c) {
+                dpe::BitCode code(96);
+                for (std::size_t b = 0; b < 96; ++b) {
+                    code.set(b, rng.next_double() < 0.5);
+                }
+                codes.push_back(code);
+            }
+            objects.push_back(std::move(codes));
+            labels.push_back(label);
+        }
+    }
+    // Labels are independent of the codes: accuracy near chance (0.25),
+    // with slack for majority-vote inflation on small samples.
+    EXPECT_LT(dpe_clustering_attack(objects, labels), 0.55);
+}
+
+TEST(DpeClusteringAttack, InputValidation) {
+    EXPECT_THROW(dpe_clustering_attack({}, {}), std::invalid_argument);
+    EXPECT_THROW(dpe_clustering_attack({{}}, {0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mie::eval

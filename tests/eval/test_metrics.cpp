@@ -1,0 +1,52 @@
+// mAP / precision / recall metric tests.
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+
+namespace mie::eval {
+namespace {
+
+TEST(AveragePrecision, PerfectRanking) {
+    EXPECT_DOUBLE_EQ(average_precision({1, 2, 3}, {1, 2, 3}), 1.0);
+    EXPECT_DOUBLE_EQ(average_precision({1, 2, 9, 9}, {1, 2}), 1.0);
+}
+
+TEST(AveragePrecision, KnownValue) {
+    // Relevant at positions 1 and 3: AP = (1/1 + 2/3) / 2 = 5/6.
+    EXPECT_NEAR(average_precision({1, 9, 2}, {1, 2}), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecision, MissedRelevantPenalized) {
+    // One of two relevant docs never retrieved: AP = (1/1)/2 = 0.5.
+    EXPECT_DOUBLE_EQ(average_precision({1, 9, 8}, {1, 2}), 0.5);
+}
+
+TEST(AveragePrecision, EdgeCases) {
+    EXPECT_DOUBLE_EQ(average_precision({}, {1}), 0.0);
+    EXPECT_DOUBLE_EQ(average_precision({1, 2}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(average_precision({9, 8}, {1}), 0.0);
+}
+
+TEST(MeanAveragePrecision, AveragesAcrossQueries) {
+    const std::vector<std::vector<std::uint64_t>> ranked = {{1}, {9}};
+    const std::vector<std::unordered_set<std::uint64_t>> relevant = {{1},
+                                                                     {2}};
+    EXPECT_DOUBLE_EQ(mean_average_precision(ranked, relevant), 0.5);
+    EXPECT_DOUBLE_EQ(mean_average_precision({}, {}), 0.0);
+    EXPECT_THROW(mean_average_precision(ranked, {{1}}),
+                 std::invalid_argument);
+}
+
+TEST(PrecisionRecallAtK, KnownValues) {
+    const std::vector<std::uint64_t> ranked = {1, 9, 2, 8};
+    const std::unordered_set<std::uint64_t> relevant = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(precision_at_k(ranked, relevant, 2), 0.5);
+    EXPECT_DOUBLE_EQ(precision_at_k(ranked, relevant, 4), 0.5);
+    EXPECT_DOUBLE_EQ(precision_at_k(ranked, relevant, 0), 0.0);
+    EXPECT_NEAR(recall_at_k(ranked, relevant, 4), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(recall_at_k(ranked, relevant, 1), 1.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(recall_at_k(ranked, {}, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace mie::eval

@@ -1,0 +1,103 @@
+// Audio feature-extraction tests: spectral descriptors must be stable per
+// signal, discriminate frequencies, and feed the dense pipeline (64-dim,
+// unit norm).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "features/audio.hpp"
+#include "util/rng.hpp"
+
+namespace mie::features {
+namespace {
+
+std::vector<float> tone(double hz, std::size_t samples,
+                        double sample_rate = 8000.0, double phase = 0.0) {
+    std::vector<float> wave(samples);
+    for (std::size_t n = 0; n < samples; ++n) {
+        wave[n] = static_cast<float>(
+            0.5 * std::sin(2.0 * std::numbers::pi * hz * n / sample_rate +
+                           phase));
+    }
+    return wave;
+}
+
+TEST(AudioFeatures, DescriptorShape) {
+    const auto wave = tone(440.0, 4096);
+    const auto descriptors = extract_audio_descriptors(wave);
+    ASSERT_FALSE(descriptors.empty());
+    for (const auto& d : descriptors) {
+        ASSERT_EQ(d.size(), audio_descriptor_dims(AudioFeatureParams{}));
+        EXPECT_NEAR(norm(d), 1.0, 1e-4);
+    }
+    // frame/hop arithmetic: (4096 - 512) / 256 + 1 frames.
+    EXPECT_EQ(descriptors.size(), (4096 - 512) / 256 + 1);
+}
+
+TEST(AudioFeatures, EmptyAndShortInputs) {
+    EXPECT_TRUE(extract_audio_descriptors({}).empty());
+    const auto short_wave = tone(440.0, 100);
+    EXPECT_TRUE(extract_audio_descriptors(short_wave).empty());
+}
+
+TEST(AudioFeatures, SilenceYieldsNoDescriptors) {
+    const std::vector<float> silence(4096, 0.0f);
+    EXPECT_TRUE(extract_audio_descriptors(silence).empty());
+}
+
+TEST(AudioFeatures, Deterministic) {
+    const auto wave = tone(300.0, 2048);
+    EXPECT_EQ(extract_audio_descriptors(wave),
+              extract_audio_descriptors(wave));
+}
+
+TEST(AudioFeatures, DiscriminatesFrequencies) {
+    // Same tone (different phase) must be much closer in descriptor space
+    // than a different tone.
+    const auto a1 = extract_audio_descriptors(tone(220.0, 4096));
+    const auto a2 = extract_audio_descriptors(tone(220.0, 4096, 8000.0, 1.0));
+    const auto b = extract_audio_descriptors(tone(1760.0, 4096));
+    ASSERT_FALSE(a1.empty());
+    double same = 0.0, different = 0.0;
+    const std::size_t count = std::min({a1.size(), a2.size(), b.size()});
+    for (std::size_t i = 0; i < count; ++i) {
+        same += euclidean_distance(a1[i], a2[i]);
+        different += euclidean_distance(a1[i], b[i]);
+    }
+    EXPECT_LT(same, different * 0.5);
+}
+
+TEST(AudioFeatures, DeltasCaptureChange) {
+    // A frequency sweep has larger delta components than a steady tone.
+    constexpr std::size_t kSamples = 8192;
+    std::vector<float> sweep(kSamples);
+    for (std::size_t n = 0; n < kSamples; ++n) {
+        const double t = static_cast<double>(n) / 8000.0;
+        const double hz = 200.0 + 1500.0 * t;  // chirp
+        sweep[n] = static_cast<float>(0.5 * std::sin(
+            2.0 * std::numbers::pi * hz * t));
+    }
+    const AudioFeatureParams params;
+    const auto steady = extract_audio_descriptors(tone(440.0, kSamples));
+    const auto chirped = extract_audio_descriptors(sweep);
+    auto delta_energy = [&](const std::vector<FeatureVec>& descriptors) {
+        double total = 0.0;
+        for (const auto& d : descriptors) {
+            for (std::size_t b = params.bands; b < 2 * params.bands; ++b) {
+                total += static_cast<double>(d[b]) * d[b];
+            }
+        }
+        return total / static_cast<double>(descriptors.size());
+    };
+    EXPECT_GT(delta_energy(chirped), delta_energy(steady) * 2.0);
+}
+
+TEST(AudioFeatures, ParamValidation) {
+    AudioFeatureParams params;
+    params.bands = 0;
+    EXPECT_TRUE(extract_audio_descriptors(tone(440.0, 4096), params).empty());
+}
+
+}  // namespace
+}  // namespace mie::features

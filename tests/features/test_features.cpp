@@ -1,0 +1,177 @@
+// Feature-extraction tests: images, integral images, dense pyramid, U-SURF.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/feature.hpp"
+#include "features/image.hpp"
+#include "features/surf.hpp"
+#include "util/rng.hpp"
+
+namespace mie::features {
+namespace {
+
+Image noise_image(int w, int h, std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    Image img(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            img.at(x, y) = static_cast<float>(rng.next_double());
+        }
+    }
+    return img;
+}
+
+TEST(Feature, DistancesAndNorm) {
+    const FeatureVec a = {1.0f, 0.0f, 0.0f};
+    const FeatureVec b = {0.0f, 1.0f, 0.0f};
+    EXPECT_DOUBLE_EQ(squared_distance(a, b), 2.0);
+    EXPECT_DOUBLE_EQ(euclidean_distance(a, b), std::sqrt(2.0));
+    EXPECT_DOUBLE_EQ(euclidean_distance(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(norm(a), 1.0);
+    EXPECT_THROW(squared_distance(a, FeatureVec{1.0f}),
+                 std::invalid_argument);
+}
+
+TEST(Feature, NormalizeMakesUnitNorm) {
+    FeatureVec v = {3.0f, 4.0f};
+    normalize(v);
+    EXPECT_NEAR(norm(v), 1.0, 1e-6);
+    EXPECT_NEAR(v[0], 0.6, 1e-6);
+    FeatureVec zero = {0.0f, 0.0f};
+    normalize(zero);  // must not divide by zero
+    EXPECT_DOUBLE_EQ(norm(zero), 0.0);
+}
+
+TEST(Image, ConstructionAndAccess) {
+    Image img(4, 3);
+    EXPECT_EQ(img.width(), 4);
+    EXPECT_EQ(img.height(), 3);
+    img.at(2, 1) = 0.5f;
+    EXPECT_FLOAT_EQ(img.at(2, 1), 0.5f);
+    EXPECT_FLOAT_EQ(img.at(0, 0), 0.0f);
+    EXPECT_THROW(Image(0, 5), std::invalid_argument);
+    EXPECT_THROW(Image(5, -1), std::invalid_argument);
+}
+
+TEST(Image, ClampedAccess) {
+    Image img(2, 2);
+    img.at(0, 0) = 1.0f;
+    img.at(1, 1) = 2.0f;
+    EXPECT_FLOAT_EQ(img.at_clamped(-5, -5), 1.0f);
+    EXPECT_FLOAT_EQ(img.at_clamped(10, 10), 2.0f);
+}
+
+TEST(IntegralImage, MatchesBruteForceBoxSums) {
+    const Image img = noise_image(17, 13, 99);
+    const IntegralImage ii(img);
+    SplitMix64 rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        int x0 = static_cast<int>(rng.next_below(17));
+        int x1 = static_cast<int>(rng.next_below(17));
+        int y0 = static_cast<int>(rng.next_below(13));
+        int y1 = static_cast<int>(rng.next_below(13));
+        if (x0 > x1) std::swap(x0, x1);
+        if (y0 > y1) std::swap(y0, y1);
+        double expect = 0.0;
+        for (int y = y0; y <= y1; ++y) {
+            for (int x = x0; x <= x1; ++x) expect += img.at(x, y);
+        }
+        EXPECT_NEAR(ii.box_sum(x0, y0, x1, y1), expect, 1e-9);
+    }
+}
+
+TEST(IntegralImage, ClampsOutOfRangeBoxes) {
+    const Image img = noise_image(8, 8, 1);
+    const IntegralImage ii(img);
+    double total = 0.0;
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) total += img.at(x, y);
+    }
+    EXPECT_NEAR(ii.box_sum(-100, -100, 100, 100), total, 1e-9);
+    EXPECT_DOUBLE_EQ(ii.box_sum(5, 5, 3, 3), 0.0);  // inverted rect
+}
+
+TEST(DensePyramid, CoversImageAtMultipleScales) {
+    const auto kps = dense_pyramid_keypoints(128, 128, DensePyramidParams{});
+    ASSERT_FALSE(kps.empty());
+    // Multiple scales present.
+    float min_scale = kps.front().scale, max_scale = kps.front().scale;
+    for (const auto& kp : kps) {
+        min_scale = std::min(min_scale, kp.scale);
+        max_scale = std::max(max_scale, kp.scale);
+        EXPECT_GE(kp.x, 0.0f);
+        EXPECT_LT(kp.x, 128.0f);
+        EXPECT_GE(kp.y, 0.0f);
+        EXPECT_LT(kp.y, 128.0f);
+    }
+    EXPECT_GT(max_scale, min_scale);
+}
+
+TEST(DensePyramid, MoreLevelsMoreKeypoints) {
+    DensePyramidParams one{.levels = 1};
+    DensePyramidParams three{.levels = 3};
+    EXPECT_GT(dense_pyramid_keypoints(128, 128, three).size(),
+              dense_pyramid_keypoints(128, 128, one).size());
+}
+
+TEST(Surf, DescriptorIs64DimUnitNorm) {
+    const Image img = noise_image(96, 96, 3);
+    const SurfExtractor surf;
+    const auto descriptors = surf.extract(img);
+    ASSERT_FALSE(descriptors.empty());
+    for (const auto& d : descriptors) {
+        ASSERT_EQ(d.size(), SurfExtractor::kDescriptorSize);
+        EXPECT_NEAR(norm(d), 1.0, 1e-4);
+    }
+}
+
+TEST(Surf, FlatImageYieldsZeroDescriptor) {
+    Image img(64, 64);
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) img.at(x, y) = 0.5f;
+    }
+    const SurfExtractor surf;
+    const IntegralImage ii(img);
+    const FeatureVec d = surf.describe(ii, Keypoint{32.0f, 32.0f, 1.2f});
+    // No gradients anywhere: all Haar responses are 0; norm stays 0.
+    EXPECT_DOUBLE_EQ(norm(d), 0.0);
+}
+
+TEST(Surf, DescriptorIsDeterministic) {
+    const Image img = noise_image(64, 64, 4);
+    const SurfExtractor surf;
+    EXPECT_EQ(surf.extract(img), surf.extract(img));
+}
+
+TEST(Surf, SimilarPatchesCloserThanDifferentOnes) {
+    // Core retrieval property: a lightly-perturbed image yields descriptors
+    // closer to the original than an unrelated image does.
+    const Image original = noise_image(64, 64, 10);
+    Image perturbed = original;
+    SplitMix64 rng(11);
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            perturbed.at(x, y) +=
+                static_cast<float>((rng.next_double() - 0.5) * 0.05);
+        }
+    }
+    const Image unrelated = noise_image(64, 64, 12);
+
+    const SurfExtractor surf;
+    const auto d_orig = surf.extract(original);
+    const auto d_pert = surf.extract(perturbed);
+    const auto d_unrel = surf.extract(unrelated);
+    ASSERT_EQ(d_orig.size(), d_pert.size());
+    ASSERT_EQ(d_orig.size(), d_unrel.size());
+
+    double dist_pert = 0.0, dist_unrel = 0.0;
+    for (std::size_t i = 0; i < d_orig.size(); ++i) {
+        dist_pert += euclidean_distance(d_orig[i], d_pert[i]);
+        dist_unrel += euclidean_distance(d_orig[i], d_unrel[i]);
+    }
+    EXPECT_LT(dist_pert, dist_unrel * 0.8);
+}
+
+}  // namespace
+}  // namespace mie::features

@@ -1,0 +1,123 @@
+// Text pipeline tests: tokenizer, stop words, Porter stemmer, histograms.
+#include <gtest/gtest.h>
+
+#include "features/text.hpp"
+
+namespace mie::features {
+namespace {
+
+TEST(Tokenize, LowercasesAndSplits) {
+    const auto tokens = tokenize("Hello, World! C++ rocks-42 ok");
+    ASSERT_EQ(tokens.size(), 5u);
+    EXPECT_EQ(tokens[0], "hello");
+    EXPECT_EQ(tokens[1], "world");
+    EXPECT_EQ(tokens[2], "rocks");
+    EXPECT_EQ(tokens[3], "42");
+    EXPECT_EQ(tokens[4], "ok");
+}
+
+TEST(Tokenize, KeepsAlphanumericTags) {
+    const auto tokens = tokenize("tag123 dsc042");
+    ASSERT_EQ(tokens.size(), 2u);
+    EXPECT_EQ(tokens[0], "tag123");
+    EXPECT_EQ(tokens[1], "dsc042");
+}
+
+TEST(Tokenize, DropsSingleCharactersAndEmpty) {
+    EXPECT_TRUE(tokenize("").empty());
+    EXPECT_TRUE(tokenize("a b c 1 2 !").empty());
+    EXPECT_EQ(tokenize("12 ab").size(), 2u);
+    EXPECT_EQ(tokenize("ab").size(), 1u);
+}
+
+TEST(StopWords, CommonWordsAreStopWords) {
+    for (const char* w : {"the", "and", "is", "of", "to", "a"}) {
+        EXPECT_TRUE(is_stop_word(w)) << w;
+    }
+    for (const char* w : {"encryption", "cloud", "multimodal", "photo"}) {
+        EXPECT_FALSE(is_stop_word(w)) << w;
+    }
+}
+
+// Classic examples from Porter's paper and the reference implementation.
+struct StemCase {
+    const char* input;
+    const char* expected;
+};
+
+class PorterStemCases : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemCases, MatchesReference) {
+    EXPECT_EQ(porter_stem(GetParam().input), GetParam().expected)
+        << GetParam().input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Reference, PorterStemCases,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStem, ShortWordsUnchanged) {
+    EXPECT_EQ(porter_stem("a"), "a");
+    EXPECT_EQ(porter_stem("is"), "is");
+    EXPECT_EQ(porter_stem("be"), "be");
+}
+
+TEST(TermHistogram, CountsStemsWithoutStopWords) {
+    const auto hist = extract_term_histogram(
+        "The encrypted clouds are encrypting the cloud encryption");
+    // "the", "are" are stop words; encrypted/encrypting/encryption all stem
+    // differently or the same depending on Porter rules — verify counts are
+    // consistent and stop words absent.
+    EXPECT_EQ(hist.count("the"), 0u);
+    EXPECT_EQ(hist.count("are"), 0u);
+    EXPECT_EQ(hist.at("cloud"), 2u);  // clouds + cloud
+    std::uint32_t total = 0;
+    for (const auto& [term, freq] : hist) total += freq;
+    EXPECT_EQ(total, 5u);  // 7 tokens - 2 stop words ("the" twice, "are"... )
+}
+
+TEST(TermHistogram, EmptyTextYieldsEmptyHistogram) {
+    EXPECT_TRUE(extract_term_histogram("").empty());
+    EXPECT_TRUE(extract_term_histogram("the a is of").empty());
+}
+
+}  // namespace
+}  // namespace mie::features

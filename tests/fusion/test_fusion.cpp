@@ -1,0 +1,95 @@
+// Rank fusion tests: logISR (the paper's merger), RRF, CombSUM.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "fusion/rank_fusion.hpp"
+
+namespace mie::fusion {
+namespace {
+
+using index::ScoredDoc;
+
+RankedList list(std::initializer_list<std::uint64_t> docs) {
+    RankedList out;
+    double score = static_cast<double>(docs.size());
+    for (auto doc : docs) out.push_back(ScoredDoc{doc, score--});
+    return out;
+}
+
+TEST(LogIsr, DocInBothModalitiesBeatsSingleModality) {
+    const std::array<RankedList, 2> lists = {list({1, 2, 3}), list({1, 4})};
+    const auto fused = log_isr_fusion(lists, 10);
+    ASSERT_FALSE(fused.empty());
+    EXPECT_EQ(fused.front().doc, 1u);  // rank 1 in both lists
+}
+
+TEST(LogIsr, HigherRankWins) {
+    const std::array<RankedList, 1> lists = {list({5, 6, 7})};
+    const auto fused = log_isr_fusion(lists, 3);
+    ASSERT_EQ(fused.size(), 3u);
+    EXPECT_EQ(fused[0].doc, 5u);
+    EXPECT_EQ(fused[1].doc, 6u);
+    EXPECT_EQ(fused[2].doc, 7u);
+    EXPECT_GT(fused[0].score, fused[1].score);
+}
+
+TEST(LogIsr, InverseSquareDecay) {
+    const std::array<RankedList, 1> lists = {list({1, 2})};
+    const auto fused = log_isr_fusion(lists, 2);
+    // score ratio = (1/1) / (1/4) = 4 (log factor identical: both appear
+    // in one list).
+    EXPECT_NEAR(fused[0].score / fused[1].score, 4.0, 1e-9);
+}
+
+TEST(LogIsr, TruncatesToTopK) {
+    const std::array<RankedList, 1> lists = {list({1, 2, 3, 4, 5})};
+    EXPECT_EQ(log_isr_fusion(lists, 2).size(), 2u);
+}
+
+TEST(LogIsr, EmptyInputs) {
+    EXPECT_TRUE(log_isr_fusion(std::span<const RankedList>{}, 5).empty());
+    const std::array<RankedList, 2> empties = {RankedList{}, RankedList{}};
+    EXPECT_TRUE(log_isr_fusion(empties, 5).empty());
+}
+
+TEST(ReciprocalRank, AgreementWins) {
+    const std::array<RankedList, 2> lists = {list({1, 2}), list({2, 1})};
+    const auto fused = reciprocal_rank_fusion(lists, 2);
+    ASSERT_EQ(fused.size(), 2u);
+    // Symmetric ranks -> tie broken by doc id.
+    EXPECT_EQ(fused[0].doc, 1u);
+    EXPECT_NEAR(fused[0].score, fused[1].score, 1e-12);
+}
+
+TEST(ReciprocalRank, K0DampensRankGap) {
+    const std::array<RankedList, 1> lists = {list({1, 2})};
+    const auto steep = reciprocal_rank_fusion(lists, 2, 1.0);
+    const auto flat = reciprocal_rank_fusion(lists, 2, 1000.0);
+    EXPECT_GT(steep[0].score / steep[1].score,
+              flat[0].score / flat[1].score);
+}
+
+TEST(CombSum, NormalizesScoreScales) {
+    // Modality A has huge raw scores, modality B tiny; min-max
+    // normalization must stop A from dominating by scale alone.
+    RankedList a = {{1, 1000.0}, {2, 999.0}};
+    RankedList b = {{2, 0.002}, {1, 0.001}};
+    const std::array<RankedList, 2> lists = {a, b};
+    const auto fused = comb_sum_fusion(lists, 2);
+    ASSERT_EQ(fused.size(), 2u);
+    // Both docs get 1.0 + 0.0 after normalization -> tie on doc id.
+    EXPECT_NEAR(fused[0].score, fused[1].score, 1e-12);
+}
+
+TEST(CombSum, ConstantListContributesEqually) {
+    RankedList constant = {{1, 5.0}, {2, 5.0}};
+    const std::array<RankedList, 1> lists = {constant};
+    const auto fused = comb_sum_fusion(lists, 2);
+    ASSERT_EQ(fused.size(), 2u);
+    EXPECT_NEAR(fused[0].score, 1.0, 1e-12);
+    EXPECT_NEAR(fused[1].score, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mie::fusion

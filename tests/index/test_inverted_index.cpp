@@ -1,0 +1,191 @@
+// Inverted index, TF-IDF/BM25 scoring, and champion-list tests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "index/champion.hpp"
+#include "index/inverted_index.hpp"
+#include "index/scoring.hpp"
+
+namespace mie::index {
+namespace {
+
+TEST(InvertedIndex, AddAndLookup) {
+    InvertedIndex idx;
+    idx.add("cat", 1, 2);
+    idx.add("cat", 2, 1);
+    idx.add("dog", 1, 5);
+    EXPECT_EQ(idx.num_terms(), 2u);
+    EXPECT_EQ(idx.num_documents(), 2u);
+    EXPECT_EQ(idx.num_postings(), 3u);
+    EXPECT_EQ(idx.document_frequency("cat"), 2u);
+    EXPECT_EQ(idx.document_frequency("missing"), 0u);
+    ASSERT_NE(idx.postings("dog"), nullptr);
+    EXPECT_EQ(idx.postings("dog")->front().frequency, 5u);
+    EXPECT_EQ(idx.postings("missing"), nullptr);
+}
+
+TEST(InvertedIndex, AddAccumulatesFrequency) {
+    InvertedIndex idx;
+    idx.add("cat", 1, 2);
+    idx.add("cat", 1, 3);
+    ASSERT_EQ(idx.postings("cat")->size(), 1u);
+    EXPECT_EQ(idx.postings("cat")->front().frequency, 5u);
+    EXPECT_EQ(idx.num_postings(), 1u);
+}
+
+TEST(InvertedIndex, ZeroFrequencyIsIgnored) {
+    InvertedIndex idx;
+    idx.add("cat", 1, 0);
+    EXPECT_EQ(idx.num_terms(), 0u);
+}
+
+TEST(InvertedIndex, RemoveDocumentPurgesAllPostings) {
+    InvertedIndex idx;
+    idx.add("cat", 1);
+    idx.add("dog", 1);
+    idx.add("cat", 2);
+    idx.remove_document(1);
+    EXPECT_FALSE(idx.contains_document(1));
+    EXPECT_EQ(idx.document_frequency("cat"), 1u);
+    EXPECT_EQ(idx.postings("dog"), nullptr);  // emptied term disappears
+    EXPECT_EQ(idx.num_postings(), 1u);
+    idx.remove_document(42);  // unknown doc is a no-op
+    EXPECT_EQ(idx.num_postings(), 1u);
+}
+
+TEST(InvertedIndex, TermsOfDocument) {
+    InvertedIndex idx;
+    idx.add("a", 7);
+    idx.add("b", 7);
+    const auto terms = idx.terms_of(7);
+    EXPECT_EQ(terms.size(), 2u);
+    EXPECT_TRUE(idx.terms_of(8).empty());
+}
+
+TEST(InvertedIndex, ClearResets) {
+    InvertedIndex idx;
+    idx.add("a", 1);
+    idx.clear();
+    EXPECT_EQ(idx.num_terms(), 0u);
+    EXPECT_EQ(idx.num_documents(), 0u);
+    EXPECT_EQ(idx.num_postings(), 0u);
+}
+
+TEST(TfIdf, RanksByRelevance) {
+    InvertedIndex idx;
+    // doc 1 heavy in "rare"; "common" is in 9 of 10 docs (low idf).
+    idx.add("rare", 1, 5);
+    for (DocId d = 1; d <= 9; ++d) idx.add("common", d, 1);
+    const auto ranked = rank_tfidf(idx, {{"rare", 1}, {"common", 1}}, 10, 5);
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_EQ(ranked.front().doc, 1u);
+    EXPECT_EQ(ranked.size(), 5u);
+}
+
+TEST(TfIdf, UbiquitousTermsScoreZero) {
+    InvertedIndex idx;
+    for (DocId d = 0; d < 4; ++d) idx.add("everywhere", d, 1);
+    // idf = log(4/4) = 0 -> nothing to rank.
+    EXPECT_TRUE(rank_tfidf(idx, {{"everywhere", 1}}, 4, 3).empty());
+}
+
+TEST(TfIdf, QueryFrequencyWeights) {
+    InvertedIndex idx;
+    idx.add("a", 1, 1);
+    idx.add("b", 2, 1);
+    // With 10 documents both terms have equal idf; doubling the query
+    // frequency of "a" must rank doc 1 first.
+    const auto ranked = rank_tfidf(idx, {{"a", 2}, {"b", 1}}, 10, 2);
+    ASSERT_EQ(ranked.size(), 2u);
+    EXPECT_EQ(ranked.front().doc, 1u);
+    EXPECT_GT(ranked[0].score, ranked[1].score);
+}
+
+TEST(TfIdf, EmptyCases) {
+    InvertedIndex idx;
+    EXPECT_TRUE(rank_tfidf(idx, {{"a", 1}}, 0, 5).empty());
+    idx.add("a", 1, 1);
+    EXPECT_TRUE(rank_tfidf(idx, {}, 10, 5).empty());
+    EXPECT_TRUE(rank_tfidf(idx, {{"missing", 1}}, 10, 5).empty());
+}
+
+TEST(Bm25, RanksAndSaturates) {
+    InvertedIndex idx;
+    idx.add("term", 1, 100);  // huge tf
+    idx.add("term", 2, 2);
+    idx.add("other", 2, 1);
+    const auto ranked = rank_bm25(idx, {{"term", 1}}, 10, 2);
+    ASSERT_EQ(ranked.size(), 2u);
+    EXPECT_EQ(ranked.front().doc, 1u);
+    // BM25 saturation: doc1's 50x tf advantage yields < 5x score.
+    EXPECT_LT(ranked[0].score, ranked[1].score * 5.0);
+}
+
+TEST(TopKOf, SortsAndBreaksTies) {
+    std::map<DocId, double> scores = {{3, 1.0}, {1, 2.0}, {2, 1.0}};
+    const auto top = top_k_of(std::move(scores), 2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].doc, 1u);
+    EXPECT_EQ(top[1].doc, 2u);  // tie broken by ascending id
+}
+
+class ChampionIndexTest : public ::testing::Test {
+protected:
+    ChampionIndexTest()
+        : path_(std::filesystem::temp_directory_path() /
+                "mie_champion_test.log") {}
+    std::filesystem::path path_;
+};
+
+TEST_F(ChampionIndexTest, KeepsTopPostingsHot) {
+    ChampionIndex idx(path_, {.champion_size = 2, .buffer_budget = 100});
+    idx.add("t", 1, 10);
+    idx.add("t", 2, 30);
+    idx.add("t", 3, 20);
+    const auto* hot = idx.champions("t");
+    ASSERT_NE(hot, nullptr);
+    ASSERT_EQ(hot->size(), 2u);
+    EXPECT_EQ(hot->at(0).doc, 2u);  // freq 30
+    EXPECT_EQ(hot->at(1).doc, 3u);  // freq 20
+    EXPECT_EQ(idx.buffered_postings(), 1u);  // doc 1 demoted
+}
+
+TEST_F(ChampionIndexTest, SpillsToFullIndexOnDisk) {
+    ChampionIndex idx(path_, {.champion_size = 1, .buffer_budget = 2});
+    for (std::uint64_t d = 0; d < 6; ++d) {
+        idx.add("t", d, static_cast<std::uint32_t>(d + 1));
+    }
+    EXPECT_GT(idx.spilled_postings(), 0u);
+    const auto full = idx.full_postings("t");
+    ASSERT_EQ(full.size(), 6u);
+    EXPECT_EQ(full.front().doc, 5u);  // highest freq overall
+    // Every posting is recoverable with its exact frequency.
+    for (const auto& posting : full) {
+        EXPECT_EQ(posting.frequency, posting.doc + 1);
+    }
+}
+
+TEST_F(ChampionIndexTest, AccumulatesFrequencyInHotSet) {
+    ChampionIndex idx(path_, {.champion_size = 4, .buffer_budget = 100});
+    idx.add("t", 1, 1);
+    idx.add("t", 1, 4);
+    const auto* hot = idx.champions("t");
+    ASSERT_EQ(hot->size(), 1u);
+    EXPECT_EQ(hot->front().frequency, 5u);
+}
+
+TEST_F(ChampionIndexTest, RejectsZeroChampionSize) {
+    EXPECT_THROW(
+        ChampionIndex(path_, {.champion_size = 0, .buffer_budget = 1}),
+        std::invalid_argument);
+}
+
+TEST_F(ChampionIndexTest, UnknownTermBehaviour) {
+    ChampionIndex idx(path_, {});
+    EXPECT_EQ(idx.champions("none"), nullptr);
+    EXPECT_TRUE(idx.full_postings("none").empty());
+}
+
+}  // namespace
+}  // namespace mie::index

@@ -1,0 +1,195 @@
+// k-means / vocabulary tree / BOVW tests in both metric spaces.
+#include <gtest/gtest.h>
+
+#include "dpe/dense_dpe.hpp"
+#include "index/bovw.hpp"
+#include "index/kmeans.hpp"
+#include "index/space.hpp"
+#include "index/vocab_tree.hpp"
+#include "util/rng.hpp"
+
+namespace mie::index {
+namespace {
+
+using features::FeatureVec;
+
+/// Three well-separated 2-D clusters.
+std::vector<FeatureVec> three_euclidean_clusters(std::size_t per_cluster,
+                                                 std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    const float centers[3][2] = {{0.0f, 0.0f}, {10.0f, 0.0f}, {0.0f, 10.0f}};
+    std::vector<FeatureVec> points;
+    for (int c = 0; c < 3; ++c) {
+        for (std::size_t i = 0; i < per_cluster; ++i) {
+            points.push_back(FeatureVec{
+                centers[c][0] + static_cast<float>(rng.next_double()) - 0.5f,
+                centers[c][1] + static_cast<float>(rng.next_double()) -
+                    0.5f});
+        }
+    }
+    return points;
+}
+
+TEST(KMeansEuclidean, RecoversWellSeparatedClusters) {
+    const auto points = three_euclidean_clusters(30, 5);
+    const auto result = kmeans<EuclideanSpace>(points, 3, 20, 42);
+    ASSERT_EQ(result.centroids.size(), 3u);
+    // All members of a ground-truth cluster share an assignment.
+    for (int c = 0; c < 3; ++c) {
+        const std::uint32_t expected = result.assignment[c * 30];
+        for (int i = 0; i < 30; ++i) {
+            EXPECT_EQ(result.assignment[c * 30 + i], expected) << c;
+        }
+    }
+    // Inertia is small relative to the cluster separation.
+    EXPECT_LT(result.inertia / points.size(), 1.0);
+}
+
+TEST(KMeansEuclidean, DeterministicForFixedSeed) {
+    const auto points = three_euclidean_clusters(10, 6);
+    const auto a = kmeans<EuclideanSpace>(points, 3, 10, 7);
+    const auto b = kmeans<EuclideanSpace>(points, 3, 10, 7);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(KMeansEuclidean, KGreaterThanPointsMakesSingletons) {
+    const std::vector<FeatureVec> points = {{0.0f}, {1.0f}};
+    const auto result = kmeans<EuclideanSpace>(points, 5, 10, 1);
+    EXPECT_EQ(result.centroids.size(), 2u);
+    EXPECT_DOUBLE_EQ(result.inertia, 0.0);
+}
+
+TEST(KMeansEuclidean, RejectsEmptyInput) {
+    EXPECT_THROW(kmeans<EuclideanSpace>({}, 3, 10, 1), std::invalid_argument);
+    const std::vector<FeatureVec> points = {{0.0f}};
+    EXPECT_THROW(kmeans<EuclideanSpace>(points, 0, 10, 1),
+                 std::invalid_argument);
+}
+
+TEST(KMeansEuclidean, InertiaDecreasesWithMoreClusters) {
+    const auto points = three_euclidean_clusters(20, 8);
+    const double inertia1 =
+        kmeans<EuclideanSpace>(points, 1, 15, 3).inertia;
+    const double inertia3 =
+        kmeans<EuclideanSpace>(points, 3, 15, 3).inertia;
+    EXPECT_LT(inertia3, inertia1 * 0.2);
+}
+
+std::vector<dpe::BitCode> hamming_clusters(std::size_t per_cluster,
+                                           std::uint64_t seed) {
+    // Three prototype codes far apart, members flip a few bits.
+    SplitMix64 rng(seed);
+    std::vector<dpe::BitCode> points;
+    for (int c = 0; c < 3; ++c) {
+        dpe::BitCode prototype(96);
+        for (std::size_t b = 0; b < 32; ++b) {
+            prototype.set(static_cast<std::size_t>(c) * 32 + b, true);
+        }
+        for (std::size_t i = 0; i < per_cluster; ++i) {
+            dpe::BitCode member = prototype;
+            for (int flips = 0; flips < 3; ++flips) {
+                const std::size_t bit = rng.next_below(96);
+                member.set(bit, !member.get(bit));
+            }
+            points.push_back(member);
+        }
+    }
+    return points;
+}
+
+TEST(KMeansHamming, RecoversBitClusters) {
+    const auto points = hamming_clusters(20, 9);
+    const auto result = kmeans<HammingSpace>(points, 3, 15, 11);
+    for (int c = 0; c < 3; ++c) {
+        const std::uint32_t expected = result.assignment[c * 20];
+        for (int i = 0; i < 20; ++i) {
+            EXPECT_EQ(result.assignment[c * 20 + i], expected) << c;
+        }
+    }
+}
+
+TEST(HammingSpace, MajorityVoteCentroid) {
+    dpe::BitCode a(4), b(4), c(4);
+    a.set(0, true);
+    b.set(0, true);
+    c.set(1, true);
+    const dpe::BitCode* members[] = {&a, &b, &c};
+    const auto centroid = HammingSpace::centroid(
+        std::span<const dpe::BitCode* const>(members, 3));
+    EXPECT_TRUE(centroid.get(0));   // 2 of 3
+    EXPECT_FALSE(centroid.get(1));  // 1 of 3
+}
+
+TEST(EuclideanSpace, MeanCentroid) {
+    const FeatureVec a = {0.0f, 2.0f};
+    const FeatureVec b = {2.0f, 4.0f};
+    const FeatureVec* members[] = {&a, &b};
+    const auto centroid = EuclideanSpace::centroid(
+        std::span<const FeatureVec* const>(members, 2));
+    EXPECT_FLOAT_EQ(centroid[0], 1.0f);
+    EXPECT_FLOAT_EQ(centroid[1], 3.0f);
+}
+
+TEST(VocabTree, QuantizesConsistently) {
+    const auto points = three_euclidean_clusters(30, 12);
+    const auto tree = VocabTree<EuclideanSpace>::build(
+        points, {.branch = 3, .depth = 2, .kmeans_iterations = 10}, 99);
+    EXPECT_GT(tree.num_leaves(), 1u);
+    // Same input -> same leaf; nearby inputs -> same leaf.
+    for (const auto& p : points) {
+        EXPECT_EQ(tree.quantize(p), tree.quantize(p));
+        EXPECT_LT(tree.quantize(p), tree.num_leaves());
+    }
+    // With a single level the tree is plain k-means: members of a tight
+    // cluster map to one leaf. (Deeper trees intentionally split clusters
+    // into finer visual words, so this property only holds at depth 1.)
+    const auto flat = VocabTree<EuclideanSpace>::build(
+        points, {.branch = 3, .depth = 1, .kmeans_iterations = 10}, 99);
+    int agree = 0;
+    for (int i = 1; i < 30; ++i) {
+        if (flat.quantize(points[0]) == flat.quantize(points[i])) ++agree;
+    }
+    EXPECT_GT(agree, 25);
+}
+
+TEST(VocabTree, LeafCountBoundedByBranchPowDepth) {
+    const auto points = three_euclidean_clusters(40, 13);
+    const auto tree = VocabTree<EuclideanSpace>::build(
+        points, {.branch = 4, .depth = 2, .kmeans_iterations = 5}, 5);
+    EXPECT_LE(tree.num_leaves(), 16u);
+}
+
+TEST(VocabTree, HammingSpaceBuilds) {
+    const auto points = hamming_clusters(15, 14);
+    const auto tree = VocabTree<HammingSpace>::build(
+        points, {.branch = 3, .depth = 2, .kmeans_iterations = 8}, 6);
+    EXPECT_GT(tree.num_leaves(), 1u);
+    for (const auto& p : points) {
+        EXPECT_LT(tree.quantize(p), tree.num_leaves());
+    }
+}
+
+TEST(VocabTree, EmptyAndUnbuiltErrors) {
+    EXPECT_THROW(VocabTree<EuclideanSpace>::build({}, {}, 1),
+                 std::invalid_argument);
+    VocabTree<EuclideanSpace> unbuilt;
+    EXPECT_TRUE(unbuilt.empty());
+    EXPECT_THROW(unbuilt.quantize(FeatureVec{1.0f}), std::logic_error);
+}
+
+TEST(Bovw, HistogramCountsQuantizedWords) {
+    const auto points = three_euclidean_clusters(20, 15);
+    const auto tree = VocabTree<EuclideanSpace>::build(
+        points, {.branch = 3, .depth = 1, .kmeans_iterations = 10}, 3);
+    const auto histogram = bovw_histogram(tree, points);
+    std::uint32_t total = 0;
+    for (const auto& [term, freq] : histogram) {
+        EXPECT_TRUE(term.starts_with("vw:"));
+        total += freq;
+    }
+    EXPECT_EQ(total, points.size());
+}
+
+}  // namespace
+}  // namespace mie::index

@@ -1,0 +1,146 @@
+// Concurrency tests: the MIE server safely serves multiple writers and
+// searchers at once (the property Fig. 4's experiment relies on).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mie/client.hpp"
+#include "mie/server.hpp"
+#include "sim/dataset.hpp"
+
+namespace mie {
+namespace {
+
+constexpr std::size_t kDims = 64;
+
+RepositoryKey shared_key() {
+    return RepositoryKey::generate(to_bytes("concurrency"), kDims, 64,
+                                   0.7978845608);
+}
+
+TEST(MieConcurrency, ParallelWritersAllLand) {
+    MieServer server;
+    const auto key = shared_key();
+    constexpr int kWriters = 4;
+    constexpr int kObjectsPerWriter = 6;
+
+    net::MeteredTransport setup_transport(server,
+                                          net::LinkProfile::loopback());
+    MieClient setup(setup_transport, "repo", key, to_bytes("setup"));
+    setup.create_repository();
+
+    std::vector<std::thread> writers;
+    std::atomic<int> failures{0};
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            try {
+                net::MeteredTransport transport(
+                    server, net::LinkProfile::loopback());
+                MieClient client(transport, "repo", key,
+                                 to_bytes("writer" + std::to_string(w)));
+                sim::FlickrLikeGenerator gen(sim::FlickrLikeParams{
+                    .image_size = 48,
+                    .seed = 100 + static_cast<std::uint64_t>(w)});
+                for (int i = 0; i < kObjectsPerWriter; ++i) {
+                    client.update(gen.make(
+                        static_cast<std::uint64_t>(w) * 1000 + i));
+                }
+            } catch (...) {
+                ++failures;
+            }
+        });
+    }
+    for (auto& t : writers) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(server.stats("repo").num_objects,
+              static_cast<std::size_t>(kWriters * kObjectsPerWriter));
+}
+
+TEST(MieConcurrency, WritersAndSearchersInterleave) {
+    MieServer server;
+    const auto key = shared_key();
+    net::MeteredTransport setup_transport(server,
+                                          net::LinkProfile::loopback());
+    MieClient setup(setup_transport, "repo", key, to_bytes("setup"));
+    setup.create_repository();
+    sim::FlickrLikeGenerator gen(
+        sim::FlickrLikeParams{.image_size = 48, .seed = 9});
+    for (int i = 0; i < 8; ++i) setup.update(gen.make(i));
+    setup.train_params.tree_branch = 5;
+    setup.train_params.tree_depth = 2;
+    setup.train();
+
+    std::atomic<int> failures{0};
+    std::thread writer([&] {
+        try {
+            net::MeteredTransport transport(server,
+                                            net::LinkProfile::loopback());
+            MieClient client(transport, "repo", key, to_bytes("w"));
+            for (int i = 100; i < 112; ++i) client.update(gen.make(i));
+        } catch (...) {
+            ++failures;
+        }
+    });
+    std::thread searcher([&] {
+        try {
+            net::MeteredTransport transport(server,
+                                            net::LinkProfile::loopback());
+            MieClient client(transport, "repo", key, to_bytes("s"));
+            for (int q = 0; q < 12; ++q) {
+                const auto results = client.search(gen.make(q % 8), 3);
+                if (results.empty()) ++failures;
+            }
+        } catch (...) {
+            ++failures;
+        }
+    });
+    writer.join();
+    searcher.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(server.stats("repo").num_objects, 20u);
+    // Everything remains searchable after the interleaving: the object
+    // added mid-stream is retrieved among the top results.
+    const auto results = setup.search(gen.make(105), 3);
+    ASSERT_FALSE(results.empty());
+    bool found = false;
+    for (const auto& result : results) {
+        if (result.object_id == 105u) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(MieConcurrency, ConcurrentRemovalsAndUpdatesStayConsistent) {
+    MieServer server;
+    const auto key = shared_key();
+    net::MeteredTransport transport(server, net::LinkProfile::loopback());
+    MieClient setup(transport, "repo", key, to_bytes("setup"));
+    setup.create_repository();
+    sim::FlickrLikeGenerator gen(
+        sim::FlickrLikeParams{.image_size = 48, .seed = 4});
+    for (int i = 0; i < 16; ++i) setup.update(gen.make(i));
+    setup.train();
+
+    std::thread remover([&] {
+        net::MeteredTransport t(server, net::LinkProfile::loopback());
+        MieClient client(t, "repo", key, to_bytes("r"));
+        for (int i = 0; i < 8; ++i) client.remove(i);
+    });
+    std::thread updater([&] {
+        net::MeteredTransport t(server, net::LinkProfile::loopback());
+        MieClient client(t, "repo", key, to_bytes("u"));
+        for (int i = 8; i < 16; ++i) client.update(gen.make(i));
+    });
+    remover.join();
+    updater.join();
+    EXPECT_EQ(server.stats("repo").num_objects, 8u);
+    for (int i = 8; i < 16; ++i) {
+        const auto results = setup.search(gen.make(i), 1);
+        ASSERT_FALSE(results.empty()) << i;
+        EXPECT_GE(results.front().object_id, 8u) << i;
+    }
+}
+
+}  // namespace
+}  // namespace mie

@@ -1,0 +1,123 @@
+// Key-sharing protocol tests (§III-A): signed hybrid envelopes carrying
+// repository keys and per-object data keys.
+#include <gtest/gtest.h>
+
+#include "crypto/ctr.hpp"
+#include "mie/key_sharing.hpp"
+
+namespace mie {
+namespace {
+
+class KeySharingTest : public ::testing::Test {
+protected:
+    KeySharingTest()
+        : drbg_(to_bytes("ks-test")),
+          alice_(crypto::RsaKeyPair::generate(drbg_, 1024)),
+          bob_(crypto::RsaKeyPair::generate(drbg_, 1024)),
+          mallory_(crypto::RsaKeyPair::generate(drbg_, 1024)),
+          repo_key_(RepositoryKey::generate(to_bytes("repo"), 64, 64, 0.8)) {
+    }
+
+    crypto::CtrDrbg drbg_;
+    crypto::RsaKeyPair alice_;    // repository owner / sender
+    crypto::RsaKeyPair bob_;      // trusted recipient
+    crypto::RsaKeyPair mallory_;  // adversary
+    RepositoryKey repo_key_;
+};
+
+TEST_F(KeySharingTest, RepositoryKeyRoundtrip) {
+    const auto envelope = share_repository_key(
+        repo_key_, "album", bob_.public_key(), alice_.private_key(), drbg_);
+    const auto received = open_repository_key(envelope, bob_.private_key(),
+                                              alice_.public_key());
+    ASSERT_TRUE(received.has_value());
+    EXPECT_EQ(received->dense.seed, repo_key_.dense.seed);
+    EXPECT_EQ(received->sparse.key, repo_key_.sparse.key);
+    EXPECT_EQ(envelope.repo_id, "album");
+}
+
+TEST_F(KeySharingTest, EnvelopeSerializationRoundtrip) {
+    const auto envelope = share_repository_key(
+        repo_key_, "album", bob_.public_key(), alice_.private_key(), drbg_);
+    const auto parsed = KeyEnvelope::deserialize(envelope.serialize());
+    const auto received = open_repository_key(parsed, bob_.private_key(),
+                                              alice_.public_key());
+    ASSERT_TRUE(received.has_value());
+    EXPECT_EQ(received->dense.seed, repo_key_.dense.seed);
+}
+
+TEST_F(KeySharingTest, WrongRecipientCannotOpen) {
+    const auto envelope = share_repository_key(
+        repo_key_, "album", bob_.public_key(), alice_.private_key(), drbg_);
+    EXPECT_THROW(open_repository_key(envelope, mallory_.private_key(),
+                                     alice_.public_key()),
+                 std::invalid_argument);
+}
+
+TEST_F(KeySharingTest, ForgedSenderIsRejected) {
+    // Mallory wraps her own key claiming to be Alice: Bob checks the
+    // signature against Alice's public key and rejects.
+    const auto forged = share_repository_key(repo_key_, "album",
+                                             bob_.public_key(),
+                                             mallory_.private_key(), drbg_);
+    EXPECT_EQ(open_repository_key(forged, bob_.private_key(),
+                                  alice_.public_key()),
+              std::nullopt);
+}
+
+TEST_F(KeySharingTest, TamperedEnvelopeIsRejected) {
+    auto envelope = share_repository_key(
+        repo_key_, "album", bob_.public_key(), alice_.private_key(), drbg_);
+    envelope.sealed_payload[3] ^= 1;
+    EXPECT_EQ(open_repository_key(envelope, bob_.private_key(),
+                                  alice_.public_key()),
+              std::nullopt);
+    // Splicing the repo id is also caught (it is signed).
+    auto respliced = share_repository_key(
+        repo_key_, "album", bob_.public_key(), alice_.private_key(), drbg_);
+    respliced.repo_id = "other-repo";
+    EXPECT_EQ(open_repository_key(respliced, bob_.private_key(),
+                                  alice_.public_key()),
+              std::nullopt);
+}
+
+TEST_F(KeySharingTest, DataKeyGrantIsPerObject) {
+    const DataKeyring ring(to_bytes("alice-master"));
+    const auto envelope =
+        share_data_key(ring, 42, "album", bob_.public_key(),
+                       alice_.private_key(), drbg_);
+    EXPECT_EQ(envelope.grant, KeyGrant::kDataKey);
+    EXPECT_EQ(envelope.object_id, 42u);
+    const auto dk =
+        open_data_key(envelope, bob_.private_key(), alice_.public_key());
+    ASSERT_TRUE(dk.has_value());
+    EXPECT_EQ(*dk, ring.data_key(42));
+    // The grant carries only object 42's key, not 43's.
+    EXPECT_NE(*dk, ring.data_key(43));
+}
+
+TEST_F(KeySharingTest, GrantTypeMismatchThrows) {
+    const auto envelope = share_repository_key(
+        repo_key_, "album", bob_.public_key(), alice_.private_key(), drbg_);
+    EXPECT_THROW(
+        open_data_key(envelope, bob_.private_key(), alice_.public_key()),
+        std::invalid_argument);
+}
+
+TEST_F(KeySharingTest, SharedKeyActuallyDecryptsObjects) {
+    // End-to-end: Bob uses a shared data key to open Alice's ciphertext.
+    const DataKeyring ring(to_bytes("alice-master"));
+    const Bytes plaintext = to_bytes("object 7 contents");
+    const crypto::AesCtr cipher(ring.data_key(7));
+    const Bytes blob = cipher.seal(Bytes(16, 9), plaintext);
+
+    const auto envelope = share_data_key(ring, 7, "album", bob_.public_key(),
+                                         alice_.private_key(), drbg_);
+    const auto dk =
+        open_data_key(envelope, bob_.private_key(), alice_.public_key());
+    ASSERT_TRUE(dk.has_value());
+    EXPECT_EQ(crypto::AesCtr(*dk).open(blob), plaintext);
+}
+
+}  // namespace
+}  // namespace mie

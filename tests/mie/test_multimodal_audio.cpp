@@ -1,0 +1,134 @@
+// Three-modality end-to-end tests: image + text + audio flowing through
+// the MIE framework (extraction, DPE encoding, per-modality cloud indexes,
+// multimodal fusion).
+#include <gtest/gtest.h>
+
+#include "mie/client.hpp"
+#include "mie/extract.hpp"
+#include "mie/object_codec.hpp"
+#include "mie/server.hpp"
+#include "sim/dataset.hpp"
+
+namespace mie {
+namespace {
+
+sim::FlickrLikeParams audio_params(std::uint64_t seed) {
+    return sim::FlickrLikeParams{.num_classes = 4,
+                                 .image_size = 64,
+                                 .with_audio = true,
+                                 .audio_samples = 4096,
+                                 .seed = seed};
+}
+
+TEST(MultimodalAudio, GeneratorProducesClassCorrelatedAudio) {
+    const sim::FlickrLikeGenerator gen(audio_params(51));
+    const auto a = gen.make(0);   // class 0
+    const auto b = gen.make(4);   // class 0
+    const auto c = gen.make(1);   // class 1
+    ASSERT_EQ(a.audio.size(), 4096u);
+    const auto da = features::extract_audio_descriptors(a.audio);
+    const auto db = features::extract_audio_descriptors(b.audio);
+    const auto dc = features::extract_audio_descriptors(c.audio);
+    ASSERT_FALSE(da.empty());
+    double same = 0.0, cross = 0.0;
+    const std::size_t count = std::min({da.size(), db.size(), dc.size()});
+    for (std::size_t i = 0; i < count; ++i) {
+        same += features::euclidean_distance(da[i], db[i]);
+        cross += features::euclidean_distance(da[i], dc[i]);
+    }
+    EXPECT_LT(same, cross);
+}
+
+TEST(MultimodalAudio, ExtractMultimodalCoversThreeModalities) {
+    const sim::FlickrLikeGenerator gen(audio_params(52));
+    const auto features = extract_multimodal(gen.make(0));
+    EXPECT_TRUE(features.dense.contains(kImageModality));
+    EXPECT_TRUE(features.dense.contains(kAudioModality));
+    EXPECT_TRUE(features.sparse.contains(kTextModality));
+    // All dense descriptors share the repository key's dimensionality.
+    for (const auto& [modality, descriptors] : features.dense) {
+        for (const auto& d : descriptors) EXPECT_EQ(d.size(), 64u);
+    }
+}
+
+TEST(MultimodalAudio, ObjectCodecRoundtripsAudio) {
+    const sim::FlickrLikeGenerator gen(audio_params(53));
+    const auto object = gen.make(2);
+    const auto decoded = decode_object(encode_object(object));
+    ASSERT_EQ(decoded.audio.size(), object.audio.size());
+    for (std::size_t i = 0; i < 32; ++i) {
+        EXPECT_NEAR(decoded.audio[i], object.audio[i], 1.0f / 32767 + 1e-4f);
+    }
+}
+
+class ThreeModalityEndToEnd : public ::testing::Test {
+protected:
+    ThreeModalityEndToEnd()
+        : repo_key_(RepositoryKey::generate(to_bytes("audio-e2e"), 64, 128,
+                                            0.7978845608)),
+          transport_(server_, net::LinkProfile::loopback()),
+          client_(transport_, "repo", repo_key_, to_bytes("user")),
+          generator_(audio_params(54)) {
+        client_.train_params.tree_branch = 5;
+        client_.train_params.tree_depth = 2;
+        client_.create_repository();
+        for (const auto& object : generator_.make_batch(0, 12)) {
+            client_.update(object);
+        }
+        client_.train();
+    }
+
+    RepositoryKey repo_key_;
+    MieServer server_;
+    net::MeteredTransport transport_;
+    MieClient client_;
+    sim::FlickrLikeGenerator generator_;
+};
+
+TEST_F(ThreeModalityEndToEnd, ServerTracksBothDenseModalities) {
+    const auto stats = server_.stats("repo");
+    EXPECT_EQ(stats.dense_modalities, 2u);   // image + audio
+    EXPECT_EQ(stats.sparse_modalities, 1u);  // text
+    EXPECT_GT(stats.visual_words, 2u);
+}
+
+TEST_F(ThreeModalityEndToEnd, FullQueryFindsSelf) {
+    for (std::uint64_t id : {0ULL, 5ULL, 11ULL}) {
+        const auto results = client_.search(generator_.make(id), 3);
+        ASSERT_FALSE(results.empty()) << id;
+        EXPECT_EQ(results.front().object_id, id);
+    }
+}
+
+TEST_F(ThreeModalityEndToEnd, AudioOnlyQueryWorks) {
+    // Query with just the audio modality: strip image/text.
+    auto query = generator_.make(3);
+    query.image = features::Image(16, 16);  // flat -> no image descriptors
+    query.text.clear();
+    const auto results = client_.search(query, 4);
+    ASSERT_FALSE(results.empty());
+    // Audio identifies the class; the top result shares object 3's class.
+    const auto top = client_.decrypt_result(results.front());
+    EXPECT_EQ(top.id % 4, 3u % 4);
+}
+
+TEST_F(ThreeModalityEndToEnd, MixedRepositoriesDegradeGracefully) {
+    // Objects without audio coexist with objects that have it.
+    sim::FlickrLikeGenerator silent(sim::FlickrLikeParams{
+        .num_classes = 4, .image_size = 64, .with_audio = false,
+        .seed = 54});
+    client_.update(silent.make(100));
+    const auto results = client_.search(silent.make(100), 2);
+    ASSERT_FALSE(results.empty());
+    EXPECT_EQ(results.front().object_id, 100u);
+}
+
+TEST_F(ThreeModalityEndToEnd, DecryptedResultsCarryAudio) {
+    const auto results = client_.search(generator_.make(7), 1);
+    ASSERT_FALSE(results.empty());
+    const auto object = client_.decrypt_result(results.front());
+    EXPECT_EQ(object.audio.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace mie

@@ -1,0 +1,110 @@
+// Key-rotation tests: after rotation, the new key works, the old key's
+// encodings are gone, and skipped (other-owner) objects are reported.
+#include <gtest/gtest.h>
+
+#include "mie/client.hpp"
+#include "mie/rotation.hpp"
+#include "mie/server.hpp"
+#include "sim/dataset.hpp"
+
+namespace mie {
+namespace {
+
+class RotationTest : public ::testing::Test {
+protected:
+    RotationTest()
+        : old_key_(RepositoryKey::generate(to_bytes("old"), 64, 64,
+                                           0.7978845608)),
+          new_key_(RepositoryKey::generate(to_bytes("new"), 64, 64,
+                                           0.7978845608)),
+          transport_(server_, net::LinkProfile::loopback()),
+          generator_(sim::FlickrLikeParams{.num_classes = 3,
+                                           .image_size = 48,
+                                           .seed = 61}) {}
+
+    void load(std::size_t count) {
+        MieClient client(transport_, "repo", old_key_, to_bytes("owner"));
+        client.train_params.tree_branch = 5;
+        client.train_params.tree_depth = 2;
+        client.create_repository();
+        for (const auto& object : generator_.make_batch(0, count)) {
+            client.update(object);
+        }
+        client.train();
+    }
+
+    RepositoryKey old_key_;
+    RepositoryKey new_key_;
+    MieServer server_;
+    net::MeteredTransport transport_;
+    sim::FlickrLikeGenerator generator_;
+};
+
+TEST_F(RotationTest, NewKeyWorksAfterRotation) {
+    load(8);
+    TrainParams params;
+    params.tree_branch = 5;
+    params.tree_depth = 2;
+    const auto report = rotate_repository_key(
+        transport_, "repo", new_key_, DataKeyring(to_bytes("owner")),
+        to_bytes("owner"), params);
+    EXPECT_EQ(report.objects_rotated, 8u);
+    EXPECT_EQ(report.objects_skipped, 0u);
+
+    MieClient fresh(transport_, "repo", new_key_, to_bytes("owner"));
+    const auto results = fresh.search(generator_.make(2), 3);
+    ASSERT_FALSE(results.empty());
+    EXPECT_EQ(results.front().object_id, 2u);
+    EXPECT_EQ(fresh.decrypt_result(results.front()).text,
+              generator_.make(2).text);
+}
+
+TEST_F(RotationTest, OldKeyIsRevoked) {
+    load(8);
+    TrainParams params;
+    params.tree_branch = 5;
+    params.tree_depth = 2;
+    rotate_repository_key(transport_, "repo", new_key_,
+                          DataKeyring(to_bytes("owner")), to_bytes("owner"),
+                          params);
+
+    // A holder of the OLD key can no longer retrieve by content: their
+    // tokens/encodings no longer match anything indexed.
+    MieClient revoked(transport_, "repo", old_key_, to_bytes("owner"));
+    int correct = 0;
+    for (std::uint64_t id = 0; id < 4; ++id) {
+        const auto results = revoked.search(generator_.make(id), 1);
+        if (!results.empty() && results.front().object_id == id) ++correct;
+    }
+    EXPECT_LT(correct, 3);  // no better than noise
+}
+
+TEST_F(RotationTest, OtherOwnersObjectsAreSkippedAndReported) {
+    load(6);
+    // A second owner adds two objects under their own data keys.
+    MieClient other(transport_, "repo", old_key_, to_bytes("other-owner"));
+    other.update(generator_.make(100));
+    other.update(generator_.make(101));
+
+    const auto report = rotate_repository_key(
+        transport_, "repo", new_key_, DataKeyring(to_bytes("owner")),
+        to_bytes("owner"));
+    EXPECT_EQ(report.objects_rotated, 6u);
+    EXPECT_EQ(report.objects_skipped, 2u);
+    // The rotated repository holds only the caller's share until the other
+    // owner re-uploads.
+    EXPECT_EQ(server_.stats("repo").num_objects, 6u);
+}
+
+TEST_F(RotationTest, EmptyRepositoryRotatesCleanly) {
+    MieClient client(transport_, "repo", old_key_, to_bytes("owner"));
+    client.create_repository();
+    const auto report = rotate_repository_key(
+        transport_, "repo", new_key_, DataKeyring(to_bytes("owner")),
+        to_bytes("owner"));
+    EXPECT_EQ(report.objects_rotated, 0u);
+    EXPECT_EQ(report.objects_skipped, 0u);
+}
+
+}  // namespace
+}  // namespace mie

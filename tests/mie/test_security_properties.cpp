@@ -1,0 +1,135 @@
+// Observable security-property tests: the leakage each scheme's wire
+// traffic exposes must match the paper's ideal functionalities (F_DPE
+// Alg. 1, F_MIE Alg. 4) — no more, no less.
+#include <gtest/gtest.h>
+
+#include "baseline/msse_common.hpp"
+#include "crypto/ctr.hpp"
+#include "dpe/dense_dpe.hpp"
+#include "dpe/sparse_dpe.hpp"
+#include "mie/client.hpp"
+#include "mie/object_codec.hpp"
+#include "mie/server.hpp"
+#include "sim/dataset.hpp"
+
+namespace mie {
+namespace {
+
+TEST(SecurityProperties, ObjectCiphertextsAreSemanticallyFresh) {
+    // The same object encrypted under two different data keys yields
+    // unrelated ciphertexts (IND-CPA smoke: no shared prefix/pattern).
+    sim::FlickrLikeGenerator gen(sim::FlickrLikeParams{.image_size = 32});
+    const Bytes plaintext = encode_object(gen.make(0));
+    const DataKeyring ring_a(to_bytes("user-a")), ring_b(to_bytes("user-b"));
+    const crypto::AesCtr ca(ring_a.data_key(0)), cb(ring_b.data_key(0));
+    const Bytes nonce(16, 5);
+    const Bytes blob_a = ca.seal(nonce, plaintext);
+    const Bytes blob_b = cb.seal(nonce, plaintext);
+    ASSERT_EQ(blob_a.size(), blob_b.size());
+    std::size_t equal_bytes = 0;
+    for (std::size_t i = 16; i < blob_a.size(); ++i) {
+        if (blob_a[i] == blob_b[i]) ++equal_bytes;
+    }
+    // Random agreement is ~1/256 per byte.
+    EXPECT_LT(equal_bytes, blob_a.size() / 16);
+}
+
+TEST(SecurityProperties, MieUpdateLeaksTokenEqualityAcrossUpdates) {
+    // F_MIE update leakage includes ID(w): two objects sharing a keyword
+    // produce the SAME Sparse-DPE token (this is the deliberate trade:
+    // leak at update time, not query time). Distinct keywords produce
+    // unrelated tokens.
+    const auto key = dpe::SparseDpe::keygen(to_bytes("repo"));
+    const dpe::SparseDpe dpe(key);
+    EXPECT_EQ(dpe.encode("beach"), dpe.encode("beach"));
+    EXPECT_NE(dpe.encode("beach"), dpe.encode("beachy"));
+}
+
+TEST(SecurityProperties, DenseDpeLeaksNothingBeyondThreshold) {
+    // Pairs of far-apart plaintexts (d >> t) must be mutually
+    // indistinguishable in encoded space: their encoded distances
+    // concentrate around the same saturation value, so the server cannot
+    // order them. (Complemented by the statistical sweep in
+    // test_dense_dpe.cpp.)
+    const auto key =
+        dpe::DenseDpe::keygen(to_bytes("k"), 8, 2048, 0.7978845608);
+    const dpe::DenseDpe dpe(key);
+    const features::FeatureVec base(8, 0.0f);
+    features::FeatureVec far_a(8, 0.0f), far_b(8, 0.0f);
+    far_a[0] = 5.0f;   // distance 5 from base
+    far_b[1] = 50.0f;  // distance 50 from base
+    const double d_a =
+        dpe::DenseDpe::distance(dpe.encode(base), dpe.encode(far_a));
+    const double d_b =
+        dpe::DenseDpe::distance(dpe.encode(base), dpe.encode(far_b));
+    EXPECT_NEAR(d_a, d_b, 0.08);  // can't tell 5 from 50
+}
+
+TEST(SecurityProperties, MsseLabelsAreUnlinkableAcrossCounters) {
+    // Successive index labels of one keyword (counter 0, 1, 2, ...) are
+    // PRF outputs: without k1 they look unrelated, so the server cannot
+    // group a keyword's postings before the keyword is searched.
+    const Bytes rk2 = to_bytes("msse-rk2-material");
+    const Bytes k1 = baseline::derive_k1(rk2, "t/beach");
+    const Bytes l0 = baseline::index_label(k1, 0);
+    const Bytes l1 = baseline::index_label(k1, 1);
+    EXPECT_NE(l0, l1);
+    // Different keywords with the same counter: also unrelated.
+    const Bytes other = baseline::index_label(
+        baseline::derive_k1(rk2, "t/ocean"), 0);
+    EXPECT_NE(l0, other);
+    // But the rightful key holder re-derives them exactly.
+    EXPECT_EQ(l0, baseline::index_label(baseline::derive_k1(rk2, "t/beach"),
+                                        0));
+}
+
+TEST(SecurityProperties, RepositoryKeysDontLeakAcrossRepositories) {
+    const auto a = RepositoryKey::generate(to_bytes("e1"), 8, 64, 1.0);
+    const auto b = RepositoryKey::generate(to_bytes("e2"), 8, 64, 1.0);
+    EXPECT_NE(a.dense.seed, b.dense.seed);
+    EXPECT_NE(a.sparse.key, b.sparse.key);
+    // And within one repository, the dense and sparse keys are domain-
+    // separated (not derived equal).
+    EXPECT_NE(Bytes(a.dense.seed.begin(), a.dense.seed.end()), a.sparse.key);
+}
+
+TEST(SecurityProperties, ServerStoresNoPlaintext) {
+    // End-to-end: after a full MIE workflow, serialize-scan the wire
+    // traffic by intercepting the stored blob via search and confirm the
+    // object's text never appears in any ciphertext the server holds.
+    MieServer server;
+    net::MeteredTransport transport(server, net::LinkProfile::loopback());
+    MieClient client(transport, "repo",
+                     RepositoryKey::generate(to_bytes("e"), 64, 64, 0.798),
+                     to_bytes("u"));
+    client.create_repository();
+    sim::FlickrLikeGenerator gen(
+        sim::FlickrLikeParams{.image_size = 48, .seed = 77});
+    auto object = gen.make(0);
+    object.text = "supersecretkeyword confidential diagnosis";
+    client.update(object);
+    const auto results = client.search(object, 1);
+    ASSERT_FALSE(results.empty());
+    const std::string blob_str(results[0].encrypted_object.begin(),
+                               results[0].encrypted_object.end());
+    EXPECT_EQ(blob_str.find("supersecretkeyword"), std::string::npos);
+    EXPECT_EQ(blob_str.find("confidential"), std::string::npos);
+    // And the rightful user still recovers it.
+    EXPECT_EQ(client.decrypt_result(results[0]).text, object.text);
+}
+
+TEST(SecurityProperties, FrequenciesAreVisibleAtUpdateOnlyByDesign) {
+    // MIE's documented trade-off (Table I): update leakage includes
+    // freq(w). The wire format carries token frequencies in the clear —
+    // assert this is bounded to frequencies, i.e. the tokens themselves
+    // are PRF outputs, not keywords.
+    const auto key = dpe::SparseDpe::keygen(to_bytes("freq"));
+    const dpe::SparseDpe dpe(key);
+    const Bytes token = dpe.encode("confidential");
+    const std::string token_str(token.begin(), token.end());
+    EXPECT_EQ(token_str.find("confidential"), std::string::npos);
+    EXPECT_EQ(token.size(), dpe::SparseDpe::kTokenSize);
+}
+
+}  // namespace
+}  // namespace mie

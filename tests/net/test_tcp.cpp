@@ -1,0 +1,151 @@
+// TCP transport tests: framing, concurrency, and the full MIE stack over
+// real loopback sockets.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "mie/client.hpp"
+#include "mie/server.hpp"
+#include "net/tcp.hpp"
+#include "sim/dataset.hpp"
+
+namespace mie::net {
+namespace {
+
+/// Echo-with-prefix handler for framing tests.
+class PrefixEcho final : public RequestHandler {
+public:
+    Bytes handle(BytesView request) override {
+        Bytes response = to_bytes("ack:");
+        response.insert(response.end(), request.begin(), request.end());
+        return response;
+    }
+};
+
+TEST(Tcp, RoundtripSmallAndLargeFrames) {
+    PrefixEcho echo;
+    TcpServer server(echo);
+    server.start();
+    TcpTransport client("127.0.0.1", server.port());
+
+    EXPECT_EQ(to_string(client.call(to_bytes("hello"))), "ack:hello");
+    EXPECT_EQ(to_string(client.call({})), "ack:");
+
+    // A frame large enough to span many TCP segments.
+    Bytes big(1 << 20, 0x7e);
+    const Bytes response = client.call(big);
+    ASSERT_EQ(response.size(), big.size() + 4);
+    EXPECT_EQ(response[4], 0x7e);
+    EXPECT_GT(client.network_seconds(), 0.0);
+}
+
+TEST(Tcp, SequentialRequestsOnOneConnection) {
+    PrefixEcho echo;
+    TcpServer server(echo);
+    server.start();
+    TcpTransport client("127.0.0.1", server.port());
+    for (int i = 0; i < 50; ++i) {
+        const std::string message = "msg" + std::to_string(i);
+        EXPECT_EQ(to_string(client.call(to_bytes(message))),
+                  "ack:" + message);
+    }
+}
+
+TEST(Tcp, MultipleConcurrentClients) {
+    PrefixEcho echo;
+    TcpServer server(echo);
+    server.start();
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&, c] {
+            try {
+                TcpTransport client("127.0.0.1", server.port());
+                for (int i = 0; i < 20; ++i) {
+                    const std::string message =
+                        std::to_string(c) + ":" + std::to_string(i);
+                    if (to_string(client.call(to_bytes(message))) !=
+                        "ack:" + message) {
+                        ++failures;
+                    }
+                }
+            } catch (...) {
+                ++failures;
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+    // Grab an ephemeral port, close the server, then try to connect.
+    std::uint16_t dead_port;
+    {
+        PrefixEcho echo;
+        TcpServer server(echo);
+        dead_port = server.port();
+    }
+    EXPECT_THROW(TcpTransport("127.0.0.1", dead_port), std::runtime_error);
+    PrefixEcho echo;
+    TcpServer server(echo);
+    server.start();
+    EXPECT_THROW(TcpTransport("not-an-ip", server.port()),
+                 std::runtime_error);
+}
+
+TEST(Tcp, StopIsIdempotentAndRestartable) {
+    PrefixEcho echo;
+    TcpServer server(echo);
+    server.start();
+    server.start();  // no-op
+    {
+        TcpTransport client("127.0.0.1", server.port());
+        EXPECT_EQ(to_string(client.call(to_bytes("x"))), "ack:x");
+    }
+    server.stop();
+    server.stop();  // no-op
+}
+
+TEST(Tcp, FullMieStackOverLoopback) {
+    // The real thing: MIE client -> TCP -> MIE server, end to end.
+    MieServer cloud;
+    TcpServer server(cloud);
+    server.start();
+
+    TcpTransport transport("127.0.0.1", server.port());
+    MieClient client(transport, "tcp-repo",
+                     RepositoryKey::generate(to_bytes("tcp"), 64, 64,
+                                             0.7978845608),
+                     to_bytes("user"));
+    client.train_params.tree_branch = 5;
+    client.train_params.tree_depth = 2;
+
+    sim::FlickrLikeGenerator gen(
+        sim::FlickrLikeParams{.num_classes = 3, .image_size = 48, .seed = 2});
+    client.create_repository();
+    for (const auto& object : gen.make_batch(0, 8)) {
+        client.update(object);
+    }
+    client.train();
+
+    const auto results = client.search(gen.make(4), 3);
+    ASSERT_FALSE(results.empty());
+    EXPECT_EQ(results.front().object_id, 4u);
+    const auto decrypted = client.decrypt_result(results.front());
+    EXPECT_EQ(decrypted.text, gen.make(4).text);
+    EXPECT_GT(transport.network_seconds(), 0.0);
+
+    // Second client over its own connection sees the same repository.
+    TcpTransport transport2("127.0.0.1", server.port());
+    MieClient client2(transport2, "tcp-repo",
+                      RepositoryKey::generate(to_bytes("tcp"), 64, 64,
+                                              0.7978845608),
+                      to_bytes("user-2"));
+    const auto results2 = client2.search(gen.make(4), 1);
+    ASSERT_FALSE(results2.empty());
+    EXPECT_EQ(results2.front().object_id, 4u);
+}
+
+}  // namespace
+}  // namespace mie::net

@@ -1,0 +1,230 @@
+// Simulation substrate tests: datasets, meters, energy model, transport.
+#include <gtest/gtest.h>
+
+#include "mie/server.hpp"
+#include "net/message.hpp"
+#include "net/transport.hpp"
+#include "sim/dataset.hpp"
+#include "sim/device.hpp"
+#include "sim/energy.hpp"
+#include "sim/meter.hpp"
+
+namespace mie::sim {
+namespace {
+
+TEST(FlickrLikeGenerator, Deterministic) {
+    const FlickrLikeGenerator a(FlickrLikeParams{.seed = 3});
+    const FlickrLikeGenerator b(FlickrLikeParams{.seed = 3});
+    const auto oa = a.make(5);
+    const auto ob = b.make(5);
+    EXPECT_EQ(oa.text, ob.text);
+    EXPECT_EQ(oa.label, ob.label);
+    EXPECT_EQ(oa.image.pixels(), ob.image.pixels());
+}
+
+TEST(FlickrLikeGenerator, DifferentSeedsDiffer) {
+    const FlickrLikeGenerator a(FlickrLikeParams{.seed = 3});
+    const FlickrLikeGenerator b(FlickrLikeParams{.seed = 4});
+    EXPECT_NE(a.make(5).image.pixels(), b.make(5).image.pixels());
+}
+
+TEST(FlickrLikeGenerator, ClassesCycleAndImagesSized) {
+    const FlickrLikeGenerator gen(
+        FlickrLikeParams{.num_classes = 4, .image_size = 48, .seed = 1});
+    for (std::uint64_t id = 0; id < 8; ++id) {
+        const auto object = gen.make(id);
+        EXPECT_EQ(object.label, id % 4);
+        EXPECT_EQ(object.image.width(), 48);
+        EXPECT_EQ(object.image.height(), 48);
+        EXPECT_FALSE(object.text.empty());
+    }
+}
+
+TEST(FlickrLikeGenerator, SameClassImagesMoreSimilar) {
+    const FlickrLikeGenerator gen(
+        FlickrLikeParams{.num_classes = 4, .image_size = 48, .seed = 2});
+    const auto a = gen.make(0);   // class 0
+    const auto b = gen.make(4);   // class 0
+    const auto c = gen.make(1);   // class 1
+    auto pixel_distance = [](const features::Image& x,
+                             const features::Image& y) {
+        double sum = 0.0;
+        for (int j = 0; j < x.height(); ++j) {
+            for (int i = 0; i < x.width(); ++i) {
+                const double d = x.at(i, j) - y.at(i, j);
+                sum += d * d;
+            }
+        }
+        return sum;
+    };
+    EXPECT_LT(pixel_distance(a.image, b.image),
+              pixel_distance(a.image, c.image));
+}
+
+TEST(FlickrLikeGenerator, TagsCorrelateWithClass) {
+    const FlickrLikeGenerator gen(FlickrLikeParams{
+        .num_classes = 10, .vocab_size = 400, .class_vocab = 20, .seed = 9});
+    // Two objects of the same class share more tags than cross-class pairs.
+    auto tag_set = [&](std::uint64_t id) {
+        std::set<std::string> tags;
+        std::string text = gen.make(id).text;
+        std::size_t pos = 0;
+        while (pos < text.size()) {
+            const auto space = text.find(' ', pos);
+            tags.insert(text.substr(pos, space - pos));
+            if (space == std::string::npos) break;
+            pos = space + 1;
+        }
+        return tags;
+    };
+    auto overlap = [&](std::uint64_t x, std::uint64_t y) {
+        const auto a = tag_set(x), b = tag_set(y);
+        int shared = 0;
+        for (const auto& t : a) shared += b.contains(t);
+        return shared;
+    };
+    int same_class = 0, cross_class = 0;
+    for (int i = 0; i < 10; ++i) {
+        same_class += overlap(0 + 10 * i, 10 * i + 10);  // both class 0
+        cross_class += overlap(0 + 10 * i, 10 * i + 5);  // class 0 vs 5
+    }
+    EXPECT_GT(same_class, cross_class);
+}
+
+TEST(HolidaysLikeGenerator, GroupStructure) {
+    const HolidaysLikeGenerator gen(
+        HolidaysLikeParams{.num_groups = 10, .group_size = 3, .seed = 4});
+    const auto dataset = gen.generate();
+    EXPECT_EQ(dataset.objects.size(), 30u);
+    EXPECT_EQ(dataset.query_indices.size(), 10u);
+    for (std::size_t g = 0; g < 10; ++g) {
+        const auto& query = dataset.objects[dataset.query_indices[g]];
+        EXPECT_EQ(query.label, g);
+        // All members of the group share the label.
+        for (std::size_t m = 0; m < 3; ++m) {
+            EXPECT_EQ(dataset.objects[g * 3 + m].label, g);
+        }
+    }
+}
+
+TEST(CostMeter, TimesAndScales) {
+    CostMeter meter(10.0);
+    const int value = meter.timed(SubOp::kIndex, [] {
+        volatile int x = 0;
+        for (int i = 0; i < 100000; ++i) x += i;
+        return 42;
+    });
+    EXPECT_EQ(value, 42);
+    EXPECT_GT(meter.seconds(SubOp::kIndex), 0.0);
+
+    CostMeter reference(1.0);
+    reference.add_cpu_seconds(SubOp::kIndex, 1.0);
+    meter.reset();
+    meter.add_cpu_seconds(SubOp::kIndex, 1.0);
+    EXPECT_DOUBLE_EQ(meter.seconds(SubOp::kIndex),
+                     10.0 * reference.seconds(SubOp::kIndex));
+}
+
+TEST(CostMeter, ModeledSecondsAreNotScaled) {
+    CostMeter meter(10.0);
+    meter.add_modeled_seconds(SubOp::kNetwork, 2.0);
+    EXPECT_DOUBLE_EQ(meter.seconds(SubOp::kNetwork), 2.0);
+    EXPECT_DOUBLE_EQ(meter.total_seconds(), 2.0);
+    EXPECT_DOUBLE_EQ(meter.cpu_seconds(), 0.0);
+}
+
+TEST(CostMeter, SubOpNames) {
+    EXPECT_EQ(sub_op_name(SubOp::kEncrypt), "Encrypt");
+    EXPECT_EQ(sub_op_name(SubOp::kNetwork), "Network");
+    EXPECT_EQ(sub_op_name(SubOp::kIndex), "Index");
+    EXPECT_EQ(sub_op_name(SubOp::kTrain), "Train");
+}
+
+TEST(Energy, IntegratesComponentCurrents) {
+    const auto device = DeviceProfile::mobile();
+    CostMeter meter(device.cpu_scale);
+    meter.add_cpu_seconds(SubOp::kEncrypt, 36.0);      // scaled: 360 s
+    meter.add_modeled_seconds(SubOp::kNetwork, 3600.0);  // 1 h radio
+    const auto report = energy_of(meter, device);
+    // CPU: 360 s * 1400 mA / 3600 = 140 mAh.
+    EXPECT_NEAR(report.cpu_mah, 140.0, 1e-6);
+    // WiFi: 3600 s * 350 mA / 3600 = 350 mAh.
+    EXPECT_NEAR(report.network_mah, 350.0, 1e-6);
+    EXPECT_GT(report.total_mah(), 490.0);
+    EXPECT_FALSE(report.exceeds_battery(device));
+}
+
+TEST(Energy, DetectsBatteryExhaustion) {
+    const auto device = DeviceProfile::mobile();
+    CostMeter meter(device.cpu_scale);
+    meter.add_cpu_seconds(SubOp::kTrain, 1000.0);  // 10000 s of mobile CPU
+    const auto report = energy_of(meter, device);
+    EXPECT_TRUE(report.exceeds_battery(device));
+    // Desktop is mains powered: never exceeds.
+    EXPECT_FALSE(report.exceeds_battery(DeviceProfile::desktop()));
+}
+
+TEST(DeviceProfile, MobileSlowerThanDesktop) {
+    EXPECT_GT(DeviceProfile::mobile().cpu_scale,
+              DeviceProfile::desktop().cpu_scale);
+    EXPECT_LT(DeviceProfile::mobile().link.uplink_bytes_per_second,
+              DeviceProfile::desktop().link.uplink_bytes_per_second);
+    EXPECT_GT(DeviceProfile::mobile().battery_mah, 0.0);
+}
+
+TEST(MeteredTransport, ModelsRttAndBandwidth) {
+    // Handler echoes a fixed 1000-byte response.
+    class Echo final : public net::RequestHandler {
+    public:
+        Bytes handle(BytesView) override { return Bytes(1000, 7); }
+    };
+    Echo echo;
+    net::LinkProfile link{.rtt_seconds = 0.05,
+                          .uplink_bytes_per_second = 1000.0,
+                          .downlink_bytes_per_second = 2000.0};
+    net::MeteredTransport transport(echo, link);
+    transport.call(Bytes(500, 1));
+    // 0.05 + 500/1000 + 1000/2000 = 1.05 s.
+    EXPECT_NEAR(transport.network_seconds(), 1.05, 1e-9);
+    EXPECT_EQ(transport.bytes_up(), 500u);
+    EXPECT_EQ(transport.bytes_down(), 1000u);
+    EXPECT_EQ(transport.calls(), 1u);
+    transport.reset_stats();
+    EXPECT_DOUBLE_EQ(transport.network_seconds(), 0.0);
+    EXPECT_EQ(transport.calls(), 0u);
+}
+
+TEST(MessageCodec, RoundtripAllTypes) {
+    net::MessageWriter writer;
+    writer.write_u8(7);
+    writer.write_u32(123456);
+    writer.write_u64(0xdeadbeefcafebabeULL);
+    writer.write_f64(3.14159);
+    writer.write_f32(2.5f);
+    writer.write_bytes(Bytes{1, 2, 3});
+    writer.write_string("hello");
+    const Bytes wire = writer.take();
+
+    net::MessageReader reader(wire);
+    EXPECT_EQ(reader.read_u8(), 7);
+    EXPECT_EQ(reader.read_u32(), 123456u);
+    EXPECT_EQ(reader.read_u64(), 0xdeadbeefcafebabeULL);
+    EXPECT_DOUBLE_EQ(reader.read_f64(), 3.14159);
+    EXPECT_FLOAT_EQ(reader.read_f32(), 2.5f);
+    EXPECT_EQ(reader.read_bytes(), (Bytes{1, 2, 3}));
+    EXPECT_EQ(reader.read_string(), "hello");
+    EXPECT_TRUE(reader.at_end());
+}
+
+TEST(MessageCodec, TruncationThrows) {
+    net::MessageWriter writer;
+    writer.write_u32(100);  // claims 100 bytes follow
+    const Bytes wire = writer.take();
+    net::MessageReader reader(wire);
+    EXPECT_THROW(reader.read_bytes(), std::out_of_range);
+    net::MessageReader reader2(Bytes{1});
+    EXPECT_THROW(reader2.read_u32(), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mie::sim
