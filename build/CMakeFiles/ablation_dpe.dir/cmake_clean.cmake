@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dpe.dir/bench/ablation_dpe.cpp.o"
+  "CMakeFiles/ablation_dpe.dir/bench/ablation_dpe.cpp.o.d"
+  "bench/ablation_dpe"
+  "bench/ablation_dpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_update_mobile.dir/bench/fig2_update_mobile.cpp.o"
+  "CMakeFiles/fig2_update_mobile.dir/bench/fig2_update_mobile.cpp.o.d"
+  "bench/fig2_update_mobile"
+  "bench/fig2_update_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_update_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

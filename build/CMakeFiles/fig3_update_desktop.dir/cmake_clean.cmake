@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_update_desktop.dir/bench/fig3_update_desktop.cpp.o"
+  "CMakeFiles/fig3_update_desktop.dir/bench/fig3_update_desktop.cpp.o.d"
+  "bench/fig3_update_desktop"
+  "bench/fig3_update_desktop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_update_desktop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_concurrent_update.dir/bench/fig4_concurrent_update.cpp.o"
+  "CMakeFiles/fig4_concurrent_update.dir/bench/fig4_concurrent_update.cpp.o.d"
+  "bench/fig4_concurrent_update"
+  "bench/fig4_concurrent_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_concurrent_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

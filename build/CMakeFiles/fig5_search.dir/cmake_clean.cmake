@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_search.dir/bench/fig5_search.cpp.o"
+  "CMakeFiles/fig5_search.dir/bench/fig5_search.cpp.o.d"
+  "bench/fig5_search"
+  "bench/fig5_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

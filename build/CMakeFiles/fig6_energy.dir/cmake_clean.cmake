@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_energy.dir/bench/fig6_energy.cpp.o"
+  "CMakeFiles/fig6_energy.dir/bench/fig6_energy.cpp.o.d"
+  "bench/fig6_energy"
+  "bench/fig6_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

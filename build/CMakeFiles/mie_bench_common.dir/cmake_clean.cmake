@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_bench_common.dir/bench/common.cpp.o"
+  "CMakeFiles/mie_bench_common.dir/bench/common.cpp.o.d"
+  "lib/libmie_bench_common.a"
+  "lib/libmie_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libmie_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dpe_distances.dir/bench/table2_dpe_distances.cpp.o"
+  "CMakeFiles/table2_dpe_distances.dir/bench/table2_dpe_distances.cpp.o.d"
+  "bench/table2_dpe_distances"
+  "bench/table2_dpe_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dpe_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

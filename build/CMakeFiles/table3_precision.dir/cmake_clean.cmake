@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_precision.dir/bench/table3_precision.cpp.o"
+  "CMakeFiles/table3_precision.dir/bench/table3_precision.cpp.o.d"
+  "bench/table3_precision"
+  "bench/table3_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_console.dir/mie_console.cpp.o"
+  "CMakeFiles/mie_console.dir/mie_console.cpp.o.d"
+  "mie_console"
+  "mie_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_cloud.dir/remote_cloud.cpp.o"
+  "CMakeFiles/remote_cloud.dir/remote_cloud.cpp.o.d"
+  "remote_cloud"
+  "remote_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

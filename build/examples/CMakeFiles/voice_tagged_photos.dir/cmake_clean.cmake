@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_tagged_photos.dir/voice_tagged_photos.cpp.o"
+  "CMakeFiles/voice_tagged_photos.dir/voice_tagged_photos.cpp.o.d"
+  "voice_tagged_photos"
+  "voice_tagged_photos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_tagged_photos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

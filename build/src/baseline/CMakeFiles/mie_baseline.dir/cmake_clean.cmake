@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_baseline.dir/hom_msse_client.cpp.o"
+  "CMakeFiles/mie_baseline.dir/hom_msse_client.cpp.o.d"
+  "CMakeFiles/mie_baseline.dir/hom_msse_server.cpp.o"
+  "CMakeFiles/mie_baseline.dir/hom_msse_server.cpp.o.d"
+  "CMakeFiles/mie_baseline.dir/msse_client.cpp.o"
+  "CMakeFiles/mie_baseline.dir/msse_client.cpp.o.d"
+  "CMakeFiles/mie_baseline.dir/msse_common.cpp.o"
+  "CMakeFiles/mie_baseline.dir/msse_common.cpp.o.d"
+  "CMakeFiles/mie_baseline.dir/msse_server.cpp.o"
+  "CMakeFiles/mie_baseline.dir/msse_server.cpp.o.d"
+  "libmie_baseline.a"
+  "libmie_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

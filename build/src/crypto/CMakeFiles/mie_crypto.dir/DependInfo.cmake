@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/mie_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/mie_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/mie_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/mie_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/ctr.cpp" "src/crypto/CMakeFiles/mie_crypto.dir/ctr.cpp.o" "gcc" "src/crypto/CMakeFiles/mie_crypto.dir/ctr.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/mie_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/mie_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/kdf.cpp" "src/crypto/CMakeFiles/mie_crypto.dir/kdf.cpp.o" "gcc" "src/crypto/CMakeFiles/mie_crypto.dir/kdf.cpp.o.d"
+  "/root/repo/src/crypto/paillier.cpp" "src/crypto/CMakeFiles/mie_crypto.dir/paillier.cpp.o" "gcc" "src/crypto/CMakeFiles/mie_crypto.dir/paillier.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/mie_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/mie_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/mie_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/mie_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/mie_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/mie_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_crypto.dir/aes.cpp.o"
+  "CMakeFiles/mie_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/mie_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/mie_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/mie_crypto.dir/ctr.cpp.o"
+  "CMakeFiles/mie_crypto.dir/ctr.cpp.o.d"
+  "CMakeFiles/mie_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/mie_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/mie_crypto.dir/kdf.cpp.o"
+  "CMakeFiles/mie_crypto.dir/kdf.cpp.o.d"
+  "CMakeFiles/mie_crypto.dir/paillier.cpp.o"
+  "CMakeFiles/mie_crypto.dir/paillier.cpp.o.d"
+  "CMakeFiles/mie_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/mie_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/mie_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/mie_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/mie_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/mie_crypto.dir/sha256.cpp.o.d"
+  "libmie_crypto.a"
+  "libmie_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpe/bitcode.cpp" "src/dpe/CMakeFiles/mie_dpe.dir/bitcode.cpp.o" "gcc" "src/dpe/CMakeFiles/mie_dpe.dir/bitcode.cpp.o.d"
+  "/root/repo/src/dpe/dense_dpe.cpp" "src/dpe/CMakeFiles/mie_dpe.dir/dense_dpe.cpp.o" "gcc" "src/dpe/CMakeFiles/mie_dpe.dir/dense_dpe.cpp.o.d"
+  "/root/repo/src/dpe/sparse_dpe.cpp" "src/dpe/CMakeFiles/mie_dpe.dir/sparse_dpe.cpp.o" "gcc" "src/dpe/CMakeFiles/mie_dpe.dir/sparse_dpe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mie_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mie_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/mie_features.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_dpe.dir/bitcode.cpp.o"
+  "CMakeFiles/mie_dpe.dir/bitcode.cpp.o.d"
+  "CMakeFiles/mie_dpe.dir/dense_dpe.cpp.o"
+  "CMakeFiles/mie_dpe.dir/dense_dpe.cpp.o.d"
+  "CMakeFiles/mie_dpe.dir/sparse_dpe.cpp.o"
+  "CMakeFiles/mie_dpe.dir/sparse_dpe.cpp.o.d"
+  "libmie_dpe.a"
+  "libmie_dpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_dpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_eval.dir/leakage.cpp.o"
+  "CMakeFiles/mie_eval.dir/leakage.cpp.o.d"
+  "CMakeFiles/mie_eval.dir/metrics.cpp.o"
+  "CMakeFiles/mie_eval.dir/metrics.cpp.o.d"
+  "libmie_eval.a"
+  "libmie_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

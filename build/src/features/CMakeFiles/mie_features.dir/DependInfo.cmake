@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/audio.cpp" "src/features/CMakeFiles/mie_features.dir/audio.cpp.o" "gcc" "src/features/CMakeFiles/mie_features.dir/audio.cpp.o.d"
+  "/root/repo/src/features/feature.cpp" "src/features/CMakeFiles/mie_features.dir/feature.cpp.o" "gcc" "src/features/CMakeFiles/mie_features.dir/feature.cpp.o.d"
+  "/root/repo/src/features/image.cpp" "src/features/CMakeFiles/mie_features.dir/image.cpp.o" "gcc" "src/features/CMakeFiles/mie_features.dir/image.cpp.o.d"
+  "/root/repo/src/features/surf.cpp" "src/features/CMakeFiles/mie_features.dir/surf.cpp.o" "gcc" "src/features/CMakeFiles/mie_features.dir/surf.cpp.o.d"
+  "/root/repo/src/features/text.cpp" "src/features/CMakeFiles/mie_features.dir/text.cpp.o" "gcc" "src/features/CMakeFiles/mie_features.dir/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

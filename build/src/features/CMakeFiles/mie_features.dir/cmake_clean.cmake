@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_features.dir/audio.cpp.o"
+  "CMakeFiles/mie_features.dir/audio.cpp.o.d"
+  "CMakeFiles/mie_features.dir/feature.cpp.o"
+  "CMakeFiles/mie_features.dir/feature.cpp.o.d"
+  "CMakeFiles/mie_features.dir/image.cpp.o"
+  "CMakeFiles/mie_features.dir/image.cpp.o.d"
+  "CMakeFiles/mie_features.dir/surf.cpp.o"
+  "CMakeFiles/mie_features.dir/surf.cpp.o.d"
+  "CMakeFiles/mie_features.dir/text.cpp.o"
+  "CMakeFiles/mie_features.dir/text.cpp.o.d"
+  "libmie_features.a"
+  "libmie_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

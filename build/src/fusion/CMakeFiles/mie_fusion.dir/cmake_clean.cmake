@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_fusion.dir/rank_fusion.cpp.o"
+  "CMakeFiles/mie_fusion.dir/rank_fusion.cpp.o.d"
+  "libmie_fusion.a"
+  "libmie_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

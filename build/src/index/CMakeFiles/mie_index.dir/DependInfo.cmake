@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/champion.cpp" "src/index/CMakeFiles/mie_index.dir/champion.cpp.o" "gcc" "src/index/CMakeFiles/mie_index.dir/champion.cpp.o.d"
+  "/root/repo/src/index/inverted_index.cpp" "src/index/CMakeFiles/mie_index.dir/inverted_index.cpp.o" "gcc" "src/index/CMakeFiles/mie_index.dir/inverted_index.cpp.o.d"
+  "/root/repo/src/index/scoring.cpp" "src/index/CMakeFiles/mie_index.dir/scoring.cpp.o" "gcc" "src/index/CMakeFiles/mie_index.dir/scoring.cpp.o.d"
+  "/root/repo/src/index/space.cpp" "src/index/CMakeFiles/mie_index.dir/space.cpp.o" "gcc" "src/index/CMakeFiles/mie_index.dir/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mie_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/mie_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpe/CMakeFiles/mie_dpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mie_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

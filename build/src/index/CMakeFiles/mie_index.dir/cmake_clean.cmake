@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_index.dir/champion.cpp.o"
+  "CMakeFiles/mie_index.dir/champion.cpp.o.d"
+  "CMakeFiles/mie_index.dir/inverted_index.cpp.o"
+  "CMakeFiles/mie_index.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/mie_index.dir/scoring.cpp.o"
+  "CMakeFiles/mie_index.dir/scoring.cpp.o.d"
+  "CMakeFiles/mie_index.dir/space.cpp.o"
+  "CMakeFiles/mie_index.dir/space.cpp.o.d"
+  "libmie_index.a"
+  "libmie_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmie_index.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mie/client.cpp" "src/mie/CMakeFiles/mie_core.dir/client.cpp.o" "gcc" "src/mie/CMakeFiles/mie_core.dir/client.cpp.o.d"
+  "/root/repo/src/mie/extract.cpp" "src/mie/CMakeFiles/mie_core.dir/extract.cpp.o" "gcc" "src/mie/CMakeFiles/mie_core.dir/extract.cpp.o.d"
+  "/root/repo/src/mie/key_sharing.cpp" "src/mie/CMakeFiles/mie_core.dir/key_sharing.cpp.o" "gcc" "src/mie/CMakeFiles/mie_core.dir/key_sharing.cpp.o.d"
+  "/root/repo/src/mie/keys.cpp" "src/mie/CMakeFiles/mie_core.dir/keys.cpp.o" "gcc" "src/mie/CMakeFiles/mie_core.dir/keys.cpp.o.d"
+  "/root/repo/src/mie/object_codec.cpp" "src/mie/CMakeFiles/mie_core.dir/object_codec.cpp.o" "gcc" "src/mie/CMakeFiles/mie_core.dir/object_codec.cpp.o.d"
+  "/root/repo/src/mie/persistence.cpp" "src/mie/CMakeFiles/mie_core.dir/persistence.cpp.o" "gcc" "src/mie/CMakeFiles/mie_core.dir/persistence.cpp.o.d"
+  "/root/repo/src/mie/rotation.cpp" "src/mie/CMakeFiles/mie_core.dir/rotation.cpp.o" "gcc" "src/mie/CMakeFiles/mie_core.dir/rotation.cpp.o.d"
+  "/root/repo/src/mie/server.cpp" "src/mie/CMakeFiles/mie_core.dir/server.cpp.o" "gcc" "src/mie/CMakeFiles/mie_core.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mie_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mie_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/mie_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpe/CMakeFiles/mie_dpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mie_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/mie_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mie_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mie_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

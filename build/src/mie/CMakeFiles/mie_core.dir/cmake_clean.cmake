@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_core.dir/client.cpp.o"
+  "CMakeFiles/mie_core.dir/client.cpp.o.d"
+  "CMakeFiles/mie_core.dir/extract.cpp.o"
+  "CMakeFiles/mie_core.dir/extract.cpp.o.d"
+  "CMakeFiles/mie_core.dir/key_sharing.cpp.o"
+  "CMakeFiles/mie_core.dir/key_sharing.cpp.o.d"
+  "CMakeFiles/mie_core.dir/keys.cpp.o"
+  "CMakeFiles/mie_core.dir/keys.cpp.o.d"
+  "CMakeFiles/mie_core.dir/object_codec.cpp.o"
+  "CMakeFiles/mie_core.dir/object_codec.cpp.o.d"
+  "CMakeFiles/mie_core.dir/persistence.cpp.o"
+  "CMakeFiles/mie_core.dir/persistence.cpp.o.d"
+  "CMakeFiles/mie_core.dir/rotation.cpp.o"
+  "CMakeFiles/mie_core.dir/rotation.cpp.o.d"
+  "CMakeFiles/mie_core.dir/server.cpp.o"
+  "CMakeFiles/mie_core.dir/server.cpp.o.d"
+  "libmie_core.a"
+  "libmie_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

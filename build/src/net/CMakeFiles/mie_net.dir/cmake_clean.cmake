@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_net.dir/tcp.cpp.o"
+  "CMakeFiles/mie_net.dir/tcp.cpp.o.d"
+  "libmie_net.a"
+  "libmie_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

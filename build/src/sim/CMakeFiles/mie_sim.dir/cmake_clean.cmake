@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_sim.dir/dataset.cpp.o"
+  "CMakeFiles/mie_sim.dir/dataset.cpp.o.d"
+  "libmie_sim.a"
+  "libmie_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mie_util.dir/bytes.cpp.o"
+  "CMakeFiles/mie_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mie_util.dir/table.cpp.o"
+  "CMakeFiles/mie_util.dir/table.cpp.o.d"
+  "libmie_util.a"
+  "libmie_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mie_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_dpe.dir/dpe/test_dense_dpe.cpp.o"
+  "CMakeFiles/test_dense_dpe.dir/dpe/test_dense_dpe.cpp.o.d"
+  "test_dense_dpe"
+  "test_dense_dpe.pdb"
+  "test_dense_dpe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_dpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hom_msse.dir/baseline/test_hom_msse.cpp.o"
+  "CMakeFiles/test_hom_msse.dir/baseline/test_hom_msse.cpp.o.d"
+  "test_hom_msse"
+  "test_hom_msse.pdb"
+  "test_hom_msse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hom_msse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hom_msse.
+# This may be replaced when dependencies are built.

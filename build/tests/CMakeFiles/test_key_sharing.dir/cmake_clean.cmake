@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_key_sharing.dir/mie/test_key_sharing.cpp.o"
+  "CMakeFiles/test_key_sharing.dir/mie/test_key_sharing.cpp.o.d"
+  "test_key_sharing"
+  "test_key_sharing.pdb"
+  "test_key_sharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_key_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

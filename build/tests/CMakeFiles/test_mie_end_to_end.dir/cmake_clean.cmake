@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mie_end_to_end.dir/mie/test_mie_end_to_end.cpp.o"
+  "CMakeFiles/test_mie_end_to_end.dir/mie/test_mie_end_to_end.cpp.o.d"
+  "test_mie_end_to_end"
+  "test_mie_end_to_end.pdb"
+  "test_mie_end_to_end[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mie_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

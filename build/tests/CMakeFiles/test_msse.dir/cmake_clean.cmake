@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msse.dir/baseline/test_msse.cpp.o"
+  "CMakeFiles/test_msse.dir/baseline/test_msse.cpp.o.d"
+  "test_msse"
+  "test_msse.pdb"
+  "test_msse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

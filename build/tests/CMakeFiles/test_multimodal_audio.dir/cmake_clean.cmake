@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multimodal_audio.dir/mie/test_multimodal_audio.cpp.o"
+  "CMakeFiles/test_multimodal_audio.dir/mie/test_multimodal_audio.cpp.o.d"
+  "test_multimodal_audio"
+  "test_multimodal_audio.pdb"
+  "test_multimodal_audio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multimodal_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multimodal_video.dir/mie/test_multimodal_video.cpp.o"
+  "CMakeFiles/test_multimodal_video.dir/mie/test_multimodal_video.cpp.o.d"
+  "test_multimodal_video"
+  "test_multimodal_video.pdb"
+  "test_multimodal_video[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multimodal_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paillier.dir/crypto/test_paillier.cpp.o"
+  "CMakeFiles/test_paillier.dir/crypto/test_paillier.cpp.o.d"
+  "test_paillier"
+  "test_paillier.pdb"
+  "test_paillier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paillier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mie/test_persistence.cpp" "tests/CMakeFiles/test_persistence.dir/mie/test_persistence.cpp.o" "gcc" "tests/CMakeFiles/test_persistence.dir/mie/test_persistence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mie/CMakeFiles/mie_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/mie_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mie_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpe/CMakeFiles/mie_dpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mie_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mie_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/mie_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mie_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsa.dir/crypto/test_rsa.cpp.o"
+  "CMakeFiles/test_rsa.dir/crypto/test_rsa.cpp.o.d"
+  "test_rsa"
+  "test_rsa.pdb"
+  "test_rsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_security_properties.dir/mie/test_security_properties.cpp.o"
+  "CMakeFiles/test_security_properties.dir/mie/test_security_properties.cpp.o.d"
+  "test_security_properties"
+  "test_security_properties.pdb"
+  "test_security_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_security_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_dpe.dir/dpe/test_sparse_dpe.cpp.o"
+  "CMakeFiles/test_sparse_dpe.dir/dpe/test_sparse_dpe.cpp.o.d"
+  "test_sparse_dpe"
+  "test_sparse_dpe.pdb"
+  "test_sparse_dpe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_dpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_robustness.dir/net/test_wire_robustness.cpp.o"
+  "CMakeFiles/test_wire_robustness.dir/net/test_wire_robustness.cpp.o.d"
+  "test_wire_robustness"
+  "test_wire_robustness.pdb"
+  "test_wire_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
