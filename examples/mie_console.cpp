@@ -13,17 +13,27 @@
 //   save <path> / load <path>   snapshot / restore the cloud state
 //   help, quit
 //
+// Usage: mie_console [--durable <dir>]
+//
+// With --durable the cloud side runs behind the write-ahead-logged
+// DurableServer: every acknowledged mutation survives `kill -9`, and
+// relaunching with the same directory recovers the repository before
+// the first prompt.
+//
 // Try:  printf 'create\naddbatch 0 10\ntrain\nsearch 3\nquit\n' | ./mie_console
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "crypto/drbg.hpp"
 #include "mie/client.hpp"
+#include "mie/durable_server.hpp"
 #include "mie/persistence.hpp"
 #include "mie/server.hpp"
 #include "sim/dataset.hpp"
+#include "store/file.hpp"
 
 namespace {
 
@@ -36,11 +46,37 @@ void print_help() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mie;
 
-    MieServer cloud;
-    net::MeteredTransport transport(cloud, net::LinkProfile::mobile());
+    std::optional<DurableServer> durable;
+    MieServer in_memory;
+    if (argc == 3 && std::string(argv[1]) == "--durable") {
+        try {
+            durable.emplace(store::PosixVfs::instance(), argv[2]);
+        } catch (const std::exception& error) {
+            std::cerr << "cannot open durable state in '" << argv[2]
+                      << "': " << error.what() << "\n";
+            return 1;
+        }
+        const auto stats = durable->durability();
+        std::cout << "durable mode: " << argv[2] << " (recovered "
+                  << stats.recovered_records << " log records"
+                  << (stats.recovered_from_checkpoint ? " + checkpoint"
+                                                      : "")
+                  << ")\n";
+        if (stats.tail_truncated) {
+            std::cout << "warning: discarded a torn or corrupt log tail; "
+                         "state reflects the last intact record\n";
+        }
+    } else if (argc != 1) {
+        std::cerr << "usage: mie_console [--durable <dir>]\n";
+        return 2;
+    }
+    MieServer& cloud = durable ? durable->server() : in_memory;
+    net::RequestHandler& handler =
+        durable ? static_cast<net::RequestHandler&>(*durable) : in_memory;
+    net::MeteredTransport transport(handler, net::LinkProfile::mobile());
     MieClient client(transport, "console-repo",
                      RepositoryKey::generate(to_bytes("console-demo-key"),
                                              64, 128, 0.7978845608),
@@ -141,5 +177,6 @@ int main() {
             std::cout << "error: " << error.what() << "\n";
         }
     }
+    if (durable) durable->sync();  // clean shutdown: no replay next open
     return 0;
 }

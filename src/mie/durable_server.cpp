@@ -1,0 +1,61 @@
+#include "mie/durable_server.hpp"
+
+#include <stdexcept>
+
+#include "mie/wire.hpp"
+
+namespace mie {
+
+DurableServer::DurableServer(store::Vfs& vfs,
+                             const std::filesystem::path& dir,
+                             Options options)
+    : engine_(
+          vfs, dir, options,
+          [this](BytesView snapshot) { inner_.restore_snapshot(snapshot); },
+          [this](BytesView payload) { inner_.handle(payload); }) {}
+
+Bytes DurableServer::handle(BytesView request) {
+    if (request.empty()) {
+        throw std::invalid_argument("DurableServer: empty request");
+    }
+    const auto op = static_cast<MieOp>(request[0]);
+    if (!is_mutating(op)) return inner_.handle(request);
+
+    const std::scoped_lock lock(log_mutex_);
+    Bytes response = inner_.handle(request);  // throws on invalid request
+    engine_.log(request);  // durable (per sync policy) before the ack
+    ++records_logged_;
+    maybe_checkpoint_locked();
+    return response;
+}
+
+void DurableServer::maybe_checkpoint_locked() {
+    if (!engine_.checkpoint_due()) return;
+    engine_.checkpoint(inner_.export_snapshot());
+    ++checkpoints_written_;
+}
+
+void DurableServer::checkpoint_now() {
+    const std::scoped_lock lock(log_mutex_);
+    engine_.checkpoint(inner_.export_snapshot());
+    ++checkpoints_written_;
+}
+
+void DurableServer::sync() {
+    const std::scoped_lock lock(log_mutex_);
+    engine_.sync();
+}
+
+DurableServer::DurabilityStats DurableServer::durability() const {
+    const std::scoped_lock lock(log_mutex_);
+    DurabilityStats stats;
+    stats.records_logged = records_logged_;
+    stats.checkpoints_written = checkpoints_written_;
+    stats.recovered_records = engine_.recovery().replayed_records;
+    stats.recovered_from_checkpoint = engine_.recovery().had_checkpoint;
+    stats.tail_truncated = engine_.recovery().tail_truncated;
+    stats.last_lsn = engine_.last_lsn();
+    return stats;
+}
+
+}  // namespace mie

@@ -1,0 +1,85 @@
+// Durable MIE cloud server: MieServer + write-ahead logging + recovery.
+//
+// Wraps the in-memory MieServer behind the same net::RequestHandler
+// interface. Every mutating opcode (CREATE/UPDATE/REMOVE/TRAIN) is
+// appended to a CRC-protected segmented WAL *before* the response is
+// returned, so an acknowledged operation survives a crash; read opcodes
+// (SEARCH/STATS/LIST_OBJECTS) pass straight through and still enjoy the
+// inner server's shared per-repository locking.
+//
+// Construction runs recovery: the newest durable checkpoint (the
+// export_snapshot format) is restored, then later WAL records are
+// replayed in order. Replay is deterministic because log records are the
+// verbatim RPC request bytes and the inner server applies them exactly
+// as it did originally (training is deterministic in (data, seed)).
+//
+// A threshold policy turns the log into checkpoints: once
+// `checkpoint_every_bytes` of log accumulate, the next mutating request
+// also snapshots the server, durably writes the checkpoint, and
+// truncates covered WAL segments.
+//
+// Mutations serialize on one log mutex — the WAL is a single append
+// point, and holding the mutex across apply+append keeps memory order
+// and log order identical (replay must converge to the acknowledged
+// state even when concurrent writers race on the same object id).
+// Searches never take the log mutex.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+
+#include "mie/server.hpp"
+#include "store/engine.hpp"
+
+namespace mie {
+
+class DurableServer final : public net::RequestHandler {
+public:
+    using Options = store::StorageEngine::Options;
+
+    /// Opens (and recovers) the durable server in `dir`. `vfs` must
+    /// outlive the server; pass store::PosixVfs::instance() outside
+    /// tests.
+    DurableServer(store::Vfs& vfs, const std::filesystem::path& dir,
+                  Options options = {});
+
+    /// Applies the request; mutating requests are logged before the
+    /// response is returned. Throws store::IoError if logging fails —
+    /// the caller must treat the operation as not acknowledged.
+    Bytes handle(BytesView request) override;
+
+    /// Durability bookkeeping for tests, benchmarks, and ops probes.
+    struct DurabilityStats {
+        std::size_t records_logged = 0;      ///< since open
+        std::size_t checkpoints_written = 0;  ///< since open
+        std::size_t recovered_records = 0;    ///< replayed at open
+        bool recovered_from_checkpoint = false;
+        bool tail_truncated = false;  ///< open discarded a torn tail
+        store::Lsn last_lsn = 0;
+    };
+    DurabilityStats durability() const;
+
+    /// Forces a checkpoint now (clean shutdown, tests).
+    void checkpoint_now();
+
+    /// Flushes the WAL to stable storage.
+    void sync();
+
+    /// The wrapped in-memory server (stats() etc. bypass the wire).
+    MieServer& server() { return inner_; }
+    const MieServer& server() const { return inner_; }
+
+private:
+    void maybe_checkpoint_locked();
+
+    MieServer inner_;
+    store::StorageEngine engine_;
+    /// Serializes mutating ops end-to-end (apply + log + checkpoint) so
+    /// WAL order matches application order. Lock order: log_mutex_
+    /// before the inner server's locks.
+    mutable std::mutex log_mutex_;
+    std::size_t records_logged_ = 0;
+    std::size_t checkpoints_written_ = 0;
+};
+
+}  // namespace mie

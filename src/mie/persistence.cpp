@@ -3,25 +3,23 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "store/file.hpp"
+
 namespace mie {
 
 void save_server_snapshot(const MieServer& server,
                           const std::filesystem::path& path) {
     const Bytes snapshot = server.export_snapshot();
-    const std::filesystem::path temp = path.string() + ".tmp";
-    {
-        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            throw std::runtime_error("save_server_snapshot: cannot open " +
-                                     temp.string());
-        }
-        out.write(reinterpret_cast<const char*>(snapshot.data()),
-                  static_cast<std::streamsize>(snapshot.size()));
-        if (!out) {
-            throw std::runtime_error("save_server_snapshot: write failed");
-        }
+    try {
+        // temp write + fdatasync + rename + directory fsync: without the
+        // syncs, "temp+rename" is only atomic against process crash — a
+        // power failure can surface a zero-length or partial file.
+        store::atomic_write_file(store::PosixVfs::instance(), path,
+                                 snapshot);
+    } catch (const store::IoError& error) {
+        throw std::runtime_error(std::string("save_server_snapshot: ") +
+                                 error.what());
     }
-    std::filesystem::rename(temp, path);  // atomic on POSIX
 }
 
 void load_server_snapshot(MieServer& server,

@@ -1,11 +1,20 @@
-// Cloud-side repository persistence.
+// Cloud-side repository persistence: one-shot snapshots.
 //
-// A production cloud server must survive restarts. Repository state
-// serializes to a snapshot: ciphertext blobs, DPE encodings, token lists,
-// and training parameters. Vocabulary trees and inverted indexes are NOT
-// serialized — training is deterministic in (data, seed), so load simply
-// re-runs the server-side training/indexing pass, trading restart CPU for
-// snapshot size and format stability.
+// Repository state serializes to a snapshot: ciphertext blobs, DPE
+// encodings, token lists, and training parameters. Vocabulary trees and
+// inverted indexes are NOT serialized — training is deterministic in
+// (data, seed), so load simply re-runs the server-side training/indexing
+// pass, trading restart CPU for snapshot size and format stability.
+//
+// Snapshots are written crash-atomically (temp file + fdatasync + rename
+// + directory fsync via store::atomic_write_file), so a crash or power
+// failure mid-save leaves the previous snapshot intact.
+//
+// A snapshot alone loses everything since the last save. For continuous
+// durability — every acknowledged mutation survives a crash — use
+// mie::DurableServer (src/mie/durable_server.hpp), which write-ahead
+// logs mutations and uses this same snapshot format for its checkpoints
+// (see DESIGN.md §Durability).
 #pragma once
 
 #include <filesystem>

@@ -1,6 +1,7 @@
 #include "mie/server.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 #include "fusion/rank_fusion.hpp"
@@ -58,41 +59,66 @@ ModalityPayload read_modalities(net::MessageReader& reader) {
 }  // namespace
 
 Bytes MieServer::handle(BytesView request) {
-    const std::scoped_lock lock(mutex_);
     net::MessageReader reader(request);
     const auto op = static_cast<MieOp>(reader.read_u8());
+    if (op == MieOp::kCreateRepository) return handle_create(reader);
+
+    // Every other request names its repository next. Holding the map lock
+    // shared pins the Repository object while its own lock is taken.
+    const std::string repo_id = reader.read_string();
+    const std::shared_lock map_lock(map_mutex_);
+    Repository& repo = require_repo(repo_id);
     switch (op) {
-        case MieOp::kCreateRepository: return handle_create(reader);
-        case MieOp::kTrain: return handle_train(reader);
-        case MieOp::kUpdate: return handle_update(reader);
-        case MieOp::kRemove: return handle_remove(reader);
-        case MieOp::kSearch: return handle_search(reader);
-        case MieOp::kStats: return handle_stats(reader);
-        case MieOp::kListObjects: return handle_list_objects(reader);
+        case MieOp::kTrain: {
+            const std::unique_lock repo_lock(repo.mutex);
+            return handle_train(repo, reader);
+        }
+        case MieOp::kUpdate: {
+            const std::unique_lock repo_lock(repo.mutex);
+            return handle_update(repo, reader);
+        }
+        case MieOp::kRemove: {
+            const std::unique_lock repo_lock(repo.mutex);
+            return handle_remove(repo, reader);
+        }
+        case MieOp::kSearch: {
+            const std::shared_lock repo_lock(repo.mutex);
+            return handle_search(repo, reader);
+        }
+        case MieOp::kStats: {
+            const std::shared_lock repo_lock(repo.mutex);
+            return handle_stats(repo, reader);
+        }
+        case MieOp::kListObjects: {
+            const std::shared_lock repo_lock(repo.mutex);
+            return handle_list_objects(repo, reader);
+        }
+        case MieOp::kCreateRepository: break;  // handled above
     }
     throw std::invalid_argument("MieServer: unknown opcode");
 }
 
-MieServer::Repository& MieServer::require_repo(const std::string& repo_id) {
+MieServer::Repository& MieServer::require_repo(
+    const std::string& repo_id) const {
     const auto it = repositories_.find(repo_id);
     if (it == repositories_.end()) {
         throw std::invalid_argument("MieServer: unknown repository " +
                                     repo_id);
     }
-    return it->second;
+    return *it->second;
 }
 
 Bytes MieServer::handle_create(net::MessageReader& reader) {
     const std::string repo_id = reader.read_string();
-    repositories_[repo_id] = Repository{};  // fresh (re)initialization
+    const std::unique_lock map_lock(map_mutex_);
+    repositories_[repo_id] =
+        std::make_unique<Repository>();  // fresh (re)initialization
     net::MessageWriter writer;
     write_status(writer, true);
     return writer.take();
 }
 
-Bytes MieServer::handle_train(net::MessageReader& reader) {
-    const std::string repo_id = reader.read_string();
-    Repository& repo = require_repo(repo_id);
+Bytes MieServer::handle_train(Repository& repo, net::MessageReader& reader) {
     TrainParams params;
     params.tree_branch = reader.read_u32();
     params.tree_depth = reader.read_u32();
@@ -203,9 +229,7 @@ void MieServer::deindex_object(Repository& repo, std::uint64_t id) {
     }
 }
 
-Bytes MieServer::handle_update(net::MessageReader& reader) {
-    const std::string repo_id = reader.read_string();
-    Repository& repo = require_repo(repo_id);
+Bytes MieServer::handle_update(Repository& repo, net::MessageReader& reader) {
     const std::uint64_t id = reader.read_u64();
 
     StoredObject object;
@@ -225,9 +249,7 @@ Bytes MieServer::handle_update(net::MessageReader& reader) {
     return writer.take();
 }
 
-Bytes MieServer::handle_remove(net::MessageReader& reader) {
-    const std::string repo_id = reader.read_string();
-    Repository& repo = require_repo(repo_id);
+Bytes MieServer::handle_remove(Repository& repo, net::MessageReader& reader) {
     const std::uint64_t id = reader.read_u64();
     const bool existed = repo.objects.contains(id);
     if (existed) {
@@ -321,9 +343,8 @@ std::vector<std::vector<index::ScoredDoc>> MieServer::linear_search(
     return lists;
 }
 
-Bytes MieServer::handle_search(net::MessageReader& reader) {
-    const std::string repo_id = reader.read_string();
-    Repository& repo = require_repo(repo_id);
+Bytes MieServer::handle_search(const Repository& repo,
+                               net::MessageReader& reader) {
     const auto top_k = static_cast<std::size_t>(reader.read_u32());
 
     ModalityPayload payload = read_modalities(reader);
@@ -352,9 +373,9 @@ Bytes MieServer::handle_search(net::MessageReader& reader) {
     return writer.take();
 }
 
-Bytes MieServer::handle_list_objects(net::MessageReader& reader) {
-    const std::string repo_id = reader.read_string();
-    const Repository& repo = require_repo(repo_id);
+Bytes MieServer::handle_list_objects(const Repository& repo,
+                                     net::MessageReader& reader) {
+    (void)reader;  // no further request fields
     net::MessageWriter writer;
     writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
     for (const auto& [id, object] : repo.objects) {
@@ -364,9 +385,9 @@ Bytes MieServer::handle_list_objects(net::MessageReader& reader) {
     return writer.take();
 }
 
-Bytes MieServer::handle_stats(net::MessageReader& reader) {
-    const std::string repo_id = reader.read_string();
-    const Repository& repo = require_repo(repo_id);
+Bytes MieServer::handle_stats(const Repository& repo,
+                              net::MessageReader& reader) {
+    (void)reader;  // no further request fields
     net::MessageWriter writer;
     writer.write_u64(repo.objects.size());
     writer.write_u8(repo.trained ? 1 : 0);
@@ -385,10 +406,16 @@ Bytes MieServer::handle_stats(net::MessageReader& reader) {
 }
 
 Bytes MieServer::export_snapshot() const {
-    const std::scoped_lock lock(mutex_);
+    const std::shared_lock map_lock(map_mutex_);
     net::MessageWriter writer;
     writer.write_u32(static_cast<std::uint32_t>(repositories_.size()));
-    for (const auto& [repo_id, repo] : repositories_) {
+    for (const auto& [repo_id, repo_ptr] : repositories_) {
+        // Each repository is serialized under its shared lock, so each is
+        // internally consistent; callers needing a cross-repository
+        // consistent cut must quiesce writers themselves (DurableServer
+        // checkpoints do, by holding the log mutex).
+        const Repository& repo = *repo_ptr;
+        const std::shared_lock repo_lock(repo.mutex);
         writer.write_string(repo_id);
         writer.write_u8(repo.trained ? 1 : 0);
         writer.write_u32(static_cast<std::uint32_t>(
@@ -431,13 +458,14 @@ Bytes MieServer::export_snapshot() const {
 }
 
 void MieServer::restore_snapshot(BytesView snapshot) {
-    const std::scoped_lock lock(mutex_);
+    const std::unique_lock map_lock(map_mutex_);
     repositories_.clear();
     net::MessageReader reader(snapshot);
     const auto num_repos = reader.read_u32();
     for (std::uint32_t r = 0; r < num_repos; ++r) {
         const std::string repo_id = reader.read_string();
-        Repository repo;
+        auto repo_ptr = std::make_unique<Repository>();
+        Repository& repo = *repo_ptr;
         const bool trained = reader.read_u8() != 0;
         TrainParams params;
         params.tree_branch = reader.read_u32();
@@ -462,17 +490,18 @@ void MieServer::restore_snapshot(BytesView snapshot) {
             // Deterministic retraining rebuilds trees and indexes exactly.
             train_repository(repo, params);
         }
-        repositories_.emplace(repo_id, std::move(repo));
+        repositories_.emplace(repo_id, std::move(repo_ptr));
     }
 }
 
 MieServer::RepoStats MieServer::stats(const std::string& repo_id) const {
-    const std::scoped_lock lock(mutex_);
+    const std::shared_lock map_lock(map_mutex_);
     const auto it = repositories_.find(repo_id);
     if (it == repositories_.end()) {
         throw std::invalid_argument("MieServer: unknown repository");
     }
-    const Repository& repo = it->second;
+    const Repository& repo = *it->second;
+    const std::shared_lock repo_lock(repo.mutex);
     RepoStats stats;
     stats.num_objects = repo.objects.size();
     stats.trained = repo.trained;

@@ -15,13 +15,19 @@
 // pairwise distances up to the threshold t), token frequencies, and
 // ciphertext blobs — exactly the leakage profile of F_MIE (Algorithm 4).
 //
-// Thread-safe: one mutex per server (multiple users can share a
-// repository, Fig. 4's concurrent-writers experiment relies on this).
+// Thread-safe with per-repository reader/writer locking: SEARCH, STATS
+// and LIST_OBJECTS take a repository's lock shared, so any number of
+// searchers proceed in parallel; UPDATE/REMOVE/TRAIN take it exclusive
+// (Fig. 4's concurrent-writers experiment relies on this). A repository
+// map lock (shared for lookup, exclusive for CREATE/restore) keeps
+// repository lifetime safe without serializing traffic across
+// repositories.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -94,17 +100,21 @@ private:
         TrainParams train_params;
         std::map<ModalityId, DenseModalityState> dense;
         std::map<ModalityId, index::InvertedIndex> sparse;
+        /// Shared by readers (search/stats/list), exclusive for mutations.
+        mutable std::shared_mutex mutex;
     };
 
     Bytes handle_create(net::MessageReader& reader);
-    Bytes handle_train(net::MessageReader& reader);
-    Bytes handle_update(net::MessageReader& reader);
-    Bytes handle_remove(net::MessageReader& reader);
-    Bytes handle_search(net::MessageReader& reader);
-    Bytes handle_stats(net::MessageReader& reader);
-    Bytes handle_list_objects(net::MessageReader& reader);
+    Bytes handle_train(Repository& repo, net::MessageReader& reader);
+    Bytes handle_update(Repository& repo, net::MessageReader& reader);
+    Bytes handle_remove(Repository& repo, net::MessageReader& reader);
+    Bytes handle_search(const Repository& repo, net::MessageReader& reader);
+    Bytes handle_stats(const Repository& repo, net::MessageReader& reader);
+    Bytes handle_list_objects(const Repository& repo,
+                              net::MessageReader& reader);
 
-    Repository& require_repo(const std::string& repo_id);
+    /// Looks a repository up; caller must hold map_mutex_ (any mode).
+    Repository& require_repo(const std::string& repo_id) const;
 
     /// Core of TRAIN: builds per-modality vocabulary trees and re-indexes
     /// every stored object. Shared by handle_train and restore_snapshot.
@@ -134,8 +144,12 @@ private:
         const std::map<ModalityId, index::QueryHistogram>& query_terms,
         std::size_t top_k) const;
 
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, Repository> repositories_;
+    /// Guards the repository map itself; per-repository state is guarded
+    /// by Repository::mutex. Lock order: map_mutex_ before any
+    /// Repository::mutex.
+    mutable std::shared_mutex map_mutex_;
+    std::unordered_map<std::string, std::unique_ptr<Repository>>
+        repositories_;
 };
 
 }  // namespace mie

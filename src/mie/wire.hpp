@@ -19,4 +19,21 @@ enum class MieOp : std::uint8_t {
     kListObjects = 7,  ///< ids + blobs (key-rotation support)
 };
 
+/// True for opcodes that change repository state — exactly the requests
+/// the durable server must write-ahead log before acknowledging.
+constexpr bool is_mutating(MieOp op) {
+    switch (op) {
+        case MieOp::kCreateRepository:
+        case MieOp::kTrain:
+        case MieOp::kUpdate:
+        case MieOp::kRemove:
+            return true;
+        case MieOp::kSearch:
+        case MieOp::kStats:
+        case MieOp::kListObjects:
+            return false;
+    }
+    return false;
+}
+
 }  // namespace mie

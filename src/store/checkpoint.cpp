@@ -1,0 +1,100 @@
+#include "store/checkpoint.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/crc32.hpp"
+
+namespace mie::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kPrefix = "checkpoint-";
+constexpr std::string_view kSuffix = ".ckpt";
+constexpr std::size_t kLsnDigits = 20;
+constexpr std::size_t kHeaderBytes = 24;
+
+Lsn parse_checkpoint_name(const fs::path& path) {
+    const std::string name = path.filename().string();
+    if (name.size() != kPrefix.size() + kLsnDigits + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+        return Lsn(0) - 1;  // sentinel: not a checkpoint file
+    }
+    Lsn lsn = 0;
+    const char* first = name.data() + kPrefix.size();
+    const auto [ptr, ec] = std::from_chars(first, first + kLsnDigits, lsn);
+    if (ec != std::errc{} || ptr != first + kLsnDigits) return Lsn(0) - 1;
+    return lsn;
+}
+
+constexpr Lsn kNotACheckpoint = Lsn(0) - 1;
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(Vfs& vfs, fs::path dir)
+    : vfs_(vfs), dir_(std::move(dir)) {
+    vfs_.create_directories(dir_);
+}
+
+fs::path CheckpointStore::checkpoint_path(Lsn lsn) const {
+    std::string digits = std::to_string(lsn);
+    digits.insert(0, kLsnDigits - digits.size(), '0');
+    return dir_ / (std::string(kPrefix) + digits + std::string(kSuffix));
+}
+
+void CheckpointStore::write(Lsn lsn, BytesView snapshot) {
+    Bytes data;
+    data.reserve(kHeaderBytes + snapshot.size());
+    data.insert(data.end(), kMagic, kMagic + sizeof(kMagic));
+    append_le(data, lsn);
+    append_le(data, crc32(snapshot));
+    append_le(data, static_cast<std::uint32_t>(snapshot.size()));
+    data.insert(data.end(), snapshot.begin(), snapshot.end());
+    atomic_write_file(vfs_, checkpoint_path(lsn), data);
+
+    // The new checkpoint is durable; older ones are now redundant.
+    for (const fs::path& path : vfs_.list_dir(dir_)) {
+        const Lsn found = parse_checkpoint_name(path);
+        if (found != kNotACheckpoint && found < lsn) vfs_.remove_file(path);
+    }
+}
+
+std::optional<CheckpointStore::Loaded> CheckpointStore::load_latest() const {
+    std::vector<std::pair<Lsn, fs::path>> candidates;
+    for (const fs::path& path : vfs_.list_dir(dir_)) {
+        const Lsn lsn = parse_checkpoint_name(path);
+        if (lsn != kNotACheckpoint) candidates.emplace_back(lsn, path);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    for (const auto& [lsn, path] : candidates) {
+        Bytes data;
+        try {
+            data = vfs_.read_file(path);
+        } catch (const IoError&) {
+            continue;
+        }
+        if (data.size() < kHeaderBytes ||
+            std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+            continue;
+        }
+        const auto stored_lsn = read_le<std::uint64_t>(data, 8);
+        const auto crc = read_le<std::uint32_t>(data, 16);
+        const auto len = read_le<std::uint32_t>(data, 20);
+        if (stored_lsn != lsn || data.size() != kHeaderBytes + len) continue;
+        const BytesView snapshot(data.data() + kHeaderBytes, len);
+        if (crc32(snapshot) != crc) continue;  // corrupt — try an older one
+        return Loaded{lsn, Bytes(snapshot.begin(), snapshot.end())};
+    }
+    return std::nullopt;
+}
+
+}  // namespace mie::store

@@ -1,0 +1,46 @@
+#include "store/engine.hpp"
+
+namespace mie::store {
+
+StorageEngine::StorageEngine(Vfs& vfs, std::filesystem::path dir,
+                             Options options,
+                             const std::function<void(BytesView)>& restore,
+                             const std::function<void(BytesView)>& apply)
+    : checkpoints_(vfs, dir / "checkpoints"),
+      wal_(vfs, dir / "wal", options.wal),
+      options_(options) {
+    if (const auto loaded = checkpoints_.load_latest()) {
+        restore(loaded->snapshot);
+        recovery_.had_checkpoint = true;
+        recovery_.checkpoint_lsn = loaded->lsn;
+        checkpoint_lsn_ = loaded->lsn;
+    }
+    wal_.replay(checkpoint_lsn_, [&](Lsn, BytesView payload) {
+        apply(payload);
+        ++recovery_.replayed_records;
+    });
+    recovery_.tail_truncated = wal_.tail_truncated_on_open();
+    recovery_.last_lsn = wal_.last_lsn();
+    logged_since_checkpoint_base_ = wal_.bytes_appended();
+}
+
+bool StorageEngine::checkpoint_due() const {
+    if (options_.checkpoint_every_bytes == 0) return false;
+    return wal_.bytes_appended() - logged_since_checkpoint_base_ >=
+           options_.checkpoint_every_bytes;
+}
+
+void StorageEngine::checkpoint(BytesView snapshot) {
+    // Make every record the snapshot covers durable before the checkpoint
+    // claims to cover them.
+    wal_.sync();
+    const Lsn lsn = wal_.last_lsn();
+    checkpoints_.write(lsn, snapshot);
+    checkpoint_lsn_ = lsn;
+    logged_since_checkpoint_base_ = wal_.bytes_appended();
+    // A crash before (or during) this truncation is safe: recovery skips
+    // records <= lsn.
+    wal_.truncate_through(lsn);
+}
+
+}  // namespace mie::store

@@ -1,0 +1,216 @@
+// File-system abstraction for the durable storage engine.
+//
+// The WAL and checkpoint code talk to a `Vfs` instead of the OS so that
+// crash-consistency tests can inject faults a real disk produces: a write
+// that fails partway (torn record), a process that dies before fsync
+// (lost page cache), a segment truncated mid-record. `PosixVfs` is the
+// real implementation; `FaultInjectingVfs` wraps any Vfs and simulates
+// those failures deterministically.
+//
+// Durability contract of the real implementation:
+//   - File::append issues write(2); bytes survive a *process* crash once
+//     append returns (they sit in the OS page cache or on disk).
+//   - File::sync issues fdatasync(2); bytes survive a *power* failure once
+//     sync returns.
+//   - Vfs::rename + Vfs::sync_dir make a temp-file rename crash-atomic
+//     (the directory entry itself must be fsynced, or the rename can be
+//     lost on power failure even though both files were synced).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mie::store {
+
+/// Thrown by every storage operation that hits an I/O failure (real or
+/// injected). Carries the path for diagnostics.
+class IoError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// An append-only file handle. Closing happens in the destructor; call
+/// sync() first if durability is required.
+class File {
+public:
+    virtual ~File() = default;
+
+    /// Appends `data` at the end of the file. Throws IoError on failure;
+    /// a failure may leave a prefix of `data` written (torn write).
+    virtual void append(BytesView data) = 0;
+
+    /// Appends `header` immediately followed by `payload` (one logical
+    /// record). The default joins them into one buffer; implementations
+    /// may use vectored I/O to skip the copy. Same failure semantics as
+    /// append().
+    virtual void append_parts(BytesView header, BytesView payload);
+
+    /// Flushes file contents to stable storage (fdatasync semantics).
+    virtual void sync() = 0;
+
+    /// Starts flushing written bytes to stable storage without waiting
+    /// for completion (used to seal full WAL segments off the hot path).
+    /// Unlike sync(), offers no durability guarantee at return — only
+    /// that writeback has been initiated. Defaults to a blocking sync().
+    virtual void flush_async() { sync(); }
+
+    /// Current size in bytes (including unsynced appends).
+    virtual std::uint64_t size() const = 0;
+};
+
+/// Minimal file-system surface the storage engine needs.
+class Vfs {
+public:
+    virtual ~Vfs() = default;
+
+    /// Opens for appending, creating the file if missing.
+    virtual std::unique_ptr<File> open_append(
+        const std::filesystem::path& path) = 0;
+
+    /// Creates/truncates and opens for appending.
+    virtual std::unique_ptr<File> create_truncate(
+        const std::filesystem::path& path) = 0;
+
+    /// Reads a whole file. Throws IoError if it cannot be opened.
+    virtual Bytes read_file(const std::filesystem::path& path) const = 0;
+
+    virtual bool exists(const std::filesystem::path& path) const = 0;
+    virtual std::uint64_t file_size(
+        const std::filesystem::path& path) const = 0;
+
+    /// Regular files directly inside `dir` (no recursion), unsorted.
+    virtual std::vector<std::filesystem::path> list_dir(
+        const std::filesystem::path& dir) const = 0;
+
+    virtual void remove_file(const std::filesystem::path& path) = 0;
+    virtual void truncate_file(const std::filesystem::path& path,
+                               std::uint64_t new_size) = 0;
+
+    /// Atomic on POSIX; pair with sync_dir for power-loss atomicity.
+    virtual void rename(const std::filesystem::path& from,
+                        const std::filesystem::path& to) = 0;
+
+    virtual void create_directories(const std::filesystem::path& dir) = 0;
+
+    /// fsyncs the directory inode so renames/creates/unlinks inside it
+    /// are durable.
+    virtual void sync_dir(const std::filesystem::path& dir) = 0;
+};
+
+/// Production implementation over POSIX fds (write/fdatasync/fsync).
+class PosixVfs final : public Vfs {
+public:
+    std::unique_ptr<File> open_append(
+        const std::filesystem::path& path) override;
+    std::unique_ptr<File> create_truncate(
+        const std::filesystem::path& path) override;
+    Bytes read_file(const std::filesystem::path& path) const override;
+    bool exists(const std::filesystem::path& path) const override;
+    std::uint64_t file_size(const std::filesystem::path& path) const override;
+    std::vector<std::filesystem::path> list_dir(
+        const std::filesystem::path& dir) const override;
+    void remove_file(const std::filesystem::path& path) override;
+    void truncate_file(const std::filesystem::path& path,
+                       std::uint64_t new_size) override;
+    void rename(const std::filesystem::path& from,
+                const std::filesystem::path& to) override;
+    void create_directories(const std::filesystem::path& dir) override;
+    void sync_dir(const std::filesystem::path& dir) override;
+
+    /// Shared instance for callers that need no faults.
+    static PosixVfs& instance();
+};
+
+/// Writes `data` to `path` crash-atomically: temp file, write, fdatasync,
+/// rename over `path`, fsync the directory. Readers see either the old
+/// file or the complete new one — never a partial write — even across
+/// power failure.
+void atomic_write_file(Vfs& vfs, const std::filesystem::path& path,
+                       BytesView data);
+
+/// Deterministic fault injection around a base Vfs.
+///
+/// Faults modeled:
+///   - fail-at-byte-N (+ torn write): after N more bytes have been
+///     appended across all files, the failing append writes `torn_bytes`
+///     of its payload and throws IoError; every later operation throws
+///     too (the process is considered crashed).
+///   - power loss: power_loss() rolls every file back to its last synced
+///     size, discarding bytes that only ever reached the (simulated) page
+///     cache. A crash on a no-fsync workload therefore loses the
+///     unsynced suffix, exactly like real power loss.
+///
+/// After die()/power_loss(), call reset() and reopen the directory through
+/// a fresh Vfs (or this one) to exercise recovery.
+class FaultInjectingVfs final : public Vfs {
+public:
+    explicit FaultInjectingVfs(Vfs& base) : base_(base) {}
+
+    /// Arms the byte-count trigger: the append that crosses `bytes` more
+    /// appended bytes writes `torn_bytes` of its payload, then throws.
+    void fail_after_bytes(std::uint64_t bytes, std::size_t torn_bytes = 0);
+
+    /// Marks the Vfs crashed (process death): every later operation
+    /// throws, but bytes already written stay in the files.
+    void die();
+
+    /// Simulates power loss: process death plus discarding the unsynced
+    /// suffix of every file ever written through this Vfs.
+    void power_loss();
+
+    bool crashed() const { return crashed_; }
+
+    /// Clears the crashed flag and any armed trigger so the directory can
+    /// be re-read for recovery.
+    void reset();
+
+    /// Total bytes appended through this Vfs (for positioning triggers).
+    std::uint64_t bytes_appended() const { return bytes_appended_; }
+
+    std::unique_ptr<File> open_append(
+        const std::filesystem::path& path) override;
+    std::unique_ptr<File> create_truncate(
+        const std::filesystem::path& path) override;
+    Bytes read_file(const std::filesystem::path& path) const override;
+    bool exists(const std::filesystem::path& path) const override;
+    std::uint64_t file_size(const std::filesystem::path& path) const override;
+    std::vector<std::filesystem::path> list_dir(
+        const std::filesystem::path& dir) const override;
+    void remove_file(const std::filesystem::path& path) override;
+    void truncate_file(const std::filesystem::path& path,
+                       std::uint64_t new_size) override;
+    void rename(const std::filesystem::path& from,
+                const std::filesystem::path& to) override;
+    void create_directories(const std::filesystem::path& dir) override;
+    void sync_dir(const std::filesystem::path& dir) override;
+
+private:
+    friend class FaultFile;
+
+    void check_alive() const;
+    /// Returns how many bytes of an `want`-byte append may proceed; throws
+    /// (after recording the torn prefix) if the trigger fires.
+    std::size_t admit_append(std::size_t want);
+    void note_synced(const std::filesystem::path& path, std::uint64_t size);
+    void note_written(const std::filesystem::path& path, std::uint64_t size);
+
+    Vfs& base_;
+    bool crashed_ = false;
+    bool armed_ = false;
+    std::uint64_t fail_at_bytes_ = 0;
+    std::size_t torn_bytes_ = 0;
+    std::uint64_t bytes_appended_ = 0;
+    /// path -> last size known durable (synced); used by crash().
+    std::unordered_map<std::string, std::uint64_t> synced_size_;
+    /// path -> last size written at all (synced or not).
+    std::unordered_map<std::string, std::uint64_t> written_size_;
+};
+
+}  // namespace mie::store

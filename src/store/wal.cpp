@@ -1,0 +1,260 @@
+#include "store/wal.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <utility>
+
+#include "util/crc32c.hpp"
+
+namespace mie::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kPrefix = "wal-";
+constexpr std::string_view kSuffix = ".log";
+constexpr std::size_t kLsnDigits = 20;
+/// Upper bound on one record's payload; a larger length field can only be
+/// garbage and must not drive a huge allocation.
+constexpr std::uint32_t kMaxPayloadBytes = 256u << 20;
+
+std::uint32_t record_crc(Lsn lsn, BytesView payload) {
+    Bytes lsn_le;
+    append_le(lsn_le, lsn);
+    // CRC-32C: hardware-evaluated on x86-64, and this runs per record on
+    // the append hot path (see util/crc32c.hpp).
+    std::uint32_t state = crc32c_init();
+    state = crc32c_update(state, lsn_le);
+    state = crc32c_update(state, payload);
+    return crc32c_final(state);
+}
+
+/// Parses `wal-<20-digit lsn>.log`; returns 0 on mismatch (0 is not a
+/// valid first_lsn — LSNs start at 1).
+Lsn parse_segment_name(const fs::path& path) {
+    const std::string name = path.filename().string();
+    if (name.size() != kPrefix.size() + kLsnDigits + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+        return 0;
+    }
+    Lsn lsn = 0;
+    const char* first = name.data() + kPrefix.size();
+    const auto [ptr, ec] = std::from_chars(first, first + kLsnDigits, lsn);
+    if (ec != std::errc{} || ptr != first + kLsnDigits) return 0;
+    return lsn;
+}
+
+}  // namespace
+
+Wal::Wal(Vfs& vfs, fs::path dir, Options options)
+    : vfs_(vfs), dir_(std::move(dir)), options_(options) {
+    vfs_.create_directories(dir_);
+    open_existing();
+}
+
+fs::path Wal::segment_path(Lsn first_lsn) const {
+    std::string digits = std::to_string(first_lsn);
+    digits.insert(0, kLsnDigits - digits.size(), '0');
+    return dir_ / (std::string(kPrefix) + digits + std::string(kSuffix));
+}
+
+void Wal::open_existing() {
+    std::vector<Segment> found;
+    for (const fs::path& path : vfs_.list_dir(dir_)) {
+        const Lsn first_lsn = parse_segment_name(path);
+        if (first_lsn != 0) found.push_back(Segment{path, first_lsn});
+    }
+    std::sort(found.begin(), found.end(),
+              [](const Segment& a, const Segment& b) {
+                  return a.first_lsn < b.first_lsn;
+              });
+
+    next_lsn_ = 1;
+    bool stop = false;
+    for (std::size_t i = 0; i < found.size(); ++i) {
+        Segment& segment = found[i];
+        if (stop) {
+            // Records past a corruption point have lost their ordering
+            // guarantee; they can only belong to unacknowledged suffix
+            // state, so drop them.
+            vfs_.remove_file(segment.path);
+            tail_truncated_ = true;
+            continue;
+        }
+        if (i > 0 && segment.first_lsn != next_lsn_) {
+            // LSN gap: the preceding segment lost records. Stop here.
+            vfs_.remove_file(segment.path);
+            tail_truncated_ = true;
+            stop = true;
+            continue;
+        }
+        const ScanResult scan = scan_segment(segment, nullptr);
+        if (scan.valid_bytes < kHeaderBytes) {
+            // Torn during creation — it never held a durable record.
+            vfs_.remove_file(segment.path);
+            tail_truncated_ = true;
+            stop = true;
+            continue;
+        }
+        if (!scan.clean_end) {
+            vfs_.truncate_file(segment.path, scan.valid_bytes);
+            tail_truncated_ = true;
+            stop = true;
+        }
+        if (i == 0) next_lsn_ = segment.first_lsn;
+        if (scan.last_lsn != 0) next_lsn_ = scan.last_lsn + 1;
+        segments_.push_back(segment);
+    }
+
+    if (segments_.empty()) {
+        start_segment(next_lsn_);
+    } else {
+        active_ = vfs_.open_append(segments_.back().path);
+    }
+}
+
+void Wal::start_segment(Lsn first_lsn) {
+    Segment segment{segment_path(first_lsn), first_lsn};
+    active_ = vfs_.create_truncate(segment.path);
+    Bytes header(kMagic, kMagic + sizeof(kMagic));
+    append_le(header, first_lsn);
+    active_->append(header);
+    if (options_.sync_policy == SyncPolicy::kEveryRecord) {
+        // Only the power-loss-durable policy pays to make the new
+        // segment's name and header durable immediately; the other
+        // policies tolerate a torn/missing youngest segment at recovery.
+        active_->sync();
+        vfs_.sync_dir(dir_);
+    }
+    active_dirty_ = false;
+    segments_.push_back(std::move(segment));
+}
+
+Lsn Wal::append(BytesView payload) {
+    if (active_->size() >= options_.segment_bytes) {
+        // Seal the active segment and rotate. Under kOnRotate sealing
+        // *initiates* writeback of the full segment without blocking on
+        // it, keeping the power-loss window bounded (roughly the active
+        // segment plus in-flight writeback) at no per-append fsync cost.
+        if (options_.sync_policy == SyncPolicy::kEveryRecord) {
+            sync();
+        } else if (options_.sync_policy == SyncPolicy::kOnRotate) {
+            active_->flush_async();
+        }
+        start_segment(next_lsn_);
+    }
+
+    const Lsn lsn = next_lsn_;
+    Bytes header;
+    header.reserve(kRecordHeaderBytes);
+    append_le(header, static_cast<std::uint32_t>(payload.size()));
+    append_le(header, record_crc(lsn, payload));
+    append_le(header, lsn);
+    active_->append_parts(header, payload);
+    active_dirty_ = true;
+    if (options_.sync_policy == SyncPolicy::kEveryRecord) {
+        active_->sync();
+        active_dirty_ = false;
+    }
+    bytes_appended_ += kRecordHeaderBytes + payload.size();
+    next_lsn_ = lsn + 1;
+    return lsn;
+}
+
+void Wal::sync() {
+    if (active_dirty_) {
+        active_->sync();
+        active_dirty_ = false;
+    }
+}
+
+Wal::ScanResult Wal::scan_segment(
+    const Segment& segment,
+    const std::function<void(Lsn, BytesView)>* fn,
+    std::uint64_t limit) const {
+    ScanResult result;
+    Bytes data = vfs_.read_file(segment.path);
+    if (data.size() > limit) data.resize(limit);
+
+    if (data.size() < kHeaderBytes ||
+        std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0 ||
+        read_le<std::uint64_t>(data, sizeof(kMagic)) != segment.first_lsn) {
+        result.valid_bytes = 0;
+        result.clean_end = false;
+        return result;
+    }
+
+    Lsn expected = segment.first_lsn;
+    std::size_t offset = kHeaderBytes;
+    while (offset < data.size()) {
+        if (offset + kRecordHeaderBytes > data.size()) break;  // torn header
+        const auto len = read_le<std::uint32_t>(data, offset);
+        const auto crc = read_le<std::uint32_t>(data, offset + 4);
+        const auto lsn = read_le<std::uint64_t>(data, offset + 8);
+        if (len > kMaxPayloadBytes || lsn != expected ||
+            offset + kRecordHeaderBytes + len > data.size()) {
+            break;  // garbage length/lsn or torn payload
+        }
+        const BytesView payload(data.data() + offset + kRecordHeaderBytes,
+                                len);
+        if (record_crc(lsn, payload) != crc) break;  // corrupt record
+        if (fn) (*fn)(lsn, payload);
+        offset += kRecordHeaderBytes + len;
+        result.last_lsn = lsn;
+        expected = lsn + 1;
+    }
+    result.valid_bytes = offset;
+    result.clean_end = offset == data.size();
+    return result;
+}
+
+void Wal::replay(Lsn after,
+                 const std::function<void(Lsn, BytesView)>& fn) const {
+    const std::function<void(Lsn, BytesView)> filtered =
+        [&](Lsn lsn, BytesView payload) {
+            if (lsn > after) fn(lsn, payload);
+        };
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        // Skip segments the next segment's start proves are <= after.
+        if (i + 1 < segments_.size() &&
+            segments_[i + 1].first_lsn <= after + 1) {
+            continue;
+        }
+        // The open active segment may be preallocated past its logical
+        // size on disk; only the logical bytes are log contents.
+        const std::uint64_t limit = i + 1 == segments_.size() && active_
+                                        ? active_->size()
+                                        : UINT64_MAX;
+        const ScanResult scan = scan_segment(segments_[i], &filtered, limit);
+        if (!scan.clean_end) {
+            // The open-time scan validated this data; a mismatch now means
+            // the file changed underneath us.
+            throw CorruptLogError("Wal::replay: corruption in " +
+                                  segments_[i].path.string());
+        }
+    }
+}
+
+void Wal::truncate_through(Lsn through) {
+    // A segment is removable when every record it holds is <= `through`,
+    // i.e. the NEXT segment starts at or below `through`+1. The active
+    // (last) segment always stays: appends continue into it.
+    std::size_t keep_from = 0;
+    while (keep_from + 1 < segments_.size() &&
+           segments_[keep_from + 1].first_lsn <= through + 1) {
+        ++keep_from;
+    }
+    if (keep_from == 0) return;
+    for (std::size_t i = 0; i < keep_from; ++i) {
+        vfs_.remove_file(segments_[i].path);
+    }
+    segments_.erase(segments_.begin(),
+                    segments_.begin() + static_cast<std::ptrdiff_t>(keep_from));
+    if (options_.sync_policy != SyncPolicy::kNever) vfs_.sync_dir(dir_);
+}
+
+}  // namespace mie::store

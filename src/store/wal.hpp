@@ -1,0 +1,137 @@
+// Segmented, CRC-protected write-ahead log.
+//
+// The log is a directory of segment files `wal-<first_lsn>.log`. Each
+// segment starts with a fixed header and holds a run of records:
+//
+//   segment header:  magic "MIEWAL1\n" (8) | u64 first_lsn (LE)
+//   record:          u32 payload_len | u32 crc | u64 lsn | payload
+//
+// `crc` is CRC-32 over (lsn_le || payload), so a record whose length
+// field, lsn, or payload was torn or bit-flipped fails verification.
+// LSNs are assigned 1, 2, 3, ... with no gaps; `Lsn 0` means "nothing".
+//
+// Crash behaviour on open: the tail segment may end in a torn record
+// (partial header or payload, or CRC mismatch). Such a tail is truncated
+// away — it can only belong to an operation that was never acknowledged.
+// A CRC mismatch *before* the end of the durable prefix is corruption;
+// replay stops there and reports it rather than applying garbage.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "store/file.hpp"
+
+namespace mie::store {
+
+using Lsn = std::uint64_t;
+
+/// Thrown when log contents fail validation in a way recovery cannot
+/// safely skip (corruption strictly inside the durable prefix).
+class CorruptLogError : public IoError {
+public:
+    using IoError::IoError;
+};
+
+/// When to flush the active segment to stable storage. Every policy is
+/// durable against *process* crash (append issues write(2) before
+/// returning); they differ in the power-loss window.
+enum class SyncPolicy : std::uint8_t {
+    kEveryRecord,  ///< fsync before every append returns (power-loss durable)
+    kOnRotate,     ///< async writeback when sealing a segment; power loss
+                   ///< may cost roughly the last segment or two
+    kNever,        ///< no flushing at all beyond OS writeback; tests only
+};
+
+class Wal {
+public:
+    struct Options {
+        /// Rotate threshold. Rotation seals + flushes a full segment, so
+        /// small segments turn that cost into a per-append tax; 16 MiB
+        /// keeps it amortized to noise while bounding both the kOnRotate
+        /// power-loss window and the recovery replay per segment.
+        std::uint64_t segment_bytes = 16u << 20;
+        SyncPolicy sync_policy = SyncPolicy::kOnRotate;
+    };
+
+    /// Opens (creating if needed) the log in `dir`, scanning existing
+    /// segments and truncating a torn tail. `vfs` must outlive the Wal.
+    Wal(Vfs& vfs, std::filesystem::path dir, Options options);
+
+    Wal(const Wal&) = delete;
+    Wal& operator=(const Wal&) = delete;
+
+    /// Appends one record; returns its LSN. Durability on return follows
+    /// the sync policy. Throws IoError on failure (the record must then
+    /// be treated as not written).
+    Lsn append(BytesView payload);
+
+    /// Forces the active segment to stable storage.
+    void sync();
+
+    /// Highest LSN present in the log (0 if empty).
+    Lsn last_lsn() const { return next_lsn_ - 1; }
+
+    /// Invokes `fn(lsn, payload)` for every record with lsn > `after`, in
+    /// LSN order. Detected mid-log corruption throws CorruptLogError
+    /// after delivering every record before the corruption point.
+    void replay(Lsn after,
+                const std::function<void(Lsn, BytesView)>& fn) const;
+
+    /// Deletes segments whose records are ALL <= `through` (they are
+    /// covered by a checkpoint). The active segment is never deleted.
+    void truncate_through(Lsn through);
+
+    /// True if opening found and discarded a torn tail.
+    bool tail_truncated_on_open() const { return tail_truncated_; }
+
+    std::size_t num_segments() const { return segments_.size(); }
+
+    /// Bytes appended since this Wal was opened (sizing checkpoints).
+    std::uint64_t bytes_appended() const { return bytes_appended_; }
+
+    static constexpr char kMagic[8] = {'M', 'I', 'E', 'W', 'A', 'L',
+                                       '1', '\n'};
+    static constexpr std::size_t kHeaderBytes = 16;
+    static constexpr std::size_t kRecordHeaderBytes = 16;
+
+private:
+    struct Segment {
+        std::filesystem::path path;
+        Lsn first_lsn = 0;  ///< LSN the segment starts at
+    };
+
+    void open_existing();
+    void start_segment(Lsn first_lsn);
+    std::filesystem::path segment_path(Lsn first_lsn) const;
+
+    /// Scans one segment file; returns the byte offset just past the last
+    /// valid record and appends (lsn, payload) pairs via `fn` when given.
+    /// `limit` caps how many file bytes are considered (the active
+    /// segment's on-disk size can exceed its logical size while open,
+    /// because appends preallocate ahead).
+    struct ScanResult {
+        Lsn last_lsn = 0;      ///< 0 if the segment has no valid records
+        std::uint64_t valid_bytes = kHeaderBytes;
+        bool clean_end = true;  ///< false: trailing partial/corrupt data
+    };
+    ScanResult scan_segment(
+        const Segment& segment,
+        const std::function<void(Lsn, BytesView)>* fn,
+        std::uint64_t limit = UINT64_MAX) const;
+
+    Vfs& vfs_;
+    std::filesystem::path dir_;
+    Options options_;
+    std::vector<Segment> segments_;  ///< sorted by first_lsn; back = active
+    std::unique_ptr<File> active_;
+    Lsn next_lsn_ = 1;
+    bool tail_truncated_ = false;
+    bool active_dirty_ = false;  ///< unsynced bytes in the active segment
+    std::uint64_t bytes_appended_ = 0;
+};
+
+}  // namespace mie::store

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the storage layer to detect torn or corrupted write-ahead-log
+// records and checkpoint files. Not a cryptographic integrity check — the
+// threat model is disk/crash corruption, not an adversary (snapshot and
+// log contents are ciphertexts and encodings already).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mie {
+
+/// One-shot CRC-32 of `data`.
+std::uint32_t crc32(BytesView data);
+
+/// Incremental form: feed `crc32_update` the running value (start from
+/// `crc32_init()`), finish with `crc32_final`.
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, BytesView data);
+std::uint32_t crc32_final(std::uint32_t state);
+
+}  // namespace mie

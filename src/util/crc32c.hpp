@@ -1,0 +1,31 @@
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78).
+//
+// The write-ahead log checksums every record payload on the hot path, so
+// it uses this variant: x86-64 CPUs since Nehalem evaluate it in hardware
+// (SSE4.2 `crc32` instruction, ~10 bytes/cycle), detected at runtime with
+// a slice-by-8 table fallback everywhere else. Same corruption-detection
+// strength and threat model as util/crc32.hpp (disk/crash corruption, not
+// an adversary); the two differ only in polynomial and speed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mie {
+
+/// One-shot CRC-32C of `data`. Check value: crc32c("123456789") ==
+/// 0xE3069283.
+std::uint32_t crc32c(BytesView data);
+
+/// Incremental form: feed `crc32c_update` the running value (start from
+/// `crc32c_init()`), finish with `crc32c_final`.
+std::uint32_t crc32c_init();
+std::uint32_t crc32c_update(std::uint32_t state, BytesView data);
+std::uint32_t crc32c_final(std::uint32_t state);
+
+/// Portable slice-by-8 implementation of `crc32c_update`; exposed so
+/// tests can pin the hardware path against it.
+std::uint32_t crc32c_update_software(std::uint32_t state, BytesView data);
+
+}  // namespace mie

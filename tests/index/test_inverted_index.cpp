@@ -1,6 +1,8 @@
 // Inverted index, TF-IDF/BM25 scoring, and champion-list tests.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 
 #include "index/champion.hpp"
@@ -133,8 +135,20 @@ TEST(TopKOf, SortsAndBreaksTies) {
 class ChampionIndexTest : public ::testing::Test {
 protected:
     ChampionIndexTest()
+        // Keyed by test name + pid: ctest runs each case as its own
+        // process in parallel, so a shared path would collide.
         : path_(std::filesystem::temp_directory_path() /
-                "mie_champion_test.log") {}
+                ("mie_champion_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name()) +
+                 "_" + std::to_string(::getpid()) + ".log")) {}
+
+    ~ChampionIndexTest() override {
+        std::error_code ec;
+        std::filesystem::remove(path_, ec);
+    }
+
     std::filesystem::path path_;
 };
 

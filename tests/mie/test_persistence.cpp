@@ -2,6 +2,8 @@
 // behaviour intact (deterministic retraining).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 
@@ -21,8 +23,14 @@ protected:
           generator_(sim::FlickrLikeParams{.num_classes = 4,
                                            .image_size = 48,
                                            .seed = 71}),
+          // Keyed by test name + pid: ctest runs each case as its own
+          // process in parallel, so a shared path would collide.
           path_(std::filesystem::temp_directory_path() /
-                "mie_persistence_test.snap") {}
+                ("mie_persistence_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name()) +
+                 "_" + std::to_string(::getpid()) + ".snap")) {}
 
     ~PersistenceTest() override {
         std::error_code ec;
