@@ -44,7 +44,8 @@ double map_with_dpe(double delta, std::size_t bits, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    mie::bench::configure_threads(argc, argv);
     const double unit_delta = std::sqrt(2.0 / std::numbers::pi);
 
     std::cout << "=== Ablation A: Dense-DPE threshold (delta -> t) vs "

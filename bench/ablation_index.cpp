@@ -34,7 +34,8 @@ sim::HolidaysLikeGenerator::Dataset make_dataset(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    mie::bench::configure_threads(argc, argv);
     using namespace mie;
     using namespace mie::bench;
 

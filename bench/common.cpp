@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <iostream>
+#include <string_view>
 #include <unordered_set>
 
 #include "eval/metrics.hpp"
+#include "exec/exec.hpp"
 #include "fusion/rank_fusion.hpp"
 #include "index/bovw.hpp"
 #include "util/table.hpp"
@@ -18,6 +20,33 @@ std::string scheme_name(Scheme scheme) {
         case Scheme::kMie: return "MIE";
     }
     return "?";
+}
+
+namespace {
+std::size_t g_bench_threads = 0;  // 0 = configure_threads not called yet
+}  // namespace
+
+std::size_t configure_threads(int argc, char** argv) {
+    std::size_t threads = exec::hardware_threads();
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            threads = std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::atoll(argv[i + 1])));
+            ++i;
+        } else if (arg.starts_with("--threads=")) {
+            threads = std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::atoll(arg.substr(10).data())));
+        }
+    }
+    exec::set_max_threads(threads);
+    g_bench_threads = threads;
+    return threads;
+}
+
+std::size_t bench_threads() {
+    return g_bench_threads != 0 ? g_bench_threads : exec::hardware_threads();
 }
 
 double bench_scale() {
@@ -171,8 +200,10 @@ CostBreakdown run_load_workload(SchemeBundle& bundle,
     // then the bulk of the adds through the trained path — which is where
     // MSSE/Hom-MSSE pay client-side clustering + index encryption per add.
     const CostBreakdown before = CostBreakdown::of(bundle.client->meter());
-    const std::size_t bootstrap =
-        std::max<std::size_t>(8, (num_objects * 3) / 10);
+    // Clamp: at tiny MIE_BENCH_SCALE values the whole load can be smaller
+    // than the 8-object bootstrap floor (the subtraction below would wrap).
+    const std::size_t bootstrap = std::min(
+        num_objects, std::max<std::size_t>(8, (num_objects * 3) / 10));
     bundle.client->create_repository();
     for (const auto& object : generator.make_batch(0, bootstrap)) {
         bundle.client->update(object);
@@ -188,7 +219,7 @@ CostBreakdown run_load_workload(SchemeBundle& bundle,
 void print_cost_table(const std::string& title,
                       const std::vector<std::string>& row_labels,
                       const std::vector<CostBreakdown>& rows) {
-    std::cout << "\n" << title << "\n";
+    std::cout << "\n" << title << " [threads=" << bench_threads() << "]\n";
     TextTable table({"Workload", "Encrypt(s)", "Network(s)", "Index(s)",
                      "Train(s)", "Total(s)"});
     for (std::size_t i = 0; i < rows.size(); ++i) {

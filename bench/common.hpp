@@ -34,6 +34,15 @@ constexpr std::array<Scheme, 3> kAllSchemes = {Scheme::kMsse,
 
 std::string scheme_name(Scheme scheme);
 
+/// Parses `--threads N` from argv and applies it to the exec runtime via
+/// exec::set_max_threads. Defaults to std::thread::hardware_concurrency()
+/// when absent. Returns the applied width; bench_threads() reports it
+/// later so tables and JSON can record the configuration.
+std::size_t configure_threads(int argc, char** argv);
+
+/// Width applied by configure_threads (hardware default until called).
+std::size_t bench_threads();
+
 /// Multiplier from MIE_BENCH_SCALE (default 1.0, clamped to [0.1, 100]).
 double bench_scale();
 

@@ -12,7 +12,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    mie::bench::configure_threads(argc, argv);
     using namespace mie;
     using namespace mie::bench;
 

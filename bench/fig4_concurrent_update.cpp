@@ -5,11 +5,12 @@
 // cannot: MSSE's counter lock rejects a concurrent trained writer.
 #include <cstdio>
 #include <iostream>
-#include <thread>
 
 #include "common.hpp"
+#include "exec/exec.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    mie::bench::configure_threads(argc, argv);
     using namespace mie;
     using namespace mie::bench;
 
@@ -35,19 +36,23 @@ int main() {
     const auto desktop_gen = default_generator(202);
 
     // Both clients write concurrently (the MIE server serializes internally
-    // but neither blocks on client-side shared state).
-    std::thread mobile_writer([&] {
-        for (std::size_t i = 0; i < per_client; ++i) {
-            mobile_bundle.client->update(mobile_gen.make(i));
-        }
-    });
-    std::thread desktop_writer([&] {
-        for (std::size_t i = 0; i < per_client; ++i) {
-            desktop_client->update(desktop_gen.make(100000 + i));
-        }
-    });
-    mobile_writer.join();
-    desktop_writer.join();
+    // but neither blocks on client-side shared state). The writers run as
+    // exec::TaskGroup tasks; wait() also propagates any client exception
+    // instead of std::thread's terminate-on-escape.
+    {
+        exec::TaskGroup writers;
+        writers.run([&] {
+            for (std::size_t i = 0; i < per_client; ++i) {
+                mobile_bundle.client->update(mobile_gen.make(i));
+            }
+        });
+        writers.run([&] {
+            for (std::size_t i = 0; i < per_client; ++i) {
+                desktop_client->update(desktop_gen.make(100000 + i));
+            }
+        });
+        writers.wait();
+    }
 
     const auto mobile_cost =
         CostBreakdown::of(mobile_bundle.client->meter());

@@ -21,7 +21,8 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    mie::bench::configure_threads(argc, argv);
     using namespace mie;
     using namespace mie::bench;
 

@@ -1,0 +1,126 @@
+// micro_exec: serial-vs-parallel speedup of the exec-runtime hot paths.
+//
+// Times the three workloads the runtime parallelizes — vocabulary-tree
+// training over DPE encodings, dense U-SURF extraction, and batched DPE
+// encoding — once with the pool capped at 1 thread and once at the
+// configured width (--threads N, default all hardware threads), and emits
+// the measurements as JSON on stdout so CI can track the speedup curve.
+// Determinism is asserted on the way: the parallel tree must equal the
+// serial one bitwise.
+#include <chrono>
+#include <limits>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "dpe/dense_dpe.hpp"
+#include "exec/exec.hpp"
+#include "features/surf.hpp"
+#include "index/space.hpp"
+#include "index/vocab_tree.hpp"
+#include "sim/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mie;
+
+double seconds_of(const auto& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Best-of-`rounds` wall time with the exec pool capped at `threads`.
+double timed_at(std::size_t threads, int rounds, const auto& fn) {
+    exec::set_max_threads(threads);
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < rounds; ++r) best = std::min(best, seconds_of(fn));
+    return best;
+}
+
+void emit(const char* name, double serial, double parallel,
+          std::size_t threads, bool first) {
+    std::printf("%s    {\"workload\": \"%s\", \"threads\": %zu, "
+                "\"serial_s\": %.6f, \"parallel_s\": %.6f, "
+                "\"speedup\": %.3f}",
+                first ? "" : ",\n", name, threads, serial, parallel,
+                parallel > 0.0 ? serial / parallel : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t threads = mie::bench::configure_threads(argc, argv);
+    constexpr int kRounds = 3;
+
+    // Workload 1: vocabulary-tree training over 128-bit DPE encodings —
+    // the cloud-side TRAIN operation (§VI).
+    SplitMix64 rng(2017);
+    std::vector<dpe::BitCode> codes;
+    const std::size_t num_codes =
+        static_cast<std::size_t>(6000 * mie::bench::bench_scale());
+    codes.reserve(num_codes);
+    for (std::size_t i = 0; i < num_codes; ++i) {
+        dpe::BitCode code(128);
+        for (std::size_t b = 0; b < 128; ++b) {
+            code.set(b, rng.next_double() < 0.5);
+        }
+        codes.push_back(std::move(code));
+    }
+    const index::VocabTree<index::HammingSpace>::Params tree_params{
+        .branch = 8, .depth = 3, .kmeans_iterations = 6};
+    index::VocabTree<index::HammingSpace> serial_tree, parallel_tree;
+    const double train_serial = timed_at(1, kRounds, [&] {
+        serial_tree = index::VocabTree<index::HammingSpace>::build(
+            codes, tree_params, 42);
+    });
+    const double train_parallel = timed_at(threads, kRounds, [&] {
+        parallel_tree = index::VocabTree<index::HammingSpace>::build(
+            codes, tree_params, 42);
+    });
+    if (!(serial_tree == parallel_tree)) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: parallel tree != serial tree\n");
+        return 1;
+    }
+
+    // Workload 2: dense U-SURF extraction (client-side Index bar).
+    const sim::FlickrLikeGenerator gen(
+        sim::FlickrLikeParams{.image_size = 128, .seed = 7});
+    const auto object = gen.make(0);
+    const features::SurfExtractor surf;
+    features::DensePyramidParams pyramid;
+    pyramid.base_stride = 2;
+    const double surf_serial =
+        timed_at(1, kRounds, [&] { surf.extract(object.image, pyramid); });
+    const double surf_parallel = timed_at(
+        threads, kRounds, [&] { surf.extract(object.image, pyramid); });
+
+    // Workload 3: batched DPE encoding (client-side Encrypt bar).
+    const auto key =
+        dpe::DenseDpe::keygen(to_bytes("micro-exec"), 64, 128, 0.7978845608);
+    const dpe::DenseDpe dense(key);
+    std::vector<features::FeatureVec> vectors(
+        static_cast<std::size_t>(4000 * mie::bench::bench_scale()));
+    for (auto& v : vectors) {
+        v.resize(64);
+        for (auto& x : v) x = static_cast<float>(rng.next_double());
+    }
+    const double dpe_serial =
+        timed_at(1, kRounds, [&] { dense.encode_batch(vectors); });
+    const double dpe_parallel =
+        timed_at(threads, kRounds, [&] { dense.encode_batch(vectors); });
+
+    exec::set_max_threads(0);
+
+    std::printf("{\n  \"bench\": \"micro_exec\",\n  \"threads\": %zu,\n"
+                "  \"workloads\": [\n",
+                threads);
+    emit("vocab_tree_train", train_serial, train_parallel, threads, true);
+    emit("surf_extract", surf_serial, surf_parallel, threads, false);
+    emit("dpe_encode_batch", dpe_serial, dpe_parallel, threads, false);
+    std::printf("\n  ]\n}\n");
+    return 0;
+}

@@ -75,7 +75,8 @@ double measure(const std::vector<Bytes>& requests, std::size_t seed_count,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    mie::bench::configure_threads(argc, argv);
     const std::size_t num_seed = scaled(60);
     const std::size_t num_updates = scaled(240);
     const int rounds = 3;

@@ -13,21 +13,27 @@
 //   save <path> / load <path>   snapshot / restore the cloud state
 //   help, quit
 //
-// Usage: mie_console [--durable <dir>]
+// Usage: mie_console [--durable <dir>] [--threads <n>]
 //
 // With --durable the cloud side runs behind the write-ahead-logged
 // DurableServer: every acknowledged mutation survives `kill -9`, and
 // relaunching with the same directory recovers the repository before
 // the first prompt.
 //
+// --threads caps the exec runtime's width for client extraction/encoding
+// and cloud training/search (default: all hardware threads).
+//
 // Try:  printf 'create\naddbatch 0 10\ntrain\nsearch 3\nquit\n' | ./mie_console
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
 
 #include "crypto/drbg.hpp"
+#include "exec/exec.hpp"
 #include "mie/client.hpp"
 #include "mie/durable_server.hpp"
 #include "mie/persistence.hpp"
@@ -51,16 +57,32 @@ int main(int argc, char** argv) {
 
     std::optional<DurableServer> durable;
     MieServer in_memory;
-    if (argc == 3 && std::string(argv[1]) == "--durable") {
+    std::string durable_dir;
+    std::size_t threads = exec::hardware_threads();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--durable" && i + 1 < argc) {
+            durable_dir = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::atoll(argv[++i])));
+        } else {
+            std::cerr << "usage: mie_console [--durable <dir>]"
+                         " [--threads <n>]\n";
+            return 2;
+        }
+    }
+    exec::set_max_threads(threads);
+    if (!durable_dir.empty()) {
         try {
-            durable.emplace(store::PosixVfs::instance(), argv[2]);
+            durable.emplace(store::PosixVfs::instance(), durable_dir);
         } catch (const std::exception& error) {
-            std::cerr << "cannot open durable state in '" << argv[2]
+            std::cerr << "cannot open durable state in '" << durable_dir
                       << "': " << error.what() << "\n";
             return 1;
         }
         const auto stats = durable->durability();
-        std::cout << "durable mode: " << argv[2] << " (recovered "
+        std::cout << "durable mode: " << durable_dir << " (recovered "
                   << stats.recovered_records << " log records"
                   << (stats.recovered_from_checkpoint ? " + checkpoint"
                                                       : "")
@@ -69,9 +91,6 @@ int main(int argc, char** argv) {
             std::cout << "warning: discarded a torn or corrupt log tail; "
                          "state reflects the last intact record\n";
         }
-    } else if (argc != 1) {
-        std::cerr << "usage: mie_console [--durable <dir>]\n";
-        return 2;
     }
     MieServer& cloud = durable ? durable->server() : in_memory;
     net::RequestHandler& handler =

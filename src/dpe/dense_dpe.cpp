@@ -7,6 +7,7 @@
 
 #include "crypto/drbg.hpp"
 #include "crypto/kdf.hpp"
+#include "exec/exec.hpp"
 
 namespace mie::dpe {
 
@@ -96,6 +97,15 @@ BitCode DenseDpe::encode(const features::FeatureVec& plaintext) const {
         code.set(m, (cell & 1LL) == 0);
     }
     return code;
+}
+
+std::vector<BitCode> DenseDpe::encode_batch(
+    std::span<const features::FeatureVec> plaintexts) const {
+    std::vector<BitCode> codes(plaintexts.size());
+    exec::parallel_for(0, plaintexts.size(), 8, [&](std::size_t i) {
+        codes[i] = encode(plaintexts[i]);
+    });
+    return codes;
 }
 
 double DenseDpe::distance(const BitCode& e1, const BitCode& e2) {

@@ -18,6 +18,7 @@
 // {seed, N, M, Δ}.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "dpe/bitcode.hpp"
@@ -55,6 +56,12 @@ public:
 
     /// ENCODE(K, p): deterministic encoding of an N-dim feature vector.
     BitCode encode(const features::FeatureVec& plaintext) const;
+
+    /// Encodes a batch of vectors, fanning the independent projections out
+    /// across the exec pool. Output order matches input order; each code
+    /// is identical to a single encode() call.
+    std::vector<BitCode> encode_batch(
+        std::span<const features::FeatureVec> plaintexts) const;
 
     /// DISTANCE(e1, e2): normalized Hamming distance between encodings;
     /// equals the plaintext Euclidean distance (in expectation, up to

@@ -1,0 +1,316 @@
+// Deterministic parallel execution runtime.
+//
+// The paper's central claim is that MIE offloads the heavy work —
+// hierarchical k-means training and indexing — to the cloud server (§V,
+// Algorithms 5-9). This module makes that server-side work actually use
+// the server's cores, under one load-bearing contract:
+//
+//   DETERMINISM: every primitive here produces bitwise-identical results
+//   at any thread count, including 1. Training a vocabulary tree with one
+//   thread or sixteen yields the same centroids, the same node layout and
+//   the same leaf numbering, so the paper-reproduction numbers (Tables
+//   2-3) stay reproducible on any machine.
+//
+// How the contract is kept:
+//   * parallel_for / parallel_reduce use STATIC chunking: chunk boundaries
+//     depend only on the range size and the caller's grain, never on the
+//     thread count or scheduling order.
+//   * parallel_reduce combines per-chunk partial results in a FIXED
+//     left-to-right chunk order (a fixed combination tree), so
+//     floating-point reductions associate identically on every run.
+//   * Scheduling only decides WHICH thread runs a chunk, never what the
+//     chunk computes or how results merge.
+//
+// Concurrency model: a process-wide work-stealing ThreadPool executes
+// helper tasks; the thread that opens a parallel region always
+// participates in it (caller-runs), so every region makes progress even
+// when the pool is saturated or sized zero — nested regions (a TaskGroup
+// task calling parallel_for, a parallel chunk opening another region)
+// cannot deadlock. The effective width of a region is
+// min(max_threads(), chunks); set_max_threads(1) degrades every primitive
+// to plain serial execution on the calling thread.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mie::exec {
+
+/// std::thread::hardware_concurrency, floored at 1.
+std::size_t hardware_threads();
+
+/// Caps the width of every parallel region. 0 restores the default
+/// (hardware_threads()). Thread-safe; affects regions opened afterwards.
+/// Changing the cap never changes results — only how many threads help.
+void set_max_threads(std::size_t n);
+
+/// Current effective width cap (never 0).
+std::size_t max_threads();
+
+/// Work-stealing thread pool. Each worker owns a deque: its own tasks pop
+/// LIFO (cache-warm), thieves steal FIFO from the opposite end. Submission
+/// from a worker thread goes to that worker's deque; external submissions
+/// round-robin. The pool never runs a task on the submitting thread unless
+/// it has no workers at all.
+class ThreadPool {
+public:
+    using Task = std::function<void()>;
+
+    explicit ThreadPool(std::size_t num_workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues a task. With zero workers the task runs inline.
+    void submit(Task task);
+
+    std::size_t num_workers() const { return queues_.size(); }
+
+    /// The process-wide pool used by parallel_for / parallel_reduce /
+    /// TaskGroup. Sized so that regions up to kMinPoolWidth wide can run
+    /// truly concurrently even on narrow machines (the determinism tests
+    /// rely on exercising real interleavings everywhere).
+    static ThreadPool& global();
+
+    /// Lower bound on global-pool width (workers + caller).
+    static constexpr std::size_t kMinPoolWidth = 8;
+
+private:
+    struct WorkerQueue {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void worker_loop(std::size_t index);
+    bool try_pop_or_steal(std::size_t index, Task& out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+    std::mutex sleep_mutex_;
+    std::condition_variable sleep_cv_;
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<std::size_t> round_robin_{0};
+    std::atomic<bool> stop_{false};
+};
+
+namespace detail {
+
+/// Shared state of one parallel region: chunks are claimed with an atomic
+/// cursor (any claimer order is fine — chunk CONTENT is index-determined),
+/// completion is a latch, and the first exception wins and cancels the
+/// remaining chunks.
+struct RegionState {
+    explicit RegionState(std::size_t total) : total_chunks(total) {}
+
+    const std::size_t total_chunks;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> done_chunks{0};
+    std::atomic<bool> cancelled{false};
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;  // guarded by mutex
+
+    /// Claims and runs chunks until none remain. `body(chunk)` must not
+    /// touch state owned by other chunks.
+    template <typename Body>
+    void drain(const Body& body) {
+        for (;;) {
+            const std::size_t chunk =
+                next_chunk.fetch_add(1, std::memory_order_relaxed);
+            if (chunk >= total_chunks) return;
+            if (!cancelled.load(std::memory_order_relaxed)) {
+                try {
+                    body(chunk);
+                } catch (...) {
+                    cancelled.store(true, std::memory_order_relaxed);
+                    const std::lock_guard lock(mutex);
+                    if (!error) error = std::current_exception();
+                }
+            }
+            finish_one();
+        }
+    }
+
+    void finish_one() {
+        if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            total_chunks) {
+            const std::lock_guard lock(mutex);
+            cv.notify_all();
+        }
+    }
+
+    /// Blocks until every chunk finished, then rethrows the first error.
+    void wait_all() {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] {
+            return done_chunks.load(std::memory_order_acquire) ==
+                   total_chunks;
+        });
+        if (error) std::rethrow_exception(error);
+    }
+};
+
+/// Number of chunks for a range under static chunking: depends ONLY on
+/// (range, grain) — this is what makes reductions reproducible.
+inline std::size_t chunk_count(std::size_t range, std::size_t grain) {
+    if (range == 0) return 0;
+    if (grain == 0) grain = 1;
+    return (range + grain - 1) / grain;
+}
+
+/// Runs `body(chunk_index)` for chunk_index in [0, chunks), fanning out to
+/// the global pool; the calling thread always participates.
+template <typename Body>
+void run_region(std::size_t chunks, const Body& body) {
+    if (chunks == 0) return;
+    if (chunks == 1 || max_threads() == 1) {
+        for (std::size_t c = 0; c < chunks; ++c) body(c);
+        return;
+    }
+    ThreadPool& pool = ThreadPool::global();
+    const std::size_t helpers =
+        std::min({max_threads() - 1, chunks - 1, pool.num_workers()});
+    if (helpers == 0) {
+        for (std::size_t c = 0; c < chunks; ++c) body(c);
+        return;
+    }
+    auto state = std::make_shared<RegionState>(chunks);
+    for (std::size_t h = 0; h < helpers; ++h) {
+        // Helpers that arrive after the region drained just return.
+        pool.submit([state, body] { state->drain(body); });
+    }
+    state->drain(body);
+    state->wait_all();
+}
+
+}  // namespace detail
+
+/// Runs `fn(i)` for every i in [begin, end) across the pool. Iterations
+/// must be independent (disjoint writes); results are then trivially
+/// thread-count-invariant. `grain` is the number of consecutive indices a
+/// chunk processes — pick it so a chunk is >= a few microseconds of work.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const Fn& fn) {
+    if (end <= begin) return;
+    const std::size_t range = end - begin;
+    if (grain == 0) grain = 1;
+    const std::size_t chunks = detail::chunk_count(range, grain);
+    detail::run_region(chunks, [&, begin, end, grain](std::size_t chunk) {
+        const std::size_t lo = begin + chunk * grain;
+        const std::size_t hi = std::min(end, lo + grain);
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+}
+
+/// Deterministic parallel reduction. `map(lo, hi)` computes the partial
+/// result of index range [lo, hi); partials are combined with
+/// `combine(acc, partial)` strictly in chunk order, starting from
+/// `identity`. Because chunk boundaries are fixed by (range, grain) and
+/// the combination order is fixed, the result is bitwise-identical at any
+/// thread count — including for floating-point sums.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T identity, const MapFn& map, const CombineFn& combine) {
+    if (end <= begin) return identity;
+    const std::size_t range = end - begin;
+    if (grain == 0) grain = 1;
+    const std::size_t chunks = detail::chunk_count(range, grain);
+    // Wrapped so T = bool gets one real slot per chunk; a raw
+    // std::vector<bool> packs slots into shared words, and concurrent
+    // chunk writes would race on them.
+    struct Slot {
+        T value;
+    };
+    std::vector<Slot> partials(chunks);
+    detail::run_region(chunks, [&, begin, end, grain](std::size_t chunk) {
+        const std::size_t lo = begin + chunk * grain;
+        const std::size_t hi = std::min(end, lo + grain);
+        partials[chunk].value = map(lo, hi);
+    });
+    T result = std::move(identity);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        result = combine(std::move(result), std::move(partials[c].value));
+    }
+    return result;
+}
+
+/// Heterogeneous fan-out: run() submits independent tasks, wait() blocks
+/// until all finished and rethrows the first exception. The waiting thread
+/// executes tasks the pool has not picked up yet, so a TaskGroup completes
+/// (and never leaks a runnable) even on a saturated or zero-width pool —
+/// unlike raw std::thread, an exception cannot leave a joinable thread
+/// behind. Not reusable after wait(); run() may only be called from the
+/// owning thread.
+class TaskGroup {
+public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Joins outstanding tasks; any stored exception is swallowed (call
+    /// wait() explicitly to observe failures).
+    ~TaskGroup();
+
+    /// Schedules `fn` to run on the pool (or inline at wait()).
+    template <typename Fn>
+    void run(Fn&& fn) {
+        auto slot = std::make_shared<Slot>(std::forward<Fn>(fn));
+        {
+            const std::lock_guard lock(state_->mutex);
+            state_->slots.push_back(slot);
+            state_->total += 1;
+        }
+        // One pool helper per task, capped by the width budget; excess
+        // tasks are picked up by earlier helpers' drain loops or by wait().
+        const std::size_t cap =
+            std::min(max_threads() - 1, ThreadPool::global().num_workers());
+        auto state = state_;
+        if (helpers_submitted_ < cap) {
+            ++helpers_submitted_;
+            ThreadPool::global().submit([state] { drain(*state); });
+        }
+    }
+
+    /// Runs still-unclaimed tasks inline, waits for in-flight ones, then
+    /// rethrows the first exception thrown by any task.
+    void wait();
+
+private:
+    struct Slot {
+        template <typename Fn>
+        explicit Slot(Fn&& fn) : task(std::forward<Fn>(fn)) {}
+        std::function<void()> task;
+        std::atomic<bool> claimed{false};
+    };
+
+    struct State {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::vector<std::shared_ptr<Slot>> slots;  // guarded by mutex
+        std::size_t total = 0;                     // guarded by mutex
+        std::atomic<std::size_t> done{0};
+        std::exception_ptr error;  // guarded by mutex
+    };
+
+    /// Claims and runs every unclaimed task currently in the group.
+    static void drain(State& state);
+    static void run_slot(State& state, Slot& slot);
+
+    std::shared_ptr<State> state_ = std::make_shared<State>();
+    std::size_t helpers_submitted_ = 0;
+    bool waited_ = false;
+};
+
+}  // namespace mie::exec

@@ -1,0 +1,192 @@
+#include "exec/exec.hpp"
+
+namespace mie::exec {
+
+namespace {
+
+/// Width cap shared by every parallel region; 0 means "hardware default".
+std::atomic<std::size_t> g_max_threads{0};
+
+/// Identifies the pool (if any) the current thread works for, so submit()
+/// can prefer the submitting worker's own deque.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+thread_local std::size_t t_worker_index = 0;
+
+}  // namespace
+
+std::size_t hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void set_max_threads(std::size_t n) {
+    g_max_threads.store(n, std::memory_order_relaxed);
+}
+
+std::size_t max_threads() {
+    const std::size_t n = g_max_threads.load(std::memory_order_relaxed);
+    return n == 0 ? hardware_threads() : n;
+}
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+    queues_.reserve(num_workers);
+    for (std::size_t i = 0; i < num_workers; ++i) {
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    }
+    threads_.reserve(num_workers);
+    for (std::size_t i = 0; i < num_workers; ++i) {
+        threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        // The lock orders the stop flag against workers entering wait().
+        const std::lock_guard lock(sleep_mutex_);
+        stop_.store(true, std::memory_order_release);
+    }
+    sleep_cv_.notify_all();
+    for (auto& thread : threads_) thread.join();
+    // Orphaned tasks (possible if the process exits mid-region) are run
+    // inline so region latches never hang; by construction they are cheap
+    // claim-loops that find nothing left to claim.
+    for (auto& queue : queues_) {
+        for (auto& task : queue->tasks) task();
+    }
+}
+
+void ThreadPool::submit(Task task) {
+    if (queues_.empty()) {
+        task();  // width-zero pool: degrade to inline execution
+        return;
+    }
+    std::size_t target;
+    if (t_worker_pool == this) {
+        target = t_worker_index;
+    } else {
+        target = round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                 queues_.size();
+    }
+    {
+        const std::lock_guard lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    {
+        // Increment under the sleep mutex so a worker that just saw
+        // pending == 0 cannot miss the wakeup between its check and its
+        // wait — the increment serializes against that window.
+        const std::lock_guard lock(sleep_mutex_);
+        pending_.fetch_add(1, std::memory_order_release);
+    }
+    sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_or_steal(std::size_t index, Task& out) {
+    // Own deque first: LIFO keeps the most recently pushed (cache-warm)
+    // task local.
+    {
+        const std::lock_guard lock(queues_[index]->mutex);
+        if (!queues_[index]->tasks.empty()) {
+            out = std::move(queues_[index]->tasks.back());
+            queues_[index]->tasks.pop_back();
+            return true;
+        }
+    }
+    // Steal FIFO from the other end of victims' deques, scanning from the
+    // next worker around the ring.
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+        const std::size_t victim = (index + k) % queues_.size();
+        const std::unique_lock lock(queues_[victim]->mutex,
+                                    std::try_to_lock);
+        if (!lock.owns_lock() || queues_[victim]->tasks.empty()) continue;
+        out = std::move(queues_[victim]->tasks.front());
+        queues_[victim]->tasks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+    t_worker_pool = this;
+    t_worker_index = index;
+    Task task;
+    while (true) {
+        if (try_pop_or_steal(index, task)) {
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+            task();
+            task = nullptr;
+            continue;
+        }
+        std::unique_lock lock(sleep_mutex_);
+        if (stop_.load(std::memory_order_acquire)) return;
+        if (pending_.load(std::memory_order_acquire) != 0) continue;
+        sleep_cv_.wait(lock, [this] {
+            return stop_.load(std::memory_order_acquire) ||
+                   pending_.load(std::memory_order_acquire) != 0;
+        });
+        if (stop_.load(std::memory_order_acquire)) return;
+    }
+}
+
+ThreadPool& ThreadPool::global() {
+    // Wider than the machine when the machine is narrow: parallel regions
+    // then still interleave for real (determinism and TSan coverage), the
+    // extra workers just sleep when idle.
+    static ThreadPool pool(std::max(hardware_threads(), kMinPoolWidth) - 1);
+    return pool;
+}
+
+TaskGroup::~TaskGroup() {
+    if (waited_) return;
+    try {
+        wait();
+    } catch (...) {
+        // Destructor join: failures were not observed via wait(); drop them.
+    }
+}
+
+void TaskGroup::run_slot(State& state, Slot& slot) {
+    try {
+        slot.task();
+    } catch (...) {
+        const std::lock_guard lock(state.mutex);
+        if (!state.error) state.error = std::current_exception();
+    }
+    slot.task = nullptr;  // release captures eagerly
+    std::size_t total;
+    {
+        const std::lock_guard lock(state.mutex);
+        total = state.total;
+    }
+    if (state.done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        const std::lock_guard lock(state.mutex);
+        state.cv.notify_all();
+    }
+}
+
+void TaskGroup::drain(State& state) {
+    for (std::size_t i = 0;; ++i) {
+        std::shared_ptr<Slot> slot;
+        {
+            const std::lock_guard lock(state.mutex);
+            if (i >= state.slots.size()) return;
+            slot = state.slots[i];
+        }
+        if (!slot->claimed.exchange(true, std::memory_order_acq_rel)) {
+            run_slot(state, *slot);
+        }
+    }
+}
+
+void TaskGroup::wait() {
+    waited_ = true;
+    drain(*state_);
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] {
+        return state_->done.load(std::memory_order_acquire) ==
+               state_->total;
+    });
+    if (state_->error) std::rethrow_exception(state_->error);
+}
+
+}  // namespace mie::exec

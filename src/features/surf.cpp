@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "exec/exec.hpp"
+
 namespace mie::features {
 
 std::vector<Keypoint> dense_pyramid_keypoints(
@@ -93,11 +95,12 @@ FeatureVec SurfExtractor::describe(const IntegralImage& integral,
 std::vector<FeatureVec> SurfExtractor::describe_all(
     const Image& image, const std::vector<Keypoint>& keypoints) const {
     const IntegralImage integral(image);
-    std::vector<FeatureVec> descriptors;
-    descriptors.reserve(keypoints.size());
-    for (const Keypoint& kp : keypoints) {
-        descriptors.push_back(describe(integral, kp));
-    }
+    // Keypoints are described independently into disjoint slots, so the
+    // fan-out is deterministic by construction.
+    std::vector<FeatureVec> descriptors(keypoints.size());
+    exec::parallel_for(0, keypoints.size(), 16, [&](std::size_t i) {
+        descriptors[i] = describe(integral, keypoints[i]);
+    });
     return descriptors;
 }
 

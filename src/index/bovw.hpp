@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "exec/exec.hpp"
 #include "index/scoring.hpp"
 #include "index/vocab_tree.hpp"
 
@@ -17,14 +18,29 @@ inline Term visual_word_term(std::uint32_t word) {
     return "vw:" + std::to_string(word);
 }
 
-/// Quantizes descriptors to a visual-word histogram.
+/// Quantizes each descriptor to its visual-word leaf id, in input order.
+/// Tree walks are independent, so this fans out across the pool.
+template <typename Space>
+std::vector<std::uint32_t> quantize_all(
+    const VocabTree<Space>& tree,
+    const std::vector<typename Space::Point>& descriptors) {
+    std::vector<std::uint32_t> words(descriptors.size());
+    exec::parallel_for(0, descriptors.size(), 64, [&](std::size_t i) {
+        words[i] = tree.quantize(descriptors[i]);
+    });
+    return words;
+}
+
+/// Quantizes descriptors to a visual-word histogram. The histogram itself
+/// accumulates serially from the ordered word list, so the result is
+/// identical at any thread count.
 template <typename Space>
 QueryHistogram bovw_histogram(
     const VocabTree<Space>& tree,
     const std::vector<typename Space::Point>& descriptors) {
     QueryHistogram histogram;
-    for (const auto& descriptor : descriptors) {
-        ++histogram[visual_word_term(tree.quantize(descriptor))];
+    for (const std::uint32_t word : quantize_all(tree, descriptors)) {
+        ++histogram[visual_word_term(word)];
     }
     return histogram;
 }

@@ -5,6 +5,12 @@
 // feature-vectors to find distinctive keypoints / visual words. MIE runs it
 // on the cloud over DPE encodings (HammingSpace); the baselines run it on
 // the client over plaintext descriptors (EuclideanSpace).
+//
+// The hot loops (k-means++ distance updates, Lloyd assignment, centroid
+// recomputation, inertia) run on the exec runtime. Results are
+// bitwise-identical at any thread count: reductions use exec's fixed
+// chunk-order combination, per-point writes are disjoint, and every RNG
+// draw happens serially in the same order as a single-threaded run.
 #pragma once
 
 #include <algorithm>
@@ -13,9 +19,20 @@
 #include <stdexcept>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "util/rng.hpp"
 
 namespace mie::index {
+
+namespace detail {
+/// Chunk grains for the parallel loops. Fixed constants: reduction chunk
+/// boundaries are part of the deterministic-output contract, so they must
+/// not depend on the machine. Sized so a chunk is several microseconds of
+/// work at the paper's dimensions (64-dim floats / 128-bit codes).
+inline constexpr std::size_t kSeedGrain = 512;
+inline constexpr std::size_t kAssignGrain = 64;
+inline constexpr std::size_t kInertiaGrain = 512;
+}  // namespace detail
 
 template <typename Space>
 struct KMeansResult {
@@ -42,7 +59,7 @@ std::uint32_t nearest_centroid(
 }
 
 /// Runs k-means over `points`. If k >= points.size(), every point becomes
-/// its own centroid. Deterministic given `seed`.
+/// its own centroid. Deterministic given `seed`, at any thread count.
 template <typename Space>
 KMeansResult<Space> kmeans(
     const std::vector<typename Space::Point>& points, std::size_t k,
@@ -62,29 +79,38 @@ KMeansResult<Space> kmeans(
     }
 
     SplitMix64 rng(seed);
+    const std::size_t n = points.size();
 
     // k-means++ seeding: first centroid uniform, the rest proportional to
-    // squared distance from the nearest chosen centroid.
+    // squared distance from the nearest chosen centroid. The per-point
+    // min-distance refresh fans out; the probability scan that consumes
+    // the RNG stays serial so the draw sequence matches a 1-thread run.
     result.centroids.reserve(k);
-    result.centroids.push_back(points[rng.next_below(points.size())]);
-    std::vector<double> min_distance(points.size(),
+    result.centroids.push_back(points[rng.next_below(n)]);
+    std::vector<double> min_distance(n,
                                      std::numeric_limits<double>::infinity());
     while (result.centroids.size() < k) {
         const Point& latest = result.centroids.back();
-        double total = 0.0;
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            min_distance[i] =
-                std::min(min_distance[i], Space::distance(points[i], latest));
-            total += min_distance[i];
-        }
+        const double total = exec::parallel_reduce(
+            0, n, detail::kSeedGrain, 0.0,
+            [&](std::size_t lo, std::size_t hi) {
+                double partial = 0.0;
+                for (std::size_t i = lo; i < hi; ++i) {
+                    min_distance[i] = std::min(
+                        min_distance[i], Space::distance(points[i], latest));
+                    partial += min_distance[i];
+                }
+                return partial;
+            },
+            [](double a, double b) { return a + b; });
         if (total == 0.0) {
             // All points coincide with centroids; pick any point.
-            result.centroids.push_back(points[rng.next_below(points.size())]);
+            result.centroids.push_back(points[rng.next_below(n)]);
             continue;
         }
         double target = rng.next_double() * total;
-        std::size_t chosen = points.size() - 1;
-        for (std::size_t i = 0; i < points.size(); ++i) {
+        std::size_t chosen = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
             target -= min_distance[i];
             if (target <= 0.0) {
                 chosen = i;
@@ -95,42 +121,62 @@ KMeansResult<Space> kmeans(
     }
 
     // Lloyd iterations.
-    result.assignment.assign(points.size(), 0);
+    result.assignment.assign(n, 0);
     for (int iteration = 0; iteration < max_iterations; ++iteration) {
-        bool changed = false;
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            const std::uint32_t nearest =
-                nearest_centroid<Space>(points[i], result.centroids);
-            if (nearest != result.assignment[i]) {
-                result.assignment[i] = nearest;
-                changed = true;
-            }
-        }
+        // Assignment step: per-point nearest centroid (disjoint writes);
+        // the changed flag ORs per-chunk results, which is order-blind.
+        const bool changed = exec::parallel_reduce(
+            0, n, detail::kAssignGrain, false,
+            [&](std::size_t lo, std::size_t hi) {
+                bool chunk_changed = false;
+                for (std::size_t i = lo; i < hi; ++i) {
+                    const std::uint32_t nearest =
+                        nearest_centroid<Space>(points[i], result.centroids);
+                    if (nearest != result.assignment[i]) {
+                        result.assignment[i] = nearest;
+                        chunk_changed = true;
+                    }
+                }
+                return chunk_changed;
+            },
+            [](bool a, bool b) { return a || b; });
         result.iterations = iteration + 1;
         if (!changed && iteration > 0) break;
 
-        // Recompute centroids; empty clusters are reseeded from the point
-        // farthest from its centroid.
+        // Gather members serially (point-index order fixes the order each
+        // centroid sees its members in — float means depend on it).
         std::vector<std::vector<const Point*>> members(k);
-        for (std::size_t i = 0; i < points.size(); ++i) {
+        for (std::size_t i = 0; i < n; ++i) {
             members[result.assignment[i]].push_back(&points[i]);
         }
+        // Empty clusters reseed from the RNG, serially and in cluster
+        // order, so the draw sequence stays thread-count-invariant.
         for (std::size_t c = 0; c < k; ++c) {
             if (members[c].empty()) {
-                result.centroids[c] = points[rng.next_below(points.size())];
-            } else {
+                result.centroids[c] = points[rng.next_below(n)];
+            }
+        }
+        // Each non-empty centroid is recomputed whole by one task.
+        exec::parallel_for(0, k, 1, [&](std::size_t c) {
+            if (!members[c].empty()) {
                 result.centroids[c] = Space::centroid(
                     std::span<const Point* const>(members[c]));
             }
-        }
+        });
         if (!changed) break;
     }
 
-    result.inertia = 0.0;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        result.inertia +=
-            Space::distance(points[i], result.centroids[result.assignment[i]]);
-    }
+    result.inertia = exec::parallel_reduce(
+        0, n, detail::kInertiaGrain, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+            double partial = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) {
+                partial += Space::distance(
+                    points[i], result.centroids[result.assignment[i]]);
+            }
+            return partial;
+        },
+        [](double a, double b) { return a + b; });
     return result;
 }
 

@@ -5,12 +5,22 @@
 // 1000 visual words at the leaves while keeping quantization cost
 // O(height * width) per descriptor. Generic over the metric-space policy so
 // the cloud can build it over DPE encodings.
+//
+// Construction is parallel on two axes: each node's k-means fans out
+// internally (see kmeans.hpp), and sibling subtrees build concurrently as
+// exec::TaskGroup tasks. Determinism is preserved structurally: every
+// subtree is built into its own node fragment (leaf ids local to the
+// fragment), and the parent splices fragments in child order with index /
+// leaf-id offsets — reproducing the exact DFS-preorder layout and leaf
+// numbering of a single-threaded build regardless of which task finishes
+// first.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "index/kmeans.hpp"
 
 namespace mie::index {
@@ -25,11 +35,14 @@ public:
         std::size_t depth = 3;    ///< height: levels of k-means splits
         int kmeans_iterations = 10;
         std::size_t min_node_size = 2;  ///< don't split smaller nodes
+
+        bool operator==(const Params& other) const = default;
     };
 
     VocabTree() = default;
 
-    /// Builds the tree over training points. Deterministic given `seed`.
+    /// Builds the tree over training points. Deterministic given `seed`,
+    /// at any thread count.
     static VocabTree build(const std::vector<Point>& points,
                            const Params& params, std::uint64_t seed) {
         if (points.empty()) {
@@ -37,7 +50,9 @@ public:
         }
         VocabTree tree;
         tree.params_ = params;
-        tree.build_node(points, params.depth, seed);
+        Fragment root = tree.build_subtree(points, params.depth, seed);
+        tree.nodes_ = std::move(root.nodes);
+        tree.num_leaves_ = root.num_leaves;
         return tree;
     }
 
@@ -67,46 +82,102 @@ public:
     std::size_t num_leaves() const { return num_leaves_; }
     bool empty() const { return nodes_.empty(); }
 
+    /// Structural equality: same node layout, same centroids, same leaf
+    /// numbering. The determinism tests assert this across thread counts.
+    bool operator==(const VocabTree& other) const = default;
+
 private:
     struct Node {
         Point centroid{};
         std::vector<std::size_t> children;  ///< indices into nodes_
         std::uint32_t leaf_id = 0;          ///< valid when children empty
+
+        bool operator==(const Node& other) const = default;
     };
 
-    // Recursively builds the subtree for `points`, returning its node index.
-    std::size_t build_node(const std::vector<Point>& points,
-                           std::size_t levels_left, std::uint64_t seed) {
-        const std::size_t index = nodes_.size();
-        nodes_.push_back(Node{});
+    /// A subtree built in isolation: node indices and leaf ids are local
+    /// (root at 0, leaves numbered from 0 in DFS order).
+    struct Fragment {
+        std::vector<Node> nodes;
+        std::uint32_t num_leaves = 0;
+    };
+
+    /// Sibling subtrees below this point count build inline rather than as
+    /// pool tasks; the task-spawn overhead would outweigh the work.
+    static constexpr std::size_t kSpawnThreshold = 768;
+
+    // Builds the subtree for `points` as a self-contained fragment.
+    Fragment build_subtree(const std::vector<Point>& points,
+                           std::size_t levels_left,
+                           std::uint64_t seed) const {
+        Fragment fragment;
         if (levels_left == 0 || points.size() < params_.min_node_size ||
             points.size() <= params_.branch) {
             // Leaf: represent all points by their centroid.
             std::vector<const Point*> all;
             all.reserve(points.size());
             for (const Point& p : points) all.push_back(&p);
-            nodes_[index].centroid =
+            Node leaf;
+            leaf.centroid =
                 Space::centroid(std::span<const Point* const>(all));
-            nodes_[index].leaf_id = num_leaves_++;
-            return index;
+            leaf.leaf_id = 0;
+            fragment.nodes.push_back(std::move(leaf));
+            fragment.num_leaves = 1;
+            return fragment;
         }
 
         const auto clusters = kmeans<Space>(points, params_.branch,
                                             params_.kmeans_iterations, seed);
-        nodes_[index].centroid = clusters.centroids[0];  // unused at root
+        fragment.nodes.push_back(Node{});
+        fragment.nodes[0].centroid = clusters.centroids[0];  // unused at root
         std::vector<std::vector<Point>> split(params_.branch);
         for (std::size_t i = 0; i < points.size(); ++i) {
             split[clusters.assignment[i]].push_back(points[i]);
         }
-        for (std::size_t c = 0; c < params_.branch; ++c) {
-            if (split[c].empty()) continue;
-            const std::size_t child =
-                build_node(split[c], levels_left - 1, seed + c + 1);
-            // Child keeps the k-means centroid for routing.
-            nodes_[child].centroid = clusters.centroids[c];
-            nodes_[index].children.push_back(child);
+
+        // Children build concurrently, each into its own fragment. Seeds
+        // are a function of (parent seed, child slot), exactly as in a
+        // serial DFS.
+        std::vector<Fragment> children(params_.branch);
+        {
+            exec::TaskGroup group;
+            for (std::size_t c = 0; c < params_.branch; ++c) {
+                if (split[c].empty()) continue;
+                if (split[c].size() >= kSpawnThreshold) {
+                    group.run([this, &children, &split, c, levels_left,
+                               seed] {
+                        children[c] = build_subtree(split[c],
+                                                    levels_left - 1,
+                                                    seed + c + 1);
+                    });
+                } else {
+                    children[c] = build_subtree(split[c], levels_left - 1,
+                                                seed + c + 1);
+                }
+            }
+            group.wait();
         }
-        return index;
+
+        // Splice fragments in child order: node indices shift by the
+        // running node count, leaf ids by the running leaf count. This is
+        // the DFS-preorder layout a recursive serial build produces.
+        for (std::size_t c = 0; c < params_.branch; ++c) {
+            if (children[c].nodes.empty()) continue;
+            const std::size_t node_offset = fragment.nodes.size();
+            const std::uint32_t leaf_offset = fragment.num_leaves;
+            for (Node& node : children[c].nodes) {
+                for (std::size_t& child_index : node.children) {
+                    child_index += node_offset;
+                }
+                if (node.children.empty()) node.leaf_id += leaf_offset;
+                fragment.nodes.push_back(std::move(node));
+            }
+            // Child root keeps the k-means centroid for routing.
+            fragment.nodes[node_offset].centroid = clusters.centroids[c];
+            fragment.nodes[0].children.push_back(node_offset);
+            fragment.num_leaves += children[c].num_leaves;
+        }
+        return fragment;
     }
 
     Params params_;

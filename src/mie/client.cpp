@@ -59,11 +59,8 @@ MieClient::EncodedFeatures MieClient::encode_features(
     const MultimodalFeatures& features) const {
     EncodedFeatures encoded;
     for (const auto& [modality, descriptors] : features.dense) {
-        auto& codes = encoded.dense_codes[modality];
-        codes.reserve(descriptors.size());
-        for (const auto& descriptor : descriptors) {
-            codes.push_back(dense_dpe_.encode(descriptor));
-        }
+        // Batched DPE encoding: independent projections run across cores.
+        encoded.dense_codes[modality] = dense_dpe_.encode_batch(descriptors);
     }
     for (const auto& [modality, terms] : features.sparse) {
         auto& tokens = encoded.sparse_tokens[modality];

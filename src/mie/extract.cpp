@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iterator>
 
+#include "exec/exec.hpp"
+
 namespace mie {
 
 ExtractedFeatures extract_features(const sim::MultimodalObject& object,
@@ -34,12 +36,22 @@ MultimodalFeatures extract_multimodal(const sim::MultimodalObject& object,
         }
     }
     if (!object.video.empty()) {
-        std::vector<features::FeatureVec> video_descriptors;
         const std::size_t stride = std::max<std::size_t>(
             1, params.video_frame_stride);
+        std::vector<std::size_t> frames;
         for (std::size_t f = 0; f < object.video.size(); f += stride) {
-            auto frame_descriptors =
-                surf.extract(object.video[f], params.video_pyramid);
+            frames.push_back(f);
+        }
+        // Frames are described concurrently into per-frame slots, then
+        // concatenated in frame order — identical to the serial pipeline.
+        std::vector<std::vector<features::FeatureVec>> per_frame(
+            frames.size());
+        exec::parallel_for(0, frames.size(), 1, [&](std::size_t i) {
+            per_frame[i] =
+                surf.extract(object.video[frames[i]], params.video_pyramid);
+        });
+        std::vector<features::FeatureVec> video_descriptors;
+        for (auto& frame_descriptors : per_frame) {
             video_descriptors.insert(
                 video_descriptors.end(),
                 std::make_move_iterator(frame_descriptors.begin()),

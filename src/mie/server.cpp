@@ -4,6 +4,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "exec/exec.hpp"
 #include "fusion/rank_fusion.hpp"
 #include "index/bovw.hpp"
 #include "mie/wire.hpp"
@@ -164,38 +165,89 @@ void MieServer::train_repository(Repository& repo,
 
     // Per dense modality: gather encodings (stride subsampling) and build
     // the vocabulary tree — the machine-learning step the clients avoid.
-    for (auto& [modality, state] : repo.dense) {
-        std::size_t total = 0;
-        for (const auto& [id, object] : repo.objects) {
-            const auto it = object.dense_codes.find(modality);
-            if (it != object.dense_codes.end()) total += it->second.size();
+    // Modalities train as concurrent tasks (each task also fans out
+    // internally through the parallel k-means); every modality's tree is
+    // a pure function of (its codes in sorted-id order, its seed), so the
+    // fan-out cannot change results.
+    {
+        exec::TaskGroup training_tasks;
+        for (auto& [modality_key, modality_state] : repo.dense) {
+            const ModalityId modality = modality_key;
+            MieServer::DenseModalityState* state = &modality_state;
+            training_tasks.run([&repo, &object_ids, &params, modality,
+                                state] {
+                std::size_t total = 0;
+                for (const auto& [id, object] : repo.objects) {
+                    const auto it = object.dense_codes.find(modality);
+                    if (it != object.dense_codes.end()) {
+                        total += it->second.size();
+                    }
+                }
+                const std::size_t stride = std::max<std::size_t>(
+                    1, total / std::max<std::size_t>(
+                                   1, params.max_training_samples));
+                std::vector<dpe::BitCode> training;
+                std::size_t cursor = 0;
+                for (const std::uint64_t id : object_ids) {
+                    const auto& object = repo.objects.at(id);
+                    const auto it = object.dense_codes.find(modality);
+                    if (it == object.dense_codes.end()) continue;
+                    for (const auto& code : it->second) {
+                        if (cursor++ % stride == 0) {
+                            training.push_back(code);
+                        }
+                    }
+                }
+                if (training.empty()) return;
+                index::VocabTree<index::HammingSpace>::Params tree_params;
+                tree_params.branch = params.tree_branch;
+                tree_params.depth = params.tree_depth;
+                tree_params.kmeans_iterations = params.kmeans_iterations;
+                state->tree = index::VocabTree<index::HammingSpace>::build(
+                    training, tree_params, params.seed + modality);
+            });
         }
-        const std::size_t stride = std::max<std::size_t>(
-            1, total / std::max<std::size_t>(1,
-                                             params.max_training_samples));
-        std::vector<dpe::BitCode> training;
-        std::size_t cursor = 0;
-        for (const std::uint64_t id : object_ids) {
-            const auto& object = repo.objects.at(id);
-            const auto it = object.dense_codes.find(modality);
-            if (it == object.dense_codes.end()) continue;
-            for (const auto& code : it->second) {
-                if (cursor++ % stride == 0) training.push_back(code);
-            }
-        }
-        if (training.empty()) continue;
-        index::VocabTree<index::HammingSpace>::Params tree_params;
-        tree_params.branch = params.tree_branch;
-        tree_params.depth = params.tree_depth;
-        tree_params.kmeans_iterations = params.kmeans_iterations;
-        state.tree = index::VocabTree<index::HammingSpace>::build(
-            training, tree_params, params.seed + modality);
+        training_tasks.wait();
     }
 
-    // (Re)index everything already stored.
+    // (Re)index everything already stored. Quantization (vocabulary-tree
+    // walks per stored code) dominates and is embarrassingly parallel, so
+    // word lists are computed into per-object slots first; the postings
+    // are then inserted serially in sorted-id order, which keeps the
+    // index byte-identical to a single-threaded rebuild.
     repo.trained = true;
-    for (const std::uint64_t id : object_ids) {
-        index_object(repo, id, repo.objects.at(id));
+    std::vector<std::map<ModalityId, std::vector<std::uint32_t>>> words(
+        object_ids.size());
+    exec::parallel_for(0, object_ids.size(), 1, [&](std::size_t i) {
+        const StoredObject& object = repo.objects.at(object_ids[i]);
+        for (const auto& [modality, state] : repo.dense) {
+            if (state.tree.empty()) continue;
+            const auto it = object.dense_codes.find(modality);
+            if (it == object.dense_codes.end() || it->second.empty()) {
+                continue;
+            }
+            auto& list = words[i][modality];
+            list.reserve(it->second.size());
+            for (const auto& code : it->second) {
+                list.push_back(state.tree.quantize(code));
+            }
+        }
+    });
+    for (std::size_t i = 0; i < object_ids.size(); ++i) {
+        const std::uint64_t id = object_ids[i];
+        for (const auto& [modality, list] : words[i]) {
+            auto& index = repo.dense.at(modality).index;
+            for (const std::uint32_t word : list) {
+                index.add(index::visual_word_term(word), id, 1);
+            }
+        }
+        for (const auto& [modality, terms] :
+             repo.objects.at(id).sparse_terms) {
+            auto& idx = repo.sparse[modality];
+            for (const auto& [term, freq] : terms) {
+                idx.add(term, id, freq);
+            }
+        }
     }
 }
 
@@ -275,22 +327,43 @@ std::vector<std::vector<index::ScoredDoc>> MieServer::ranked_search(
     const std::map<ModalityId, std::vector<dpe::BitCode>>& query_codes,
     const std::map<ModalityId, index::QueryHistogram>& query_terms,
     std::size_t top_k) const {
+    // Per-modality fan-out: each modality's quantize + TF-IDF pass runs as
+    // a task, writing its ranked list into a fixed slot; the logISR fusion
+    // downstream then joins lists in the same (dense, sparse) modality
+    // order a serial pass produces.
     std::vector<std::vector<index::ScoredDoc>> lists;
-    for (const auto& [modality, codes] : query_codes) {
+    // Tasks may run while later slots are still being appended: reserving
+    // the maximum keeps element addresses stable for in-flight writers.
+    lists.reserve(query_codes.size() + query_terms.size());
+    exec::TaskGroup scoring;
+    for (const auto& [modality, query] : query_codes) {
         const auto state = repo.dense.find(modality);
         if (state == repo.dense.end() || state->second.tree.empty() ||
-            codes.empty()) {
+            query.empty()) {
             continue;
         }
-        const index::QueryHistogram histogram =
-            index::bovw_histogram(state->second.tree, codes);
-        lists.push_back(rank(repo, state->second.index, histogram, top_k));
+        const std::size_t slot = lists.size();
+        lists.emplace_back();
+        const DenseModalityState* dense = &state->second;
+        const std::vector<dpe::BitCode>* codes = &query;
+        scoring.run([this, &repo, &lists, slot, dense, codes, top_k] {
+            const index::QueryHistogram histogram =
+                index::bovw_histogram(dense->tree, *codes);
+            lists[slot] = rank(repo, dense->index, histogram, top_k);
+        });
     }
-    for (const auto& [modality, terms] : query_terms) {
+    for (const auto& [modality, query] : query_terms) {
         const auto idx = repo.sparse.find(modality);
-        if (idx == repo.sparse.end() || terms.empty()) continue;
-        lists.push_back(rank(repo, idx->second, terms, top_k));
+        if (idx == repo.sparse.end() || query.empty()) continue;
+        const std::size_t slot = lists.size();
+        lists.emplace_back();
+        const index::InvertedIndex* index = &idx->second;
+        const index::QueryHistogram* terms = &query;
+        scoring.run([this, &repo, &lists, slot, index, terms, top_k] {
+            lists[slot] = rank(repo, *index, *terms, top_k);
+        });
     }
+    scoring.wait();
     return lists;
 }
 
@@ -299,47 +372,67 @@ std::vector<std::vector<index::ScoredDoc>> MieServer::linear_search(
     const std::map<ModalityId, std::vector<dpe::BitCode>>& query_codes,
     const std::map<ModalityId, index::QueryHistogram>& query_terms,
     std::size_t top_k) const {
+    // Same per-modality fan-out as ranked_search; the linear scans over
+    // stored objects are independent per modality. Scores land in an
+    // id-keyed map, so the result is iteration-order-free.
     std::vector<std::vector<index::ScoredDoc>> lists;
-    for (const auto& [modality, codes] : query_codes) {
-        if (codes.empty()) continue;
-        std::map<index::DocId, double> scores;
-        for (const auto& [id, object] : repo.objects) {
-            const auto it = object.dense_codes.find(modality);
-            if (it == object.dense_codes.end() || it->second.empty()) {
-                continue;
-            }
-            // Average similarity of each query descriptor to its nearest
-            // stored descriptor; distances beyond the DPE threshold carry
-            // no information, so similarity floors near 0.5.
-            double total = 0.0;
-            for (const auto& q : codes) {
-                double best = 1.0;
-                for (const auto& d : it->second) {
-                    best = std::min(best, q.normalized_hamming(d));
+    // Reserve before submitting: element addresses must survive appends.
+    lists.reserve(query_codes.size() + query_terms.size());
+    exec::TaskGroup scoring;
+    for (const auto& [modality_key, query] : query_codes) {
+        if (query.empty()) continue;
+        const std::size_t slot = lists.size();
+        lists.emplace_back();
+        const ModalityId modality = modality_key;
+        const std::vector<dpe::BitCode>* codes = &query;
+        scoring.run([&repo, &lists, slot, modality, codes, top_k] {
+            std::map<index::DocId, double> scores;
+            for (const auto& [id, object] : repo.objects) {
+                const auto it = object.dense_codes.find(modality);
+                if (it == object.dense_codes.end() || it->second.empty()) {
+                    continue;
                 }
-                total += 1.0 - best;
-            }
-            scores[id] = total / static_cast<double>(codes.size());
-        }
-        lists.push_back(index::top_k_of(std::move(scores), top_k));
-    }
-    for (const auto& [modality, terms] : query_terms) {
-        if (terms.empty()) continue;
-        std::map<index::DocId, double> scores;
-        for (const auto& [id, object] : repo.objects) {
-            const auto it = object.sparse_terms.find(modality);
-            if (it == object.sparse_terms.end()) continue;
-            double overlap = 0.0;
-            for (const auto& [term, freq] : it->second) {
-                const auto match = terms.find(term);
-                if (match != terms.end()) {
-                    overlap += std::min<double>(freq, match->second);
+                // Average similarity of each query descriptor to its
+                // nearest stored descriptor; distances beyond the DPE
+                // threshold carry no information, so similarity floors
+                // near 0.5.
+                double total = 0.0;
+                for (const auto& q : *codes) {
+                    double best = 1.0;
+                    for (const auto& d : it->second) {
+                        best = std::min(best, q.normalized_hamming(d));
+                    }
+                    total += 1.0 - best;
                 }
+                scores[id] = total / static_cast<double>(codes->size());
             }
-            if (overlap > 0.0) scores[id] = overlap;
-        }
-        lists.push_back(index::top_k_of(std::move(scores), top_k));
+            lists[slot] = index::top_k_of(std::move(scores), top_k);
+        });
     }
+    for (const auto& [modality_key, query] : query_terms) {
+        if (query.empty()) continue;
+        const std::size_t slot = lists.size();
+        lists.emplace_back();
+        const ModalityId modality = modality_key;
+        const index::QueryHistogram* terms = &query;
+        scoring.run([&repo, &lists, slot, modality, terms, top_k] {
+            std::map<index::DocId, double> scores;
+            for (const auto& [id, object] : repo.objects) {
+                const auto it = object.sparse_terms.find(modality);
+                if (it == object.sparse_terms.end()) continue;
+                double overlap = 0.0;
+                for (const auto& [term, freq] : it->second) {
+                    const auto match = terms->find(term);
+                    if (match != terms->end()) {
+                        overlap += std::min<double>(freq, match->second);
+                    }
+                }
+                if (overlap > 0.0) scores[id] = overlap;
+            }
+            lists[slot] = index::top_k_of(std::move(scores), top_k);
+        });
+    }
+    scoring.wait();
     return lists;
 }
 

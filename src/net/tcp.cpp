@@ -118,10 +118,11 @@ void TcpServer::start() {
 
 void TcpServer::stop() {
     running_.store(false);
-    if (listen_fd_ >= 0) {
-        ::shutdown(listen_fd_, SHUT_RDWR);
-        ::close(listen_fd_);
-        listen_fd_ = -1;
+    // Claim the fd before touching it so the accept loop never sees a
+    // closed-and-reused descriptor.
+    if (const int fd = listen_fd_.exchange(-1); fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
     }
     if (accept_thread_.joinable()) accept_thread_.join();
     {
@@ -137,7 +138,9 @@ void TcpServer::stop() {
 
 void TcpServer::accept_loop() {
     while (running_.load()) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        const int listen_fd = listen_fd_.load();
+        if (listen_fd < 0) break;
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd < 0) {
             if (errno == EINTR) continue;
             break;  // listener closed

@@ -47,7 +47,8 @@ private:
     void serve_connection(int fd);
 
     RequestHandler& handler_;
-    int listen_fd_ = -1;
+    // Atomic: stop() retires the fd while accept_loop() is still reading it.
+    std::atomic<int> listen_fd_{-1};
     std::uint16_t port_ = 0;
     std::atomic<bool> running_{false};
     std::thread accept_thread_;

@@ -1,0 +1,214 @@
+// Execution-runtime tests: coverage of every primitive plus the
+// determinism contract (bitwise-identical results at any thread count).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/exec.hpp"
+
+namespace mie::exec {
+namespace {
+
+/// Runs `fn` at each requested width, restoring the default cap after.
+template <typename Fn>
+void at_each_width(std::initializer_list<std::size_t> widths, const Fn& fn) {
+    for (const std::size_t width : widths) {
+        set_max_threads(width);
+        fn(width);
+    }
+    set_max_threads(0);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+    at_each_width({1, 2, 8}, [](std::size_t) {
+        std::vector<std::atomic<int>> hits(1000);
+        parallel_for(0, hits.size(), 7,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+        for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    });
+}
+
+TEST(ParallelFor, EmptyAndSingleElementRanges) {
+    int calls = 0;
+    parallel_for(5, 5, 1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallel_for(5, 6, 16, [&](std::size_t i) {
+        EXPECT_EQ(i, 5u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+    set_max_threads(8);
+    EXPECT_THROW(
+        parallel_for(0, 100, 1,
+                     [](std::size_t i) {
+                         if (i == 37) throw std::runtime_error("chunk 37");
+                     }),
+        std::runtime_error);
+    set_max_threads(0);
+}
+
+TEST(ParallelReduce, MatchesFixedChunkFoldAtEveryWidth) {
+    // An FP-sensitive sum: magnitudes differ wildly, so any change in
+    // association changes low-order bits.
+    std::vector<double> values(10000);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = std::pow(-1.0, static_cast<double>(i % 3)) /
+                    (1.0 + static_cast<double>(i * i % 997));
+    }
+    constexpr std::size_t kGrain = 128;
+    const auto sum_range = [&](std::size_t lo, std::size_t hi) {
+        double partial = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) partial += values[i];
+        return partial;
+    };
+    // Reference: the fixed chunk fold computed serially.
+    double reference = 0.0;
+    for (std::size_t lo = 0; lo < values.size(); lo += kGrain) {
+        reference += sum_range(lo, std::min(values.size(), lo + kGrain));
+    }
+    at_each_width({1, 2, 3, 8}, [&](std::size_t width) {
+        const double sum = parallel_reduce(
+            0, values.size(), kGrain, 0.0, sum_range,
+            [](double a, double b) { return a + b; });
+        // Bitwise equality, not EXPECT_DOUBLE_EQ: the contract is exact.
+        EXPECT_EQ(sum, reference) << "width " << width;
+    });
+}
+
+TEST(ParallelReduce, NonCommutativeCombineKeepsChunkOrder) {
+    // Concatenation makes any chunk reordering visible.
+    const std::size_t n = 257;
+    const auto digits = [](std::size_t lo, std::size_t hi) {
+        std::vector<std::size_t> out;
+        for (std::size_t i = lo; i < hi; ++i) out.push_back(i);
+        return out;
+    };
+    const auto concat = [](std::vector<std::size_t> a,
+                           std::vector<std::size_t> b) {
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+    };
+    at_each_width({1, 8}, [&](std::size_t) {
+        const auto result = parallel_reduce(
+            0, n, 10, std::vector<std::size_t>{}, digits, concat);
+        ASSERT_EQ(result.size(), n);
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(result[i], i);
+    });
+}
+
+TEST(ParallelReduce, BoolPartialsUseIndependentSlots) {
+    // Regression: with T = bool the partials buffer must not be a packed
+    // std::vector<bool>, whose chunk slots share words (a data race and
+    // potential lost updates under concurrent writes). Many tiny chunks
+    // maximize slot adjacency; exactly one chunk reports true.
+    const std::size_t n = 4096;
+    at_each_width({1, 2, 8}, [&](std::size_t width) {
+        for (const std::size_t hot : {std::size_t{0}, n / 2, n - 1}) {
+            const bool found = parallel_reduce(
+                0, n, 1, false,
+                [&](std::size_t lo, std::size_t) { return lo == hot; },
+                [](bool a, bool b) { return a || b; });
+            EXPECT_TRUE(found) << "width " << width << " hot " << hot;
+        }
+    });
+}
+
+TEST(TaskGroup, RunsEveryTask) {
+    std::vector<std::atomic<int>> ran(16);
+    TaskGroup group;
+    for (std::size_t t = 0; t < ran.size(); ++t) {
+        group.run([&ran, t] { ran[t].fetch_add(1); });
+    }
+    group.wait();
+    for (const auto& r : ran) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(TaskGroup, WaitRethrowsFirstFailureAfterAllTasksFinish) {
+    std::atomic<int> completed{0};
+    TaskGroup group;
+    for (int t = 0; t < 8; ++t) {
+        group.run([&completed, t] {
+            if (t == 3) throw std::runtime_error("task 3");
+            completed.fetch_add(1);
+        });
+    }
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    // The failure did not abandon the other tasks (no leaked runnables —
+    // the property the Fig. 4 bench relies on).
+    EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(TaskGroup, DestructorJoinsWithoutWait) {
+    std::atomic<int> ran{0};
+    {
+        TaskGroup group;
+        group.run([&ran] { ran.fetch_add(1); });
+        group.run([&ran] {
+            ran.fetch_add(1);
+            throw std::runtime_error("dropped at destructor");
+        });
+        // no wait(): destructor must join and swallow the exception
+    }
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(TaskGroup, EmptyGroupWaits) {
+    TaskGroup group;
+    group.wait();  // must not hang
+}
+
+TEST(Nesting, RegionsInsideTasksComplete) {
+    // TaskGroup tasks that each open parallel regions (the vocab-tree
+    // build shape) — must complete without deadlock even when the pool is
+    // saturated, because every region's opener participates.
+    at_each_width({1, 2, 8}, [](std::size_t) {
+        std::atomic<long> total{0};
+        TaskGroup group;
+        for (int t = 0; t < 6; ++t) {
+            group.run([&total] {
+                const long sum = parallel_reduce(
+                    0, 500, 13, 0L,
+                    [](std::size_t lo, std::size_t hi) {
+                        long s = 0;
+                        for (std::size_t i = lo; i < hi; ++i) {
+                            s += static_cast<long>(i);
+                        }
+                        return s;
+                    },
+                    [](long a, long b) { return a + b; });
+                total.fetch_add(sum);
+            });
+        }
+        group.wait();
+        EXPECT_EQ(total.load(), 6L * (499L * 500L / 2));
+    });
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+    ThreadPool pool(0);
+    int ran = 0;
+    pool.submit([&ran] { ++ran; });
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, GlobalPoolHasMinimumWidth) {
+    EXPECT_GE(ThreadPool::global().num_workers() + 1,
+              ThreadPool::kMinPoolWidth);
+}
+
+TEST(Config, MaxThreadsRoundTrips) {
+    set_max_threads(3);
+    EXPECT_EQ(max_threads(), 3u);
+    set_max_threads(0);
+    EXPECT_EQ(max_threads(), hardware_threads());
+}
+
+}  // namespace
+}  // namespace mie::exec

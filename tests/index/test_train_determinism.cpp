@@ -1,0 +1,156 @@
+// The exec runtime's load-bearing contract, exercised through the real
+// training pipeline: k-means and vocabulary-tree training from a fixed
+// seed must produce bitwise-identical centroids, assignments, node layout
+// and leaf numbering at every thread count (1, 2, 8). This is what keeps
+// the paper-reproduction numbers (Tables 2-3) stable across machines.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dpe/dense_dpe.hpp"
+#include "exec/exec.hpp"
+#include "index/bovw.hpp"
+#include "index/kmeans.hpp"
+#include "index/space.hpp"
+#include "index/vocab_tree.hpp"
+#include "util/rng.hpp"
+
+namespace mie::index {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+/// Restores the default width even when an assertion throws.
+struct WidthGuard {
+    ~WidthGuard() { exec::set_max_threads(0); }
+};
+
+std::vector<features::FeatureVec> euclidean_points(std::size_t count,
+                                                   std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    std::vector<features::FeatureVec> points;
+    points.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        features::FeatureVec v(16);
+        for (auto& x : v) {
+            x = static_cast<float>(rng.next_double() * 10.0);
+        }
+        points.push_back(std::move(v));
+    }
+    return points;
+}
+
+/// DPE-encoded descriptors — the exact point type the MIE cloud trains on.
+std::vector<dpe::BitCode> hamming_points(std::size_t count,
+                                         std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    std::vector<dpe::BitCode> points;
+    points.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        dpe::BitCode code(128);
+        for (std::size_t b = 0; b < 128; ++b) {
+            code.set(b, rng.next_double() < 0.5);
+        }
+        points.push_back(std::move(code));
+    }
+    return points;
+}
+
+TEST(TrainDeterminism, KMeansEuclideanIdenticalAtEveryThreadCount) {
+    const WidthGuard guard;
+    const auto points = euclidean_points(600, 11);
+    exec::set_max_threads(1);
+    const auto reference = kmeans<EuclideanSpace>(points, 12, 10, 42);
+    for (const std::size_t threads : kThreadCounts) {
+        exec::set_max_threads(threads);
+        const auto run = kmeans<EuclideanSpace>(points, 12, 10, 42);
+        EXPECT_EQ(run.centroids, reference.centroids) << threads;
+        EXPECT_EQ(run.assignment, reference.assignment) << threads;
+        EXPECT_EQ(run.inertia, reference.inertia) << threads;
+        EXPECT_EQ(run.iterations, reference.iterations) << threads;
+    }
+}
+
+TEST(TrainDeterminism, KMeansHammingIdenticalAtEveryThreadCount) {
+    const WidthGuard guard;
+    const auto points = hamming_points(600, 23);
+    exec::set_max_threads(1);
+    const auto reference = kmeans<HammingSpace>(points, 10, 8, 2017);
+    for (const std::size_t threads : kThreadCounts) {
+        exec::set_max_threads(threads);
+        const auto run = kmeans<HammingSpace>(points, 10, 8, 2017);
+        EXPECT_EQ(run.centroids, reference.centroids) << threads;
+        EXPECT_EQ(run.assignment, reference.assignment) << threads;
+        EXPECT_EQ(run.inertia, reference.inertia) << threads;
+    }
+}
+
+TEST(TrainDeterminism, VocabTreeIdenticalAtEveryThreadCount) {
+    const WidthGuard guard;
+    // Enough points that sibling subtrees cross the task-spawn threshold,
+    // so the parallel build path is actually exercised.
+    const auto points = hamming_points(4000, 7);
+    const VocabTree<HammingSpace>::Params params{
+        .branch = 5, .depth = 3, .kmeans_iterations = 6};
+    exec::set_max_threads(1);
+    const auto reference =
+        VocabTree<HammingSpace>::build(points, params, 2017);
+    for (const std::size_t threads : kThreadCounts) {
+        exec::set_max_threads(threads);
+        const auto tree =
+            VocabTree<HammingSpace>::build(points, params, 2017);
+        // Bitwise structural equality: centroids, layout, leaf numbering.
+        EXPECT_TRUE(tree == reference) << threads << " threads";
+        EXPECT_EQ(tree.num_leaves(), reference.num_leaves()) << threads;
+    }
+}
+
+TEST(TrainDeterminism, EuclideanVocabTreeIdenticalAtEveryThreadCount) {
+    const WidthGuard guard;
+    const auto points = euclidean_points(2500, 31);
+    const VocabTree<EuclideanSpace>::Params params{
+        .branch = 4, .depth = 3, .kmeans_iterations = 5};
+    exec::set_max_threads(1);
+    const auto reference =
+        VocabTree<EuclideanSpace>::build(points, params, 99);
+    for (const std::size_t threads : kThreadCounts) {
+        exec::set_max_threads(threads);
+        const auto tree =
+            VocabTree<EuclideanSpace>::build(points, params, 99);
+        EXPECT_TRUE(tree == reference) << threads << " threads";
+    }
+}
+
+TEST(TrainDeterminism, QuantizationIdenticalAtEveryThreadCount) {
+    const WidthGuard guard;
+    const auto points = hamming_points(1500, 13);
+    exec::set_max_threads(1);
+    const auto tree = VocabTree<HammingSpace>::build(
+        points, {.branch = 6, .depth = 2, .kmeans_iterations = 5}, 5);
+    const auto reference = quantize_all(tree, points);
+    const auto reference_histogram = bovw_histogram(tree, points);
+    for (const std::size_t threads : kThreadCounts) {
+        exec::set_max_threads(threads);
+        EXPECT_EQ(quantize_all(tree, points), reference) << threads;
+        EXPECT_EQ(bovw_histogram(tree, points), reference_histogram)
+            << threads;
+    }
+}
+
+TEST(TrainDeterminism, DpeBatchEncodeMatchesSingleEncodes) {
+    const WidthGuard guard;
+    const auto key = dpe::DenseDpe::keygen(to_bytes("determinism"), 16, 64,
+                                           0.7978845608);
+    const dpe::DenseDpe dense(key);
+    const auto vectors = euclidean_points(300, 17);
+    std::vector<dpe::BitCode> reference;
+    reference.reserve(vectors.size());
+    for (const auto& v : vectors) reference.push_back(dense.encode(v));
+    for (const std::size_t threads : kThreadCounts) {
+        exec::set_max_threads(threads);
+        EXPECT_EQ(dense.encode_batch(vectors), reference) << threads;
+    }
+}
+
+}  // namespace
+}  // namespace mie::index

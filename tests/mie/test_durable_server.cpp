@@ -99,7 +99,9 @@ struct CoreStats {
 };
 
 CoreStats core_stats_of(net::RequestHandler& server) {
-    net::MessageReader reader(server.handle(stats_request()));
+    // Keep the response alive: MessageReader is a view over the bytes.
+    const Bytes response = server.handle(stats_request());
+    net::MessageReader reader(response);
     CoreStats stats;
     stats.num_objects = reader.read_u64();
     stats.trained = reader.read_u8() != 0;
