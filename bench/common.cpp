@@ -49,6 +49,19 @@ std::size_t bench_threads() {
     return g_bench_threads != 0 ? g_bench_threads : exec::hardware_threads();
 }
 
+double parse_double_flag(int argc, char** argv, std::string_view name,
+                         double fallback) {
+    const std::string eq = std::string(name) + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == name && i + 1 < argc) return std::atof(argv[i + 1]);
+        if (arg.starts_with(eq)) {
+            return std::atof(arg.substr(eq.size()).data());
+        }
+    }
+    return fallback;
+}
+
 double bench_scale() {
     if (const char* env = std::getenv("MIE_BENCH_SCALE")) {
         const double value = std::atof(env);
@@ -81,6 +94,10 @@ constexpr std::size_t kSurfDims = 64;
 constexpr std::size_t kDpeBits = 128;
 constexpr double kUnitSlopeDelta = 0.7978845608028654;  // sqrt(2/pi), t=0.5
 }  // namespace
+
+sim::DeviceProfile scaled_bench_device(const sim::DeviceProfile& device) {
+    return scaled_device(device);
+}
 
 SchemeBundle make_bundle(Scheme scheme, const sim::DeviceProfile& raw_device,
                          std::uint64_t seed, std::size_t paillier_bits) {
@@ -155,15 +172,16 @@ SchemeBundle make_bundle(Scheme scheme, const sim::DeviceProfile& raw_device,
 }
 
 std::unique_ptr<SearchableScheme> join_mie_client(
-    const sim::DeviceProfile& device, net::MeteredTransport& transport,
-    std::uint64_t seed) {
+    const sim::DeviceProfile& device, net::Transport& transport,
+    std::uint64_t seed, const std::string& user) {
     const Bytes entropy =
         to_bytes("bench-entropy-" + std::to_string(seed));
     auto client = std::make_unique<MieClient>(
         transport, "bench-repo",
         RepositoryKey::generate(entropy, kSurfDims, kDpeBits,
                                 kUnitSlopeDelta),
-        to_bytes("bench-user2-" + std::to_string(seed)), device.cpu_scale);
+        to_bytes("bench-" + user + "-" + std::to_string(seed)),
+        device.cpu_scale);
     client->train_params.tree_branch = 17;
     client->train_params.tree_depth = 2;
     client->extraction.pyramid.base_stride = 4;

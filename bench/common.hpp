@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "baseline/hom_msse_client.hpp"
@@ -43,6 +44,15 @@ std::size_t configure_threads(int argc, char** argv);
 /// Width applied by configure_threads (hardware default until called).
 std::size_t bench_threads();
 
+/// Parses `--name V` / `--name=V` from argv; `fallback` when absent.
+double parse_double_flag(int argc, char** argv, std::string_view name,
+                         double fallback);
+
+/// Device profile with the bench link scaling applied (the same
+/// adjustment make_bundle performs internally) — for benches that build
+/// their own transport stacks.
+sim::DeviceProfile scaled_bench_device(const sim::DeviceProfile& device);
+
 /// Multiplier from MIE_BENCH_SCALE (default 1.0, clamped to [0.1, 100]).
 double bench_scale();
 
@@ -63,12 +73,13 @@ SchemeBundle make_bundle(Scheme scheme, const sim::DeviceProfile& device,
                          std::uint64_t seed,
                          std::size_t paillier_bits = 256);
 
-/// Creates a second MIE client bound to an existing server's repository
-/// (used by the Fig. 4 concurrent-writers experiment); `transport` must
-/// already wrap that server.
+/// Creates an MIE client bound to an existing server's repository (used
+/// by the Fig. 4 concurrent-writers experiment); `transport` must
+/// already reach that server — possibly through fault-injection and
+/// retry decorators. `user` keeps concurrent writers' secrets distinct.
 std::unique_ptr<SearchableScheme> join_mie_client(
-    const sim::DeviceProfile& device, net::MeteredTransport& transport,
-    std::uint64_t seed);
+    const sim::DeviceProfile& device, net::Transport& transport,
+    std::uint64_t seed, const std::string& user = "user2");
 
 /// Default generator matching the MIR-Flickr stand-in.
 sim::FlickrLikeGenerator default_generator(std::uint64_t seed = 2017);

@@ -3,34 +3,63 @@
 // it needs no client state and no counter locks, so both writers make
 // independent progress. The bench also demonstrates why the baselines
 // cannot: MSSE's counter lock rejects a concurrent trained writer.
+//
+// --fault-rate R (default 0) injects deterministic network faults into
+// both clients' links at per-I/O-op probability R. Each client sits on a
+// full fault-tolerant stack (RetryingTransport over FaultyTransport over
+// the metered link) and the shared server dedupes enveloped replays, so
+// the repository must end with exactly 2*N objects regardless of R.
 #include <cstdio>
 #include <iostream>
 
 #include "common.hpp"
 #include "exec/exec.hpp"
+#include "net/envelope.hpp"
+#include "net/faulty.hpp"
+#include "net/retry.hpp"
 
 int main(int argc, char** argv) {
     mie::bench::configure_threads(argc, argv);
     using namespace mie;
     using namespace mie::bench;
 
-    const auto mobile = sim::DeviceProfile::mobile();
-    const auto desktop = sim::DeviceProfile::desktop();
+    const double fault_rate =
+        parse_double_flag(argc, argv, "--fault-rate", 0.0);
+    const auto desktop_raw = sim::DeviceProfile::desktop();
+    const auto mobile = scaled_bench_device(sim::DeviceProfile::mobile());
+    const auto desktop = scaled_bench_device(desktop_raw);
     const std::size_t per_client = scaled(60);
 
     std::cout << "=== Figure 4: concurrent update, 1 mobile + 1 desktop "
                  "client, shared MIE repository ===\n"
               << "(paper: 1000 objects per client; here " << per_client
-              << " per client)\n";
+              << " per client; fault rate " << fault_rate << ")\n";
 
-    // Shared MIE server; each client has its own transport/link.
-    SchemeBundle mobile_bundle = make_bundle(Scheme::kMie, mobile, 7);
-    net::MeteredTransport desktop_transport(
-        *mobile_bundle.server, desktop.link);
-    auto desktop_client =
-        join_mie_client(desktop, desktop_transport, 7);
+    // Shared MIE server behind a replay-dedup handler; each client gets
+    // its own metered link wrapped in fault-injection + bounded retries.
+    MieServer server;
+    net::DedupHandler dedup(server);
 
-    mobile_bundle.client->create_repository();
+    net::MeteredTransport mobile_wire(dedup, mobile.link);
+    net::FaultyTransport mobile_faulty(
+        mobile_wire, net::FaultPlan{.rate = fault_rate, .seed = 71});
+    net::RetryingTransport mobile_link(
+        mobile_faulty, net::RetryPolicy{.max_attempts = 6,
+                                        .jitter_seed = 71});
+    mobile_link.set_sleeper([](double) {});  // backoff stays modeled time
+
+    net::MeteredTransport desktop_wire(dedup, desktop.link);
+    net::FaultyTransport desktop_faulty(
+        desktop_wire, net::FaultPlan{.rate = fault_rate, .seed = 72});
+    net::RetryingTransport desktop_link(
+        desktop_faulty, net::RetryPolicy{.max_attempts = 6,
+                                         .jitter_seed = 72});
+    desktop_link.set_sleeper([](double) {});
+
+    auto mobile_client = join_mie_client(mobile, mobile_link, 7, "user");
+    auto desktop_client = join_mie_client(desktop, desktop_link, 7);
+
+    mobile_client->create_repository();
 
     const auto mobile_gen = default_generator(101);
     const auto desktop_gen = default_generator(202);
@@ -43,7 +72,7 @@ int main(int argc, char** argv) {
         exec::TaskGroup writers;
         writers.run([&] {
             for (std::size_t i = 0; i < per_client; ++i) {
-                mobile_bundle.client->update(mobile_gen.make(i));
+                mobile_client->update(mobile_gen.make(i));
             }
         });
         writers.run([&] {
@@ -54,24 +83,50 @@ int main(int argc, char** argv) {
         writers.wait();
     }
 
-    const auto mobile_cost =
-        CostBreakdown::of(mobile_bundle.client->meter());
+    const auto mobile_cost = CostBreakdown::of(mobile_client->meter());
     const auto desktop_cost = CostBreakdown::of(desktop_client->meter());
     print_cost_table("Per-client cost (each uploaded " +
                          std::to_string(per_client) + " objects)",
                      {"Mobile client", "Desktop client"},
                      {mobile_cost, desktop_cost});
 
-    // Integrity: the shared repository holds every object from both.
-    auto* server = dynamic_cast<MieServer*>(mobile_bundle.server.get());
-    const auto stats = server->stats("bench-repo");
+    // Integrity: the shared repository holds every object from both —
+    // exactly once, even when faults forced retries of applied updates.
+    const auto stats = server.stats("bench-repo");
     std::printf("\nRepository now holds %zu objects (expected %zu): %s\n",
                 stats.num_objects, 2 * per_client,
                 stats.num_objects == 2 * per_client ? "ok" : "MISMATCH");
 
+    const auto& mr = mobile_link.stats();
+    const auto& dr = desktop_link.stats();
+    const auto& mf = mobile_faulty.stats();
+    const auto& df = desktop_faulty.stats();
+    std::printf(
+        "{\"bench\":\"fig4_concurrent_update\",\"fault_rate\":%g,"
+        "\"objects\":%zu,\"expected\":%zu,"
+        "\"replays_suppressed\":%llu,"
+        "\"mobile\":{\"calls\":%llu,\"attempts\":%llu,\"retries\":%llu,"
+        "\"reconnects\":%llu,\"timeouts\":%llu,\"faults_injected\":%llu},"
+        "\"desktop\":{\"calls\":%llu,\"attempts\":%llu,\"retries\":%llu,"
+        "\"reconnects\":%llu,\"timeouts\":%llu,\"faults_injected\":%llu}}\n",
+        fault_rate, stats.num_objects, 2 * per_client,
+        static_cast<unsigned long long>(dedup.replays_suppressed()),
+        static_cast<unsigned long long>(mr.calls),
+        static_cast<unsigned long long>(mr.attempts),
+        static_cast<unsigned long long>(mr.retries),
+        static_cast<unsigned long long>(mr.reconnects),
+        static_cast<unsigned long long>(mr.timeouts),
+        static_cast<unsigned long long>(mf.faults_injected),
+        static_cast<unsigned long long>(dr.calls),
+        static_cast<unsigned long long>(dr.attempts),
+        static_cast<unsigned long long>(dr.retries),
+        static_cast<unsigned long long>(dr.reconnects),
+        static_cast<unsigned long long>(dr.timeouts),
+        static_cast<unsigned long long>(df.faults_injected));
+
     // Contrast: MSSE's trained-update path cannot overlap writers.
     std::cout << "\nContrast: MSSE concurrent trained writers\n";
-    SchemeBundle msse = make_bundle(Scheme::kMsse, desktop, 9);
+    SchemeBundle msse = make_bundle(Scheme::kMsse, desktop_raw, 9);
     const auto gen = default_generator(5);
     msse.client->create_repository();
     for (std::size_t i = 0; i < 8; ++i) msse.client->update(gen.make(i));

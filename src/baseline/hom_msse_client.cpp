@@ -7,6 +7,7 @@
 #include "crypto/kdf.hpp"
 #include "fusion/rank_fusion.hpp"
 #include "mie/object_codec.hpp"
+#include "net/envelope.hpp"
 
 namespace mie::baseline {
 
@@ -24,13 +25,22 @@ HomMsseClient::HomMsseClient(net::Transport& transport,
       repo_id_(std::move(repo_id)),
       rk1_(crypto::derive_key(repo_entropy, "hom-msse-rk1")),
       rk2_(crypto::derive_key(repo_entropy, "hom-msse-rk2")),
-      keyring_(std::move(user_secret)),
+      keyring_(user_secret),
       meter_(device_cpu_scale),
       drbg_(crypto::derive_key(repo_entropy, "hom-msse-paillier-seed")),
       paillier_(crypto::Paillier::generate(drbg_, p.paillier_bits)),
-      params(p) {}
+      params(p) {
+    crypto::CtrDrbg id_gen(
+        crypto::derive_key(user_secret, "transport/op-client-id"));
+    op_client_id_ = net::make_client_id(id_gen.next_u64());
+}
 
 Bytes HomMsseClient::call(BytesView request, bool synchronous) {
+    Bytes enveloped;
+    if (!request.empty() && is_mutating(static_cast<HomOp>(request[0]))) {
+        enveloped = net::envelope_wrap(op_client_id_, ++op_seq_, request);
+        request = enveloped;
+    }
     const double wire_before = transport_.network_seconds();
     const double server_before = transport_.server_seconds();
     Bytes response = transport_.call(request);

@@ -101,6 +101,9 @@ private:
     std::string repo_id_;
     Bytes rk1_;
     Bytes rk2_;
+    /// Idempotency-envelope identity for mutating requests.
+    std::uint64_t op_client_id_ = 0;
+    std::uint64_t op_seq_ = 0;
     DataKeyring keyring_;
     sim::CostMeter meter_;
     crypto::CtrDrbg drbg_;

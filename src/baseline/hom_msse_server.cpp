@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/envelope.hpp"
+
 namespace mie::baseline {
 
 using crypto::BigUint;
@@ -14,6 +16,7 @@ std::string label_key(BytesView label) {
 }  // namespace
 
 Bytes HomMsseServer::handle(BytesView request) {
+    request = net::envelope_inner(request);  // strip idempotency envelope
     const std::scoped_lock lock(mutex_);
     net::MessageReader reader(request);
     const auto op = static_cast<HomOp>(reader.read_u8());

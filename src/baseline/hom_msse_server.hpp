@@ -39,6 +39,25 @@ enum class HomOp : std::uint8_t {
     kGetAllObjects = 9,
 };
 
+/// Opcodes that change server state (counters included); see
+/// baseline::is_mutating(MsseOp) for the role this plays in retries.
+constexpr bool is_mutating(HomOp op) {
+    switch (op) {
+        case HomOp::kCreate:
+        case HomOp::kStoreObject:
+        case HomOp::kStoreIndex:
+        case HomOp::kGetAndIncCtrs:  // increments counters server-side
+        case HomOp::kTrainedUpdate:
+        case HomOp::kRemove:
+            return true;
+        case HomOp::kGetFeatures:
+        case HomOp::kSearch:
+        case HomOp::kGetAllObjects:
+            return false;
+    }
+    return false;
+}
+
 class HomMsseServer final : public net::RequestHandler {
 public:
     Bytes handle(BytesView request) override;

@@ -8,6 +8,7 @@
 #include "crypto/kdf.hpp"
 #include "fusion/rank_fusion.hpp"
 #include "mie/object_codec.hpp"
+#include "net/envelope.hpp"
 
 namespace mie::baseline {
 
@@ -23,10 +24,19 @@ MsseClient::MsseClient(net::Transport& transport, std::string repo_id,
       repo_id_(std::move(repo_id)),
       rk1_(crypto::derive_key(repo_entropy, "msse-rk1")),
       rk2_(crypto::derive_key(repo_entropy, "msse-rk2")),
-      keyring_(std::move(user_secret)),
-      meter_(device_cpu_scale) {}
+      keyring_(user_secret),
+      meter_(device_cpu_scale) {
+    crypto::CtrDrbg id_gen(
+        crypto::derive_key(user_secret, "transport/op-client-id"));
+    op_client_id_ = net::make_client_id(id_gen.next_u64());
+}
 
 Bytes MsseClient::call(BytesView request, bool synchronous) {
+    Bytes enveloped;
+    if (!request.empty() && is_mutating(static_cast<MsseOp>(request[0]))) {
+        enveloped = net::envelope_wrap(op_client_id_, ++op_seq_, request);
+        request = enveloped;
+    }
     const double wire_before = transport_.network_seconds();
     const double server_before = transport_.server_seconds();
     Bytes response = transport_.call(request);

@@ -97,6 +97,9 @@ private:
     std::string repo_id_;
     Bytes rk1_;  ///< AES key for features + counters
     Bytes rk2_;  ///< PRF key for labels / value keys
+    /// Idempotency-envelope identity for mutating requests.
+    std::uint64_t op_client_id_ = 0;
+    std::uint64_t op_seq_ = 0;
     DataKeyring keyring_;
     sim::CostMeter meter_;
     std::optional<TrainedState> trained_;

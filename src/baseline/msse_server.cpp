@@ -5,6 +5,7 @@
 
 #include "crypto/ctr.hpp"
 #include "fusion/rank_fusion.hpp"
+#include "net/envelope.hpp"
 
 namespace mie::baseline {
 
@@ -15,6 +16,7 @@ std::string label_key(BytesView label) {
 }  // namespace
 
 Bytes MsseServer::handle(BytesView request) {
+    request = net::envelope_inner(request);  // strip idempotency envelope
     const std::scoped_lock lock(mutex_);
     net::MessageReader reader(request);
     const auto op = static_cast<MsseOp>(reader.read_u8());

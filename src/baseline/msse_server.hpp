@@ -39,6 +39,26 @@ enum class MsseOp : std::uint8_t {
     kGetAllObjects = 9,   ///< untrained search support
 };
 
+/// Opcodes that change server state (including the counter lock), i.e.
+/// the requests clients wrap in an idempotency envelope so retries are
+/// replay-safe behind a dedup-aware server.
+constexpr bool is_mutating(MsseOp op) {
+    switch (op) {
+        case MsseOp::kCreate:
+        case MsseOp::kStoreObject:
+        case MsseOp::kStoreIndex:
+        case MsseOp::kGetCtrs:  // may take the counter lock
+        case MsseOp::kTrainedUpdate:
+        case MsseOp::kRemove:
+            return true;
+        case MsseOp::kGetFeatures:
+        case MsseOp::kSearch:
+        case MsseOp::kGetAllObjects:
+            return false;
+    }
+    return false;
+}
+
 /// Thrown (server-side) and surfaced when a second writer requests the
 /// counter lock while it is held: the coordination cost MIE avoids.
 class CounterLockedError : public std::runtime_error {

@@ -5,6 +5,7 @@
 #include "crypto/drbg.hpp"
 #include "mie/object_codec.hpp"
 #include "mie/wire.hpp"
+#include "net/envelope.hpp"
 
 namespace mie {
 
@@ -16,10 +17,22 @@ MieClient::MieClient(net::Transport& transport, std::string repo_id,
       repo_key_(std::move(repo_key)),
       dense_dpe_(repo_key_.dense),
       sparse_dpe_(repo_key_.sparse),
-      keyring_(std::move(user_secret)),
-      meter_(device_cpu_scale) {}
+      keyring_(user_secret),
+      meter_(device_cpu_scale) {
+    // Deterministic in the user secret, so reruns of a workload produce
+    // identical wire bytes (the flaky-run-equals-clean-run tests rely on
+    // it); distinct users get distinct id streams.
+    crypto::CtrDrbg id_gen(
+        crypto::derive_key(user_secret, "transport/op-client-id"));
+    op_client_id_ = net::make_client_id(id_gen.next_u64());
+}
 
 Bytes MieClient::call(BytesView request, bool synchronous) {
+    Bytes enveloped;
+    if (!request.empty() && is_mutating(static_cast<MieOp>(request[0]))) {
+        enveloped = net::envelope_wrap(op_client_id_, ++op_seq_, request);
+        request = enveloped;
+    }
     const double wire_before = transport_.network_seconds();
     const double server_before = transport_.server_seconds();
     Bytes response = transport_.call(request);

@@ -64,7 +64,9 @@ private:
                           const EncodedFeatures& encoded) const;
 
     /// Issues the RPC, charging wire time (and server time when
-    /// `synchronous`) to the Network bucket.
+    /// `synchronous`) to the Network bucket. Mutating requests are
+    /// wrapped in an idempotency envelope (net/envelope.hpp) so a
+    /// retrying transport can replay them without double-applying.
     Bytes call(BytesView request, bool synchronous);
 
     net::Transport& transport_;
@@ -74,6 +76,9 @@ private:
     dpe::SparseDpe sparse_dpe_;
     DataKeyring keyring_;
     sim::CostMeter meter_;
+    /// Idempotency-envelope identity: (client id, monotonic sequence).
+    std::uint64_t op_client_id_ = 0;
+    std::uint64_t op_seq_ = 0;
 };
 
 }  // namespace mie

@@ -12,18 +12,44 @@ DurableServer::DurableServer(store::Vfs& vfs,
     : engine_(
           vfs, dir, options,
           [this](BytesView snapshot) { inner_.restore_snapshot(snapshot); },
-          [this](BytesView payload) { inner_.handle(payload); }) {}
+          [this](BytesView payload) {
+              // Enveloped records re-enter the replay cache during
+              // recovery, so a client retry that straddles a crash is
+              // still deduplicated (the inner apply regenerates the
+              // original response deterministically).
+              const auto env = net::parse_envelope(payload);
+              Bytes response = inner_.handle(env ? env->inner : payload);
+              if (env) {
+                  replay_cache_.insert(env->client_id, env->seq,
+                                       std::move(response));
+              }
+          }) {}
 
 Bytes DurableServer::handle(BytesView request) {
     if (request.empty()) {
         throw std::invalid_argument("DurableServer: empty request");
     }
-    const auto op = static_cast<MieOp>(request[0]);
-    if (!is_mutating(op)) return inner_.handle(request);
+    const auto env = net::parse_envelope(request);
+    const BytesView inner = env ? env->inner : request;
+    if (inner.empty()) {
+        throw std::invalid_argument("DurableServer: empty request");
+    }
+    const auto op = static_cast<MieOp>(inner[0]);
+    if (!is_mutating(op)) return inner_.handle(inner);
 
     const std::scoped_lock lock(log_mutex_);
-    Bytes response = inner_.handle(request);  // throws on invalid request
-    engine_.log(request);  // durable (per sync policy) before the ack
+    if (env) {
+        if (const Bytes* cached =
+                replay_cache_.lookup(env->client_id, env->seq)) {
+            ++replays_suppressed_;
+            return *cached;  // replay of an already-applied mutation
+        }
+    }
+    Bytes response = inner_.handle(inner);  // throws on invalid request
+    // Log the enveloped bytes so recovery can rebuild the dedup window;
+    // durable (per sync policy) before the ack.
+    engine_.log(request);
+    if (env) replay_cache_.insert(env->client_id, env->seq, response);
     ++records_logged_;
     maybe_checkpoint_locked();
     return response;
@@ -55,6 +81,7 @@ DurableServer::DurabilityStats DurableServer::durability() const {
     stats.recovered_from_checkpoint = engine_.recovery().had_checkpoint;
     stats.tail_truncated = engine_.recovery().tail_truncated;
     stats.last_lsn = engine_.last_lsn();
+    stats.replays_suppressed = replays_suppressed_;
     return stats;
 }
 

@@ -23,12 +23,20 @@
 // and log order identical (replay must converge to the acknowledged
 // state even when concurrent writers race on the same object id).
 // Searches never take the log mutex.
+// Idempotent replay: requests may arrive wrapped in the idempotency
+// envelope of net/envelope.hpp. Mutating envelopes are deduplicated
+// through a bounded replay cache — a client retry whose original was
+// applied (but whose response was lost in transit) gets the original
+// response back without re-applying. Enveloped requests are logged
+// verbatim, so recovery replay rebuilds the cache and dedup survives a
+// server crash: at-least-once delivery, exactly-once application.
 #pragma once
 
 #include <filesystem>
 #include <mutex>
 
 #include "mie/server.hpp"
+#include "net/envelope.hpp"
 #include "store/engine.hpp"
 
 namespace mie {
@@ -56,6 +64,9 @@ public:
         bool recovered_from_checkpoint = false;
         bool tail_truncated = false;  ///< open discarded a torn tail
         store::Lsn last_lsn = 0;
+        /// Replayed envelopes answered from the replay cache (the
+        /// mutation was NOT re-applied).
+        std::size_t replays_suppressed = 0;
     };
     DurabilityStats durability() const;
 
@@ -73,6 +84,10 @@ private:
     void maybe_checkpoint_locked();
 
     MieServer inner_;
+    /// (client, seq) -> response for enveloped mutations; guarded by
+    /// log_mutex_ and rebuilt from the WAL during recovery. Declared
+    /// before engine_: the engine's recovery replay inserts into it.
+    net::ReplayCache replay_cache_;
     store::StorageEngine engine_;
     /// Serializes mutating ops end-to-end (apply + log + checkpoint) so
     /// WAL order matches application order. Lock order: log_mutex_
@@ -80,6 +95,7 @@ private:
     mutable std::mutex log_mutex_;
     std::size_t records_logged_ = 0;
     std::size_t checkpoints_written_ = 0;
+    std::size_t replays_suppressed_ = 0;
 };
 
 }  // namespace mie

@@ -8,6 +8,7 @@
 #include "fusion/rank_fusion.hpp"
 #include "index/bovw.hpp"
 #include "mie/wire.hpp"
+#include "net/envelope.hpp"
 
 namespace mie {
 
@@ -60,6 +61,10 @@ ModalityPayload read_modalities(net::MessageReader& reader) {
 }  // namespace
 
 Bytes MieServer::handle(BytesView request) {
+    // Retry-capable clients wrap mutating requests in an idempotency
+    // envelope; the bare in-memory server dispatches on the inner bytes
+    // (DurableServer / DedupHandler add the replay dedup on top).
+    request = net::envelope_inner(request);
     net::MessageReader reader(request);
     const auto op = static_cast<MieOp>(reader.read_u8());
     if (op == MieOp::kCreateRepository) return handle_create(reader);

@@ -1,0 +1,188 @@
+// Idempotency envelope + replay cache for at-most-once mutating RPCs.
+//
+// A client that retries a mutating request cannot tell "the request never
+// arrived" from "the response was lost after the server applied it". To
+// make retries safe, scheme clients wrap every mutating request in an
+// envelope carrying a client-assigned operation id:
+//
+//   offset 0   u8       magic 0xE7 (no scheme opcode uses this value)
+//   offset 1   u64 LE   client id   (random per client instance)
+//   offset 9   u64 LE   sequence    (monotonic per client)
+//   offset 17  bytes    the inner request, unchanged
+//
+// Servers strip the envelope before dispatch; dedup-aware servers
+// (DurableServer, or any handler behind DedupHandler) additionally keep a
+// bounded (client, seq) -> response cache, so a replayed envelope returns
+// the original response without re-applying the mutation — exactly-once
+// server state under at-least-once delivery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::net {
+
+constexpr std::uint8_t kEnvelopeMagic = 0xE7;
+constexpr std::size_t kEnvelopeHeaderSize = 17;
+
+/// Process-unique client-instance nonce, mixed into envelope client ids.
+/// Two client objects sharing a user secret must not share an id stream
+/// (a restarted client would alias its predecessor's cached responses),
+/// and a counter keeps runs reproducible: same construction order, same
+/// ids.
+inline std::uint64_t next_client_instance() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Mixes a secret-derived base id with the instance nonce.
+inline std::uint64_t make_client_id(std::uint64_t derived_base) {
+    return derived_base +
+           0x9e3779b97f4a7c15ULL * (1 + next_client_instance());
+}
+
+struct Envelope {
+    std::uint64_t client_id = 0;
+    std::uint64_t seq = 0;
+    BytesView inner;
+};
+
+inline Bytes envelope_wrap(std::uint64_t client_id, std::uint64_t seq,
+                           BytesView inner) {
+    Bytes out;
+    out.reserve(kEnvelopeHeaderSize + inner.size());
+    out.push_back(kEnvelopeMagic);
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(client_id >> (8 * i)));
+    }
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(seq >> (8 * i)));
+    }
+    out.insert(out.end(), inner.begin(), inner.end());
+    return out;
+}
+
+/// Returns the parsed envelope, or nullopt when `request` is not
+/// enveloped. Throws std::invalid_argument on a truncated envelope.
+inline std::optional<Envelope> parse_envelope(BytesView request) {
+    if (request.empty() || request[0] != kEnvelopeMagic) return std::nullopt;
+    if (request.size() < kEnvelopeHeaderSize) {
+        throw std::invalid_argument("envelope: truncated header");
+    }
+    Envelope env;
+    for (int i = 0; i < 8; ++i) {
+        env.client_id |= static_cast<std::uint64_t>(request[1 + i])
+                         << (8 * i);
+    }
+    for (int i = 0; i < 8; ++i) {
+        env.seq |= static_cast<std::uint64_t>(request[9 + i]) << (8 * i);
+    }
+    env.inner = request.subspan(kEnvelopeHeaderSize);
+    return env;
+}
+
+/// The inner request whether or not `request` is enveloped.
+inline BytesView envelope_inner(BytesView request) {
+    const auto env = parse_envelope(request);
+    return env ? env->inner : request;
+}
+
+/// Bounded FIFO map (client, seq) -> response. Capacity bounds memory:
+/// a retry always follows its original closely (the client blocks on each
+/// op), so even a small cache suppresses every realistic replay.
+class ReplayCache {
+public:
+    explicit ReplayCache(std::size_t capacity = 1024)
+        : capacity_(capacity == 0 ? 1 : capacity) {}
+
+    const Bytes* lookup(std::uint64_t client_id, std::uint64_t seq) const {
+        const auto it = entries_.find(key(client_id, seq));
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    void insert(std::uint64_t client_id, std::uint64_t seq, Bytes response) {
+        const Key k = key(client_id, seq);
+        if (entries_.emplace(k, std::move(response)).second) {
+            order_.push_back(k);
+            while (order_.size() > capacity_) {
+                entries_.erase(order_.front());
+                order_.pop_front();
+            }
+        }
+    }
+
+    std::size_t size() const { return entries_.size(); }
+
+private:
+    struct Key {
+        std::uint64_t client_id;
+        std::uint64_t seq;
+        bool operator==(const Key& o) const {
+            return client_id == o.client_id && seq == o.seq;
+        }
+    };
+    struct KeyHash {
+        std::size_t operator()(const Key& k) const {
+            // splitmix-style mix of the two words.
+            std::uint64_t z = k.client_id + 0x9e3779b97f4a7c15ULL * k.seq;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            return static_cast<std::size_t>(z ^ (z >> 31));
+        }
+    };
+    static Key key(std::uint64_t c, std::uint64_t s) { return Key{c, s}; }
+
+    std::size_t capacity_;
+    std::unordered_map<Key, Bytes, KeyHash> entries_;
+    std::deque<Key> order_;
+};
+
+/// RequestHandler decorator that gives any server exactly-once semantics
+/// for enveloped requests: replays return the cached response without
+/// reaching the inner handler. Non-enveloped requests pass through
+/// untouched. Thread-safe; the inner handler runs outside the cache lock
+/// (a client never has two in-flight attempts of the same op, so the
+/// lookup/apply/insert race is benign).
+class DedupHandler final : public RequestHandler {
+public:
+    explicit DedupHandler(RequestHandler& inner, std::size_t capacity = 1024)
+        : inner_(inner), cache_(capacity) {}
+
+    Bytes handle(BytesView request) override {
+        const auto env = parse_envelope(request);
+        if (!env) return inner_.handle(request);
+        {
+            const std::scoped_lock lock(mutex_);
+            if (const Bytes* cached =
+                    cache_.lookup(env->client_id, env->seq)) {
+                ++replays_suppressed_;
+                return *cached;
+            }
+        }
+        Bytes response = inner_.handle(env->inner);
+        const std::scoped_lock lock(mutex_);
+        cache_.insert(env->client_id, env->seq, response);
+        return response;
+    }
+
+    /// Number of replayed envelopes answered from the cache.
+    std::uint64_t replays_suppressed() const {
+        const std::scoped_lock lock(mutex_);
+        return replays_suppressed_;
+    }
+
+private:
+    RequestHandler& inner_;
+    mutable std::mutex mutex_;
+    ReplayCache cache_;
+    std::uint64_t replays_suppressed_ = 0;
+};
+
+}  // namespace mie::net

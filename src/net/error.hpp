@@ -1,0 +1,56 @@
+// Typed transport failures.
+//
+// Every network-layer failure a scheme client can observe is a
+// TransportError with a machine-readable kind, so callers (and the retry
+// layer) can distinguish "the link hiccuped, try again" from "the server
+// rejected the request" (which arrives as the server's own exception type
+// and is never retried). A bare std::runtime_error escaping the transport
+// is a bug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mie::net {
+
+enum class TransportErrorKind : std::uint8_t {
+    kConnectFailed = 1,   ///< dial failed (refused, unreachable, bad addr)
+    kConnectTimeout = 2,  ///< dial exceeded the connect deadline
+    kTimeout = 3,         ///< send/recv exceeded the per-operation deadline
+    kConnectionReset = 4, ///< peer closed or reset the connection
+    kTruncatedFrame = 5,  ///< connection died mid-frame
+    kCorruptFrame = 6,    ///< frame failed magic/length/checksum validation
+};
+
+inline const char* transport_error_name(TransportErrorKind kind) {
+    switch (kind) {
+        case TransportErrorKind::kConnectFailed: return "connect-failed";
+        case TransportErrorKind::kConnectTimeout: return "connect-timeout";
+        case TransportErrorKind::kTimeout: return "timeout";
+        case TransportErrorKind::kConnectionReset: return "connection-reset";
+        case TransportErrorKind::kTruncatedFrame: return "truncated-frame";
+        case TransportErrorKind::kCorruptFrame: return "corrupt-frame";
+    }
+    return "unknown";
+}
+
+class TransportError : public std::runtime_error {
+public:
+    TransportError(TransportErrorKind kind, const std::string& message)
+        : std::runtime_error(std::string(transport_error_name(kind)) +
+                             ": " + message),
+          kind_(kind) {}
+
+    TransportErrorKind kind() const { return kind_; }
+
+    /// All transport-level failures are transient from the client's point
+    /// of view (a reset server may be restarting, a corrupt frame may be a
+    /// one-off link error); server-side *protocol* errors are not
+    /// TransportErrors and are never retried.
+    bool retryable() const { return true; }
+
+private:
+    TransportErrorKind kind_;
+};
+
+}  // namespace mie::net

@@ -1,0 +1,123 @@
+#include "net/faulty.hpp"
+
+#include <algorithm>
+
+namespace mie::net {
+
+namespace {
+
+bool is_send_kind(FaultKind kind) {
+    return kind == FaultKind::kDropSend || kind == FaultKind::kResetSend;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::kNone: return "none";
+        case FaultKind::kDropSend: return "drop-send";
+        case FaultKind::kResetSend: return "reset-send";
+        case FaultKind::kDropRecv: return "drop-recv";
+        case FaultKind::kResetRecv: return "reset-recv";
+        case FaultKind::kTruncateRecv: return "truncate-recv";
+        case FaultKind::kCorruptRecv: return "corrupt-recv";
+        case FaultKind::kDelayRecv: return "delay-recv";
+    }
+    return "unknown";
+}
+
+FaultyTransport::FaultyTransport(Transport& inner, FaultPlan plan)
+    : inner_(inner), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void FaultyTransport::schedule_fault(std::uint64_t op_index, FaultKind kind) {
+    scripted_[op_index] = kind;
+}
+
+FaultKind FaultyTransport::fault_for(std::uint64_t op, bool send_phase) {
+    FaultKind kind = FaultKind::kNone;
+    if (const auto it = scripted_.find(op); it != scripted_.end()) {
+        kind = it->second;
+    } else if (plan_.rate > 0.0 && !plan_.kinds.empty() &&
+               rng_.next_double() < plan_.rate) {
+        // One extra draw selects the kind; both draws come from the same
+        // seeded stream, so the whole schedule is a function of the seed.
+        kind = plan_.kinds[rng_.next_below(plan_.kinds.size())];
+    }
+    if (kind == FaultKind::kNone) return kind;
+    return is_send_kind(kind) == send_phase ? kind : FaultKind::kNone;
+}
+
+void FaultyTransport::inject(FaultKind kind) {
+    ++stats_.faults_injected;
+    ++stats_.by_kind[static_cast<std::size_t>(kind)];
+    switch (kind) {
+        case FaultKind::kDropSend:
+            throw TransportError(TransportErrorKind::kTimeout,
+                                 "injected: request dropped");
+        case FaultKind::kResetSend:
+            broken_ = true;
+            throw TransportError(TransportErrorKind::kConnectionReset,
+                                 "injected: reset before delivery");
+        case FaultKind::kDropRecv:
+            throw TransportError(TransportErrorKind::kTimeout,
+                                 "injected: response dropped");
+        case FaultKind::kResetRecv:
+            broken_ = true;
+            throw TransportError(TransportErrorKind::kConnectionReset,
+                                 "injected: reset after delivery");
+        case FaultKind::kTruncateRecv:
+            broken_ = true;
+            throw TransportError(TransportErrorKind::kTruncatedFrame,
+                                 "injected: response truncated mid-frame");
+        case FaultKind::kCorruptRecv:
+            throw TransportError(TransportErrorKind::kCorruptFrame,
+                                 "injected: response corrupted");
+        case FaultKind::kDelayRecv:
+            throw TransportError(TransportErrorKind::kTimeout,
+                                 "injected: response past deadline");
+        case FaultKind::kNone: break;
+    }
+    throw TransportError(TransportErrorKind::kConnectionReset,
+                         "injected: unknown fault");
+}
+
+Bytes FaultyTransport::call(BytesView request) {
+    ++stats_.calls;
+    if (broken_) {
+        // A reset/truncated connection stays dead until reconnect(), like
+        // a real socket: count the doomed ops so scripted indices line up.
+        next_op_ += 2;
+        throw TransportError(TransportErrorKind::kConnectionReset,
+                             "connection broken; reconnect required");
+    }
+
+    const FaultKind send_fault = fault_for(next_op_++, /*send_phase=*/true);
+    if (send_fault != FaultKind::kNone) {
+        ++next_op_;  // the recv op never happens; keep indices per-call
+        inject(send_fault);
+    }
+
+    Bytes response = inner_.call(request);  // the server applies here
+
+    const FaultKind recv_fault = fault_for(next_op_++, /*send_phase=*/false);
+    if (recv_fault == FaultKind::kDelayRecv) {
+        injected_delay_seconds_ += plan_.delay_seconds;
+        if (plan_.deadline_seconds > 0.0 &&
+            plan_.delay_seconds >= plan_.deadline_seconds) {
+            inject(recv_fault);  // response arrives too late to count
+        }
+        ++stats_.faults_injected;
+        ++stats_.by_kind[static_cast<std::size_t>(recv_fault)];
+        return response;  // benign delay: slower, still delivered
+    }
+    if (recv_fault != FaultKind::kNone) inject(recv_fault);
+    return response;
+}
+
+void FaultyTransport::reconnect() {
+    broken_ = false;
+    ++stats_.reconnects;
+    inner_.reconnect();
+}
+
+}  // namespace mie::net

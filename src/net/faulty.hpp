@@ -1,0 +1,120 @@
+// Deterministic network fault injection (the transport-layer sibling of
+// store::FaultInjectingVfs).
+//
+// FaultyTransport decorates any Transport — the in-process
+// MeteredTransport or a real TcpTransport — and injects faults from a
+// seeded schedule at the Nth send/recv. Each call() is two I/O
+// operations: the send (op 2k of that transport) and the recv (op 2k+1).
+// Send-phase faults strike before the inner transport runs, so the server
+// never sees the request; recv-phase faults strike after, so the server
+// HAS applied the request but the client never learns — exactly the case
+// that distinguishes at-least-once from exactly-once and that the replay
+// cache must absorb.
+//
+// Faults are chosen two ways, both deterministic:
+//   - schedule_fault(op, kind): scripted, fires at global I/O op `op`;
+//   - FaultPlan{rate, seed}: each I/O op independently faults with
+//     probability `rate`, kind drawn uniformly from `kinds`, all from a
+//     SplitMix64 stream — same seed, same fault sequence, every run.
+//
+// Reset and truncate faults also break the connection: further calls fail
+// with kConnectionReset until reconnect(), forcing the retry layer to
+// exercise its reconnect path just like a real dropped socket would.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/error.hpp"
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace mie::net {
+
+enum class FaultKind : std::uint8_t {
+    kNone = 0,
+    kDropSend = 1,      ///< request vanishes; client times out
+    kResetSend = 2,     ///< connection reset before delivery
+    kDropRecv = 3,      ///< response vanishes after the server applied
+    kResetRecv = 4,     ///< connection reset after the server applied
+    kTruncateRecv = 5,  ///< connection dies mid-response-frame
+    kCorruptRecv = 6,   ///< response frame fails its checksum
+    kDelayRecv = 7,     ///< response delayed; times out iff a deadline is set
+};
+constexpr std::size_t kNumFaultKinds = 8;
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Seeded random fault schedule. `rate` is the per-I/O-op fault
+/// probability (a call is two ops, so its end-to-end fault probability is
+/// about twice the rate).
+struct FaultPlan {
+    double rate = 0.0;
+    std::uint64_t seed = 1;
+    /// Kinds eligible for random injection (send kinds fire only on send
+    /// ops, recv kinds only on recv ops).
+    std::vector<FaultKind> kinds = {
+        FaultKind::kDropSend,     FaultKind::kResetSend,
+        FaultKind::kDropRecv,     FaultKind::kResetRecv,
+        FaultKind::kTruncateRecv, FaultKind::kCorruptRecv,
+        FaultKind::kDelayRecv,
+    };
+    /// Modeled extra latency of kDelayRecv.
+    double delay_seconds = 0.25;
+    /// Per-call deadline the injected delay is compared against; 0 means
+    /// no deadline, so delays add latency but never fail the call.
+    double deadline_seconds = 0.0;
+};
+
+class FaultyTransport final : public Transport {
+public:
+    /// `inner` must outlive this transport.
+    explicit FaultyTransport(Transport& inner, FaultPlan plan = {});
+
+    /// Scripts a fault at global I/O op `op_index` (0-based; overrides
+    /// the random plan at that op). Send kinds fire only if `op_index`
+    /// lands on a send op, recv kinds only on a recv op.
+    void schedule_fault(std::uint64_t op_index, FaultKind kind);
+
+    /// I/O ops issued so far (== index the next op will get).
+    std::uint64_t ops_issued() const { return next_op_; }
+
+    Bytes call(BytesView request) override;
+
+    /// Clears the broken-connection state and reconnects the inner
+    /// transport.
+    void reconnect() override;
+
+    double network_seconds() const override {
+        return inner_.network_seconds() + injected_delay_seconds_;
+    }
+    double server_seconds() const override {
+        return inner_.server_seconds();
+    }
+
+    struct Stats {
+        std::uint64_t calls = 0;
+        std::uint64_t faults_injected = 0;
+        std::uint64_t reconnects = 0;
+        std::array<std::uint64_t, kNumFaultKinds> by_kind{};
+    };
+    const Stats& stats() const { return stats_; }
+
+private:
+    /// The fault (if any) striking I/O op `op` in phase send/recv.
+    FaultKind fault_for(std::uint64_t op, bool send_phase);
+    [[noreturn]] void inject(FaultKind kind);
+
+    Transport& inner_;
+    FaultPlan plan_;
+    SplitMix64 rng_;
+    std::map<std::uint64_t, FaultKind> scripted_;
+    std::uint64_t next_op_ = 0;
+    bool broken_ = false;
+    double injected_delay_seconds_ = 0.0;
+    Stats stats_;
+};
+
+}  // namespace mie::net

@@ -1,0 +1,62 @@
+#include "net/frame.hpp"
+
+#include "util/crc32c.hpp"
+
+namespace mie::net {
+
+namespace {
+
+void put_le32(std::uint8_t* out, std::uint32_t v) {
+    out[0] = static_cast<std::uint8_t>(v);
+    out[1] = static_cast<std::uint8_t>(v >> 8);
+    out[2] = static_cast<std::uint8_t>(v >> 16);
+    out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_le32(const std::uint8_t* in) {
+    return static_cast<std::uint32_t>(in[0]) |
+           (static_cast<std::uint32_t>(in[1]) << 8) |
+           (static_cast<std::uint32_t>(in[2]) << 16) |
+           (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+}  // namespace
+
+void encode_frame_header(BytesView payload,
+                         std::uint8_t out[kFrameHeaderSize]) {
+    put_le32(out, kFrameMagic);
+    put_le32(out + 4, static_cast<std::uint32_t>(payload.size()));
+    put_le32(out + 8, crc32c(payload));
+}
+
+Bytes encode_frame(BytesView payload) {
+    Bytes frame(kFrameHeaderSize + payload.size());
+    encode_frame_header(payload, frame.data());
+    std::copy(payload.begin(), payload.end(),
+              frame.begin() + kFrameHeaderSize);
+    return frame;
+}
+
+FrameHeader parse_frame_header(const std::uint8_t header[kFrameHeaderSize]) {
+    if (get_le32(header) != kFrameMagic) {
+        throw TransportError(TransportErrorKind::kCorruptFrame,
+                             "bad frame magic");
+    }
+    FrameHeader parsed;
+    parsed.length = get_le32(header + 4);
+    parsed.crc = get_le32(header + 8);
+    if (parsed.length > kMaxFramePayload) {
+        throw TransportError(TransportErrorKind::kCorruptFrame,
+                             "oversized frame");
+    }
+    return parsed;
+}
+
+void verify_frame_payload(const FrameHeader& header, BytesView payload) {
+    if (payload.size() != header.length || crc32c(payload) != header.crc) {
+        throw TransportError(TransportErrorKind::kCorruptFrame,
+                             "frame checksum mismatch");
+    }
+}
+
+}  // namespace mie::net

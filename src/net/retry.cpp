@@ -1,0 +1,62 @@
+#include "net/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace mie::net {
+
+RetryingTransport::RetryingTransport(Transport& inner, RetryPolicy policy)
+    : inner_(inner),
+      policy_(policy),
+      jitter_(policy.jitter_seed),
+      sleeper_([](double seconds) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(seconds));
+      }) {}
+
+double RetryingTransport::next_backoff(int retry_index) {
+    double backoff = policy_.base_backoff_seconds;
+    for (int i = 0; i < retry_index; ++i) backoff *= policy_.backoff_multiplier;
+    backoff = std::min(backoff, policy_.max_backoff_seconds);
+    // Deterministic jitter in [0.5, 1.0) of the nominal backoff keeps
+    // concurrent clients from retrying in lockstep while staying
+    // reproducible from the seed.
+    return backoff * (0.5 + 0.5 * jitter_.next_double());
+}
+
+Bytes RetryingTransport::call(BytesView request) {
+    ++stats_.calls;
+    const int attempts = std::max(policy_.max_attempts, 1);
+    for (int attempt = 0;; ++attempt) {
+        try {
+            ++stats_.attempts;
+            return inner_.call(request);
+        } catch (const TransportError& error) {
+            if (error.kind() == TransportErrorKind::kTimeout ||
+                error.kind() == TransportErrorKind::kConnectTimeout) {
+                ++stats_.timeouts;
+            }
+            if (attempt + 1 >= attempts || !error.retryable()) {
+                ++stats_.exhausted;
+                throw;
+            }
+            const double backoff = next_backoff(attempt);
+            stats_.backoff_seconds += backoff;
+            sleeper_(backoff);
+            // The failed attempt may have left the stream desynchronized
+            // (a late response could alias the next request); a fresh
+            // connection is the only safe resumption point.
+            try {
+                inner_.reconnect();
+                ++stats_.reconnects;
+            } catch (const TransportError&) {
+                // The peer may still be down; the next attempt (or its
+                // reconnect) reports the failure if it persists.
+            }
+            ++stats_.retries;
+        }
+    }
+}
+
+}  // namespace mie::net

@@ -1,0 +1,84 @@
+// Bounded-retry transport decorator: the client side of fault tolerance.
+//
+// Wraps any Transport and turns transient TransportErrors into bounded
+// retries with exponential backoff and deterministic seeded jitter.
+// Before each retry the inner transport is reconnect()ed — after a
+// timeout or mid-frame failure the stream may be desynchronized, so the
+// only safe resumption point is a fresh connection. Mutating requests
+// stay safe to replay because scheme clients envelope them with
+// idempotent op ids (see envelope.hpp) and servers dedupe.
+//
+// Server-side *protocol* exceptions (std::invalid_argument and friends
+// surfaced through in-process transports) are never retried: they would
+// fail identically every time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/error.hpp"
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace mie::net {
+
+struct RetryPolicy {
+    /// Total attempts per call (1 = no retries).
+    int max_attempts = 4;
+    /// First backoff; doubles (times `multiplier`) per retry.
+    double base_backoff_seconds = 0.010;
+    double backoff_multiplier = 2.0;
+    double max_backoff_seconds = 2.0;
+    /// Seeds the jitter stream; same seed -> same backoff sequence.
+    std::uint64_t jitter_seed = 0x5eedu;
+};
+
+class RetryingTransport final : public Transport {
+public:
+    /// `inner` must outlive this transport.
+    explicit RetryingTransport(Transport& inner, RetryPolicy policy = {});
+
+    /// Calls through `inner`, retrying transient TransportErrors up to
+    /// policy.max_attempts total attempts. Rethrows the last
+    /// TransportError once attempts are exhausted.
+    Bytes call(BytesView request) override;
+
+    void reconnect() override { inner_.reconnect(); }
+
+    /// Inner wire time plus backoff waits (the user perceives both).
+    double network_seconds() const override {
+        return inner_.network_seconds() + stats_.backoff_seconds;
+    }
+    double server_seconds() const override {
+        return inner_.server_seconds();
+    }
+
+    struct Stats {
+        std::uint64_t calls = 0;       ///< logical call() invocations
+        std::uint64_t attempts = 0;    ///< physical attempts (>= calls)
+        std::uint64_t retries = 0;     ///< attempts beyond the first
+        std::uint64_t reconnects = 0;  ///< successful reconnect()s
+        std::uint64_t exhausted = 0;   ///< calls that gave up
+        std::uint64_t timeouts = 0;    ///< attempts that timed out
+        double backoff_seconds = 0.0;  ///< total backoff waited
+    };
+    const Stats& stats() const { return stats_; }
+
+    /// Replaces the wait function (default: real sleep). Tests and
+    /// simulation benches install a no-op so backoff stays modeled time
+    /// only; stats().backoff_seconds accumulates either way.
+    void set_sleeper(std::function<void(double)> sleeper) {
+        sleeper_ = std::move(sleeper);
+    }
+
+private:
+    double next_backoff(int retry_index);
+
+    Transport& inner_;
+    RetryPolicy policy_;
+    SplitMix64 jitter_;
+    Stats stats_;
+    std::function<void(double)> sleeper_;
+};
+
+}  // namespace mie::net

@@ -1,18 +1,27 @@
 #include "net/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
+#include "net/frame.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mie::net {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Server side: blocking I/O. Connection threads park in recv() between
+// requests and are torn down via shutdown() from stop().
+// ---------------------------------------------------------------------------
 
 /// Reads exactly `length` bytes; returns false on orderly shutdown before
 /// any byte, throws on mid-message EOF or errors.
@@ -22,11 +31,13 @@ bool read_exact(int fd, std::uint8_t* out, std::size_t length) {
         const ssize_t n = ::recv(fd, out + received, length - received, 0);
         if (n == 0) {
             if (received == 0) return false;  // clean close between frames
-            throw std::runtime_error("tcp: connection closed mid-message");
+            throw TransportError(TransportErrorKind::kTruncatedFrame,
+                                 "connection closed mid-message");
         }
         if (n < 0) {
             if (errno == EINTR) continue;
-            throw std::runtime_error("tcp: recv failed");
+            throw TransportError(TransportErrorKind::kConnectionReset,
+                                 "recv failed");
         }
         received += static_cast<std::size_t>(n);
     }
@@ -39,41 +50,123 @@ void write_all(int fd, const std::uint8_t* data, std::size_t length) {
         const ssize_t n = ::send(fd, data + sent, length - sent, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR) continue;
-            throw std::runtime_error("tcp: send failed");
+            throw TransportError(TransportErrorKind::kConnectionReset,
+                                 "send failed");
         }
         sent += static_cast<std::size_t>(n);
     }
 }
 
 void write_frame(int fd, BytesView payload) {
-    std::uint8_t header[4];
-    const auto length = static_cast<std::uint32_t>(payload.size());
-    header[0] = static_cast<std::uint8_t>(length);
-    header[1] = static_cast<std::uint8_t>(length >> 8);
-    header[2] = static_cast<std::uint8_t>(length >> 16);
-    header[3] = static_cast<std::uint8_t>(length >> 24);
-    write_all(fd, header, 4);
+    std::uint8_t header[kFrameHeaderSize];
+    encode_frame_header(payload, header);
+    write_all(fd, header, kFrameHeaderSize);
     write_all(fd, payload.data(), payload.size());
 }
 
 /// Returns false on clean close before a frame starts.
 bool read_frame(int fd, Bytes& out) {
-    std::uint8_t header[4];
-    if (!read_exact(fd, header, 4)) return false;
-    const std::uint32_t length =
-        static_cast<std::uint32_t>(header[0]) |
-        (static_cast<std::uint32_t>(header[1]) << 8) |
-        (static_cast<std::uint32_t>(header[2]) << 16) |
-        (static_cast<std::uint32_t>(header[3]) << 24);
-    constexpr std::uint32_t kMaxFrame = 256u << 20;  // 256 MiB sanity cap
-    if (length > kMaxFrame) {
-        throw std::runtime_error("tcp: oversized frame");
+    std::uint8_t header[kFrameHeaderSize];
+    if (!read_exact(fd, header, kFrameHeaderSize)) return false;
+    const FrameHeader parsed = parse_frame_header(header);
+    out.resize(parsed.length);
+    if (parsed.length > 0 && !read_exact(fd, out.data(), parsed.length)) {
+        throw TransportError(TransportErrorKind::kTruncatedFrame,
+                             "connection closed mid-message");
     }
-    out.resize(length);
-    if (length > 0 && !read_exact(fd, out.data(), length)) {
-        throw std::runtime_error("tcp: connection closed mid-message");
-    }
+    verify_frame_payload(parsed, out);
     return true;
+}
+
+// ---------------------------------------------------------------------------
+// Client side: non-blocking fd + poll with a per-call deadline, so a peer
+// that accepts and then goes silent surfaces kTimeout instead of hanging
+// the client forever.
+// ---------------------------------------------------------------------------
+
+/// Remaining budget of a deadline; `limit <= 0` disables the deadline.
+struct Deadline {
+    Stopwatch watch;
+    double limit;
+
+    /// Remaining milliseconds for poll(); -1 when no deadline is set.
+    /// Throws kTimeout when the budget is exhausted.
+    int remaining_ms() const {
+        if (limit <= 0.0) return -1;
+        const double remaining = limit - watch.elapsed_seconds();
+        if (remaining <= 0.0) {
+            throw TransportError(TransportErrorKind::kTimeout,
+                                 "operation deadline exceeded");
+        }
+        // Round up so a positive budget never polls for 0 ms (busy loop).
+        return static_cast<int>(remaining * 1000.0) + 1;
+    }
+};
+
+void poll_or_timeout(int fd, short events, const Deadline& deadline) {
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, deadline.remaining_ms());
+    if (n == 0) {
+        throw TransportError(TransportErrorKind::kTimeout,
+                             "operation deadline exceeded");
+    }
+    if (n < 0 && errno != EINTR) {
+        throw TransportError(TransportErrorKind::kConnectionReset,
+                             "poll failed");
+    }
+}
+
+void send_all_deadline(int fd, const std::uint8_t* data, std::size_t length,
+                       const Deadline& deadline) {
+    std::size_t sent = 0;
+    while (sent < length) {
+        const ssize_t n = ::send(fd, data + sent, length - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            poll_or_timeout(fd, POLLOUT, deadline);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        throw TransportError(TransportErrorKind::kConnectionReset,
+                             "send failed");
+    }
+}
+
+void recv_exact_deadline(int fd, std::uint8_t* out, std::size_t length,
+                         const Deadline& deadline, bool mid_frame) {
+    std::size_t received = 0;
+    while (received < length) {
+        const ssize_t n = ::recv(fd, out + received, length - received, 0);
+        if (n > 0) {
+            received += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            throw TransportError(
+                mid_frame || received > 0
+                    ? TransportErrorKind::kTruncatedFrame
+                    : TransportErrorKind::kConnectionReset,
+                "server closed connection");
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            poll_or_timeout(fd, POLLIN, deadline);
+            continue;
+        }
+        if (errno == EINTR) continue;
+        throw TransportError(TransportErrorKind::kConnectionReset,
+                             "recv failed");
+    }
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        throw TransportError(TransportErrorKind::kConnectFailed,
+                             "fcntl(O_NONBLOCK) failed");
+    }
 }
 
 }  // namespace
@@ -160,26 +253,82 @@ void TcpServer::serve_connection(int fd) {
             write_frame(fd, response);
         }
     } catch (const std::exception&) {
-        // Connection-level failure: drop this client, keep serving others.
+        // Connection-level failure (including a corrupt frame from the
+        // peer): drop this client, keep serving others.
     }
     ::close(fd);
 }
 
-TcpTransport::TcpTransport(const std::string& host, std::uint16_t port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) throw std::runtime_error("tcp: socket failed");
+TcpTransport::TcpTransport(const std::string& host, std::uint16_t port,
+                           TcpOptions options)
+    : host_(host), remote_port_(port), options_(options) {
+    dial();
+}
+
+void TcpTransport::dial() {
     sockaddr_in address{};
     address.sin_family = AF_INET;
-    address.sin_port = htons(port);
-    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
-        ::close(fd_);
-        throw std::runtime_error("tcp: bad address " + host);
+    address.sin_port = htons(remote_port_);
+    if (::inet_pton(AF_INET, host_.c_str(), &address.sin_addr) != 1) {
+        throw TransportError(TransportErrorKind::kConnectFailed,
+                             "bad address " + host_);
     }
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
-                  sizeof(address)) != 0) {
-        ::close(fd_);
-        throw std::runtime_error("tcp: connect failed");
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        throw TransportError(TransportErrorKind::kConnectFailed,
+                             "socket failed");
     }
+    try {
+        set_nonblocking(fd_);
+        if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                      sizeof(address)) != 0) {
+            if (errno != EINPROGRESS) {
+                throw TransportError(TransportErrorKind::kConnectFailed,
+                                     "connect failed");
+            }
+            // Non-blocking connect: wait for writability, then read the
+            // final status from SO_ERROR.
+            pollfd pfd{fd_, POLLOUT, 0};
+            const int timeout_ms =
+                options_.connect_timeout_seconds <= 0.0
+                    ? -1
+                    : static_cast<int>(
+                          options_.connect_timeout_seconds * 1000.0) + 1;
+            int n;
+            do {
+                n = ::poll(&pfd, 1, timeout_ms);
+            } while (n < 0 && errno == EINTR);
+            if (n == 0) {
+                throw TransportError(TransportErrorKind::kConnectTimeout,
+                                     "connect deadline exceeded");
+            }
+            int so_error = 0;
+            socklen_t len = sizeof(so_error);
+            if (n < 0 ||
+                ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) !=
+                    0 ||
+                so_error != 0) {
+                throw TransportError(TransportErrorKind::kConnectFailed,
+                                     "connect failed");
+            }
+        }
+    } catch (...) {
+        ::close(fd_);
+        fd_ = -1;
+        throw;
+    }
+}
+
+void TcpTransport::mark_broken() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void TcpTransport::reconnect() {
+    mark_broken();
+    dial();
 }
 
 TcpTransport::~TcpTransport() {
@@ -187,14 +336,37 @@ TcpTransport::~TcpTransport() {
 }
 
 Bytes TcpTransport::call(BytesView request) {
-    const Stopwatch watch;
-    write_frame(fd_, request);
-    Bytes response;
-    if (!read_frame(fd_, response)) {
-        throw std::runtime_error("tcp: server closed connection");
+    if (fd_ < 0) {
+        throw TransportError(TransportErrorKind::kConnectionReset,
+                             "connection broken; reconnect required");
     }
-    network_seconds_ += watch.elapsed_seconds();
-    return response;
+    const Stopwatch watch;
+    const Deadline deadline{Stopwatch(), options_.io_timeout_seconds};
+    try {
+        std::uint8_t header[kFrameHeaderSize];
+        encode_frame_header(request, header);
+        send_all_deadline(fd_, header, kFrameHeaderSize, deadline);
+        send_all_deadline(fd_, request.data(), request.size(), deadline);
+
+        std::uint8_t response_header[kFrameHeaderSize];
+        recv_exact_deadline(fd_, response_header, kFrameHeaderSize, deadline,
+                            /*mid_frame=*/false);
+        const FrameHeader parsed = parse_frame_header(response_header);
+        Bytes response(parsed.length);
+        if (parsed.length > 0) {
+            recv_exact_deadline(fd_, response.data(), parsed.length, deadline,
+                                /*mid_frame=*/true);
+        }
+        verify_frame_payload(parsed, response);
+        network_seconds_ += watch.elapsed_seconds();
+        return response;
+    } catch (const TransportError&) {
+        // Any failed call leaves the stream position unknown (a late
+        // response would alias the next call's reply); kill the socket so
+        // the retry layer must reconnect.
+        mark_broken();
+        throw;
+    }
 }
 
 }  // namespace mie::net

@@ -5,7 +5,12 @@
 // proves the client/server separation is genuine by running the identical
 // wire protocol over TCP. A production deployment would put TLS in front
 // (the paper assumes TLS for all remote communication, §III-A); framing is
-// a 4-byte little-endian length prefix per message in both directions.
+// the checksummed header of net/frame.hpp in both directions.
+//
+// The client side is built for flaky links: connects and per-call I/O are
+// poll-based with deadlines, every failure is a typed TransportError
+// (never a hang), and reconnect() re-dials so the retry layer can resume
+// on a fresh stream.
 #pragma once
 
 #include <atomic>
@@ -15,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/error.hpp"
 #include "net/transport.hpp"
 
 namespace mie::net {
@@ -57,26 +63,48 @@ private:
     std::vector<std::thread> connection_threads_;
 };
 
+/// Client-side socket deadlines. Zero or negative disables the deadline
+/// (blocking behaviour, only sensible for debugging).
+struct TcpOptions {
+    double connect_timeout_seconds = 5.0;
+    /// Deadline for one whole call(): send the request + receive the
+    /// complete response.
+    double io_timeout_seconds = 10.0;
+};
+
 /// Client-side connection to a TcpServer. One synchronous request at a
 /// time per transport (matching the scheme clients' usage).
 class TcpTransport final : public Transport {
 public:
-    /// Connects to host:port; throws std::runtime_error on failure.
-    TcpTransport(const std::string& host, std::uint16_t port);
+    /// Connects to host:port; throws TransportError on failure (including
+    /// kConnectTimeout when the dial exceeds its deadline).
+    TcpTransport(const std::string& host, std::uint16_t port,
+                 TcpOptions options = {});
     ~TcpTransport() override;
 
     TcpTransport(const TcpTransport&) = delete;
     TcpTransport& operator=(const TcpTransport&) = delete;
 
-    /// Sends the framed request and blocks for the framed response.
-    /// Throws std::runtime_error if the connection drops.
+    /// Sends the framed request and waits for the framed response, both
+    /// under options.io_timeout_seconds. Throws a typed TransportError on
+    /// timeout, reset, truncation, or checksum failure; after any throw
+    /// the connection is dead until reconnect().
     Bytes call(BytesView request) override;
+
+    /// Closes the (possibly dead) connection and re-dials.
+    void reconnect() override;
 
     /// Measured wall time spent inside call() — wire + server, since a
     /// real socket cannot observe them separately.
     double network_seconds() const override { return network_seconds_; }
 
 private:
+    void dial();
+    void mark_broken();
+
+    std::string host_;
+    std::uint16_t remote_port_ = 0;
+    TcpOptions options_;
     int fd_ = -1;
     double network_seconds_ = 0.0;
 };

@@ -31,6 +31,12 @@ public:
     virtual ~Transport() = default;
     virtual Bytes call(BytesView request) = 0;
 
+    /// Re-establishes a broken connection so the next call() can proceed
+    /// (socket transports re-dial; in-process transports reset fault
+    /// state). Default: nothing to reconnect. Throws TransportError when
+    /// the peer cannot be reached.
+    virtual void reconnect() {}
+
     /// Cumulative seconds attributable to the network itself.
     virtual double network_seconds() const { return 0.0; }
 

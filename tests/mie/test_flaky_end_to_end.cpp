@@ -1,0 +1,165 @@
+// Soak test: a full MIE workload over a link that randomly drops,
+// resets, truncates, corrupts, and delays 5% of all I/O operations.
+// Graceful degradation means degraded latency, NOT degraded answers:
+// every search result of the flaky run must be bitwise identical to the
+// fault-free run — same object ids, same score bits, same ciphertext
+// bytes. The same property is checked for the MSSE baseline (whose
+// counter protocol is stateful, so a double-applied retry would corrupt
+// frequencies and shift scores).
+//
+// Workload size honours MIE_BENCH_SCALE like the benches do (ctest runs
+// at the default scale in well under a minute).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "baseline/msse_client.hpp"
+#include "baseline/msse_server.hpp"
+#include "mie/client.hpp"
+#include "mie/server.hpp"
+#include "net/envelope.hpp"
+#include "net/faulty.hpp"
+#include "net/retry.hpp"
+#include "sim/dataset.hpp"
+
+namespace mie {
+namespace {
+
+std::size_t soak_objects() {
+    double scale = 1.0;
+    if (const char* env = std::getenv("MIE_BENCH_SCALE")) {
+        const double value = std::atof(env);
+        if (value > 0.0) scale = std::clamp(value, 0.1, 100.0);
+    }
+    return std::max<std::size_t>(
+        6, static_cast<std::size_t>(12.0 * scale));
+}
+
+/// One ranked result list, flattened to raw bytes for bitwise compare.
+Bytes flatten(const std::vector<SearchResult>& results) {
+    Bytes out;
+    for (const auto& result : results) {
+        append_le<std::uint64_t>(out, result.object_id);
+        std::uint64_t score_bits;
+        std::memcpy(&score_bits, &result.score, sizeof(score_bits));
+        append_le<std::uint64_t>(out, score_bits);
+        append_le<std::uint32_t>(
+            out, static_cast<std::uint32_t>(result.encrypted_object.size()));
+        out.insert(out.end(), result.encrypted_object.begin(),
+                   result.encrypted_object.end());
+    }
+    return out;
+}
+
+/// Runs the full workload for `scheme`: create, add, train, search every
+/// object, remove a third, search again. Returns the flattened bytes of
+/// every ranked list, in order.
+Bytes run_workload(SearchableScheme& scheme, std::size_t num_objects) {
+    sim::FlickrLikeGenerator gen(sim::FlickrLikeParams{
+        .num_classes = 3, .image_size = 48, .seed = 77});
+    scheme.create_repository();
+    for (std::size_t i = 0; i < num_objects; ++i) {
+        scheme.update(gen.make(i));
+    }
+    scheme.train();
+    Bytes transcript;
+    for (std::size_t i = 0; i < num_objects; ++i) {
+        const Bytes flat = flatten(scheme.search(gen.make(i), 5));
+        transcript.insert(transcript.end(), flat.begin(), flat.end());
+    }
+    for (std::size_t i = 0; i < num_objects; i += 3) {
+        scheme.remove(i);
+    }
+    for (std::size_t i = 0; i < num_objects; ++i) {
+        const Bytes flat = flatten(scheme.search(gen.make(i), 5));
+        transcript.insert(transcript.end(), flat.begin(), flat.end());
+    }
+    return transcript;
+}
+
+/// The transport stack both soak runs share; `rate` = 0 is the clean run.
+struct Stack {
+    net::DedupHandler dedup;
+    net::MeteredTransport wire;
+    net::FaultyTransport faulty;
+    net::RetryingTransport retrying;
+
+    Stack(net::RequestHandler& server, double rate, std::uint64_t seed)
+        : dedup(server),
+          wire(dedup, net::LinkProfile::loopback()),
+          faulty(wire, net::FaultPlan{.rate = rate, .seed = seed}),
+          retrying(faulty, net::RetryPolicy{.max_attempts = 10,
+                                            .jitter_seed = seed}) {
+        retrying.set_sleeper([](double) {});
+    }
+};
+
+/// Fault-handling bookkeeping of one soak run.
+struct RunStats {
+    std::uint64_t faults_injected = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t exhausted = 0;
+    std::uint64_t replays_suppressed = 0;
+};
+
+TEST(FlakySoak, MieResultsAreBitwiseIdenticalAt5PercentFaults) {
+    const std::size_t num_objects = soak_objects();
+    const auto key = RepositoryKey::generate(to_bytes("soak"), 64, 64,
+                                             0.7978845608);
+
+    auto run = [&](double rate, RunStats* out) {
+        MieServer server;
+        Stack stack(server, rate, 0x50AC);
+        MieClient client(stack.retrying, "soak-repo", key,
+                         to_bytes("soak-user"));
+        client.train_params.tree_branch = 5;
+        client.train_params.tree_depth = 2;
+        Bytes transcript = run_workload(client, num_objects);
+        if (out) {
+            out->faults_injected = stack.faulty.stats().faults_injected;
+            out->retries = stack.retrying.stats().retries;
+            out->exhausted = stack.retrying.stats().exhausted;
+            out->replays_suppressed = stack.dedup.replays_suppressed();
+        }
+        return transcript;
+    };
+
+    const Bytes clean = run(0.0, nullptr);
+    RunStats stats;
+    const Bytes flaky = run(0.05, &stats);
+
+    // The flaky link really was flaky…
+    EXPECT_GT(stats.faults_injected, 0u);
+    EXPECT_GT(stats.retries, 0u);
+    EXPECT_EQ(stats.exhausted, 0u);
+    // …and the user cannot tell: identical ids, score bits, ciphertexts.
+    ASSERT_FALSE(clean.empty());
+    EXPECT_EQ(clean, flaky);
+}
+
+TEST(FlakySoak, MsseResultsAreBitwiseIdenticalAt5PercentFaults) {
+    const std::size_t num_objects = soak_objects();
+
+    auto run = [&](double rate) {
+        baseline::MsseServer server;
+        Stack stack(server, rate, 0x5EAC);
+        baseline::MsseClient client(stack.retrying, "soak-repo",
+                                    to_bytes("soak-entropy"),
+                                    to_bytes("soak-user"));
+        client.train_params.tree_branch = 20;
+        client.train_params.tree_depth = 1;
+        return run_workload(client, num_objects);
+    };
+
+    const Bytes clean = run(0.0);
+    const Bytes flaky = run(0.05);
+    ASSERT_FALSE(clean.empty());
+    EXPECT_EQ(clean, flaky);
+}
+
+}  // namespace
+}  // namespace mie

@@ -1,11 +1,21 @@
-// TCP transport tests: framing, concurrency, and the full MIE stack over
-// real loopback sockets.
+// TCP transport tests: framing, concurrency, the full MIE stack over
+// real loopback sockets, and fault regression tests — a misbehaving peer
+// must surface a typed TransportError, never a hang.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <functional>
 #include <thread>
 
 #include "mie/client.hpp"
 #include "mie/server.hpp"
+#include "net/frame.hpp"
+#include "net/retry.hpp"
 #include "net/tcp.hpp"
 #include "sim/dataset.hpp"
 
@@ -145,6 +155,218 @@ TEST(Tcp, FullMieStackOverLoopback) {
     const auto results2 = client2.search(gen.make(4), 1);
     ASSERT_FALSE(results2.empty());
     EXPECT_EQ(results2.front().object_id, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault regressions: each kind of peer misbehaviour surfaces a typed
+// TransportError within its deadline. Before the poll-based client these
+// were hangs (blocking recv with no timeout).
+// ---------------------------------------------------------------------------
+
+/// Minimal raw TCP listener whose per-connection behaviour is scripted by
+/// the test — stand-in for a broken / malicious / dying server.
+class RawListener {
+public:
+    explicit RawListener(std::function<void(int)> on_connection)
+        : on_connection_(std::move(on_connection)) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd_, 0);
+        sockaddr_in address{};
+        address.sin_family = AF_INET;
+        address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&address),
+                         sizeof(address)),
+                  0);
+        EXPECT_EQ(::listen(fd_, 16), 0);
+        socklen_t length = sizeof(address);
+        EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&address),
+                                &length),
+                  0);
+        port_ = ntohs(address.sin_port);
+        thread_ = std::thread([this] {
+            while (true) {
+                const int conn = ::accept(fd_, nullptr, nullptr);
+                if (conn < 0) return;
+                on_connection_(conn);
+                ::close(conn);
+            }
+        });
+    }
+
+    ~RawListener() {
+        ::shutdown(fd_, SHUT_RDWR);
+        ::close(fd_);
+        if (thread_.joinable()) thread_.join();
+    }
+
+    std::uint16_t port() const { return port_; }
+
+private:
+    std::function<void(int)> on_connection_;
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+};
+
+/// Drains the connection until the peer gives up (EOF).
+void drain(int conn) {
+    std::uint8_t buffer[512];
+    while (::recv(conn, buffer, sizeof(buffer), 0) > 0) {
+    }
+}
+
+TransportErrorKind call_and_kind(TcpTransport& client, BytesView request) {
+    try {
+        client.call(request);
+    } catch (const TransportError& error) {
+        return error.kind();
+    }
+    ADD_FAILURE() << "call unexpectedly succeeded";
+    return TransportErrorKind::kConnectFailed;
+}
+
+TEST(TcpFault, SilentPeerTimesOutInsteadOfHanging) {
+    // The original bug: a peer that accepts the request and then goes
+    // silent left the client blocked in recv() forever.
+    RawListener listener(drain);
+    TcpTransport client("127.0.0.1", listener.port(),
+                        TcpOptions{.io_timeout_seconds = 0.2});
+    const Bytes request = to_bytes("anyone there?");
+    EXPECT_EQ(call_and_kind(client, request), TransportErrorKind::kTimeout);
+}
+
+TEST(TcpFault, ConnectTimeoutOnSaturatedBacklog) {
+    // listen(fd, 0) + unaccepted plug connections fill the accept queue;
+    // further SYNs are silently dropped, so the dial must time out
+    // instead of blocking in connect().
+    const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(listen_fd, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&address),
+                     sizeof(address)),
+              0);
+    ASSERT_EQ(::listen(listen_fd, 0), 0);
+    socklen_t length = sizeof(address);
+    ASSERT_EQ(::getsockname(listen_fd,
+                            reinterpret_cast<sockaddr*>(&address), &length),
+              0);
+    const std::uint16_t port = ntohs(address.sin_port);
+
+    std::vector<int> plugs;
+    for (int i = 0; i < 8; ++i) {
+        const int plug = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(plug, 0);
+        // Non-blocking: we only need the SYN in flight, not completion.
+        ::fcntl(plug, F_SETFL, O_NONBLOCK);
+        ::connect(plug, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address));
+        plugs.push_back(plug);
+    }
+
+    try {
+        TcpTransport client("127.0.0.1", port,
+                            TcpOptions{.connect_timeout_seconds = 0.25});
+        ADD_FAILURE() << "connect to saturated backlog succeeded";
+    } catch (const TransportError& error) {
+        EXPECT_EQ(error.kind(), TransportErrorKind::kConnectTimeout);
+    }
+    for (int plug : plugs) ::close(plug);
+    ::close(listen_fd);
+}
+
+TEST(TcpFault, PeerDyingBeforeResponseIsTypedReset) {
+    // Server killed mid-request: the connection closes after the request
+    // is read but before any response byte.
+    RawListener listener([](int conn) {
+        std::uint8_t buffer[512];
+        (void)::recv(conn, buffer, sizeof(buffer), 0);
+        // close(conn) happens in RawListener — response never sent.
+    });
+    TcpTransport client("127.0.0.1", listener.port(),
+                        TcpOptions{.io_timeout_seconds = 1.0});
+    EXPECT_EQ(call_and_kind(client, to_bytes("req")),
+              TransportErrorKind::kConnectionReset);
+}
+
+TEST(TcpFault, PeerDyingMidResponseFrameIsTruncated) {
+    // The peer sends a valid header promising 100 bytes, delivers 10,
+    // then dies.
+    RawListener listener([](int conn) {
+        std::uint8_t buffer[512];
+        (void)::recv(conn, buffer, sizeof(buffer), 0);
+        const Bytes payload(100, 0xab);
+        std::uint8_t header[kFrameHeaderSize];
+        encode_frame_header(payload, header);
+        (void)::send(conn, header, sizeof(header), MSG_NOSIGNAL);
+        (void)::send(conn, payload.data(), 10, MSG_NOSIGNAL);
+    });
+    TcpTransport client("127.0.0.1", listener.port(),
+                        TcpOptions{.io_timeout_seconds = 1.0});
+    EXPECT_EQ(call_and_kind(client, to_bytes("req")),
+              TransportErrorKind::kTruncatedFrame);
+}
+
+TEST(TcpFault, CorruptResponseChecksumIsTyped) {
+    RawListener listener([](int conn) {
+        std::uint8_t buffer[512];
+        (void)::recv(conn, buffer, sizeof(buffer), 0);
+        Bytes frame = encode_frame(to_bytes("tampered-response"));
+        frame.back() ^= 0x01;  // corrupt the payload after checksumming
+        (void)::send(conn, frame.data(), frame.size(), MSG_NOSIGNAL);
+        drain(conn);
+    });
+    TcpTransport client("127.0.0.1", listener.port(),
+                        TcpOptions{.io_timeout_seconds = 1.0});
+    EXPECT_EQ(call_and_kind(client, to_bytes("req")),
+              TransportErrorKind::kCorruptFrame);
+}
+
+TEST(TcpFault, BrokenConnectionRequiresReconnect) {
+    PrefixEcho echo;
+    TcpServer server(echo);
+    server.start();
+    TcpTransport client("127.0.0.1", server.port(),
+                        TcpOptions{.io_timeout_seconds = 0.2});
+    EXPECT_EQ(to_string(client.call(to_bytes("a"))), "ack:a");
+
+    // Kill the server under the client.
+    server.stop();
+    EXPECT_THROW(client.call(to_bytes("b")), TransportError);
+    // Without reconnect() every further call fails fast, no hang.
+    EXPECT_EQ(call_and_kind(client, to_bytes("c")),
+              TransportErrorKind::kConnectionReset);
+
+    // A new server on the same port + reconnect() restores service.
+    TcpServer revived(echo, server.port());
+    revived.start();
+    client.reconnect();
+    EXPECT_EQ(to_string(client.call(to_bytes("d"))), "ack:d");
+}
+
+TEST(TcpFault, RetryingTransportRecoversAcrossServerRestart) {
+    PrefixEcho echo;
+    auto server = std::make_unique<TcpServer>(echo);
+    server->start();
+    const std::uint16_t port = server->port();
+
+    TcpTransport socket_transport("127.0.0.1", port,
+                                  TcpOptions{.io_timeout_seconds = 0.5});
+    RetryingTransport client(socket_transport,
+                             RetryPolicy{.max_attempts = 5,
+                                         .base_backoff_seconds = 0.01});
+    client.set_sleeper([](double) {});
+    EXPECT_EQ(to_string(client.call(to_bytes("x"))), "ack:x");
+
+    // Restart the server; the next call's first attempt fails, a retry
+    // reconnects and succeeds — the caller sees no error at all.
+    server = nullptr;
+    server = std::make_unique<TcpServer>(echo, port);
+    server->start();
+    EXPECT_EQ(to_string(client.call(to_bytes("y"))), "ack:y");
+    EXPECT_GE(client.stats().retries, 1u);
+    EXPECT_GE(client.stats().reconnects, 1u);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include "baseline/msse_server.hpp"
 #include "mie/client.hpp"
 #include "mie/server.hpp"
+#include "net/frame.hpp"
+#include "net/message.hpp"
 #include "sim/dataset.hpp"
 #include "util/rng.hpp"
 
@@ -103,6 +105,192 @@ TEST(WireRobustness, MieServerSurvivesMutatedValidRequests) {
     }
     // The server is still functional afterwards.
     EXPECT_NO_THROW(server.stats("repo"));
+}
+
+// ---------------------------------------------------------------------------
+// Frame-codec fuzzing: the checksummed framing of net/frame.hpp must
+// never crash, over-read, or accept a frame whose length or checksum
+// lies, no matter how the byte stream is mangled.
+// ---------------------------------------------------------------------------
+
+/// Feeds `stream` to a FrameDecoder in random-sized chunks, collecting
+/// every accepted payload. Each chunk is a fresh exact-size heap buffer
+/// so ASan flags any read past the fed bytes. Returns the accepted
+/// payloads; decoding stops at the first corrupt-frame rejection.
+std::vector<Bytes> decode_stream(BytesView stream, SplitMix64& rng) {
+    net::FrameDecoder decoder;
+    std::vector<Bytes> accepted;
+    std::size_t offset = 0;
+    bool dead = false;
+    while (offset < stream.size() && !dead) {
+        const std::size_t chunk =
+            1 + rng.next_below(std::min<std::size_t>(
+                    64, stream.size() - offset));
+        const Bytes copy(stream.begin() + static_cast<std::ptrdiff_t>(offset),
+                         stream.begin() +
+                             static_cast<std::ptrdiff_t>(offset + chunk));
+        decoder.feed(copy);
+        offset += chunk;
+        try {
+            while (auto payload = decoder.next()) {
+                accepted.push_back(std::move(*payload));
+            }
+        } catch (const net::TransportError& error) {
+            EXPECT_EQ(error.kind(), net::TransportErrorKind::kCorruptFrame);
+            dead = true;
+        }
+    }
+    return accepted;
+}
+
+TEST(FrameFuzz, CleanStreamsRoundTripThroughArbitraryChunking) {
+    SplitMix64 rng(0xF00D);
+    for (int iteration = 0; iteration < 200; ++iteration) {
+        std::vector<Bytes> payloads;
+        Bytes stream;
+        const std::size_t n = 1 + rng.next_below(4);
+        for (std::size_t i = 0; i < n; ++i) {
+            Bytes payload(rng.next_below(300));
+            for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+            const Bytes frame = net::encode_frame(payload);
+            stream.insert(stream.end(), frame.begin(), frame.end());
+            payloads.push_back(std::move(payload));
+        }
+        const auto accepted = decode_stream(stream, rng);
+        ASSERT_EQ(accepted.size(), payloads.size());
+        for (std::size_t i = 0; i < payloads.size(); ++i) {
+            EXPECT_EQ(accepted[i], payloads[i]);
+        }
+    }
+}
+
+TEST(FrameFuzz, MutatedStreamsNeverCrashOrAcceptLies) {
+    // 10k mutated streams. The invariant for every accepted payload P:
+    // the stream must actually contain encode_frame(P) at the position
+    // the decoder consumed it from — i.e. acceptance implies the length
+    // and CRC told the truth. Flipped-length and flipped-checksum frames
+    // must be rejected, and rejection must be a typed TransportError,
+    // never a crash, hang, or out-of-bounds read.
+    SplitMix64 rng(0xFA22);
+    std::size_t accepted_total = 0;
+    std::size_t rejected_streams = 0;
+    for (int iteration = 0; iteration < 10000; ++iteration) {
+        // A small multi-frame stream of random payloads.
+        Bytes stream;
+        const std::size_t n = 1 + rng.next_below(3);
+        for (std::size_t i = 0; i < n; ++i) {
+            Bytes payload(rng.next_below(120));
+            for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+            const Bytes frame = net::encode_frame(payload);
+            stream.insert(stream.end(), frame.begin(), frame.end());
+        }
+        // Mutate: bit flips, truncation, or random insertions.
+        const int flips = static_cast<int>(rng.next_below(6));
+        for (int f = 0; f < flips && !stream.empty(); ++f) {
+            stream[rng.next_below(stream.size())] ^=
+                static_cast<std::uint8_t>(1 + rng.next_below(255));
+        }
+        if (rng.next_double() < 0.3 && !stream.empty()) {
+            stream.resize(rng.next_below(stream.size()));
+        }
+        if (rng.next_double() < 0.2) {
+            const std::size_t extra = 1 + rng.next_below(20);
+            for (std::size_t i = 0; i < extra; ++i) {
+                stream.insert(
+                    stream.begin() + static_cast<std::ptrdiff_t>(
+                                         rng.next_below(stream.size() + 1)),
+                    static_cast<std::uint8_t>(rng()));
+            }
+        }
+
+        // Exact-size heap copy: ASan turns any over-read into a failure.
+        const Bytes exact(stream.begin(), stream.end());
+        std::size_t consumed = 0;
+        std::vector<Bytes> accepted;
+        try {
+            net::FrameDecoder decoder;
+            decoder.feed(exact);
+            while (auto payload = decoder.next()) {
+                accepted.push_back(std::move(*payload));
+            }
+            consumed = exact.size() - decoder.buffered();
+        } catch (const net::TransportError& error) {
+            EXPECT_EQ(error.kind(),
+                      net::TransportErrorKind::kCorruptFrame);
+            ++rejected_streams;
+            continue;
+        }
+        // Every accepted payload's re-encoding must appear verbatim in
+        // the consumed prefix, in order: no lying length or CRC passed.
+        std::size_t cursor = 0;
+        for (const Bytes& payload : accepted) {
+            const Bytes frame = net::encode_frame(payload);
+            ASSERT_LE(cursor + frame.size(), consumed);
+            EXPECT_TRUE(std::equal(frame.begin(), frame.end(),
+                                   exact.begin() +
+                                       static_cast<std::ptrdiff_t>(cursor)));
+            cursor += frame.size();
+            ++accepted_total;
+        }
+        EXPECT_EQ(cursor, consumed);
+    }
+    // The fuzzer exercised both paths (sanity check on the generator).
+    EXPECT_GT(accepted_total, 100u);
+    EXPECT_GT(rejected_streams, 100u);
+}
+
+TEST(FrameFuzz, HeaderLiesAreRejectedUpFront) {
+    const Bytes payload = to_bytes("honest payload");
+    // Length lie: header promises more than the cap.
+    Bytes oversized = net::encode_frame(payload);
+    oversized[4] = 0xff;
+    oversized[5] = 0xff;
+    oversized[6] = 0xff;
+    oversized[7] = 0xff;
+    net::FrameDecoder decoder;
+    decoder.feed(oversized);
+    EXPECT_THROW(decoder.next(), net::TransportError);
+
+    // Checksum lie: valid magic and length, wrong CRC.
+    Bytes bad_crc = net::encode_frame(payload);
+    bad_crc[8] ^= 0x01;
+    net::FrameDecoder decoder2;
+    decoder2.feed(bad_crc);
+    EXPECT_THROW(decoder2.next(), net::TransportError);
+
+    // Magic lie: desynchronized stream rejected immediately.
+    Bytes bad_magic = net::encode_frame(payload);
+    bad_magic[0] ^= 0x01;
+    net::FrameDecoder decoder3;
+    decoder3.feed(bad_magic);
+    EXPECT_THROW(decoder3.next(), net::TransportError);
+}
+
+TEST(MessageFuzz, ReaderNeverOverReadsRandomBytes) {
+    // Random bytes through random read sequences: every outcome is a
+    // value or std::out_of_range — never a crash or over-read (the
+    // exact-size heap buffer makes ASan the judge).
+    SplitMix64 rng(0xBEEF);
+    for (int iteration = 0; iteration < 10000; ++iteration) {
+        Bytes data(rng.next_below(64));
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+        const Bytes exact(data.begin(), data.end());
+        net::MessageReader reader(exact);
+        try {
+            while (!reader.at_end()) {
+                switch (rng.next_below(6)) {
+                    case 0: reader.read_u8(); break;
+                    case 1: reader.read_u32(); break;
+                    case 2: reader.read_u64(); break;
+                    case 3: reader.read_f64(); break;
+                    case 4: reader.read_bytes(); break;
+                    case 5: reader.read_string(); break;
+                }
+            }
+        } catch (const std::out_of_range&) {
+            // Clean truncation rejection.
+        }
+    }
 }
 
 }  // namespace
