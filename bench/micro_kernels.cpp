@@ -1,0 +1,150 @@
+// micro_kernels: scalar-vs-dispatched throughput of the src/kernels hot
+// paths — AES-CTR keystream MB/s, squared-L2 distances/s, CRC-32C MB/s —
+// emitted as JSON so CI can track the speedup the dispatch ladder buys on
+// the host CPU. Bitwise equivalence between the scalar and dispatched
+// outputs is asserted on the way (the determinism contract, DESIGN.md
+// §10); a mismatch fails the bench.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common.hpp"
+#include "kernels/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mie;
+
+double seconds_of(const auto& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+double best_of(int rounds, const auto& fn) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < rounds; ++r) best = std::min(best, seconds_of(fn));
+    return best;
+}
+
+void emit(const char* kernel, const char* unit, double scalar_rate,
+          double dispatched_rate, bool first) {
+    std::printf("%s    {\"kernel\": \"%s\", \"unit\": \"%s\", "
+                "\"scalar\": %.2f, \"dispatched\": %.2f, "
+                "\"speedup\": %.2f}",
+                first ? "" : ",\n", kernel, unit, scalar_rate,
+                dispatched_rate,
+                scalar_rate > 0.0 ? dispatched_rate / scalar_rate : 0.0);
+}
+
+}  // namespace
+
+int main() {
+    constexpr int kRounds = 5;
+    const double scale = mie::bench::bench_scale();
+    const auto& scalar = kernels::table_for(kernels::Level::kScalar);
+    const auto& dispatched = kernels::table();
+    SplitMix64 rng(4242);
+
+    // --- AES-CTR keystream over a 1 MiB buffer ---------------------------
+    const std::size_t ctr_bytes =
+        static_cast<std::size_t>(1024.0 * 1024.0 * scale);
+    std::vector<std::uint8_t> schedule(16 * 11);
+    for (auto& b : schedule) b = static_cast<std::uint8_t>(rng());
+    std::vector<std::uint8_t> buf_scalar(ctr_bytes, 0);
+    std::vector<std::uint8_t> buf_dispatched(ctr_bytes, 0);
+    std::uint8_t counter[16];
+
+    std::memset(counter, 0, 16);
+    const double ctr_scalar_s = best_of(kRounds, [&] {
+        scalar.aes_ctr64_xor(schedule.data(), 10, counter,
+                             buf_scalar.data(), ctr_bytes);
+    });
+    std::memset(counter, 0, 16);
+    const double ctr_dispatched_s = best_of(kRounds, [&] {
+        dispatched.aes_ctr64_xor(schedule.data(), 10, counter,
+                                 buf_dispatched.data(), ctr_bytes);
+    });
+    // best_of ran both paths kRounds times from per-path counters, so the
+    // cumulative XOR streams must agree bytewise.
+    if (buf_scalar != buf_dispatched) {
+        std::fprintf(stderr, "DETERMINISM VIOLATION: AES-CTR scalar != "
+                             "dispatched\n");
+        return 1;
+    }
+    const double mb = static_cast<double>(ctr_bytes) / (1024.0 * 1024.0);
+
+    // --- squared-L2 over 64-dim descriptors ------------------------------
+    const std::size_t kDims = 64;
+    const std::size_t num_pairs =
+        static_cast<std::size_t>(200000.0 * scale);
+    std::vector<float> va(kDims * num_pairs), vb(kDims * num_pairs);
+    for (auto& x : va) x = static_cast<float>(rng.next_double() - 0.5);
+    for (auto& x : vb) x = static_cast<float>(rng.next_double() - 0.5);
+    double l2_sum_scalar = 0.0, l2_sum_dispatched = 0.0;
+    const double l2_scalar_s = best_of(kRounds, [&] {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < num_pairs; ++i) {
+            sum += scalar.l2_squared(va.data() + i * kDims,
+                                     vb.data() + i * kDims, kDims);
+        }
+        l2_sum_scalar = sum;
+    });
+    const double l2_dispatched_s = best_of(kRounds, [&] {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < num_pairs; ++i) {
+            sum += dispatched.l2_squared(va.data() + i * kDims,
+                                         vb.data() + i * kDims, kDims);
+        }
+        l2_sum_dispatched = sum;
+    });
+    if (std::memcmp(&l2_sum_scalar, &l2_sum_dispatched, sizeof(double)) !=
+        0) {
+        std::fprintf(stderr, "DETERMINISM VIOLATION: L2 scalar != "
+                             "dispatched\n");
+        return 1;
+    }
+
+    // --- CRC-32C over a 1 MiB buffer -------------------------------------
+    const std::size_t crc_bytes = ctr_bytes;
+    std::vector<std::uint8_t> crc_data(crc_bytes);
+    for (auto& b : crc_data) b = static_cast<std::uint8_t>(rng());
+    std::uint32_t crc_scalar = 0, crc_dispatched = 0;
+    const double crc_scalar_s = best_of(kRounds, [&] {
+        crc_scalar =
+            scalar.crc32c_update(0xFFFFFFFFu, crc_data.data(), crc_bytes);
+    });
+    const double crc_dispatched_s = best_of(kRounds, [&] {
+        crc_dispatched = dispatched.crc32c_update(0xFFFFFFFFu,
+                                                  crc_data.data(),
+                                                  crc_bytes);
+    });
+    if (crc_scalar != crc_dispatched) {
+        std::fprintf(stderr, "DETERMINISM VIOLATION: CRC-32C scalar != "
+                             "dispatched\n");
+        return 1;
+    }
+
+    const auto& cpu = kernels::cpu_features();
+    std::printf(
+        "{\n  \"bench\": \"micro_kernels\",\n"
+        "  \"active_level\": \"%s\",\n  \"max_level\": \"%s\",\n"
+        "  \"cpu\": {\"sse2\": %d, \"sse42\": %d, \"avx2\": %d, "
+        "\"fma\": %d, \"aesni\": %d, \"pclmul\": %d},\n"
+        "  \"kernels\": [\n",
+        kernels::level_name(kernels::active_level()),
+        kernels::level_name(kernels::max_level()), cpu.sse2 ? 1 : 0,
+        cpu.sse42 ? 1 : 0, cpu.avx2 ? 1 : 0, cpu.fma ? 1 : 0,
+        cpu.aesni ? 1 : 0, cpu.pclmul ? 1 : 0);
+    emit("aes_ctr", "MB/s", mb / ctr_scalar_s, mb / ctr_dispatched_s, true);
+    emit("l2_squared_64d", "dist/s",
+         static_cast<double>(num_pairs) / l2_scalar_s,
+         static_cast<double>(num_pairs) / l2_dispatched_s, false);
+    emit("crc32c", "MB/s", mb / crc_scalar_s, mb / crc_dispatched_s, false);
+    std::printf("\n  ]\n}\n");
+    return 0;
+}

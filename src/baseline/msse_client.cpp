@@ -6,6 +6,7 @@
 #include "crypto/ctr.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/kdf.hpp"
+#include "crypto/prf.hpp"
 #include "fusion/rank_fusion.hpp"
 #include "mie/object_codec.hpp"
 #include "net/envelope.hpp"
@@ -381,8 +382,11 @@ std::vector<SearchResult> MsseClient::search(
                 qt.value_key = derive_k2(rk2_, term);
                 qt.query_freq = freq;
                 qt.labels.reserve(counter_it->second);
+                // One keyed PRF per term: the HMAC midstate cache halves
+                // the compressions across the per-counter label loop.
+                crypto::Prf label_prf(k1);
                 for (std::uint64_t c = 0; c < counter_it->second; ++c) {
-                    qt.labels.push_back(index_label(k1, c));
+                    qt.labels.push_back(label_prf.eval_counter(c));
                 }
                 query_terms.push_back(std::move(qt));
             }

@@ -1,8 +1,11 @@
 // AES-128/AES-256 block cipher (FIPS 197), encryption direction only.
 //
 // CTR mode and the DRBG need only the forward permutation, so no inverse
-// cipher is implemented. Table-based software implementation; validated
-// against the FIPS 197 appendix vectors in the test suite.
+// cipher is implemented. Key expansion happens here; the per-block
+// permutation is dispatched through src/kernels (AES-NI when the CPU has
+// it, the table-based software path otherwise — bitwise-identical either
+// way). Validated against the FIPS 197 appendix vectors in the test suite
+// at every kernel level.
 #pragma once
 
 #include <array>
@@ -31,8 +34,19 @@ public:
         return out;
     }
 
+    /// Expanded key schedule in byte (wire) order, 16 * (rounds() + 1)
+    /// bytes — the layout the kernel layer consumes. Exposed so CTR mode
+    /// and the DRBG can drive the multi-block keystream kernels directly.
+    const std::uint8_t* round_key_bytes() const {
+        return round_key_bytes_.data();
+    }
+
+    /// 10 for AES-128, 14 for AES-256.
+    int rounds() const { return rounds_; }
+
 private:
-    std::array<std::uint32_t, 60> round_keys_{};
+    // 15 round keys (AES-256 worst case), byte order.
+    std::array<std::uint8_t, 16 * 15> round_key_bytes_{};
     int rounds_ = 0;
 };
 

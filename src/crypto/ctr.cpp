@@ -3,30 +3,64 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
+
 namespace mie::crypto {
 
-void AesCtr::transform(BytesView nonce, std::span<std::uint8_t> data) const {
-    if (nonce.size() != kNonceSize) {
+namespace {
+
+Aes::Block make_counter(BytesView nonce) {
+    if (nonce.size() != AesCtr::kNonceSize) {
         throw std::invalid_argument("AesCtr: nonce must be 16 bytes");
     }
     Aes::Block counter;
-    std::memcpy(counter.data(), nonce.data(), kNonceSize);
+    std::memcpy(counter.data(), nonce.data(), AesCtr::kNonceSize);
+    return counter;
+}
 
+}  // namespace
+
+AesCtr::Stream::Stream(const Aes& aes, BytesView nonce)
+    : aes_(&aes), counter_(make_counter(nonce)) {}
+
+void AesCtr::Stream::process(std::span<std::uint8_t> data) {
     std::size_t offset = 0;
-    while (offset < data.size()) {
-        Aes::Block keystream = counter;
-        aes_.encrypt_block(keystream.data());
-        const std::size_t take =
-            std::min(Aes::kBlockSize, data.size() - offset);
-        for (std::size_t i = 0; i < take; ++i) {
-            data[offset + i] ^= keystream[i];
-        }
-        offset += take;
-        // Increment the big-endian counter in the low 8 bytes.
+
+    // Drain keystream left over from a block-misaligned previous call.
+    while (keystream_pos_ < Aes::kBlockSize && offset < data.size()) {
+        data[offset++] ^= keystream_[keystream_pos_++];
+    }
+
+    // Bulk full blocks through the kernel (8-block AES-NI pipeline when
+    // available); it advances the counter past every block it consumes.
+    const std::size_t bulk =
+        ((data.size() - offset) / Aes::kBlockSize) * Aes::kBlockSize;
+    if (bulk > 0) {
+        kernels::table().aes_ctr64_xor(aes_->round_key_bytes(),
+                                       aes_->rounds(), counter_.data(),
+                                       data.data() + offset, bulk);
+        offset += bulk;
+    }
+
+    // Partial tail: generate one keystream block and keep the remainder
+    // for the next call.
+    if (offset < data.size()) {
+        keystream_ = counter_;
+        aes_->encrypt_block(keystream_.data());
         for (int i = 15; i >= 8; --i) {
-            if (++counter[static_cast<std::size_t>(i)] != 0) break;
+            if (++counter_[static_cast<std::size_t>(i)] != 0) break;
+        }
+        keystream_pos_ = 0;
+        while (offset < data.size()) {
+            data[offset++] ^= keystream_[keystream_pos_++];
         }
     }
+}
+
+void AesCtr::transform(BytesView nonce, std::span<std::uint8_t> data) const {
+    Aes::Block counter = make_counter(nonce);
+    kernels::table().aes_ctr64_xor(aes_.round_key_bytes(), aes_.rounds(),
+                                   counter.data(), data.data(), data.size());
 }
 
 Bytes AesCtr::seal(BytesView nonce, BytesView plaintext) const {

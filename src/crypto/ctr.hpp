@@ -4,6 +4,13 @@
 // encryption (AES in CTR mode, §III-A) and for MSSE's encrypted index
 // values. A fresh random nonce must be used per message; the convenience
 // wrappers in this header prepend the nonce to the ciphertext.
+//
+// The keystream is produced by the kernel layer (src/kernels): an 8-block
+// pipelined AES-NI path with word-wise XOR when the CPU supports it, a
+// bitwise-identical software path otherwise. `Stream` exposes the
+// incremental multi-block API — call process() repeatedly to encrypt a
+// message in arbitrary-sized chunks; the byte stream is identical to a
+// single transform() over the concatenation.
 #pragma once
 
 #include "crypto/aes.hpp"
@@ -15,8 +22,30 @@ class AesCtr {
 public:
     static constexpr std::size_t kNonceSize = 16;
 
+    /// Incremental CTR keystream over one (key, nonce) pair. The counter
+    /// occupies the low 8 bytes of the nonce block (big-endian, wrapping
+    /// without carrying into the high 8 nonce bytes).
+    class Stream {
+    public:
+        Stream(const Aes& aes, BytesView nonce);
+
+        /// XORs the next `data.size()` keystream bytes into `data`.
+        /// Chunk boundaries are arbitrary: block-misaligned calls carry
+        /// the partial keystream block over to the next call.
+        void process(std::span<std::uint8_t> data);
+
+    private:
+        const Aes* aes_;
+        Aes::Block counter_;
+        Aes::Block keystream_;
+        std::size_t keystream_pos_ = Aes::kBlockSize;  // empty
+    };
+
     /// Key must be 16 or 32 bytes.
     explicit AesCtr(BytesView key) : aes_(key) {}
+
+    /// Starts an incremental keystream at (nonce, counter 0).
+    Stream stream(BytesView nonce) const { return Stream(aes_, nonce); }
 
     /// XORs the keystream for (nonce, starting counter 0) into `data`.
     void transform(BytesView nonce, std::span<std::uint8_t> data) const;

@@ -6,6 +6,7 @@
 #include <random>
 
 #include "crypto/sha256.hpp"
+#include "kernels/kernels.hpp"
 
 namespace mie::crypto {
 
@@ -19,21 +20,22 @@ Bytes seed_to_key(BytesView seed) {
 CtrDrbg::CtrDrbg(BytesView seed) : aes_(seed_to_key(seed)) {}
 
 void CtrDrbg::refill() {
-    // Increment the 128-bit big-endian counter and encrypt it.
-    for (int i = 15; i >= 0; --i) {
-        if (++counter_[static_cast<std::size_t>(i)] != 0) break;
-    }
-    buffer_ = counter_;
-    aes_.encrypt_block(buffer_.data());
+    // Batch-generate kRefillBlocks keystream blocks: the kernel increments
+    // the 128-bit big-endian counter before each encryption, exactly the
+    // single-block schedule this DRBG always used, so the output stream is
+    // unchanged — AES-NI just pipelines the blocks.
+    kernels::table().aes_ctr128_keystream(aes_.round_key_bytes(),
+                                          aes_.rounds(), counter_.data(),
+                                          buffer_.data(), kRefillBlocks);
     buffer_pos_ = 0;
 }
 
 void CtrDrbg::generate(std::span<std::uint8_t> out) {
     std::size_t offset = 0;
     while (offset < out.size()) {
-        if (buffer_pos_ == Aes::kBlockSize) refill();
+        if (buffer_pos_ == buffer_.size()) refill();
         const std::size_t take =
-            std::min(Aes::kBlockSize - buffer_pos_, out.size() - offset);
+            std::min(buffer_.size() - buffer_pos_, out.size() - offset);
         std::memcpy(out.data() + offset, buffer_.data() + buffer_pos_, take);
         buffer_pos_ += take;
         offset += take;

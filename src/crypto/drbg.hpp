@@ -43,12 +43,17 @@ public:
     std::uint64_t next_below(std::uint64_t bound);
 
 private:
+    // Keystream blocks generated per refill; matches the kernel layer's
+    // AES-NI pipeline width. The output byte stream is independent of the
+    // batch size (block i is always E(counter + i)).
+    static constexpr std::size_t kRefillBlocks = 8;
+
     void refill();
 
     Aes aes_;
     Aes::Block counter_{};
-    Aes::Block buffer_{};
-    std::size_t buffer_pos_ = Aes::kBlockSize;  // force refill on first use
+    std::array<std::uint8_t, kRefillBlocks * Aes::kBlockSize> buffer_{};
+    std::size_t buffer_pos_ = buffer_.size();  // force refill on first use
     bool have_spare_gaussian_ = false;
     double spare_gaussian_ = 0.0;
 };

@@ -17,6 +17,11 @@ public:
     using Digest = typename Hash::Digest;
 
     /// Initializes HMAC with `key` (any length; hashed if over block size).
+    /// The ipad/opad blocks are compressed once here and the resulting
+    /// midstates cached, so every subsequent message costs 2 compressions
+    /// instead of 4 — the win for short-message PRF workloads like
+    /// per-keyword index-token derivation, which reuse one keyed instance
+    /// via reset().
     explicit Hmac(BytesView key) {
         std::array<std::uint8_t, Hash::kBlockSize> block{};
         if (key.size() > Hash::kBlockSize) {
@@ -25,11 +30,14 @@ public:
         } else {
             std::copy(key.begin(), key.end(), block.begin());
         }
-        for (std::size_t i = 0; i < block.size(); ++i) {
-            ipad_[i] = block[i] ^ 0x36;
-            opad_[i] = block[i] ^ 0x5c;
-        }
-        inner_.update(BytesView(ipad_.data(), ipad_.size()));
+        std::array<std::uint8_t, Hash::kBlockSize> pad;
+        for (std::size_t i = 0; i < block.size(); ++i) pad[i] = block[i] ^ 0x36;
+        inner_.update(BytesView(pad.data(), pad.size()));
+        for (std::size_t i = 0; i < block.size(); ++i) pad[i] = block[i] ^ 0x5c;
+        outer_keyed_.update(BytesView(pad.data(), pad.size()));
+        // update() with exactly one block compresses eagerly, so these
+        // snapshots hold post-pad midstates, not buffered bytes.
+        inner_keyed_ = inner_;
     }
 
     /// Absorbs message data.
@@ -38,17 +46,14 @@ public:
     /// Finalizes the MAC; the object may be reused after reset().
     Digest finalize() {
         const Digest inner_digest = inner_.finalize();
-        Hash outer;
-        outer.update(BytesView(opad_.data(), opad_.size()));
+        Hash outer = outer_keyed_;
         outer.update(BytesView(inner_digest.data(), inner_digest.size()));
         return outer.finalize();
     }
 
-    /// Restores the keyed initial state for another message.
-    void reset() {
-        inner_.reset();
-        inner_.update(BytesView(ipad_.data(), ipad_.size()));
-    }
+    /// Restores the keyed initial state for another message from the
+    /// cached midstate (no recompression of the padded key block).
+    void reset() { inner_ = inner_keyed_; }
 
     /// One-shot convenience.
     static Digest mac(BytesView key, BytesView data) {
@@ -58,9 +63,9 @@ public:
     }
 
 private:
-    Hash inner_;
-    std::array<std::uint8_t, Hash::kBlockSize> ipad_{};
-    std::array<std::uint8_t, Hash::kBlockSize> opad_{};
+    Hash inner_;        // running state of the current message
+    Hash inner_keyed_;  // midstate after compressing key ^ ipad
+    Hash outer_keyed_;  // midstate after compressing key ^ opad
 };
 
 }  // namespace mie::crypto

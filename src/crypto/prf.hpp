@@ -18,6 +18,35 @@ inline Bytes prf_sha1(BytesView key, BytesView input) {
     return Bytes(d.begin(), d.end());
 }
 
+/// Keyed HMAC-SHA1 PRF instance for hot loops that evaluate many inputs
+/// under one key (per-keyword token derivation, per-counter index labels).
+/// Reuses the HMAC ipad/opad midstates cached at keying time, so each
+/// evaluation of a short input costs 2 SHA-1 compressions instead of 4.
+/// Not thread-safe; keep one instance per thread/loop.
+class Prf {
+public:
+    explicit Prf(BytesView key) : hmac_(key) {}
+
+    Bytes eval(BytesView input) {
+        hmac_.reset();
+        hmac_.update(input);
+        const auto d = hmac_.finalize();
+        return Bytes(d.begin(), d.end());
+    }
+
+    /// PRF of a 64-bit little-endian counter (MSSE index labels).
+    Bytes eval_counter(std::uint64_t counter) {
+        std::uint8_t raw[8];
+        for (int i = 0; i < 8; ++i) {
+            raw[i] = static_cast<std::uint8_t>(counter >> (8 * i));
+        }
+        return eval(BytesView(raw, 8));
+    }
+
+private:
+    Hmac<Sha1> hmac_;
+};
+
 /// HMAC-SHA256 PRF for callers wanting 256-bit outputs.
 inline Bytes prf_sha256(BytesView key, BytesView input) {
     const auto d = Hmac<Sha256>::mac(key, input);

@@ -8,6 +8,7 @@
 #include "crypto/drbg.hpp"
 #include "crypto/kdf.hpp"
 #include "exec/exec.hpp"
+#include "kernels/kernels.hpp"
 
 namespace mie::dpe {
 
@@ -84,12 +85,13 @@ BitCode DenseDpe::encode(const features::FeatureVec& plaintext) const {
     }
     BitCode code(key_.output_bits);
     const double inv_delta = 1.0 / key_.delta;
+    const auto& dot_kernel = kernels::table().dot;
     for (std::size_t m = 0; m < key_.output_bits; ++m) {
+        // Projection row dot product through the dispatched SIMD kernel
+        // (canonical blocked order: same bits at every kernel level).
         const float* row = matrix_.data() + m * key_.input_dims;
-        double dot = 0.0;
-        for (std::size_t n = 0; n < key_.input_dims; ++n) {
-            dot += static_cast<double>(row[n]) * plaintext[n];
-        }
+        const double dot =
+            dot_kernel(row, plaintext.data(), key_.input_dims);
         // Q(.): values in [2v, 2v+1) -> 1, [2v+1, 2v+2) -> 0, i.e. bit is
         // the complemented parity of floor((A x + w) / Δ).
         const double q = (dot + dither_[m]) * inv_delta;

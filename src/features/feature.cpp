@@ -2,18 +2,18 @@
 
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
+
 namespace mie::features {
 
 double squared_distance(const FeatureVec& a, const FeatureVec& b) {
     if (a.size() != b.size()) {
         throw std::invalid_argument("squared_distance: dimension mismatch");
     }
-    double sum = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const double d = static_cast<double>(a[i]) - b[i];
-        sum += d * d;
-    }
-    return sum;
+    // Dispatched SIMD kernel; every level computes the same canonical
+    // 4-wide blocked summation, so results are bitwise-identical whether
+    // this runs scalar (mobile fallback) or AVX2 (server training/search).
+    return kernels::table().l2_squared(a.data(), b.data(), a.size());
 }
 
 double euclidean_distance(const FeatureVec& a, const FeatureVec& b) {
@@ -21,9 +21,7 @@ double euclidean_distance(const FeatureVec& a, const FeatureVec& b) {
 }
 
 double norm(const FeatureVec& v) {
-    double sum = 0.0;
-    for (float x : v) sum += static_cast<double>(x) * x;
-    return std::sqrt(sum);
+    return std::sqrt(kernels::table().dot(v.data(), v.data(), v.size()));
 }
 
 void normalize(FeatureVec& v) {

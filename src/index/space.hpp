@@ -22,6 +22,9 @@ struct EuclideanSpace {
 
     static double distance(const Point& a, const Point& b) {
         // Squared distance preserves nearest-neighbor order and is cheaper.
+        // Dispatches to the SIMD L2 kernel (src/kernels) — k-means assign/
+        // update and vocab-tree builds inherit the speedup with bitwise-
+        // identical results at every kernel level.
         return features::squared_distance(a, b);
     }
 

@@ -1,0 +1,157 @@
+// Kernel dispatch: cpuid feature detection, the scalar<sse2<avx2<native
+// ladder, MIE_KERNEL_LEVEL resolution, and per-level function tables.
+#include "kernels/kernels.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/kernels_internal.hpp"
+
+namespace mie::kernels {
+
+namespace {
+
+CpuFeatures detect() {
+    CpuFeatures f;
+#ifdef MIE_KERNELS_X86
+    f.sse2 = __builtin_cpu_supports("sse2");
+    f.sse42 = __builtin_cpu_supports("sse4.2");
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.fma = __builtin_cpu_supports("fma");
+    f.aesni = __builtin_cpu_supports("aes");
+    f.pclmul = __builtin_cpu_supports("pclmul");
+#endif
+    return f;
+}
+
+// The instruction sets a ladder level is ALLOWED to use, intersected with
+// what the CPU actually has. `native` is simply "everything detected".
+CpuFeatures caps_for(Level level) {
+    const CpuFeatures& hw = cpu_features();
+    CpuFeatures caps;  // scalar: nothing
+    switch (level) {
+        case Level::kScalar:
+            break;
+        case Level::kSse2:
+            caps.sse2 = hw.sse2;
+            break;
+        case Level::kAvx2:
+            caps.sse2 = hw.sse2;
+            caps.sse42 = hw.sse42;
+            caps.avx2 = hw.avx2;
+            caps.fma = hw.fma;
+            break;
+        case Level::kNative:
+            caps = hw;
+            break;
+    }
+    return caps;
+}
+
+KernelTable make_table(Level level) {
+    const CpuFeatures caps = caps_for(level);
+    KernelTable t;
+    t.aes_encrypt_block = detail::aes_encrypt_block_scalar;
+    t.aes_ctr64_xor = detail::aes_ctr64_xor_scalar;
+    t.aes_ctr128_keystream = detail::aes_ctr128_keystream_scalar;
+    t.l2_squared = detail::l2_squared_scalar;
+    t.dot = detail::dot_scalar;
+    t.crc32c_update = detail::crc32c_update_scalar;
+#ifdef MIE_KERNELS_X86
+    if (caps.aesni) {
+        t.aes_encrypt_block = detail::aes_encrypt_block_aesni;
+        t.aes_ctr64_xor = detail::aes_ctr64_xor_aesni;
+        t.aes_ctr128_keystream = detail::aes_ctr128_keystream_aesni;
+    }
+    if (caps.avx2) {
+        t.l2_squared = detail::l2_squared_avx2;
+        t.dot = detail::dot_avx2;
+    } else if (caps.sse2) {
+        t.l2_squared = detail::l2_squared_sse2;
+        t.dot = detail::dot_sse2;
+    }
+    if (caps.sse42) {
+        t.crc32c_update = detail::crc32c_update_sse42;
+    }
+#endif
+    return t;
+}
+
+struct Tables {
+    KernelTable per_level[kNumLevels];
+    Tables() {
+        for (int i = 0; i < kNumLevels; ++i) {
+            per_level[i] = make_table(static_cast<Level>(i));
+        }
+    }
+};
+
+const Tables& tables() {
+    static const Tables t;
+    return t;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+    static const CpuFeatures f = detect();
+    return f;
+}
+
+Level max_level() {
+    const CpuFeatures& f = cpu_features();
+    if (f.aesni || f.pclmul) return Level::kNative;
+    if (f.avx2 || f.sse42) return Level::kAvx2;
+    if (f.sse2) return Level::kSse2;
+    return Level::kScalar;
+}
+
+bool parse_level(const char* text, Level* out) {
+    if (text == nullptr) return false;
+    if (std::strcmp(text, "scalar") == 0) {
+        *out = Level::kScalar;
+    } else if (std::strcmp(text, "sse2") == 0) {
+        *out = Level::kSse2;
+    } else if (std::strcmp(text, "avx2") == 0) {
+        *out = Level::kAvx2;
+    } else if (std::strcmp(text, "native") == 0) {
+        *out = Level::kNative;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+Level resolve_level(const char* env_text) {
+    Level parsed = Level::kNative;
+    parse_level(env_text, &parsed);  // unparseable/absent -> native
+    return parsed < max_level() ? parsed : max_level();
+}
+
+Level active_level() {
+    static const Level level = resolve_level(std::getenv("MIE_KERNEL_LEVEL"));
+    return level;
+}
+
+const char* level_name(Level level) {
+    switch (level) {
+        case Level::kScalar: return "scalar";
+        case Level::kSse2: return "sse2";
+        case Level::kAvx2: return "avx2";
+        case Level::kNative: return "native";
+    }
+    return "?";
+}
+
+const KernelTable& table_for(Level level) {
+    const Level max = max_level();
+    const Level clamped = level < max ? level : max;
+    return tables().per_level[static_cast<int>(clamped)];
+}
+
+const KernelTable& table() {
+    static const KernelTable& t = table_for(active_level());
+    return t;
+}
+
+}  // namespace mie::kernels

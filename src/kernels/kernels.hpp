@@ -1,0 +1,123 @@
+// Runtime-dispatched SIMD/hardware kernels for the hot paths that dominate
+// every figure in the paper: AES-CTR encryption (Figs. 2-3 Encrypt bars,
+// MSSE index values), Euclidean distance (k-means training, vocab-tree
+// build, linear_search), the Dense-DPE projection dot product, and CRC-32C
+// (net/frame wire framing and the store WAL).
+//
+// Design contract — determinism first:
+//   * A kernel level NEVER changes results, only speed. Integer kernels
+//     (AES, CTR, CRC) are trivially bitwise-identical at every level. The
+//     floating-point kernels (l2_squared, dot) pin a single canonical
+//     summation order — 4-wide blocked partials over doubles, reduced as
+//     (acc0 + acc1) + (acc2 + acc3) — which the scalar fallback and every
+//     SIMD variant implement with the same elementwise IEEE operations
+//     (cvt, sub, mul, add; no FMA contraction). This preserves the
+//     bitwise-determinism guarantees of the exec runtime (DESIGN.md §7) at
+//     every kernel level and thread count.
+//   * Dispatch is resolved once per process from cpuid, clamped by the
+//     env override MIE_KERNEL_LEVEL=scalar|sse2|avx2|native (used by tests
+//     and CI to keep fallback paths exercised).
+//
+// The library is dependency-free (raw pointers only) so util/, crypto/,
+// features/, and dpe/ can all link against it. See DESIGN.md §10 for the
+// dispatch ladder and how to add a new kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mie::kernels {
+
+/// Dispatch ladder. Each level enables the instruction sets of the levels
+/// below it; `kNative` means "everything cpuid reports".
+///   scalar : portable C++ only
+///   sse2   : + SSE2 (2-wide double SIMD for l2/dot)
+///   avx2   : + SSE4.2 (hw CRC-32C), AVX2+FMA (4-wide double SIMD)
+///   native : + AES-NI, PCLMUL (hardware AES block/CTR pipeline)
+enum class Level : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNative = 3 };
+
+inline constexpr int kNumLevels = 4;
+
+/// CPU capabilities detected at runtime (all false on non-x86-64).
+struct CpuFeatures {
+    bool sse2 = false;
+    bool sse42 = false;
+    bool avx2 = false;
+    bool fma = false;
+    bool aesni = false;
+    bool pclmul = false;
+};
+
+/// Cached cpuid probe.
+const CpuFeatures& cpu_features();
+
+/// Highest ladder level this CPU fully supports.
+Level max_level();
+
+/// Parses "scalar" / "sse2" / "avx2" / "native" into `*out`; returns false
+/// (and leaves `*out` untouched) for anything else, including nullptr.
+bool parse_level(const char* text, Level* out);
+
+/// Resolves an MIE_KERNEL_LEVEL-style override against the hardware:
+/// min(parsed level, max_level()). nullptr or an unparseable string
+/// resolves to max_level() (i.e. native). Pure function, exposed for
+/// tests; `active_level()` is this applied to the real environment.
+Level resolve_level(const char* env_text);
+
+/// The level this process dispatches at: resolve_level(getenv(
+/// "MIE_KERNEL_LEVEL")), computed once and cached.
+Level active_level();
+
+/// Human-readable level name ("scalar", "sse2", "avx2", "native").
+const char* level_name(Level level);
+
+/// One dispatch table per level. Function pointers are chosen as the best
+/// implementation whose instruction set is enabled at that level AND
+/// present on this CPU, so calling through any table is always safe.
+struct KernelTable {
+    /// AES forward permutation on one 16-byte block, in place.
+    /// `round_keys` is the expanded schedule in byte (wire) order,
+    /// 16 * (rounds + 1) bytes; rounds is 10 (AES-128) or 14 (AES-256).
+    void (*aes_encrypt_block)(const std::uint8_t* round_keys, int rounds,
+                              std::uint8_t* block);
+
+    /// CTR-mode XOR with SP 800-38A semantics as used by crypto::AesCtr:
+    /// keystream block i = E(counter), then the big-endian 64-bit word in
+    /// counter[8..15] is incremented (wrapping; bytes 0..7 never carry).
+    /// Processes `len` bytes of `data` (final block may be partial) and
+    /// leaves `counter` advanced past every consumed block.
+    void (*aes_ctr64_xor)(const std::uint8_t* round_keys, int rounds,
+                          std::uint8_t counter[16], std::uint8_t* data,
+                          std::size_t len);
+
+    /// DRBG-style keystream: for each of `blocks` output blocks the full
+    /// 128-bit big-endian counter is incremented first, then encrypted
+    /// into `out` (so out block i = E(counter + i + 1)); `counter` is left
+    /// at its final value.
+    void (*aes_ctr128_keystream)(const std::uint8_t* round_keys, int rounds,
+                                 std::uint8_t counter[16], std::uint8_t* out,
+                                 std::size_t blocks);
+
+    /// Squared L2 distance between float vectors in the canonical 4-wide
+    /// blocked order (see file header). n == 0 returns 0.0.
+    double (*l2_squared)(const float* a, const float* b, std::size_t n);
+
+    /// Dot product of float vectors, same canonical order as l2_squared.
+    double (*dot)(const float* a, const float* b, std::size_t n);
+
+    /// Incremental CRC-32C (Castagnoli) update; same contract as
+    /// mie::crc32c_update.
+    std::uint32_t (*crc32c_update)(std::uint32_t state,
+                                   const std::uint8_t* data,
+                                   std::size_t len);
+};
+
+/// Dispatch table for the active level (cached).
+const KernelTable& table();
+
+/// Dispatch table for an explicit level, clamped to max_level(). Used by
+/// the equivalence tests and bench/micro_kernels to pin a level without
+/// touching global state.
+const KernelTable& table_for(Level level);
+
+}  // namespace mie::kernels

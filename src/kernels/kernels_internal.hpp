@@ -1,0 +1,51 @@
+// Per-implementation kernel entry points shared between the dispatch
+// table (dispatch.cpp) and the implementation TUs. Not installed API —
+// callers go through kernels::table().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define MIE_KERNELS_X86 1
+#endif
+
+namespace mie::kernels::detail {
+
+// --- scalar reference implementations (every platform) ------------------
+void aes_encrypt_block_scalar(const std::uint8_t* round_keys, int rounds,
+                              std::uint8_t* block);
+void aes_ctr64_xor_scalar(const std::uint8_t* round_keys, int rounds,
+                          std::uint8_t counter[16], std::uint8_t* data,
+                          std::size_t len);
+void aes_ctr128_keystream_scalar(const std::uint8_t* round_keys, int rounds,
+                                 std::uint8_t counter[16], std::uint8_t* out,
+                                 std::size_t blocks);
+double l2_squared_scalar(const float* a, const float* b, std::size_t n);
+double dot_scalar(const float* a, const float* b, std::size_t n);
+std::uint32_t crc32c_update_scalar(std::uint32_t state,
+                                   const std::uint8_t* data, std::size_t len);
+
+// Shared helpers for the CTR kernels' partial-tail / carry handling.
+std::uint64_t load_be64(const std::uint8_t* p);
+void store_be64(std::uint8_t* p, std::uint64_t v);
+
+#ifdef MIE_KERNELS_X86
+// --- x86-64 accelerated implementations ---------------------------------
+void aes_encrypt_block_aesni(const std::uint8_t* round_keys, int rounds,
+                             std::uint8_t* block);
+void aes_ctr64_xor_aesni(const std::uint8_t* round_keys, int rounds,
+                         std::uint8_t counter[16], std::uint8_t* data,
+                         std::size_t len);
+void aes_ctr128_keystream_aesni(const std::uint8_t* round_keys, int rounds,
+                                std::uint8_t counter[16], std::uint8_t* out,
+                                std::size_t blocks);
+double l2_squared_sse2(const float* a, const float* b, std::size_t n);
+double dot_sse2(const float* a, const float* b, std::size_t n);
+double l2_squared_avx2(const float* a, const float* b, std::size_t n);
+double dot_avx2(const float* a, const float* b, std::size_t n);
+std::uint32_t crc32c_update_sse42(std::uint32_t state,
+                                  const std::uint8_t* data, std::size_t len);
+#endif  // MIE_KERNELS_X86
+
+}  // namespace mie::kernels::detail

@@ -1,0 +1,146 @@
+// Euclidean (squared-L2) distance and dot-product kernels over float
+// vectors, accumulated in doubles.
+//
+// Determinism contract: all variants compute the SAME canonical 4-wide
+// blocked summation — lane j accumulates elements i+j (i stepping by 4) as
+// acc_j += op(a, b) with plain IEEE double sub/mul/add (no FMA: none of
+// these functions enables the FMA ISA, so the compiler cannot contract
+// mul+add), the 0..3 leftover elements fold into lanes 0..2 in order, and
+// the final reduction is (acc0 + acc1) + (acc2 + acc3). Every SIMD variant
+// performs the identical elementwise IEEE operations per lane, so results
+// are bitwise-equal across scalar/SSE2/AVX2 at any vector length.
+#include "kernels/kernels_internal.hpp"
+
+#ifdef MIE_KERNELS_X86
+#include <immintrin.h>
+#endif
+
+namespace mie::kernels::detail {
+
+namespace {
+
+// Folds the tail (n4..n) into the lane accumulators and reduces in the
+// canonical order. Shared by every variant so the order cannot drift.
+template <bool kSquared>
+double finish_lanes(double acc[4], const float* a, const float* b,
+                    std::size_t n4, std::size_t n) {
+    for (std::size_t i = n4; i < n; ++i) {
+        const double x = static_cast<double>(a[i]);
+        const double y = static_cast<double>(b[i]);
+        if constexpr (kSquared) {
+            const double d = x - y;
+            acc[i - n4] += d * d;
+        } else {
+            acc[i - n4] += x * y;
+        }
+    }
+    return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+}  // namespace
+
+double l2_squared_scalar(const float* a, const float* b, std::size_t n) {
+    double acc[4] = {0.0, 0.0, 0.0, 0.0};
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < n4; i += 4) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            const double d = static_cast<double>(a[i + j]) -
+                             static_cast<double>(b[i + j]);
+            acc[j] += d * d;
+        }
+    }
+    return finish_lanes<true>(acc, a, b, n4, n);
+}
+
+double dot_scalar(const float* a, const float* b, std::size_t n) {
+    double acc[4] = {0.0, 0.0, 0.0, 0.0};
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < n4; i += 4) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            acc[j] += static_cast<double>(a[i + j]) *
+                      static_cast<double>(b[i + j]);
+        }
+    }
+    return finish_lanes<false>(acc, a, b, n4, n);
+}
+
+#ifdef MIE_KERNELS_X86
+
+__attribute__((target("sse2"))) double l2_squared_sse2(const float* a,
+                                                       const float* b,
+                                                       std::size_t n) {
+    __m128d acc01 = _mm_setzero_pd();  // lanes 0,1
+    __m128d acc23 = _mm_setzero_pd();  // lanes 2,3
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const __m128 fa = _mm_loadu_ps(a + i);
+        const __m128 fb = _mm_loadu_ps(b + i);
+        const __m128d dlo =
+            _mm_sub_pd(_mm_cvtps_pd(fa), _mm_cvtps_pd(fb));
+        const __m128d dhi =
+            _mm_sub_pd(_mm_cvtps_pd(_mm_movehl_ps(fa, fa)),
+                       _mm_cvtps_pd(_mm_movehl_ps(fb, fb)));
+        acc01 = _mm_add_pd(acc01, _mm_mul_pd(dlo, dlo));
+        acc23 = _mm_add_pd(acc23, _mm_mul_pd(dhi, dhi));
+    }
+    double acc[4];
+    _mm_storeu_pd(acc, acc01);
+    _mm_storeu_pd(acc + 2, acc23);
+    return finish_lanes<true>(acc, a, b, n4, n);
+}
+
+__attribute__((target("sse2"))) double dot_sse2(const float* a,
+                                                const float* b,
+                                                std::size_t n) {
+    __m128d acc01 = _mm_setzero_pd();
+    __m128d acc23 = _mm_setzero_pd();
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const __m128 fa = _mm_loadu_ps(a + i);
+        const __m128 fb = _mm_loadu_ps(b + i);
+        acc01 = _mm_add_pd(
+            acc01, _mm_mul_pd(_mm_cvtps_pd(fa), _mm_cvtps_pd(fb)));
+        acc23 = _mm_add_pd(
+            acc23, _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(fa, fa)),
+                              _mm_cvtps_pd(_mm_movehl_ps(fb, fb))));
+    }
+    double acc[4];
+    _mm_storeu_pd(acc, acc01);
+    _mm_storeu_pd(acc + 2, acc23);
+    return finish_lanes<false>(acc, a, b, n4, n);
+}
+
+__attribute__((target("avx2"))) double l2_squared_avx2(const float* a,
+                                                       const float* b,
+                                                       std::size_t n) {
+    __m256d vacc = _mm256_setzero_pd();
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const __m256d va = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+        const __m256d vb = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+        const __m256d d = _mm256_sub_pd(va, vb);
+        vacc = _mm256_add_pd(vacc, _mm256_mul_pd(d, d));
+    }
+    double acc[4];
+    _mm256_storeu_pd(acc, vacc);
+    return finish_lanes<true>(acc, a, b, n4, n);
+}
+
+__attribute__((target("avx2"))) double dot_avx2(const float* a,
+                                                const float* b,
+                                                std::size_t n) {
+    __m256d vacc = _mm256_setzero_pd();
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const __m256d va = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+        const __m256d vb = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+        vacc = _mm256_add_pd(vacc, _mm256_mul_pd(va, vb));
+    }
+    double acc[4];
+    _mm256_storeu_pd(acc, vacc);
+    return finish_lanes<false>(acc, a, b, n4, n);
+}
+
+#endif  // MIE_KERNELS_X86
+
+}  // namespace mie::kernels::detail

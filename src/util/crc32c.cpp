@@ -1,102 +1,23 @@
 #include "util/crc32c.hpp"
 
-#include <array>
-#include <cstring>
-
-#if defined(__x86_64__) || defined(_M_X64)
-#include <nmmintrin.h>
-#define MIE_CRC32C_X86 1
-#endif
+#include "kernels/kernels.hpp"
 
 namespace mie {
 
-namespace {
-
-constexpr std::uint32_t kPolynomial = 0x82F63B78u;
-
-// Slice-by-8: table[0] is the classic byte-at-a-time table; table[k]
-// advances a byte through k additional zero bytes, letting the loop fold
-// eight input bytes per iteration instead of one.
-constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
-    std::array<std::array<std::uint32_t, 256>, 8> tables{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-        std::uint32_t c = i;
-        for (int bit = 0; bit < 8; ++bit) {
-            c = (c & 1u) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
-        }
-        tables[0][i] = c;
-    }
-    for (std::uint32_t i = 0; i < 256; ++i) {
-        std::uint32_t c = tables[0][i];
-        for (std::size_t k = 1; k < 8; ++k) {
-            c = tables[0][c & 0xFFu] ^ (c >> 8);
-            tables[k][i] = c;
-        }
-    }
-    return tables;
-}
-
-const auto& tables() {
-    static constexpr auto kTables = make_tables();
-    return kTables;
-}
-
-#ifdef MIE_CRC32C_X86
-
-__attribute__((target("sse4.2"))) std::uint32_t crc32c_update_hw(
-    std::uint32_t state, BytesView data) {
-    const std::uint8_t* p = data.data();
-    std::size_t n = data.size();
-    std::uint64_t crc = state;
-    while (n >= 8) {
-        std::uint64_t chunk;
-        std::memcpy(&chunk, p, 8);
-        crc = _mm_crc32_u64(crc, chunk);
-        p += 8;
-        n -= 8;
-    }
-    std::uint32_t crc32 = static_cast<std::uint32_t>(crc);
-    while (n-- > 0) crc32 = _mm_crc32_u8(crc32, *p++);
-    return crc32;
-}
-
-bool cpu_has_sse42() { return __builtin_cpu_supports("sse4.2"); }
-
-#endif  // MIE_CRC32C_X86
-
-}  // namespace
+// Both implementations (slice-by-8 and the SSE4.2 `crc32` instruction)
+// live in src/kernels; this wrapper keeps the historical util/ API and
+// routes through the dispatch ladder so MIE_KERNEL_LEVEL governs the WAL
+// and wire-framing checksums like every other kernel.
 
 std::uint32_t crc32c_update_software(std::uint32_t state, BytesView data) {
-    const auto& t = tables();
-    const std::uint8_t* p = data.data();
-    std::size_t n = data.size();
-    while (n >= 8) {
-        std::uint32_t low;
-        std::uint32_t high;
-        std::memcpy(&low, p, 4);
-        std::memcpy(&high, p + 4, 4);
-        low ^= state;
-        state = t[7][low & 0xFFu] ^ t[6][(low >> 8) & 0xFFu] ^
-                t[5][(low >> 16) & 0xFFu] ^ t[4][low >> 24] ^
-                t[3][high & 0xFFu] ^ t[2][(high >> 8) & 0xFFu] ^
-                t[1][(high >> 16) & 0xFFu] ^ t[0][high >> 24];
-        p += 8;
-        n -= 8;
-    }
-    while (n-- > 0) {
-        state = t[0][(state ^ *p++) & 0xFFu] ^ (state >> 8);
-    }
-    return state;
+    return kernels::table_for(kernels::Level::kScalar)
+        .crc32c_update(state, data.data(), data.size());
 }
 
 std::uint32_t crc32c_init() { return 0xFFFFFFFFu; }
 
 std::uint32_t crc32c_update(std::uint32_t state, BytesView data) {
-#ifdef MIE_CRC32C_X86
-    static const bool hw = cpu_has_sse42();
-    if (hw) return crc32c_update_hw(state, data);
-#endif
-    return crc32c_update_software(state, data);
+    return kernels::table().crc32c_update(state, data.data(), data.size());
 }
 
 std::uint32_t crc32c_final(std::uint32_t state) {

@@ -2,10 +2,12 @@
 //
 // The write-ahead log checksums every record payload on the hot path, so
 // it uses this variant: x86-64 CPUs since Nehalem evaluate it in hardware
-// (SSE4.2 `crc32` instruction, ~10 bytes/cycle), detected at runtime with
-// a slice-by-8 table fallback everywhere else. Same corruption-detection
-// strength and threat model as util/crc32.hpp (disk/crash corruption, not
-// an adversary); the two differ only in polynomial and speed.
+// (SSE4.2 `crc32` instruction, ~10 bytes/cycle), with a slice-by-8 table
+// fallback everywhere else. The implementation choice goes through the
+// src/kernels dispatch ladder (cpuid + MIE_KERNEL_LEVEL override). Same
+// corruption-detection strength and threat model as util/crc32.hpp
+// (disk/crash corruption, not an adversary); the two differ only in
+// polynomial and speed.
 #pragma once
 
 #include <cstdint>

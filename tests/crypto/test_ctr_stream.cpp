@@ -1,0 +1,145 @@
+// AesCtr::Stream — the incremental multi-block CTR API. Chunked
+// processing must reproduce the one-shot transform() byte stream for
+// every chunking, including chunks that straddle block boundaries and
+// counters that wrap a 32-bit word or the full 64-bit counter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/ctr.hpp"
+#include "util/rng.hpp"
+
+namespace mie::crypto {
+namespace {
+
+Bytes random_bytes(SplitMix64& rng, std::size_t n) {
+    Bytes out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+    return out;
+}
+
+// Sets the trailing 64-bit big-endian counter of a 16-byte nonce.
+Bytes nonce_with_counter(std::uint64_t start) {
+    Bytes nonce(16, 0xA5);
+    for (int i = 0; i < 8; ++i) {
+        nonce[8 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(start >> (8 * (7 - i)));
+    }
+    return nonce;
+}
+
+TEST(CtrStream, ChunkedMatchesOneShot) {
+    SplitMix64 rng(77);
+    const AesCtr cipher(Bytes(16, 0x42));
+    const Bytes nonce = random_bytes(rng, 16);
+    const Bytes plain = random_bytes(rng, 611);
+
+    Bytes expected = plain;
+    cipher.transform(nonce, std::span(expected));
+
+    // Several chunkings, all crossing block boundaries at odd offsets.
+    const std::vector<std::vector<std::size_t>> chunkings = {
+        {611},
+        {1, 610},
+        {15, 1, 16, 17, 562},
+        {7, 13, 31, 64, 128, 368},
+        {16, 16, 16, 563},
+    };
+    for (const auto& chunking : chunkings) {
+        Bytes got = plain;
+        auto stream = cipher.stream(nonce);
+        std::size_t offset = 0;
+        for (const std::size_t len : chunking) {
+            stream.process(std::span(got).subspan(offset, len));
+            offset += len;
+        }
+        ASSERT_EQ(offset, got.size());
+        EXPECT_EQ(expected, got);
+    }
+}
+
+TEST(CtrStream, EveryChunkSizeMatches) {
+    SplitMix64 rng(78);
+    const AesCtr cipher(Bytes(32, 0x17));  // AES-256 path too
+    const Bytes nonce = random_bytes(rng, 16);
+    const Bytes plain = random_bytes(rng, 200);
+    Bytes expected = plain;
+    cipher.transform(nonce, std::span(expected));
+
+    for (std::size_t chunk = 1; chunk <= 40; ++chunk) {
+        Bytes got = plain;
+        auto stream = cipher.stream(nonce);
+        for (std::size_t offset = 0; offset < got.size(); offset += chunk) {
+            const std::size_t len = std::min(chunk, got.size() - offset);
+            stream.process(std::span(got).subspan(offset, len));
+        }
+        ASSERT_EQ(expected, got) << "chunk=" << chunk;
+    }
+}
+
+TEST(CtrStream, EmptyChunksAreNoOps) {
+    SplitMix64 rng(79);
+    const AesCtr cipher(Bytes(16, 0x01));
+    const Bytes nonce = random_bytes(rng, 16);
+    const Bytes plain = random_bytes(rng, 45);
+    Bytes expected = plain;
+    cipher.transform(nonce, std::span(expected));
+
+    Bytes got = plain;
+    auto stream = cipher.stream(nonce);
+    stream.process(std::span(got).subspan(0, 0));
+    stream.process(std::span(got).subspan(0, 10));
+    stream.process(std::span(got).subspan(10, 0));
+    stream.process(std::span(got).subspan(10, 35));
+    EXPECT_EQ(expected, got);
+}
+
+TEST(CtrStream, CounterWordWrap32Bit) {
+    // Counter starts just below a 32-bit word boundary: incrementing past
+    // 0x...FFFFFFFF must carry into the upper counter word, at every
+    // chunking, exactly as the one-shot path does.
+    SplitMix64 rng(80);
+    const AesCtr cipher(Bytes(16, 0x5c));
+    const Bytes nonce = nonce_with_counter(0xFFFFFFFFull - 2);
+    const Bytes plain = random_bytes(rng, 16 * 8);  // crosses the wrap
+    Bytes expected = plain;
+    cipher.transform(nonce, std::span(expected));
+
+    for (const std::size_t chunk : {5, 16, 33}) {
+        Bytes got = plain;
+        auto stream = cipher.stream(nonce);
+        for (std::size_t offset = 0; offset < got.size(); offset += chunk) {
+            const std::size_t len = std::min(chunk, got.size() - offset);
+            stream.process(std::span(got).subspan(offset, len));
+        }
+        ASSERT_EQ(expected, got) << "chunk=" << chunk;
+    }
+}
+
+TEST(CtrStream, CounterWrap64BitStaysInLowHalf) {
+    // Full 64-bit counter wrap: 0xFFFF...FF -> 0, with NO carry into the
+    // nonce half. The stream and one-shot paths must agree, and the
+    // keystream after the wrap equals the keystream at counter 0 with the
+    // same nonce half.
+    SplitMix64 rng(81);
+    const AesCtr cipher(Bytes(16, 0x3e));
+    const Bytes nonce = nonce_with_counter(~0ull);
+    Bytes expected(48, 0);  // 3 blocks: counters ~0, 0, 1
+    cipher.transform(nonce, std::span(expected));
+
+    Bytes chunked(48, 0);
+    auto stream = cipher.stream(nonce);
+    stream.process(std::span(chunked).subspan(0, 17));
+    stream.process(std::span(chunked).subspan(17, 31));
+    EXPECT_EQ(expected, chunked);
+
+    // Blocks 1..2 must equal the keystream at counter 0 (nonce half
+    // untouched by the wrap).
+    Bytes from_zero(32, 0);
+    cipher.transform(nonce_with_counter(0), std::span(from_zero));
+    EXPECT_TRUE(std::equal(expected.begin() + 16, expected.end(),
+                           from_zero.begin()));
+}
+
+}  // namespace
+}  // namespace mie::crypto

@@ -111,6 +111,53 @@ TEST(Hmac, ResetAllowsReuse) {
     EXPECT_EQ(h.finalize(), first);
 }
 
+TEST(HmacSha1, Rfc2202VectorsThroughMidstateReuse) {
+    // The cached ipad/opad midstates must reproduce the RFC 2202 vectors
+    // when one keyed instance is reset and reused across messages —
+    // the index-token-derivation pattern.
+    Hmac<Sha1> h(Bytes(20, 0x0b));
+    for (int round = 0; round < 3; ++round) {
+        h.reset();
+        h.update(to_bytes("Hi There"));
+        EXPECT_EQ(hex(h.finalize()),
+                  "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+    // Reuse with a key longer than the block size (hashed at keying time).
+    Hmac<Sha1> big(Bytes(80, 0xaa));
+    for (int round = 0; round < 2; ++round) {
+        big.reset();
+        big.update(to_bytes("Test Using Larger Than Block-Size Key - "
+                            "Hash Key First"));
+        EXPECT_EQ(hex(big.finalize()),
+                  "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+    }
+}
+
+TEST(HmacSha256, Rfc4231VectorsThroughMidstateReuse) {
+    Hmac<Sha256> h(Bytes(20, 0x0b));
+    for (int round = 0; round < 3; ++round) {
+        h.reset();
+        h.update(to_bytes("Hi There"));
+        EXPECT_EQ(hex(h.finalize()),
+                  "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e"
+                  "9376c2e32cff7");
+    }
+}
+
+TEST(Hmac, MidstateReuseAcrossDistinctMessages) {
+    // reset()+update(m) on one instance must equal a fresh mac(key, m)
+    // for a run of different messages (not just the same one).
+    Hmac<Sha256> h(to_bytes("shared-key"));
+    for (int i = 0; i < 16; ++i) {
+        const Bytes message = to_bytes("keyword-" + std::to_string(i));
+        h.reset();
+        h.update(message);
+        EXPECT_EQ(h.finalize(),
+                  Hmac<Sha256>::mac(to_bytes("shared-key"), message))
+            << "i=" << i;
+    }
+}
+
 TEST(Hmac, DifferentKeysDiffer) {
     const auto a = Hmac<Sha256>::mac(to_bytes("key-a"), to_bytes("m"));
     const auto b = Hmac<Sha256>::mac(to_bytes("key-b"), to_bytes("m"));

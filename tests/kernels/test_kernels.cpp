@@ -1,0 +1,278 @@
+// Dispatch-equivalence suite for src/kernels: every kernel must produce
+// bitwise-identical results at every ladder level the CPU supports
+// (scalar / sse2 / avx2 / native), over random and edge-length inputs —
+// the determinism contract of DESIGN.md §10. Also covers the
+// MIE_KERNEL_LEVEL parse/resolve logic.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace mie::kernels {
+namespace {
+
+std::vector<Level> available_levels() {
+    std::vector<Level> levels;
+    for (int i = 0; i <= static_cast<int>(max_level()); ++i) {
+        levels.push_back(static_cast<Level>(i));
+    }
+    return levels;
+}
+
+// Edge lengths: empty, sub-block, block-aligned, pipeline-aligned (8
+// blocks = 128 B), and misaligned around each boundary.
+const std::size_t kByteLengths[] = {0,  1,  7,  8,   15,  16,  17,  31,
+                                    32, 33, 64, 127, 128, 129, 255, 1024,
+                                    1031};
+
+std::vector<std::uint8_t> random_bytes(SplitMix64& rng, std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+    return out;
+}
+
+// A deterministic expanded AES key schedule in byte order (the kernels
+// don't expand keys; crypto::Aes does — here any schedule-shaped bytes
+// exercise the permutation identically at every level).
+std::vector<std::uint8_t> fake_schedule(SplitMix64& rng, int rounds) {
+    return random_bytes(rng, 16 * static_cast<std::size_t>(rounds + 1));
+}
+
+TEST(KernelDispatch, LevelParsing) {
+    Level level = Level::kNative;
+    EXPECT_TRUE(parse_level("scalar", &level));
+    EXPECT_EQ(level, Level::kScalar);
+    EXPECT_TRUE(parse_level("sse2", &level));
+    EXPECT_EQ(level, Level::kSse2);
+    EXPECT_TRUE(parse_level("avx2", &level));
+    EXPECT_EQ(level, Level::kAvx2);
+    EXPECT_TRUE(parse_level("native", &level));
+    EXPECT_EQ(level, Level::kNative);
+
+    level = Level::kSse2;
+    EXPECT_FALSE(parse_level(nullptr, &level));
+    EXPECT_FALSE(parse_level("", &level));
+    EXPECT_FALSE(parse_level("AVX2", &level));
+    EXPECT_FALSE(parse_level("avx512", &level));
+    EXPECT_EQ(level, Level::kSse2);  // untouched on failure
+}
+
+TEST(KernelDispatch, ResolveClampsToHardware) {
+    EXPECT_EQ(resolve_level("scalar"), Level::kScalar);
+    // Absent or garbage override resolves to the best the CPU has.
+    EXPECT_EQ(resolve_level(nullptr), max_level());
+    EXPECT_EQ(resolve_level("bogus"), max_level());
+    // A request above the hardware clamps down.
+    EXPECT_LE(resolve_level("native"), max_level());
+    EXPECT_LE(resolve_level("avx2"), Level::kAvx2);
+    EXPECT_LE(resolve_level("avx2"), max_level());
+    // active_level() is resolve_level over the real environment.
+    EXPECT_EQ(active_level(),
+              resolve_level(std::getenv("MIE_KERNEL_LEVEL")));
+}
+
+TEST(KernelDispatch, LevelNamesRoundTrip) {
+    for (Level level : available_levels()) {
+        Level parsed = Level::kNative;
+        ASSERT_TRUE(parse_level(level_name(level), &parsed));
+        EXPECT_EQ(parsed, level);
+    }
+}
+
+TEST(KernelDispatch, TableForClampsAboveMax) {
+    // table_for(native) must be callable even if the CPU tops out lower.
+    const KernelTable& t = table_for(Level::kNative);
+    const std::uint8_t data[3] = {1, 2, 3};
+    EXPECT_EQ(t.crc32c_update(0xFFFFFFFFu, data, 3),
+              table_for(max_level()).crc32c_update(0xFFFFFFFFu, data, 3));
+}
+
+TEST(KernelEquivalence, AesEncryptBlock) {
+    SplitMix64 rng(11);
+    for (const int rounds : {10, 14}) {
+        const auto schedule = fake_schedule(rng, rounds);
+        for (int trial = 0; trial < 32; ++trial) {
+            const auto input = random_bytes(rng, 16);
+            std::uint8_t expected[16];
+            std::memcpy(expected, input.data(), 16);
+            table_for(Level::kScalar)
+                .aes_encrypt_block(schedule.data(), rounds, expected);
+            for (Level level : available_levels()) {
+                std::uint8_t got[16];
+                std::memcpy(got, input.data(), 16);
+                table_for(level).aes_encrypt_block(schedule.data(), rounds,
+                                                   got);
+                ASSERT_EQ(0, std::memcmp(expected, got, 16))
+                    << "level=" << level_name(level)
+                    << " rounds=" << rounds << " trial=" << trial;
+            }
+        }
+    }
+}
+
+TEST(KernelEquivalence, AesCtr64Xor) {
+    SplitMix64 rng(22);
+    const auto schedule = fake_schedule(rng, 10);
+    // Counters at and around the interesting wrap boundaries: zero,
+    // 32-bit word wrap, full 64-bit wrap (must not carry into the nonce).
+    const std::uint64_t kCounters[] = {0,
+                                       1,
+                                       0xFFFFFFFFull - 3,
+                                       0xFFFFFFFFull,
+                                       0x00000001FFFFFFFFull,
+                                       ~0ull - 4,
+                                       ~0ull};
+    for (const std::uint64_t start : kCounters) {
+        for (const std::size_t len : kByteLengths) {
+            std::uint8_t counter_init[16];
+            for (int i = 0; i < 8; ++i) {
+                counter_init[i] = static_cast<std::uint8_t>(rng());
+            }
+            for (int i = 0; i < 8; ++i) {
+                counter_init[8 + i] =
+                    static_cast<std::uint8_t>(start >> (8 * (7 - i)));
+            }
+            const auto plain = random_bytes(rng, len);
+
+            auto expected = plain;
+            std::uint8_t expected_counter[16];
+            std::memcpy(expected_counter, counter_init, 16);
+            table_for(Level::kScalar)
+                .aes_ctr64_xor(schedule.data(), 10, expected_counter,
+                               expected.data(), len);
+            for (Level level : available_levels()) {
+                auto got = plain;
+                std::uint8_t counter[16];
+                std::memcpy(counter, counter_init, 16);
+                table_for(level).aes_ctr64_xor(schedule.data(), 10, counter,
+                                               got.data(), len);
+                ASSERT_EQ(expected, got)
+                    << "level=" << level_name(level) << " len=" << len
+                    << " start=" << start;
+                ASSERT_EQ(0, std::memcmp(expected_counter, counter, 16))
+                    << "counter mismatch at level=" << level_name(level)
+                    << " len=" << len << " start=" << start;
+            }
+        }
+    }
+}
+
+TEST(KernelEquivalence, AesCtr128Keystream) {
+    SplitMix64 rng(33);
+    const auto schedule = fake_schedule(rng, 14);
+    const std::size_t kBlockCounts[] = {0, 1, 2, 7, 8, 9, 16, 23};
+    for (const std::size_t blocks : kBlockCounts) {
+        // Include a counter that wraps the low 64-bit word mid-batch.
+        for (const bool near_wrap : {false, true}) {
+            std::uint8_t counter_init[16];
+            for (auto& b : counter_init) {
+                b = static_cast<std::uint8_t>(rng());
+            }
+            if (near_wrap) {
+                for (int i = 8; i < 16; ++i) counter_init[i] = 0xFF;
+                counter_init[15] = 0xFB;  // wraps after 5 blocks
+            }
+            std::vector<std::uint8_t> expected(blocks * 16);
+            std::uint8_t expected_counter[16];
+            std::memcpy(expected_counter, counter_init, 16);
+            table_for(Level::kScalar)
+                .aes_ctr128_keystream(schedule.data(), 14, expected_counter,
+                                      expected.data(), blocks);
+            for (Level level : available_levels()) {
+                std::vector<std::uint8_t> got(blocks * 16);
+                std::uint8_t counter[16];
+                std::memcpy(counter, counter_init, 16);
+                table_for(level).aes_ctr128_keystream(
+                    schedule.data(), 14, counter, got.data(), blocks);
+                ASSERT_EQ(expected, got)
+                    << "level=" << level_name(level) << " blocks=" << blocks
+                    << " near_wrap=" << near_wrap;
+                ASSERT_EQ(0, std::memcmp(expected_counter, counter, 16));
+            }
+        }
+    }
+}
+
+TEST(KernelEquivalence, L2SquaredAndDotBitwise) {
+    SplitMix64 rng(44);
+    // Lengths around the 4-wide block boundary plus the real descriptor
+    // sizes (64-dim U-SURF, 128-bit DPE projections).
+    const std::size_t kVecLengths[] = {0, 1, 2,  3,  4,  5,   7,  8,
+                                       9, 63, 64, 65, 67, 128, 1000};
+    for (const std::size_t n : kVecLengths) {
+        std::vector<float> a(n), b(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            // Mix magnitudes so summation order actually matters.
+            a[i] = static_cast<float>((rng.next_double() - 0.5) *
+                                      (i % 7 == 0 ? 1e6 : 1.0));
+            b[i] = static_cast<float>((rng.next_double() - 0.5) *
+                                      (i % 11 == 0 ? 1e-6 : 1.0));
+        }
+        const double l2_expected =
+            table_for(Level::kScalar).l2_squared(a.data(), b.data(), n);
+        const double dot_expected =
+            table_for(Level::kScalar).dot(a.data(), b.data(), n);
+        for (Level level : available_levels()) {
+            const double l2 =
+                table_for(level).l2_squared(a.data(), b.data(), n);
+            const double dot = table_for(level).dot(a.data(), b.data(), n);
+            // Bitwise equality, not EXPECT_DOUBLE_EQ: the determinism
+            // contract is exact.
+            std::uint64_t expected_bits, got_bits;
+            std::memcpy(&expected_bits, &l2_expected, 8);
+            std::memcpy(&got_bits, &l2, 8);
+            ASSERT_EQ(expected_bits, got_bits)
+                << "l2 level=" << level_name(level) << " n=" << n;
+            std::memcpy(&expected_bits, &dot_expected, 8);
+            std::memcpy(&got_bits, &dot, 8);
+            ASSERT_EQ(expected_bits, got_bits)
+                << "dot level=" << level_name(level) << " n=" << n;
+        }
+    }
+}
+
+TEST(KernelEquivalence, Crc32c) {
+    SplitMix64 rng(55);
+    for (const std::size_t len : kByteLengths) {
+        const auto data = random_bytes(rng, len);
+        const std::uint32_t expected =
+            table_for(Level::kScalar)
+                .crc32c_update(0xFFFFFFFFu, data.data(), len);
+        for (Level level : available_levels()) {
+            EXPECT_EQ(expected, table_for(level).crc32c_update(
+                                    0xFFFFFFFFu, data.data(), len))
+                << "level=" << level_name(level) << " len=" << len;
+        }
+        // Incremental split must match one-shot at every level.
+        if (len >= 2) {
+            const std::size_t cut = len / 3 + 1;
+            for (Level level : available_levels()) {
+                std::uint32_t state = table_for(level).crc32c_update(
+                    0xFFFFFFFFu, data.data(), cut);
+                state = table_for(level).crc32c_update(
+                    state, data.data() + cut, len - cut);
+                EXPECT_EQ(expected, state)
+                    << "split level=" << level_name(level) << " len=" << len;
+            }
+        }
+    }
+}
+
+TEST(KernelEquivalence, Crc32cCheckValue) {
+    // CRC-32C check value ("123456789" -> 0xE3069283) at every level.
+    const std::uint8_t msg[9] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+    for (Level level : available_levels()) {
+        const std::uint32_t crc =
+            table_for(level).crc32c_update(0xFFFFFFFFu, msg, 9) ^
+            0xFFFFFFFFu;
+        EXPECT_EQ(crc, 0xE3069283u) << "level=" << level_name(level);
+    }
+}
+
+}  // namespace
+}  // namespace mie::kernels
