@@ -13,6 +13,7 @@
 #include <map>
 
 #include "crypto/drbg.hpp"
+#include "crypto/entropy.hpp"
 #include "mie/client.hpp"
 #include "mie/server.hpp"
 #include "sim/dataset.hpp"
@@ -41,7 +42,7 @@ int main() {
 
     // The cardiology alliance shares one repository key between doctors.
     const RepositoryKey alliance_key = RepositoryKey::generate(
-        crypto::os_random(32), 64, 128, 0.7978845608);
+        crypto::entropy::os_random(32), 64, 128, 0.7978845608);
 
     net::MeteredTransport dr_chen_link(cloud, net::LinkProfile::mobile());
     MieClient dr_chen(dr_chen_link, "cardiology-alliance", alliance_key,

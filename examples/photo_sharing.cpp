@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "crypto/drbg.hpp"
+#include "crypto/entropy.hpp"
 #include "mie/client.hpp"
 #include "mie/server.hpp"
 #include "sim/dataset.hpp"
@@ -24,7 +25,7 @@ int main() {
     // Alice creates the album from her phone and shares the repository key
     // with Bob out of band (e.g. via a key-sharing protocol, §III-A).
     const RepositoryKey album_key = RepositoryKey::generate(
-        crypto::os_random(32), 64, 128, 0.7978845608);
+        crypto::entropy::os_random(32), 64, 128, 0.7978845608);
 
     const auto phone = sim::DeviceProfile::mobile();
     const auto laptop = sim::DeviceProfile::desktop();

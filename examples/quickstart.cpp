@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "crypto/drbg.hpp"
+#include "crypto/entropy.hpp"
 #include "mie/client.hpp"
 #include "mie/server.hpp"
 #include "sim/dataset.hpp"
@@ -28,7 +29,7 @@ int main() {
     // key (text); share it with the users you trust. The user secret seeds
     // per-object data keys.
     const RepositoryKey repo_key = RepositoryKey::generate(
-        crypto::os_random(32), /*input_dims=*/64, /*output_bits=*/128,
+        crypto::entropy::os_random(32), /*input_dims=*/64, /*output_bits=*/128,
         /*delta=*/0.7978845608);  // delta -> distance threshold t = 0.5
     MieClient client(transport, "my-photos", repo_key,
                      to_bytes("alice-master-secret"));

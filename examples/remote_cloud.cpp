@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "crypto/drbg.hpp"
+#include "crypto/entropy.hpp"
 #include "mie/client.hpp"
 #include "mie/key_sharing.hpp"
 #include "mie/persistence.hpp"
@@ -26,13 +27,13 @@ int main() {
                 service.port());
 
     // --- Alice creates a repository and invites Bob. ----------------------
-    crypto::CtrDrbg alice_rng(crypto::os_random(32));
+    crypto::CtrDrbg alice_rng(crypto::entropy::os_random(32));
     const auto alice_id = crypto::RsaKeyPair::generate(alice_rng, 1024);
-    crypto::CtrDrbg bob_rng(crypto::os_random(32));
+    crypto::CtrDrbg bob_rng(crypto::entropy::os_random(32));
     const auto bob_id = crypto::RsaKeyPair::generate(bob_rng, 1024);
 
     const RepositoryKey repo_key = RepositoryKey::generate(
-        crypto::os_random(32), 64, 128, 0.7978845608);
+        crypto::entropy::os_random(32), 64, 128, 0.7978845608);
 
     net::TcpTransport alice_link("127.0.0.1", service.port());
     MieClient alice(alice_link, "shared", repo_key,

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "crypto/drbg.hpp"
+#include "crypto/entropy.hpp"
 #include "mie/client.hpp"
 #include "mie/server.hpp"
 #include "sim/dataset.hpp"
@@ -21,7 +22,7 @@ int main() {
     MieServer cloud;
     net::MeteredTransport transport(cloud, net::LinkProfile::mobile());
     MieClient client(transport, "voice-album",
-                     RepositoryKey::generate(crypto::os_random(32), 64, 128,
+                     RepositoryKey::generate(crypto::entropy::os_random(32), 64, 128,
                                              0.7978845608),
                      to_bytes("user-secret"));
     client.create_repository();

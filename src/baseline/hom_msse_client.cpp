@@ -321,6 +321,7 @@ void HomMsseClient::train() {
     // Upload counters as Paillier ciphertexts keyed by deterministic ids.
     for (std::size_t m = 0; m < kNumModalities; ++m) {
         writer.write_u32(static_cast<std::uint32_t>(counters[m].size()));
+        // mielint: allow(R3): CounterDict is an ordered std::map
         for (const auto& [term, counter] : counters[m]) {
             const std::string id = term_id(rk2_, term);
             const BigUint enc = meter_.timed(sim::SubOp::kEncrypt, [&] {

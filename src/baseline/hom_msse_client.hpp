@@ -16,6 +16,7 @@
 #include "baseline/hom_msse_server.hpp"
 #include "baseline/msse_common.hpp"
 #include "crypto/drbg.hpp"
+#include "crypto/secret.hpp"
 #include "crypto/paillier.hpp"
 #include "index/space.hpp"
 #include "index/vocab_tree.hpp"
@@ -99,8 +100,8 @@ private:
 
     net::Transport& transport_;
     std::string repo_id_;
-    Bytes rk1_;
-    Bytes rk2_;
+    crypto::SecretBytes rk1_;
+    crypto::SecretBytes rk2_;
     /// Idempotency-envelope identity for mutating requests.
     std::uint64_t op_client_id_ = 0;
     std::uint64_t op_seq_ = 0;

@@ -73,7 +73,13 @@ Bytes HomMsseServer::handle_get_features(net::MessageReader& reader) {
     // whose writer kept features in local state (the client falls back to
     // its own cache for those).
     writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
-    for (const auto& [id, blob] : repo.objects) {
+    // Wire order must not leak hash-map iteration order (lint rule R3).
+    std::vector<std::uint64_t> ids;
+    ids.reserve(repo.objects.size());
+    // mielint: allow(R3): ids are sorted on the next line
+    for (const auto& [id, blob] : repo.objects) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint64_t id : ids) {
         writer.write_u64(id);
         const auto it = repo.features.find(id);
         writer.write_bytes(it == repo.features.end() ? Bytes{} : it->second);
@@ -100,6 +106,7 @@ void HomMsseServer::insert_entries(Repository& repo,
 
 Bytes HomMsseServer::handle_store_index(net::MessageReader& reader) {
     Repository& repo = require_repo(reader.read_string());
+    // mielint: allow(R3): iterates the fixed-size modality array
     for (auto& modality_index : repo.index) modality_index.clear();
     repo.doc_labels.clear();
     insert_entries(repo, reader);
@@ -224,18 +231,30 @@ Bytes HomMsseServer::handle_search(net::MessageReader& reader) {
         }
     }
 
-    // Return *everything*: all blobs plus per-modality encrypted scores.
+    // Return *everything*: all blobs plus per-modality encrypted scores,
+    // both in sorted order so the response bytes are independent of
+    // hash-map iteration order (lint rule R3).
     net::MessageWriter writer;
     writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
-    for (const auto& [id, blob] : repo.objects) {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(repo.objects.size());
+    // mielint: allow(R3): ids are sorted on the next line
+    for (const auto& [id, blob] : repo.objects) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint64_t id : ids) {
         writer.write_u64(id);
-        writer.write_bytes(blob);
+        writer.write_bytes(repo.objects.at(id));
     }
     for (std::size_t m = 0; m < kNumModalities; ++m) {
         writer.write_u32(static_cast<std::uint32_t>(scores[m].size()));
-        for (const auto& [doc, escore] : scores[m]) {
+        std::vector<std::uint64_t> docs;
+        docs.reserve(scores[m].size());
+        // mielint: allow(R3): ids are sorted on the next line
+        for (const auto& [doc, escore] : scores[m]) docs.push_back(doc);
+        std::sort(docs.begin(), docs.end());
+        for (const std::uint64_t doc : docs) {
             writer.write_u64(doc);
-            writer.write_bytes(escore.to_bytes_be());
+            writer.write_bytes(scores[m].at(doc).to_bytes_be());
         }
     }
     return writer.take();
@@ -245,9 +264,15 @@ Bytes HomMsseServer::handle_get_all_objects(net::MessageReader& reader) {
     Repository& repo = require_repo(reader.read_string());
     net::MessageWriter writer;
     writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
-    for (const auto& [id, blob] : repo.objects) {
+    // Wire order must not leak hash-map iteration order (lint rule R3).
+    std::vector<std::uint64_t> ids;
+    ids.reserve(repo.objects.size());
+    // mielint: allow(R3): ids are sorted on the next line
+    for (const auto& [id, blob] : repo.objects) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint64_t id : ids) {
         writer.write_u64(id);
-        writer.write_bytes(blob);
+        writer.write_bytes(repo.objects.at(id));
         writer.write_bytes(repo.features.at(id));
     }
     return writer.take();
@@ -261,9 +286,11 @@ HomMsseServer::RepoStats HomMsseServer::stats(
         throw std::invalid_argument("HomMsseServer: unknown repository");
     }
     std::size_t entries = 0, counter_entries = 0;
+    // mielint: allow(R3): iterates the fixed-size modality array
     for (const auto& modality_index : it->second.index) {
         entries += modality_index.size();
     }
+    // mielint: allow(R3): iterates the fixed-size modality array
     for (const auto& counters : it->second.counters) {
         counter_entries += counters.size();
     }

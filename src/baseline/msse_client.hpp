@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "baseline/msse_common.hpp"
+#include "crypto/secret.hpp"
 #include "baseline/msse_server.hpp"
 #include "index/space.hpp"
 #include "index/vocab_tree.hpp"
@@ -95,8 +96,8 @@ private:
 
     net::Transport& transport_;
     std::string repo_id_;
-    Bytes rk1_;  ///< AES key for features + counters
-    Bytes rk2_;  ///< PRF key for labels / value keys
+    crypto::SecretBytes rk1_;  ///< AES key for features + counters
+    crypto::SecretBytes rk2_;  ///< PRF key for labels / value keys
     /// Idempotency-envelope identity for mutating requests.
     std::uint64_t op_client_id_ = 0;
     std::uint64_t op_seq_ = 0;

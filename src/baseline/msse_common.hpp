@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/secret.hpp"
 #include "features/feature.hpp"
 #include "features/text.hpp"
 #include "mie/extract.hpp"
@@ -64,7 +65,7 @@ struct IndexEntry {
 /// decrypts frequencies there).
 struct QueryTerm {
     std::vector<Bytes> labels;
-    Bytes value_key;
+    crypto::SecretBytes value_key;
     std::uint32_t query_freq = 0;
 };
 

@@ -68,7 +68,13 @@ Bytes MsseServer::handle_get_features(net::MessageReader& reader) {
     // whose writer kept features in local state (the client falls back to
     // its own cache for those).
     writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
-    for (const auto& [id, blob] : repo.objects) {
+    // Wire order must not leak hash-map iteration order (lint rule R3).
+    std::vector<std::uint64_t> ids;
+    ids.reserve(repo.objects.size());
+    // mielint: allow(R3): ids are sorted on the next line
+    for (const auto& [id, blob] : repo.objects) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint64_t id : ids) {
         writer.write_u64(id);
         const auto it = repo.features.find(id);
         writer.write_bytes(it == repo.features.end() ? Bytes{} : it->second);
@@ -96,6 +102,7 @@ void MsseServer::insert_entries(Repository& repo,
 Bytes MsseServer::handle_store_index(net::MessageReader& reader) {
     Repository& repo = require_repo(reader.read_string());
     // A fresh index replaces any previous one (train rebuilds from scratch).
+    // mielint: allow(R3): iterates the fixed-size modality array
     for (auto& modality_index : repo.index) modality_index.clear();
     repo.doc_labels.clear();
     insert_entries(repo, reader);
@@ -231,9 +238,15 @@ Bytes MsseServer::handle_get_all_objects(net::MessageReader& reader) {
     Repository& repo = require_repo(reader.read_string());
     net::MessageWriter writer;
     writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
-    for (const auto& [id, blob] : repo.objects) {
+    // Wire order must not leak hash-map iteration order (lint rule R3).
+    std::vector<std::uint64_t> ids;
+    ids.reserve(repo.objects.size());
+    // mielint: allow(R3): ids are sorted on the next line
+    for (const auto& [id, blob] : repo.objects) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint64_t id : ids) {
         writer.write_u64(id);
-        writer.write_bytes(blob);
+        writer.write_bytes(repo.objects.at(id));
         writer.write_bytes(repo.features.at(id));
     }
     return writer.take();
@@ -246,6 +259,7 @@ MsseServer::RepoStats MsseServer::stats(const std::string& repo_id) const {
         throw std::invalid_argument("MsseServer: unknown repository");
     }
     std::size_t entries = 0;
+    // mielint: allow(R3): iterates the fixed-size modality array
     for (const auto& modality_index : it->second.index) {
         entries += modality_index.size();
     }

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 
+#include "crypto/secret.hpp"
 #include "util/bytes.hpp"
 
 namespace mie::crypto {
@@ -38,15 +39,17 @@ public:
     /// bytes — the layout the kernel layer consumes. Exposed so CTR mode
     /// and the DRBG can drive the multi-block keystream kernels directly.
     const std::uint8_t* round_key_bytes() const {
-        return round_key_bytes_.data();
+        return round_key_bytes_.get().data();
     }
 
     /// 10 for AES-128, 14 for AES-256.
     int rounds() const { return rounds_; }
 
 private:
-    // 15 round keys (AES-256 worst case), byte order.
-    std::array<std::uint8_t, 16 * 15> round_key_bytes_{};
+    // 15 round keys (AES-256 worst case), byte order. The expanded
+    // schedule is equivalent to the key itself, so it zeroizes on
+    // destruction (lint rule R5).
+    Zeroizing<std::array<std::uint8_t, 16 * 15>> round_key_bytes_;
     int rounds_ = 0;
 };
 

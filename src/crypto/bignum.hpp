@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "crypto/drbg.hpp"
+#include "crypto/secret.hpp"
 #include "util/bytes.hpp"
 
 namespace mie::crypto {
@@ -119,6 +120,18 @@ public:
     /// Generates a random prime of exactly `bits` bits (top bit set).
     static BigUint generate_prime(CtrDrbg& drbg, std::size_t bits);
 
+    /// Scrubs the limb storage (compiler-barrier memset) and resets the
+    /// value to zero. Zeroizing<BigUint> calls this on destruction, making
+    /// `SecretBigUint` the required type for private-key integers
+    /// (lint rule R5).
+    void zeroize() {
+        if (!limbs_.empty()) {
+            secure_zero(limbs_.data(),
+                        limbs_.size() * sizeof(std::uint32_t));
+        }
+        limbs_.clear();
+    }
+
 private:
     void trim();
 
@@ -126,6 +139,10 @@ private:
 
     friend class Montgomery;
 };
+
+/// A BigUint whose limbs are scrubbed on destruction — the storage type
+/// for RSA/Paillier private-key material.
+using SecretBigUint = Zeroizing<BigUint>;
 
 /// Montgomery multiplication context for a fixed odd modulus. Exposed so
 /// Paillier can amortize the per-modulus precomputation across many

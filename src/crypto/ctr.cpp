@@ -28,7 +28,7 @@ void AesCtr::Stream::process(std::span<std::uint8_t> data) {
 
     // Drain keystream left over from a block-misaligned previous call.
     while (keystream_pos_ < Aes::kBlockSize && offset < data.size()) {
-        data[offset++] ^= keystream_[keystream_pos_++];
+        data[offset++] ^= keystream_.get()[keystream_pos_++];
     }
 
     // Bulk full blocks through the kernel (8-block AES-NI pipeline when
@@ -46,13 +46,13 @@ void AesCtr::Stream::process(std::span<std::uint8_t> data) {
     // for the next call.
     if (offset < data.size()) {
         keystream_ = counter_;
-        aes_->encrypt_block(keystream_.data());
+        aes_->encrypt_block(keystream_.get().data());
         for (int i = 15; i >= 8; --i) {
             if (++counter_[static_cast<std::size_t>(i)] != 0) break;
         }
         keystream_pos_ = 0;
         while (offset < data.size()) {
-            data[offset++] ^= keystream_[keystream_pos_++];
+            data[offset++] ^= keystream_.get()[keystream_pos_++];
         }
     }
 }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "crypto/aes.hpp"
+#include "crypto/secret.hpp"
 #include "util/bytes.hpp"
 
 namespace mie::crypto {
@@ -37,7 +38,9 @@ public:
     private:
         const Aes* aes_;
         Aes::Block counter_;
-        Aes::Block keystream_;
+        // Unconsumed keystream would decrypt the next bytes of any message
+        // under this (key, nonce); scrub it with the stream.
+        Zeroizing<Aes::Block> keystream_;
         std::size_t keystream_pos_ = Aes::kBlockSize;  // empty
     };
 

@@ -3,21 +3,35 @@
 #include <cmath>
 #include <cstring>
 #include <numbers>
-#include <random>
 
+#include "crypto/entropy.hpp"
 #include "crypto/sha256.hpp"
 #include "kernels/kernels.hpp"
 
 namespace mie::crypto {
 
 namespace {
-Bytes seed_to_key(BytesView seed) {
-    const Sha256::Digest d = Sha256::hash(seed);
-    return Bytes(d.begin(), d.end());
+Zeroizing<Sha256::Digest> seed_to_key(BytesView seed) {
+    return Sha256::hash(seed);
 }
 }  // namespace
 
-CtrDrbg::CtrDrbg(BytesView seed) : aes_(seed_to_key(seed)) {}
+CtrDrbg::CtrDrbg(BytesView seed)
+    : aes_(BytesView(seed_to_key(seed).get())) {}
+
+CtrDrbg CtrDrbg::from_os_entropy() { return CtrDrbg(entropy::os_random(48)); }
+
+void CtrDrbg::reseed(BytesView additional) {
+    Zeroizing<std::array<std::uint8_t, 32>> state;
+    generate(std::span(state.get()));
+    Sha256 hasher;
+    hasher.update(BytesView(state.get()));
+    hasher.update(additional);
+    const Zeroizing<Sha256::Digest> key = hasher.finalize();
+    aes_ = Aes(BytesView(key.get()));
+    counter_.get().fill(0);
+    buffer_pos_ = buffer_.get().size();  // discard buffered keystream
+}
 
 void CtrDrbg::refill() {
     // Batch-generate kRefillBlocks keystream blocks: the kernel increments
@@ -25,18 +39,19 @@ void CtrDrbg::refill() {
     // single-block schedule this DRBG always used, so the output stream is
     // unchanged — AES-NI just pipelines the blocks.
     kernels::table().aes_ctr128_keystream(aes_.round_key_bytes(),
-                                          aes_.rounds(), counter_.data(),
-                                          buffer_.data(), kRefillBlocks);
+                                          aes_.rounds(), counter_.get().data(),
+                                          buffer_.get().data(), kRefillBlocks);
     buffer_pos_ = 0;
 }
 
 void CtrDrbg::generate(std::span<std::uint8_t> out) {
     std::size_t offset = 0;
     while (offset < out.size()) {
-        if (buffer_pos_ == buffer_.size()) refill();
-        const std::size_t take =
-            std::min(buffer_.size() - buffer_pos_, out.size() - offset);
-        std::memcpy(out.data() + offset, buffer_.data() + buffer_pos_, take);
+        if (buffer_pos_ == buffer_.get().size()) refill();
+        const std::size_t take = std::min(buffer_.get().size() - buffer_pos_,
+                                          out.size() - offset);
+        std::memcpy(out.data() + offset, buffer_.get().data() + buffer_pos_,
+                    take);
         buffer_pos_ += take;
         offset += take;
     }
@@ -83,13 +98,6 @@ double CtrDrbg::next_gaussian() {
     spare_gaussian_ = r * std::sin(theta);
     have_spare_gaussian_ = true;
     return r * std::cos(theta);
-}
-
-Bytes os_random(std::size_t n) {
-    std::random_device rd;
-    Bytes out(n);
-    for (auto& b : out) b = static_cast<std::uint8_t>(rd());
-    return out;
 }
 
 }  // namespace mie::crypto

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "crypto/aes.hpp"
+#include "crypto/secret.hpp"
 #include "util/bytes.hpp"
 
 namespace mie::crypto {
@@ -20,6 +21,15 @@ public:
     /// any seed length is acceptable (but should carry >=128 bits entropy
     /// for cryptographic use).
     explicit CtrDrbg(BytesView seed);
+
+    /// Generator seeded from the OS entropy shim (crypto/entropy.hpp) —
+    /// the supported way to get a nondeterministic DRBG.
+    static CtrDrbg from_os_entropy();
+
+    /// Rekeys from SHA-256(32 bytes of current output || `additional`) and
+    /// restarts the counter; the keystream position resets. Route fresh
+    /// entropy in through crypto::entropy::os_random.
+    void reseed(BytesView additional);
 
     /// Fills `out` with pseudo-random bytes.
     void generate(std::span<std::uint8_t> out);
@@ -50,15 +60,17 @@ private:
 
     void refill();
 
+    // DRBG working state is key material: the round keys (inside Aes), the
+    // counter, and the buffered keystream together determine all future
+    // output, so everything is wrapped for zeroize-on-destruction.
     Aes aes_;
-    Aes::Block counter_{};
-    std::array<std::uint8_t, kRefillBlocks * Aes::kBlockSize> buffer_{};
-    std::size_t buffer_pos_ = buffer_.size();  // force refill on first use
+    Zeroizing<Aes::Block> counter_;
+    Zeroizing<std::array<std::uint8_t, kRefillBlocks * Aes::kBlockSize>>
+        buffer_;
+    std::size_t buffer_pos_ =
+        kRefillBlocks * Aes::kBlockSize;  // force refill on first use
     bool have_spare_gaussian_ = false;
     double spare_gaussian_ = 0.0;
 };
-
-/// Gathers `n` bytes of OS entropy (std::random_device).
-Bytes os_random(std::size_t n);
 
 }  // namespace mie::crypto

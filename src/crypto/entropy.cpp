@@ -1,0 +1,20 @@
+#include "crypto/entropy.hpp"
+
+#include <atomic>
+#include <random>
+
+namespace mie::crypto::entropy {
+
+Bytes os_random(std::size_t n) {
+    std::random_device rd;
+    Bytes out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(rd());
+    return out;
+}
+
+std::uint64_t instance_nonce() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace mie::crypto::entropy

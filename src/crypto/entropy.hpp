@@ -1,0 +1,32 @@
+// The one sanctioned source of nondeterminism in the library.
+//
+// Everything cryptographic in this codebase is deterministic given its
+// seeds — that property is what makes training reproducible, snapshots
+// comparable, and the fault-injection soaks bitwise-checkable. The flip
+// side is that fresh entropy must enter through exactly one door, so the
+// static-analysis rule R1 (tools/mielint) can ban `rand`, `srand`,
+// `std::random_device`, `system_clock` and friends everywhere else.
+//
+// This shim is that door. Seed a CtrDrbg from os_random() at the system
+// boundary; never consume OS randomness directly in scheme code.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mie::crypto::entropy {
+
+/// Gathers `n` bytes of OS entropy (std::random_device). The only call
+/// site of a nondeterministic generator in the library; allowlisted for
+/// lint rule R1 in tools/mielint/mielint.conf.
+Bytes os_random(std::size_t n);
+
+/// Process-unique 64-bit nonce: a monotonic counter, deliberately
+/// deterministic so reruns with the same construction order produce the
+/// same ids (the idempotency-envelope client ids depend on this for
+/// reproducible soak tests). Centralized here so every "needs a unique
+/// instance id" site shares one stream.
+std::uint64_t instance_nonce();
+
+}  // namespace mie::crypto::entropy

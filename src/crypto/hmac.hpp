@@ -6,6 +6,7 @@
 
 #include <array>
 
+#include "crypto/secret.hpp"
 #include "util/bytes.hpp"
 
 namespace mie::crypto {
@@ -23,18 +24,23 @@ public:
     /// per-keyword index-token derivation, which reuse one keyed instance
     /// via reset().
     explicit Hmac(BytesView key) {
-        std::array<std::uint8_t, Hash::kBlockSize> block{};
+        // The padded key block and the xor scratch are key material; both
+        // zeroize when keying finishes.
+        Zeroizing<std::array<std::uint8_t, Hash::kBlockSize>> block_z;
+        auto& block = block_z.get();
         if (key.size() > Hash::kBlockSize) {
-            const Digest hashed = Hash::hash(key);
-            std::copy(hashed.begin(), hashed.end(), block.begin());
+            const Zeroizing<Digest> hashed = Hash::hash(key);
+            std::copy(hashed.get().begin(), hashed.get().end(),
+                      block.begin());
         } else {
             std::copy(key.begin(), key.end(), block.begin());
         }
-        std::array<std::uint8_t, Hash::kBlockSize> pad;
+        Zeroizing<std::array<std::uint8_t, Hash::kBlockSize>> pad_z;
+        auto& pad = pad_z.get();
         for (std::size_t i = 0; i < block.size(); ++i) pad[i] = block[i] ^ 0x36;
         inner_.update(BytesView(pad.data(), pad.size()));
         for (std::size_t i = 0; i < block.size(); ++i) pad[i] = block[i] ^ 0x5c;
-        outer_keyed_.update(BytesView(pad.data(), pad.size()));
+        outer_keyed_.get().update(BytesView(pad.data(), pad.size()));
         // update() with exactly one block compresses eagerly, so these
         // snapshots hold post-pad midstates, not buffered bytes.
         inner_keyed_ = inner_;
@@ -46,14 +52,15 @@ public:
     /// Finalizes the MAC; the object may be reused after reset().
     Digest finalize() {
         const Digest inner_digest = inner_.finalize();
-        Hash outer = outer_keyed_;
-        outer.update(BytesView(inner_digest.data(), inner_digest.size()));
-        return outer.finalize();
+        Zeroizing<Hash> outer = outer_keyed_;
+        outer.get().update(
+            BytesView(inner_digest.data(), inner_digest.size()));
+        return outer.get().finalize();
     }
 
     /// Restores the keyed initial state for another message from the
     /// cached midstate (no recompression of the padded key block).
-    void reset() { inner_ = inner_keyed_; }
+    void reset() { inner_ = inner_keyed_.get(); }
 
     /// One-shot convenience.
     static Digest mac(BytesView key, BytesView data) {
@@ -63,9 +70,13 @@ public:
     }
 
 private:
-    Hash inner_;        // running state of the current message
-    Hash inner_keyed_;  // midstate after compressing key ^ ipad
-    Hash outer_keyed_;  // midstate after compressing key ^ opad
+    // The cached midstates are key-equivalent (they let anyone MAC under
+    // this key), so they zeroize on destruction (lint rule R5). The
+    // running state absorbs public message data on top of the midstate and
+    // is reset from inner_keyed_ between messages.
+    Hash inner_;                   // running state of the current message
+    Zeroizing<Hash> inner_keyed_;  // midstate after compressing key ^ ipad
+    Zeroizing<Hash> outer_keyed_;  // midstate after compressing key ^ opad
 };
 
 }  // namespace mie::crypto

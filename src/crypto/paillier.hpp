@@ -26,8 +26,8 @@ struct PaillierPublicKey {
 };
 
 struct PaillierPrivateKey {
-    BigUint lambda;  // lcm(p-1, q-1)
-    BigUint mu;      // (L(g^lambda mod n^2))^{-1} mod n
+    SecretBigUint lambda;  // lcm(p-1, q-1)
+    SecretBigUint mu;      // (L(g^lambda mod n^2))^{-1} mod n
 };
 
 class Paillier {

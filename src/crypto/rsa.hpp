@@ -26,8 +26,8 @@ struct RsaPublicKey {
 };
 
 struct RsaPrivateKey {
-    BigUint n;
-    BigUint d;
+    BigUint n;        // public modulus, duplicated here for convenience
+    SecretBigUint d;  // private exponent
 };
 
 class RsaKeyPair {

@@ -1,0 +1,20 @@
+#include "crypto/secret.hpp"
+
+#include <cstring>
+
+namespace mie::crypto {
+
+void secure_zero(void* data, std::size_t size) {
+    std::memset(data, 0, size);
+    // Compiler barrier: tells the optimizer the zeroed memory is observed,
+    // so the memset above cannot be treated as a dead store even when the
+    // buffer is about to be freed.
+#if defined(__GNUC__) || defined(__clang__)
+    __asm__ __volatile__("" : : "r"(data) : "memory");
+#else
+    volatile auto* p = static_cast<volatile unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) p[i] = 0;
+#endif
+}
+
+}  // namespace mie::crypto

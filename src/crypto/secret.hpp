@@ -1,0 +1,185 @@
+// Secret-holding containers with guaranteed zeroization.
+//
+// The MIE security argument (paper §III-B, §IV) assumes key material stays
+// secret; a freed-but-unscrubbed buffer breaks that assumption against any
+// adversary who can read process memory after the fact (core dumps, swap,
+// reused allocations). Every long-lived secret in this codebase therefore
+// lives in one of the wrappers below, and tools/mielint rule R5 rejects
+// key-material members that do not.
+//
+//   SecretBytes   variable-length secrets (PRF keys, seeds, master secrets).
+//                 Move-only: secrets are not silently duplicated; call
+//                 clone() when a copy is genuinely needed.
+//   Zeroizing<T>  fixed-shape secrets (AES round-key schedules, HMAC
+//                 midstates, DRBG state) and secret BigUints. Copyable when
+//                 T is — a copy is itself Zeroizing, so hygiene is
+//                 preserved.
+//
+// Both wipe their storage through secure_zero(), a memset the optimizer
+// cannot elide, and both print as "[redacted]" on any ostream so a stray
+// log statement cannot leak bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mie::crypto {
+
+/// memset(data, 0, size) behind a compiler barrier: the write is observable
+/// as far as the optimizer knows, so it survives dead-store elimination
+/// even when the buffer is freed immediately afterwards.
+void secure_zero(void* data, std::size_t size);
+
+/// Variable-length secret byte buffer; see the header comment for the
+/// ownership contract. Templated on the allocator so tests can capture the
+/// backing region at deallocation time and assert it was scrubbed.
+template <typename Allocator = std::allocator<std::uint8_t>>
+class BasicSecretBytes {
+public:
+    using Vector = std::vector<std::uint8_t, Allocator>;
+
+    BasicSecretBytes() = default;
+
+    /// Takes ownership of an existing buffer. Implicit on purpose: key
+    /// derivation returns `Bytes`, and `key.seed = derive_key(...)` should
+    /// promote the result without ceremony. Copies the derivation may have
+    /// left behind (reallocations) are outside this object's control.
+    BasicSecretBytes(Vector&& bytes) noexcept  // NOLINT(google-explicit-constructor)
+        : data_(std::move(bytes)) {}
+
+    /// Copies `view` into fresh secret storage (explicit: a copy of secret
+    /// data should be visible at the call site).
+    explicit BasicSecretBytes(BytesView view)
+        : data_(view.begin(), view.end()) {}
+
+    BasicSecretBytes(const BasicSecretBytes&) = delete;
+    BasicSecretBytes& operator=(const BasicSecretBytes&) = delete;
+
+    /// Move leaves the source empty (no residual copy of the secret).
+    BasicSecretBytes(BasicSecretBytes&& other) noexcept
+        : data_(std::move(other.data_)) {
+        other.data_.clear();
+    }
+
+    BasicSecretBytes& operator=(BasicSecretBytes&& other) noexcept {
+        if (this != &other) {
+            wipe();
+            data_ = std::move(other.data_);
+            other.data_.clear();
+        }
+        return *this;
+    }
+
+    ~BasicSecretBytes() { wipe(); }
+
+    std::size_t size() const noexcept { return data_.size(); }
+    bool empty() const noexcept { return data_.empty(); }
+    const std::uint8_t* data() const noexcept { return data_.data(); }
+
+    BytesView view() const noexcept {
+        return BytesView(data_.data(), data_.size());
+    }
+
+    /// Secrets flow into BytesView-taking primitives (HKDF, HMAC, AES
+    /// keying) without exposing a mutable handle.
+    operator BytesView() const noexcept { return view(); }  // NOLINT
+
+    /// Deliberate duplication of the secret.
+    BasicSecretBytes clone() const { return BasicSecretBytes(view()); }
+
+    /// Constant-time equality (length difference folded in branch-free);
+    /// secrets must never be compared with memcmp / byte-wise ==.
+    friend bool operator==(const BasicSecretBytes& a,
+                           const BasicSecretBytes& b) {
+        return ct_equal(a.view(), b.view());
+    }
+    friend bool operator!=(const BasicSecretBytes& a,
+                           const BasicSecretBytes& b) {
+        return !(a == b);
+    }
+
+    /// Redacted in any stream/format path.
+    friend std::ostream& operator<<(std::ostream& os,
+                                    const BasicSecretBytes& s) {
+        return os << "[redacted " << s.size() << " bytes]";
+    }
+
+private:
+    void wipe() noexcept {
+        if (!data_.empty()) secure_zero(data_.data(), data_.size());
+    }
+
+    Vector data_;
+};
+
+using SecretBytes = BasicSecretBytes<>;
+
+/// Zeroize-on-destruction wrapper for fixed-shape secrets. T is either
+/// trivially copyable (wiped bytewise) or provides a `zeroize()` member
+/// (BigUint). Copyable when T is; moves wipe the source.
+template <typename T>
+class Zeroizing {
+public:
+    Zeroizing() = default;
+
+    Zeroizing(T value) noexcept(  // NOLINT(google-explicit-constructor)
+        std::is_nothrow_move_constructible_v<T>)
+        : value_(std::move(value)) {}
+
+    Zeroizing(const Zeroizing&) = default;
+    Zeroizing& operator=(const Zeroizing&) = default;
+
+    Zeroizing(Zeroizing&& other) noexcept(
+        std::is_nothrow_move_constructible_v<T>)
+        : value_(std::move(other.value_)) {
+        other.wipe();
+    }
+
+    Zeroizing& operator=(Zeroizing&& other) noexcept(
+        std::is_nothrow_move_assignable_v<T>) {
+        if (this != &other) {
+            value_ = std::move(other.value_);
+            other.wipe();
+        }
+        return *this;
+    }
+
+    ~Zeroizing() { wipe(); }
+
+    T& get() noexcept { return value_; }
+    const T& get() const noexcept { return value_; }
+
+    T* operator->() noexcept { return &value_; }
+    const T* operator->() const noexcept { return &value_; }
+
+    /// Secrets flow into const-ref-taking primitives unchanged.
+    operator const T&() const noexcept { return value_; }  // NOLINT
+
+    /// Redacted in any stream/format path.
+    friend std::ostream& operator<<(std::ostream& os, const Zeroizing&) {
+        return os << "[redacted]";
+    }
+
+private:
+    void wipe() noexcept {
+        if constexpr (requires(T& t) { t.zeroize(); }) {
+            value_.zeroize();
+        } else {
+            static_assert(std::is_trivially_copyable_v<T>,
+                          "Zeroizing<T> needs a trivially copyable T or a "
+                          "T::zeroize() member");
+            secure_zero(static_cast<void*>(&value_), sizeof(T));
+        }
+    }
+
+    T value_{};
+};
+
+}  // namespace mie::crypto

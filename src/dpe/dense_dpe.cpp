@@ -15,7 +15,7 @@ namespace mie::dpe {
 Bytes DenseDpeKey::serialize() const {
     Bytes out;
     append_le<std::uint32_t>(out, static_cast<std::uint32_t>(seed.size()));
-    out.insert(out.end(), seed.begin(), seed.end());
+    out.insert(out.end(), seed.data(), seed.data() + seed.size());
     append_le<std::uint64_t>(out, input_dims);
     append_le<std::uint64_t>(out, output_bits);
     std::uint64_t delta_bits;
@@ -31,7 +31,7 @@ DenseDpeKey DenseDpeKey::deserialize(BytesView data) {
     if (data.size() < 4 + seed_len + 24) {
         throw std::out_of_range("DenseDpeKey: truncated buffer");
     }
-    key.seed.assign(data.begin() + 4, data.begin() + 4 + seed_len);
+    key.seed = crypto::SecretBytes(data.subspan(4, seed_len));
     key.input_dims =
         static_cast<std::size_t>(read_le<std::uint64_t>(data, 4 + seed_len));
     key.output_bits = static_cast<std::size_t>(
@@ -61,7 +61,7 @@ double DenseDpe::threshold(const DenseDpeKey& key) {
     return 0.5 * key.delta * std::sqrt(std::numbers::pi / 2.0);
 }
 
-DenseDpe::DenseDpe(const DenseDpeKey& key) : key_(key) {
+DenseDpe::DenseDpe(const DenseDpeKey& key) : key_(key.clone()) {
     if (key_.seed.empty()) {
         throw std::invalid_argument("DenseDpe: empty seed");
     }

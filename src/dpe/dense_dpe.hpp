@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "crypto/secret.hpp"
 #include "dpe/bitcode.hpp"
 #include "features/feature.hpp"
 #include "util/bytes.hpp"
@@ -29,10 +30,15 @@ namespace mie::dpe {
 
 /// Secret key + public parameters of a Dense-DPE instance.
 struct DenseDpeKey {
-    Bytes seed;            ///< PRG seed; the actual secret
+    crypto::SecretBytes seed;     ///< PRG seed; the actual secret
     std::size_t input_dims = 0;   ///< N
     std::size_t output_bits = 0;  ///< M
     double delta = 1.0;           ///< Δ, controls the threshold t
+
+    /// Deliberate duplication (the seed is move-only secret storage).
+    DenseDpeKey clone() const {
+        return DenseDpeKey{seed.clone(), input_dims, output_bits, delta};
+    }
 
     Bytes serialize() const;
     static DenseDpeKey deserialize(BytesView data);

@@ -11,7 +11,7 @@ SparseDpeKey SparseDpe::keygen(BytesView entropy) {
     return SparseDpeKey{crypto::derive_key(entropy, "sparse-dpe-key")};
 }
 
-SparseDpe::SparseDpe(SparseDpeKey key) : key_(std::move(key)) {
+SparseDpe::SparseDpe(const SparseDpeKey& key) : key_(key.clone()) {
     if (key_.key.empty()) {
         throw std::invalid_argument("SparseDpe: empty key");
     }

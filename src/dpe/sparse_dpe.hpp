@@ -8,17 +8,23 @@
 
 #include <string_view>
 
+#include "crypto/secret.hpp"
 #include "util/bytes.hpp"
 
 namespace mie::dpe {
 
 /// Secret key of a Sparse-DPE instance (a PRF key).
 struct SparseDpeKey {
-    Bytes key;
+    crypto::SecretBytes key;
 
-    Bytes serialize() const { return key; }
+    /// Deliberate duplication (the key is move-only secret storage).
+    SparseDpeKey clone() const { return SparseDpeKey{key.clone()}; }
+
+    Bytes serialize() const {
+        return Bytes(key.data(), key.data() + key.size());
+    }
     static SparseDpeKey deserialize(BytesView data) {
-        return SparseDpeKey{Bytes(data.begin(), data.end())};
+        return SparseDpeKey{crypto::SecretBytes(data)};
     }
 };
 
@@ -33,7 +39,7 @@ public:
 
     static constexpr double threshold() { return 0.0; }
 
-    explicit SparseDpe(SparseDpeKey key);
+    explicit SparseDpe(const SparseDpeKey& key);
 
     /// ENCODE(K, p): PRF of a single keyword.
     Bytes encode(std::string_view keyword) const;

@@ -61,9 +61,18 @@ const std::vector<Posting>* ChampionIndex::champions(const Term& term) const {
 }
 
 void ChampionIndex::spill() {
-    for (const auto& [term, postings] : overflow_) {
-        for (const Posting& posting : postings) {
-            append_to_log(term, posting);
+    // The on-disk log must not record hash-map iteration order (lint rule
+    // R3): spill terms sorted so the log bytes are a pure function of the
+    // spilled postings.
+    std::vector<const Term*> terms;
+    terms.reserve(overflow_.size());
+    // mielint: allow(R3): terms are sorted on the next line
+    for (const auto& [term, postings] : overflow_) terms.push_back(&term);
+    std::sort(terms.begin(), terms.end(),
+              [](const Term* a, const Term* b) { return *a < *b; });
+    for (const Term* term : terms) {
+        for (const Posting& posting : overflow_.at(*term)) {
+            append_to_log(*term, posting);
             ++spilled_;
         }
     }

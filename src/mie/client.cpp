@@ -10,11 +10,11 @@
 namespace mie {
 
 MieClient::MieClient(net::Transport& transport, std::string repo_id,
-                     RepositoryKey repo_key, Bytes user_secret,
+                     const RepositoryKey& repo_key, Bytes user_secret,
                      double device_cpu_scale)
     : transport_(transport),
       repo_id_(std::move(repo_id)),
-      repo_key_(std::move(repo_key)),
+      repo_key_(repo_key.clone()),
       dense_dpe_(repo_key_.dense),
       sparse_dpe_(repo_key_.sparse),
       keyring_(user_secret),

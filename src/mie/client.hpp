@@ -30,7 +30,7 @@ public:
     /// keyring; users sharing a repository share `repo_key` but keep their
     /// own user secrets.
     MieClient(net::Transport& transport, std::string repo_id,
-              RepositoryKey repo_key, Bytes user_secret,
+              const RepositoryKey& repo_key, Bytes user_secret,
               double device_cpu_scale = 1.0);
 
     std::string name() const override { return "MIE"; }

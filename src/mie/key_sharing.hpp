@@ -38,6 +38,7 @@ struct KeyEnvelope {
     std::string repo_id;
     std::uint64_t object_id = 0;  ///< meaningful for kDataKey
 
+    // mielint: allow(R5): OAEP ciphertext, not raw key material
     Bytes wrapped_aes_key;  ///< RSA-OAEP to the recipient
     Bytes sealed_payload;   ///< AES-CTR of the serialized key material
     Bytes signature;        ///< sender's signature over the above

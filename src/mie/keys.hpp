@@ -26,6 +26,11 @@ struct RepositoryKey {
     static RepositoryKey generate(BytesView entropy, std::size_t input_dims,
                                   std::size_t output_bits, double delta);
 
+    /// Deliberate duplication (both DPE keys are move-only secrets).
+    RepositoryKey clone() const {
+        return RepositoryKey{dense.clone(), sparse.clone()};
+    }
+
     Bytes serialize() const;
     static RepositoryKey deserialize(BytesView data);
 };
@@ -41,7 +46,7 @@ public:
     Bytes data_key(std::uint64_t object_id) const;
 
 private:
-    Bytes master_;
+    crypto::SecretBytes master_;
 };
 
 }  // namespace mie

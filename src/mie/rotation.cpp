@@ -47,6 +47,7 @@ RotationReport rotate_repository_key(
     client.train_params = train_params;
     client.extraction = extraction;
     client.create_repository();  // wipes all old-key state server-side
+    // mielint: allow(R3): objects is a std::vector, not the server's map
     for (const auto& object : objects) {
         client.update(object);
     }

@@ -153,12 +153,14 @@ void MieServer::train_repository(Repository& repo,
     // unordered storage map is walked in sorted-id order.
     std::vector<std::uint64_t> object_ids;
     object_ids.reserve(repo.objects.size());
+    // mielint: allow(R3): ids are sorted on the next line
     for (const auto& [id, object] : repo.objects) object_ids.push_back(id);
     std::sort(object_ids.begin(), object_ids.end());
 
     // Which dense modalities exist in the repository right now?
     repo.dense.clear();
     repo.sparse.clear();
+    // mielint: allow(R3): populates ordered maps; visit order irrelevant
     for (const auto& [id, object] : repo.objects) {
         for (const auto& [modality, codes] : object.dense_codes) {
             if (!codes.empty()) repo.dense[modality];  // default-construct
@@ -182,6 +184,7 @@ void MieServer::train_repository(Repository& repo,
             training_tasks.run([&repo, &object_ids, &params, modality,
                                 state] {
                 std::size_t total = 0;
+                // mielint: allow(R3): commutative count
                 for (const auto& [id, object] : repo.objects) {
                     const auto it = object.dense_codes.find(modality);
                     if (it != object.dense_codes.end()) {
@@ -392,6 +395,7 @@ std::vector<std::vector<index::ScoredDoc>> MieServer::linear_search(
         const std::vector<dpe::BitCode>* codes = &query;
         scoring.run([&repo, &lists, slot, modality, codes, top_k] {
             std::map<index::DocId, double> scores;
+            // mielint: allow(R3): scores land in an ordered map
             for (const auto& [id, object] : repo.objects) {
                 const auto it = object.dense_codes.find(modality);
                 if (it == object.dense_codes.end() || it->second.empty()) {
@@ -422,6 +426,7 @@ std::vector<std::vector<index::ScoredDoc>> MieServer::linear_search(
         const index::QueryHistogram* terms = &query;
         scoring.run([&repo, &lists, slot, modality, terms, top_k] {
             std::map<index::DocId, double> scores;
+            // mielint: allow(R3): scores land in an ordered map
             for (const auto& [id, object] : repo.objects) {
                 const auto it = object.sparse_terms.find(modality);
                 if (it == object.sparse_terms.end()) continue;
@@ -476,9 +481,17 @@ Bytes MieServer::handle_list_objects(const Repository& repo,
     (void)reader;  // no further request fields
     net::MessageWriter writer;
     writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
-    for (const auto& [id, object] : repo.objects) {
+    // Wire output must not depend on hash-map iteration order (lint rule
+    // R3): list in sorted-id order so every run and every standard-library
+    // implementation produces identical bytes.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(repo.objects.size());
+    // mielint: allow(R3): ids are sorted on the next line
+    for (const auto& [id, object] : repo.objects) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint64_t id : ids) {
         writer.write_u64(id);
-        writer.write_bytes(object.blob);
+        writer.write_bytes(repo.objects.at(id).blob);
     }
     return writer.take();
 }
@@ -507,12 +520,22 @@ Bytes MieServer::export_snapshot() const {
     const std::shared_lock map_lock(map_mutex_);
     net::MessageWriter writer;
     writer.write_u32(static_cast<std::uint32_t>(repositories_.size()));
+    // Snapshot bytes must be a pure function of server state, not of
+    // hash-map iteration order (lint rule R3): repositories and objects
+    // are serialized in sorted order.
+    std::vector<std::string> repo_ids;
+    repo_ids.reserve(repositories_.size());
+    // mielint: allow(R3): ids are sorted on the next line
     for (const auto& [repo_id, repo_ptr] : repositories_) {
+        repo_ids.push_back(repo_id);
+    }
+    std::sort(repo_ids.begin(), repo_ids.end());
+    for (const std::string& repo_id : repo_ids) {
         // Each repository is serialized under its shared lock, so each is
         // internally consistent; callers needing a cross-repository
         // consistent cut must quiesce writers themselves (DurableServer
         // checkpoints do, by holding the log mutex).
-        const Repository& repo = *repo_ptr;
+        const Repository& repo = *repositories_.at(repo_id);
         const std::shared_lock repo_lock(repo.mutex);
         writer.write_string(repo_id);
         writer.write_u8(repo.trained ? 1 : 0);
@@ -528,7 +551,15 @@ Bytes MieServer::export_snapshot() const {
         writer.write_u8(
             static_cast<std::uint8_t>(repo.train_params.ranking));
         writer.write_u32(static_cast<std::uint32_t>(repo.objects.size()));
+        std::vector<std::uint64_t> object_ids;
+        object_ids.reserve(repo.objects.size());
+        // mielint: allow(R3): ids are sorted on the next line
         for (const auto& [id, object] : repo.objects) {
+            object_ids.push_back(id);
+        }
+        std::sort(object_ids.begin(), object_ids.end());
+        for (const std::uint64_t id : object_ids) {
+            const StoredObject& object = repo.objects.at(id);
             writer.write_u64(id);
             writer.write_bytes(object.blob);
             writer.write_u8(

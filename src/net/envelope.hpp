@@ -17,7 +17,6 @@
 // server state under at-least-once delivery.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -25,6 +24,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "crypto/entropy.hpp"
 #include "net/transport.hpp"
 #include "util/bytes.hpp"
 
@@ -36,11 +36,10 @@ constexpr std::size_t kEnvelopeHeaderSize = 17;
 /// Process-unique client-instance nonce, mixed into envelope client ids.
 /// Two client objects sharing a user secret must not share an id stream
 /// (a restarted client would alias its predecessor's cached responses),
-/// and a counter keeps runs reproducible: same construction order, same
-/// ids.
+/// and the counter behind crypto::entropy::instance_nonce() keeps runs
+/// reproducible: same construction order, same ids.
 inline std::uint64_t next_client_instance() {
-    static std::atomic<std::uint64_t> counter{0};
-    return counter.fetch_add(1, std::memory_order_relaxed);
+    return crypto::entropy::instance_nonce();
 }
 
 /// Mixes a secret-derived base id with the instance nonce.

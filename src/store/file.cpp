@@ -368,6 +368,7 @@ void FaultInjectingVfs::power_loss() {
     crashed_ = true;
     // Roll every file back to its last synced size: unsynced appends lived
     // only in the page cache and do not survive power loss.
+    // mielint: allow(R3): per-file truncation; visit order irrelevant
     for (const auto& [path, written] : written_size_) {
         const auto it = synced_size_.find(path);
         const std::uint64_t durable = it == synced_size_.end() ? 0 : it->second;

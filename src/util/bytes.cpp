@@ -41,9 +41,17 @@ Bytes hex_decode(std::string_view hex) {
 }
 
 bool ct_equal(BytesView a, BytesView b) {
-    if (a.size() != b.size()) return false;
+    // Branch-free even on length mismatch: compare the common prefix and
+    // fold the length difference into the accumulator, so the running time
+    // depends only on min(size) and not on where (or whether) inputs
+    // differ.
+    const std::size_t common = a.size() < b.size() ? a.size() : b.size();
     std::uint8_t acc = 0;
-    for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+    for (std::size_t i = 0; i < common; ++i) acc |= a[i] ^ b[i];
+    std::size_t len_diff = a.size() ^ b.size();
+    for (std::size_t s = 0; s < sizeof(std::size_t); ++s) {
+        acc |= static_cast<std::uint8_t>(len_diff >> (8 * s));
+    }
     return acc == 0;
 }
 

@@ -1,0 +1,165 @@
+// SecretBytes / Zeroizing: the zeroize-on-destruction contract.
+//
+// The central test uses a capturing allocator: deallocate() snapshots the
+// region's contents *before* freeing, so the test observes exactly what a
+// heap-scraping adversary would find after the secret's lifetime ends.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "crypto/bignum.hpp"
+#include "crypto/secret.hpp"
+
+namespace mie::crypto {
+namespace {
+
+// Snapshots of freed regions, shared across rebinds of the allocator.
+std::vector<std::vector<std::uint8_t>>& freed_regions() {
+    static std::vector<std::vector<std::uint8_t>> regions;
+    return regions;
+}
+
+template <typename T>
+struct CapturingAllocator {
+    using value_type = T;
+
+    CapturingAllocator() = default;
+    template <typename U>
+    CapturingAllocator(const CapturingAllocator<U>&) {}  // NOLINT
+
+    T* allocate(std::size_t n) {
+        return static_cast<T*>(std::malloc(n * sizeof(T)));
+    }
+    void deallocate(T* p, std::size_t n) {
+        const auto* bytes = reinterpret_cast<const std::uint8_t*>(p);
+        freed_regions().emplace_back(bytes, bytes + n * sizeof(T));
+        std::free(p);
+    }
+    bool operator==(const CapturingAllocator&) const { return true; }
+    bool operator!=(const CapturingAllocator&) const { return false; }
+};
+
+using TracedSecret = BasicSecretBytes<CapturingAllocator<std::uint8_t>>;
+
+bool all_zero(const std::vector<std::uint8_t>& region) {
+    for (const std::uint8_t byte : region) {
+        if (byte != 0) return false;
+    }
+    return true;
+}
+
+TEST(SecretBytes, DestructorScrubsBackingStorageBeforeFree) {
+    freed_regions().clear();
+    {
+        TracedSecret::Vector buf = {0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+        TracedSecret secret(std::move(buf));
+        ASSERT_EQ(secret.size(), 5u);
+    }
+    ASSERT_FALSE(freed_regions().empty());
+    for (const auto& region : freed_regions()) {
+        EXPECT_TRUE(all_zero(region))
+            << "freed secret region still holds plaintext bytes";
+    }
+}
+
+TEST(SecretBytes, MoveAssignWipesTheOverwrittenSecret) {
+    freed_regions().clear();
+    TracedSecret a(TracedSecret::Vector{1, 2, 3, 4});
+    TracedSecret b(TracedSecret::Vector{9, 9, 9, 9});
+    a = std::move(b);
+    // a's original buffer was wiped-then-freed by the move assignment.
+    ASSERT_FALSE(freed_regions().empty());
+    for (const auto& region : freed_regions()) {
+        EXPECT_TRUE(all_zero(region));
+    }
+    EXPECT_EQ(a.size(), 4u);
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(SecretBytes, MoveLeavesSourceEmpty) {
+    SecretBytes src(Bytes{10, 20, 30});
+    SecretBytes dst(std::move(src));
+    EXPECT_TRUE(src.empty());   // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(dst.size(), 3u);
+    EXPECT_EQ(dst.data()[1], 20);
+}
+
+TEST(SecretBytes, CloneIsDeepAndExplicit) {
+    SecretBytes a(Bytes{5, 6, 7});
+    SecretBytes b = a.clone();
+    EXPECT_TRUE(a == b);
+    EXPECT_NE(a.data(), b.data());
+}
+
+TEST(SecretBytes, EqualityIsValueBasedAndLengthAware) {
+    SecretBytes a(Bytes{1, 2, 3});
+    SecretBytes b(Bytes{1, 2, 3});
+    SecretBytes c(Bytes{1, 2, 4});
+    SecretBytes d(Bytes{1, 2});
+    EXPECT_TRUE(a == b);
+    EXPECT_TRUE(a != c);
+    EXPECT_TRUE(a != d);
+}
+
+TEST(SecretBytes, StreamInsertionRedacts) {
+    SecretBytes secret(Bytes{0x41, 0x41, 0x41});
+    std::ostringstream os;
+    os << secret;
+    EXPECT_EQ(os.str(), "[redacted 3 bytes]");
+    EXPECT_EQ(os.str().find('A'), std::string::npos);
+}
+
+TEST(SecretBytes, ViewExposesBytesWithoutCopy) {
+    SecretBytes secret(Bytes{7, 8});
+    BytesView view = secret;  // implicit, feeds HKDF/HMAC call sites
+    ASSERT_EQ(view.size(), 2u);
+    EXPECT_EQ(view.data(), secret.data());
+}
+
+TEST(Zeroizing, TriviallyCopyableStateIsWipedOnMove) {
+    struct RoundKeys {
+        std::uint32_t words[8];
+    };
+    Zeroizing<RoundKeys> keys(RoundKeys{{1, 2, 3, 4, 5, 6, 7, 8}});
+    Zeroizing<RoundKeys> moved(std::move(keys));
+    for (const std::uint32_t w : keys.get().words) {  // NOLINT
+        EXPECT_EQ(w, 0u);
+    }
+    EXPECT_EQ(moved.get().words[7], 8u);
+}
+
+TEST(Zeroizing, BigUintZeroizesThroughItsMember) {
+    SecretBigUint lambda(BigUint(0xDEADBEEFu));
+    SecretBigUint moved(std::move(lambda));
+    EXPECT_TRUE(lambda.get().is_zero());  // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(moved.get().low_u64(), 0xDEADBEEFu);
+}
+
+TEST(Zeroizing, CopyPreservesHygieneType) {
+    SecretBigUint d(BigUint(123u));
+    SecretBigUint copy = d;
+    EXPECT_EQ(copy.get().low_u64(), 123u);
+    EXPECT_EQ(d.get().low_u64(), 123u);  // copy leaves the source intact
+}
+
+TEST(Zeroizing, StreamInsertionRedacts) {
+    SecretBigUint secret(BigUint(99u));
+    std::ostringstream os;
+    os << secret;
+    EXPECT_EQ(os.str(), "[redacted]");
+}
+
+TEST(SecureZero, ScrubsTheWholeRange) {
+    std::uint8_t buf[64];
+    for (std::size_t i = 0; i < sizeof(buf); ++i) {
+        buf[i] = static_cast<std::uint8_t>(i + 1);
+    }
+    secure_zero(buf, sizeof(buf));
+    for (const std::uint8_t byte : buf) EXPECT_EQ(byte, 0u);
+}
+
+}  // namespace
+}  // namespace mie::crypto

@@ -47,6 +47,30 @@ TEST(Bytes, CtEqual) {
     EXPECT_TRUE(ct_equal({}, {}));
 }
 
+TEST(Bytes, CtEqualLengthMismatchIsBranchFree) {
+    // Length differences fold into the accumulator instead of an early
+    // return, so every (len_a, len_b) pair gives the right answer — in
+    // particular when one side is empty or a strict prefix of the other.
+    EXPECT_FALSE(ct_equal(to_bytes("a"), {}));
+    EXPECT_FALSE(ct_equal({}, to_bytes("a")));
+    EXPECT_FALSE(ct_equal(to_bytes("ab"), to_bytes("abc")));
+    EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("abcabc")));
+    // Differing content AND differing length must also report unequal
+    // (both mismatch sources OR into the same accumulator).
+    EXPECT_FALSE(ct_equal(to_bytes("xyz"), to_bytes("ab")));
+}
+
+TEST(Bytes, CtEqualLongBuffersSingleBitDifference) {
+    Bytes a(1024, 0x5a);
+    Bytes b = a;
+    EXPECT_TRUE(ct_equal(a, b));
+    b[1023] ^= 0x01;  // flip one bit at the very end
+    EXPECT_FALSE(ct_equal(a, b));
+    b[1023] ^= 0x01;
+    b[0] ^= 0x80;  // and one at the very start
+    EXPECT_FALSE(ct_equal(a, b));
+}
+
 TEST(Bytes, XorInto) {
     Bytes a = {0xff, 0x00, 0x55};
     const Bytes b = {0x0f, 0xf0, 0x55};

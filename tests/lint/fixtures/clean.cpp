@@ -1,0 +1,27 @@
+// Fixture: zero findings. Exercises constructs adjacent to every rule's
+// trigger without crossing any of them:
+//  - ordered containers iterate freely (R3)
+//  - kMagic does not match R2's name heuristic ("mac" split on '_')
+//  - `random_device` inside this comment and the string below are ignored
+//  - a scalar seed member is public by design (R5 skips scalar types)
+#include <cstring>
+#include <cstdint>
+#include <map>
+#include <string>
+
+struct TrainParams {
+    std::uint64_t kmeans_seed = 7;
+};
+
+const char* banner() { return "not a std::random_device in a string"; }
+
+bool magic_ok(const unsigned char* header) {
+    static const unsigned char kMagic[4] = {'M', 'I', 'E', '1'};
+    return std::memcmp(header, kMagic, sizeof(kMagic)) == 0;
+}
+
+int sum(const std::map<std::string, int>& scores) {
+    int total = 0;
+    for (const auto& [name, value] : scores) total += value + name.empty();
+    return total;
+}

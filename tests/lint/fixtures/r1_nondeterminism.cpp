@@ -1,0 +1,7 @@
+// Fixture: exactly one R1 finding (std::random_device at line 5).
+#include <random>
+
+unsigned fresh_entropy() {
+    std::random_device device;
+    return device();
+}

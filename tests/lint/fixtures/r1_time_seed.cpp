@@ -1,0 +1,6 @@
+// Fixture: exactly one R1 finding (time(nullptr) seeding at line 5).
+#include <ctime>
+
+long wall_clock_seed() {
+    return static_cast<long>(time(nullptr));
+}

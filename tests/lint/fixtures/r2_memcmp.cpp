@@ -1,0 +1,6 @@
+// Fixture: exactly one R2 finding (memcmp on MAC buffers at line 5).
+#include <cstring>
+
+bool verify(const unsigned char* expected_mac, const unsigned char* got) {
+    return std::memcmp(expected_mac, got, 32) == 0;
+}

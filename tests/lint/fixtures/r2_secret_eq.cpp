@@ -1,0 +1,8 @@
+// Fixture: exactly one R2 finding (operator== on tag buffers at line 7).
+#include <vector>
+
+using Buffer = std::vector<unsigned char>;
+
+bool same_tag(const Buffer& expected_tag, const Buffer& actual) {
+    return expected_tag == actual;
+}

@@ -1,0 +1,13 @@
+// Fixture: zero findings — the inline allow-comment suppresses R3.
+#include <unordered_map>
+
+std::unordered_map<int, int> histogram;
+
+int total() {
+    int sum = 0;
+    // mielint: allow(R3): summation is commutative
+    for (const auto& [bucket, count] : histogram) {
+        sum += count + bucket * 0;
+    }
+    return sum;
+}

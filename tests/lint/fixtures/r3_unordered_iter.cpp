@@ -1,0 +1,13 @@
+// Fixture: exactly one R3 finding (range-for over an unordered_map at
+// line 10).
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+std::unordered_map<std::string, int> table;
+
+void dump() {
+    for (const auto& [name, count] : table) {
+        std::printf("%s %d\n", name.c_str(), count);
+    }
+}

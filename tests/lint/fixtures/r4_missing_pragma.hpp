@@ -1,0 +1,2 @@
+// Fixture: exactly one R4 finding (no include guard; reported at line 1).
+inline int answer() { return 42; }

@@ -1,0 +1,8 @@
+// Fixture: exactly one R4 finding ('using namespace' at line 6).
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+inline string shout(const string& s) { return s + "!"; }

@@ -1,0 +1,10 @@
+// Fixture: exactly one R5 finding (BigUint private exponent at line 9;
+// `n` is listed as public-biguint-member by the test's config).
+#pragma once
+
+struct BigUint {};
+
+struct TestPrivateKey {
+    BigUint n;
+    BigUint d;
+};

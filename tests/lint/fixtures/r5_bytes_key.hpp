@@ -1,0 +1,11 @@
+// Fixture: exactly one R5 finding (raw-typed master_key at line 9).
+#pragma once
+
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+struct KeyBundle {
+    Bytes master_key;
+    Bytes public_salt_material;
+};

@@ -1,0 +1,286 @@
+// mielint's own test suite: golden fixtures (each violating exactly one
+// rule), suppression comments, config parsing, glob semantics, and the
+// JSON report shape. The fixtures live under tests/lint/fixtures/ and are
+// linted in-process through mielint_core — the same pipeline main.cpp
+// drives — so assertions see structured Findings, not scraped output.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+#include "engine.hpp"
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace {
+
+using mielint::Config;
+using mielint::Finding;
+
+// Mirrors tools/mielint/mielint.conf's R5 policy so fixtures are judged
+// under the same type rules as the real tree.
+Config test_config() {
+    return Config::parse(
+        "secret-safe-type SecretBytes\n"
+        "secret-safe-type Zeroizing\n"
+        "secret-safe-type SecretBigUint\n"
+        "public-biguint-member n\n"
+        "public-biguint-member e\n"
+        "public-biguint-member n_squared\n");
+}
+
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const Config& config = test_config()) {
+    const std::string root = MIELINT_FIXTURE_DIR;
+    return mielint::lint_paths({root + "/" + name}, root, config);
+}
+
+// ------------------------------------------------ golden fixtures ----
+
+struct GoldenCase {
+    const char* fixture;
+    const char* rule;
+    int line;
+};
+
+class GoldenFixture : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenFixture, TriggersExactlyItsRule) {
+    const GoldenCase& expected = GetParam();
+    const std::vector<Finding> findings = lint_fixture(expected.fixture);
+    ASSERT_EQ(findings.size(), 1u) << "fixture " << expected.fixture;
+    EXPECT_EQ(findings[0].rule, expected.rule);
+    EXPECT_EQ(findings[0].file, expected.fixture);
+    EXPECT_EQ(findings[0].line, expected.line);
+    EXPECT_FALSE(findings[0].message.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, GoldenFixture,
+    ::testing::Values(
+        GoldenCase{"r1_nondeterminism.cpp", "R1", 5},
+        GoldenCase{"r1_time_seed.cpp", "R1", 5},
+        GoldenCase{"r2_memcmp.cpp", "R2", 5},
+        GoldenCase{"r2_secret_eq.cpp", "R2", 7},
+        GoldenCase{"r3_unordered_iter.cpp", "R3", 10},
+        GoldenCase{"r4_missing_pragma.hpp", "R4", 1},
+        GoldenCase{"r4_using_namespace.hpp", "R4", 6},
+        GoldenCase{"r5_bytes_key.hpp", "R5", 9},
+        GoldenCase{"r5_biguint.hpp", "R5", 9}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+        std::string name = info.param.fixture;
+        for (char& c : name) {
+            if (c == '.' || c == '/') c = '_';
+        }
+        return name;
+    });
+
+TEST(MielintFixtures, CleanFileHasNoFindings) {
+    EXPECT_TRUE(lint_fixture("clean.cpp").empty());
+}
+
+TEST(MielintFixtures, InlineAllowSuppressesR3) {
+    EXPECT_TRUE(lint_fixture("r3_allowed.cpp").empty());
+}
+
+TEST(MielintFixtures, WholeDirectoryFindingsAreSortedAndComplete) {
+    const std::string root = MIELINT_FIXTURE_DIR;
+    std::vector<std::string> paths;
+    const char* names[] = {
+        "clean.cpp",          "r1_nondeterminism.cpp", "r1_time_seed.cpp",
+        "r2_memcmp.cpp",      "r2_secret_eq.cpp",      "r3_allowed.cpp",
+        "r3_unordered_iter.cpp", "r4_missing_pragma.hpp",
+        "r4_using_namespace.hpp", "r5_bytes_key.hpp",  "r5_biguint.hpp"};
+    for (const char* name : names) paths.push_back(root + "/" + name);
+    const std::vector<Finding> findings =
+        mielint::lint_paths(paths, root, test_config());
+    ASSERT_EQ(findings.size(), 9u);
+    for (std::size_t i = 1; i < findings.size(); ++i) {
+        EXPECT_LE(findings[i - 1].file, findings[i].file);
+    }
+}
+
+// --------------------------------------------------- suppressions ----
+
+TEST(MielintSuppression, AllowCommentCoversSameAndNextLineOnly) {
+    const mielint::LexedFile file = mielint::lex(
+        "mem.cpp", "mem.cpp",
+        "// mielint: allow(R2): precomputed public value\n"
+        "int x;\n"
+        "int y;\n");
+    EXPECT_TRUE(file.allowed("R2", 1));
+    EXPECT_TRUE(file.allowed("R2", 2));
+    EXPECT_FALSE(file.allowed("R2", 3));
+    EXPECT_FALSE(file.allowed("R3", 2));
+}
+
+TEST(MielintSuppression, AllowListsMultipleRules) {
+    const mielint::LexedFile file = mielint::lex(
+        "mem.cpp", "mem.cpp", "// mielint: allow(R1, R3): test shim\n");
+    EXPECT_TRUE(file.allowed("R1", 1));
+    EXPECT_TRUE(file.allowed("R3", 1));
+    EXPECT_FALSE(file.allowed("R2", 1));
+}
+
+TEST(MielintSuppression, PathAllowlistDropsFindings) {
+    Config config = test_config();
+    config.path_allows["R5"].push_back("r5_*.hpp");
+    EXPECT_TRUE(lint_fixture("r5_bytes_key.hpp", config).empty());
+    EXPECT_TRUE(lint_fixture("r5_biguint.hpp", config).empty());
+    // Unrelated rules stay live.
+    EXPECT_EQ(lint_fixture("r1_nondeterminism.cpp", config).size(), 1u);
+}
+
+// -------------------------------------------------------- config -----
+
+TEST(MielintConfig, ParsesDirectivesAndComments) {
+    const Config config = Config::parse(
+        "# policy\n"
+        "allow R1 src/crypto/entropy.cpp\n"
+        "secret-safe-type SecretBytes  # trailing comment\n"
+        "public-biguint-member n\n"
+        "\n");
+    EXPECT_TRUE(config.path_allowed("R1", "src/crypto/entropy.cpp"));
+    EXPECT_FALSE(config.path_allowed("R1", "src/crypto/aes.cpp"));
+    EXPECT_EQ(config.secret_safe_types.count("SecretBytes"), 1u);
+    EXPECT_EQ(config.public_biguint_members.count("n"), 1u);
+}
+
+TEST(MielintConfig, RejectsMalformedInput) {
+    EXPECT_THROW(Config::parse("frobnicate R1\n"), std::runtime_error);
+    EXPECT_THROW(Config::parse("allow R1\n"), std::runtime_error);
+    EXPECT_THROW(Config::parse("allow R1 a/b extra\n"), std::runtime_error);
+}
+
+TEST(MielintConfig, GlobSemantics) {
+    EXPECT_TRUE(mielint::glob_match("src/*.cpp", "src/a.cpp"));
+    EXPECT_FALSE(mielint::glob_match("src/*.cpp", "src/sub/a.cpp"));
+    EXPECT_TRUE(mielint::glob_match("src/**/*.cpp", "src/sub/deep/a.cpp"));
+    EXPECT_TRUE(mielint::glob_match("**/entropy.cpp",
+                                    "src/crypto/entropy.cpp"));
+    EXPECT_TRUE(mielint::glob_match("src/?.cpp", "src/a.cpp"));
+    EXPECT_FALSE(mielint::glob_match("src/?.cpp", "src/ab.cpp"));
+    EXPECT_FALSE(mielint::glob_match("src/?.cpp", "src//.cpp"));
+}
+
+// ------------------------------------------------------- reports -----
+
+TEST(MielintReport, JsonShapeAndEscaping) {
+    const std::vector<Finding> findings = {
+        Finding{"R2", "src/a \"quoted\".cpp", 7, "line1\nline2"}};
+    const std::string json = mielint::to_json(findings, 3);
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"tool\": \"mielint\""), std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"R2\""), std::string::npos);
+    EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+    EXPECT_NE(json.find("\"total\": 1"), std::string::npos);
+}
+
+TEST(MielintReport, JsonEmptyFindings) {
+    const std::string json = mielint::to_json({}, 5);
+    EXPECT_NE(json.find("\"findings\": []"), std::string::npos);
+    EXPECT_NE(json.find("\"total\": 0"), std::string::npos);
+}
+
+TEST(MielintReport, HumanFormat) {
+    const std::vector<Finding> findings = {
+        Finding{"R1", "src/a.cpp", 12, "bad entropy"}};
+    const std::string text = mielint::to_human(findings, 2);
+    EXPECT_NE(text.find("src/a.cpp:12: R1: bad entropy"), std::string::npos);
+    EXPECT_NE(text.find("1 finding in 2 files"), std::string::npos);
+}
+
+// ----------------------------------------- regression tripwires ------
+// The invariants the lint gate exists for: if someone reverts key
+// structs to raw Bytes or swaps ct_equal for memcmp, the rules fire.
+
+TEST(MielintTripwire, RawBytesKeyMemberIsCaught) {
+    const mielint::LexedFile file = mielint::lex(
+        "keys.hpp", "keys.hpp",
+        "#pragma once\n"
+        "struct DenseDpeKey {\n"
+        "    Bytes seed;\n"
+        "};\n");
+    const std::vector<Finding> findings =
+        mielint::run_rules({file}, test_config());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "R5");
+    EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(MielintTripwire, SecretBytesKeyMemberIsClean) {
+    const mielint::LexedFile file = mielint::lex(
+        "keys.hpp", "keys.hpp",
+        "#pragma once\n"
+        "struct DenseDpeKey {\n"
+        "    crypto::SecretBytes seed;\n"
+        "};\n");
+    EXPECT_TRUE(mielint::run_rules({file}, test_config()).empty());
+}
+
+TEST(MielintTripwire, MemcmpOnMacIsCaughtCtEqualIsNot) {
+    const mielint::LexedFile bad = mielint::lex(
+        "verify.cpp", "verify.cpp",
+        "bool ok(BytesView mac, BytesView got) {\n"
+        "    return memcmp(mac.data(), got.data(), mac.size()) == 0;\n"
+        "}\n");
+    const std::vector<Finding> findings =
+        mielint::run_rules({bad}, test_config());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "R2");
+
+    const mielint::LexedFile good = mielint::lex(
+        "verify.cpp", "verify.cpp",
+        "bool ok(BytesView mac, BytesView got) {\n"
+        "    return util::ct_equal(mac, got);\n"
+        "}\n");
+    EXPECT_TRUE(mielint::run_rules({good}, test_config()).empty());
+}
+
+TEST(MielintTripwire, MemberAccessComparisonIsNotASecretCompare) {
+    // key_.input_dims compares a dimension, not the key bytes.
+    const mielint::LexedFile file = mielint::lex(
+        "dpe.cpp", "dpe.cpp",
+        "void check(std::size_t n) {\n"
+        "    if (n != key_.input_dims) throw 1;\n"
+        "}\n");
+    EXPECT_TRUE(mielint::run_rules({file}, test_config()).empty());
+}
+
+TEST(MielintTripwire, EnumClassIsNotAnAggregate) {
+    const mielint::LexedFile file = mielint::lex(
+        "grants.hpp", "grants.hpp",
+        "#pragma once\n"
+        "enum class KeyGrant { kRepository = 1, kDataKey = 2 };\n");
+    EXPECT_TRUE(mielint::run_rules({file}, test_config()).empty());
+}
+
+// R3 name scoping: an unordered_map member in an included header taints
+// same-named iteration there, but not an unrelated file that never
+// includes it.
+TEST(MielintTripwire, UnorderedNamesScopeToIncludeClosure) {
+    mielint::LexedFile header = mielint::lex(
+        "srv/server.hpp", "srv/server.hpp",
+        "#pragma once\n"
+        "struct Repo { std::unordered_map<int, Obj> objects; };\n");
+    mielint::LexedFile includer = mielint::lex(
+        "srv/server.cpp", "srv/server.cpp",
+        "#include \"srv/server.hpp\"\n"
+        "void dump(Repo& r) { for (auto& o : r.objects) { use(o); } }\n");
+    mielint::LexedFile unrelated = mielint::lex(
+        "other.cpp", "other.cpp",
+        "void run(std::vector<int> objects) {\n"
+        "    for (int o : objects) { use(o); }\n"
+        "}\n");
+    const std::vector<Finding> findings = mielint::run_rules(
+        {header, includer, unrelated}, test_config());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "R3");
+    EXPECT_EQ(findings[0].file, "srv/server.cpp");
+}
+
+}  // namespace

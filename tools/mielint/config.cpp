@@ -1,0 +1,106 @@
+#include "config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mielint {
+
+namespace {
+
+bool glob_match_at(const std::string& p, std::size_t pi, const std::string& s,
+                   std::size_t si) {
+    while (pi < p.size()) {
+        const char c = p[pi];
+        if (c == '*') {
+            const bool double_star = pi + 1 < p.size() && p[pi + 1] == '*';
+            const std::size_t next = pi + (double_star ? 2 : 1);
+            // Try every span the star could absorb (empty first).
+            for (std::size_t k = si; k <= s.size(); ++k) {
+                if (glob_match_at(p, next, s, k)) return true;
+                if (k < s.size() && !double_star && s[k] == '/') break;
+            }
+            return false;
+        }
+        if (si >= s.size()) return false;
+        if (c == '?') {
+            if (s[si] == '/') return false;
+        } else if (c != s[si]) {
+            return false;
+        }
+        ++pi;
+        ++si;
+    }
+    return si == s.size();
+}
+
+}  // namespace
+
+bool glob_match(const std::string& pattern, const std::string& path) {
+    return glob_match_at(pattern, 0, path, 0);
+}
+
+Config Config::parse(const std::string& text, const std::string& origin) {
+    Config config;
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const std::size_t hash = raw.find('#');
+        std::string body = hash == std::string::npos ? raw
+                                                     : raw.substr(0, hash);
+        std::istringstream fields(body);
+        std::string directive;
+        if (!(fields >> directive)) continue;  // blank / comment-only
+
+        auto fail = [&](const std::string& why) {
+            throw std::runtime_error(origin + ":" +
+                                     std::to_string(line_no) + ": " + why);
+        };
+        if (directive == "allow") {
+            std::string rule, glob;
+            if (!(fields >> rule >> glob)) {
+                fail("expected: allow <rule-id> <path-glob>");
+            }
+            config.path_allows[rule].push_back(glob);
+        } else if (directive == "secret-safe-type") {
+            std::string name;
+            if (!(fields >> name)) fail("expected: secret-safe-type <name>");
+            config.secret_safe_types.insert(name);
+        } else if (directive == "public-biguint-member") {
+            std::string name;
+            if (!(fields >> name)) {
+                fail("expected: public-biguint-member <name>");
+            }
+            config.public_biguint_members.insert(name);
+        } else {
+            fail("unknown directive '" + directive + "'");
+        }
+        std::string extra;
+        if (fields >> extra) fail("trailing tokens after directive");
+    }
+    return config;
+}
+
+Config Config::load(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("mielint: cannot open config: " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str(), path);
+}
+
+bool Config::path_allowed(const std::string& rule,
+                          const std::string& display_path) const {
+    const auto it = path_allows.find(rule);
+    if (it == path_allows.end()) return false;
+    for (const std::string& glob : it->second) {
+        if (glob_match(glob, display_path)) return true;
+    }
+    return false;
+}
+
+}  // namespace mielint

@@ -1,0 +1,43 @@
+// mielint configuration: per-path rule allowlists and the R5 type policy.
+//
+// The config file is line-oriented; `#` starts a comment. Directives:
+//
+//   allow <rule-id> <path-glob>     suppress a rule under matching paths
+//   secret-safe-type <name>         type accepted as secret storage (R5)
+//   public-biguint-member <name>    BigUint member public by design inside
+//                                   *Private*/*Secret* aggregates (R5)
+//
+// Globs match repo-relative paths: `*` and `?` stop at '/', `**` crosses
+// directories. Finer-grained, one-off exceptions belong in the code as
+// `// mielint: allow(Rn): reason` comments, not here — the config is for
+// policy (e.g. "the entropy shim may use std::random_device"), the inline
+// form is for local judgment calls that a reviewer should see in context.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mielint {
+
+/// `*`/`?` match within one path segment, `**` matches across segments.
+bool glob_match(const std::string& pattern, const std::string& path);
+
+struct Config {
+    /// rule id -> path globs where the rule is suppressed.
+    std::map<std::string, std::vector<std::string>> path_allows;
+    std::set<std::string> secret_safe_types;
+    std::set<std::string> public_biguint_members;
+
+    /// Parses the directive format above; throws std::runtime_error with
+    /// file:line context on malformed input.
+    static Config parse(const std::string& text,
+                        const std::string& origin = "<config>");
+    static Config load(const std::string& path);
+
+    bool path_allowed(const std::string& rule,
+                      const std::string& display_path) const;
+};
+
+}  // namespace mielint

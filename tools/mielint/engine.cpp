@@ -1,0 +1,150 @@
+#include "engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace mielint {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("mielint: cannot read " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string display_path(const std::string& path, const std::string& root) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path abs = fs::weakly_canonical(fs::path(path), ec);
+    const fs::path abs_root = fs::weakly_canonical(fs::path(root), ec);
+    const fs::path rel = abs.lexically_relative(abs_root);
+    if (rel.empty() || rel.native().rfind("..", 0) == 0) {
+        return abs.generic_string();
+    }
+    return rel.generic_string();
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                const std::string& root,
+                                const Config& config) {
+    // Dedup on display path (a file can arrive via both compile_commands
+    // and a --headers-under sweep), keep deterministic order.
+    std::set<std::string> seen;
+    std::vector<LexedFile> files;
+    for (const std::string& path : paths) {
+        std::string display = display_path(path, root);
+        if (!seen.insert(display).second) continue;
+        files.push_back(lex(path, std::move(display), read_file(path)));
+    }
+    std::sort(files.begin(), files.end(),
+              [](const LexedFile& a, const LexedFile& b) {
+                  return a.display < b.display;
+              });
+    return run_rules(files, config);
+}
+
+std::vector<std::string> files_from_compile_commands(
+    const std::string& json_path) {
+    const std::string text = read_file(json_path);
+    std::vector<std::string> files;
+    std::size_t pos = 0;
+    while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
+        pos += 6;
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' || text[pos] == ':' ||
+                text[pos] == '\n')) {
+            ++pos;
+        }
+        if (pos >= text.size() || text[pos] != '"') continue;
+        ++pos;
+        std::string value;
+        while (pos < text.size() && text[pos] != '"') {
+            if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+            value.push_back(text[pos++]);
+        }
+        files.push_back(std::move(value));
+    }
+    return files;
+}
+
+std::vector<std::string> headers_under(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::vector<std::string> out;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".hpp" || ext == ".h") {
+            out.push_back(entry.path().string());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string to_json(const std::vector<Finding>& findings,
+                    std::size_t files_scanned) {
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"schema_version\": 1,\n"
+        << "  \"tool\": \"mielint\",\n"
+        << "  \"files_scanned\": " << files_scanned << ",\n"
+        << "  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        out << (i == 0 ? "\n" : ",\n")
+            << "    {\"rule\": \"" << json_escape(f.rule) << "\", "
+            << "\"file\": \"" << json_escape(f.file) << "\", "
+            << "\"line\": " << f.line << ", "
+            << "\"message\": \"" << json_escape(f.message) << "\"}";
+    }
+    out << (findings.empty() ? "]" : "\n  ]") << ",\n"
+        << "  \"total\": " << findings.size() << "\n"
+        << "}\n";
+    return out.str();
+}
+
+std::string to_human(const std::vector<Finding>& findings,
+                     std::size_t files_scanned) {
+    std::ostringstream out;
+    for (const Finding& f : findings) {
+        out << f.file << ":" << f.line << ": " << f.rule << ": "
+            << f.message << "\n";
+    }
+    out << "mielint: " << findings.size() << " finding"
+        << (findings.size() == 1 ? "" : "s") << " in " << files_scanned
+        << " files\n";
+    return out.str();
+}
+
+}  // namespace mielint

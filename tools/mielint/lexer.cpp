@@ -1,0 +1,223 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace mielint {
+
+namespace {
+
+bool ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses "mielint: allow(R1, R2): reason" out of a comment body and
+/// records the rule ids against `line`.
+void parse_allow(const std::string& comment, int line, LexedFile& out) {
+    const std::size_t marker = comment.find("mielint:");
+    if (marker == std::string::npos) return;
+    const std::size_t open = comment.find("allow(", marker);
+    if (open == std::string::npos) return;
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) return;
+    std::string id;
+    auto flush = [&] {
+        if (!id.empty()) out.inline_allows[line].insert(id);
+        id.clear();
+    };
+    for (std::size_t i = open + 6; i < close; ++i) {
+        const char c = comment[i];
+        if (c == ',' || c == ' ' || c == '\t') {
+            flush();
+        } else {
+            id.push_back(c);
+        }
+    }
+    flush();
+}
+
+const char* kMultiCharOps[] = {"::", "->", "==", "!=", "&&", "||",
+                               "++", "--"};
+
+}  // namespace
+
+bool LexedFile::allowed(const std::string& rule, int line) const {
+    for (const int l : {line, line - 1}) {
+        const auto it = inline_allows.find(l);
+        if (it != inline_allows.end() && it->second.count(rule) > 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+LexedFile lex(std::string path, std::string display,
+              const std::string& contents) {
+    LexedFile out;
+    out.path = std::move(path);
+    out.display = std::move(display);
+
+    // Split raw lines first (R4 inspects the untokenized text).
+    std::string current;
+    for (const char c : contents) {
+        if (c == '\n') {
+            out.raw_lines.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty()) out.raw_lines.push_back(current);
+
+    const std::size_t n = contents.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool at_line_start = true;  // only whitespace seen since the newline
+
+    auto push = [&](std::string text, bool is_ident) {
+        out.tokens.push_back(Token{std::move(text), line, is_ident});
+    };
+
+    while (i < n) {
+        const char c = contents[i];
+        if (c == '\n') {
+            ++line;
+            at_line_start = true;
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+            ++i;
+            continue;
+        }
+
+        // Preprocessor directive: drop the whole (possibly continued)
+        // logical line from the token stream.
+        if (c == '#' && at_line_start) {
+            while (i < n) {
+                if (contents[i] == '\\' && i + 1 < n &&
+                    contents[i + 1] == '\n') {
+                    i += 2;
+                    ++line;
+                    continue;
+                }
+                if (contents[i] == '\n') break;
+                ++i;
+            }
+            continue;
+        }
+        at_line_start = false;
+
+        // Line comment (may carry an inline suppression).
+        if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
+            const std::size_t start = i;
+            while (i < n && contents[i] != '\n') ++i;
+            parse_allow(contents.substr(start, i - start), line, out);
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n &&
+                   !(contents[i] == '*' && contents[i + 1] == '/')) {
+                if (contents[i] == '\n') ++line;
+                ++i;
+            }
+            i = (i + 1 < n) ? i + 2 : n;
+            continue;
+        }
+
+        // String literal (skipped; a raw-string prefix is handled where
+        // the identifier before the quote is lexed, below).
+        if (c == '"') {
+            ++i;
+            while (i < n && contents[i] != '"') {
+                if (contents[i] == '\\' && i + 1 < n) ++i;
+                if (contents[i] == '\n') ++line;  // tolerate, keep counting
+                ++i;
+            }
+            ++i;  // closing quote
+            continue;
+        }
+        // Character literal.
+        if (c == '\'') {
+            ++i;
+            while (i < n && contents[i] != '\'') {
+                if (contents[i] == '\\' && i + 1 < n) ++i;
+                ++i;
+            }
+            ++i;
+            continue;
+        }
+
+        // Number (including hex, digit separators, exponents).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(contents[i + 1])))) {
+            const std::size_t start = i;
+            ++i;
+            while (i < n) {
+                const char d = contents[i];
+                if (ident_char(d) || d == '.' || d == '\'') {
+                    ++i;
+                } else if ((d == '+' || d == '-') &&
+                           (contents[i - 1] == 'e' || contents[i - 1] == 'E' ||
+                            contents[i - 1] == 'p' ||
+                            contents[i - 1] == 'P')) {
+                    ++i;
+                } else {
+                    break;
+                }
+            }
+            push(contents.substr(start, i - start), /*is_ident=*/false);
+            continue;
+        }
+
+        // Identifier or keyword (with raw-string-prefix special case).
+        if (ident_start(c)) {
+            const std::size_t start = i;
+            while (i < n && ident_char(contents[i])) ++i;
+            const std::string word = contents.substr(start, i - start);
+            if (i < n && contents[i] == '"' &&
+                (word == "R" || word == "u8R" || word == "uR" ||
+                 word == "UR" || word == "LR")) {
+                // Raw string literal: R"delim( ... )delim"
+                ++i;  // opening quote
+                std::string delim;
+                while (i < n && contents[i] != '(') delim.push_back(contents[i++]);
+                ++i;  // '('
+                const std::string closer = ")" + delim + "\"";
+                const std::size_t end = contents.find(closer, i);
+                for (std::size_t j = i;
+                     j < (end == std::string::npos ? n : end); ++j) {
+                    if (contents[j] == '\n') ++line;
+                }
+                i = (end == std::string::npos) ? n : end + closer.size();
+                continue;
+            }
+            push(word, /*is_ident=*/true);
+            continue;
+        }
+
+        // Punctuation: fold the few two-character operators rules rely on;
+        // everything else (notably '<' and '>') stays single-character.
+        bool matched = false;
+        for (const char* op : kMultiCharOps) {
+            if (c == op[0] && i + 1 < n && contents[i + 1] == op[1]) {
+                push(op, /*is_ident=*/false);
+                i += 2;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            push(std::string(1, c), /*is_ident=*/false);
+            ++i;
+        }
+    }
+    return out;
+}
+
+}  // namespace mielint

@@ -1,0 +1,58 @@
+// Lexical front end of mielint.
+//
+// The linter's rules operate on token streams, not ASTs: every project
+// invariant it enforces (banned identifiers, memcmp on secrets, unordered
+// iteration, header hygiene, secret-typed members) is recognizable from
+// tokens plus light structural tracking, and a tokenizer keeps the tool
+// dependency-free and fast enough to run on every file of the tree in CI.
+//
+// The lexer strips comments, string/char literals and preprocessor lines
+// (so `#include <unordered_map>` or a word inside a doc comment never
+// trips a rule), folds the handful of multi-character operators the rules
+// care about (`::`, `->`, `==`, `!=`, `&&`, `||`, `++`, `--`) and records
+// inline suppressions of the form
+//
+//     // mielint: allow(R3): reason
+//
+// which silence the named rules on the comment's line and the line below.
+// `<` and `>` are deliberately left as single-character tokens so rules
+// can track template-argument depth through nested closers like `>>`.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mielint {
+
+struct Token {
+    std::string text;
+    int line = 0;               // 1-based
+    bool is_identifier = false;
+};
+
+struct LexedFile {
+    std::string path;     // filesystem path the contents came from
+    std::string display;  // path reported in findings (relative to root)
+    std::vector<Token> tokens;
+    std::vector<std::string> raw_lines;  // original text, for R4
+    /// line -> rules suppressed there (and on the following line).
+    std::map<int, std::set<std::string>> inline_allows;
+
+    bool is_header() const {
+        return display.size() >= 4 &&
+               (display.rfind(".hpp") == display.size() - 4 ||
+                display.rfind(".h") == display.size() - 2);
+    }
+
+    /// True if `rule` is suppressed for a finding on `line` by an inline
+    /// allow-comment on the same or the preceding line.
+    bool allowed(const std::string& rule, int line) const;
+};
+
+/// Tokenizes `contents` (see the header comment for what is stripped).
+LexedFile lex(std::string path, std::string display,
+              const std::string& contents);
+
+}  // namespace mielint

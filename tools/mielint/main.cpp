@@ -1,0 +1,144 @@
+// mielint — project-invariant linter for the MIE codebase.
+//
+// Usage:
+//   mielint [--compile-commands PATH] [--headers-under DIR]...
+//           [--config PATH] [--root DIR] [--only PREFIX] [--json]
+//           [--list-rules] [FILE]...
+//
+// Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+#include "engine.hpp"
+#include "rules.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+    out << "usage: mielint [options] [FILE]...\n"
+           "  --compile-commands PATH  lint every \"file\" entry of a CMake\n"
+           "                           compile_commands.json\n"
+           "  --headers-under DIR      also lint all .hpp/.h under DIR\n"
+           "                           (repeatable)\n"
+           "  --config PATH            mielint.conf with allow/type "
+           "directives\n"
+           "  --root DIR               report paths relative to DIR\n"
+           "  --only PREFIX            keep findings whose display path\n"
+           "                           starts with PREFIX (repeatable)\n"
+           "  --json                   machine-readable report\n"
+           "  --list-rules             print the rule catalogue and exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> paths;
+    std::vector<std::string> only_prefixes;
+    std::string config_path;
+    std::string root = ".";
+    bool json = false;
+
+    auto need_value = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << "mielint: " << flag << " needs a value\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    std::vector<std::string> compile_commands;
+    std::vector<std::string> header_dirs;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+            usage(std::cout);
+            return 0;
+        } else if (std::strcmp(arg, "--list-rules") == 0) {
+            for (const mielint::RuleInfo& rule : mielint::rule_catalog()) {
+                std::cout << rule.id << "  " << rule.title << "\n";
+            }
+            return 0;
+        } else if (std::strcmp(arg, "--compile-commands") == 0) {
+            compile_commands.push_back(need_value(i, arg));
+        } else if (std::strcmp(arg, "--headers-under") == 0) {
+            header_dirs.push_back(need_value(i, arg));
+        } else if (std::strcmp(arg, "--config") == 0) {
+            config_path = need_value(i, arg);
+        } else if (std::strcmp(arg, "--root") == 0) {
+            root = need_value(i, arg);
+        } else if (std::strcmp(arg, "--only") == 0) {
+            only_prefixes.push_back(need_value(i, arg));
+        } else if (std::strcmp(arg, "--json") == 0) {
+            json = true;
+        } else if (arg[0] == '-' && arg[1] != '\0') {
+            std::cerr << "mielint: unknown option " << arg << "\n";
+            usage(std::cerr);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    try {
+        mielint::Config config;
+        if (!config_path.empty()) {
+            config = mielint::Config::load(config_path);
+        }
+        for (const std::string& cc : compile_commands) {
+            for (std::string& file : mielint::files_from_compile_commands(cc)) {
+                paths.push_back(std::move(file));
+            }
+        }
+        for (const std::string& dir : header_dirs) {
+            for (std::string& header : mielint::headers_under(dir)) {
+                paths.push_back(std::move(header));
+            }
+        }
+        if (paths.empty()) {
+            std::cerr << "mielint: no input files\n";
+            usage(std::cerr);
+            return 2;
+        }
+
+        // De-dup of repeated paths happens inside lint_paths; count scanned
+        // files the same way it does (unique display paths).
+        std::vector<mielint::Finding> findings =
+            mielint::lint_paths(paths, root, config);
+        std::size_t files_scanned = 0;
+        {
+            std::vector<std::string> displays;
+            displays.reserve(paths.size());
+            for (const std::string& path : paths) {
+                displays.push_back(mielint::display_path(path, root));
+            }
+            std::sort(displays.begin(), displays.end());
+            displays.erase(std::unique(displays.begin(), displays.end()),
+                           displays.end());
+            files_scanned = displays.size();
+        }
+
+        if (!only_prefixes.empty()) {
+            std::vector<mielint::Finding> kept;
+            for (mielint::Finding& f : findings) {
+                for (const std::string& prefix : only_prefixes) {
+                    if (f.file.rfind(prefix, 0) == 0) {
+                        kept.push_back(std::move(f));
+                        break;
+                    }
+                }
+            }
+            findings = std::move(kept);
+        }
+
+        std::cout << (json ? mielint::to_json(findings, files_scanned)
+                           : mielint::to_human(findings, files_scanned));
+        return findings.empty() ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::cerr << "mielint: error: " << e.what() << "\n";
+        return 2;
+    }
+}

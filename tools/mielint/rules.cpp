@@ -1,0 +1,498 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mielint {
+
+namespace {
+
+std::string lower(const std::string& s) {
+    std::string out = s;
+    for (char& c : out) c = static_cast<char>(std::tolower(
+                            static_cast<unsigned char>(c)));
+    return out;
+}
+
+/// Sink for one file's findings; drops anything allowlisted.
+class Sink {
+public:
+    Sink(const LexedFile& file, const Config& config,
+         std::vector<Finding>& out)
+        : file_(file), config_(config), out_(out) {}
+
+    void report(const std::string& rule, int line, std::string message) {
+        if (config_.path_allowed(rule, file_.display)) return;
+        if (file_.allowed(rule, line)) return;
+        out_.push_back(Finding{rule, file_.display, line,
+                               std::move(message)});
+    }
+
+private:
+    const LexedFile& file_;
+    const Config& config_;
+    std::vector<Finding>& out_;
+};
+
+// ---------------------------------------------------------------- R1 ----
+
+const std::set<std::string>& banned_nondeterminism() {
+    static const std::set<std::string> kBanned = {
+        "rand",          "srand",
+        "random_device", "mt19937",
+        "mt19937_64",    "minstd_rand",
+        "minstd_rand0",  "default_random_engine",
+        "random_shuffle", "system_clock",
+    };
+    return kBanned;
+}
+
+void rule_r1(const LexedFile& file, Sink& sink) {
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& t = tokens[i];
+        if (!t.is_identifier) continue;
+        if (banned_nondeterminism().count(t.text) > 0) {
+            sink.report("R1", t.line,
+                        "nondeterministic API '" + t.text +
+                            "'; route entropy through crypto/entropy.hpp");
+            continue;
+        }
+        // time(nullptr) / time(NULL) / time(0): wall-clock seeding.
+        if (t.text == "time" && i + 2 < tokens.size() &&
+            tokens[i + 1].text == "(" &&
+            (tokens[i + 2].text == "nullptr" ||
+             tokens[i + 2].text == "NULL" || tokens[i + 2].text == "0")) {
+            sink.report("R1", t.line,
+                        "wall-clock seeding via time(" + tokens[i + 2].text +
+                            "); route entropy through crypto/entropy.hpp");
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R2 ----
+
+/// Does an identifier look like it names authenticated/secret bytes?
+/// Split on '_' so "kMagic" does not match "mac".
+bool names_secret_buffer(const std::string& ident) {
+    static const std::set<std::string> kParts = {
+        "mac", "tag", "digest", "hmac", "secret", "key"};
+    const std::string l = lower(ident);
+    std::string part;
+    auto check = [&](const std::string& p) { return kParts.count(p) > 0; };
+    for (const char c : l) {
+        if (c == '_') {
+            if (check(part)) return true;
+            part.clear();
+        } else {
+            part.push_back(c);
+        }
+    }
+    return check(part);
+}
+
+void rule_r2(const LexedFile& file, Sink& sink) {
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& t = tokens[i];
+        if (t.text == "memcmp") {
+            // Look at the argument tokens for secret-named buffers.
+            std::size_t j = i + 1;
+            if (j < tokens.size() && tokens[j].text != "(") continue;
+            int depth = 0;
+            bool secret = false;
+            for (; j < tokens.size(); ++j) {
+                if (tokens[j].text == "(") ++depth;
+                if (tokens[j].text == ")" && --depth == 0) break;
+                if (tokens[j].is_identifier &&
+                    names_secret_buffer(tokens[j].text)) {
+                    secret = true;
+                }
+            }
+            if (secret) {
+                sink.report("R2", t.line,
+                            "memcmp on secret-named buffer; use "
+                            "util::ct_equal");
+            }
+        } else if (t.text == "==" || t.text == "!=") {
+            // The left operand's tail identifier sits directly before the
+            // operator; for the right operand, follow the member-access
+            // chain (`key_.input_dims` compares input_dims, not key_).
+            const bool lhs = i > 0 && tokens[i - 1].is_identifier &&
+                             names_secret_buffer(tokens[i - 1].text);
+            std::string rhs_name;
+            if (i + 1 < tokens.size() && tokens[i + 1].is_identifier) {
+                std::size_t k = i + 1;
+                while (k + 2 < tokens.size() &&
+                       (tokens[k + 1].text == "." ||
+                        tokens[k + 1].text == "->") &&
+                       tokens[k + 2].is_identifier) {
+                    k += 2;
+                }
+                rhs_name = tokens[k].text;
+            }
+            const bool rhs =
+                !rhs_name.empty() && names_secret_buffer(rhs_name);
+            if (lhs || rhs) {
+                const std::string& name = lhs ? tokens[i - 1].text : rhs_name;
+                sink.report("R2", t.line,
+                            "'" + t.text + "' on secret-named buffer '" +
+                                name + "'; use util::ct_equal");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R3 ----
+
+/// Names declared with an unordered container type in one file.
+std::set<std::string> unordered_names_in(const LexedFile& file) {
+    std::set<std::string> names;
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].text != "unordered_map" &&
+            tokens[i].text != "unordered_set") {
+            continue;
+        }
+        // Scan forward through the template argument list; the
+        // declared name is the first identifier at or below the
+        // starting depth that is followed by a declarator terminator.
+        int depth = 0;
+        for (std::size_t j = i + 1; j < tokens.size() && j < i + 256; ++j) {
+            const std::string& text = tokens[j].text;
+            if (text == "<") ++depth;
+            else if (text == ">") --depth;
+            else if (text == ";" && depth <= 0) break;
+            else if (tokens[j].is_identifier && depth <= 0 &&
+                     j + 1 < tokens.size()) {
+                const std::string& next = tokens[j + 1].text;
+                if (next == ";" || next == "=" || next == "{" ||
+                    next == "," || next == ")") {
+                    names.insert(text);
+                    break;
+                }
+            }
+        }
+    }
+    return names;
+}
+
+/// Quoted include paths of one file (system includes can't declare
+/// project containers, so <...> is ignored).
+std::vector<std::string> quoted_includes(const LexedFile& file) {
+    std::vector<std::string> out;
+    for (const std::string& raw : file.raw_lines) {
+        std::size_t p = raw.find_first_not_of(" \t");
+        if (p == std::string::npos || raw[p] != '#') continue;
+        p = raw.find_first_not_of(" \t", p + 1);
+        if (p == std::string::npos || raw.compare(p, 7, "include") != 0) {
+            continue;
+        }
+        const std::size_t open = raw.find('"', p + 7);
+        if (open == std::string::npos) continue;
+        const std::size_t close = raw.find('"', open + 1);
+        if (close == std::string::npos) continue;
+        out.push_back(raw.substr(open + 1, close - open - 1));
+    }
+    return out;
+}
+
+/// Pass 1 of R3: for every file, the unordered-declared names visible
+/// through its transitive quoted-include closure (headers declare,
+/// sources iterate). Scoping to the closure keeps a name like `objects`
+/// that is an unordered_map in one header from tainting an unrelated
+/// vector of the same name elsewhere.
+std::vector<std::set<std::string>> collect_unordered_names(
+    const std::vector<LexedFile>& files) {
+    const std::size_t n = files.size();
+    std::vector<std::set<std::string>> own(n);
+    for (std::size_t i = 0; i < n; ++i) own[i] = unordered_names_in(files[i]);
+
+    // Edge i -> j when file i includes file j, matched by path suffix
+    // ("mie/server.hpp" hits "src/mie/server.hpp"). Ambiguous suffixes
+    // link every candidate — conservative over-approximation.
+    std::vector<std::vector<std::size_t>> edges(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const std::string& inc : quoted_includes(files[i])) {
+            for (std::size_t j = 0; j < n; ++j) {
+                const std::string& display = files[j].display;
+                const bool match =
+                    display == inc ||
+                    (display.size() > inc.size() + 1 &&
+                     display.compare(display.size() - inc.size() - 1,
+                                     inc.size() + 1, "/" + inc) == 0);
+                if (match) edges[i].push_back(j);
+            }
+        }
+    }
+
+    std::vector<std::set<std::string>> visible(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<bool> seen(n, false);
+        std::vector<std::size_t> stack = {i};
+        seen[i] = true;
+        while (!stack.empty()) {
+            const std::size_t at = stack.back();
+            stack.pop_back();
+            visible[i].insert(own[at].begin(), own[at].end());
+            for (const std::size_t next : edges[at]) {
+                if (!seen[next]) {
+                    seen[next] = true;
+                    stack.push_back(next);
+                }
+            }
+        }
+    }
+    return visible;
+}
+
+void rule_r3(const LexedFile& file, const std::set<std::string>& unordered,
+             Sink& sink) {
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].text != "for" || tokens[i + 1].text != "(") continue;
+        // Find the range-for ':' at parenthesis depth 1 (a ';' there means
+        // a classic for loop; bail).
+        int depth = 0;
+        std::size_t colon = 0, close = 0;
+        for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+            const std::string& text = tokens[j].text;
+            if (text == "(" || text == "[" || text == "{") ++depth;
+            else if (text == ")" || text == "]" || text == "}") {
+                if (--depth == 0) {
+                    close = j;
+                    break;
+                }
+            } else if (depth == 1 && text == ";") {
+                break;  // classic for
+            } else if (depth == 1 && text == ":" && colon == 0) {
+                colon = j;
+            }
+        }
+        if (colon == 0 || close <= colon + 1) continue;
+        // The iterated expression's final identifier: strip a trailing
+        // index ([...]); a trailing call ()) is opaque, skip it.
+        std::size_t last = close - 1;
+        if (tokens[last].text == "]") {
+            int bracket = 0;
+            while (last > colon) {
+                if (tokens[last].text == "]") ++bracket;
+                if (tokens[last].text == "[" && --bracket == 0) break;
+                --last;
+            }
+            --last;
+        }
+        if (last <= colon || !tokens[last].is_identifier) continue;
+        if (unordered.count(tokens[last].text) == 0) continue;
+        sink.report(
+            "R3", tokens[i].line,
+            "iteration over unordered container '" + tokens[last].text +
+                "': hash order must not reach serialized output (sort "
+                "first, or annotate order-insensitive use with "
+                "// mielint: allow(R3): reason)");
+    }
+}
+
+// ---------------------------------------------------------------- R4 ----
+
+void rule_r4(const LexedFile& file, Sink& sink) {
+    if (!file.is_header()) return;
+    bool pragma_once = false;
+    for (const std::string& raw : file.raw_lines) {
+        // Tolerate interior whitespace variations of `#pragma once`.
+        std::string squeezed;
+        for (const char c : raw) {
+            if (c != ' ' && c != '\t') squeezed.push_back(c);
+        }
+        if (squeezed == "#pragmaonce") {
+            pragma_once = true;
+            break;
+        }
+    }
+    if (!pragma_once) {
+        sink.report("R4", 1, "header missing '#pragma once'");
+    }
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].text == "using" && tokens[i + 1].text == "namespace") {
+            sink.report("R4", tokens[i].line,
+                        "'using namespace' in a header leaks into every "
+                        "includer");
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R5 ----
+
+bool names_key_material(const std::string& ident) {
+    static const char* kFragments[] = {"key",    "seed", "secret", "master",
+                                       "ipad",   "opad", "rk1",    "rk2",
+                                       "priv",   "lambda"};
+    const std::string l = lower(ident);
+    for (const char* fragment : kFragments) {
+        if (l.find(fragment) != std::string::npos) return true;
+    }
+    return false;
+}
+
+bool is_scalar_type(const std::string& name) {
+    static const std::set<std::string> kScalars = {
+        "bool",     "char",     "short",    "int",      "long",
+        "unsigned", "signed",   "float",    "double",   "size_t",
+        "int8_t",   "int16_t",  "int32_t",  "int64_t",  "uint8_t",
+        "uint16_t", "uint32_t", "uint64_t", "uintptr_t"};
+    return kScalars.count(name) > 0;
+}
+
+bool is_type_qualifier(const std::string& name) {
+    static const std::set<std::string> kQualifiers = {
+        "const",    "static",   "constexpr", "mutable", "inline",
+        "volatile", "typename", "friend",    "struct",  "class",
+        "enum",     "using",    "explicit",  "virtual", "public",
+        "private",  "protected"};
+    return kQualifiers.count(name) > 0;
+}
+
+/// The declared type's head identifier for the member ending at token
+/// index `member`: scan back to the previous declaration boundary, then
+/// forward past qualifiers and namespace segments.
+std::string type_head(const std::vector<Token>& tokens, std::size_t member) {
+    std::size_t begin = member;
+    while (begin > 0) {
+        const std::string& text = tokens[begin - 1].text;
+        if (text == ";" || text == "{" || text == "}" || text == ":") break;
+        --begin;
+    }
+    for (std::size_t j = begin; j < member; ++j) {
+        if (!tokens[j].is_identifier) continue;
+        if (is_type_qualifier(tokens[j].text)) continue;
+        if (j + 1 < member && tokens[j + 1].text == "::") continue;
+        return tokens[j].text;
+    }
+    return "";
+}
+
+void rule_r5(const LexedFile& file, const Config& config, Sink& sink) {
+    struct Scope {
+        std::string name;
+        int body_depth = 0;
+    };
+    const auto& tokens = file.tokens;
+    std::vector<Scope> aggregates;
+    int brace_depth = 0;
+    int paren_depth = 0;
+    std::string pending;  // aggregate name awaiting its '{'
+    bool have_pending = false;
+
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& t = tokens[i];
+        if (t.text == "struct" || t.text == "class") {
+            // `enum class` / `enum struct` bodies hold enumerators, not
+            // members.
+            if (i > 0 && tokens[i - 1].text == "enum") continue;
+            for (std::size_t j = i + 1;
+                 j < tokens.size() && j < i + 4; ++j) {
+                if (tokens[j].is_identifier) {
+                    pending = tokens[j].text;
+                    have_pending = true;
+                    break;
+                }
+            }
+            continue;
+        }
+        if (t.text == "(") {
+            ++paren_depth;
+            have_pending = false;  // template <class T> void f(... / ctor
+        } else if (t.text == ")") {
+            --paren_depth;
+        } else if (t.text == ";" && paren_depth == 0) {
+            have_pending = false;  // forward declaration
+        } else if (t.text == "{") {
+            ++brace_depth;
+            if (have_pending && paren_depth == 0) {
+                aggregates.push_back(Scope{pending, brace_depth});
+                have_pending = false;
+            }
+        } else if (t.text == "}") {
+            if (!aggregates.empty() &&
+                aggregates.back().body_depth == brace_depth) {
+                aggregates.pop_back();
+            }
+            --brace_depth;
+        }
+
+        // Member declaration directly inside an aggregate body?
+        if (aggregates.empty() || paren_depth != 0 || !t.is_identifier) {
+            continue;
+        }
+        const Scope& scope = aggregates.back();
+        if (brace_depth != scope.body_depth) continue;
+        if (i + 1 >= tokens.size()) continue;
+        const std::string& next = tokens[i + 1].text;
+        if (next != ";" && next != "=" && next != "{") continue;
+
+        const std::string head = type_head(tokens, i);
+        if (head.empty() || head == t.text) continue;
+
+        // R5(b): private-key integers must be SecretBigUint.
+        const std::string scope_l = lower(scope.name);
+        if (head == "BigUint" &&
+            (scope_l.find("private") != std::string::npos ||
+             scope_l.find("secret") != std::string::npos) &&
+            config.public_biguint_members.count(t.text) == 0) {
+            sink.report("R5", t.line,
+                        "BigUint member '" + t.text + "' of " + scope.name +
+                            " holds private-key material; use SecretBigUint "
+                            "(or list it as public-biguint-member)");
+            continue;
+        }
+
+        // R5(a): secret-named members need zeroizing storage.
+        if (!names_key_material(t.text)) continue;
+        if (is_scalar_type(head)) continue;  // e.g. public uint64 seeds
+        if (config.secret_safe_types.count(head) > 0) continue;
+        sink.report("R5", t.line,
+                    "member '" + t.text + "' of " + scope.name +
+                        " looks like key material but has type '" + head +
+                        "'; use crypto::SecretBytes / Zeroizing<...> "
+                        "(secret-safe-type set)");
+    }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+    static const std::vector<RuleInfo> kCatalog = {
+        {"R1", "banned nondeterminism APIs"},
+        {"R2", "non-constant-time comparison of secrets"},
+        {"R3", "unordered-container iteration order escaping"},
+        {"R4", "header hygiene (#pragma once, no using namespace)"},
+        {"R5", "key material outside zeroizing storage"},
+    };
+    return kCatalog;
+}
+
+std::vector<Finding> run_rules(const std::vector<LexedFile>& files,
+                               const Config& config) {
+    std::vector<Finding> findings;
+    const std::vector<std::set<std::string>> unordered =
+        collect_unordered_names(files);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const LexedFile& file = files[i];
+        Sink sink(file, config, findings);
+        rule_r1(file, sink);
+        rule_r2(file, sink);
+        rule_r3(file, unordered[i], sink);
+        rule_r4(file, sink);
+        rule_r5(file, config, sink);
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.file != b.file) return a.file < b.file;
+                  if (a.line != b.line) return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return findings;
+}
+
+}  // namespace mielint

@@ -1,0 +1,56 @@
+// The mielint rule set.
+//
+// Five project invariants, each mechanical enough to check from tokens:
+//
+//   R1  banned nondeterminism: rand/srand, std::random_device, the <random>
+//       engines, system_clock, time(nullptr). Fresh entropy enters through
+//       crypto/entropy.hpp (allowlisted in mielint.conf) and nothing else —
+//       the repo's reproducibility tests depend on it.
+//   R2  secrets compared with memcmp or ==/!= on MAC/tag/digest-named
+//       buffers; use util::ct_equal (data-independent running time).
+//   R3  range-for over a std::unordered_map/unordered_set: hash order is
+//       implementation- and run-dependent, so it must never reach wire
+//       bytes, snapshots, or on-disk logs. Order-insensitive loops carry
+//       an inline `// mielint: allow(R3): reason`.
+//   R4  header hygiene: every .hpp has `#pragma once` and no
+//       `using namespace` at header scope.
+//   R5  key material lives in zeroizing storage: aggregate members with
+//       secret-suggesting names (key/seed/secret/master/rk1/...) must be
+//       SecretBytes/Zeroizing<...> (the config's secret-safe-type set),
+//       and BigUint members of *Private*/*Secret* aggregates must be
+//       SecretBigUint unless listed public (n, e, n_squared).
+//
+// Adding a rule: implement a `void rule_rX(...)` in rules.cpp, append it
+// to run_rules() and to rule_catalog(), and add a fixture under
+// tests/lint/fixtures/ exercising exactly that rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+#include "lexer.hpp"
+
+namespace mielint {
+
+struct Finding {
+    std::string rule;
+    std::string file;  // display path
+    int line = 0;
+    std::string message;
+};
+
+struct RuleInfo {
+    std::string id;
+    std::string title;
+};
+
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Runs every rule over `files`, honoring config path allowlists and
+/// inline allow-comments. Findings come back sorted by (file, line, rule)
+/// so output is stable across runs.
+std::vector<Finding> run_rules(const std::vector<LexedFile>& files,
+                               const Config& config);
+
+}  // namespace mielint
