@@ -62,6 +62,17 @@ double parse_double_flag(int argc, char** argv, std::string_view name,
     return fallback;
 }
 
+std::string parse_string_flag(int argc, char** argv, std::string_view name,
+                              std::string_view fallback) {
+    const std::string eq = std::string(name) + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == name && i + 1 < argc) return argv[i + 1];
+        if (arg.starts_with(eq)) return std::string(arg.substr(eq.size()));
+    }
+    return std::string(fallback);
+}
+
 double bench_scale() {
     if (const char* env = std::getenv("MIE_BENCH_SCALE")) {
         const double value = std::atof(env);

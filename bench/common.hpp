@@ -48,6 +48,10 @@ std::size_t bench_threads();
 double parse_double_flag(int argc, char** argv, std::string_view name,
                          double fallback);
 
+/// Same for string-valued flags (e.g. `--json PATH`).
+std::string parse_string_flag(int argc, char** argv, std::string_view name,
+                              std::string_view fallback);
+
 /// Device profile with the bench link scaling applied (the same
 /// adjustment make_bundle performs internally) — for benches that build
 /// their own transport stacks.

@@ -1,22 +1,285 @@
-// Figure 4: two clients (one mobile, one desktop) concurrently adding
-// objects to a SINGLE shared repository. Only MIE runs this experiment:
-// it needs no client state and no counter locks, so both writers make
-// independent progress. The bench also demonstrates why the baselines
-// cannot: MSSE's counter lock rejects a concurrent trained writer.
+// Figure 4, server edition: N closed-loop clients concurrently updating
+// one shared repository over real sockets, against two durable server
+// stacks built from the SAME DurableServer (WAL, fsync-per-commit,
+// replay dedup):
 //
-// --fault-rate R (default 0) injects deterministic network faults into
-// both clients' links at per-I/O-op probability R. Each client sits on a
-// full fault-tolerant stack (RetryingTransport over FaultyTransport over
-// the metered link) and the shared server dedupes enveloped replays, so
-// the repository must end with exactly 2*N objects regardless of R.
+//   blocking  net::TcpServer, thread per connection, every mutating
+//             request pays its own WAL append + fsync;
+//   reactor   reactor::ReactorServer (epoll loop) funneling mutating
+//             requests into reactor::GroupCommitter — pending requests
+//             from all connections commit as one WAL batch with ONE
+//             fsync, each acked only after its batch is durable.
+//
+// Request streams are recorded once per client (real MieClient update
+// RPCs, idempotency envelopes included) and replayed verbatim against a
+// fresh server per scenario, so both stacks serve byte-identical
+// workloads. The closed loop reports mutating-opcode throughput and
+// p50/p95/p99 latency at 1, 8 and 64 clients; group commit should win
+// once concurrency offers batches to amortize the fsync (>= 8 clients).
+//
+// --fault-rate R (default 0) wraps every client link in deterministic
+// fault injection + bounded retries; servers dedupe enveloped replays,
+// so each scenario must still end with exactly clients*ops objects.
+// --json PATH additionally writes the machine-readable summary to PATH.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common.hpp"
-#include "exec/exec.hpp"
-#include "net/envelope.hpp"
+#include "mie/durable_server.hpp"
+#include "mie/wire.hpp"
 #include "net/faulty.hpp"
 #include "net/retry.hpp"
+#include "net/tcp.hpp"
+#include "reactor/group_commit.hpp"
+#include "reactor/reactor.hpp"
+#include "sim/dataset.hpp"
+#include "store/file.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace mie;
+using namespace mie::bench;
+
+/// Captures every request a recording client sends while still serving
+/// it from a live in-process server (streams must be valid RPCs: the
+/// scratch server answers creates/updates during recording).
+class RecordingTransport final : public net::Transport {
+public:
+    explicit RecordingTransport(net::RequestHandler& handler)
+        : handler_(handler) {}
+
+    Bytes call(BytesView request) override {
+        recorded.emplace_back(request.begin(), request.end());
+        return handler_.handle(request);
+    }
+
+    std::vector<Bytes> recorded;
+
+private:
+    net::RequestHandler& handler_;
+};
+
+Bytes create_repo_request() {
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MieOp::kCreateRepository));
+    writer.write_string("bench-repo");
+    return writer.take();
+}
+
+/// Nearest-rank percentile of an ascending sample vector, in ms.
+double percentile_ms(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const auto last = sorted.size() - 1;
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(last) +
+                                              0.5);
+    return sorted[std::min(idx, last)] * 1e3;
+}
+
+struct ScenarioResult {
+    std::string mode;
+    std::size_t clients = 0;
+    std::size_t ops = 0;
+    double wall_seconds = 0.0;
+    double throughput = 0.0;  ///< mutating ops per second
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    std::size_t records_logged = 0;
+    std::size_t batches_committed = 0;
+    std::size_t max_batch_records = 0;
+    std::size_t replays_suppressed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t faults_injected = 0;
+    std::size_t objects = 0;
+    std::size_t expected_objects = 0;
+
+    bool objects_ok() const { return objects == expected_objects; }
+};
+
+ScenarioResult run_scenario(const std::string& mode, std::size_t clients,
+                            const std::vector<std::vector<Bytes>>& streams,
+                            double fault_rate) {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("mie-fig4-" + mode + "-" + std::to_string(clients) + "-" +
+         std::to_string(static_cast<long>(::getpid())));
+    fs::remove_all(dir);
+
+    ScenarioResult out;
+    out.mode = mode;
+    out.clients = clients;
+    {
+        DurableServer durable(
+            store::PosixVfs::instance(), dir,
+            {.wal = {.sync_policy = store::SyncPolicy::kEveryRecord}});
+        durable.handle(create_repo_request());
+
+        std::unique_ptr<net::TcpServer> blocking;
+        std::unique_ptr<reactor::GroupCommitter> committer;
+        std::unique_ptr<reactor::ReactorServer> epoll;
+        std::uint16_t port = 0;
+        if (mode == "blocking") {
+            blocking = std::make_unique<net::TcpServer>(durable);
+            blocking->start();
+            port = blocking->port();
+        } else {
+            committer = std::make_unique<reactor::GroupCommitter>(durable);
+            epoll = std::make_unique<reactor::ReactorServer>(
+                durable, committer.get(),
+                [](BytesView request) {
+                    return is_mutating_request(request);
+                });
+            epoll->start();
+            port = epoll->port();
+        }
+
+        // Closed loop: each client thread replays its recorded stream,
+        // one outstanding request at a time, timing every call.
+        std::vector<std::vector<double>> latencies(clients);
+        std::vector<std::exception_ptr> failures(clients);
+        std::atomic<std::uint64_t> retries{0};
+        std::atomic<std::uint64_t> faults{0};
+        Stopwatch wall;
+        {
+            std::vector<std::thread> threads;
+            threads.reserve(clients);
+            for (std::size_t c = 0; c < clients; ++c) {
+                threads.emplace_back([&, c] {
+                    try {
+                        net::TcpTransport tcp("127.0.0.1", port);
+                        std::unique_ptr<net::FaultyTransport> faulty;
+                        std::unique_ptr<net::RetryingTransport> retry;
+                        net::Transport* link = &tcp;
+                        if (fault_rate > 0.0) {
+                            faulty = std::make_unique<net::FaultyTransport>(
+                                tcp, net::FaultPlan{.rate = fault_rate,
+                                                    .seed = 9000 + c});
+                            retry = std::make_unique<net::RetryingTransport>(
+                                *faulty,
+                                net::RetryPolicy{.max_attempts = 6,
+                                                 .jitter_seed = 100 + c});
+                            // Backoff stays modeled: the loopback link is
+                            // not congested, sleeping only slows the bench.
+                            retry->set_sleeper([](double) {});
+                            link = retry.get();
+                        }
+                        auto& samples = latencies[c];
+                        samples.reserve(streams[c].size());
+                        for (const Bytes& request : streams[c]) {
+                            Stopwatch op;
+                            link->call(request);
+                            samples.push_back(op.elapsed_seconds());
+                        }
+                        if (retry) {
+                            retries += retry->stats().retries;
+                            faults += faulty->stats().faults_injected;
+                        }
+                    } catch (...) {
+                        failures[c] = std::current_exception();
+                    }
+                });
+            }
+            for (auto& thread : threads) thread.join();
+        }
+        out.wall_seconds = wall.elapsed_seconds();
+        for (const auto& failure : failures) {
+            if (failure) std::rethrow_exception(failure);
+        }
+
+        if (epoll) {
+            epoll->stop();
+            committer->stop();
+        }
+        if (blocking) blocking->stop();
+
+        std::vector<double> merged;
+        for (const auto& samples : latencies) {
+            merged.insert(merged.end(), samples.begin(), samples.end());
+        }
+        std::sort(merged.begin(), merged.end());
+        out.ops = merged.size();
+        out.throughput = out.wall_seconds > 0.0
+                             ? static_cast<double>(out.ops) / out.wall_seconds
+                             : 0.0;
+        out.p50_ms = percentile_ms(merged, 0.50);
+        out.p95_ms = percentile_ms(merged, 0.95);
+        out.p99_ms = percentile_ms(merged, 0.99);
+
+        const auto durability = durable.durability();
+        out.records_logged = durability.records_logged;
+        out.batches_committed = durability.batches_committed;
+        out.max_batch_records = durability.max_batch_records;
+        out.replays_suppressed = durability.replays_suppressed;
+        out.retries = retries.load();
+        out.faults_injected = faults.load();
+        out.objects = durable.server().stats("bench-repo").num_objects;
+        std::size_t expected = 0;
+        for (std::size_t c = 0; c < clients; ++c) {
+            expected += streams[c].size();
+        }
+        out.expected_objects = expected;
+    }
+    std::filesystem::remove_all(dir);
+    return out;
+}
+
+std::string to_json(const std::vector<ScenarioResult>& results,
+                    double fault_rate, std::size_t ops_per_client) {
+    std::ostringstream json;
+    json << "{\"bench\":\"fig4_concurrent_update\",\"fault_rate\":"
+         << fault_rate << ",\"threads\":" << bench_threads()
+         << ",\"ops_per_client\":" << ops_per_client << ",\"scenarios\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        if (i != 0) json << ",";
+        json << "{\"mode\":\"" << r.mode << "\",\"clients\":" << r.clients
+             << ",\"ops\":" << r.ops << ",\"wall_seconds\":" << r.wall_seconds
+             << ",\"throughput_ops_per_s\":" << r.throughput
+             << ",\"p50_ms\":" << r.p50_ms << ",\"p95_ms\":" << r.p95_ms
+             << ",\"p99_ms\":" << r.p99_ms
+             << ",\"records_logged\":" << r.records_logged
+             << ",\"batches_committed\":" << r.batches_committed
+             << ",\"max_batch_records\":" << r.max_batch_records
+             << ",\"replays_suppressed\":" << r.replays_suppressed
+             << ",\"retries\":" << r.retries
+             << ",\"faults_injected\":" << r.faults_injected
+             << ",\"objects\":" << r.objects
+             << ",\"objects_ok\":" << (r.objects_ok() ? "true" : "false")
+             << "}";
+    }
+    json << "],\"reactor_speedup\":{";
+    bool first = true;
+    for (const auto& r : results) {
+        if (r.mode != "reactor") continue;
+        for (const auto& b : results) {
+            if (b.mode == "blocking" && b.clients == r.clients &&
+                b.throughput > 0.0) {
+                if (!first) json << ",";
+                first = false;
+                json << "\"" << r.clients
+                     << "\":" << r.throughput / b.throughput;
+            }
+        }
+    }
+    json << "}}";
+    return json.str();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     mie::bench::configure_threads(argc, argv);
@@ -25,130 +288,94 @@ int main(int argc, char** argv) {
 
     const double fault_rate =
         parse_double_flag(argc, argv, "--fault-rate", 0.0);
-    const auto desktop_raw = sim::DeviceProfile::desktop();
-    const auto mobile = scaled_bench_device(sim::DeviceProfile::mobile());
-    const auto desktop = scaled_bench_device(desktop_raw);
-    const std::size_t per_client = scaled(60);
+    const std::string json_path =
+        parse_string_flag(argc, argv, "--json", "");
+    const std::vector<std::size_t> client_counts = {1, 8, 64};
+    const std::size_t max_clients = client_counts.back();
+    const std::size_t ops_per_client = scaled(24);
 
-    std::cout << "=== Figure 4: concurrent update, 1 mobile + 1 desktop "
-                 "client, shared MIE repository ===\n"
-              << "(paper: 1000 objects per client; here " << per_client
-              << " per client; fault rate " << fault_rate << ")\n";
+    std::cout << "=== Figure 4: concurrent update over TCP — blocking "
+                 "thread-per-connection vs epoll reactor + group commit ===\n"
+              << "(" << ops_per_client << " updates per client at 1/8/64 "
+              << "clients; WAL fsync per commit; fault rate " << fault_rate
+              << ")\n\nRecording per-client request streams (real MieClient "
+                 "update RPCs, envelopes included)...\n";
 
-    // Shared MIE server behind a replay-dedup handler; each client gets
-    // its own metered link wrapped in fault-injection + bounded retries.
-    MieServer server;
-    net::DedupHandler dedup(server);
-
-    net::MeteredTransport mobile_wire(dedup, mobile.link);
-    net::FaultyTransport mobile_faulty(
-        mobile_wire, net::FaultPlan{.rate = fault_rate, .seed = 71});
-    net::RetryingTransport mobile_link(
-        mobile_faulty, net::RetryPolicy{.max_attempts = 6,
-                                        .jitter_seed = 71});
-    mobile_link.set_sleeper([](double) {});  // backoff stays modeled time
-
-    net::MeteredTransport desktop_wire(dedup, desktop.link);
-    net::FaultyTransport desktop_faulty(
-        desktop_wire, net::FaultPlan{.rate = fault_rate, .seed = 72});
-    net::RetryingTransport desktop_link(
-        desktop_faulty, net::RetryPolicy{.max_attempts = 6,
-                                         .jitter_seed = 72});
-    desktop_link.set_sleeper([](double) {});
-
-    auto mobile_client = join_mie_client(mobile, mobile_link, 7, "user");
-    auto desktop_client = join_mie_client(desktop, desktop_link, 7);
-
-    mobile_client->create_repository();
-
-    const auto mobile_gen = default_generator(101);
-    const auto desktop_gen = default_generator(202);
-
-    // Both clients write concurrently (the MIE server serializes internally
-    // but neither blocks on client-side shared state). The writers run as
-    // exec::TaskGroup tasks; wait() also propagates any client exception
-    // instead of std::thread's terminate-on-escape.
+    // Record once, replay everywhere: client c's stream is its enveloped
+    // update RPCs for objects c*100000+i, captured against a scratch
+    // in-memory server. Replaying the identical bytes against each
+    // scenario's fresh DurableServer keeps the comparison exact.
+    const auto device = scaled_bench_device(sim::DeviceProfile::desktop());
+    MieServer scratch;
+    std::vector<std::vector<Bytes>> streams(max_clients);
     {
-        exec::TaskGroup writers;
-        writers.run([&] {
-            for (std::size_t i = 0; i < per_client; ++i) {
-                mobile_client->update(mobile_gen.make(i));
+        const Bytes create = create_repo_request();
+        scratch.handle(create);
+        for (std::size_t c = 0; c < max_clients; ++c) {
+            RecordingTransport recorder(scratch);
+            auto client = join_mie_client(device, recorder, 500 + c,
+                                          "writer" + std::to_string(c));
+            const sim::FlickrLikeGenerator generator(sim::FlickrLikeParams{
+                .num_classes = 8, .image_size = 48, .seed = 300 + c});
+            for (std::size_t i = 0; i < ops_per_client; ++i) {
+                client->update(generator.make(c * 100000 + i));
             }
-        });
-        writers.run([&] {
-            for (std::size_t i = 0; i < per_client; ++i) {
-                desktop_client->update(desktop_gen.make(100000 + i));
-            }
-        });
-        writers.wait();
+            streams[c] = std::move(recorder.recorded);
+        }
     }
 
-    const auto mobile_cost = CostBreakdown::of(mobile_client->meter());
-    const auto desktop_cost = CostBreakdown::of(desktop_client->meter());
-    print_cost_table("Per-client cost (each uploaded " +
-                         std::to_string(per_client) + " objects)",
-                     {"Mobile client", "Desktop client"},
-                     {mobile_cost, desktop_cost});
+    std::vector<ScenarioResult> results;
+    for (const std::size_t clients : client_counts) {
+        for (const std::string mode : {"blocking", "reactor"}) {
+            results.push_back(
+                run_scenario(mode, clients, streams, fault_rate));
+            const auto& r = results.back();
+            std::printf(
+                "  %-8s %3zu clients: %6zu ops in %6.3fs  "
+                "%8.1f ops/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms%s\n",
+                r.mode.c_str(), r.clients, r.ops, r.wall_seconds,
+                r.throughput, r.p50_ms, r.p95_ms, r.p99_ms,
+                r.objects_ok() ? "" : "  OBJECT-COUNT MISMATCH");
+        }
+    }
 
-    // Integrity: the shared repository holds every object from both —
-    // exactly once, even when faults forced retries of applied updates.
-    const auto stats = server.stats("bench-repo");
-    std::printf("\nRepository now holds %zu objects (expected %zu): %s\n",
-                stats.num_objects, 2 * per_client,
-                stats.num_objects == 2 * per_client ? "ok" : "MISMATCH");
+    std::printf("\n%-8s %8s %14s %10s %10s %10s %8s %9s\n", "mode",
+                "clients", "throughput/s", "p50 ms", "p95 ms", "p99 ms",
+                "batches", "maxbatch");
+    for (const auto& r : results) {
+        std::printf("%-8s %8zu %14.1f %10.2f %10.2f %10.2f %8zu %9zu\n",
+                    r.mode.c_str(), r.clients, r.throughput, r.p50_ms,
+                    r.p95_ms, r.p99_ms, r.batches_committed,
+                    r.max_batch_records);
+    }
 
-    const auto& mr = mobile_link.stats();
-    const auto& dr = desktop_link.stats();
-    const auto& mf = mobile_faulty.stats();
-    const auto& df = desktop_faulty.stats();
+    bool all_ok = true;
+    for (const auto& r : results) all_ok = all_ok && r.objects_ok();
     std::printf(
-        "{\"bench\":\"fig4_concurrent_update\",\"fault_rate\":%g,"
-        "\"objects\":%zu,\"expected\":%zu,"
-        "\"replays_suppressed\":%llu,"
-        "\"mobile\":{\"calls\":%llu,\"attempts\":%llu,\"retries\":%llu,"
-        "\"reconnects\":%llu,\"timeouts\":%llu,\"faults_injected\":%llu},"
-        "\"desktop\":{\"calls\":%llu,\"attempts\":%llu,\"retries\":%llu,"
-        "\"reconnects\":%llu,\"timeouts\":%llu,\"faults_injected\":%llu}}\n",
-        fault_rate, stats.num_objects, 2 * per_client,
-        static_cast<unsigned long long>(dedup.replays_suppressed()),
-        static_cast<unsigned long long>(mr.calls),
-        static_cast<unsigned long long>(mr.attempts),
-        static_cast<unsigned long long>(mr.retries),
-        static_cast<unsigned long long>(mr.reconnects),
-        static_cast<unsigned long long>(mr.timeouts),
-        static_cast<unsigned long long>(mf.faults_injected),
-        static_cast<unsigned long long>(dr.calls),
-        static_cast<unsigned long long>(dr.attempts),
-        static_cast<unsigned long long>(dr.retries),
-        static_cast<unsigned long long>(dr.reconnects),
-        static_cast<unsigned long long>(dr.timeouts),
-        static_cast<unsigned long long>(df.faults_injected));
+        "\nExactly-once integrity: %s (every scenario ended with "
+        "clients*ops objects%s)\n",
+        all_ok ? "ok" : "VIOLATED",
+        fault_rate > 0.0 ? ", with injected faults forcing retries" : "");
 
-    // Contrast: MSSE's trained-update path cannot overlap writers.
-    std::cout << "\nContrast: MSSE concurrent trained writers\n";
-    SchemeBundle msse = make_bundle(Scheme::kMsse, desktop_raw, 9);
-    const auto gen = default_generator(5);
-    msse.client->create_repository();
-    for (std::size_t i = 0; i < 8; ++i) msse.client->update(gen.make(i));
-    msse.client->train();
-    // Writer A takes the counter lock mid-update (simulated by the raw
-    // GetCtrs RPC); writer B's lock request is refused.
-    net::MessageWriter lock_req;
-    lock_req.write_u8(
-        static_cast<std::uint8_t>(baseline::MsseOp::kGetCtrs));
-    lock_req.write_string("bench-repo");
-    lock_req.write_u8(1);
-    msse.transport->call(lock_req.take());
-    net::MessageWriter second;
-    second.write_u8(static_cast<std::uint8_t>(baseline::MsseOp::kGetCtrs));
-    second.write_string("bench-repo");
-    second.write_u8(1);
-    try {
-        msse.transport->call(second.take());
-        std::cout << "  second writer acquired the lock (UNEXPECTED)\n";
-    } catch (const baseline::CounterLockedError&) {
-        std::cout << "  second writer blocked on the counter lock, as "
-                     "designed — MSSE updates serialize; MIE's do not\n";
+    for (const std::size_t clients : client_counts) {
+        const ScenarioResult* blocking = nullptr;
+        const ScenarioResult* epoll = nullptr;
+        for (const auto& r : results) {
+            if (r.clients != clients) continue;
+            (r.mode == "blocking" ? blocking : epoll) = &r;
+        }
+        if (blocking && epoll && blocking->throughput > 0.0) {
+            std::printf(
+                "  %2zu clients: reactor/blocking throughput = %.2fx\n",
+                clients, epoll->throughput / blocking->throughput);
+        }
     }
-    return 0;
+
+    const std::string json = to_json(results, fault_rate, ops_per_client);
+    std::cout << "\n" << json << "\n";
+    if (!json_path.empty()) {
+        std::ofstream file(json_path);
+        file << json << "\n";
+    }
+    return all_ok ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 #include "mie/durable_server.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "mie/wire.hpp"
@@ -55,6 +56,120 @@ Bytes DurableServer::handle(BytesView request) {
     return response;
 }
 
+std::vector<net::BatchRequestHandler::Result> DurableServer::handle_batch(
+    const std::vector<Bytes>& requests) {
+    std::vector<net::BatchRequestHandler::Result> results(requests.size());
+    if (requests.empty()) return results;
+
+    const std::scoped_lock lock(log_mutex_);
+    // Applied-but-not-yet-logged requests of this batch. Replay-cache
+    // inserts are staged and performed only after the batch is durable,
+    // mirroring the serial path's log-then-insert order, so a log
+    // failure cannot leave a cached response for a lost mutation.
+    struct Staged {
+        enum class Kind : std::uint8_t {
+            kPlain,      ///< mutating, not enveloped
+            kEnveloped,  ///< mutating, cache (client_id, seq) after commit
+            kDuplicate,  ///< within-batch replay of an earlier kEnveloped
+        };
+        std::size_t index;
+        Kind kind = Kind::kPlain;
+        std::uint64_t client_id = 0;
+        std::uint64_t seq = 0;
+    };
+    std::vector<Staged> staged;
+    std::vector<BytesView> to_log;
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const BytesView request = requests[i];
+        try {
+            if (request.empty()) {
+                throw std::invalid_argument("DurableServer: empty request");
+            }
+            const auto env = net::parse_envelope(request);
+            const BytesView inner = env ? env->inner : request;
+            if (inner.empty()) {
+                throw std::invalid_argument("DurableServer: empty request");
+            }
+            const auto op = static_cast<MieOp>(inner[0]);
+            if (!is_mutating(op)) {
+                // Read-only requests need no logging; answer in place so
+                // a mixed batch keeps per-request ordering.
+                results[i].response = inner_.handle(inner);
+                continue;
+            }
+            if (env) {
+                if (const Bytes* cached =
+                        replay_cache_.lookup(env->client_id, env->seq)) {
+                    ++replays_suppressed_;
+                    results[i].response = *cached;
+                    continue;
+                }
+                // A duplicate WITHIN this batch: the earlier occurrence
+                // was applied and staged; answer with its response after
+                // commit. Clients are synchronous, so this only happens
+                // when a retransmit lands in the same batch as its
+                // original — both then share the original's fate.
+                bool duplicate = false;
+                for (const Staged& s : staged) {
+                    if (s.kind == Staged::Kind::kEnveloped &&
+                        s.client_id == env->client_id && s.seq == env->seq) {
+                        ++replays_suppressed_;
+                        staged.push_back(Staged{i,
+                                                Staged::Kind::kDuplicate,
+                                                env->client_id, env->seq});
+                        duplicate = true;
+                        break;
+                    }
+                }
+                if (duplicate) continue;
+            }
+            results[i].response = inner_.handle(inner);
+            to_log.push_back(request);
+            staged.push_back(
+                env ? Staged{i, Staged::Kind::kEnveloped, env->client_id,
+                             env->seq}
+                    : Staged{i});
+        } catch (...) {
+            results[i].error = std::current_exception();
+        }
+    }
+
+    if (to_log.empty()) return results;
+    try {
+        // One append_batch = one fsync for every record staged above;
+        // nothing below is an acknowledgement until this returns.
+        engine_.log_batch(to_log);
+    } catch (...) {
+        // The batch is not durable: none of the applied requests may be
+        // acknowledged (same contract as handle() throwing). Recovery
+        // discards the torn suffix; clients retry through the envelope.
+        const std::exception_ptr error = std::current_exception();
+        for (const Staged& s : staged) {
+            results[s.index].response.clear();
+            results[s.index].error = error;
+        }
+        return results;
+    }
+    for (const Staged& s : staged) {
+        if (s.kind == Staged::Kind::kEnveloped) {
+            replay_cache_.insert(s.client_id, s.seq,
+                                 results[s.index].response);
+        } else if (s.kind == Staged::Kind::kDuplicate) {
+            // The original committed just above; copy its response.
+            if (const Bytes* cached =
+                    replay_cache_.lookup(s.client_id, s.seq)) {
+                results[s.index].response = *cached;
+            }
+        }
+    }
+    records_logged_ += to_log.size();
+    ++batches_committed_;
+    max_batch_records_ = std::max(max_batch_records_, to_log.size());
+    maybe_checkpoint_locked();
+    return results;
+}
+
 void DurableServer::maybe_checkpoint_locked() {
     if (!engine_.checkpoint_due()) return;
     engine_.checkpoint(inner_.export_snapshot());
@@ -82,6 +197,8 @@ DurableServer::DurabilityStats DurableServer::durability() const {
     stats.tail_truncated = engine_.recovery().tail_truncated;
     stats.last_lsn = engine_.last_lsn();
     stats.replays_suppressed = replays_suppressed_;
+    stats.batches_committed = batches_committed_;
+    stats.max_batch_records = max_batch_records_;
     return stats;
 }
 

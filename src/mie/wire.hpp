@@ -6,6 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+
+#include "net/envelope.hpp"
+#include "util/bytes.hpp"
 
 namespace mie {
 
@@ -34,6 +38,23 @@ constexpr bool is_mutating(MieOp op) {
             return false;
     }
     return false;
+}
+
+/// Classifies a raw wire request (enveloped or not) as mutating, without
+/// dispatching it: peeks through the idempotency envelope at the opcode
+/// byte. Malformed requests (empty, truncated envelope) classify as
+/// non-mutating — the handler will reject them anyway, and routing them
+/// through the read path keeps garbage out of the group-commit queue.
+/// This is the reactor's routing predicate: true -> group-commit WAL
+/// queue, false -> read thread pool.
+inline bool is_mutating_request(BytesView request) {
+    try {
+        const BytesView inner = net::envelope_inner(request);
+        if (inner.empty()) return false;
+        return is_mutating(static_cast<MieOp>(inner[0]));
+    } catch (const std::invalid_argument&) {
+        return false;
+    }
 }
 
 }  // namespace mie

@@ -1,0 +1,64 @@
+// Batched request handling: the server-side contract behind group commit.
+//
+// A RequestHandler answers one request at a time; a BatchRequestHandler
+// answers a *batch* collected by the reactor's group-commit queue, which
+// lets a durable implementation amortize per-batch costs (one WAL fsync
+// for every mutation in the batch) while still producing one response per
+// request. Failures are per-request: an invalid request inside a batch
+// must not poison its neighbours, so each slot carries either a response
+// or the exception that request would have thrown on the serial path.
+#pragma once
+
+#include <exception>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::net {
+
+class BatchRequestHandler {
+public:
+    /// One request's outcome: exactly one of `response` (error == nullptr)
+    /// or `error` is meaningful.
+    struct Result {
+        Bytes response;
+        std::exception_ptr error;
+    };
+
+    virtual ~BatchRequestHandler() = default;
+
+    /// Handles `requests` in order and returns one Result per request
+    /// (same indexing). Durable implementations must not acknowledge any
+    /// request of the batch until the whole batch is durable — the
+    /// committer acks each client only after this returns.
+    virtual std::vector<Result> handle_batch(
+        const std::vector<Bytes>& requests) = 0;
+};
+
+/// Adapts a plain RequestHandler: each request is handled independently,
+/// exceptions are captured per slot. No cross-request amortization — used
+/// for non-durable servers and as the reference semantics batched
+/// implementations must match.
+class SerialBatchHandler final : public BatchRequestHandler {
+public:
+    explicit SerialBatchHandler(RequestHandler& inner) : inner_(inner) {}
+
+    std::vector<Result> handle_batch(
+        const std::vector<Bytes>& requests) override {
+        std::vector<Result> results(requests.size());
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            try {
+                results[i].response = inner_.handle(requests[i]);
+            } catch (...) {
+                results[i].error = std::current_exception();
+            }
+        }
+        return results;
+    }
+
+private:
+    RequestHandler& inner_;
+};
+
+}  // namespace mie::net

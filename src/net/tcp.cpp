@@ -3,11 +3,13 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -161,6 +163,15 @@ void recv_exact_deadline(int fd, std::uint8_t* out, std::size_t length,
     }
 }
 
+/// RPC frames are small and latency-bound: without TCP_NODELAY the
+/// second send() of a frame (header, then payload) sits behind Nagle
+/// waiting for the peer's delayed ACK — a ~40 ms stall per request on an
+/// otherwise idle connection. Every data socket disables Nagle.
+void set_tcp_nodelay(int fd) {
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+}
+
 void set_nonblocking(int fd) {
     const int flags = ::fcntl(fd, F_GETFL, 0);
     if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
@@ -170,6 +181,25 @@ void set_nonblocking(int fd) {
 }
 
 }  // namespace
+
+bool is_transient_accept_error(int error) {
+    switch (error) {
+        case EINTR:
+        case EAGAIN:
+#if EAGAIN != EWOULDBLOCK
+        case EWOULDBLOCK:
+#endif
+        case ECONNABORTED:
+        case EMFILE:
+        case ENFILE:
+        case ENOBUFS:
+        case ENOMEM:
+        case EPROTO:
+            return true;
+        default:
+            return false;
+    }
+}
 
 TcpServer::TcpServer(RequestHandler& handler, std::uint16_t port)
     : handler_(handler) {
@@ -188,7 +218,11 @@ TcpServer::TcpServer(RequestHandler& handler, std::uint16_t port)
         ::close(listen_fd_);
         throw std::runtime_error("tcp: bind failed");
     }
-    if (::listen(listen_fd_, 16) != 0) {
+    // Backlog sized for bursts of simultaneous connects (a load test
+    // launching dozens of clients at once): with a short backlog the
+    // kernel resets handshakes the single-threaded accept loop has not
+    // drained yet.
+    if (::listen(listen_fd_, 128) != 0) {
         ::close(listen_fd_);
         throw std::runtime_error("tcp: listen failed");
     }
@@ -235,9 +269,23 @@ void TcpServer::accept_loop() {
         if (listen_fd < 0) break;
         const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd < 0) {
-            if (errno == EINTR) continue;
-            break;  // listener closed
+            if (is_transient_accept_error(errno)) {
+                // Count and keep serving: one aborted handshake or a
+                // transient fd/buffer shortage must not take the whole
+                // server down. Descriptor exhaustion would otherwise
+                // busy-loop (accept keeps failing immediately), so back
+                // off briefly to let connections close.
+                accept_transient_errors_.fetch_add(1);
+                if (errno == EMFILE || errno == ENFILE ||
+                    errno == ENOBUFS || errno == ENOMEM) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(10));
+                }
+                continue;
+            }
+            break;  // listener closed or unusable
         }
+        set_tcp_nodelay(fd);
         const std::scoped_lock lock(connections_mutex_);
         connection_fds_.push_back(fd);
         connection_threads_.emplace_back(
@@ -279,6 +327,7 @@ void TcpTransport::dial() {
                              "socket failed");
     }
     try {
+        set_tcp_nodelay(fd_);
         set_nonblocking(fd_);
         if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
                       sizeof(address)) != 0) {

@@ -25,6 +25,16 @@
 
 namespace mie::net {
 
+/// True when an accept(2) failure with this errno is transient — the
+/// listener itself is still healthy and accepting must continue: an
+/// aborted handshake (ECONNABORTED), a signal (EINTR), fd or buffer
+/// exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM), or an early protocol error
+/// on the nascent connection (EPROTO). Anything else (EBADF, EINVAL, a
+/// closed listener) is fatal to the accept loop. Shared by the blocking
+/// TcpServer and the reactor so both degrade gracefully under fd
+/// pressure instead of shutting down.
+bool is_transient_accept_error(int error);
+
 /// Serves a RequestHandler on a TCP port. Each connection gets its own
 /// thread; requests on one connection are processed in order.
 class TcpServer {
@@ -48,6 +58,12 @@ public:
     /// The bound port (useful with port = 0).
     std::uint16_t port() const { return port_; }
 
+    /// accept() failures survived (EMFILE, ECONNABORTED, ...) instead of
+    /// shutting the server down.
+    std::uint64_t accept_transient_errors() const {
+        return accept_transient_errors_.load();
+    }
+
 private:
     void accept_loop();
     void serve_connection(int fd);
@@ -57,6 +73,7 @@ private:
     std::atomic<int> listen_fd_{-1};
     std::uint16_t port_ = 0;
     std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> accept_transient_errors_{0};
     std::thread accept_thread_;
     std::mutex connections_mutex_;
     std::vector<int> connection_fds_;

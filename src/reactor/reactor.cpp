@@ -1,0 +1,510 @@
+#include "reactor/reactor.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "exec/exec.hpp"
+#include "net/tcp.hpp"
+
+namespace mie::reactor {
+
+namespace {
+
+constexpr std::uint64_t kListenerId = 0;
+constexpr std::uint64_t kWakeupId = 1;
+
+/// Epoll timeout: the granularity of the idle sweep. Irrelevant for
+/// request latency — completions wake the loop via eventfd immediately.
+constexpr int kEpollTimeoutMs = 100;
+constexpr double kIdleSweepPeriodSeconds = 0.1;
+
+int make_listener(std::uint16_t port, int backlog, std::uint16_t& bound) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) throw std::runtime_error("reactor: socket failed");
+    const int enable = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+        0) {
+        ::close(fd);
+        throw std::runtime_error("reactor: bind failed");
+    }
+    if (::listen(fd, backlog) != 0) {
+        ::close(fd);
+        throw std::runtime_error("reactor: listen failed");
+    }
+    socklen_t address_length = sizeof(address);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address),
+                      &address_length) != 0) {
+        ::close(fd);
+        throw std::runtime_error("reactor: getsockname failed");
+    }
+    bound = ntohs(address.sin_port);
+    return fd;
+}
+
+}  // namespace
+
+ReactorServer::ReactorServer(net::RequestHandler& read_handler,
+                             GroupCommitter* committer,
+                             std::function<bool(BytesView)> is_mutating,
+                             ReactorOptions options)
+    : read_handler_(read_handler),
+      committer_(committer),
+      is_mutating_(std::move(is_mutating)),
+      options_(options) {
+    listen_fd_ = make_listener(options_.port, options_.listen_backlog, port_);
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) {
+        ::close(listen_fd_);
+        throw std::runtime_error("reactor: epoll_create1 failed");
+    }
+    wakeup_fd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (wakeup_fd_ < 0) {
+        ::close(epoll_fd_);
+        ::close(listen_fd_);
+        throw std::runtime_error("reactor: eventfd failed");
+    }
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.u64 = kListenerId;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event) != 0) {
+        ::close(wakeup_fd_);
+        ::close(epoll_fd_);
+        ::close(listen_fd_);
+        throw std::runtime_error("reactor: epoll_ctl(listener) failed");
+    }
+    event.data.u64 = kWakeupId;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &event) != 0) {
+        ::close(wakeup_fd_);
+        ::close(epoll_fd_);
+        ::close(listen_fd_);
+        throw std::runtime_error("reactor: epoll_ctl(wakeup) failed");
+    }
+}
+
+ReactorServer::~ReactorServer() {
+    stop();
+    if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void ReactorServer::start() {
+    bool expected = false;
+    if (!running_.compare_exchange_strong(expected, true)) return;
+    loop_thread_ = std::thread([this] { loop(); });
+}
+
+void ReactorServer::stop() {
+    if (!running_.exchange(false)) {
+        if (loop_thread_.joinable()) loop_thread_.join();
+        return;
+    }
+    wake();
+    if (loop_thread_.joinable()) loop_thread_.join();
+    // The loop is gone; in-flight workers still hold shared_ptrs to their
+    // connections and will write slots nobody reads. Wait them out so the
+    // caller may safely tear down the handler and committer afterwards.
+    while (total_in_flight_.load(std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+    }
+    for (auto& [id, conn] : connections_) {
+        conn->closed.store(true, std::memory_order_release);
+        ::close(conn->fd);
+    }
+    connections_.clear();
+    paused_.clear();
+    ready_.clear();
+}
+
+ReactorServer::Stats ReactorServer::stats() const {
+    Stats out;
+    out.connections_accepted = connections_accepted_.load();
+    out.connections_rejected = connections_rejected_.load();
+    out.accept_transient_errors = accept_transient_errors_.load();
+    out.frames_dispatched = frames_dispatched_.load();
+    out.responses_written = responses_written_.load();
+    out.backpressure_pauses = backpressure_pauses_.load();
+    out.admission_pauses = admission_pauses_.load();
+    out.idle_closed = idle_closed_.load();
+    out.protocol_errors = protocol_errors_.load();
+    return out;
+}
+
+void ReactorServer::wake() {
+    const std::uint64_t one = 1;
+    // The counter saturating (EAGAIN) still leaves it nonzero = readable.
+    [[maybe_unused]] const ssize_t n =
+        ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+void ReactorServer::loop() {
+    constexpr int kMaxEvents = 128;
+    epoll_event events[kMaxEvents];
+    while (running_.load(std::memory_order_acquire)) {
+        const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents,
+                                   kEpollTimeoutMs);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;  // epoll fd unusable; nothing left to serve
+        }
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t id = events[i].data.u64;
+            if (id == kListenerId) {
+                accept_all();
+                continue;
+            }
+            if (id == kWakeupId) {
+                std::uint64_t drained = 0;
+                [[maybe_unused]] const ssize_t r =
+                    ::read(wakeup_fd_, &drained, sizeof(drained));
+                continue;
+            }
+            // Connections close mid-batch; a stale id simply misses.
+            const auto it = connections_.find(id);
+            if (it == connections_.end()) continue;
+            // Copy, don't reference: close_connection erases the map
+            // node mid-call, and a reference into it would dangle for
+            // the rest of handle_event's call chain.
+            const std::shared_ptr<Connection> conn = it->second;
+            handle_event(conn, events[i].events);
+        }
+
+        // Flush worker completions into their connections' write buffers.
+        std::vector<std::shared_ptr<Connection>> ready;
+        {
+            const std::scoped_lock lock(ready_mutex_);
+            ready.swap(ready_);
+        }
+        for (const auto& conn : ready) {
+            if (conn->closed.load(std::memory_order_acquire)) continue;
+            if (!flush_completed(conn)) continue;
+            if (!try_write(conn)) continue;
+            maybe_resume(conn);
+        }
+        resume_paused();
+
+        const double now = clock_.elapsed_seconds();
+        if (options_.idle_timeout_seconds > 0.0 &&
+            now - last_idle_sweep_seconds_ >= kIdleSweepPeriodSeconds) {
+            last_idle_sweep_seconds_ = now;
+            sweep_idle();
+        }
+    }
+}
+
+void ReactorServer::accept_all() {
+    for (;;) {
+        const int fd =
+            ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+            if (net::is_transient_accept_error(errno)) {
+                accept_transient_errors_.fetch_add(1);
+                // Unlike the blocking server there is no sleep here: the
+                // loop must keep serving existing connections. EMFILE
+                // just stops accepting until an fd frees up.
+                return;
+            }
+            return;  // fatal for the listener; existing conns live on
+        }
+        // Responses are small latency-bound frames; never let them sit
+        // behind Nagle waiting for a delayed ACK.
+        const int enable = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+        if (connections_.size() >= options_.max_connections) {
+            connections_rejected_.fetch_add(1);
+            ::close(fd);
+            continue;
+        }
+        const std::uint64_t id = next_connection_id_++;
+        auto conn = std::make_shared<Connection>(id, fd);
+        conn->last_frame_seconds = clock_.elapsed_seconds();
+        epoll_event event{};
+        event.events = EPOLLIN;
+        event.data.u64 = id;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+            ::close(fd);
+            continue;
+        }
+        conn->interest = EPOLLIN;
+        connections_.emplace(id, std::move(conn));
+        connections_accepted_.fetch_add(1);
+    }
+}
+
+void ReactorServer::handle_event(const std::shared_ptr<Connection>& conn,
+                                 std::uint32_t events) {
+    if (events & (EPOLLERR | EPOLLHUP)) {
+        // Peer is gone. Anything in flight completes into a dead slot.
+        close_connection(conn);
+        return;
+    }
+    if (events & EPOLLIN) {
+        handle_readable(conn);
+        if (conn->closed.load(std::memory_order_relaxed)) return;
+    }
+    if (events & EPOLLOUT) {
+        if (!try_write(conn)) return;
+        maybe_resume(conn);
+    }
+}
+
+void ReactorServer::handle_readable(const std::shared_ptr<Connection>& conn) {
+    std::uint8_t chunk[16 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            conn->decoder.feed(BytesView(chunk, static_cast<std::size_t>(n)));
+            if (!process_frames(conn)) return;
+            if (conn->paused) return;  // stop draining the socket too
+            continue;
+        }
+        if (n == 0) {
+            // Half-close: the peer finished sending but may still be
+            // waiting for responses to requests already in flight.
+            conn->eof = true;
+            if (conn->pending.empty() && conn->outbuf.size() ==
+                                             conn->out_offset) {
+                close_connection(conn);
+            }
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        close_connection(conn);  // ECONNRESET and friends
+        return;
+    }
+}
+
+bool ReactorServer::process_frames(const std::shared_ptr<Connection>& conn) {
+    for (;;) {
+        if (over_per_connection_watermark(*conn)) {
+            if (!conn->paused) {
+                conn->paused = true;
+                backpressure_pauses_.fetch_add(1);
+                paused_[conn->id] = conn;
+                update_interest(conn, conn->interest & ~EPOLLIN);
+            }
+            return true;
+        }
+        if (total_in_flight_.load(std::memory_order_relaxed) >=
+            options_.max_in_flight) {
+            // Server-wide admission: park this connection exactly like
+            // backpressure; resume_paused() retries once workers drain.
+            if (!conn->paused) {
+                conn->paused = true;
+                admission_pauses_.fetch_add(1);
+                paused_[conn->id] = conn;
+                update_interest(conn, conn->interest & ~EPOLLIN);
+            }
+            return true;
+        }
+        std::optional<Bytes> frame;
+        try {
+            frame = conn->decoder.next();
+        } catch (const std::exception&) {
+            // Corrupt stream: same policy as the blocking server — drop
+            // this client, keep everyone else.
+            protocol_errors_.fetch_add(1);
+            close_connection(conn);
+            return false;
+        }
+        if (!frame) return true;
+        conn->last_frame_seconds = clock_.elapsed_seconds();
+        dispatch(conn, std::move(*frame));
+    }
+}
+
+void ReactorServer::dispatch(const std::shared_ptr<Connection>& conn,
+                             Bytes request) {
+    auto slot = std::make_shared<Slot>();
+    conn->pending.push_back(slot);
+    total_in_flight_.fetch_add(1, std::memory_order_relaxed);
+    frames_dispatched_.fetch_add(1);
+
+    const bool mutating =
+        committer_ != nullptr && is_mutating_ && is_mutating_(request);
+    if (mutating) {
+        committer_->submit(
+            std::move(request),
+            [this, conn, slot](Bytes response, std::exception_ptr error) {
+                complete(conn, slot, std::move(response), error);
+            });
+        return;
+    }
+    auto shared_request = std::make_shared<Bytes>(std::move(request));
+    exec::ThreadPool::global().submit([this, conn, slot, shared_request] {
+        Bytes response;
+        std::exception_ptr error;
+        try {
+            response = read_handler_.handle(*shared_request);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        complete(conn, slot, std::move(response), error);
+    });
+}
+
+void ReactorServer::complete(const std::shared_ptr<Connection>& conn,
+                             const std::shared_ptr<Slot>& slot,
+                             Bytes response, std::exception_ptr error) {
+    slot->response = std::move(response);
+    slot->error = error;
+    slot->done.store(true, std::memory_order_release);
+    if (!conn->closed.load(std::memory_order_acquire)) {
+        {
+            const std::scoped_lock lock(ready_mutex_);
+            ready_.push_back(conn);
+        }
+        wake();
+    }
+    // Last touch of any member: stop() may free the server right after
+    // this decrement reaches zero.
+    total_in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+bool ReactorServer::flush_completed(const std::shared_ptr<Connection>& conn) {
+    while (!conn->pending.empty() &&
+           conn->pending.front()->done.load(std::memory_order_acquire)) {
+        const std::shared_ptr<Slot> slot = std::move(conn->pending.front());
+        conn->pending.pop_front();
+        if (slot->error) {
+            // Handler failure: same policy as the blocking server — the
+            // client is dropped rather than sent a fabricated reply.
+            protocol_errors_.fetch_add(1);
+            close_connection(conn);
+            return false;
+        }
+        std::uint8_t header[net::kFrameHeaderSize];
+        net::encode_frame_header(slot->response, header);
+        conn->outbuf.insert(conn->outbuf.end(), header,
+                            header + net::kFrameHeaderSize);
+        conn->outbuf.insert(conn->outbuf.end(), slot->response.begin(),
+                            slot->response.end());
+        responses_written_.fetch_add(1);
+    }
+    return true;
+}
+
+bool ReactorServer::try_write(const std::shared_ptr<Connection>& conn) {
+    while (conn->out_offset < conn->outbuf.size()) {
+        const ssize_t n = ::send(
+            conn->fd, conn->outbuf.data() + conn->out_offset,
+            conn->outbuf.size() - conn->out_offset, MSG_NOSIGNAL);
+        if (n > 0) {
+            conn->out_offset += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            update_interest(conn, conn->interest | EPOLLOUT);
+            return true;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        close_connection(conn);  // peer reset while we owed it data
+        return false;
+    }
+    // Fully drained: recycle the buffer and drop write interest.
+    conn->outbuf.clear();
+    conn->out_offset = 0;
+    update_interest(conn, conn->interest & ~EPOLLOUT);
+    if (conn->eof && conn->pending.empty()) {
+        close_connection(conn);
+        return false;
+    }
+    return true;
+}
+
+bool ReactorServer::over_per_connection_watermark(
+    const Connection& conn) const {
+    return conn.pending.size() >= options_.per_connection_in_flight ||
+           conn.outbuf.size() - conn.out_offset >=
+               options_.write_high_watermark;
+}
+
+void ReactorServer::maybe_resume(const std::shared_ptr<Connection>& conn) {
+    if (!conn->paused || over_per_connection_watermark(*conn)) return;
+    if (total_in_flight_.load(std::memory_order_relaxed) >=
+        options_.max_in_flight) {
+        return;
+    }
+    conn->paused = false;
+    paused_.erase(conn->id);
+    update_interest(conn, conn->interest | EPOLLIN);
+    // Frames may be fully buffered in the decoder already — no further
+    // EPOLLIN will fire for them, so parse now.
+    if (!process_frames(conn)) return;
+    if (!flush_completed(conn)) return;
+    try_write(conn);
+}
+
+void ReactorServer::resume_paused() {
+    if (paused_.empty()) return;
+    // Copy: maybe_resume mutates paused_.
+    std::vector<std::shared_ptr<Connection>> parked;
+    parked.reserve(paused_.size());
+    for (const auto& [id, conn] : paused_) parked.push_back(conn);
+    for (const auto& conn : parked) {
+        if (conn->closed.load(std::memory_order_relaxed)) {
+            paused_.erase(conn->id);
+            continue;
+        }
+        maybe_resume(conn);
+    }
+}
+
+void ReactorServer::sweep_idle() {
+    const double now = clock_.elapsed_seconds();
+    std::vector<std::shared_ptr<Connection>> idle;
+    for (const auto& [id, conn] : connections_) {
+        // Completing frames resets the deadline; bytes alone do not, so a
+        // slow-loris peer trickling a header forever still gets cut. A
+        // connection waiting on its own in-flight requests is not idle.
+        if (conn->pending.empty() &&
+            now - conn->last_frame_seconds > options_.idle_timeout_seconds) {
+            idle.push_back(conn);
+        }
+    }
+    for (const auto& conn : idle) {
+        idle_closed_.fetch_add(1);
+        close_connection(conn);
+    }
+}
+
+void ReactorServer::close_connection(const std::shared_ptr<Connection>& conn) {
+    if (conn->closed.exchange(true, std::memory_order_acq_rel)) return;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    paused_.erase(conn->id);
+    connections_.erase(conn->id);
+    // In-flight slots for this connection complete into the shared_ptr
+    // the worker still holds; flush skips them because closed is set.
+}
+
+void ReactorServer::update_interest(const std::shared_ptr<Connection>& conn,
+                                    std::uint32_t events) {
+    if (events == conn->interest) return;
+    epoll_event event{};
+    event.events = events;
+    event.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event) == 0) {
+        conn->interest = events;
+    }
+}
+
+}  // namespace mie::reactor

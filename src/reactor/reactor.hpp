@@ -1,0 +1,208 @@
+// Epoll event-loop server: thousands of concurrent connections on one
+// loop thread, with reads, parses and response writes all non-blocking.
+//
+// Architecture (DESIGN.md §12):
+//
+//   accept ─▶ per-connection net::FrameDecoder (incremental parse)
+//                 │ complete frame
+//                 ├─ mutating?  ─▶ GroupCommitter queue ─▶ one WAL
+//                 │                 append_batch + fsync per batch
+//                 └─ read-only  ─▶ exec::ThreadPool worker (slow ranked
+//                                   searches never stall the loop)
+//            completions ─▶ eventfd wake ─▶ responses written in request
+//                                           order, drained on EPOLLOUT
+//
+// Admission control and backpressure keep the server graceful under
+// overload: the accept backlog is bounded, connections beyond
+// max_connections are refused, a server-wide in-flight cap stops the
+// loop from dispatching faster than workers complete, and a connection
+// whose unacked responses pass the per-connection watermark stops being
+// read — TCP flow control then pushes back to the client.
+//
+// Protocol and failure semantics match the blocking net::TcpServer:
+// checksummed frames both ways, responses per connection in request
+// order, and a request whose handler throws (or a corrupt frame) drops
+// that client while every other connection keeps being served.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+#include "reactor/group_commit.hpp"
+#include "util/bytes.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mie::reactor {
+
+struct ReactorOptions {
+    std::uint16_t port = 0;  ///< 0 = ephemeral; see ReactorServer::port()
+    /// listen(2) backlog: pending-handshake connections beyond this are
+    /// refused by the kernel instead of queueing without bound.
+    int listen_backlog = 128;
+    /// Established-connection cap; further accepts are closed immediately.
+    std::size_t max_connections = 1024;
+    /// Server-wide cap on dispatched-but-uncompleted requests.
+    std::size_t max_in_flight = 1024;
+    /// Per-connection cap on responses not yet written to the socket;
+    /// beyond it the connection stops being read (backpressure).
+    std::size_t per_connection_in_flight = 64;
+    /// Per-connection cap on queued response BYTES awaiting the socket;
+    /// same backpressure mechanism for few-but-huge responses.
+    std::size_t write_high_watermark = 1u << 20;
+    /// Connections that complete no frame for this long are closed (the
+    /// slow-loris deadline: trickling partial frames does not reset it).
+    /// <= 0 disables.
+    double idle_timeout_seconds = 0.0;
+};
+
+class ReactorServer {
+public:
+    /// Requests for which `is_mutating` returns true are funneled into
+    /// `committer`; everything else is served by `read_handler` on the
+    /// exec::ThreadPool. Pass committer == nullptr (or an empty
+    /// classifier) to serve every request through `read_handler`.
+    /// `read_handler` and `committer` must outlive the server. Binds and
+    /// listens on 127.0.0.1 immediately; throws std::runtime_error on
+    /// socket failures.
+    ReactorServer(net::RequestHandler& read_handler,
+                  GroupCommitter* committer,
+                  std::function<bool(BytesView)> is_mutating,
+                  ReactorOptions options = {});
+
+    /// Stops the loop and closes every connection.
+    ~ReactorServer();
+
+    ReactorServer(const ReactorServer&) = delete;
+    ReactorServer& operator=(const ReactorServer&) = delete;
+
+    /// Starts the event-loop thread (idempotent).
+    void start();
+
+    /// Stops accepting and reading, waits for every in-flight request to
+    /// complete (keep the committer running until this returns), then
+    /// closes all connections. Idempotent.
+    void stop();
+
+    /// The bound port (useful with options.port = 0).
+    std::uint16_t port() const { return port_; }
+
+    struct Stats {
+        std::uint64_t connections_accepted = 0;
+        std::uint64_t connections_rejected = 0;  ///< over max_connections
+        std::uint64_t accept_transient_errors = 0;
+        std::uint64_t frames_dispatched = 0;
+        std::uint64_t responses_written = 0;
+        std::uint64_t backpressure_pauses = 0;  ///< per-connection watermark
+        std::uint64_t admission_pauses = 0;     ///< server-wide in-flight cap
+        std::uint64_t idle_closed = 0;
+        std::uint64_t protocol_errors = 0;  ///< corrupt frame / handler throw
+    };
+    Stats stats() const;
+
+private:
+    /// One response slot. The worker (pool or committer thread) fills
+    /// response/error and then publishes with done.store(release); the
+    /// loop thread observes done.load(acquire) before reading the rest —
+    /// the only cross-thread handoff on the per-request path.
+    struct Slot {
+        std::atomic<bool> done{false};
+        Bytes response;
+        std::exception_ptr error;
+    };
+
+    struct Connection {
+        Connection(std::uint64_t id, int fd) : id(id), fd(fd) {}
+
+        const std::uint64_t id;
+        const int fd;
+        /// True once the loop closed the fd; workers then skip the wake.
+        std::atomic<bool> closed{false};
+
+        // Everything below is owned by the loop thread.
+        net::FrameDecoder decoder;
+        std::deque<std::shared_ptr<Slot>> pending;  ///< request order
+        Bytes outbuf;
+        std::size_t out_offset = 0;
+        std::uint32_t interest = 0;  ///< current epoll event mask
+        bool paused = false;         ///< EPOLLIN withheld (backpressure)
+        bool eof = false;            ///< peer half-closed; flush then close
+        double last_frame_seconds = 0.0;
+    };
+
+    void loop();
+    void accept_all();
+    void handle_event(const std::shared_ptr<Connection>& conn,
+                      std::uint32_t events);
+    void handle_readable(const std::shared_ptr<Connection>& conn);
+    /// Parses and dispatches buffered frames; returns false if the
+    /// connection was closed.
+    bool process_frames(const std::shared_ptr<Connection>& conn);
+    void dispatch(const std::shared_ptr<Connection>& conn, Bytes request);
+    /// Worker-side: fill the slot, then wake the loop.
+    void complete(const std::shared_ptr<Connection>& conn,
+                  const std::shared_ptr<Slot>& slot, Bytes response,
+                  std::exception_ptr error);
+    /// Loop-side: move completed head responses into the write buffer.
+    /// Returns false if the connection was closed (handler error).
+    bool flush_completed(const std::shared_ptr<Connection>& conn);
+    /// Returns false if the connection was closed (peer gone).
+    bool try_write(const std::shared_ptr<Connection>& conn);
+    void maybe_resume(const std::shared_ptr<Connection>& conn);
+    void resume_paused();
+    void sweep_idle();
+    void close_connection(const std::shared_ptr<Connection>& conn);
+    void update_interest(const std::shared_ptr<Connection>& conn,
+                         std::uint32_t events);
+    bool over_per_connection_watermark(const Connection& conn) const;
+    void wake();
+
+    net::RequestHandler& read_handler_;
+    GroupCommitter* committer_;
+    std::function<bool(BytesView)> is_mutating_;
+    ReactorOptions options_;
+
+    int listen_fd_ = -1;
+    int epoll_fd_ = -1;
+    int wakeup_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::thread loop_thread_;
+    Stopwatch clock_;
+    double last_idle_sweep_seconds_ = 0.0;
+
+    std::uint64_t next_connection_id_ = 2;  ///< 0 = listener, 1 = wakeup
+    /// Live connections by id (ids are never reused, so a stale epoll
+    /// event for a closed fd cannot alias a newly accepted connection).
+    /// Ordered map: the idle sweep iterates it, and iteration order must
+    /// not depend on hashing.
+    std::map<std::uint64_t, std::shared_ptr<Connection>> connections_;
+    std::map<std::uint64_t, std::shared_ptr<Connection>> paused_;
+
+    /// Dispatched-but-uncompleted requests, server-wide (admission).
+    std::atomic<std::size_t> total_in_flight_{0};
+
+    /// Connections with freshly completed slots, filled by workers.
+    std::mutex ready_mutex_;
+    std::vector<std::shared_ptr<Connection>> ready_;
+
+    std::atomic<std::uint64_t> connections_accepted_{0};
+    std::atomic<std::uint64_t> connections_rejected_{0};
+    std::atomic<std::uint64_t> accept_transient_errors_{0};
+    std::atomic<std::uint64_t> frames_dispatched_{0};
+    std::atomic<std::uint64_t> responses_written_{0};
+    std::atomic<std::uint64_t> backpressure_pauses_{0};
+    std::atomic<std::uint64_t> admission_pauses_{0};
+    std::atomic<std::uint64_t> idle_closed_{0};
+    std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace mie::reactor

@@ -66,6 +66,14 @@ public:
     /// acknowledged once this returns.
     Lsn log(BytesView payload) { return wal_.append(payload); }
 
+    /// Appends a batch of operation payloads with ONE sync-policy
+    /// application at the end (group commit: a single fsync covers every
+    /// record under kEveryRecord). All operations of the batch may be
+    /// acknowledged once this returns; on IoError none may be.
+    Lsn log_batch(const std::vector<BytesView>& payloads) {
+        return wal_.append_batch(payloads);
+    }
+
     /// Forces the log to stable storage (used on clean shutdown and by
     /// callers that batch syncs themselves).
     void sync() { wal_.sync(); }

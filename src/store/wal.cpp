@@ -135,6 +135,29 @@ void Wal::start_segment(Lsn first_lsn) {
 }
 
 Lsn Wal::append(BytesView payload) {
+    const Lsn lsn = append_record(payload);
+    if (options_.sync_policy == SyncPolicy::kEveryRecord) {
+        active_->sync();
+        active_dirty_ = false;
+    }
+    return lsn;
+}
+
+Lsn Wal::append_batch(const std::vector<BytesView>& payloads) {
+    Lsn last = 0;
+    for (const BytesView payload : payloads) {
+        last = append_record(payload);
+    }
+    // Group commit: one flush covers every record of the batch. A
+    // mid-batch rotation already sealed (and under kEveryRecord synced)
+    // the full segment, so this only pays for the active tail.
+    if (last != 0 && options_.sync_policy == SyncPolicy::kEveryRecord) {
+        sync();
+    }
+    return last;
+}
+
+Lsn Wal::append_record(BytesView payload) {
     if (active_->size() >= options_.segment_bytes) {
         // Seal the active segment and rotate. Under kOnRotate sealing
         // *initiates* writeback of the full segment without blocking on
@@ -156,10 +179,6 @@ Lsn Wal::append(BytesView payload) {
     append_le(header, lsn);
     active_->append_parts(header, payload);
     active_dirty_ = true;
-    if (options_.sync_policy == SyncPolicy::kEveryRecord) {
-        active_->sync();
-        active_dirty_ = false;
-    }
     bytes_appended_ += kRecordHeaderBytes + payload.size();
     next_lsn_ = lsn + 1;
     return lsn;

@@ -69,6 +69,15 @@ public:
     /// be treated as not written).
     Lsn append(BytesView payload);
 
+    /// Appends every payload as consecutive records, then applies the
+    /// sync policy ONCE for the whole batch: under kEveryRecord a single
+    /// fsync makes all of them power-loss durable together (group
+    /// commit), amortizing the per-record flush across the batch. Returns
+    /// the last LSN (0 for an empty batch). On IoError a prefix of the
+    /// batch may be written; none of it may be acknowledged, and torn-tail
+    /// truncation discards any unsynced suffix at recovery.
+    Lsn append_batch(const std::vector<BytesView>& payloads);
+
     /// Forces the active segment to stable storage.
     void sync();
 
@@ -106,6 +115,10 @@ private:
 
     void open_existing();
     void start_segment(Lsn first_lsn);
+    /// Appends one record without applying the per-record sync policy
+    /// (rotation still seals full segments); append/append_batch layer
+    /// the policy on top.
+    Lsn append_record(BytesView payload);
     std::filesystem::path segment_path(Lsn first_lsn) const;
 
     /// Scans one segment file; returns the byte offset just past the last

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <functional>
 #include <thread>
 
@@ -86,6 +87,30 @@ TEST(Tcp, MultipleConcurrentClients) {
     }
     for (auto& t : clients) t.join();
     EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Tcp, TransientAcceptErrorsClassified) {
+    // The accept loop must survive these (count + continue)...
+    EXPECT_TRUE(is_transient_accept_error(ECONNABORTED));
+    EXPECT_TRUE(is_transient_accept_error(EINTR));
+    EXPECT_TRUE(is_transient_accept_error(EMFILE));
+    EXPECT_TRUE(is_transient_accept_error(ENFILE));
+    EXPECT_TRUE(is_transient_accept_error(ENOBUFS));
+    EXPECT_TRUE(is_transient_accept_error(ENOMEM));
+    EXPECT_TRUE(is_transient_accept_error(EPROTO));
+    EXPECT_TRUE(is_transient_accept_error(EAGAIN));
+    // ...and die on these (the listener itself is unusable).
+    EXPECT_FALSE(is_transient_accept_error(EBADF));
+    EXPECT_FALSE(is_transient_accept_error(EINVAL));
+    EXPECT_FALSE(is_transient_accept_error(ENOTSOCK));
+
+    // A healthy server reports zero transient accept errors.
+    PrefixEcho echo;
+    TcpServer server(echo);
+    server.start();
+    TcpTransport client("127.0.0.1", server.port());
+    EXPECT_EQ(to_string(client.call(to_bytes("x"))), "ack:x");
+    EXPECT_EQ(server.accept_transient_errors(), 0u);
 }
 
 TEST(Tcp, ConnectToClosedPortFails) {

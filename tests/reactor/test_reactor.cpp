@@ -1,0 +1,849 @@
+// Reactor server + group-commit tests.
+//
+// Covers the event-loop transport (partial frames across wakeups,
+// pipelining, backpressure watermarks, slow-loris idle deadline,
+// admission control) and the group-commit durability path: batched WAL
+// appends must preserve log-before-ack and exactly-once dedup across
+// injected crashes, byte-for-byte with the serial DurableServer.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mie/client.hpp"
+#include "mie/durable_server.hpp"
+#include "mie/server.hpp"
+#include "mie/wire.hpp"
+#include "net/frame.hpp"
+#include "net/tcp.hpp"
+#include "reactor/group_commit.hpp"
+#include "reactor/reactor.hpp"
+#include "sim/dataset.hpp"
+#include "store/file.hpp"
+
+namespace mie::reactor {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kRepo[] = "repo";
+
+class PrefixEcho final : public net::RequestHandler {
+public:
+    Bytes handle(BytesView request) override {
+        Bytes response = to_bytes("ack:");
+        response.insert(response.end(), request.begin(), request.end());
+        return response;
+    }
+};
+
+/// Blocking raw client socket: lets tests control exactly which bytes hit
+/// the wire and when (partial frames, pipelining, trickling).
+class RawClient {
+public:
+    explicit RawClient(std::uint16_t port) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd_, 0);
+        sockaddr_in address{};
+        address.sin_family = AF_INET;
+        address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        address.sin_port = htons(port);
+        EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                            sizeof(address)),
+                  0);
+    }
+
+    ~RawClient() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+
+    void send_bytes(const std::uint8_t* data, std::size_t length) {
+        std::size_t sent = 0;
+        while (sent < length) {
+            const ssize_t n = ::send(fd_, data + sent, length - sent,
+                                     MSG_NOSIGNAL);
+            ASSERT_GT(n, 0);
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+
+    void send_frame(BytesView payload) {
+        const Bytes frame = net::encode_frame(payload);
+        send_bytes(frame.data(), frame.size());
+    }
+
+    /// Reads one complete response frame (blocking).
+    Bytes recv_frame() {
+        std::uint8_t header[net::kFrameHeaderSize];
+        recv_exact(header, net::kFrameHeaderSize);
+        const net::FrameHeader parsed = net::parse_frame_header(header);
+        Bytes payload(parsed.length);
+        if (parsed.length > 0) recv_exact(payload.data(), parsed.length);
+        net::verify_frame_payload(parsed, payload);
+        return payload;
+    }
+
+    /// True when the peer closed the connection (EOF or reset).
+    bool peer_closed() {
+        std::uint8_t byte = 0;
+        const ssize_t n = ::recv(fd_, &byte, 1, 0);
+        return n <= 0;
+    }
+
+    int fd() const { return fd_; }
+
+private:
+    void recv_exact(std::uint8_t* out, std::size_t length) {
+        std::size_t received = 0;
+        while (received < length) {
+            const ssize_t n =
+                ::recv(fd_, out + received, length - received, 0);
+            ASSERT_GT(n, 0) << "peer closed mid-frame";
+            received += static_cast<std::size_t>(n);
+        }
+    }
+
+    int fd_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// Event-loop transport behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(Reactor, RoundtripSequentialAndLargeFrames) {
+    PrefixEcho echo;
+    ReactorServer server(echo, nullptr, nullptr);
+    server.start();
+
+    net::TcpTransport client("127.0.0.1", server.port());
+    EXPECT_EQ(to_string(client.call(to_bytes("hello"))), "ack:hello");
+    EXPECT_EQ(to_string(client.call({})), "ack:");
+    for (int i = 0; i < 50; ++i) {
+        const std::string message = "msg" + std::to_string(i);
+        EXPECT_EQ(to_string(client.call(to_bytes(message))),
+                  "ack:" + message);
+    }
+    // A frame spanning many TCP segments (and many epoll wakeups).
+    const Bytes big(1 << 20, 0x7e);
+    const Bytes response = client.call(big);
+    ASSERT_EQ(response.size(), big.size() + 4);
+    EXPECT_EQ(response[4], 0x7e);
+    EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+TEST(Reactor, PartialFramesAcrossWakeupsAndPipelining) {
+    PrefixEcho echo;
+    ReactorServer server(echo, nullptr, nullptr);
+    server.start();
+    RawClient client(server.port());
+
+    // Drip one frame a few bytes at a time: every chunk is its own epoll
+    // wakeup, and no chunk boundary aligns with a frame boundary.
+    const Bytes frame = net::encode_frame(to_bytes("dripped"));
+    for (std::size_t offset = 0; offset < frame.size(); offset += 3) {
+        const std::size_t n = std::min<std::size_t>(3, frame.size() - offset);
+        client.send_bytes(frame.data() + offset, n);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(to_string(client.recv_frame()), "ack:dripped");
+
+    // Pipelining: several frames in one write; responses come back in
+    // request order.
+    Bytes burst;
+    for (int i = 0; i < 8; ++i) {
+        const Bytes one =
+            net::encode_frame(to_bytes("p" + std::to_string(i)));
+        burst.insert(burst.end(), one.begin(), one.end());
+    }
+    client.send_bytes(burst.data(), burst.size());
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(to_string(client.recv_frame()),
+                  "ack:p" + std::to_string(i));
+    }
+}
+
+TEST(Reactor, ManyConcurrentClients) {
+    PrefixEcho echo;
+    ReactorServer server(echo, nullptr, nullptr);
+    server.start();
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 16; ++c) {
+        clients.emplace_back([&, c] {
+            try {
+                net::TcpTransport client("127.0.0.1", server.port());
+                for (int i = 0; i < 20; ++i) {
+                    const std::string message =
+                        std::to_string(c) + ":" + std::to_string(i);
+                    if (to_string(client.call(to_bytes(message))) !=
+                        "ack:" + message) {
+                        ++failures;
+                    }
+                }
+            } catch (...) {
+                ++failures;
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_GE(server.stats().connections_accepted, 16u);
+}
+
+TEST(Reactor, CorruptFrameDropsOnlyThatClient) {
+    PrefixEcho echo;
+    ReactorServer server(echo, nullptr, nullptr);
+    server.start();
+
+    net::TcpTransport healthy("127.0.0.1", server.port());
+    RawClient bad(server.port());
+    Bytes frame = net::encode_frame(to_bytes("tampered"));
+    frame.back() ^= 0x01;
+    bad.send_bytes(frame.data(), frame.size());
+    EXPECT_TRUE(bad.peer_closed());
+    EXPECT_EQ(to_string(healthy.call(to_bytes("still-up"))),
+              "ack:still-up");
+    EXPECT_GE(server.stats().protocol_errors, 1u);
+}
+
+TEST(Reactor, BackpressureWatermarkPausesReads) {
+    // A deliberately slow handler plus a tiny per-connection in-flight cap:
+    // a client that pipelines far ahead must be paused (reads withheld)
+    // rather than ballooning the pending queue — and still get every
+    // response, in order.
+    class SlowEcho final : public net::RequestHandler {
+    public:
+        Bytes handle(BytesView request) override {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            return Bytes(request.begin(), request.end());
+        }
+    };
+    SlowEcho slow;
+    ReactorOptions options;
+    options.per_connection_in_flight = 4;
+    ReactorServer server(slow, nullptr, nullptr, options);
+    server.start();
+
+    RawClient client(server.port());
+    constexpr int kRequests = 64;
+    Bytes burst;
+    for (int i = 0; i < kRequests; ++i) {
+        const Bytes one =
+            net::encode_frame(to_bytes("r" + std::to_string(i)));
+        burst.insert(burst.end(), one.begin(), one.end());
+    }
+    client.send_bytes(burst.data(), burst.size());
+    for (int i = 0; i < kRequests; ++i) {
+        EXPECT_EQ(to_string(client.recv_frame()), "r" + std::to_string(i));
+    }
+    EXPECT_GE(server.stats().backpressure_pauses, 1u);
+    EXPECT_EQ(server.stats().frames_dispatched,
+              static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(Reactor, SlowLorisIsClosedWhileActiveClientSurvives) {
+    PrefixEcho echo;
+    ReactorOptions options;
+    options.idle_timeout_seconds = 0.25;
+    ReactorServer server(echo, nullptr, nullptr, options);
+    server.start();
+
+    RawClient loris(server.port());
+    net::TcpTransport active("127.0.0.1", server.port());
+
+    // The loris trickles one header byte per tick but never completes a
+    // frame; the active client completes a call every ~60ms, which
+    // resets ITS deadline but not the loris's.
+    const Bytes frame = net::encode_frame(to_bytes("never-finished"));
+    for (int i = 0; i < 8; ++i) {
+        // Stop trickling before the deadline can have fired — a send to
+        // an already-closed peer would EPIPE and fail the helper.
+        if (i < 4) loris.send_bytes(frame.data() + i, 1);
+        EXPECT_EQ(to_string(active.call(to_bytes("tick"))), "ack:tick");
+        std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    }
+    EXPECT_TRUE(loris.peer_closed());
+    EXPECT_EQ(to_string(active.call(to_bytes("after"))), "ack:after");
+    EXPECT_GE(server.stats().idle_closed, 1u);
+}
+
+TEST(Reactor, ConnectionsBeyondCapAreRejected) {
+    PrefixEcho echo;
+    ReactorOptions options;
+    options.max_connections = 2;
+    ReactorServer server(echo, nullptr, nullptr, options);
+    server.start();
+
+    net::TcpTransport first("127.0.0.1", server.port());
+    net::TcpTransport second("127.0.0.1", server.port());
+    EXPECT_EQ(to_string(first.call(to_bytes("a"))), "ack:a");
+    EXPECT_EQ(to_string(second.call(to_bytes("b"))), "ack:b");
+
+    // The third connection is accepted by the kernel, then closed by the
+    // reactor's admission check; its first call fails.
+    RawClient third(server.port());
+    EXPECT_TRUE(third.peer_closed());
+    EXPECT_GE(server.stats().connections_rejected, 1u);
+    // Earlier connections are unaffected.
+    EXPECT_EQ(to_string(first.call(to_bytes("c"))), "ack:c");
+}
+
+TEST(Reactor, StopIsIdempotentAndDrainsInFlight) {
+    class SlowEcho final : public net::RequestHandler {
+    public:
+        Bytes handle(BytesView request) override {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            return Bytes(request.begin(), request.end());
+        }
+    };
+    SlowEcho slow;
+    auto server = std::make_unique<ReactorServer>(slow, nullptr, nullptr);
+    server->start();
+    server->start();  // no-op
+
+    RawClient client(server->port());
+    client.send_frame(to_bytes("inflight"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // stop() must wait out the dispatched request (the handler outlives
+    // the server only until stop returns), then close the connection.
+    server->stop();
+    server->stop();  // no-op
+    server = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// GroupCommitter: batching mechanics.
+// ---------------------------------------------------------------------------
+
+/// Echoes each request; the FIRST batch blocks until release() so a test
+/// can deterministically pile requests into the next batch.
+class GateEcho final : public net::BatchRequestHandler {
+public:
+    std::vector<Result> handle_batch(
+        const std::vector<Bytes>& requests) override {
+        {
+            std::unique_lock lock(mutex_);
+            batch_sizes_.push_back(requests.size());
+            entered_.notify_all();
+            release_.wait(lock, [&] { return open_; });
+        }
+        std::vector<Result> results(requests.size());
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            results[i].response = requests[i];
+        }
+        return results;
+    }
+
+    void wait_entered(std::size_t batches) {
+        std::unique_lock lock(mutex_);
+        entered_.wait(lock, [&] { return batch_sizes_.size() >= batches; });
+    }
+
+    void release() {
+        const std::scoped_lock lock(mutex_);
+        open_ = true;
+        release_.notify_all();
+    }
+
+    std::vector<std::size_t> batch_sizes() {
+        const std::scoped_lock lock(mutex_);
+        return batch_sizes_;
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable entered_;
+    std::condition_variable release_;
+    bool open_ = false;
+    std::vector<std::size_t> batch_sizes_;
+};
+
+TEST(GroupCommit, PendingRequestsCoalesceIntoOneBatch) {
+    GateEcho gate;
+    GroupCommitter committer(gate);
+
+    std::atomic<int> completed{0};
+    std::atomic<int> errors{0};
+    const auto completion = [&](Bytes response, std::exception_ptr error) {
+        (void)response;
+        if (error) ++errors;
+        ++completed;
+    };
+
+    committer.submit(to_bytes("first"), completion);
+    gate.wait_entered(1);  // committer thread holds batch #1 at the gate
+    for (int i = 0; i < 9; ++i) {
+        committer.submit(to_bytes("q" + std::to_string(i)), completion);
+    }
+    gate.release();
+    committer.stop();  // drains
+
+    EXPECT_EQ(completed.load(), 10);
+    EXPECT_EQ(errors.load(), 0);
+    // Everything submitted while batch #1 was committing arrives as one
+    // batch — the whole point of group commit.
+    const auto sizes = gate.batch_sizes();
+    ASSERT_EQ(sizes.size(), 2u);
+    EXPECT_EQ(sizes[0], 1u);
+    EXPECT_EQ(sizes[1], 9u);
+    EXPECT_EQ(committer.stats().max_batch, 9u);
+    EXPECT_EQ(committer.stats().batches, 2u);
+}
+
+TEST(GroupCommit, SubmitAfterStopFailsInline) {
+    GateEcho gate;
+    gate.release();
+    GroupCommitter committer(gate);
+    committer.stop();
+
+    bool failed = false;
+    committer.submit(to_bytes("late"),
+                     [&](Bytes, std::exception_ptr error) {
+                         failed = error != nullptr;
+                     });
+    EXPECT_TRUE(failed);
+    EXPECT_EQ(committer.stats().errors, 1u);
+}
+
+TEST(GroupCommit, HandlerFailureFailsEveryRequestOfTheBatch) {
+    class Throwing final : public net::BatchRequestHandler {
+    public:
+        std::vector<Result> handle_batch(const std::vector<Bytes>&) override {
+            throw std::runtime_error("disk on fire");
+        }
+    };
+    Throwing handler;
+    GroupCommitter committer(handler);
+    std::atomic<int> errors{0};
+    for (int i = 0; i < 4; ++i) {
+        committer.submit(to_bytes("x"), [&](Bytes, std::exception_ptr e) {
+            if (e) ++errors;
+        });
+    }
+    committer.stop();
+    EXPECT_EQ(errors.load(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Group-committed durability: handle_batch equivalence, dedup, crashes.
+// ---------------------------------------------------------------------------
+
+/// Forwards to a handler while keeping a copy of every request.
+class RecordingTransport final : public net::Transport {
+public:
+    explicit RecordingTransport(net::RequestHandler& handler)
+        : handler_(handler) {}
+
+    Bytes call(BytesView request) override {
+        requests.emplace_back(request.begin(), request.end());
+        return handler_.handle(request);
+    }
+
+    std::vector<Bytes> requests;
+
+private:
+    net::RequestHandler& handler_;
+};
+
+Bytes list_objects_request() {
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MieOp::kListObjects));
+    writer.write_string(kRepo);
+    return writer.take();
+}
+
+Bytes stats_request() {
+    net::MessageWriter writer;
+    writer.write_u8(static_cast<std::uint8_t>(MieOp::kStats));
+    writer.write_string(kRepo);
+    return writer.take();
+}
+
+/// id -> ciphertext blob, order-independent.
+std::map<std::uint64_t, Bytes> listing_of(net::RequestHandler& server) {
+    const Bytes response = server.handle(list_objects_request());
+    net::MessageReader reader(response);
+    std::map<std::uint64_t, Bytes> objects;
+    const auto count = reader.read_u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t id = reader.read_u64();
+        objects[id] = reader.read_bytes();
+    }
+    return objects;
+}
+
+/// (listing, stats response), or nullopt when the repository does not
+/// exist on that server — a legitimate state when a crash precedes the
+/// CREATE's commit.
+std::optional<std::pair<std::map<std::uint64_t, Bytes>, Bytes>>
+state_fingerprint(net::RequestHandler& server) {
+    try {
+        return std::make_pair(listing_of(server),
+                              server.handle(stats_request()));
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+bool same_state(net::RequestHandler& a, net::RequestHandler& b) {
+    return state_fingerprint(a) == state_fingerprint(b);
+}
+
+/// The mixed mutating workload of the durable-server suite: create, 10
+/// updates, train, 4 updates, 2 removes, 1 overwrite — recorded once as
+/// raw (enveloped) wire requests.
+const std::vector<Bytes>& workload() {
+    static const std::vector<Bytes> requests = [] {
+        MieServer scratch;
+        RecordingTransport transport(scratch);
+        auto key = RepositoryKey::generate(to_bytes("reactor"), 64, 64,
+                                           0.7978845608);
+        MieClient client(transport, kRepo, key, to_bytes("u"));
+        client.train_params.tree_branch = 5;
+        client.train_params.tree_depth = 2;
+        sim::FlickrLikeGenerator generator(sim::FlickrLikeParams{
+            .num_classes = 4, .image_size = 48, .seed = 71});
+        client.create_repository();
+        for (const auto& object : generator.make_batch(0, 10)) {
+            client.update(object);
+        }
+        client.train();
+        for (const auto& object : generator.make_batch(10, 4)) {
+            client.update(object);
+        }
+        client.remove(3);
+        client.remove(7);
+        client.update(generator.make(5));
+        return std::move(transport.requests);
+    }();
+    return requests;
+}
+
+class GroupCommitDurabilityTest : public ::testing::Test {
+protected:
+    GroupCommitDurabilityTest()
+        : dir_(fs::temp_directory_path() /
+               ("mie_reactor_test_" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()) +
+                "_" + std::to_string(::getpid()))) {}
+
+    ~GroupCommitDurabilityTest() override {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    static DurableServer::Options small_segments() {
+        DurableServer::Options options;
+        options.wal.segment_bytes = 32 * 1024;
+        options.wal.sync_policy = store::SyncPolicy::kEveryRecord;
+        return options;
+    }
+
+    /// Drives the workload through handle_batch in chunks of `batch`;
+    /// acked requests (no per-slot error) go to `shadow`. Returns the
+    /// requests of the first failing batch, in order, or empty if none.
+    static std::vector<Bytes> drive_batched(DurableServer& durable,
+                                            MieServer& shadow,
+                                            std::size_t batch_size) {
+        const auto& requests = workload();
+        for (std::size_t start = 0; start < requests.size();
+             start += batch_size) {
+            const std::size_t end =
+                std::min(requests.size(), start + batch_size);
+            const std::vector<Bytes> batch(requests.begin() + start,
+                                           requests.begin() + end);
+            const auto results = durable.handle_batch(batch);
+            bool failed = false;
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                if (results[i].error) {
+                    failed = true;
+                } else {
+                    shadow.handle(batch[i]);
+                }
+            }
+            if (failed) return batch;
+        }
+        return {};
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(GroupCommitDurabilityTest, BatchedApplyMatchesSerialApply) {
+    MieServer serial_shadow;
+    for (const Bytes& request : workload()) serial_shadow.handle(request);
+
+    MieServer shadow;
+    DurableServer durable(store::PosixVfs::instance(), dir_,
+                          small_segments());
+    const auto failed = drive_batched(durable, shadow, 4);
+    EXPECT_TRUE(failed.empty());
+    EXPECT_TRUE(same_state(durable, serial_shadow));
+
+    const auto stats = durable.durability();
+    EXPECT_EQ(stats.records_logged, workload().size());
+    EXPECT_GE(stats.batches_committed,
+              (workload().size() + 3) / 4 - 1);
+    EXPECT_GE(stats.max_batch_records, 2u);
+}
+
+TEST_F(GroupCommitDurabilityTest, MixedBatchFailsOnlyInvalidSlots) {
+    MieServer shadow;
+    DurableServer durable(store::PosixVfs::instance(), dir_,
+                          small_segments());
+    const auto& requests = workload();
+    // Valid create + garbage + valid update in one batch: the garbage
+    // slot errors, the others commit.
+    std::vector<Bytes> batch{requests[0], Bytes{}, requests[1]};
+    const auto results = durable.handle_batch(batch);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].error, nullptr);
+    EXPECT_NE(results[1].error, nullptr);
+    EXPECT_EQ(results[2].error, nullptr);
+    shadow.handle(requests[0]);
+    shadow.handle(requests[1]);
+    EXPECT_TRUE(same_state(durable, shadow));
+    EXPECT_EQ(durable.durability().records_logged, 2u);
+}
+
+TEST_F(GroupCommitDurabilityTest, WithinBatchDuplicateIsAppliedOnce) {
+    DurableServer durable(store::PosixVfs::instance(), dir_,
+                          small_segments());
+    const auto& requests = workload();
+    durable.handle_batch({requests[0]});  // create
+    // A retransmit landing in the same batch as its original: applied
+    // once, logged once, both slots get the same response.
+    const std::vector<Bytes> batch{requests[1], requests[1]};
+    const auto results = durable.handle_batch(batch);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].error, nullptr);
+    EXPECT_EQ(results[1].error, nullptr);
+    EXPECT_EQ(results[0].response, results[1].response);
+    const auto stats = durable.durability();
+    EXPECT_EQ(stats.replays_suppressed, 1u);
+    EXPECT_EQ(stats.records_logged, 2u);  // create + ONE update
+
+    // The dedup also holds across batches (a later retransmit).
+    const auto replay = durable.handle_batch({requests[1]});
+    EXPECT_EQ(replay[0].response, results[0].response);
+    EXPECT_EQ(durable.durability().replays_suppressed, 2u);
+}
+
+TEST_F(GroupCommitDurabilityTest, PowerLossMidBatchLosesNoAckedRequest) {
+    // Calibrate total appended bytes for a faultless batched run.
+    std::uint64_t total_bytes = 0;
+    {
+        store::FaultInjectingVfs vfs(store::PosixVfs::instance());
+        MieServer shadow;
+        DurableServer durable(vfs, dir_ / "calibrate", small_segments());
+        drive_batched(durable, shadow, 4);
+        total_bytes = vfs.bytes_appended();
+        ASSERT_GT(total_bytes, 0u);
+    }
+    for (int step = 1; step <= 4; ++step) {
+        const std::uint64_t fail_at = total_bytes * step / 5;
+        const fs::path cell_dir = dir_ / ("power_" + std::to_string(step));
+        MieServer shadow;
+        {
+            store::FaultInjectingVfs vfs(store::PosixVfs::instance());
+            DurableServer durable(vfs, cell_dir, small_segments());
+            vfs.fail_after_bytes(fail_at, 7);
+            const auto failed = drive_batched(durable, shadow, 4);
+            ASSERT_FALSE(failed.empty())
+                << "fault at byte " << fail_at << " never fired";
+            vfs.power_loss();
+        }
+        // kEveryRecord + group commit: every *acked* batch was fsynced as
+        // a unit, and the failing batch acked nothing — so after power
+        // loss the recovered server matches the acked state EXACTLY (no
+        // at-least-once window at all).
+        DurableServer recovered(store::PosixVfs::instance(), cell_dir,
+                                small_segments());
+        SCOPED_TRACE("fail_at=" + std::to_string(fail_at));
+        EXPECT_TRUE(same_state(recovered, shadow));
+    }
+}
+
+TEST_F(GroupCommitDurabilityTest, ProcessCrashMidBatchKeepsLoggedPrefix) {
+    std::uint64_t total_bytes = 0;
+    {
+        store::FaultInjectingVfs vfs(store::PosixVfs::instance());
+        MieServer shadow;
+        DurableServer durable(vfs, dir_ / "calibrate", small_segments());
+        drive_batched(durable, shadow, 4);
+        total_bytes = vfs.bytes_appended();
+    }
+    for (int step = 1; step <= 4; ++step) {
+        const std::uint64_t fail_at = total_bytes * step / 5;
+        const fs::path cell_dir = dir_ / ("crash_" + std::to_string(step));
+        MieServer shadow;
+        std::vector<Bytes> failed_batch;
+        {
+            store::FaultInjectingVfs vfs(store::PosixVfs::instance());
+            DurableServer durable(vfs, cell_dir, small_segments());
+            vfs.fail_after_bytes(fail_at, 7);
+            failed_batch = drive_batched(durable, shadow, 4);
+            ASSERT_FALSE(failed_batch.empty());
+            EXPECT_TRUE(vfs.crashed());
+        }
+        // Process crash (no power loss): the failing batch's records form
+        // a torn tail — recovery keeps some PREFIX of them. None were
+        // acked, so any prefix is the documented at-least-once window;
+        // the state must match the acked shadow plus exactly that prefix.
+        DurableServer recovered(store::PosixVfs::instance(), cell_dir,
+                                small_segments());
+        SCOPED_TRACE("fail_at=" + std::to_string(fail_at));
+        bool matched = same_state(recovered, shadow);
+        for (std::size_t k = 0; !matched && k < failed_batch.size(); ++k) {
+            shadow.handle(failed_batch[k]);
+            matched = same_state(recovered, shadow);
+        }
+        EXPECT_TRUE(matched)
+            << "recovered state is not shadow + any prefix of the torn "
+               "batch";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the full MIE stack over the reactor with group commit.
+// ---------------------------------------------------------------------------
+
+TEST_F(GroupCommitDurabilityTest, FullMieStackOverReactorWithGroupCommit) {
+    DurableServer durable(store::PosixVfs::instance(), dir_,
+                          small_segments());
+    GroupCommitter committer(durable);
+    ReactorServer server(durable, &committer, is_mutating_request);
+    server.start();
+
+    net::TcpTransport transport("127.0.0.1", server.port());
+    auto key = RepositoryKey::generate(to_bytes("reactor"), 64, 64,
+                                       0.7978845608);
+    MieClient client(transport, kRepo, key, to_bytes("u"));
+    client.train_params.tree_branch = 5;
+    client.train_params.tree_depth = 2;
+    sim::FlickrLikeGenerator generator(sim::FlickrLikeParams{
+        .num_classes = 3, .image_size = 48, .seed = 2});
+    client.create_repository();
+    for (const auto& object : generator.make_batch(0, 8)) {
+        client.update(object);
+    }
+    client.train();
+
+    const auto results = client.search(generator.make(4), 3);
+    ASSERT_FALSE(results.empty());
+    EXPECT_EQ(results.front().object_id, 4u);
+    const auto decrypted = client.decrypt_result(results.front());
+    EXPECT_EQ(decrypted.text, generator.make(4).text);
+
+    server.stop();
+    committer.stop();
+    // Every mutation went through the committer (create + 8 updates +
+    // train), searches did not.
+    EXPECT_EQ(committer.stats().submitted, 10u);
+    EXPECT_EQ(committer.stats().errors, 0u);
+    EXPECT_EQ(durable.durability().records_logged, 10u);
+    EXPECT_GE(durable.durability().batches_committed, 1u);
+}
+
+TEST_F(GroupCommitDurabilityTest, RetriedMutationOverReactorIsExactlyOnce) {
+    DurableServer durable(store::PosixVfs::instance(), dir_,
+                          small_segments());
+    GroupCommitter committer(durable);
+    ReactorServer server(durable, &committer, is_mutating_request);
+    server.start();
+
+    net::TcpTransport transport("127.0.0.1", server.port());
+    const auto& requests = workload();
+    std::vector<Bytes> responses;
+    for (const Bytes& request : requests) {
+        responses.push_back(transport.call(request));
+    }
+    // "Retry" the final (enveloped) update as a client whose ack was
+    // lost would: the response must be byte-identical and the mutation
+    // must not re-apply.
+    const Bytes replayed = transport.call(requests.back());
+    EXPECT_EQ(replayed, responses.back());
+
+    server.stop();
+    committer.stop();
+    EXPECT_EQ(durable.durability().replays_suppressed, 1u);
+    EXPECT_EQ(durable.durability().records_logged, requests.size());
+
+    // Recovery sees exactly the acknowledged operations.
+    MieServer shadow;
+    for (const Bytes& request : requests) shadow.handle(request);
+    DurableServer recovered(store::PosixVfs::instance(), dir_,
+                            small_segments());
+    EXPECT_TRUE(same_state(recovered, shadow));
+}
+
+TEST_F(GroupCommitDurabilityTest, ConcurrentClientsOverReactorConverge) {
+    // Several clients hammer mutations through the group-commit path at
+    // once; afterwards a recovery replay must reproduce the final state.
+    DurableServer durable(store::PosixVfs::instance(), dir_,
+                          small_segments());
+    GroupCommitter committer(durable);
+    ReactorServer server(durable, &committer, is_mutating_request);
+    server.start();
+
+    // Shared repository, per-client disjoint object ids.
+    {
+        net::TcpTransport transport("127.0.0.1", server.port());
+        auto key = RepositoryKey::generate(to_bytes("reactor"), 64, 64,
+                                           0.7978845608);
+        MieClient client(transport, kRepo, key, to_bytes("u"));
+        client.create_repository();
+    }
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&, c] {
+            try {
+                net::TcpTransport transport("127.0.0.1", server.port());
+                auto key = RepositoryKey::generate(to_bytes("reactor"), 64,
+                                                   64, 0.7978845608);
+                MieClient client(transport, kRepo, key,
+                                 to_bytes("u" + std::to_string(c)));
+                sim::FlickrLikeGenerator generator(sim::FlickrLikeParams{
+                    .num_classes = 3, .image_size = 48, .seed = 2});
+                for (int i = 0; i < 6; ++i) {
+                    auto object = generator.make(
+                        static_cast<std::uint64_t>(c) * 1000 + i);
+                    client.update(object);
+                }
+            } catch (...) {
+                ++failures;
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    server.stop();
+    committer.stop();
+
+    const auto stats = durable.durability();
+    EXPECT_EQ(stats.records_logged, 25u);  // 1 create + 4*6 updates
+    const auto expected = listing_of(durable);
+    EXPECT_EQ(expected.size(), 24u);
+
+    DurableServer recovered(store::PosixVfs::instance(), dir_,
+                            small_segments());
+    EXPECT_EQ(listing_of(recovered), expected);
+}
+
+}  // namespace
+}  // namespace mie::reactor

@@ -384,6 +384,146 @@ TEST_F(WalTest, CrashBetweenCheckpointAndTruncateIsSafe) {
     EXPECT_EQ(applied[0], "op-3");
 }
 
+// ---------------------------------------------------------------------------
+// Batched appends (group commit).
+// ---------------------------------------------------------------------------
+
+/// Vfs wrapper that counts File::sync() calls — evidence that a batch
+/// costs one flush, not one per record.
+class SyncCountingVfs final : public Vfs {
+public:
+    explicit SyncCountingVfs(Vfs& base) : base_(base) {}
+
+    std::size_t syncs = 0;
+
+    std::unique_ptr<File> open_append(const fs::path& path) override {
+        return std::make_unique<CountingFile>(base_.open_append(path), *this);
+    }
+    std::unique_ptr<File> create_truncate(const fs::path& path) override {
+        return std::make_unique<CountingFile>(base_.create_truncate(path),
+                                              *this);
+    }
+    Bytes read_file(const fs::path& path) const override {
+        return base_.read_file(path);
+    }
+    bool exists(const fs::path& path) const override {
+        return base_.exists(path);
+    }
+    std::uint64_t file_size(const fs::path& path) const override {
+        return base_.file_size(path);
+    }
+    std::vector<fs::path> list_dir(const fs::path& dir) const override {
+        return base_.list_dir(dir);
+    }
+    void remove_file(const fs::path& path) override {
+        base_.remove_file(path);
+    }
+    void truncate_file(const fs::path& path,
+                       std::uint64_t new_size) override {
+        base_.truncate_file(path, new_size);
+    }
+    void rename(const fs::path& from, const fs::path& to) override {
+        base_.rename(from, to);
+    }
+    void create_directories(const fs::path& dir) override {
+        base_.create_directories(dir);
+    }
+    void sync_dir(const fs::path& dir) override { base_.sync_dir(dir); }
+
+private:
+    class CountingFile final : public File {
+    public:
+        CountingFile(std::unique_ptr<File> inner, SyncCountingVfs& owner)
+            : inner_(std::move(inner)), owner_(owner) {}
+        void append(BytesView data) override { inner_->append(data); }
+        void append_parts(BytesView header, BytesView payload) override {
+            inner_->append_parts(header, payload);
+        }
+        void sync() override {
+            ++owner_.syncs;
+            inner_->sync();
+        }
+        void flush_async() override { inner_->flush_async(); }
+        std::uint64_t size() const override { return inner_->size(); }
+
+    private:
+        std::unique_ptr<File> inner_;
+        SyncCountingVfs& owner_;
+    };
+
+    Vfs& base_;
+};
+
+TEST_F(WalTest, AppendBatchAssignsSequentialLsnsAndReplays) {
+    Wal wal(vfs_, dir_, {});
+    const Bytes a = to_bytes("a"), b = to_bytes("b"), c = to_bytes("c");
+    EXPECT_EQ(wal.append_batch({BytesView(a), BytesView(b), BytesView(c)}),
+              3u);
+    EXPECT_EQ(wal.append(to_bytes("d")), 4u);  // interleaves seamlessly
+    const Bytes e = to_bytes("e");
+    EXPECT_EQ(wal.append_batch({BytesView(e)}), 5u);
+    const auto records = drain(wal);
+    ASSERT_EQ(records.size(), 5u);
+    EXPECT_EQ(records[0], (std::pair<Lsn, std::string>{1, "a"}));
+    EXPECT_EQ(records[2], (std::pair<Lsn, std::string>{3, "c"}));
+    EXPECT_EQ(records[4], (std::pair<Lsn, std::string>{5, "e"}));
+}
+
+TEST_F(WalTest, AppendBatchEmptyIsANoop) {
+    Wal wal(vfs_, dir_, {});
+    EXPECT_EQ(wal.append_batch({}), 0u);
+    EXPECT_EQ(wal.last_lsn(), 0u);
+}
+
+TEST_F(WalTest, AppendBatchCostsOneFsyncUnderSyncEveryRecord) {
+    SyncCountingVfs counting(vfs_);
+    Wal::Options options;
+    options.sync_policy = SyncPolicy::kEveryRecord;
+    Wal wal(counting, dir_, options);
+
+    const std::size_t baseline = counting.syncs;
+    std::vector<Bytes> payloads;
+    std::vector<BytesView> views;
+    for (int i = 0; i < 16; ++i) {
+        payloads.push_back(to_bytes("record-" + std::to_string(i)));
+    }
+    for (const Bytes& p : payloads) views.push_back(BytesView(p));
+    wal.append_batch(views);
+    // Group commit: 16 records, ONE flush.
+    EXPECT_EQ(counting.syncs - baseline, 1u);
+
+    const std::size_t before_serial = counting.syncs;
+    for (const Bytes& p : payloads) wal.append(BytesView(p));
+    // The serial path pays per record — the cost the batch amortizes.
+    EXPECT_EQ(counting.syncs - before_serial, payloads.size());
+}
+
+TEST_F(WalTest, AppendBatchSurvivesReopenAndRotation) {
+    Wal::Options options;
+    options.segment_bytes = 128;  // force rotations inside the batch
+    {
+        Wal wal(vfs_, dir_, options);
+        std::vector<Bytes> payloads;
+        std::vector<BytesView> views;
+        for (int i = 0; i < 32; ++i) {
+            payloads.push_back(
+                to_bytes("payload-" + std::to_string(i) + std::string(16, 'x')));
+        }
+        for (const Bytes& p : payloads) views.push_back(BytesView(p));
+        EXPECT_EQ(wal.append_batch(views), 32u);
+        EXPECT_GT(wal.num_segments(), 1u);
+    }
+    Wal reopened(vfs_, dir_, options);
+    EXPECT_FALSE(reopened.tail_truncated_on_open());
+    const auto records = drain(reopened);
+    ASSERT_EQ(records.size(), 32u);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].first, i + 1);
+        EXPECT_EQ(records[i].second.substr(0, 8),
+                  ("payload-" + std::to_string(i)).substr(0, 8));
+    }
+}
+
 TEST_F(WalTest, EngineCheckpointDueFollowsThreshold) {
     StorageEngine::Options options;
     options.checkpoint_every_bytes = 64;
