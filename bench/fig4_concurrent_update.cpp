@@ -21,6 +21,13 @@
 // fault injection + bounded retries; servers dedupe enveloped replays,
 // so each scenario must still end with exactly clients*ops objects.
 // --json PATH additionally writes the machine-readable summary to PATH.
+//
+// --shards N switches to the cluster experiment instead: shard counts
+// 1,2,4,... up to N, each shard a cluster::Node primary on its own
+// reactor + group committer, with every client writing its own
+// repository through a cluster::ClusterClient (HKDF routing). The WAL
+// fsync stream — the single-node bottleneck above — is split across
+// shards, so throughput should scale until clients stop queueing.
 #include <unistd.h>
 
 #include <algorithm>
@@ -36,8 +43,13 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/client.hpp"
+#include "cluster/node.hpp"
+#include "cluster/router.hpp"
 #include "common.hpp"
+#include "mie/client.hpp"
 #include "mie/durable_server.hpp"
+#include "mie/keys.hpp"
 #include "mie/wire.hpp"
 #include "net/faulty.hpp"
 #include "net/retry.hpp"
@@ -279,6 +291,223 @@ std::string to_json(const std::vector<ScenarioResult>& results,
     return json.str();
 }
 
+// ---------------------------------------------------------------------------
+// --shards mode: the same closed-loop update workload against a sharded
+// cluster, one repository per client routed by the HKDF router.
+// ---------------------------------------------------------------------------
+
+struct ClusterScenarioResult {
+    std::size_t shards = 0;
+    std::size_t clients = 0;
+    std::size_t ops = 0;
+    double wall_seconds = 0.0;
+    double throughput = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    std::size_t records_logged = 0;
+    bool objects_ok = false;
+};
+
+ClusterScenarioResult run_cluster_scenario(
+    std::size_t shards, const std::vector<std::string>& repos,
+    const std::vector<std::vector<Bytes>>& streams,
+    std::size_t ops_per_client) {
+    namespace fs = std::filesystem;
+    const std::size_t clients = streams.size();
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("mie-fig4-cluster-" + std::to_string(shards) + "-" +
+         std::to_string(static_cast<long>(::getpid())));
+    fs::remove_all(dir);
+
+    ClusterScenarioResult out;
+    out.shards = shards;
+    out.clients = clients;
+    {
+        // One primary node per shard, each on its own reactor + group
+        // committer, fsync per commit — the same durability contract as
+        // the single-node scenarios above.
+        struct Shard {
+            Shard(const fs::path& shard_dir)
+                : node(store::PosixVfs::instance(), shard_dir,
+                       cluster::NodeOptions{
+                           .storage = {.wal = {.sync_policy = store::
+                                                   SyncPolicy::kEveryRecord}}}),
+                  committer(node),
+                  server(node, &committer, [](BytesView request) {
+                      return is_mutating_request(request);
+                  }) {
+                server.start();
+            }
+            cluster::Node node;
+            reactor::GroupCommitter committer;
+            reactor::ReactorServer server;
+        };
+        std::vector<std::unique_ptr<Shard>> cluster;
+        for (std::size_t s = 0; s < shards; ++s) {
+            cluster.push_back(std::make_unique<Shard>(
+                dir / ("shard" + std::to_string(s))));
+        }
+
+        std::vector<std::vector<double>> latencies(clients);
+        std::vector<std::exception_ptr> failures(clients);
+        Stopwatch wall;
+        {
+            std::vector<std::thread> threads;
+            threads.reserve(clients);
+            for (std::size_t c = 0; c < clients; ++c) {
+                threads.emplace_back([&, c] {
+                    try {
+                        // Each client owns one connection per shard,
+                        // matching one TLS session per endpoint.
+                        std::vector<std::unique_ptr<net::TcpTransport>> links;
+                        std::vector<cluster::ShardEndpoints> endpoints;
+                        for (const auto& shard : cluster) {
+                            links.push_back(
+                                std::make_unique<net::TcpTransport>(
+                                    "127.0.0.1", shard->server.port()));
+                            endpoints.push_back({links.back().get(), nullptr});
+                        }
+                        cluster::ClusterClient router(std::move(endpoints));
+                        auto& samples = latencies[c];
+                        samples.reserve(streams[c].size());
+                        for (const Bytes& request : streams[c]) {
+                            Stopwatch op;
+                            router.call(request);
+                            samples.push_back(op.elapsed_seconds());
+                        }
+                    } catch (...) {
+                        failures[c] = std::current_exception();
+                    }
+                });
+            }
+            for (auto& thread : threads) thread.join();
+        }
+        out.wall_seconds = wall.elapsed_seconds();
+        for (const auto& failure : failures) {
+            if (failure) std::rethrow_exception(failure);
+        }
+        for (auto& shard : cluster) {
+            shard->server.stop();
+            shard->committer.stop();
+        }
+
+        std::vector<double> merged;
+        for (const auto& samples : latencies) {
+            merged.insert(merged.end(), samples.begin(), samples.end());
+        }
+        std::sort(merged.begin(), merged.end());
+        out.ops = merged.size();
+        out.throughput = out.wall_seconds > 0.0
+                             ? static_cast<double>(out.ops) / out.wall_seconds
+                             : 0.0;
+        out.p50_ms = percentile_ms(merged, 0.50);
+        out.p95_ms = percentile_ms(merged, 0.95);
+        out.p99_ms = percentile_ms(merged, 0.99);
+
+        const cluster::Router placement(
+            static_cast<std::uint32_t>(shards));
+        out.objects_ok = true;
+        for (std::size_t c = 0; c < clients; ++c) {
+            const auto& owner = cluster[placement.shard_of(repos[c])]->node;
+            out.objects_ok =
+                out.objects_ok &&
+                owner.durable().server().stats(repos[c]).num_objects ==
+                    ops_per_client;
+        }
+        for (const auto& shard : cluster) {
+            out.records_logged += shard->node.durable().durability()
+                                      .records_logged;
+        }
+    }
+    fs::remove_all(dir);
+    return out;
+}
+
+int run_cluster_bench(std::size_t max_shards, const std::string& json_path) {
+    const std::size_t clients = 16;
+    const std::size_t ops_per_client = scaled(24);
+    std::cout << "=== Figure 4, cluster edition: " << clients
+              << " closed-loop writers over 1.." << max_shards
+              << " shards (HKDF routing, one repository per writer) ===\n\n"
+              << "Recording per-client request streams...\n";
+
+    // Per-client streams: create + updates for the client's own
+    // repository, recorded once and replayed against every shard count
+    // (routing is deterministic in the repository id, so the identical
+    // bytes exercise every placement).
+    std::vector<std::string> repos;
+    std::vector<std::vector<Bytes>> streams(clients);
+    MieServer scratch;
+    for (std::size_t c = 0; c < clients; ++c) {
+        repos.push_back("bench-repo-" + std::to_string(c));
+        RecordingTransport recorder(scratch);
+        MieClient client(recorder, repos[c],
+                         RepositoryKey::generate(to_bytes("fig4-" + repos[c]),
+                                                 64, 64, 0.7978845608),
+                         to_bytes("writer" + std::to_string(c)));
+        client.create_repository();
+        const sim::FlickrLikeGenerator generator(sim::FlickrLikeParams{
+            .num_classes = 8, .image_size = 48, .seed = 300 + c});
+        for (std::size_t i = 0; i < ops_per_client; ++i) {
+            client.update(generator.make(c * 100000 + i));
+        }
+        streams[c] = std::move(recorder.recorded);
+    }
+
+    std::vector<ClusterScenarioResult> results;
+    for (std::size_t shards = 1; shards <= max_shards; shards *= 2) {
+        results.push_back(
+            run_cluster_scenario(shards, repos, streams, ops_per_client));
+        const auto& r = results.back();
+        std::printf(
+            "  %2zu shard%s: %6zu ops in %6.3fs  %8.1f ops/s  "
+            "p50 %6.2fms  p95 %6.2fms  p99 %6.2fms%s\n",
+            r.shards, r.shards == 1 ? " " : "s", r.ops, r.wall_seconds,
+            r.throughput, r.p50_ms, r.p95_ms, r.p99_ms,
+            r.objects_ok ? "" : "  OBJECT-COUNT MISMATCH");
+    }
+
+    bool all_ok = true;
+    std::ostringstream json;
+    json << "{\"bench\":\"fig4_cluster\",\"clients\":" << clients
+         << ",\"ops_per_client\":" << ops_per_client
+         << ",\"threads\":" << bench_threads() << ",\"scenarios\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        all_ok = all_ok && r.objects_ok;
+        if (i != 0) json << ",";
+        json << "{\"shards\":" << r.shards << ",\"ops\":" << r.ops
+             << ",\"wall_seconds\":" << r.wall_seconds
+             << ",\"throughput_ops_per_s\":" << r.throughput
+             << ",\"p50_ms\":" << r.p50_ms << ",\"p95_ms\":" << r.p95_ms
+             << ",\"p99_ms\":" << r.p99_ms
+             << ",\"records_logged\":" << r.records_logged
+             << ",\"objects_ok\":" << (r.objects_ok ? "true" : "false")
+             << "}";
+    }
+    json << "],\"scaling_vs_1_shard\":{";
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        if (i != 1) json << ",";
+        json << "\"" << results[i].shards << "\":"
+             << (results[0].throughput > 0.0
+                     ? results[i].throughput / results[0].throughput
+                     : 0.0);
+    }
+    json << "}}";
+
+    std::printf("\nExactly-once integrity: %s (every repository ended with "
+                "exactly its writer's %zu objects)\n",
+                all_ok ? "ok" : "VIOLATED", ops_per_client);
+    std::cout << "\n" << json.str() << "\n";
+    if (!json_path.empty()) {
+        std::ofstream file(json_path);
+        file << json.str() << "\n";
+    }
+    return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -290,6 +519,9 @@ int main(int argc, char** argv) {
         parse_double_flag(argc, argv, "--fault-rate", 0.0);
     const std::string json_path =
         parse_string_flag(argc, argv, "--json", "");
+    const auto max_shards = static_cast<std::size_t>(
+        parse_double_flag(argc, argv, "--shards", 0.0));
+    if (max_shards > 0) return run_cluster_bench(max_shards, json_path);
     const std::vector<std::size_t> client_counts = {1, 8, 64};
     const std::size_t max_clients = client_counts.back();
     const std::size_t ops_per_client = scaled(24);

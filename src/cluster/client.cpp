@@ -1,0 +1,173 @@
+#include "cluster/client.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "mie/wire.hpp"
+#include "net/envelope.hpp"
+#include "net/error.hpp"
+#include "net/message.hpp"
+
+namespace mie::cluster {
+namespace {
+
+/// Every MIE opcode's body starts with the repository id; that is the
+/// whole routing contract between the wire format and the cluster.
+std::string routed_repo_id(BytesView request) {
+    const BytesView inner = net::envelope_inner(request);
+    net::MessageReader reader(inner);
+    const std::uint8_t opcode = reader.read_u8();
+    if (is_cluster_op(opcode)) {
+        throw std::invalid_argument(
+            "ClusterClient: cluster control ops are per-node; "
+            "send them to a shard endpoint directly");
+    }
+    return reader.read_string();
+}
+
+bool result_before(const ClusterSearchResult& a, const ClusterSearchResult& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.repo_id != b.repo_id) return a.repo_id < b.repo_id;
+    return a.object_id < b.object_id;
+}
+
+}  // namespace
+
+std::vector<ClusterSearchResult> parse_search_response(
+    std::string_view repo_id, BytesView response) {
+    net::MessageReader reader(response);
+    const std::uint32_t count = reader.read_u32();
+    std::vector<ClusterSearchResult> results;
+    results.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        ClusterSearchResult result;
+        result.repo_id = std::string(repo_id);
+        result.object_id = reader.read_u64();
+        result.score = reader.read_f64();
+        result.encrypted_object = reader.read_bytes();
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+std::vector<ClusterSearchResult> merge_ranked(
+    std::vector<std::vector<ClusterSearchResult>> lists, std::size_t top_k) {
+    std::vector<std::size_t> heads(lists.size(), 0);
+    std::vector<ClusterSearchResult> merged;
+    while (merged.size() < top_k) {
+        std::size_t best = lists.size();
+        for (std::size_t i = 0; i < lists.size(); ++i) {
+            if (heads[i] >= lists[i].size()) continue;
+            if (best == lists.size() ||
+                result_before(lists[i][heads[i]], lists[best][heads[best]])) {
+                best = i;
+            }
+        }
+        if (best == lists.size()) break;  // every list exhausted
+        merged.push_back(std::move(lists[best][heads[best]]));
+        ++heads[best];
+    }
+    return merged;
+}
+
+ClusterClient::ClusterClient(std::vector<ShardEndpoints> shards)
+    : router_(static_cast<std::uint32_t>(shards.size())),
+      shards_(std::move(shards)),
+      failed_over_(shards_.size(), 0) {
+    for (const ShardEndpoints& shard : shards_) {
+        if (shard.primary == nullptr) {
+            throw std::invalid_argument(
+                "ClusterClient: every shard needs a primary endpoint");
+        }
+    }
+}
+
+net::Transport& ClusterClient::active(std::uint32_t shard) {
+    return failed_over_[shard] != 0 ? *shards_[shard].follower
+                                    : *shards_[shard].primary;
+}
+
+bool ClusterClient::on_follower(std::uint32_t shard) const {
+    return failed_over_.at(shard) != 0;
+}
+
+void ClusterClient::fail_over(std::uint32_t shard) {
+    net::Transport* follower = shards_[shard].follower;
+    // Promotion through the follower's own endpoint; if the follower is
+    // also unreachable this throws TransportError and the caller gives
+    // up — the shard has lost both replicas.
+    net::MessageWriter promote;
+    promote.write_u8(static_cast<std::uint8_t>(mie::ClusterOp::kPromote));
+    const Bytes ack = follower->call(promote.take());
+    if (ack.size() != 1 || ack[0] != 1) {
+        throw net::TransportError(net::TransportErrorKind::kCorruptFrame,
+                                  "cluster: malformed promote ack");
+    }
+    failed_over_[shard] = 1;
+    ++stats_.failovers;
+}
+
+Bytes ClusterClient::call_shard(std::uint32_t shard, BytesView request) {
+    ++stats_.calls;
+    try {
+        return active(shard).call(request);
+    } catch (const net::TransportError&) {
+        if (failed_over_[shard] != 0 || shards_[shard].follower == nullptr) {
+            throw;  // already on the follower, or nothing to fail over to
+        }
+        fail_over(shard);
+        // Replay against the promoted follower. Enveloped mutations that
+        // the dead primary applied AND shipped are deduplicated by the
+        // follower's rebuilt replay cache; unshipped ones apply fresh —
+        // either way the client observes exactly-once.
+        return active(shard).call(request);
+    }
+}
+
+Bytes ClusterClient::call(BytesView request) {
+    return call_shard(router_.shard_of(routed_repo_id(request)), request);
+}
+
+void ClusterClient::reconnect() {
+    for (std::uint32_t shard = 0; shard < shards_.size(); ++shard) {
+        active(shard).reconnect();
+    }
+}
+
+double ClusterClient::network_seconds() const {
+    double total = 0.0;
+    for (const ShardEndpoints& shard : shards_) {
+        total += shard.primary->network_seconds();
+        if (shard.follower != nullptr) {
+            total += shard.follower->network_seconds();
+        }
+    }
+    return total;
+}
+
+double ClusterClient::server_seconds() const {
+    double total = 0.0;
+    for (const ShardEndpoints& shard : shards_) {
+        total += shard.primary->server_seconds();
+        if (shard.follower != nullptr) {
+            total += shard.follower->server_seconds();
+        }
+    }
+    return total;
+}
+
+std::vector<ClusterSearchResult> ClusterClient::search_union(
+    const std::vector<RepoSearch>& queries, std::size_t top_k) {
+    std::vector<std::vector<ClusterSearchResult>> lists;
+    lists.reserve(queries.size());
+    for (const RepoSearch& query : queries) {
+        ++stats_.scatter_queries;
+        const Bytes response =
+            call_shard(router_.shard_of(query.repo_id), query.request);
+        lists.push_back(parse_search_response(query.repo_id, response));
+    }
+    return merge_ranked(std::move(lists), top_k);
+}
+
+}  // namespace mie::cluster

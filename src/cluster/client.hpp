@@ -1,0 +1,117 @@
+// Cluster-aware client transport: routing, failover, scatter/gather.
+//
+// ClusterClient is itself a net::Transport, so any existing single-node
+// client (MieClient and friends) can sit on top of it unchanged: each
+// call is routed to the shard owning the request's repository (every MIE
+// opcode carries the repository id right after the opcode byte), and
+// failover is transparent — when the shard's primary endpoint fails with
+// a TransportError, the client promotes the follower (kPromote) and
+// replays the request against it. Replay is safe for mutations because
+// scheme clients envelope them: the promoted follower rebuilt the
+// primary's replay cache from the shipped WAL records, so an
+// already-applied retry is answered from cache, not re-applied.
+//
+// Cross-repository ranked search is scatter/gather: one search per
+// repository is routed to its shard, the per-repository ranked lists are
+// merged by a deterministic k-way merge (score desc, ties by repository
+// id then object id), and the result is bitwise-identical to running the
+// same searches against one node holding every repository and merging
+// with the same comparator — sharding must not change ranking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "net/transport.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::cluster {
+
+/// One shard's replica endpoints. Wrap each transport in
+/// net::RetryingTransport (or equivalent) so transient faults are
+/// retried before the ClusterClient escalates to failover. `follower`
+/// may be null for an unreplicated shard.
+struct ShardEndpoints {
+    net::Transport* primary = nullptr;
+    net::Transport* follower = nullptr;
+};
+
+/// One entry of a merged cross-repository result list.
+struct ClusterSearchResult {
+    std::string repo_id;
+    std::uint64_t object_id = 0;
+    double score = 0.0;
+    Bytes encrypted_object;
+};
+
+/// One repository's slice of a scatter/gather search: the repository id
+/// plus the fully-encoded kSearch request for it.
+struct RepoSearch {
+    std::string repo_id;
+    Bytes request;
+};
+
+/// Deterministic k-way merge of per-repository ranked lists (each sorted
+/// score desc, object id asc — the server's response order). Total order:
+/// score desc, then repo_id asc, then object_id asc; truncated to
+/// `top_k`. Deterministic in the *set* of input lists (any permutation
+/// merges identically), which is what makes cluster results comparable
+/// bitwise against a single-node reference.
+std::vector<ClusterSearchResult> merge_ranked(
+    std::vector<std::vector<ClusterSearchResult>> lists, std::size_t top_k);
+
+/// Decodes a kSearch response body into merge_ranked() input.
+std::vector<ClusterSearchResult> parse_search_response(
+    std::string_view repo_id, BytesView response);
+
+class ClusterClient final : public net::Transport {
+public:
+    /// `shards[i]` serves shard i; every primary must be non-null.
+    explicit ClusterClient(std::vector<ShardEndpoints> shards);
+
+    std::uint32_t num_shards() const { return router_.num_shards(); }
+    std::uint32_t shard_of(std::string_view repo_id) const {
+        return router_.shard_of(repo_id);
+    }
+
+    /// Routes by the repository id inside the (possibly enveloped)
+    /// request and applies shard failover. Cluster control ops carry no
+    /// repository and are rejected — send those to a node directly.
+    Bytes call(BytesView request) override;
+
+    void reconnect() override;
+    double network_seconds() const override;
+    double server_seconds() const override;
+
+    /// Scatter/gather ranked search across repositories (at most one
+    /// query per repository), merged with merge_ranked().
+    std::vector<ClusterSearchResult> search_union(
+        const std::vector<RepoSearch>& queries, std::size_t top_k);
+
+    /// True once shard has failed over to its follower.
+    bool on_follower(std::uint32_t shard) const;
+
+    struct Stats {
+        std::uint64_t calls = 0;
+        std::uint64_t failovers = 0;
+        std::uint64_t scatter_queries = 0;
+    };
+    const Stats& stats() const { return stats_; }
+
+private:
+    net::Transport& active(std::uint32_t shard);
+    Bytes call_shard(std::uint32_t shard, BytesView request);
+    void fail_over(std::uint32_t shard);
+
+    Router router_;
+    std::vector<ShardEndpoints> shards_;
+    /// 1 once the shard's follower was promoted and became the active
+    /// endpoint (vector<uint8_t>: the usual vector<bool> caveats).
+    std::vector<std::uint8_t> failed_over_;
+    Stats stats_;
+};
+
+}  // namespace mie::cluster

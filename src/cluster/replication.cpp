@@ -1,0 +1,120 @@
+#include "cluster/replication.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cluster/node.hpp"
+#include "mie/wire.hpp"
+
+namespace mie::cluster {
+namespace {
+
+constexpr std::uint8_t kKindRecords = 0;
+constexpr std::uint8_t kKindSnapshot = 1;
+
+Bytes encode_snapshot_response(const DurableServer& durable) {
+    const DurableServer::ReplicationSnapshot snap =
+        durable.replication_snapshot();
+    net::MessageWriter writer;
+    writer.write_u8(kKindSnapshot);
+    writer.write_u64(snap.lsn);
+    writer.write_bytes(snap.snapshot);
+    return writer.take();
+}
+
+}  // namespace
+
+ReplicationSource::ReplicationSource(DurableServer& durable,
+                                     std::size_t max_pull_records)
+    : durable_(durable),
+      max_pull_records_(max_pull_records == 0 ? 1 : max_pull_records) {}
+
+Bytes ReplicationSource::serve_pull(net::MessageReader& reader) const {
+    const std::uint64_t after = reader.read_u64();
+    const std::size_t max_records =
+        std::min<std::size_t>(reader.read_u32(), max_pull_records_);
+
+    // Fast-path check: the requested offset predates the retained log
+    // (checkpoint truncation already dropped record after+1), so only a
+    // snapshot can catch this reader up.
+    if (after + 1 < durable_.oldest_log_lsn()) {
+        return encode_snapshot_response(durable_);
+    }
+
+    std::vector<std::pair<std::uint64_t, Bytes>> records;
+    const store::Wal::TailRead tail = durable_.read_log_from(
+        after, max_records, [&records](store::Lsn lsn, BytesView payload) {
+            records.emplace_back(lsn, Bytes(payload.begin(), payload.end()));
+        });
+
+    // The oldest_log_lsn check and the read race with checkpointing; if a
+    // truncation slipped between them the batch has a gap (or is empty
+    // short of the tail). Detect and fall back to the snapshot path —
+    // never ship a non-contiguous record stream.
+    const bool gap =
+        (!records.empty() && records.front().first != after + 1) ||
+        (records.empty() && !tail.end_of_log);
+    if (gap) return encode_snapshot_response(durable_);
+
+    net::MessageWriter writer;
+    writer.write_u8(kKindRecords);
+    writer.write_u8(tail.end_of_log ? 1 : 0);
+    writer.write_u32(static_cast<std::uint32_t>(records.size()));
+    for (const auto& [lsn, payload] : records) {
+        writer.write_u64(lsn);
+        writer.write_bytes(payload);
+    }
+    return writer.take();
+}
+
+Replicator::Replicator(Node& local, net::Transport& source,
+                       std::size_t pull_batch)
+    : local_(local),
+      source_(source),
+      pull_batch_(pull_batch == 0 ? 1 : pull_batch) {}
+
+Replicator::PumpResult Replicator::pump() {
+    net::MessageWriter request;
+    request.write_u8(static_cast<std::uint8_t>(ClusterOp::kReplPull));
+    request.write_u64(local_.acked_lsn());
+    request.write_u32(static_cast<std::uint32_t>(pull_batch_));
+    const Bytes response = source_.call(request.take());
+
+    PumpResult result;
+    net::MessageReader reader(response);
+    const std::uint8_t kind = reader.read_u8();
+    if (kind == kKindSnapshot) {
+        const std::uint64_t snapshot_lsn = reader.read_u64();
+        const Bytes snapshot = reader.read_bytes();
+        local_.restore_replication_snapshot(snapshot_lsn, snapshot);
+        result.restored_snapshot = true;
+        // Not caught_up: records may have landed after the snapshot cut;
+        // the next pump() fetches them as a plain record batch.
+    } else if (kind == kKindRecords) {
+        result.caught_up = reader.read_u8() != 0;
+        const std::uint32_t count = reader.read_u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint64_t lsn = reader.read_u64();
+            const Bytes payload = reader.read_bytes();
+            local_.apply_replicated(lsn, payload);
+            ++result.records_applied;
+        }
+    } else {
+        throw std::invalid_argument(
+            "cluster::Replicator: unknown replication response kind");
+    }
+    local_.flush_replication_offset();
+    result.acked_lsn = local_.acked_lsn();
+    return result;
+}
+
+std::size_t Replicator::sync() {
+    std::size_t total = 0;
+    for (;;) {
+        const PumpResult round = pump();
+        total += round.records_applied;
+        if (round.caught_up) return total;
+    }
+}
+
+}  // namespace mie::cluster

@@ -1,0 +1,89 @@
+// Primary -> follower replication by WAL shipping.
+//
+// The primary already owns the single source of truth for mutation order:
+// its write-ahead log, whose records are the verbatim (enveloped) RPC
+// request bytes. Replication therefore ships the WAL itself — the
+// follower replays each record through its own DurableServer::handle()
+// path, which re-applies the mutation, re-logs it locally, and re-inserts
+// it into the follower's replay cache. A promoted follower is thus a
+// full replacement primary: same state machine, same local WAL, same
+// exactly-once dedup window for in-flight client retries.
+//
+// Pull, not push: the follower tracks its acknowledged replication
+// offset (the highest primary LSN applied, persisted via the owning
+// cluster::Node) and asks the primary for "records after L". When the
+// primary's checkpointing has truncated records the follower still
+// needs — or a fresh follower starts from zero against a long-lived
+// primary — the source answers with a (snapshot, covering-lsn) pair
+// instead and the follower bootstraps from it.
+//
+// Re-delivery across a follower crash is safe: the persisted offset may
+// lag what the follower's local WAL already holds, and the re-pulled
+// suffix is absorbed by envelope dedup (re-applies are suppressed) while
+// non-enveloped records re-apply convergently (see DESIGN.md §13).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mie/durable_server.hpp"
+#include "net/message.hpp"
+#include "net/transport.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::cluster {
+
+class Node;
+
+/// Primary-side feed: answers kReplPull requests from a DurableServer's
+/// log (see mie/wire.hpp for the wire layout).
+class ReplicationSource {
+public:
+    explicit ReplicationSource(DurableServer& durable,
+                               std::size_t max_pull_records = 256);
+
+    /// Serves one kReplPull whose body (after the opcode byte) is in
+    /// `reader`. Returns the encoded response: a batch of in-order
+    /// records, or a snapshot when the requested offset predates the
+    /// retained log (checkpoint truncation, or a from-zero bootstrap).
+    Bytes serve_pull(net::MessageReader& reader) const;
+
+private:
+    DurableServer& durable_;
+    std::size_t max_pull_records_;
+};
+
+/// Follower-side pump: pulls from the primary over any net::Transport and
+/// applies to the local Node. pump() is a single deterministic round so
+/// tests can interleave replication with client traffic explicitly;
+/// sync() loops until the follower has caught up with the primary.
+class Replicator {
+public:
+    Replicator(Node& local, net::Transport& source,
+               std::size_t pull_batch = 256);
+
+    struct PumpResult {
+        std::size_t records_applied = 0;
+        bool restored_snapshot = false;
+        /// True when the source reported no records beyond what this
+        /// round delivered (the follower is caught up as-of the pull).
+        bool caught_up = false;
+        /// Follower's acknowledged replication offset after the round.
+        std::uint64_t acked_lsn = 0;
+    };
+
+    /// One pull/apply round; persists the follower's replication offset
+    /// before returning. Throws net::TransportError if the source is
+    /// unreachable (the caller decides whether to retry or fail over).
+    PumpResult pump();
+
+    /// Pumps until caught up; returns total records applied.
+    std::size_t sync();
+
+private:
+    Node& local_;
+    net::Transport& source_;
+    std::size_t pull_batch_;
+};
+
+}  // namespace mie::cluster

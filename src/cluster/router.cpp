@@ -1,0 +1,31 @@
+#include "cluster/router.hpp"
+
+#include <stdexcept>
+
+#include "crypto/kdf.hpp"
+
+namespace mie::cluster {
+
+Router::Router(std::uint32_t num_shards) : num_shards_(num_shards) {
+    if (num_shards == 0) {
+        throw std::invalid_argument("cluster::Router: num_shards must be >= 1");
+    }
+}
+
+std::uint64_t Router::routing_digest(std::string_view repo_id) {
+    const BytesView ikm(reinterpret_cast<const std::uint8_t*>(repo_id.data()),
+                        repo_id.size());
+    const Bytes digest = crypto::derive_key(ikm, kRoutingLabel, 8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        value |= static_cast<std::uint64_t>(digest[static_cast<std::size_t>(i)])
+                 << (8 * i);
+    }
+    return value;
+}
+
+std::uint32_t Router::shard_of(std::string_view repo_id) const {
+    return static_cast<std::uint32_t>(routing_digest(repo_id) % num_shards_);
+}
+
+}  // namespace mie::cluster

@@ -170,6 +170,29 @@ std::vector<net::BatchRequestHandler::Result> DurableServer::handle_batch(
     return results;
 }
 
+store::Wal::TailRead DurableServer::read_log_from(
+    store::Lsn after, std::size_t max_records,
+    const std::function<void(store::Lsn, BytesView)>& fn) const {
+    const std::scoped_lock lock(log_mutex_);
+    return engine_.read_from(after, max_records, fn);
+}
+
+store::Lsn DurableServer::oldest_log_lsn() const {
+    const std::scoped_lock lock(log_mutex_);
+    return engine_.oldest_lsn();
+}
+
+DurableServer::ReplicationSnapshot DurableServer::replication_snapshot()
+    const {
+    // Lock order: log_mutex_ before the inner server's locks (same as the
+    // checkpoint path), so the snapshot is a consistent cut at last_lsn.
+    const std::scoped_lock lock(log_mutex_);
+    ReplicationSnapshot snap;
+    snap.snapshot = inner_.export_snapshot();
+    snap.lsn = engine_.last_lsn();
+    return snap;
+}
+
 void DurableServer::maybe_checkpoint_locked() {
     if (!engine_.checkpoint_due()) return;
     engine_.checkpoint(inner_.export_snapshot());

@@ -102,6 +102,33 @@ public:
     /// Flushes the WAL to stable storage.
     void sync();
 
+    // -- Replication feed (cluster::ReplicationSource) -------------------
+    //
+    // A follower replays this server's WAL records through its own
+    // handle() path; because records are the verbatim (enveloped) RPC
+    // bytes, the follower's state machine, replay cache, and local WAL
+    // all rebuild exactly as the primary's did.
+
+    /// Tail-reads logged records with lsn > `after`, up to `max_records`,
+    /// under the log mutex (serialized with appends and checkpoints).
+    /// Returns the Wal tail-read outcome.
+    store::Wal::TailRead read_log_from(
+        store::Lsn after, std::size_t max_records,
+        const std::function<void(store::Lsn, BytesView)>& fn) const;
+
+    /// First LSN still present in the log. A replication reader whose
+    /// offset predates this needs replication_snapshot() instead.
+    store::Lsn oldest_log_lsn() const;
+
+    /// A consistent (snapshot, covering-lsn) pair taken under the log
+    /// mutex: replaying records with lsn > lsn on top of `snapshot`
+    /// reproduces this server's acknowledged state.
+    struct ReplicationSnapshot {
+        Bytes snapshot;
+        store::Lsn lsn = 0;
+    };
+    ReplicationSnapshot replication_snapshot() const;
+
     /// The wrapped in-memory server (stats() etc. bypass the wire).
     MieServer& server() { return inner_; }
     const MieServer& server() const { return inner_; }

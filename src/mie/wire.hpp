@@ -40,6 +40,33 @@ constexpr bool is_mutating(MieOp op) {
     return false;
 }
 
+/// Cluster control-plane and replication opcode family (served by
+/// cluster::Node alongside the MieOps above). The 0xB0 block cannot
+/// collide with MieOp (1..7) or the idempotency-envelope magic 0xE7.
+///
+/// Wire layouts (net::MessageWriter/Reader, see cluster/node.cpp):
+///   kReplPull      u8 op | u64 after_lsn | u32 max_records
+///     -> u8 kind; kind 0 (records):  u8 end_of_log | u32 count |
+///                                    count x (u64 lsn | bytes payload)
+///        kind 1 (snapshot): u64 snapshot_lsn | bytes snapshot
+///     The snapshot form is the bootstrap/fallback path: the source's
+///     checkpointing truncated records the reader still needs.
+///   kReplState     u8 op
+///     -> u8 role (cluster::Role) | u64 last_lsn | u64 acked_lsn
+///   kPromote       u8 op          (follower -> primary takeover)
+///     -> u8 status (1)
+enum class ClusterOp : std::uint8_t {
+    kReplPull = 0xB0,
+    kReplState = 0xB1,
+    kPromote = 0xB2,
+};
+
+/// True when the (non-enveloped) opcode byte belongs to the cluster
+/// opcode family.
+constexpr bool is_cluster_op(std::uint8_t opcode) {
+    return opcode >= 0xB0 && opcode <= 0xB2;
+}
+
 /// Classifies a raw wire request (enveloped or not) as mutating, without
 /// dispatching it: peeks through the idempotency envelope at the opcode
 /// byte. Malformed requests (empty, truncated envelope) classify as

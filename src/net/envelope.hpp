@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -94,53 +95,93 @@ inline BytesView envelope_inner(BytesView request) {
     return env ? env->inner : request;
 }
 
-/// Bounded FIFO map (client, seq) -> response. Capacity bounds memory:
-/// a retry always follows its original closely (the client blocks on each
-/// op), so even a small cache suppresses every realistic replay.
+/// Bounded (client, seq) -> response map with PER-CLIENT eviction.
+///
+/// The earlier design was one global FIFO over (client, seq) pairs, which
+/// bounded memory but not correctness: with more active clients than
+/// capacity, other clients' traffic evicted a live client's only entry and
+/// its retry re-applied — exactly-once silently degraded to at-least-once
+/// under fleet-scale load. Eviction is now two-level, so one client's
+/// volume can never push out another client's fresh entry:
+///
+///   - per client, only the `window_per_client` most recent seqs are kept
+///     (clients are synchronous: a retry always targets a recent seq, and
+///     envelope seqs are monotonic per client, so the window is a suffix);
+///   - across clients, whole idle clients are evicted least-recently-
+///     -inserted-first once more than `max_clients` are tracked.
+///
+/// Memory is bounded by max_clients * window_per_client responses. A
+/// replay outside the retained window (an evicted client, or a seq older
+/// than the window) re-applies; for this system's opcodes an in-order
+/// suffix re-apply converges, and real retries never look that far back.
 class ReplayCache {
 public:
-    explicit ReplayCache(std::size_t capacity = 1024)
-        : capacity_(capacity == 0 ? 1 : capacity) {}
+    explicit ReplayCache(std::size_t max_clients = 1024,
+                         std::size_t window_per_client = 32)
+        : max_clients_(max_clients == 0 ? 1 : max_clients),
+          window_(window_per_client == 0 ? 1 : window_per_client) {}
 
     const Bytes* lookup(std::uint64_t client_id, std::uint64_t seq) const {
-        const auto it = entries_.find(key(client_id, seq));
-        return it == entries_.end() ? nullptr : &it->second;
+        const auto it = clients_.find(client_id);
+        if (it == clients_.end()) return nullptr;
+        for (const auto& [cached_seq, response] : it->second.window) {
+            if (cached_seq == seq) return &response;
+        }
+        return nullptr;
     }
 
     void insert(std::uint64_t client_id, std::uint64_t seq, Bytes response) {
-        const Key k = key(client_id, seq);
-        if (entries_.emplace(k, std::move(response)).second) {
-            order_.push_back(k);
-            while (order_.size() > capacity_) {
-                entries_.erase(order_.front());
-                order_.pop_front();
+        auto it = clients_.find(client_id);
+        if (it == clients_.end()) {
+            while (clients_.size() >= max_clients_) {
+                clients_.erase(lru_.front());
+                lru_.pop_front();
             }
+            lru_.push_back(client_id);
+            it = clients_
+                     .emplace(client_id,
+                              Client{{}, std::prev(lru_.end())})
+                     .first;
+        } else {
+            // Refresh recency so active clients outlive idle ones.
+            lru_.erase(it->second.lru_pos);
+            lru_.push_back(client_id);
+            it->second.lru_pos = std::prev(lru_.end());
         }
+        auto& window = it->second.window;
+        for (const auto& [cached_seq, cached] : window) {
+            if (cached_seq == seq) return;  // duplicate insert
+        }
+        window.emplace_back(seq, std::move(response));
+        while (window.size() > window_) window.pop_front();
     }
 
-    std::size_t size() const { return entries_.size(); }
+    /// Total cached responses across all clients.
+    std::size_t size() const {
+        std::size_t total = 0;
+        // mielint: allow(R3): commutative count
+        for (const auto& [client_id, client] : clients_) {
+            total += client.window.size();
+        }
+        return total;
+    }
+
+    std::size_t num_clients() const { return clients_.size(); }
+    std::size_t window_per_client() const { return window_; }
 
 private:
-    struct Key {
-        std::uint64_t client_id;
-        std::uint64_t seq;
-        bool operator==(const Key& o) const {
-            return client_id == o.client_id && seq == o.seq;
-        }
+    struct Client {
+        /// (seq, response), insertion order; bounded to window_. Lookups
+        /// scan linearly — the window is small by construction.
+        std::deque<std::pair<std::uint64_t, Bytes>> window;
+        std::list<std::uint64_t>::iterator lru_pos;
     };
-    struct KeyHash {
-        std::size_t operator()(const Key& k) const {
-            // splitmix-style mix of the two words.
-            std::uint64_t z = k.client_id + 0x9e3779b97f4a7c15ULL * k.seq;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-            return static_cast<std::size_t>(z ^ (z >> 31));
-        }
-    };
-    static Key key(std::uint64_t c, std::uint64_t s) { return Key{c, s}; }
 
-    std::size_t capacity_;
-    std::unordered_map<Key, Bytes, KeyHash> entries_;
-    std::deque<Key> order_;
+    std::size_t max_clients_;
+    std::size_t window_;
+    std::unordered_map<std::uint64_t, Client> clients_;
+    /// Client ids, least recently inserted-into first.
+    std::list<std::uint64_t> lru_;
 };
 
 /// RequestHandler decorator that gives any server exactly-once semantics
@@ -151,8 +192,10 @@ private:
 /// lookup/apply/insert race is benign).
 class DedupHandler final : public RequestHandler {
 public:
-    explicit DedupHandler(RequestHandler& inner, std::size_t capacity = 1024)
-        : inner_(inner), cache_(capacity) {}
+    explicit DedupHandler(RequestHandler& inner,
+                          std::size_t max_clients = 1024,
+                          std::size_t window_per_client = 32)
+        : inner_(inner), cache_(max_clients, window_per_client) {}
 
     Bytes handle(BytesView request) override {
         const auto env = parse_envelope(request);

@@ -90,6 +90,19 @@ public:
     Lsn last_checkpoint_lsn() const { return checkpoint_lsn_; }
     std::size_t num_wal_segments() const { return wal_.num_segments(); }
 
+    /// Tail-reads logged payloads with lsn > `after` (replication feed).
+    /// The caller must serialize against concurrent log()/checkpoint()
+    /// calls, exactly like those calls serialize against each other.
+    Wal::TailRead read_from(
+        Lsn after, std::size_t max_records,
+        const std::function<void(Lsn, BytesView)>& fn) const {
+        return wal_.read_from(after, max_records, fn);
+    }
+
+    /// First LSN still present (records below it were truncated by a
+    /// checkpoint and can only be served as a snapshot).
+    Lsn oldest_lsn() const { return wal_.oldest_lsn(); }
+
 private:
     CheckpointStore checkpoints_;
     Wal wal_;

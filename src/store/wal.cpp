@@ -258,6 +258,43 @@ void Wal::replay(Lsn after,
     }
 }
 
+Wal::TailRead Wal::read_from(
+    Lsn after, std::size_t max_records,
+    const std::function<void(Lsn, BytesView)>& fn) const {
+    TailRead out;
+    if (max_records == 0) {
+        out.end_of_log = last_lsn() <= after;
+        return out;
+    }
+    const std::function<void(Lsn, BytesView)> sink =
+        [&](Lsn lsn, BytesView payload) {
+            if (lsn <= after || out.records >= max_records) return;
+            fn(lsn, payload);
+            out.last_lsn = lsn;
+            ++out.records;
+        };
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        // Skip segments the next segment's start proves are <= after.
+        if (i + 1 < segments_.size() &&
+            segments_[i + 1].first_lsn <= after + 1) {
+            continue;
+        }
+        if (out.records >= max_records) break;
+        // The open active segment may be preallocated past its logical
+        // size on disk; only the logical bytes are log contents.
+        const std::uint64_t limit = i + 1 == segments_.size() && active_
+                                        ? active_->size()
+                                        : UINT64_MAX;
+        const ScanResult scan = scan_segment(segments_[i], &sink, limit);
+        if (!scan.clean_end) {
+            throw CorruptLogError("Wal::read_from: corruption in " +
+                                  segments_[i].path.string());
+        }
+    }
+    out.end_of_log = std::max(out.last_lsn, after) >= last_lsn();
+    return out;
+}
+
 void Wal::truncate_through(Lsn through) {
     // A segment is removable when every record it holds is <= `through`,
     // i.e. the NEXT segment starts at or below `through`+1. The active

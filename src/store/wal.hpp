@@ -90,6 +90,33 @@ public:
     void replay(Lsn after,
                 const std::function<void(Lsn, BytesView)>& fn) const;
 
+    /// Outcome of one read_from() tail read.
+    struct TailRead {
+        Lsn last_lsn = 0;  ///< highest LSN delivered (0 if none)
+        /// True when no records beyond the delivered ones exist, i.e. the
+        /// reader has caught up with the log tail.
+        bool end_of_log = false;
+        std::size_t records = 0;  ///< records delivered this call
+    };
+
+    /// Tail-reader: delivers up to `max_records` records with lsn >
+    /// `after`, in LSN order, spanning sealed segments and the active one.
+    /// This is the replication read API — a ReplicationSource calls it
+    /// repeatedly with its acknowledged offset instead of reaching into
+    /// segment files. The caller must serialize read_from against
+    /// concurrent appends (DurableServer holds its log mutex). Records at
+    /// or below `after` that were truncated away by a checkpoint are not
+    /// an error — callers detect that case via oldest_lsn() and fall back
+    /// to a snapshot. Throws CorruptLogError on mid-log corruption, like
+    /// replay().
+    TailRead read_from(Lsn after, std::size_t max_records,
+                       const std::function<void(Lsn, BytesView)>& fn) const;
+
+    /// First LSN still present in the log (the head of the oldest
+    /// segment). A reader whose `after` satisfies after + 1 < oldest_lsn()
+    /// has missed truncated records and needs a snapshot instead.
+    Lsn oldest_lsn() const { return segments_.front().first_lsn; }
+
     /// Deletes segments whose records are ALL <= `through` (they are
     /// covered by a checkpoint). The active segment is never deleted.
     void truncate_through(Lsn through);

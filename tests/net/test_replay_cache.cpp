@@ -1,0 +1,147 @@
+// Replay-cache eviction regression tests.
+//
+// The cache originally bounded memory with one global FIFO over
+// (client, seq) pairs, which broke exactly-once under fleet-scale load:
+// enough traffic from OTHER clients evicted a live client's only entry,
+// and its retry re-applied the mutation. The cache now evicts per
+// client (a bounded window of recent seqs) and across clients (whole
+// idle clients, LRU) — these tests pin the boundary behaviour of both
+// levels and prove exactly-once survives a flood from unrelated clients.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/envelope.hpp"
+#include "net/transport.hpp"
+
+namespace mie::net {
+namespace {
+
+TEST(ReplayCacheTest, PerClientWindowKeepsMostRecentSeqs) {
+    ReplayCache cache(/*max_clients=*/4, /*window_per_client=*/3);
+    for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+        cache.insert(7, seq, to_bytes("r" + std::to_string(seq)));
+    }
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.num_clients(), 1u);
+    // The window is a suffix of the seq stream: newest three retained.
+    EXPECT_EQ(cache.lookup(7, 1), nullptr);
+    EXPECT_EQ(cache.lookup(7, 2), nullptr);
+    for (std::uint64_t seq = 3; seq <= 5; ++seq) {
+        const Bytes* hit = cache.lookup(7, seq);
+        ASSERT_NE(hit, nullptr) << "seq " << seq;
+        EXPECT_EQ(to_string(*hit), "r" + std::to_string(seq));
+    }
+}
+
+TEST(ReplayCacheTest, DuplicateInsertKeepsOriginalResponse) {
+    ReplayCache cache(4, 3);
+    cache.insert(1, 1, to_bytes("original"));
+    cache.insert(1, 1, to_bytes("imposter"));
+    const Bytes* hit = cache.lookup(1, 1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(to_string(*hit), "original");
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+// THE regression: under the old global FIFO, other clients' volume
+// evicted a live client's fresh entry. Per-client windows make one
+// client's footprint independent of everyone else's traffic.
+TEST(ReplayCacheTest, OtherClientsTrafficCannotEvictALiveClient) {
+    ReplayCache cache(/*max_clients=*/8, /*window_per_client=*/4);
+    cache.insert(99, 1, to_bytes("precious"));
+    // Seven other clients insert far more entries than the old global
+    // capacity equivalent (8 * 4 = 32) would have tolerated.
+    for (std::uint64_t client = 1; client <= 7; ++client) {
+        for (std::uint64_t seq = 1; seq <= 50; ++seq) {
+            cache.insert(client, seq, to_bytes("x"));
+        }
+    }
+    EXPECT_EQ(cache.num_clients(), 8u);
+    const Bytes* hit = cache.lookup(99, 1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(to_string(*hit), "precious");
+}
+
+TEST(ReplayCacheTest, WholeClientLruEvictionBeyondMaxClients) {
+    ReplayCache cache(/*max_clients=*/2, /*window_per_client=*/4);
+    cache.insert(1, 1, to_bytes("a"));
+    cache.insert(2, 1, to_bytes("b"));
+    // Client 1 is refreshed by new activity; client 2 goes idle.
+    cache.insert(1, 2, to_bytes("a2"));
+    cache.insert(3, 1, to_bytes("c"));  // exceeds max_clients
+    EXPECT_EQ(cache.num_clients(), 2u);
+    EXPECT_EQ(cache.lookup(2, 1), nullptr);       // idle client evicted
+    EXPECT_NE(cache.lookup(1, 2), nullptr);       // active client kept
+    EXPECT_NE(cache.lookup(3, 1), nullptr);
+}
+
+/// Counts real applications so tests can distinguish "answered from
+/// cache" from "re-applied".
+class CountingHandler final : public RequestHandler {
+public:
+    Bytes handle(BytesView request) override {
+        ++applies_;
+        Bytes response = to_bytes("applied:" + to_string(request) + ":" +
+                                  std::to_string(applies_));
+        return response;
+    }
+    std::size_t applies() const { return applies_; }
+
+private:
+    std::size_t applies_ = 0;
+};
+
+TEST(DedupHandlerTest, ExactlyOnceAtWindowEvictionBoundary) {
+    CountingHandler inner;
+    DedupHandler dedup(inner, /*max_clients=*/4, /*window_per_client=*/2);
+
+    const auto send = [&](std::uint64_t client, std::uint64_t seq) {
+        return dedup.handle(
+            envelope_wrap(client, seq, to_bytes("op" + std::to_string(seq))));
+    };
+
+    const Bytes r1 = send(1, 1);
+    const Bytes r2 = send(1, 2);
+    const Bytes r3 = send(1, 3);
+    ASSERT_EQ(inner.applies(), 3u);
+
+    // Retries inside the window: answered from cache, byte-identical,
+    // nothing re-applied.
+    EXPECT_EQ(send(1, 3), r3);
+    EXPECT_EQ(send(1, 2), r2);
+    EXPECT_EQ(inner.applies(), 3u);
+    EXPECT_EQ(dedup.replays_suppressed(), 2u);
+
+    // Seq 1 slid out of the 2-entry window: the retry re-applies (the
+    // documented degradation outside the retained suffix).
+    EXPECT_NE(send(1, 1), r1);
+    EXPECT_EQ(inner.applies(), 4u);
+}
+
+TEST(DedupHandlerTest, FloodFromOtherClientsDoesNotBreakExactlyOnce) {
+    CountingHandler inner;
+    DedupHandler dedup(inner, /*max_clients=*/16, /*window_per_client=*/4);
+
+    const Bytes original =
+        dedup.handle(envelope_wrap(42, 7, to_bytes("the-mutation")));
+    const std::size_t applies_after_original = inner.applies();
+
+    // A flood from 15 other clients (window * clients worth of inserts,
+    // many times over) — under the old global FIFO this evicted client
+    // 42's entry and the retry below would re-apply.
+    for (std::uint64_t client = 100; client < 115; ++client) {
+        for (std::uint64_t seq = 1; seq <= 40; ++seq) {
+            dedup.handle(envelope_wrap(client, seq, to_bytes("noise")));
+        }
+    }
+
+    const Bytes retried =
+        dedup.handle(envelope_wrap(42, 7, to_bytes("the-mutation")));
+    EXPECT_EQ(retried, original);
+    EXPECT_EQ(inner.applies(), applies_after_original + 15 * 40);
+    EXPECT_GE(dedup.replays_suppressed(), 1u);
+}
+
+}  // namespace
+}  // namespace mie::net
