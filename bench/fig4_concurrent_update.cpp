@@ -252,7 +252,8 @@ ScenarioResult run_scenario(const std::string& mode, std::size_t clients,
 std::string to_json(const std::vector<ScenarioResult>& results,
                     double fault_rate, std::size_t ops_per_client) {
     std::ostringstream json;
-    json << "{\"bench\":\"fig4_concurrent_update\",\"fault_rate\":"
+    json << "{\"schema_version\":1,"
+         << "\"bench\":\"fig4_concurrent_update\",\"fault_rate\":"
          << fault_rate << ",\"threads\":" << bench_threads()
          << ",\"ops_per_client\":" << ops_per_client << ",\"scenarios\":[";
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -471,7 +472,8 @@ int run_cluster_bench(std::size_t max_shards, const std::string& json_path) {
 
     bool all_ok = true;
     std::ostringstream json;
-    json << "{\"bench\":\"fig4_cluster\",\"clients\":" << clients
+    json << "{\"schema_version\":1,"
+         << "\"bench\":\"fig4_cluster\",\"clients\":" << clients
          << ",\"ops_per_client\":" << ops_per_client
          << ",\"threads\":" << bench_threads() << ",\"scenarios\":[";
     for (std::size_t i = 0; i < results.size(); ++i) {

@@ -1,0 +1,113 @@
+// Fleet-scale chaos soak against the sharded reactor cluster.
+//
+// Replays a seeded Zipf fleet workload (mixed add/search/update/remove,
+// session churn, mobile/desktop device mix) through a ClusterClient
+// against reactor-hosted shard replicas over real TCP, with fault
+// injection on every client link plus one follower power-loss and one
+// primary kill per run. Every epoch ends with the four soak oracles
+// (exactly-once shadow equality, scatter/gather vs single-node union,
+// monotone replication offsets, secret hygiene); the process exits
+// non-zero if any oracle ever goes red.
+//
+// Scale: events per epoch honours MIE_BENCH_SCALE like the other
+// benches. Flags:
+//   --seed N        master seed (workload + faults + chaos points)
+//   --shards N      shard count (default 2)
+//   --epochs N      chaos epochs (default 2)
+//   --events N      base events per epoch before scaling (default 48)
+//   --fault-rate R  per-I/O-op fault probability (default 0.015)
+//   --json PATH     also write the schema-versioned report to PATH
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common.hpp"
+#include "soak/harness.hpp"
+
+int main(int argc, char** argv) {
+    using namespace mie;
+    namespace fs = std::filesystem;
+    bench::configure_threads(argc, argv);
+
+    soak::SoakOptions options;
+    options.seed = static_cast<std::uint64_t>(
+        bench::parse_double_flag(argc, argv, "--seed", 2026.0));
+    options.num_shards = static_cast<std::uint32_t>(
+        bench::parse_double_flag(argc, argv, "--shards", 2.0));
+    options.epochs = static_cast<std::size_t>(
+        bench::parse_double_flag(argc, argv, "--epochs", 2.0));
+    const auto base_events = static_cast<std::size_t>(
+        bench::parse_double_flag(argc, argv, "--events", 48.0));
+    options.fault_rate =
+        bench::parse_double_flag(argc, argv, "--fault-rate", 0.015);
+    const std::string json_path =
+        bench::parse_string_flag(argc, argv, "--json", "");
+
+    options.fleet.num_events = bench::scaled(base_events);
+    options.fleet.num_repositories = 6;
+    options.fleet.active_sessions = 32;
+    options.fleet.setup_objects_per_repo = 4;
+    options.root_dir =
+        fs::temp_directory_path() /
+        ("mie_bench_soak_" + std::to_string(::getpid()));
+
+    std::printf(
+        "=== Soak: fleet workload + chaos against the sharded reactor "
+        "cluster ===\n(seed %llu, %u shards, %zu epochs x %zu events, "
+        "fault rate %.3f, kill-primary + follower power-loss on)\n\n",
+        static_cast<unsigned long long>(options.seed), options.num_shards,
+        options.epochs, options.fleet.num_events, options.fault_rate);
+
+    int exit_code = 0;
+    try {
+        const soak::SoakReport report = soak::run_soak(options);
+        for (const soak::EpochReport& epoch : report.epochs) {
+            std::printf(
+                "epoch %zu: %4zu ops  retries %3llu  failovers %llu  "
+                "recoveries %llu  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  "
+                "oracles[1x=%d scatter=%d offsets=%d secrets=%d]\n",
+                epoch.epoch, epoch.operations,
+                static_cast<unsigned long long>(epoch.retries),
+                static_cast<unsigned long long>(epoch.failovers),
+                static_cast<unsigned long long>(epoch.recoveries),
+                epoch.p50_ms, epoch.p95_ms, epoch.p99_ms,
+                epoch.oracles.exactly_once ? 1 : 0,
+                epoch.oracles.scatter_gather ? 1 : 0,
+                epoch.oracles.offsets_monotone ? 1 : 0,
+                epoch.oracles.secrets_redacted ? 1 : 0);
+        }
+        std::printf(
+            "\ntotal: %zu ops in %.3fs  %.1f ops/s  faults %llu  "
+            "retries %llu  failovers %llu  recoveries %llu  "
+            "replays_suppressed %llu\nstate digest 0x%08x  mobile fleet "
+            "energy %.4f mAh\noracles: %s\n",
+            report.operations, report.elapsed_seconds,
+            report.throughput_ops_per_sec,
+            static_cast<unsigned long long>(report.faults_injected),
+            static_cast<unsigned long long>(report.retries),
+            static_cast<unsigned long long>(report.failovers),
+            static_cast<unsigned long long>(report.recoveries),
+            static_cast<unsigned long long>(report.replays_suppressed),
+            report.state_digest, report.mobile_energy_mah,
+            report.all_oracles_green() ? "ALL GREEN" : "RED");
+
+        const std::string json = report.to_json();
+        std::cout << "\n" << json;
+        if (!json_path.empty()) {
+            std::ofstream file(json_path);
+            file << json;
+        }
+        exit_code = report.all_oracles_green() ? 0 : 1;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "soak: fatal: %s\n", error.what());
+        exit_code = 2;
+    }
+
+    std::error_code ec;
+    fs::remove_all(options.root_dir, ec);
+    return exit_code;
+}

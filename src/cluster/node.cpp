@@ -91,6 +91,10 @@ Bytes Node::handle_cluster(BytesView request) {
 
 void Node::apply_replicated(std::uint64_t source_lsn, BytesView record) {
     const std::scoped_lock lock(mutex_);
+    // Promotion may race an in-flight pull: the check lives under the
+    // same lock that promote() takes, so a record that lost the race can
+    // never slide in after the role flip.
+    if (role_ == Role::kPrimary) throw NotFollowerError();
     if (source_lsn <= acked_lsn_) {
         ++repl_stats_.records_skipped;
         return;
@@ -108,6 +112,7 @@ void Node::apply_replicated(std::uint64_t source_lsn, BytesView record) {
 void Node::restore_replication_snapshot(std::uint64_t snapshot_lsn,
                                         BytesView snapshot) {
     const std::scoped_lock lock(mutex_);
+    if (role_ == Role::kPrimary) throw NotFollowerError();
     durable_.server().restore_snapshot(snapshot);
     // Checkpoint immediately: the restored state must not be combined
     // with this node's pre-existing WAL suffix on a later recovery.

@@ -53,6 +53,19 @@ public:
         "cluster: node is not the primary for this shard") {}
 };
 
+/// Replication application reached a primary. Fires when a Replicator
+/// keeps pumping into a node that was promoted mid-pull (failover raced
+/// an in-flight kReplPull): a primary accepting client mutations must
+/// never also apply a stale primary's records, or the replicas diverge
+/// silently under split-brain. The pump owner must stop replicating —
+/// the promoted node is the shard's source of truth now.
+class NotFollowerError : public std::runtime_error {
+public:
+    NotFollowerError() : std::runtime_error(
+        "cluster: node is not a follower; refusing to apply "
+        "replicated state onto a primary") {}
+};
+
 struct NodeOptions {
     Role role = Role::kPrimary;
     DurableServer::Options storage;
@@ -88,11 +101,13 @@ public:
     /// Records at or below the acknowledged offset are skipped; fresh
     /// records run through the full durable handle() path (re-apply,
     /// re-log, replay-cache insert) and advance the offset in memory.
+    /// Throws NotFollowerError on a primary (promotion raced the pull).
     void apply_replicated(std::uint64_t source_lsn, BytesView record);
 
     /// Bootstrap path: replaces local state with the source snapshot,
     /// checkpoints it locally (so the stale local WAL suffix is dead),
     /// and fast-forwards the acknowledged offset to `snapshot_lsn`.
+    /// Throws NotFollowerError on a primary (promotion raced the pull).
     void restore_replication_snapshot(std::uint64_t snapshot_lsn,
                                       BytesView snapshot);
 

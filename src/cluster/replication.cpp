@@ -74,6 +74,12 @@ Replicator::Replicator(Node& local, net::Transport& source,
       pull_batch_(pull_batch == 0 ? 1 : pull_batch) {}
 
 Replicator::PumpResult Replicator::pump() {
+    // Fail fast when the local node was promoted since the last round
+    // (client failover raced an in-flight pull): a primary must not keep
+    // pulling from the node it just replaced. Checking before the network
+    // round trip avoids even asking; apply_replicated() re-checks under
+    // the node lock for the promotion that lands mid-pull.
+    if (local_.role() == Role::kPrimary) throw NotFollowerError();
     net::MessageWriter request;
     request.write_u8(static_cast<std::uint8_t>(ClusterOp::kReplPull));
     request.write_u64(local_.acked_lsn());

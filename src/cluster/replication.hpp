@@ -74,7 +74,10 @@ public:
 
     /// One pull/apply round; persists the follower's replication offset
     /// before returning. Throws net::TransportError if the source is
-    /// unreachable (the caller decides whether to retry or fail over).
+    /// unreachable (the caller decides whether to retry or fail over),
+    /// and NotFollowerError if the local node has been promoted — a
+    /// primary must never apply another node's records (split-brain
+    /// containment; see cluster/node.hpp).
     PumpResult pump();
 
     /// Pumps until caught up; returns total records applied.

@@ -1,0 +1,191 @@
+#include "sim/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mie::sim {
+
+ZipfDistribution::ZipfDistribution(std::size_t num_ranks, double exponent) {
+    if (num_ranks == 0) {
+        throw std::invalid_argument("ZipfDistribution: need at least 1 rank");
+    }
+    if (!(exponent >= 0.0)) {
+        throw std::invalid_argument(
+            "ZipfDistribution: exponent must be non-negative");
+    }
+    cdf_.resize(num_ranks);
+    double total = 0.0;
+    for (std::size_t rank = 0; rank < num_ranks; ++rank) {
+        total += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+        cdf_[rank] = total;
+    }
+    for (double& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+double ZipfDistribution::probability(std::size_t rank) const {
+    if (rank >= cdf_.size()) {
+        throw std::out_of_range("ZipfDistribution: rank out of range");
+    }
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+std::size_t ZipfDistribution::sample(SplitMix64& rng) const {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it == cdf_.end()
+                                        ? cdf_.size() - 1
+                                        : it - cdf_.begin());
+}
+
+const char* fleet_op_name(FleetOpKind kind) {
+    switch (kind) {
+        case FleetOpKind::kAdd: return "add";
+        case FleetOpKind::kSearch: return "search";
+        case FleetOpKind::kUpdate: return "update";
+        case FleetOpKind::kRemove: return "remove";
+    }
+    return "?";
+}
+
+std::uint64_t fleet_object_id(std::uint32_t repo, std::uint64_t counter) {
+    return (static_cast<std::uint64_t>(repo) + 1) << 48 |
+           (counter & 0xffffffffffffULL);
+}
+
+DeviceProfile fleet_device(const FleetEvent& event) {
+    return event.mobile ? DeviceProfile::mobile() : DeviceProfile::desktop();
+}
+
+namespace {
+
+struct Session {
+    std::uint64_t user_id = 0;
+    bool mobile = true;
+};
+
+Session fresh_session(SplitMix64& rng, const FleetParams& params) {
+    Session session;
+    session.user_id = rng.next_below(params.num_users);
+    session.mobile = rng.next_double() < params.mobile_fraction;
+    return session;
+}
+
+}  // namespace
+
+FleetScript FleetScript::generate(const FleetParams& params) {
+    if (params.num_repositories == 0) {
+        throw std::invalid_argument("FleetScript: need >= 1 repository");
+    }
+    if (params.active_sessions == 0) {
+        throw std::invalid_argument("FleetScript: need >= 1 session");
+    }
+    if (params.num_users == 0) {
+        throw std::invalid_argument("FleetScript: need >= 1 user");
+    }
+    const double weight_total = params.add_weight + params.search_weight +
+                                params.update_weight + params.remove_weight;
+    if (!(weight_total > 0.0)) {
+        throw std::invalid_argument("FleetScript: op weights sum to zero");
+    }
+
+    FleetScript script;
+    script.params = params;
+    SplitMix64 rng(params.seed);
+    const ZipfDistribution zipf(params.num_repositories,
+                                params.zipf_exponent);
+
+    std::vector<Session> sessions;
+    sessions.reserve(params.active_sessions);
+    for (std::size_t i = 0; i < params.active_sessions; ++i) {
+        sessions.push_back(fresh_session(rng, params));
+    }
+    script.sessions_started = params.active_sessions;
+
+    script.setup.resize(params.num_repositories);
+    script.live.resize(params.num_repositories);
+    std::vector<std::uint64_t> next_counter(params.num_repositories, 0);
+    for (std::uint32_t repo = 0; repo < params.num_repositories; ++repo) {
+        for (std::size_t i = 0; i < params.setup_objects_per_repo; ++i) {
+            const std::uint64_t id =
+                fleet_object_id(repo, next_counter[repo]++);
+            script.setup[repo].push_back(id);
+            script.live[repo].push_back(id);
+        }
+    }
+
+    // Cumulative op-mix thresholds in [0, 1).
+    const double add_cut = params.add_weight / weight_total;
+    const double search_cut = add_cut + params.search_weight / weight_total;
+    const double update_cut =
+        search_cut + params.update_weight / weight_total;
+
+    script.events.reserve(params.num_events);
+    for (std::size_t i = 0; i < params.num_events; ++i) {
+        const std::size_t slot = static_cast<std::size_t>(
+            rng.next_below(params.active_sessions));
+        const auto repo =
+            static_cast<std::uint32_t>(zipf.sample(rng));
+        std::vector<std::uint64_t>& live = script.live[repo];
+
+        const double pick = rng.next_double();
+        FleetOpKind kind = FleetOpKind::kRemove;
+        if (pick < add_cut) {
+            kind = FleetOpKind::kAdd;
+        } else if (pick < search_cut) {
+            kind = FleetOpKind::kSearch;
+        } else if (pick < update_cut) {
+            kind = FleetOpKind::kUpdate;
+        }
+        // Mutations against an empty repository fall back to adds so the
+        // script never references an object that cannot exist. (Searches
+        // keep running: an almost-empty index answering is part of the
+        // workload.) Setup objects make this rare for hot repositories.
+        if (live.empty() && (kind == FleetOpKind::kUpdate ||
+                             kind == FleetOpKind::kRemove)) {
+            kind = FleetOpKind::kAdd;
+        }
+
+        FleetEvent event;
+        event.kind = kind;
+        event.user_id = sessions[slot].user_id;
+        event.mobile = sessions[slot].mobile;
+        event.repo = repo;
+        switch (kind) {
+            case FleetOpKind::kAdd:
+                event.object_id = fleet_object_id(repo, next_counter[repo]++);
+                live.push_back(event.object_id);
+                break;
+            case FleetOpKind::kSearch:
+                // Query a live object when one exists (a hit-shaped
+                // query), otherwise probe with a never-added id.
+                event.object_id =
+                    live.empty()
+                        ? fleet_object_id(repo, next_counter[repo])
+                        : live[rng.next_below(live.size())];
+                break;
+            case FleetOpKind::kUpdate:
+                event.object_id = live[rng.next_below(live.size())];
+                break;
+            case FleetOpKind::kRemove: {
+                const std::size_t victim = static_cast<std::size_t>(
+                    rng.next_below(live.size()));
+                event.object_id = live[victim];
+                live[victim] = live.back();
+                live.pop_back();
+                break;
+            }
+        }
+        script.events.push_back(event);
+        ++script.count_by_kind[static_cast<std::size_t>(kind)];
+
+        if (rng.next_double() < params.session_churn) {
+            sessions[slot] = fresh_session(rng, params);
+            ++script.sessions_started;
+        }
+    }
+    return script;
+}
+
+}  // namespace mie::sim

@@ -1,0 +1,120 @@
+// Deterministic fleet workload generator for the soak harness.
+//
+// Models a large population of mobile/desktop users hammering a small
+// set of hosted repositories: repository popularity is Zipf-distributed
+// (a few hot photo collections absorb most traffic, the long tail is
+// cold), users come and go through a bounded pool of active sessions
+// (session churn), and each operation is drawn from a configurable
+// add/search/update/remove mix. Everything derives from one SplitMix64
+// seed, so a script — and any failure the soak harness finds while
+// replaying it against the cluster — reproduces exactly.
+//
+// The generator runs ahead of time, not online: FleetScript::generate
+// materializes the whole event list, tracking per-repository live object
+// sets so updates and removes always target objects that exist at that
+// point of the schedule. The soak harness then replays events in order
+// and knows the expected end state without consulting the server.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "util/rng.hpp"
+
+namespace mie::sim {
+
+/// Zipf(s) distribution over ranks 0..n-1: P(rank k) ∝ 1/(k+1)^s.
+/// Sampled by inverse CDF over a precomputed table — O(log n) per draw,
+/// deterministic given the RNG stream.
+class ZipfDistribution {
+public:
+    ZipfDistribution(std::size_t num_ranks, double exponent);
+
+    std::size_t num_ranks() const { return cdf_.size(); }
+
+    /// Probability mass of `rank` (0-based; rank 0 is the hottest).
+    double probability(std::size_t rank) const;
+
+    /// Draws one rank from `rng`.
+    std::size_t sample(SplitMix64& rng) const;
+
+private:
+    std::vector<double> cdf_;
+};
+
+enum class FleetOpKind : std::uint8_t {
+    kAdd = 0,
+    kSearch = 1,
+    kUpdate = 2,
+    kRemove = 3,
+};
+constexpr std::size_t kNumFleetOpKinds = 4;
+
+const char* fleet_op_name(FleetOpKind kind);
+
+struct FleetParams {
+    std::uint64_t seed = 2017;
+    /// Modeled user population (ids are drawn from this range; only
+    /// `active_sessions` of them are concurrently active).
+    std::uint64_t num_users = 1'000'000;
+    std::size_t num_repositories = 8;
+    /// Concurrent session pool; each event is issued by one session.
+    std::size_t active_sessions = 64;
+    /// Events in the script (excluding per-repo setup objects).
+    std::size_t num_events = 512;
+    /// Zipf exponent for repository popularity (1.0–1.2 is web-like).
+    double zipf_exponent = 1.1;
+    /// Probability a session ends (and a fresh user takes the slot)
+    /// after each event it issues.
+    double session_churn = 0.05;
+    /// Fraction of sessions on the mobile device profile; the rest are
+    /// desktop.
+    double mobile_fraction = 0.8;
+    /// Operation mix (normalized internally; updates/removes fall back
+    /// to adds while a repository is empty).
+    double add_weight = 0.45;
+    double search_weight = 0.35;
+    double update_weight = 0.12;
+    double remove_weight = 0.08;
+    /// Objects seeded into every repository before the event stream so
+    /// indexes can train and searches have something to find.
+    std::size_t setup_objects_per_repo = 4;
+};
+
+struct FleetEvent {
+    FleetOpKind kind = FleetOpKind::kAdd;
+    std::uint64_t user_id = 0;
+    std::uint32_t repo = 0;
+    /// Object targeted by add/update/remove; for searches, the dataset
+    /// id whose object serves as the query.
+    std::uint64_t object_id = 0;
+    /// Device class of the issuing session.
+    bool mobile = true;
+};
+
+struct FleetScript {
+    FleetParams params;
+    /// Per-repository objects to add (and train over) before `events`.
+    std::vector<std::vector<std::uint64_t>> setup;
+    std::vector<FleetEvent> events;
+    /// Live object ids per repository after the whole script ran.
+    std::vector<std::vector<std::uint64_t>> live;
+    /// Event counts by kind (post-fallback, so kAdd includes fallbacks).
+    std::vector<std::size_t> count_by_kind =
+        std::vector<std::size_t>(kNumFleetOpKinds, 0);
+    /// Sessions created over the script's lifetime (>= active_sessions).
+    std::size_t sessions_started = 0;
+
+    static FleetScript generate(const FleetParams& params);
+};
+
+/// Object ids are repo-tagged so they stay globally unique across the
+/// union of repositories: high 16 bits = repo + 1, low 48 = counter.
+std::uint64_t fleet_object_id(std::uint32_t repo, std::uint64_t counter);
+
+/// Device profile an event's cost should be metered on.
+DeviceProfile fleet_device(const FleetEvent& event);
+
+}  // namespace mie::sim

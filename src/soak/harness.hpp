@@ -1,0 +1,136 @@
+// Fleet-scale soak harness: chaos-injected cluster runs with invariant
+// oracles.
+//
+// SoakHarness hosts a sharded, replicated cluster the way production
+// would run it — every replica is a cluster::Node behind its own
+// GroupCommitter + ReactorServer on 127.0.0.1, client traffic and the
+// replication pumps ride real net::TcpTransport — and replays a
+// sim::FleetScript against it through a ClusterClient. Chaos is layered
+// on deterministically from the one seed:
+//
+//   - every client link runs through net::FaultyTransport with a seeded
+//     random FaultPlan (drops, resets, truncation, corruption);
+//   - one follower suffers a store-VFS power loss mid-run and restarts
+//     from its surviving files (crash recovery + replication re-pull);
+//   - one primary is killed for good mid-run; the next client mutation
+//     fails over (kPromote + replay) and a replacement follower is
+//     bootstrapped from the promoted node (re-replication).
+//
+// After every epoch the harness quiesces and checks four oracles:
+//
+//   1. exactly-once: each living replica's exported snapshot equals a
+//      shadow model built by replaying only the *acked* mutations, in
+//      ack order, through a fresh DedupHandler(MieServer) per shard;
+//   2. scatter/gather: ClusterClient::search_union over the sharded
+//      cluster is bitwise-equal to the same queries against one shadow
+//      node holding the union of repositories;
+//   3. replication offsets are monotone within each replica generation
+//      and never exceed the source's last LSN;
+//   4. secret hygiene: client-side secrets (user master secrets, data
+//      keys) appear in no server directory file and no exported
+//      snapshot, and SecretBytes still redacts on ostream.
+//
+// Determinism contract: the workload, fault schedule, and chaos points
+// derive from SoakOptions::seed alone, so two runs with the same options
+// produce identical oracle outcomes, identical acked-operation counts,
+// and identical final state digests (latencies vary — wall clock is
+// reported, never asserted).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fleet.hpp"
+
+namespace mie::soak {
+
+struct SoakOptions {
+    /// Node state directories are created under here (required).
+    std::filesystem::path root_dir;
+    /// Master seed: workload, fault plans, and chaos points.
+    std::uint64_t seed = 2026;
+    std::uint32_t num_shards = 2;
+    /// Chaos epochs; every epoch replays `fleet.num_events` events and
+    /// ends with a full oracle check.
+    std::size_t epochs = 2;
+    /// Fleet shape (fleet.seed is overridden from `seed`).
+    sim::FleetParams fleet;
+    /// Per-I/O-op random fault probability on every client link.
+    double fault_rate = 0.015;
+    /// Kill one primary mid-run (failover + replacement follower).
+    bool kill_primary = true;
+    /// Power-loss one follower mid-run (crash restart + re-pull).
+    bool power_loss_follower = true;
+    /// Records per replication pull (small, so crash-overlap re-pulls
+    /// stay inside the per-client replay windows).
+    std::size_t pull_batch = 32;
+    /// Ranked-search depth for workload searches and oracle probes.
+    std::size_t top_k = 4;
+    /// Scatter/gather oracle probes per epoch.
+    std::size_t search_probes = 3;
+    /// Image edge length for generated objects (smaller = faster).
+    std::size_t image_size = 32;
+};
+
+struct OracleOutcomes {
+    bool exactly_once = false;
+    bool scatter_gather = false;
+    bool offsets_monotone = false;
+    bool secrets_redacted = false;
+
+    bool all_green() const {
+        return exactly_once && scatter_gather && offsets_monotone &&
+               secrets_redacted;
+    }
+};
+
+struct EpochReport {
+    std::size_t epoch = 0;
+    std::size_t operations = 0;   ///< workload ops issued this epoch
+    std::size_t acked = 0;        ///< ops acknowledged (== operations)
+    std::uint64_t retries = 0;    ///< transport-level retries this epoch
+    std::uint64_t failovers = 0;  ///< cluster failovers this epoch
+    std::uint64_t recoveries = 0; ///< crash restarts + re-bootstraps
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    OracleOutcomes oracles;
+};
+
+struct SoakReport {
+    std::uint64_t seed = 0;
+    std::uint32_t num_shards = 0;
+    std::size_t operations = 0;
+    std::size_t acked = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t faults_injected = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t replays_suppressed = 0;
+    double elapsed_seconds = 0.0;
+    double throughput_ops_per_sec = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    /// CRC-32C over the final per-shard primary snapshots — the
+    /// reproducibility fingerprint two same-seed runs must share.
+    std::uint32_t state_digest = 0;
+    /// Modeled client-fleet battery drain (mobile sessions).
+    double mobile_energy_mah = 0.0;
+    std::vector<EpochReport> epochs;
+
+    bool all_oracles_green() const;
+
+    /// Schema-versioned machine-readable counters (BENCH_soak.json).
+    std::string to_json() const;
+};
+
+/// Runs one seeded soak: builds the cluster under options.root_dir,
+/// replays the fleet script with chaos, and tears everything down.
+SoakReport run_soak(const SoakOptions& options);
+
+}  // namespace mie::soak

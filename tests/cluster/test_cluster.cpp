@@ -25,6 +25,8 @@
 #include "net/message.hpp"
 #include "sim/dataset.hpp"
 #include "store/file.hpp"
+#include "util/crc32c.hpp"
+#include "util/rng.hpp"
 
 namespace mie::cluster {
 namespace {
@@ -69,6 +71,49 @@ TEST(RouterTest, GoldenRoutingVectors) {
         EXPECT_EQ(two.shard_of(v.repo_id), v.shard_of_2);
         EXPECT_EQ(four.shard_of(v.repo_id), v.shard_of_4);
     }
+}
+
+// Property extension of the golden vectors: for 10k seeded-random repo
+// ids, (1) the digest alone determines placement at EVERY shard count
+// 1..64 (shard_of == digest % n — resharding is a pure modulus change,
+// no per-count salt that would silently remap ids), and (2) the whole
+// digest population is pinned by one aggregate CRC-32C, a golden vector
+// too large to list. If the routing KDF changes, this fails loudly for
+// the entire id space, not just nine handpicked names.
+TEST(RouterTest, DigestsStableAcrossShardCountsForRandomIdPopulation) {
+    constexpr std::size_t kNumIds = 10'000;
+    constexpr std::uint32_t kPinnedDigestCrc = 0xbdd45a28u;
+
+    SplitMix64 rng(0x520f7e5u);
+    std::vector<Router> routers;
+    routers.reserve(64);
+    for (std::uint32_t n = 1; n <= 64; ++n) routers.emplace_back(n);
+
+    std::uint32_t crc = crc32c_init();
+    for (std::size_t i = 0; i < kNumIds; ++i) {
+        // Mixed-shape ids: plain counters, hex-ish, path-like.
+        const std::uint64_t noise = rng();
+        std::string id;
+        switch (i % 3) {
+            case 0: id = "repo-" + std::to_string(noise); break;
+            case 1: id = "u" + std::to_string(noise % 100'000) + "/photos/" +
+                         std::to_string(i); break;
+            default: id = std::string("fleet:") + std::to_string(i) + ":" +
+                          std::to_string(noise % 997); break;
+        }
+        const std::uint64_t digest = Router::routing_digest(id);
+        for (std::uint32_t n = 1; n <= 64; ++n) {
+            ASSERT_EQ(routers[n - 1].shard_of(id), digest % n)
+                << id << " at " << n << " shards";
+        }
+        std::uint8_t le[8];
+        for (int b = 0; b < 8; ++b) {
+            le[b] = static_cast<std::uint8_t>(digest >> (8 * b));
+        }
+        crc = crc32c_update(crc, BytesView(le, 8));
+    }
+    EXPECT_EQ(crc32c_final(crc), kPinnedDigestCrc)
+        << "routing digests drifted for the 10k-id population";
 }
 
 TEST(RouterTest, PlacementIsStableAndCoversEveryShard) {

@@ -1,0 +1,178 @@
+// Regression: the acknowledged replication offset is read from disk at
+// most once, at Node construction. Every later sync() round may WRITE
+// the offset file (crash-atomic temp+rename) but must never read it
+// back — the authoritative value lives in memory. A re-read per pump
+// round would put a disk read on the replication hot path and, worse,
+// would let a torn or stale file overwrite in-memory truth.
+//
+// The probe is a counting Vfs wrapper: it delegates everything to the
+// real Vfs and tallies read_file() calls and rename() targets per path,
+// so the test can assert "reads of <dir>/repl-offset do not grow after
+// startup, only writes do" directly against the storage interface the
+// node actually uses.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/node.hpp"
+#include "cluster/replication.hpp"
+#include "mie/client.hpp"
+#include "mie/keys.hpp"
+#include "net/transport.hpp"
+#include "sim/dataset.hpp"
+#include "store/file.hpp"
+
+namespace mie::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Pass-through Vfs that counts read_file() calls and rename() targets
+/// by exact path (atomic_write_file surfaces as a rename onto the final
+/// path, so rename-counts are write-counts for crash-atomic files).
+class CountingVfs final : public store::Vfs {
+public:
+    explicit CountingVfs(store::Vfs& base) : base_(base) {}
+
+    std::size_t reads_of(const fs::path& path) const {
+        const auto it = reads_.find(path.string());
+        return it == reads_.end() ? 0 : it->second;
+    }
+    std::size_t writes_of(const fs::path& path) const {
+        const auto it = renames_to_.find(path.string());
+        return it == renames_to_.end() ? 0 : it->second;
+    }
+
+    std::unique_ptr<store::File> open_append(const fs::path& path) override {
+        return base_.open_append(path);
+    }
+    std::unique_ptr<store::File> create_truncate(
+        const fs::path& path) override {
+        return base_.create_truncate(path);
+    }
+    Bytes read_file(const fs::path& path) const override {
+        ++reads_[path.string()];
+        return base_.read_file(path);
+    }
+    bool exists(const fs::path& path) const override {
+        return base_.exists(path);
+    }
+    std::uint64_t file_size(const fs::path& path) const override {
+        return base_.file_size(path);
+    }
+    std::vector<fs::path> list_dir(const fs::path& dir) const override {
+        return base_.list_dir(dir);
+    }
+    void remove_file(const fs::path& path) override {
+        base_.remove_file(path);
+    }
+    void truncate_file(const fs::path& path,
+                       std::uint64_t new_size) override {
+        base_.truncate_file(path, new_size);
+    }
+    void rename(const fs::path& from, const fs::path& to) override {
+        ++renames_to_[to.string()];
+        base_.rename(from, to);
+    }
+    void create_directories(const fs::path& dir) override {
+        base_.create_directories(dir);
+    }
+    void sync_dir(const fs::path& dir) override { base_.sync_dir(dir); }
+
+private:
+    store::Vfs& base_;
+    mutable std::map<std::string, std::size_t> reads_;
+    std::map<std::string, std::size_t> renames_to_;
+};
+
+class ReplicationOffsetTest : public ::testing::Test {
+protected:
+    ReplicationOffsetTest()
+        : dir_(fs::temp_directory_path() /
+               ("mie_repl_offset_" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()) +
+                "_" + std::to_string(::getpid()))) {}
+
+    ~ReplicationOffsetTest() override {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(ReplicationOffsetTest, OffsetFileIsOnlyWrittenNeverReReadAfterStartup) {
+    // Primary on the plain Vfs; only the follower's I/O is counted.
+    Node primary(store::PosixVfs::instance(), dir_ / "p");
+    net::MeteredTransport wire(primary, net::LinkProfile::loopback());
+
+    CountingVfs counting(store::PosixVfs::instance());
+    const fs::path offset_path = dir_ / "f" / "repl-offset";
+    auto follower = std::make_unique<Node>(
+        counting, dir_ / "f", NodeOptions{.role = Role::kFollower});
+
+    // Fresh directory: no offset file yet, so startup reads nothing.
+    EXPECT_EQ(counting.reads_of(offset_path), 0u);
+    EXPECT_EQ(counting.writes_of(offset_path), 0u);
+
+    MieClient client(wire, "offset-repo",
+                     RepositoryKey::generate(to_bytes("offset-repo-key"), 64,
+                                             64, 0.7978845608),
+                     to_bytes("offset-user"));
+    client.train_params.tree_branch = 4;
+    client.train_params.tree_depth = 2;
+    sim::FlickrLikeGenerator generator(
+        sim::FlickrLikeParams{.num_classes = 2, .image_size = 32, .seed = 9});
+
+    net::MeteredTransport pump_wire(primary, net::LinkProfile::loopback());
+    Replicator replicator(*follower, pump_wire);
+
+    client.create_repository();
+    std::size_t writes_before = counting.writes_of(offset_path);
+    for (int round = 0; round < 4; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        client.update(generator.make(round));
+        replicator.sync();
+        // New records applied => the offset advanced => exactly the
+        // write path ran. The in-memory value is authoritative: still
+        // zero reads, every round.
+        EXPECT_EQ(counting.reads_of(offset_path), 0u);
+        EXPECT_GT(counting.writes_of(offset_path), writes_before);
+        writes_before = counting.writes_of(offset_path);
+    }
+
+    // A catch-up round with nothing new: no read AND no write (the
+    // flush is a no-op while the in-memory offset is clean).
+    replicator.sync();
+    EXPECT_EQ(counting.reads_of(offset_path), 0u);
+    EXPECT_EQ(counting.writes_of(offset_path), writes_before);
+
+    // Restart the follower: the one legitimate read, resuming from the
+    // persisted offset instead of re-pulling from zero.
+    const std::uint64_t acked_before = follower->acked_lsn();
+    ASSERT_GT(acked_before, 0u);
+    follower.reset();
+    follower = std::make_unique<Node>(
+        counting, dir_ / "f", NodeOptions{.role = Role::kFollower});
+    EXPECT_EQ(counting.reads_of(offset_path), 1u);
+    EXPECT_EQ(follower->acked_lsn(), acked_before);
+
+    // And after the restart the invariant holds again: pump rounds
+    // write without ever re-reading.
+    Replicator after_restart(*follower, pump_wire);
+    client.update(generator.make(99));
+    after_restart.sync();
+    after_restart.sync();
+    EXPECT_EQ(counting.reads_of(offset_path), 1u);
+    EXPECT_GT(counting.writes_of(offset_path), writes_before);
+}
+
+}  // namespace
+}  // namespace mie::cluster

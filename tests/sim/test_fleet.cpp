@@ -1,0 +1,186 @@
+// Fleet workload generator tests: Zipf distribution shape, script
+// determinism (the soak harness's replay-exactly contract), live-set
+// consistency (updates/removes always target objects that exist at that
+// point of the schedule), session churn accounting, and device mix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "util/rng.hpp"
+
+namespace mie::sim {
+namespace {
+
+TEST(ZipfDistributionTest, MassSumsToOneAndDecreasesByRank) {
+    const ZipfDistribution zipf(16, 1.1);
+    double total = 0.0;
+    for (std::size_t rank = 0; rank < zipf.num_ranks(); ++rank) {
+        total += zipf.probability(rank);
+        if (rank > 0) {
+            EXPECT_LT(zipf.probability(rank), zipf.probability(rank - 1))
+                << "rank " << rank;
+        }
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // s = 1.1 over 16 ranks: the hottest rank takes a dominant share.
+    EXPECT_GT(zipf.probability(0), 0.25);
+}
+
+TEST(ZipfDistributionTest, SamplingIsDeterministicAndHotRankDominates) {
+    const ZipfDistribution zipf(8, 1.1);
+    SplitMix64 a(77);
+    SplitMix64 b(77);
+    std::vector<std::size_t> counts(8, 0);
+    for (int i = 0; i < 2000; ++i) {
+        const std::size_t rank = zipf.sample(a);
+        EXPECT_EQ(rank, zipf.sample(b));
+        ASSERT_LT(rank, 8u);
+        ++counts[rank];
+    }
+    EXPECT_EQ(*std::max_element(counts.begin(), counts.end()), counts[0]);
+    EXPECT_GT(counts[0], counts[7]);
+}
+
+TEST(ZipfDistributionTest, SingleRankAlwaysSamplesZero) {
+    const ZipfDistribution zipf(1, 1.1);
+    SplitMix64 rng(1);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+FleetParams small_params() {
+    FleetParams params;
+    params.seed = 42;
+    params.num_users = 10'000;
+    params.num_repositories = 4;
+    params.active_sessions = 8;
+    params.num_events = 200;
+    params.setup_objects_per_repo = 3;
+    return params;
+}
+
+bool events_equal(const FleetEvent& a, const FleetEvent& b) {
+    return a.kind == b.kind && a.user_id == b.user_id && a.repo == b.repo &&
+           a.object_id == b.object_id && a.mobile == b.mobile;
+}
+
+// The soak harness's whole reproducibility story rests on this: one seed,
+// one script, bit-for-bit.
+TEST(FleetScriptTest, SameSeedSameScript) {
+    const FleetScript a = FleetScript::generate(small_params());
+    const FleetScript b = FleetScript::generate(small_params());
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_TRUE(events_equal(a.events[i], b.events[i])) << "event " << i;
+    }
+    EXPECT_EQ(a.setup, b.setup);
+    EXPECT_EQ(a.live, b.live);
+    EXPECT_EQ(a.count_by_kind, b.count_by_kind);
+    EXPECT_EQ(a.sessions_started, b.sessions_started);
+
+    FleetParams other = small_params();
+    other.seed = 43;
+    const FleetScript c = FleetScript::generate(other);
+    bool any_difference = false;
+    for (std::size_t i = 0; i < std::min(a.events.size(), c.events.size());
+         ++i) {
+        if (!events_equal(a.events[i], c.events[i])) any_difference = true;
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+// Replay the schedule against per-repo sets and confirm every update and
+// remove targets a live object, ids never collide, and the script's
+// declared end state matches the replayed one.
+TEST(FleetScriptTest, EventsRespectLiveSetsAndEndStateMatches) {
+    const FleetScript script = FleetScript::generate(small_params());
+    ASSERT_EQ(script.events.size(), small_params().num_events);
+
+    std::vector<std::set<std::uint64_t>> live(4);
+    std::set<std::uint64_t> ever;
+    for (std::uint32_t repo = 0; repo < 4; ++repo) {
+        ASSERT_EQ(script.setup[repo].size(), 3u);
+        for (const std::uint64_t id : script.setup[repo]) {
+            EXPECT_TRUE(ever.insert(id).second) << "setup id reused";
+            live[repo].insert(id);
+        }
+    }
+    for (const FleetEvent& event : script.events) {
+        ASSERT_LT(event.repo, 4u);
+        ASSERT_LT(event.user_id, small_params().num_users);
+        switch (event.kind) {
+            case FleetOpKind::kAdd:
+                EXPECT_TRUE(ever.insert(event.object_id).second)
+                    << "added id reused";
+                live[event.repo].insert(event.object_id);
+                break;
+            case FleetOpKind::kUpdate:
+                EXPECT_EQ(live[event.repo].count(event.object_id), 1u);
+                break;
+            case FleetOpKind::kRemove:
+                EXPECT_EQ(live[event.repo].erase(event.object_id), 1u);
+                break;
+            case FleetOpKind::kSearch:
+                break;  // queries may probe ids that never existed
+        }
+    }
+    for (std::uint32_t repo = 0; repo < 4; ++repo) {
+        const std::set<std::uint64_t> declared(script.live[repo].begin(),
+                                               script.live[repo].end());
+        EXPECT_EQ(declared, live[repo]) << "repo " << repo;
+    }
+
+    std::size_t total = 0;
+    for (const std::size_t count : script.count_by_kind) total += count;
+    EXPECT_EQ(total, script.events.size());
+    EXPECT_GT(script.count_by_kind[static_cast<std::size_t>(
+                  FleetOpKind::kAdd)], 0u);
+    EXPECT_GT(script.count_by_kind[static_cast<std::size_t>(
+                  FleetOpKind::kSearch)], 0u);
+}
+
+TEST(FleetScriptTest, ChurnBoundsSessionCount) {
+    FleetParams params = small_params();
+    params.session_churn = 0.0;
+    EXPECT_EQ(FleetScript::generate(params).sessions_started,
+              params.active_sessions);
+    params.session_churn = 1.0;
+    EXPECT_EQ(FleetScript::generate(params).sessions_started,
+              params.active_sessions + params.num_events);
+}
+
+TEST(FleetScriptTest, MobileFractionExtremesPinDeviceClass) {
+    FleetParams params = small_params();
+    params.mobile_fraction = 1.0;
+    for (const FleetEvent& event : FleetScript::generate(params).events) {
+        EXPECT_TRUE(event.mobile);
+        EXPECT_EQ(fleet_device(event).name, DeviceProfile::mobile().name);
+    }
+    params.mobile_fraction = 0.0;
+    for (const FleetEvent& event : FleetScript::generate(params).events) {
+        EXPECT_FALSE(event.mobile);
+        EXPECT_EQ(fleet_device(event).name, DeviceProfile::desktop().name);
+    }
+}
+
+TEST(FleetScriptTest, RemovesCanBeDisabled) {
+    FleetParams params = small_params();
+    params.remove_weight = 0.0;
+    params.update_weight = 0.0;
+    const FleetScript script = FleetScript::generate(params);
+    EXPECT_EQ(script.count_by_kind[static_cast<std::size_t>(
+                  FleetOpKind::kRemove)], 0u);
+    EXPECT_EQ(script.count_by_kind[static_cast<std::size_t>(
+                  FleetOpKind::kUpdate)], 0u);
+}
+
+TEST(FleetObjectIdTest, RepoTagKeepsIdsGloballyUnique) {
+    EXPECT_NE(fleet_object_id(0, 7), fleet_object_id(1, 7));
+    EXPECT_EQ(fleet_object_id(2, 7) >> 48, 3u);  // repo + 1 in the tag
+    EXPECT_EQ(fleet_object_id(2, 7) & 0xffffffffffffull, 7u);
+}
+
+}  // namespace
+}  // namespace mie::sim

@@ -1,0 +1,153 @@
+// Soak harness tests: a small chaos-enabled run keeps all four invariant
+// oracles green, the same seed reproduces the same oracle outcomes and
+// state digest, and a chaos-free run reports no failovers or recoveries.
+//
+// These are the tier-1 versions of the nightly soak: the event counts
+// are small enough for CI, but the full machinery runs — reactor-hosted
+// nodes over real TCP, fault-injected client links, a follower power
+// loss, and a primary kill with failover and re-replication.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "soak/harness.hpp"
+
+namespace mie::soak {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SoakTest : public ::testing::Test {
+protected:
+    SoakTest()
+        : dir_(fs::temp_directory_path() /
+               ("mie_soak_" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()) +
+                "_" + std::to_string(::getpid()))) {}
+
+    ~SoakTest() override {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    SoakOptions small_options(const std::string& run) const {
+        SoakOptions options;
+        options.root_dir = dir_ / run;
+        options.seed = 7040;
+        options.num_shards = 2;
+        options.epochs = 2;
+        options.fleet.num_events = 10;  // per epoch
+        options.fleet.num_repositories = 4;
+        options.fleet.active_sessions = 8;
+        options.fleet.setup_objects_per_repo = 3;
+        options.search_probes = 2;
+        return options;
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(SoakTest, ChaosEpochKeepsAllOraclesGreen) {
+    const SoakReport report = run_soak(small_options("chaos"));
+
+    EXPECT_TRUE(report.all_oracles_green());
+    ASSERT_EQ(report.epochs.size(), 2u);
+    for (const EpochReport& epoch : report.epochs) {
+        EXPECT_TRUE(epoch.oracles.exactly_once);
+        EXPECT_TRUE(epoch.oracles.scatter_gather);
+        EXPECT_TRUE(epoch.oracles.offsets_monotone);
+        EXPECT_TRUE(epoch.oracles.secrets_redacted);
+        EXPECT_EQ(epoch.operations, 10u);
+        EXPECT_EQ(epoch.acked, epoch.operations);
+    }
+
+    // Every workload op was acknowledged despite the chaos.
+    EXPECT_EQ(report.operations, 20u);
+    EXPECT_EQ(report.acked, 20u);
+
+    // The chaos actually happened: one follower power loss (a recovery)
+    // and one primary kill (a failover plus a replacement bootstrap).
+    EXPECT_EQ(report.failovers, 1u);
+    EXPECT_EQ(report.recoveries, 2u);
+
+    EXPECT_GT(report.throughput_ops_per_sec, 0.0);
+    EXPECT_GE(report.p95_ms, report.p50_ms);
+    EXPECT_GE(report.p99_ms, report.p95_ms);
+    EXPECT_NE(report.state_digest, 0u);
+    EXPECT_GT(report.mobile_energy_mah, 0.0);
+}
+
+// The replay-exactly contract: two runs from the same seed must agree on
+// every deterministic counter and on the final state digest. (Latency
+// fields are wall clock and deliberately excluded.)
+TEST_F(SoakTest, SameSeedReproducesOracleOutcomesAndStateDigest) {
+    const SoakReport a = run_soak(small_options("run-a"));
+    const SoakReport b = run_soak(small_options("run-b"));
+
+    EXPECT_EQ(a.state_digest, b.state_digest);
+    EXPECT_EQ(a.operations, b.operations);
+    EXPECT_EQ(a.acked, b.acked);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.faults_injected, b.faults_injected);
+    EXPECT_EQ(a.failovers, b.failovers);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+    EXPECT_EQ(a.replays_suppressed, b.replays_suppressed);
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+        EXPECT_EQ(a.epochs[i].operations, b.epochs[i].operations);
+        EXPECT_EQ(a.epochs[i].retries, b.epochs[i].retries);
+        EXPECT_EQ(a.epochs[i].failovers, b.epochs[i].failovers);
+        EXPECT_EQ(a.epochs[i].recoveries, b.epochs[i].recoveries);
+        EXPECT_EQ(a.epochs[i].oracles.all_green(),
+                  b.epochs[i].oracles.all_green());
+    }
+}
+
+TEST_F(SoakTest, DifferentSeedChangesTheStateDigest) {
+    SoakOptions other = small_options("other-seed");
+    other.seed = 7041;
+    const SoakReport a = run_soak(small_options("base-seed"));
+    const SoakReport b = run_soak(other);
+    EXPECT_TRUE(a.all_oracles_green());
+    EXPECT_TRUE(b.all_oracles_green());
+    EXPECT_NE(a.state_digest, b.state_digest);
+}
+
+// With chaos off the harness must not invent any: clean links, no
+// failovers, no recoveries — and the oracles hold trivially.
+TEST_F(SoakTest, QuietRunReportsNoChaos) {
+    SoakOptions options = small_options("quiet");
+    options.fault_rate = 0.0;
+    options.kill_primary = false;
+    options.power_loss_follower = false;
+    options.epochs = 1;
+
+    const SoakReport report = run_soak(options);
+    EXPECT_TRUE(report.all_oracles_green());
+    EXPECT_EQ(report.faults_injected, 0u);
+    EXPECT_EQ(report.retries, 0u);
+    EXPECT_EQ(report.failovers, 0u);
+    EXPECT_EQ(report.recoveries, 0u);
+    EXPECT_EQ(report.replays_suppressed, 0u);
+}
+
+TEST_F(SoakTest, JsonReportCarriesSchemaVersionAndOracles) {
+    SoakOptions options = small_options("json");
+    options.epochs = 1;
+    options.fleet.num_events = 6;
+    const SoakReport report = run_soak(options);
+    const std::string json = report.to_json();
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"bench\": \"soak\""), std::string::npos);
+    EXPECT_NE(json.find("\"all_oracles_green\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"state_digest\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mie::soak
