@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 #include <numbers>
+#include <sstream>
 
 #include "common.hpp"
 #include "eval/leakage.hpp"
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
               << "t = 0.5 * delta * sqrt(pi/2); the paper's prototype uses "
                  "t = 0.5\n";
     mie::TextTable threshold_table({"delta", "threshold t", "mAP (%)"});
+    std::ostringstream threshold_json;
     for (const double factor : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0}) {
         const double delta = unit_delta * factor;
         const double t = 0.5 * delta * std::sqrt(std::numbers::pi / 2.0);
@@ -60,12 +62,16 @@ int main(int argc, char** argv) {
         threshold_table.add_row({mie::fmt_double(delta, 3),
                                  mie::fmt_double(t, 3),
                                  mie::fmt_double(map, 2)});
+        if (threshold_json.tellp() > 0) threshold_json << ",";
+        threshold_json << "{\"delta\":" << delta << ",\"t\":" << t
+                       << ",\"map_pct\":" << map << "}";
     }
     threshold_table.print(std::cout);
     std::cout << "Shape: precision collapses when t is far below the "
                  "typical descriptor distance (over-aggressive hiding) and "
                  "plateaus once t covers the nearest-neighbor range.\n";
 
+    std::ostringstream attack_json;
     std::cout << "\n=== Ablation F: the security side of the threshold "
                  "dial ===\n"
               << "Honest-but-curious server clusters the stored encodings "
@@ -100,9 +106,14 @@ int main(int argc, char** argv) {
                                               encodings, labels, 7);
             const double t =
                 0.5 * delta * std::sqrt(std::numbers::pi / 2.0);
+            const double map = map_with_dpe(delta, 64, 77);
             table.add_row({mie::fmt_double(delta, 3), mie::fmt_double(t, 3),
                            mie::fmt_double(attack, 1),
-                           mie::fmt_double(map_with_dpe(delta, 64, 77), 1)});
+                           mie::fmt_double(map, 1)});
+            if (attack_json.tellp() > 0) attack_json << ",";
+            attack_json << "{\"delta\":" << delta << ",\"t\":" << t
+                        << ",\"attack_accuracy_pct\":" << attack
+                        << ",\"map_pct\":" << map << "}";
         }
         table.print(std::cout);
         std::cout << "Shape: the threshold is a genuine dial — raising t "
@@ -114,14 +125,26 @@ int main(int argc, char** argv) {
     std::cout << "\n=== Ablation B: Dense-DPE output size M vs precision "
                  "and encoding bytes ===\n";
     mie::TextTable size_table({"M (bits)", "mAP (%)", "bytes/descriptor"});
+    std::ostringstream size_json;
     for (const std::size_t bits : {16u, 32u, 64u, 128u, 256u}) {
         const double map = map_with_dpe(unit_delta, bits, 78);
+        const std::size_t bytes = 8 + ((bits + 63) / 64) * 8;
         size_table.add_row({std::to_string(bits), mie::fmt_double(map, 2),
-                            std::to_string(8 + ((bits + 63) / 64) * 8)});
+                            std::to_string(bytes)});
+        if (size_json.tellp() > 0) size_json << ",";
+        size_json << "{\"bits\":" << bits << ",\"map_pct\":" << map
+                  << ",\"bytes_per_descriptor\":" << bytes << "}";
     }
     size_table.print(std::cout);
     std::cout << "Shape: precision saturates once M reaches the input "
                  "dimensionality (the paper uses M = N = 64); smaller M "
                  "trades precision for bandwidth.\n";
+
+    std::ostringstream json;
+    json << json_header("ablation_dpe") << ",\"threshold_sweep\":["
+         << threshold_json.str() << "],\"attack_sweep\":["
+         << attack_json.str() << "],\"output_size_sweep\":["
+         << size_json.str() << "]}";
+    emit_json(argc, argv, json.str());
     return 0;
 }

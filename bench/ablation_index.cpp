@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <sstream>
 
 #include <unordered_set>
 
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
     using namespace mie;
     using namespace mie::bench;
 
+    std::ostringstream vocab_json, fusion_json, ranking_json, champion_json;
     std::cout << "=== Ablation C: vocabulary size vs precision (MIE) ===\n";
     {
         const auto dataset = make_dataset(301);
@@ -64,6 +66,10 @@ int main(int argc, char** argv) {
             table.add_row({std::to_string(branch) + "^" +
                                std::to_string(depth),
                            std::to_string(max_words), fmt_double(map, 2)});
+            if (vocab_json.tellp() > 0) vocab_json << ",";
+            vocab_json << "{\"branch\":" << branch << ",\"depth\":" << depth
+                       << ",\"max_words\":" << max_words
+                       << ",\"map_pct\":" << map << "}";
         }
         table.print(std::cout);
         std::cout << "Shape: too few visual words blur objects together; "
@@ -119,10 +125,12 @@ int main(int argc, char** argv) {
                 ranked_lists.push_back(std::move(ranked));
                 relevant_sets.push_back(std::move(relevant));
             }
-            table.add_row(
-                {name, fmt_double(100.0 * eval::mean_average_precision(
-                                              ranked_lists, relevant_sets),
-                                  2)});
+            const double map = 100.0 * eval::mean_average_precision(
+                                           ranked_lists, relevant_sets);
+            table.add_row({name, fmt_double(map, 2)});
+            if (fusion_json.tellp() > 0) fusion_json << ",";
+            fusion_json << "{\"fusion\":\"" << json_escape(name)
+                        << "\",\"map_pct\":" << map << "}";
         }
         table.print(std::cout);
         std::cout << "Shape: all three fusers land within a few mAP points; "
@@ -154,6 +162,12 @@ int main(int argc, char** argv) {
                                ? "TF-IDF (paper default)"
                                : "BM25",
                            fmt_double(map, 2)});
+            if (ranking_json.tellp() > 0) ranking_json << ",";
+            ranking_json << "{\"ranking\":\""
+                         << (ranking == TrainParams::Ranking::kTfIdf
+                                 ? "tfidf"
+                                 : "bm25")
+                         << "\",\"map_pct\":" << map << "}";
         }
         table.print(std::cout);
         std::cout << "Shape: BM25 (the 'more complex function' the paper's §VI "
@@ -189,11 +203,24 @@ int main(int argc, char** argv) {
                            std::to_string(hot),
                            std::to_string(champ.spilled_postings()),
                            fmt_double(static_cast<double>(hot) / total, 3)});
+            if (champion_json.tellp() > 0) champion_json << ",";
+            champion_json << "{\"champion_size\":" << champion_size
+                          << ",\"hot_postings\":" << hot
+                          << ",\"spilled\":" << champ.spilled_postings()
+                          << ",\"hot_fraction\":"
+                          << static_cast<double>(hot) / total << "}";
         }
         table.print(std::cout);
         std::cout << "Shape: memory residency is bounded by R per term "
                      "regardless of collection growth — the §VI technique "
                      "that keeps the cloud index in RAM.\n";
     }
+
+    std::ostringstream json;
+    json << json_header("ablation_index") << ",\"vocabulary_sweep\":["
+         << vocab_json.str() << "],\"fusion_sweep\":[" << fusion_json.str()
+         << "],\"ranking_sweep\":[" << ranking_json.str()
+         << "],\"champion_sweep\":[" << champion_json.str() << "]}";
+    emit_json(argc, argv, json.str());
     return 0;
 }

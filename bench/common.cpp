@@ -1,7 +1,9 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string_view>
 #include <unordered_set>
 
@@ -85,6 +87,39 @@ std::size_t scaled(std::size_t base_count) {
     return std::max<std::size_t>(
         4, static_cast<std::size_t>(
                static_cast<double>(base_count) * bench_scale()));
+}
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string json_header(std::string_view bench) {
+    std::ostringstream json;
+    json << "{\"schema_version\":1,\"bench\":\"" << json_escape(bench)
+         << "\",\"threads\":" << bench_threads()
+         << ",\"scale\":" << bench_scale();
+    return json.str();
+}
+
+void emit_json(int argc, char** argv, const std::string& json) {
+    std::cout << "\n" << json << "\n";
+    const std::string path = parse_string_flag(argc, argv, "--json", "");
+    if (!path.empty()) {
+        std::ofstream file(path);
+        file << json << "\n";
+        std::cout << "JSON summary written to " << path << "\n";
+    }
 }
 
 namespace {
@@ -220,6 +255,14 @@ CostBreakdown CostBreakdown::minus(const CostBreakdown& other) const {
         .index = index - other.index,
         .train = train - other.train,
     };
+}
+
+std::string CostBreakdown::to_json() const {
+    std::ostringstream json;
+    json << "{\"encrypt\":" << encrypt << ",\"network\":" << network
+         << ",\"index\":" << index << ",\"train\":" << train
+         << ",\"total\":" << total() << "}";
+    return json.str();
 }
 
 CostBreakdown run_load_workload(SchemeBundle& bundle,

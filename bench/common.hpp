@@ -52,6 +52,18 @@ double parse_double_flag(int argc, char** argv, std::string_view name,
 std::string parse_string_flag(int argc, char** argv, std::string_view name,
                               std::string_view fallback);
 
+/// JSON string escaping for the bench summaries.
+std::string json_escape(std::string_view s);
+
+/// Opens the machine-readable summary every bench main emits:
+/// `{"schema_version":1,"bench":"<name>","threads":N,"scale":S` — callers
+/// append their own fields and the closing brace.
+std::string json_header(std::string_view bench);
+
+/// Prints `json` to stdout and, when `--json PATH` was passed, writes it
+/// (newline-terminated) to PATH as well.
+void emit_json(int argc, char** argv, const std::string& json);
+
 /// Device profile with the bench link scaling applied (the same
 /// adjustment make_bundle performs internally) — for benches that build
 /// their own transport stacks.
@@ -98,6 +110,8 @@ struct CostBreakdown {
     double total() const { return encrypt + network + index + train; }
     static CostBreakdown of(const sim::CostMeter& meter);
     CostBreakdown minus(const CostBreakdown& other) const;
+    /// `{"encrypt":..,"network":..,"index":..,"train":..,"total":..}`.
+    std::string to_json() const;
 };
 
 /// Runs the repository-load workload (create + N updates + train) and

@@ -9,6 +9,7 @@
 // MIE < MSSE < Hom-MSSE.
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 
 #include "common.hpp"
 
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
     mie::bench::configure_threads(argc, argv);
     using namespace mie;
     using namespace mie::bench;
+    std::ostringstream rows;
 
     const auto device = sim::DeviceProfile::mobile();
     const auto generator = default_generator();
@@ -30,13 +32,17 @@ int main(int argc, char** argv) {
 
     for (const Scheme scheme : kAllSchemes) {
         std::vector<std::string> labels;
-        std::vector<CostBreakdown> rows;
+        std::vector<CostBreakdown> costs;
         for (const std::size_t size : sizes) {
             SchemeBundle bundle = make_bundle(scheme, device, 7);
-            rows.push_back(run_load_workload(bundle, generator, size));
+            costs.push_back(run_load_workload(bundle, generator, size));
             labels.push_back(std::to_string(size) + " objects");
+            if (rows.tellp() > 0) rows << ",";
+            rows << "{\"scheme\":\"" << scheme_name(scheme)
+                 << "\",\"objects\":" << size
+                 << ",\"seconds\":" << costs.back().to_json() << "}";
         }
-        print_cost_table("Scheme: " + scheme_name(scheme), labels, rows);
+        print_cost_table("Scheme: " + scheme_name(scheme), labels, costs);
     }
 
     std::cout << "\nShape checks (smallest size, fresh runs):\n";
@@ -66,5 +72,19 @@ int main(int argc, char** argv) {
                     ? "yes"
                     : "NO",
                 mie_cost.total(), msse.total(), hom.total());
+
+    std::ostringstream json;
+    json << json_header("fig2_update_mobile") << ",\"device\":\""
+         << json_escape(device.name) << "\",\"rows\":[" << rows.str()
+         << "],\"shape\":{\"mie_train_zero\":"
+         << (mie_cost.train == 0.0 ? "true" : "false")
+         << ",\"mie_index_lt_msse\":"
+         << (mie_cost.index < msse.index ? "true" : "false")
+         << ",\"total_order_mie_msse_hom\":"
+         << ((mie_cost.total() < msse.total() && msse.total() < hom.total())
+                 ? "true"
+                 : "false")
+         << "}}";
+    emit_json(argc, argv, json.str());
     return 0;
 }

@@ -3,6 +3,7 @@
 // roughly one order of magnitude faster.
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 
 #include "common.hpp"
 
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
     std::cout << "=== Figure 3: update/load performance, desktop client ("
               << desktop.name << ") ===\n";
 
+    std::ostringstream rows_json;
     for (const Scheme scheme : kAllSchemes) {
         std::vector<std::string> labels;
         std::vector<CostBreakdown> rows;
@@ -27,6 +29,10 @@ int main(int argc, char** argv) {
             SchemeBundle bundle = make_bundle(scheme, desktop, 7);
             rows.push_back(run_load_workload(bundle, generator, size));
             labels.push_back(std::to_string(size) + " objects");
+            if (rows_json.tellp() > 0) rows_json << ",";
+            rows_json << "{\"scheme\":\"" << scheme_name(scheme)
+                      << "\",\"objects\":" << size
+                      << ",\"seconds\":" << rows.back().to_json() << "}";
         }
         print_cost_table("Scheme: " + scheme_name(scheme), labels, rows);
     }
@@ -45,5 +51,12 @@ int main(int argc, char** argv) {
         mobile_cost.encrypt + mobile_cost.index + mobile_cost.train;
     std::printf("  mobile/desktop CPU ratio: %.1fx (expected ~10x)\n",
                 mobile_cpu / desktop_cpu);
+
+    std::ostringstream json;
+    json << json_header("fig3_update_desktop") << ",\"device\":\""
+         << json_escape(desktop.name) << "\",\"rows\":[" << rows_json.str()
+         << "],\"mobile_over_desktop_cpu\":" << mobile_cpu / desktop_cpu
+         << "}";
+    emit_json(argc, argv, json.str());
     return 0;
 }

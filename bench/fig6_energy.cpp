@@ -17,6 +17,7 @@
 // object workloads, MSSE and MIE never do.
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 
 #include "common.hpp"
 #include "util/table.hpp"
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
 
     std::array<double, 3> add_energy{};
     std::array<double, 3> train_energy{};
+    std::ostringstream rows_json;
     for (std::size_t s = 0; s < kAllSchemes.size(); ++s) {
         const Scheme scheme = kAllSchemes[s];
         for (const std::size_t size : sizes) {
@@ -90,6 +92,16 @@ int main(int argc, char** argv) {
                 add_energy[s] = add_mah;
                 train_energy[s] = train_mah;
             }
+            if (rows_json.tellp() > 0) rows_json << ",";
+            rows_json << "{\"scheme\":\"" << scheme_name(scheme)
+                      << "\",\"objects\":" << size
+                      << ",\"add_mah\":" << add_mah
+                      << ",\"train_mah\":" << train_mah
+                      << ",\"paper_add_mah\":" << paper_add
+                      << ",\"paper_train_mah\":" << paper_train
+                      << ",\"exceeds_battery\":"
+                      << (paper_add > device.battery_mah ? "true" : "false")
+                      << "}";
         }
     }
     table.print(std::cout);
@@ -111,5 +123,18 @@ int main(int argc, char** argv) {
                 "%.2f mAh; paper 2572 vs 2773)\n",
                 (train_energy[1] < 3.0 * train_energy[0]) ? "yes" : "NO",
                 train_energy[0], train_energy[1]);
+
+    std::ostringstream json;
+    json << json_header("fig6_energy")
+         << ",\"battery_mah\":" << device.battery_mah
+         << ",\"paper_scale\":" << paper_scale << ",\"rows\":["
+         << rows_json.str() << "],\"shape\":{\"mie_total_lowest\":"
+         << ((mie_total < msse_total && mie_total < hom_total) ? "true"
+                                                               : "false")
+         << ",\"mie_train_zero\":"
+         << (train_energy[2] < 1e-3 ? "true" : "false")
+         << ",\"hom_most_expensive\":"
+         << (hom_total > msse_total ? "true" : "false") << "}}";
+    emit_json(argc, argv, json.str());
     return 0;
 }

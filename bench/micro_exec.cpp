@@ -10,6 +10,7 @@
 #include <chrono>
 #include <limits>
 #include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "common.hpp"
@@ -40,13 +41,13 @@ double timed_at(std::size_t threads, int rounds, const auto& fn) {
     return best;
 }
 
-void emit(const char* name, double serial, double parallel,
-          std::size_t threads, bool first) {
-    std::printf("%s    {\"workload\": \"%s\", \"threads\": %zu, "
-                "\"serial_s\": %.6f, \"parallel_s\": %.6f, "
-                "\"speedup\": %.3f}",
-                first ? "" : ",\n", name, threads, serial, parallel,
-                parallel > 0.0 ? serial / parallel : 0.0);
+void emit(std::ostringstream& json, const char* name, double serial,
+          double parallel, std::size_t threads, bool first) {
+    if (!first) json << ",";
+    json << "{\"workload\":\"" << name << "\",\"threads\":" << threads
+         << ",\"serial_s\":" << serial << ",\"parallel_s\":" << parallel
+         << ",\"speedup\":" << (parallel > 0.0 ? serial / parallel : 0.0)
+         << "}";
 }
 
 }  // namespace
@@ -115,12 +116,14 @@ int main(int argc, char** argv) {
 
     exec::set_max_threads(0);
 
-    std::printf("{\n  \"bench\": \"micro_exec\",\n  \"threads\": %zu,\n"
-                "  \"workloads\": [\n",
-                threads);
-    emit("vocab_tree_train", train_serial, train_parallel, threads, true);
-    emit("surf_extract", surf_serial, surf_parallel, threads, false);
-    emit("dpe_encode_batch", dpe_serial, dpe_parallel, threads, false);
-    std::printf("\n  ]\n}\n");
+    std::ostringstream json;
+    json << mie::bench::json_header("micro_exec") << ",\"workloads\":[";
+    emit(json, "vocab_tree_train", train_serial, train_parallel, threads,
+         true);
+    emit(json, "surf_extract", surf_serial, surf_parallel, threads, false);
+    emit(json, "dpe_encode_batch", dpe_serial, dpe_parallel, threads,
+         false);
+    json << "]}";
+    mie::bench::emit_json(argc, argv, json.str());
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <sstream>
 #include <vector>
 
 #include "common.hpp"
@@ -31,19 +32,19 @@ double best_of(int rounds, const auto& fn) {
     return best;
 }
 
-void emit(const char* kernel, const char* unit, double scalar_rate,
-          double dispatched_rate, bool first) {
-    std::printf("%s    {\"kernel\": \"%s\", \"unit\": \"%s\", "
-                "\"scalar\": %.2f, \"dispatched\": %.2f, "
-                "\"speedup\": %.2f}",
-                first ? "" : ",\n", kernel, unit, scalar_rate,
-                dispatched_rate,
-                scalar_rate > 0.0 ? dispatched_rate / scalar_rate : 0.0);
+void emit(std::ostringstream& json, const char* kernel, const char* unit,
+          double scalar_rate, double dispatched_rate, bool first) {
+    if (!first) json << ",";
+    json << "{\"kernel\":\"" << kernel << "\",\"unit\":\"" << unit
+         << "\",\"scalar\":" << scalar_rate
+         << ",\"dispatched\":" << dispatched_rate << ",\"speedup\":"
+         << (scalar_rate > 0.0 ? dispatched_rate / scalar_rate : 0.0)
+         << "}";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     constexpr int kRounds = 5;
     const double scale = mie::bench::bench_scale();
     const auto& scalar = kernels::table_for(kernels::Level::kScalar);
@@ -130,21 +131,26 @@ int main() {
     }
 
     const auto& cpu = kernels::cpu_features();
-    std::printf(
-        "{\n  \"bench\": \"micro_kernels\",\n"
-        "  \"active_level\": \"%s\",\n  \"max_level\": \"%s\",\n"
-        "  \"cpu\": {\"sse2\": %d, \"sse42\": %d, \"avx2\": %d, "
-        "\"fma\": %d, \"aesni\": %d, \"pclmul\": %d},\n"
-        "  \"kernels\": [\n",
-        kernels::level_name(kernels::active_level()),
-        kernels::level_name(kernels::max_level()), cpu.sse2 ? 1 : 0,
-        cpu.sse42 ? 1 : 0, cpu.avx2 ? 1 : 0, cpu.fma ? 1 : 0,
-        cpu.aesni ? 1 : 0, cpu.pclmul ? 1 : 0);
-    emit("aes_ctr", "MB/s", mb / ctr_scalar_s, mb / ctr_dispatched_s, true);
-    emit("l2_squared_64d", "dist/s",
+    std::ostringstream json;
+    json << mie::bench::json_header("micro_kernels")
+         << ",\"active_level\":\""
+         << kernels::level_name(kernels::active_level())
+         << "\",\"max_level\":\""
+         << kernels::level_name(kernels::max_level())
+         << "\",\"cpu\":{\"sse2\":" << (cpu.sse2 ? 1 : 0)
+         << ",\"sse42\":" << (cpu.sse42 ? 1 : 0)
+         << ",\"avx2\":" << (cpu.avx2 ? 1 : 0)
+         << ",\"fma\":" << (cpu.fma ? 1 : 0)
+         << ",\"aesni\":" << (cpu.aesni ? 1 : 0)
+         << ",\"pclmul\":" << (cpu.pclmul ? 1 : 0) << "},\"kernels\":[";
+    emit(json, "aes_ctr", "MB/s", mb / ctr_scalar_s, mb / ctr_dispatched_s,
+         true);
+    emit(json, "l2_squared_64d", "dist/s",
          static_cast<double>(num_pairs) / l2_scalar_s,
          static_cast<double>(num_pairs) / l2_dispatched_s, false);
-    emit("crc32c", "MB/s", mb / crc_scalar_s, mb / crc_dispatched_s, false);
-    std::printf("\n  ]\n}\n");
+    emit(json, "crc32c", "MB/s", mb / crc_scalar_s, mb / crc_dispatched_s,
+         false);
+    json << "]}";
+    mie::bench::emit_json(argc, argv, json.str());
     return 0;
 }

@@ -5,7 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include <numbers>
+#include <sstream>
+#include <string_view>
+#include <vector>
 
+#include "common.hpp"
 #include "crypto/ctr.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/paillier.hpp"
@@ -147,4 +151,35 @@ BENCHMARK(BM_KMeansHammingIteration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): runs the suite through a
+// JSONReporter captured in memory, then wraps the raw report in the
+// repo-wide `schema_version` envelope and honors `--json PATH` like every
+// other bench. The `--json` flag is stripped before benchmark::Initialize
+// so google-benchmark's flag parser never sees it.
+int main(int argc, char** argv) {
+    std::vector<char*> bench_args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+            ++i;
+            continue;
+        }
+        bench_args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(bench_args.size());
+    benchmark::Initialize(&bench_argc, bench_args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_args.data())) {
+        return 1;
+    }
+
+    std::ostringstream raw;
+    benchmark::JSONReporter reporter;
+    reporter.SetOutputStream(&raw);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    const std::string json = mie::bench::json_header("micro_primitives") +
+                             ",\"google_benchmark\":" + raw.str() + "}";
+    mie::bench::emit_json(argc, argv, json);
+    return 0;
+}

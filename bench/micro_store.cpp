@@ -16,6 +16,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <limits>
+#include <sstream>
 #include <vector>
 
 #include "common.hpp"
@@ -145,6 +147,55 @@ int main(int argc, char** argv) {
         },
         rounds);
 
+    // --- restart cost: reopen the same directory after shutdown ----------
+    // Loads the full recorded workload into a DurableServer, optionally
+    // checkpoints, destroys it, then times construction (= recovery) of a
+    // fresh server over the same directory. Three variants:
+    //   mmap snapshot (default)  — recovery maps the snapshot file and
+    //                              validates header + TOC only, so open
+    //                              cost is O(1) in the indexed state;
+    //   legacy inline checkpoint — deserializes objects and RETRAINS;
+    //   pure WAL replay          — re-applies every logged request.
+    struct Restart {
+        double open_s = std::numeric_limits<double>::infinity();
+        std::size_t snapshot_bytes = 0;
+        bool from_checkpoint = false;
+        std::size_t replayed = 0;
+    };
+    const auto measure_restart = [&](bool mmap, bool checkpoint) {
+        DurableServer::Options options;
+        options.mmap_checkpoints = mmap;
+        const fs::path d = fresh_dir();
+        {
+            DurableServer server(store::PosixVfs::instance(), d, options);
+            for (const auto& request : requests) server.handle(request);
+            if (checkpoint) server.checkpoint_now();
+        }
+        Restart r;
+        for (int round = 0; round < rounds; ++round) {
+            const auto start = std::chrono::steady_clock::now();
+            DurableServer server(store::PosixVfs::instance(), d, options);
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            r.open_s = std::min(r.open_s, elapsed);
+            const auto stats = server.durability();
+            r.from_checkpoint = stats.recovered_from_checkpoint;
+            r.replayed = stats.recovered_records;
+        }
+        const fs::path snapshots = d / "snapshots";
+        if (fs::exists(snapshots)) {
+            for (const auto& entry : fs::directory_iterator(snapshots)) {
+                r.snapshot_bytes += fs::file_size(entry.path());
+            }
+        }
+        return r;
+    };
+    const Restart restart_mmap = measure_restart(true, true);
+    const Restart restart_legacy = measure_restart(false, true);
+    const Restart restart_replay = measure_restart(true, false);
+
     fs::remove_all(dir);
 
     const auto overhead = [&](double logged) {
@@ -159,8 +210,49 @@ int main(int argc, char** argv) {
                 "DurableServer (fsync every record):", logged_every,
                 overhead(logged_every));
 
+    std::printf("\n  restart after clean shutdown (best of %d):\n", rounds);
+    std::printf("    %-34s %8.2f ms  (snapshot %zu bytes, %zu records "
+                "replayed)\n",
+                "mmap snapshot (default):", restart_mmap.open_s * 1e3,
+                restart_mmap.snapshot_bytes, restart_mmap.replayed);
+    std::printf("    %-34s %8.2f ms\n",
+                "legacy inline checkpoint:", restart_legacy.open_s * 1e3);
+    std::printf("    %-34s %8.2f ms  (%zu records replayed)\n",
+                "pure WAL replay (no checkpoint):",
+                restart_replay.open_s * 1e3, restart_replay.replayed);
+
     const bool ok = overhead(logged_default) <= 25.0;
     std::printf("\n  default-policy overhead <= 25%%:    %s\n",
                 ok ? "yes" : "NO");
+
+    const auto bool_str = [](bool b) { return b ? "true" : "false"; };
+    std::ostringstream json;
+    json << json_header("micro_store") << ",\"seed_objects\":" << num_seed
+         << ",\"timed_updates\":" << num_updates
+         << ",\"updates_per_s\":{\"unlogged\":" << unlogged
+         << ",\"logged_default\":" << logged_default
+         << ",\"logged_every_record\":" << logged_every
+         << "},\"overhead_pct\":{\"logged_default\":"
+         << overhead(logged_default) << ",\"logged_every_record\":"
+         << overhead(logged_every) << "},\"restart\":{\"mmap_snapshot\":{"
+         << "\"open_s\":" << restart_mmap.open_s << ",\"from_checkpoint\":"
+         << bool_str(restart_mmap.from_checkpoint)
+         << ",\"wal_records_replayed\":" << restart_mmap.replayed
+         << ",\"snapshot_bytes\":" << restart_mmap.snapshot_bytes
+         << "},\"legacy_checkpoint\":{\"open_s\":" << restart_legacy.open_s
+         << ",\"from_checkpoint\":"
+         << bool_str(restart_legacy.from_checkpoint)
+         << "},\"wal_replay\":{\"open_s\":" << restart_replay.open_s
+         << ",\"wal_records_replayed\":" << restart_replay.replayed
+         << "},\"mmap_speedup_vs_wal_replay\":"
+         << (restart_mmap.open_s > 0.0
+                 ? restart_replay.open_s / restart_mmap.open_s
+                 : 0.0)
+         << ",\"mmap_speedup_vs_legacy\":"
+         << (restart_mmap.open_s > 0.0
+                 ? restart_legacy.open_s / restart_mmap.open_s
+                 : 0.0)
+         << "},\"overhead_le_25pct\":" << bool_str(ok) << "}";
+    emit_json(argc, argv, json.str());
     return ok ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 //     state) vs O(n) for MSSE/Hom-MSSE (the local feature/counter state).
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 
 #include "common.hpp"
 #include "util/stopwatch.hpp"
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
     const auto generator = default_generator();
     TextTable scaling({"Objects", "Indexed search (ms)", "Linear scan (ms)",
                        "linear/indexed"});
+    std::ostringstream rows_json;
     for (const std::size_t size :
          {scaled(40), scaled(80), scaled(160)}) {
         // Untrained repository: search -> linear scan.
@@ -62,6 +64,12 @@ int main(int argc, char** argv) {
         scaling.add_row({std::to_string(size), fmt_double(indexed_ms, 3),
                          fmt_double(linear_ms, 3),
                          fmt_double(linear_ms / indexed_ms, 1)});
+        if (rows_json.tellp() > 0) rows_json << ",";
+        rows_json << "{\"objects\":" << size
+                  << ",\"indexed_ms\":" << indexed_ms
+                  << ",\"linear_ms\":" << linear_ms
+                  << ",\"linear_over_indexed\":" << linear_ms / indexed_ms
+                  << "}";
     }
     scaling.print(std::cout);
 
@@ -77,5 +85,12 @@ int main(int argc, char** argv) {
     std::printf("  MSSE/Hom-MSSE: counter dictionary + plaintext feature "
                 "cache grow with every unique keyword (O(n)); see the "
                 "GetCtrs payloads in fig5_search.\n");
+
+    std::ostringstream json;
+    json << json_header("table1_complexity") << ",\"scaling_rows\":["
+         << rows_json.str()
+         << "],\"mie_repo_key_bytes\":" << repo_key.serialize().size()
+         << "}";
+    emit_json(argc, argv, json.str());
     return 0;
 }

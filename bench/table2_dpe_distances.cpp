@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <iostream>
 #include <numbers>
+#include <sstream>
 
+#include "common.hpp"
 #include "dpe/dense_dpe.hpp"
 #include "dpe/sparse_dpe.hpp"
 #include "util/rng.hpp"
@@ -45,8 +47,10 @@ FeatureVec at_distance(mie::SplitMix64& rng, const FeatureVec& p, double d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace mie;
+    std::array<double, 4> single_sample{};
+    std::array<double, 4> mean_of_200{};
 
     constexpr std::size_t kDims = 64;
     const double delta = std::sqrt(2.0 / std::numbers::pi);  // t = 0.5
@@ -68,9 +72,11 @@ int main() {
         const FeatureVec p = random_unit_vector(rng, kDims);
         const auto ep = dense.encode(p);
         std::vector<std::string> row = {"Dense-DPE (M=64, 1 sample)"};
-        for (const double dp : plaintext_distances) {
-            const auto eq = dense.encode(at_distance(rng, p, dp));
-            row.push_back(fmt_double(DenseDpe::distance(ep, eq), 4));
+        for (std::size_t i = 0; i < plaintext_distances.size(); ++i) {
+            const auto eq =
+                dense.encode(at_distance(rng, p, plaintext_distances[i]));
+            single_sample[i] = DenseDpe::distance(ep, eq);
+            row.push_back(fmt_double(single_sample[i], 4));
         }
         table.add_row(row);
     }
@@ -83,14 +89,17 @@ int main() {
         const dpe::DenseDpe dense(key);
         SplitMix64 rng(43);
         std::vector<std::string> row = {"Dense-DPE (mean of 200)"};
-        for (const double dp : plaintext_distances) {
+        for (std::size_t i = 0; i < plaintext_distances.size(); ++i) {
             double total = 0.0;
             for (int trial = 0; trial < 200; ++trial) {
                 const FeatureVec p = random_unit_vector(rng, kDims);
                 total += DenseDpe::distance(
-                    dense.encode(p), dense.encode(at_distance(rng, p, dp)));
+                    dense.encode(p),
+                    dense.encode(
+                        at_distance(rng, p, plaintext_distances[i])));
             }
-            row.push_back(fmt_double(total / 200.0, 4));
+            mean_of_200[i] = total / 200.0;
+            row.push_back(fmt_double(mean_of_200[i], 4));
         }
         table.add_row(row);
     }
@@ -117,5 +126,24 @@ int main() {
     std::cout << "\nShape: encoded ~= plaintext distance for dp < t; "
                  "saturation (~0.5-0.6) beyond t; Sparse-DPE reveals "
                  "equality only.\n";
+
+    std::ostringstream json;
+    json << bench::json_header("table2_dpe_distances")
+         << ",\"plaintext_distances\":[0,0.3,0.7,1],\"rows\":[";
+    const auto emit_row = [&](const char* name,
+                              const std::array<double, 4>& values,
+                              bool first) {
+        if (!first) json << ",";
+        json << "{\"row\":\"" << name << "\",\"encoded\":[";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (i != 0) json << ",";
+            json << values[i];
+        }
+        json << "]}";
+    };
+    emit_row("dense_single_sample", single_sample, true);
+    emit_row("dense_mean_200", mean_of_200, false);
+    json << "]}";
+    bench::emit_json(argc, argv, json.str());
     return 0;
 }

@@ -8,6 +8,7 @@
 // shape this bench reproduces on the synthetic Holidays stand-in.
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 
 #include "common.hpp"
 #include "util/table.hpp"
@@ -81,5 +82,16 @@ int main(int argc, char** argv) {
     std::printf("\nShape: all schemes within %.2f mAP points of plaintext "
                 "(paper: all within ~0.4 points): %s\n",
                 worst_gap, worst_gap < 5.0 ? "yes" : "NO");
+
+    std::ostringstream json;
+    json << json_header("table3_precision")
+         << ",\"groups\":" << num_groups << ",\"runs\":" << runs
+         << ",\"map_pct\":{";
+    for (std::size_t s = 0; s < 4; ++s) {
+        if (s != 0) json << ",";
+        json << "\"" << names[s] << "\":" << map_pct[s];
+    }
+    json << "},\"worst_gap_vs_plaintext\":" << worst_gap << "}";
+    emit_json(argc, argv, json.str());
     return 0;
 }

@@ -7,6 +7,7 @@
 //   addbatch <first> <count>    add a range of objects
 //   train                       trigger cloud-side training
 //   search <id> [k]             query-by-example with object <id>
+//   probes <P>                  IVF probe count for search (0 = exact)
 //   remove <id>                 remove object <id>
 //   stats                       server-side repository statistics
 //   costs                       client sub-operation cost summary
@@ -46,8 +47,8 @@ namespace {
 void print_help() {
     std::cout <<
         "commands: create | add <id> | addbatch <first> <count> | train\n"
-        "          search <id> [k] | remove <id> | stats | costs\n"
-        "          save <path> | load <path> | help | quit\n";
+        "          search <id> [k] | probes <P> | remove <id> | stats\n"
+        "          costs | save <path> | load <path> | help | quit\n";
 }
 
 }  // namespace
@@ -153,6 +154,26 @@ int main(int argc, char** argv) {
                                 result.score, object.text.c_str());
                 }
                 if (results.empty()) std::cout << "  (no results)\n";
+                const auto work = client.last_search_work();
+                if (work.query_descriptors > 0) {
+                    std::printf(
+                        "  (scored %llu postings; kept %llu/%llu query "
+                        "descriptors)\n",
+                        static_cast<unsigned long long>(
+                            work.postings_scored),
+                        static_cast<unsigned long long>(
+                            work.descriptors_kept),
+                        static_cast<unsigned long long>(
+                            work.query_descriptors));
+                }
+            } else if (command == "probes") {
+                std::size_t probes;
+                if (!(args >> probes)) {
+                    throw std::invalid_argument("probes <P>");
+                }
+                client.search_probes = probes;
+                std::cout << "search probes set to " << probes
+                          << (probes == 0 ? " (exact)" : "") << "\n";
             } else if (command == "remove") {
                 std::uint64_t id;
                 if (!(args >> id)) throw std::invalid_argument("remove <id>");

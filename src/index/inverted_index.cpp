@@ -1,6 +1,7 @@
 #include "index/inverted_index.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace mie::index {
 
@@ -52,6 +53,33 @@ std::vector<Term> InvertedIndex::terms_of(DocId doc) const {
     const auto it = doc_terms_.find(doc);
     if (it == doc_terms_.end()) return {};
     return std::vector<Term>(it->second.begin(), it->second.end());
+}
+
+std::vector<Term> InvertedIndex::sorted_terms() const {
+    std::vector<Term> terms;
+    terms.reserve(postings_.size());
+    // mielint: allow(R3): terms are sorted on the next line
+    for (const auto& [term, list] : postings_) terms.push_back(term);
+    std::sort(terms.begin(), terms.end());
+    return terms;
+}
+
+void InvertedIndex::load_postings(const Term& term,
+                                  std::vector<Posting> postings) {
+    if (postings.empty()) return;
+    if (postings_.contains(term)) {
+        throw std::invalid_argument(
+            "InvertedIndex: load_postings over an existing term");
+    }
+    for (std::size_t i = 0; i < postings.size(); ++i) {
+        if (i > 0 && postings[i].doc <= postings[i - 1].doc) {
+            throw std::invalid_argument(
+                "InvertedIndex: load_postings doc ids not ascending");
+        }
+        doc_terms_[postings[i].doc].insert(term);
+    }
+    num_postings_ += postings.size();
+    postings_.emplace(term, std::move(postings));
 }
 
 void InvertedIndex::clear() {

@@ -47,6 +47,17 @@ public:
     /// All terms of a document (empty if unknown).
     std::vector<Term> terms_of(DocId doc) const;
 
+    /// Every term in sorted order — the iteration the snapshot writer
+    /// uses, so serialized bytes never depend on hash-map layout (lint
+    /// rule R3).
+    std::vector<Term> sorted_terms() const;
+
+    /// Bulk-loads a term's postings during snapshot materialization. The
+    /// term must be new to the index and postings must carry unique,
+    /// ascending doc ids (the snapshot writer emits them that way; a
+    /// violation means the file is corrupt).
+    void load_postings(const Term& term, std::vector<Posting> postings);
+
     void clear();
 
 private:

@@ -1,0 +1,23 @@
+#include "index/ivf.hpp"
+
+#include "index/space.hpp"
+
+namespace mie::index {
+
+// The server quantizes Hamming-space DPE encodings; the plaintext
+// pipeline and the snapshot round-trip tests exercise the Euclidean
+// instantiation. Instantiating both here keeps every other translation
+// unit from re-expanding the templates.
+template class IvfQuantizer<HammingSpace>;
+template class IvfQuantizer<EuclideanSpace>;
+
+template QueryHistogram ivf_histogram<HammingSpace>(
+    const VocabTree<HammingSpace>&, const IvfQuantizer<HammingSpace>&,
+    const std::vector<HammingSpace::Point>&, std::size_t, IvfStats*,
+    const InvertedIndex*);
+template QueryHistogram ivf_histogram<EuclideanSpace>(
+    const VocabTree<EuclideanSpace>&, const IvfQuantizer<EuclideanSpace>&,
+    const std::vector<EuclideanSpace::Point>&, std::size_t, IvfStats*,
+    const InvertedIndex*);
+
+}  // namespace mie::index

@@ -1,0 +1,206 @@
+// Coarse-quantized (IVF-style) query path over the vocabulary tree.
+//
+// The root's children of a built vocab tree partition descriptor space
+// into `branch` coarse cells; their centroids are exactly the first-level
+// k-means centroids. The exact search path descends every query
+// descriptor through the full tree and scores every matching posting; the
+// ANN path assigns each descriptor to its nearest coarse cell (SIMD
+// distance via the Space policy -> src/kernels), keeps only P cells, and
+// contributes only the descriptors of surviving cells to the query
+// histogram. The histogram is a subset of the exact query's terms, so
+// posting-scoring work drops by the posting mass behind unprobed cells —
+// the recall/speed knob ROADMAP item 3 calls for, measured in
+// bench/fig5_search --probes.
+//
+// Cell selection is IDF-aware when the caller passes the inverted index:
+// cells are ranked by Σ over their descriptors of ln²(N / df(word)) — the
+// squared-IDF weighting of classic vocabulary-tree retrieval, which
+// tracks how much a term separates candidates rather than how much raw
+// score it adds. Multi-descriptor image queries concentrate many
+// descriptors in "background" cells whose words occur in most documents:
+// huge posting lists, IDF near zero, near-uniform score contribution.
+// Value ordering drops those first and keeps the discriminative cells,
+// which is what preserves recall while shedding most of the posting-
+// scoring work. Without an index the ranking falls back to raw votes.
+//
+// Determinism contract (same as the rest of the search path): bitwise
+// identical results at any thread count and any MIE_KERNEL_LEVEL. Cell
+// assignment and word descent are per-descriptor independent
+// (parallel_for into fixed slots); vote/cost aggregation and cell
+// selection are serial over integers, ties broken by higher votes then
+// lower cell id. probes == 0 (or >= the cell count, or an unbuilt
+// quantizer) reproduces the exact path bitwise: descending from the
+// nearest root child is precisely the exact greedy walk's first step.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "index/bovw.hpp"
+#include "index/inverted_index.hpp"
+#include "index/scoring.hpp"
+#include "index/vocab_tree.hpp"
+
+namespace mie::index {
+
+/// Probe accounting for one quantization pass (accumulates when reused
+/// across modalities; the server sums it into the search response).
+struct IvfStats {
+    std::uint64_t query_descriptors = 0;
+    std::uint64_t descriptors_kept = 0;  ///< landed in a probed cell
+    std::uint64_t cells_total = 0;
+    std::uint64_t cells_probed = 0;
+};
+
+template <typename Space>
+class IvfQuantizer {
+public:
+    using Point = typename Space::Point;
+
+    IvfQuantizer() = default;
+
+    /// Derives the coarse-cell table from a built tree. Cheap — it copies
+    /// the root's child list — so the server rebuilds it whenever the
+    /// tree is rebuilt (train, snapshot materialization) rather than
+    /// serializing it.
+    static IvfQuantizer build(const VocabTree<Space>& tree) {
+        IvfQuantizer ivf;
+        if (!tree.empty()) ivf.cells_ = tree.root_children();
+        return ivf;
+    }
+
+    bool empty() const { return cells_.empty(); }
+    std::size_t num_cells() const { return cells_.size(); }
+
+    /// Subtree root node of cell `c` (index into the tree's node array).
+    std::size_t cell_node(std::uint32_t c) const { return cells_[c]; }
+
+    /// Nearest coarse cell of `point`, ties toward the lower cell index —
+    /// the same comparison rule as the exact greedy descent, which is
+    /// what makes probes >= num_cells() bitwise-equal to exact.
+    std::uint32_t nearest_cell(const VocabTree<Space>& tree,
+                               const Point& point) const {
+        std::uint32_t best = 0;
+        double best_distance = std::numeric_limits<double>::infinity();
+        for (std::uint32_t c = 0; c < cells_.size(); ++c) {
+            const double d =
+                Space::distance(point, tree.centroid_of(cells_[c]));
+            if (d < best_distance) {
+                best_distance = d;
+                best = c;
+            }
+        }
+        return best;
+    }
+
+private:
+    std::vector<std::size_t> cells_;  ///< tree node index per coarse cell
+};
+
+/// Quantizes query descriptors into a visual-word histogram, probing only
+/// `probes` coarse cells; descriptors outside probed cells are dropped.
+/// With `index` the P cells carrying the most IDF-weighted query mass are
+/// kept; without it, the P most-voted. probes == 0, an unbuilt quantizer,
+/// or probes >= the cell count all fall back to the exact bovw_histogram.
+/// `tree` must be the tree `ivf` was built from; `index` (when given) the
+/// posting index the histogram will be ranked against.
+template <typename Space>
+QueryHistogram ivf_histogram(
+    const VocabTree<Space>& tree, const IvfQuantizer<Space>& ivf,
+    const std::vector<typename Space::Point>& descriptors,
+    std::size_t probes, IvfStats* stats = nullptr,
+    const InvertedIndex* index = nullptr) {
+    if (stats != nullptr) {
+        stats->query_descriptors += descriptors.size();
+        stats->cells_total += ivf.num_cells();
+    }
+    if (probes == 0 || ivf.empty() || probes >= ivf.num_cells()) {
+        if (stats != nullptr) {
+            stats->descriptors_kept += descriptors.size();
+            stats->cells_probed += ivf.num_cells();
+        }
+        return bovw_histogram(tree, descriptors);
+    }
+    if (descriptors.empty()) return {};
+
+    // Pass 1: per descriptor, nearest coarse cell and full descent to its
+    // leaf word — independent fixed-slot writes, so the fan-out cannot
+    // change results. The word equals the exact walk's, because the exact
+    // walk's first step picks that same cell; tree descent is cheap next
+    // to posting traversal, which is the work probing saves.
+    std::vector<std::uint32_t> nearest(descriptors.size());
+    std::vector<std::uint32_t> words(descriptors.size());
+    exec::parallel_for(0, descriptors.size(), 64, [&](std::size_t i) {
+        nearest[i] = ivf.nearest_cell(tree, descriptors[i]);
+        words[i] = static_cast<std::uint32_t>(
+            tree.quantize_from(ivf.cell_node(nearest[i]), descriptors[i]));
+    });
+
+    // Serial aggregation: integer votes per cell, plus (with an index)
+    // each cell's discrimination mass — Σ over its descriptors of
+    // ln²(N / df(word)). Serial accumulation in descriptor order keeps
+    // the sums bitwise reproducible.
+    std::vector<std::uint32_t> votes(ivf.num_cells(), 0);
+    std::vector<double> value(ivf.num_cells(), 0.0);
+    const double num_docs =
+        index != nullptr ? static_cast<double>(index->num_documents()) : 0.0;
+    for (std::size_t i = 0; i < descriptors.size(); ++i) {
+        const std::uint32_t c = nearest[i];
+        ++votes[c];
+        if (index != nullptr) {
+            const std::size_t df =
+                index->document_frequency(visual_word_term(words[i]));
+            if (df > 0) {
+                const double idf =
+                    std::log(num_docs / static_cast<double>(df));
+                if (idf > 0.0) value[c] += idf * idf;
+            }
+        }
+    }
+    if (index == nullptr) {
+        for (std::uint32_t c = 0; c < votes.size(); ++c) {
+            value[c] = votes[c];
+        }
+    }
+
+    // Cell selection: highest IDF-weighted mass first, ties toward higher
+    // votes then the lower cell id — a pure function of the query and the
+    // index. Cells no descriptor voted for carry no query terms, so they
+    // are never worth a probe slot.
+    std::vector<std::uint32_t> order(ivf.num_cells());
+    for (std::uint32_t c = 0; c < order.size(); ++c) order[c] = c;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (value[a] != value[b]) return value[a] > value[b];
+                  if (votes[a] != votes[b]) return votes[a] > votes[b];
+                  return a < b;
+              });
+    std::vector<std::uint8_t> probed(ivf.num_cells(), 0);
+    std::uint64_t cells_probed = 0;
+    for (std::size_t r = 0; r < probes && r < order.size(); ++r) {
+        if (votes[order[r]] == 0) break;
+        probed[order[r]] = 1;
+        ++cells_probed;
+    }
+
+    // Histogram accumulates serially from the ordered word list —
+    // identical at any thread count (same discipline as bovw_histogram).
+    QueryHistogram histogram;
+    std::uint64_t kept = 0;
+    for (std::size_t i = 0; i < descriptors.size(); ++i) {
+        if (probed[nearest[i]] == 0) continue;
+        ++kept;
+        ++histogram[visual_word_term(words[i])];
+    }
+    if (stats != nullptr) {
+        stats->descriptors_kept += kept;
+        stats->cells_probed += cells_probed;
+    }
+    return histogram;
+}
+
+}  // namespace mie::index

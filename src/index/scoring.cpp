@@ -24,7 +24,7 @@ std::vector<ScoredDoc> top_k_of(std::map<DocId, double> scores,
 std::vector<ScoredDoc> rank_tfidf(const InvertedIndex& index,
                                   const QueryHistogram& query,
                                   std::size_t total_documents,
-                                  std::size_t top_k) {
+                                  std::size_t top_k, RankCounters* counters) {
     std::map<DocId, double> scores;
     if (total_documents == 0) return {};
     for (const auto& [term, query_freq] : query) {
@@ -33,6 +33,10 @@ std::vector<ScoredDoc> rank_tfidf(const InvertedIndex& index,
         const double idf = std::log(static_cast<double>(total_documents) /
                                     static_cast<double>(list->size()));
         if (idf <= 0.0) continue;
+        if (counters != nullptr) {
+            ++counters->terms_matched;
+            counters->postings_scored += list->size();
+        }
         for (const Posting& posting : *list) {
             scores[posting.doc] +=
                 static_cast<double>(query_freq) * posting.frequency * idf;
@@ -44,7 +48,8 @@ std::vector<ScoredDoc> rank_tfidf(const InvertedIndex& index,
 std::vector<ScoredDoc> rank_bm25(const InvertedIndex& index,
                                  const QueryHistogram& query,
                                  std::size_t total_documents,
-                                 std::size_t top_k, const Bm25Params& params) {
+                                 std::size_t top_k, const Bm25Params& params,
+                                 RankCounters* counters) {
     if (total_documents == 0) return {};
     const double avg_length =
         index.num_documents() == 0
@@ -56,6 +61,10 @@ std::vector<ScoredDoc> rank_bm25(const InvertedIndex& index,
     for (const auto& [term, query_freq] : query) {
         const auto* list = index.postings(term);
         if (list == nullptr || list->empty()) continue;
+        if (counters != nullptr) {
+            ++counters->terms_matched;
+            counters->postings_scored += list->size();
+        }
         const double df = static_cast<double>(list->size());
         const double idf = std::log(
             1.0 + (static_cast<double>(total_documents) - df + 0.5) /

@@ -23,20 +23,31 @@ struct Bm25Params {
     double b = 0.75;
 };
 
+/// Work accounting for one ranking pass (accumulates across calls when
+/// the same struct is reused). `postings_scored` counts the
+/// (term, posting) pairs the scorer visited — exactly the quantity the
+/// IVF probe knob shrinks, and what bench/fig5_search --probes reports.
+struct RankCounters {
+    std::uint64_t terms_matched = 0;
+    std::uint64_t postings_scored = 0;
+};
+
 /// TF-IDF ranking: score(d) = Σ_t qf(t) * tf(d,t) * ln(N / df(t)).
 /// `total_documents` is the repository size N. Returns the top_k documents
 /// sorted by descending score (ties by ascending doc id).
 std::vector<ScoredDoc> rank_tfidf(const InvertedIndex& index,
                                   const QueryHistogram& query,
                                   std::size_t total_documents,
-                                  std::size_t top_k);
+                                  std::size_t top_k,
+                                  RankCounters* counters = nullptr);
 
 /// BM25 ranking with document length = number of postings of the document.
 std::vector<ScoredDoc> rank_bm25(const InvertedIndex& index,
                                  const QueryHistogram& query,
                                  std::size_t total_documents,
                                  std::size_t top_k,
-                                 const Bm25Params& params = Bm25Params{});
+                                 const Bm25Params& params = Bm25Params{},
+                                 RankCounters* counters = nullptr);
 
 /// Sorts scores descending and truncates to top_k (helper shared with the
 /// schemes that accumulate scores themselves).

@@ -1,0 +1,247 @@
+#include "index/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/crc32c.hpp"
+
+namespace mie::index {
+
+namespace {
+
+void append_padding(Bytes& out, std::size_t boundary) {
+    while (out.size() % boundary != 0) out.push_back(0);
+}
+
+}  // namespace
+
+// ---- SnapshotFileBuilder --------------------------------------------
+
+void SnapshotFileBuilder::add_section(std::string name, Bytes body) {
+    sections_.push_back(Section{std::move(name), std::move(body)});
+}
+
+Bytes SnapshotFileBuilder::finish() const {
+    // Header placeholder; the real fields land once offsets are known.
+    Bytes file(kSnapshotHeaderSize, 0);
+
+    struct Placed {
+        std::uint64_t offset = 0;
+        std::uint64_t size = 0;
+        std::uint32_t crc = 0;
+    };
+    std::vector<Placed> placed;
+    placed.reserve(sections_.size());
+    for (const Section& section : sections_) {
+        append_padding(file, 8);
+        Placed p;
+        p.offset = file.size();
+        p.size = section.body.size();
+        p.crc = crc32c(section.body);
+        file.insert(file.end(), section.body.begin(), section.body.end());
+        placed.push_back(p);
+    }
+    append_padding(file, 8);
+    const std::uint64_t toc_offset = file.size();
+
+    // TOC: written with the same aligned-writer discipline as sections
+    // (toc_offset is 8-aligned, so relative alignment is file alignment).
+    SnapshotWriter toc;
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+        toc.write_u64(placed[i].offset);
+        toc.write_u64(placed[i].size);
+        toc.write_u32(placed[i].crc);
+        toc.write_string(sections_[i].name);
+    }
+    const Bytes toc_bytes = toc.take();
+    file.insert(file.end(), toc_bytes.begin(), toc_bytes.end());
+
+    // Header, last: every field is now known.
+    std::memcpy(file.data(), kSnapshotMagic, sizeof(kSnapshotMagic));
+    Bytes scalar;
+    append_le(scalar, kSnapshotVersion);
+    append_le(scalar, static_cast<std::uint32_t>(sections_.size()));
+    append_le(scalar, static_cast<std::uint64_t>(file.size()));
+    append_le(scalar, toc_offset);
+    append_le(scalar, crc32c(toc_bytes));
+    std::memcpy(file.data() + 8, scalar.data(), scalar.size());
+    const std::uint32_t header_crc =
+        crc32c(BytesView(file.data(), kSnapshotHeaderSize - 4));
+    Bytes crc_bytes;
+    append_le(crc_bytes, header_crc);
+    std::memcpy(file.data() + kSnapshotHeaderSize - 4, crc_bytes.data(), 4);
+    return file;
+}
+
+// ---- MappedSnapshot -------------------------------------------------
+
+void MappedSnapshot::validate_layout() {
+    const BytesView file(data_, size_);
+    if (size_ < kSnapshotHeaderSize) {
+        throw SnapshotError("snapshot: file shorter than header");
+    }
+    if (std::memcmp(data_, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+        throw SnapshotError("snapshot: bad magic");
+    }
+    const std::uint32_t header_crc =
+        read_le<std::uint32_t>(file, kSnapshotHeaderSize - 4);
+    if (crc32c(BytesView(data_, kSnapshotHeaderSize - 4)) != header_crc) {
+        throw SnapshotError("snapshot: header checksum mismatch");
+    }
+    const std::uint32_t version = read_le<std::uint32_t>(file, 8);
+    if (version != kSnapshotVersion) {
+        throw SnapshotError("snapshot: unsupported version " +
+                            std::to_string(version));
+    }
+    const std::uint32_t section_count = read_le<std::uint32_t>(file, 12);
+    const std::uint64_t file_size = read_le<std::uint64_t>(file, 16);
+    const std::uint64_t toc_offset = read_le<std::uint64_t>(file, 24);
+    const std::uint32_t toc_crc = read_le<std::uint32_t>(file, 32);
+    if (file_size != size_) {
+        throw SnapshotError("snapshot: truncated file");
+    }
+    if (toc_offset % 8 != 0 || toc_offset < kSnapshotHeaderSize ||
+        toc_offset > size_) {
+        throw SnapshotError("snapshot: bad TOC offset");
+    }
+    const BytesView toc_bytes = file.subspan(toc_offset);
+    if (crc32c(toc_bytes) != toc_crc) {
+        throw SnapshotError("snapshot: TOC checksum mismatch");
+    }
+
+    SnapshotCursor toc(toc_bytes);
+    sections_.reserve(section_count);
+    for (std::uint32_t i = 0; i < section_count; ++i) {
+        SectionEntry entry;
+        entry.offset = toc.read_u64();
+        entry.size = toc.read_u64();
+        entry.crc = toc.read_u32();
+        entry.name = toc.read_string();
+        if (entry.offset % 8 != 0 || entry.offset < kSnapshotHeaderSize ||
+            entry.offset > toc_offset ||
+            entry.size > toc_offset - entry.offset) {
+            throw SnapshotError("snapshot: section outside file bounds");
+        }
+        sections_.push_back(std::move(entry));
+    }
+    verified_ = std::make_unique<std::atomic<bool>[]>(sections_.size());
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+        verified_[i].store(false, std::memory_order_relaxed);
+    }
+}
+
+std::shared_ptr<MappedSnapshot> MappedSnapshot::open(
+    const std::filesystem::path& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        throw SnapshotError("snapshot: cannot open " + path.string() + ": " +
+                            std::strerror(errno));
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw SnapshotError("snapshot: cannot stat " + path.string() + ": " +
+                            std::strerror(err));
+    }
+    const auto size = static_cast<std::uint64_t>(st.st_size);
+    if (size == 0) {
+        ::close(fd);
+        throw SnapshotError("snapshot: empty file " + path.string());
+    }
+    void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    // The mapping pins the inode; the fd is no longer needed (checkpoint
+    // GC may unlink the file while older repositories still read it).
+    ::close(fd);
+    if (mapping == MAP_FAILED) {
+        throw SnapshotError("snapshot: mmap failed for " + path.string() +
+                            ": " + std::strerror(errno));
+    }
+    std::shared_ptr<MappedSnapshot> snapshot(new MappedSnapshot());
+    snapshot->data_ = static_cast<const std::uint8_t*>(mapping);
+    snapshot->size_ = size;
+    snapshot->mapping_ = mapping;
+    snapshot->validate_layout();  // dtor unmaps if this throws
+    return snapshot;
+}
+
+std::shared_ptr<MappedSnapshot> MappedSnapshot::from_bytes(Bytes data) {
+    std::shared_ptr<MappedSnapshot> snapshot(new MappedSnapshot());
+    snapshot->owned_ = std::move(data);
+    snapshot->data_ = snapshot->owned_.data();
+    snapshot->size_ = snapshot->owned_.size();
+    snapshot->validate_layout();
+    return snapshot;
+}
+
+MappedSnapshot::~MappedSnapshot() {
+    if (mapping_ != nullptr) {
+        ::munmap(mapping_, size_);
+    }
+}
+
+BytesView MappedSnapshot::section(std::size_t i) const {
+    const SectionEntry& entry = sections_.at(i);
+    const BytesView body(data_ + entry.offset, entry.size);
+    if (!verified_[i].load(std::memory_order_acquire)) {
+        if (crc32c(body) != entry.crc) {
+            throw SnapshotError("snapshot: section '" + entry.name +
+                                "' checksum mismatch");
+        }
+        verified_[i].store(true, std::memory_order_release);
+    }
+    return body;
+}
+
+// ---- Inverted-index serializer --------------------------------------
+
+void write_inverted_index(SnapshotWriter& writer, const InvertedIndex& index) {
+    const std::vector<Term> terms = index.sorted_terms();
+    writer.write_u64(terms.size());
+    for (const Term& term : terms) {
+        const std::vector<Posting>* list = index.postings(term);
+        std::vector<Posting> sorted(list->begin(), list->end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const Posting& a, const Posting& b) {
+                      return a.doc < b.doc;
+                  });
+        writer.write_string(term);
+        writer.write_u32(static_cast<std::uint32_t>(sorted.size()));
+        for (const Posting& posting : sorted) {
+            writer.write_u64(posting.doc);
+            writer.write_u32(posting.frequency);
+        }
+    }
+}
+
+InvertedIndex read_inverted_index(SnapshotCursor& cursor) {
+    InvertedIndex index;
+    const std::uint64_t num_terms = cursor.read_u64();
+    for (std::uint64_t t = 0; t < num_terms; ++t) {
+        const Term term = cursor.read_string();
+        const std::uint32_t count = cursor.read_u32();
+        std::vector<Posting> postings;
+        postings.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            Posting posting;
+            posting.doc = cursor.read_u64();
+            posting.frequency = cursor.read_u32();
+            postings.push_back(posting);
+        }
+        try {
+            index.load_postings(term, std::move(postings));
+        } catch (const std::invalid_argument& error) {
+            throw SnapshotError(std::string("snapshot: ") + error.what());
+        }
+    }
+    return index;
+}
+
+}  // namespace mie::index

@@ -1,0 +1,361 @@
+// Versioned, checksummed, mmap-able on-disk index snapshot format (v1).
+//
+// The format follows the fwrite/fread discipline of the mife-style
+// serializers (SNIPPETS.md): every scalar is written little-endian at an
+// explicit offset, every variable-length field is length-prefixed, and
+// writer/reader pad to the field's natural alignment so a mapped file can
+// be parsed with aligned loads. The file is immutable once written
+// (store::atomic_write_file publishes it), so readers mmap it read-only
+// and validate lazily:
+//
+//   open()            validates the fixed header and the table of
+//                     contents only — O(#sections), independent of index
+//                     size. This is what makes server restart O(1).
+//   section(i)        validates that section's CRC-32C (kernel-dispatched)
+//                     on first access, then hands out a zero-copy view.
+//
+// File layout (all offsets 8-aligned, little-endian):
+//
+//   offset  size  field
+//   0       8     magic "MIESNAP\n"
+//   8       4     version (= kSnapshotVersion)
+//   12      4     section_count
+//   16      8     file_size (must equal the actual size)
+//   24      8     toc_offset
+//   32      4     toc_crc      CRC-32C of [toc_offset, file_size)
+//   36      4     header_crc   CRC-32C of bytes [0, 36)
+//   40      ...   section bodies, each starting 8-aligned, zero-padded
+//   toc_offset    per section: u64 offset | u64 size | u32 crc | name
+//
+// Section names and bodies are the caller's contract; MieServer stores
+// one section per repository (name = repository id) — see server.cpp for
+// the body layout. This header also provides the serializers for the two
+// index structures every section embeds: the vocabulary tree (either
+// metric space) and the inverted index, both emitted in sorted order so
+// bytes are a pure function of logical state (lint rule R3).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dpe/bitcode.hpp"
+#include "features/feature.hpp"
+#include "index/inverted_index.hpp"
+#include "index/space.hpp"
+#include "index/vocab_tree.hpp"
+#include "util/bytes.hpp"
+
+namespace mie::index {
+
+/// Thrown on any malformed snapshot: bad magic, unsupported version,
+/// truncation, CRC mismatch, or inconsistent structure. DurableServer
+/// treats it as "checkpoint unusable" and falls back to WAL replay.
+class SnapshotError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::size_t kSnapshotHeaderSize = 40;
+inline constexpr char kSnapshotMagic[8] = {'M', 'I', 'E', 'S',
+                                           'N', 'A', 'P', '\n'};
+
+/// Little-endian, alignment-padded serializer for one section body.
+/// u64/f64 fields align to 8, u32/f32 to 4; byte strings are u32-length-
+/// prefixed and padded back to 4. The section builder places bodies at
+/// 8-aligned file offsets, so in-buffer alignment equals in-file
+/// alignment.
+class SnapshotWriter {
+public:
+    void write_u32(std::uint32_t v) {
+        align(4);
+        append_le(buffer_, v);
+    }
+    void write_u64(std::uint64_t v) {
+        align(8);
+        append_le(buffer_, v);
+    }
+    void write_f32(float v) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        write_u32(bits);
+    }
+    void write_bytes(BytesView data) {
+        write_u32(static_cast<std::uint32_t>(data.size()));
+        buffer_.insert(buffer_.end(), data.begin(), data.end());
+        align(4);
+    }
+    void write_string(std::string_view s) {
+        write_bytes(BytesView(
+            reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+    }
+
+    std::size_t size() const { return buffer_.size(); }
+    Bytes take() { return std::move(buffer_); }
+
+private:
+    void align(std::size_t boundary) {
+        while (buffer_.size() % boundary != 0) buffer_.push_back(0);
+    }
+
+    Bytes buffer_;
+};
+
+/// Mirror-image reader over a (mapped) section body. Every read checks
+/// bounds and throws SnapshotError on truncation, so a corrupt length
+/// field cannot walk off the mapping.
+class SnapshotCursor {
+public:
+    explicit SnapshotCursor(BytesView data) : data_(data) {}
+
+    std::uint32_t read_u32() {
+        align(4);
+        const std::uint32_t v = read_scalar<std::uint32_t>();
+        return v;
+    }
+    std::uint64_t read_u64() {
+        align(8);
+        return read_scalar<std::uint64_t>();
+    }
+    float read_f32() {
+        const std::uint32_t bits = read_u32();
+        float v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+    /// Zero-copy view of a length-prefixed byte string.
+    BytesView read_bytes_view() {
+        const std::uint32_t len = read_u32();
+        require(len);
+        const BytesView view = data_.subspan(offset_, len);
+        offset_ += len;
+        align(4);
+        return view;
+    }
+    Bytes read_bytes() {
+        const BytesView view = read_bytes_view();
+        return Bytes(view.begin(), view.end());
+    }
+    std::string read_string() {
+        const BytesView view = read_bytes_view();
+        return std::string(view.begin(), view.end());
+    }
+
+    bool at_end() const { return offset_ == data_.size(); }
+    std::size_t remaining() const { return data_.size() - offset_; }
+
+private:
+    template <typename T>
+    T read_scalar() {
+        require(sizeof(T));
+        const T v = read_le<T>(data_, offset_);
+        offset_ += sizeof(T);
+        return v;
+    }
+    void align(std::size_t boundary) {
+        while (offset_ % boundary != 0) {
+            require(1);
+            ++offset_;
+        }
+    }
+    void require(std::size_t n) const {
+        if (offset_ + n > data_.size()) {
+            throw SnapshotError("snapshot: truncated section");
+        }
+    }
+
+    BytesView data_;
+    std::size_t offset_ = 0;
+};
+
+/// Assembles header | sections | TOC into a complete snapshot file image.
+/// Callers persist the result with store::atomic_write_file so readers
+/// only ever see complete files.
+class SnapshotFileBuilder {
+public:
+    void add_section(std::string name, Bytes body);
+    Bytes finish() const;
+
+private:
+    struct Section {
+        std::string name;
+        Bytes body;
+    };
+    std::vector<Section> sections_;
+};
+
+/// A read-only snapshot, either mmap'ed from disk or adopted from an
+/// in-memory buffer. open() cost is O(#sections); section bodies are CRC-
+/// validated on first access. Instances are shared (shared_ptr) because
+/// lazily-materialized server repositories keep the mapping alive until
+/// every section they reference has been parsed.
+class MappedSnapshot {
+public:
+    /// Maps `path` read-only and validates header + TOC. Throws
+    /// SnapshotError on any malformation, store::IoError-compatible
+    /// SnapshotError on I/O failure.
+    static std::shared_ptr<MappedSnapshot> open(
+        const std::filesystem::path& path);
+
+    /// Adopts an in-memory file image (tests, corruption harnesses).
+    static std::shared_ptr<MappedSnapshot> from_bytes(Bytes data);
+
+    ~MappedSnapshot();
+    MappedSnapshot(const MappedSnapshot&) = delete;
+    MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+    std::size_t num_sections() const { return sections_.size(); }
+    const std::string& section_name(std::size_t i) const {
+        return sections_.at(i).name;
+    }
+    std::uint64_t file_size() const { return size_; }
+
+    /// The section body. First access pays one CRC-32C pass over the
+    /// body (kernel-dispatched) and throws SnapshotError on mismatch;
+    /// later accesses are free. Thread-safe for distinct sections.
+    BytesView section(std::size_t i) const;
+
+    /// Eagerly CRC-checks every section (one SIMD pass over the file, no
+    /// deserialization). Durable recovery calls this before attaching the
+    /// snapshot, so ANY corruption surfaces while WAL-replay fallback is
+    /// still possible — not later, inside a request that lazily
+    /// materializes a repository.
+    void verify_all_sections() const {
+        for (std::size_t i = 0; i < sections_.size(); ++i) section(i);
+    }
+
+private:
+    MappedSnapshot() = default;
+
+    struct SectionEntry {
+        std::string name;
+        std::uint64_t offset = 0;
+        std::uint64_t size = 0;
+        std::uint32_t crc = 0;
+    };
+
+    /// Parses and validates header + TOC over data_/size_.
+    void validate_layout();
+
+    const std::uint8_t* data_ = nullptr;
+    std::uint64_t size_ = 0;
+    Bytes owned_;        ///< from_bytes storage (empty when mapped)
+    void* mapping_ = nullptr;  ///< mmap base (nullptr when owned)
+    std::vector<SectionEntry> sections_;
+    /// Lazily-set per-section "CRC verified" flags; atomic because
+    /// different repositories materialize concurrently.
+    mutable std::unique_ptr<std::atomic<bool>[]> verified_;
+};
+
+// ---- Index-structure serializers ------------------------------------
+
+/// Space tags pin the metric space into the bytes so a snapshot written
+/// for one space cannot be misread as the other.
+template <typename Space>
+struct SnapshotSpaceTag;
+template <>
+struct SnapshotSpaceTag<HammingSpace> {
+    static constexpr std::uint32_t value = 1;
+};
+template <>
+struct SnapshotSpaceTag<EuclideanSpace> {
+    static constexpr std::uint32_t value = 2;
+};
+
+inline void write_point(SnapshotWriter& writer, const dpe::BitCode& point) {
+    writer.write_bytes(point.serialize());
+}
+inline void read_point(SnapshotCursor& cursor, dpe::BitCode& point) {
+    point = dpe::BitCode::deserialize(cursor.read_bytes_view());
+}
+inline void write_point(SnapshotWriter& writer,
+                        const features::FeatureVec& point) {
+    writer.write_u32(static_cast<std::uint32_t>(point.size()));
+    for (const float v : point) writer.write_f32(v);
+}
+inline void read_point(SnapshotCursor& cursor, features::FeatureVec& point) {
+    const std::uint32_t dims = cursor.read_u32();
+    point.clear();
+    point.reserve(dims);
+    for (std::uint32_t i = 0; i < dims; ++i) {
+        point.push_back(cursor.read_f32());
+    }
+}
+
+/// Serializes a vocabulary tree via its flattened image.
+template <typename Space>
+void write_vocab_tree(SnapshotWriter& writer, const VocabTree<Space>& tree) {
+    const typename VocabTree<Space>::Flat flat = tree.flatten();
+    writer.write_u32(SnapshotSpaceTag<Space>::value);
+    writer.write_u32(flat.num_leaves);
+    writer.write_u64(flat.params.branch);
+    writer.write_u64(flat.params.depth);
+    writer.write_u32(static_cast<std::uint32_t>(flat.params.kmeans_iterations));
+    writer.write_u64(flat.params.min_node_size);
+    writer.write_u64(flat.centroids.size());
+    for (const auto& centroid : flat.centroids) write_point(writer, centroid);
+    for (const std::uint32_t leaf : flat.leaf_ids) writer.write_u32(leaf);
+    writer.write_u64(flat.child_offset.size());
+    for (const std::uint32_t off : flat.child_offset) writer.write_u32(off);
+    writer.write_u64(flat.child_index.size());
+    for (const std::uint32_t child : flat.child_index) {
+        writer.write_u32(child);
+    }
+}
+
+/// Reads a tree back; VocabTree::assemble re-validates the structure, so
+/// corruption that survives the CRC still fails cleanly.
+template <typename Space>
+VocabTree<Space> read_vocab_tree(SnapshotCursor& cursor) {
+    if (cursor.read_u32() != SnapshotSpaceTag<Space>::value) {
+        throw SnapshotError("snapshot: vocab tree has wrong metric space");
+    }
+    typename VocabTree<Space>::Flat flat;
+    flat.num_leaves = cursor.read_u32();
+    flat.params.branch = cursor.read_u64();
+    flat.params.depth = cursor.read_u64();
+    flat.params.kmeans_iterations = static_cast<int>(cursor.read_u32());
+    flat.params.min_node_size = cursor.read_u64();
+    const std::uint64_t num_nodes = cursor.read_u64();
+    // Every node costs >= 4 bytes downstream; bound counts by the bytes
+    // actually present so a corrupt length cannot trigger a huge resize.
+    if (num_nodes > cursor.remaining()) {
+        throw SnapshotError("snapshot: vocab tree node count too large");
+    }
+    flat.centroids.resize(num_nodes);
+    for (auto& centroid : flat.centroids) read_point(cursor, centroid);
+    flat.leaf_ids.resize(num_nodes);
+    for (auto& leaf : flat.leaf_ids) leaf = cursor.read_u32();
+    const std::uint64_t num_offsets = cursor.read_u64();
+    if (num_offsets > cursor.remaining()) {
+        throw SnapshotError("snapshot: vocab tree offset count too large");
+    }
+    flat.child_offset.resize(num_offsets);
+    for (auto& off : flat.child_offset) off = cursor.read_u32();
+    const std::uint64_t num_children = cursor.read_u64();
+    if (num_children > cursor.remaining()) {
+        throw SnapshotError("snapshot: vocab tree child count too large");
+    }
+    flat.child_index.resize(num_children);
+    for (auto& child : flat.child_index) child = cursor.read_u32();
+    try {
+        return VocabTree<Space>::assemble(flat);
+    } catch (const std::invalid_argument& error) {
+        throw SnapshotError(std::string("snapshot: ") + error.what());
+    }
+}
+
+/// Serializes an inverted index: terms sorted, postings doc-sorted, so
+/// the bytes depend only on logical content (R3 discipline) and a round-
+/// trip re-serializes to identical bytes.
+void write_inverted_index(SnapshotWriter& writer, const InvertedIndex& index);
+InvertedIndex read_inverted_index(SnapshotCursor& cursor);
+
+}  // namespace mie::index

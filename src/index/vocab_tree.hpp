@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -61,7 +62,14 @@ public:
         if (nodes_.empty()) {
             throw std::logic_error("VocabTree: not built");
         }
-        std::size_t node = 0;
+        return quantize_from(0, point);
+    }
+
+    /// Greedy descent starting at `node` (an index into the DFS-preorder
+    /// node array); node 0 is the full exact walk. The IVF path descends
+    /// from a coarse cell's subtree root instead — identical leaf, since
+    /// the exact walk's first step is exactly the coarse-cell choice.
+    std::uint32_t quantize_from(std::size_t node, const Point& point) const {
         while (!nodes_[node].children.empty()) {
             const Node& n = nodes_[node];
             std::uint32_t best = 0;
@@ -79,8 +87,110 @@ public:
         return nodes_[node].leaf_id;
     }
 
+    /// The root's children in child order — the coarse cells the IVF
+    /// query path probes. Empty for a single-leaf tree (too few training
+    /// points to split), in which case there is nothing to probe.
+    const std::vector<std::size_t>& root_children() const {
+        if (nodes_.empty()) {
+            throw std::logic_error("VocabTree: not built");
+        }
+        return nodes_[0].children;
+    }
+
+    /// Centroid of a node (coarse-cell routing reads subtree roots).
+    const Point& centroid_of(std::size_t node) const {
+        return nodes_.at(node).centroid;
+    }
+
     std::size_t num_leaves() const { return num_leaves_; }
+    std::size_t num_nodes() const { return nodes_.size(); }
+    const Params& params() const { return params_; }
     bool empty() const { return nodes_.empty(); }
+
+    /// Flattened structure-of-arrays image of the tree — the unit the
+    /// snapshot format serializes. Node i's children are
+    /// child_index[child_offset[i] .. child_offset[i + 1]).
+    struct Flat {
+        Params params;
+        std::uint32_t num_leaves = 0;
+        std::vector<Point> centroids;           ///< one per node
+        std::vector<std::uint32_t> leaf_ids;    ///< 0 for internal nodes
+        std::vector<std::uint32_t> child_offset;  ///< num_nodes + 1 entries
+        std::vector<std::uint32_t> child_index;
+    };
+
+    Flat flatten() const {
+        Flat flat;
+        flat.params = params_;
+        flat.num_leaves = num_leaves_;
+        flat.centroids.reserve(nodes_.size());
+        flat.leaf_ids.reserve(nodes_.size());
+        flat.child_offset.reserve(nodes_.size() + 1);
+        flat.child_offset.push_back(0);
+        for (const Node& node : nodes_) {
+            flat.centroids.push_back(node.centroid);
+            flat.leaf_ids.push_back(node.children.empty() ? node.leaf_id : 0);
+            for (const std::size_t child : node.children) {
+                flat.child_index.push_back(static_cast<std::uint32_t>(child));
+            }
+            flat.child_offset.push_back(
+                static_cast<std::uint32_t>(flat.child_index.size()));
+        }
+        return flat;
+    }
+
+    /// Rebuilds a tree from its flattened image, validating the structural
+    /// invariants (DFS-preorder child indices, leaf numbering) so a
+    /// corrupt snapshot fails cleanly instead of yielding a broken tree.
+    /// assemble(flatten()) == *this, which the snapshot round-trip tests
+    /// pin down for both metric spaces.
+    static VocabTree assemble(const Flat& flat) {
+        const std::size_t n = flat.centroids.size();
+        if (flat.leaf_ids.size() != n || flat.child_offset.size() != n + 1 ||
+            (n == 0 && (flat.child_index.size() != 0 ||
+                        flat.num_leaves != 0))) {
+            throw std::invalid_argument("VocabTree: inconsistent flat image");
+        }
+        VocabTree tree;
+        tree.params_ = flat.params;
+        if (n == 0) return tree;
+        if (flat.child_offset.front() != 0 ||
+            flat.child_offset.back() != flat.child_index.size()) {
+            throw std::invalid_argument("VocabTree: bad child offsets");
+        }
+        std::uint32_t leaves = 0;
+        tree.nodes_.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (flat.child_offset[i] > flat.child_offset[i + 1]) {
+                throw std::invalid_argument("VocabTree: bad child offsets");
+            }
+            Node& node = tree.nodes_[i];
+            node.centroid = flat.centroids[i];
+            for (std::uint32_t j = flat.child_offset[i];
+                 j < flat.child_offset[i + 1]; ++j) {
+                const std::uint32_t child = flat.child_index[j];
+                // DFS preorder: every child strictly follows its parent.
+                if (child <= i || child >= n) {
+                    throw std::invalid_argument(
+                        "VocabTree: child index out of preorder range");
+                }
+                node.children.push_back(child);
+            }
+            if (node.children.empty()) {
+                node.leaf_id = flat.leaf_ids[i];
+                if (node.leaf_id >= flat.num_leaves) {
+                    throw std::invalid_argument(
+                        "VocabTree: leaf id out of range");
+                }
+                ++leaves;
+            }
+        }
+        if (leaves != flat.num_leaves) {
+            throw std::invalid_argument("VocabTree: leaf count mismatch");
+        }
+        tree.num_leaves_ = flat.num_leaves;
+        return tree;
+    }
 
     /// Structural equality: same node layout, same centroids, same leaf
     /// numbering. The determinism tests assert this across thread counts.

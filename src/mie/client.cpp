@@ -153,6 +153,8 @@ std::vector<SearchResult> MieClient::search(
     writer.write_string(repo_id_);
     writer.write_u32(static_cast<std::uint32_t>(top_k));
     write_modalities(writer, encoded);
+    // Trailing IVF probe count (0 = exact); servers read it leniently.
+    writer.write_u32(static_cast<std::uint32_t>(search_probes));
 
     // Search is synchronous: the user waits for the reply, so server
     // processing time counts toward perceived Network cost (Fig. 5).
@@ -168,6 +170,13 @@ std::vector<SearchResult> MieClient::search(
         result.score = reader.read_f64();
         result.encrypted_object = reader.read_bytes();
         results.push_back(std::move(result));
+    }
+    // Work-accounting tail (same lenient discipline as the request).
+    last_work_ = MieServer::SearchWork{};
+    if (reader.remaining() >= 24) {
+        last_work_.postings_scored = reader.read_u64();
+        last_work_.query_descriptors = reader.read_u64();
+        last_work_.descriptors_kept = reader.read_u64();
     }
     return results;
 }

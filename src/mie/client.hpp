@@ -53,6 +53,17 @@ public:
     /// Feature-extraction parameters (client side).
     ExtractionParams extraction;
 
+    /// IVF probe count sent with every search(): 0 (default) asks the
+    /// server for the exact path; P > 0 probes only the P most-voted
+    /// coarse cells per dense modality (see index/ivf.hpp). Purely a
+    /// recall/latency knob — leakage is unchanged, the server sees the
+    /// same encodings either way.
+    std::size_t search_probes = 0;
+
+    /// Server work accounting from the most recent search() reply
+    /// (zeros when talking to a server that predates the tail fields).
+    MieServer::SearchWork last_search_work() const { return last_work_; }
+
 private:
     struct EncodedFeatures {
         std::map<ModalityId, std::vector<dpe::BitCode>> dense_codes;
@@ -79,6 +90,7 @@ private:
     /// Idempotency-envelope identity: (client id, monotonic sequence).
     std::uint64_t op_client_id_ = 0;
     std::uint64_t op_seq_ = 0;
+    MieServer::SearchWork last_work_;
 };
 
 }  // namespace mie

@@ -1,18 +1,73 @@
 #include "mie/durable_server.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
+#include "index/snapshot.hpp"
 #include "mie/wire.hpp"
 
 namespace mie {
 
+namespace {
+
+/// Checkpoint records either hold a full inline snapshot (legacy
+/// export_snapshot bytes, which start with a u32 repository count) or a
+/// stub referencing an mmap-able snapshot file under dir/snapshots/:
+/// 8-byte magic "MIESREF\n" followed by the raw file name. The magic
+/// cannot collide with a count prefix — it would decode as ~1.4 billion
+/// repositories.
+constexpr char kSnapshotStubMagic[8] = {'M', 'I', 'E', 'S',
+                                        'R', 'E', 'F', '\n'};
+
+bool is_snapshot_stub(BytesView payload) {
+    return payload.size() > sizeof(kSnapshotStubMagic) &&
+           std::memcmp(payload.data(), kSnapshotStubMagic,
+                       sizeof(kSnapshotStubMagic)) == 0;
+}
+
+std::string stub_file_name(BytesView payload) {
+    return std::string(payload.begin() + sizeof(kSnapshotStubMagic),
+                       payload.end());
+}
+
+std::string snapshot_file_name(store::Lsn lsn) {
+    char name[40];
+    std::snprintf(name, sizeof(name), "snapshot-%020llu.misnap",
+                  static_cast<unsigned long long>(lsn));
+    return name;
+}
+
+}  // namespace
+
+DurableServer::DurableServer(store::Vfs& vfs,
+                             const std::filesystem::path& dir)
+    : DurableServer(vfs, dir, Options{}) {}
+
 DurableServer::DurableServer(store::Vfs& vfs,
                              const std::filesystem::path& dir,
                              Options options)
-    : engine_(
+    : vfs_(vfs),
+      dir_(dir),
+      mmap_checkpoints_(options.mmap_checkpoints),
+      engine_(
           vfs, dir, options,
-          [this](BytesView snapshot) { inner_.restore_snapshot(snapshot); },
+          [this](BytesView snapshot) {
+              if (!is_snapshot_stub(snapshot)) {
+                  inner_.restore_snapshot(snapshot);
+                  return;
+              }
+              // O(1) restart: map the referenced snapshot file and attach
+              // it; repositories materialize lazily on first touch. The
+              // eager CRC pass makes ANY corruption throw here — before
+              // state is mutated — so the engine can still fall back to
+              // full WAL replay.
+              auto mapped = index::MappedSnapshot::open(
+                  dir_ / "snapshots" / stub_file_name(snapshot));
+              mapped->verify_all_sections();
+              inner_.attach_mapped_snapshot(std::move(mapped));
+          },
           [this](BytesView payload) {
               // Enveloped records re-enter the replay cache during
               // recovery, so a client retry that straddles a crash is
@@ -195,14 +250,41 @@ DurableServer::ReplicationSnapshot DurableServer::replication_snapshot()
 
 void DurableServer::maybe_checkpoint_locked() {
     if (!engine_.checkpoint_due()) return;
-    engine_.checkpoint(inner_.export_snapshot());
+    write_checkpoint_locked();
+}
+
+void DurableServer::write_checkpoint_locked() {
+    if (!mmap_checkpoints_) {
+        engine_.checkpoint(inner_.export_snapshot());
+        ++checkpoints_written_;
+        return;
+    }
+    // Ordering for crash safety: the snapshot file is published first
+    // (atomically), then the checkpoint record that references it. A
+    // crash in between leaves an unreferenced file that the next
+    // successful checkpoint's sweep removes. The LSN is stable across
+    // both steps because the log mutex is held.
+    const store::Lsn lsn = engine_.last_lsn();
+    const std::string name = snapshot_file_name(lsn);
+    const std::filesystem::path snap_dir = dir_ / "snapshots";
+    vfs_.create_directories(snap_dir);
+    store::atomic_write_file(vfs_, snap_dir / name,
+                             inner_.export_mapped_snapshot());
+    Bytes stub(kSnapshotStubMagic,
+               kSnapshotStubMagic + sizeof(kSnapshotStubMagic));
+    stub.insert(stub.end(), name.begin(), name.end());
+    engine_.checkpoint(stub);
     ++checkpoints_written_;
+    // Sweep superseded snapshot files. Deleting a file that a still-lazy
+    // repository has mapped is safe: the mapping pins the inode.
+    for (const auto& entry : vfs_.list_dir(snap_dir)) {
+        if (entry.filename() != name) vfs_.remove_file(entry);
+    }
 }
 
 void DurableServer::checkpoint_now() {
     const std::scoped_lock lock(log_mutex_);
-    engine_.checkpoint(inner_.export_snapshot());
-    ++checkpoints_written_;
+    write_checkpoint_locked();
 }
 
 void DurableServer::sync() {

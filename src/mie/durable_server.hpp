@@ -53,13 +53,25 @@ namespace mie {
 class DurableServer final : public net::RequestHandler,
                             public net::BatchRequestHandler {
 public:
-    using Options = store::StorageEngine::Options;
+    struct Options : store::StorageEngine::Options {
+        /// Checkpoint as an mmap-able snapshot file (index/snapshot.hpp,
+        /// written under dir/snapshots/) referenced from the engine's
+        /// checkpoint record by a tiny stub, so reopening maps the file
+        /// in O(1) and repositories materialize lazily on first touch.
+        /// false restores the legacy inline export_snapshot checkpoints.
+        /// Either kind is readable regardless of the setting — recovery
+        /// dispatches on the stub magic, so flipping the flag between
+        /// runs is safe.
+        bool mmap_checkpoints = true;
+    };
 
     /// Opens (and recovers) the durable server in `dir`. `vfs` must
     /// outlive the server; pass store::PosixVfs::instance() outside
-    /// tests.
+    /// tests. (Two overloads rather than a default argument: a nested
+    /// class's member initializers are incomplete at this point.)
     DurableServer(store::Vfs& vfs, const std::filesystem::path& dir,
-                  Options options = {});
+                  Options options);
+    DurableServer(store::Vfs& vfs, const std::filesystem::path& dir);
 
     /// Applies the request; mutating requests are logged before the
     /// response is returned. Throws store::IoError if logging fails —
@@ -135,12 +147,18 @@ public:
 
 private:
     void maybe_checkpoint_locked();
+    void write_checkpoint_locked();
 
     MieServer inner_;
     /// (client, seq) -> response for enveloped mutations; guarded by
     /// log_mutex_ and rebuilt from the WAL during recovery. Declared
     /// before engine_: the engine's recovery replay inserts into it.
     net::ReplayCache replay_cache_;
+    /// Snapshot-file plumbing; declared before engine_ because the
+    /// engine's recovery restore callback reads them.
+    store::Vfs& vfs_;
+    std::filesystem::path dir_;
+    bool mmap_checkpoints_;
     store::StorageEngine engine_;
     /// Serializes mutating ops end-to-end (apply + log + checkpoint) so
     /// WAL order matches application order. Lock order: log_mutex_

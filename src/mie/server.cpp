@@ -74,6 +74,9 @@ Bytes MieServer::handle(BytesView request) {
     const std::string repo_id = reader.read_string();
     const std::shared_lock map_lock(map_mutex_);
     Repository& repo = require_repo(repo_id);
+    // A repository restored from an mmap snapshot parses its section on
+    // the first request that touches it (O(1) restart pays here instead).
+    ensure_materialized(repo);
     switch (op) {
         case MieOp::kTrain: {
             const std::unique_lock repo_lock(repo.mutex);
@@ -213,6 +216,10 @@ void MieServer::train_repository(Repository& repo,
                 tree_params.kmeans_iterations = params.kmeans_iterations;
                 state->tree = index::VocabTree<index::HammingSpace>::build(
                     training, tree_params, params.seed + modality);
+                // Coarse cells are derived data; rebuild alongside the tree.
+                state->ivf =
+                    index::IvfQuantizer<index::HammingSpace>::build(
+                        state->tree);
             });
         }
         training_tasks.wait();
@@ -323,26 +330,34 @@ Bytes MieServer::handle_remove(Repository& repo, net::MessageReader& reader) {
 
 std::vector<index::ScoredDoc> MieServer::rank(
     const Repository& repo, const index::InvertedIndex& index,
-    const index::QueryHistogram& query, std::size_t top_k) const {
+    const index::QueryHistogram& query, std::size_t top_k,
+    index::RankCounters* counters) const {
     if (repo.train_params.ranking == TrainParams::Ranking::kBm25) {
-        return index::rank_bm25(index, query, repo.objects.size(), top_k);
+        return index::rank_bm25(index, query, repo.objects.size(), top_k,
+                                index::Bm25Params{}, counters);
     }
-    return index::rank_tfidf(index, query, repo.objects.size(), top_k);
+    return index::rank_tfidf(index, query, repo.objects.size(), top_k,
+                             counters);
 }
 
 std::vector<std::vector<index::ScoredDoc>> MieServer::ranked_search(
     const Repository& repo,
     const std::map<ModalityId, std::vector<dpe::BitCode>>& query_codes,
     const std::map<ModalityId, index::QueryHistogram>& query_terms,
-    std::size_t top_k) const {
+    std::size_t top_k, std::size_t probes, SearchWork* work) const {
     // Per-modality fan-out: each modality's quantize + TF-IDF pass runs as
     // a task, writing its ranked list into a fixed slot; the logISR fusion
     // downstream then joins lists in the same (dense, sparse) modality
-    // order a serial pass produces.
+    // order a serial pass produces. Work tallies land in per-slot counters
+    // and are summed after the join, so the totals are deterministic at
+    // any thread count.
     std::vector<std::vector<index::ScoredDoc>> lists;
     // Tasks may run while later slots are still being appended: reserving
     // the maximum keeps element addresses stable for in-flight writers.
-    lists.reserve(query_codes.size() + query_terms.size());
+    const std::size_t max_slots = query_codes.size() + query_terms.size();
+    lists.reserve(max_slots);
+    std::vector<index::RankCounters> counters(max_slots);
+    std::vector<index::IvfStats> ivf_stats(max_slots);
     exec::TaskGroup scoring;
     for (const auto& [modality, query] : query_codes) {
         const auto state = repo.dense.find(modality);
@@ -354,10 +369,13 @@ std::vector<std::vector<index::ScoredDoc>> MieServer::ranked_search(
         lists.emplace_back();
         const DenseModalityState* dense = &state->second;
         const std::vector<dpe::BitCode>* codes = &query;
-        scoring.run([this, &repo, &lists, slot, dense, codes, top_k] {
-            const index::QueryHistogram histogram =
-                index::bovw_histogram(dense->tree, *codes);
-            lists[slot] = rank(repo, dense->index, histogram, top_k);
+        scoring.run([this, &repo, &lists, &counters, &ivf_stats, slot, dense,
+                     codes, top_k, probes] {
+            const index::QueryHistogram histogram = index::ivf_histogram(
+                dense->tree, dense->ivf, *codes, probes, &ivf_stats[slot],
+                &dense->index);
+            lists[slot] =
+                rank(repo, dense->index, histogram, top_k, &counters[slot]);
         });
     }
     for (const auto& [modality, query] : query_terms) {
@@ -367,11 +385,19 @@ std::vector<std::vector<index::ScoredDoc>> MieServer::ranked_search(
         lists.emplace_back();
         const index::InvertedIndex* index = &idx->second;
         const index::QueryHistogram* terms = &query;
-        scoring.run([this, &repo, &lists, slot, index, terms, top_k] {
-            lists[slot] = rank(repo, *index, *terms, top_k);
+        scoring.run([this, &repo, &lists, &counters, slot, index, terms,
+                     top_k] {
+            lists[slot] = rank(repo, *index, *terms, top_k, &counters[slot]);
         });
     }
     scoring.wait();
+    if (work != nullptr) {
+        for (std::size_t slot = 0; slot < lists.size(); ++slot) {
+            work->postings_scored += counters[slot].postings_scored;
+            work->query_descriptors += ivf_stats[slot].query_descriptors;
+            work->descriptors_kept += ivf_stats[slot].descriptors_kept;
+        }
+    }
     return lists;
 }
 
@@ -379,13 +405,16 @@ std::vector<std::vector<index::ScoredDoc>> MieServer::linear_search(
     const Repository& repo,
     const std::map<ModalityId, std::vector<dpe::BitCode>>& query_codes,
     const std::map<ModalityId, index::QueryHistogram>& query_terms,
-    std::size_t top_k) const {
+    std::size_t top_k, std::size_t probes, SearchWork* work) const {
+    (void)probes;  // no coarse structure exists before training
     // Same per-modality fan-out as ranked_search; the linear scans over
     // stored objects are independent per modality. Scores land in an
     // id-keyed map, so the result is iteration-order-free.
     std::vector<std::vector<index::ScoredDoc>> lists;
     // Reserve before submitting: element addresses must survive appends.
-    lists.reserve(query_codes.size() + query_terms.size());
+    const std::size_t max_slots = query_codes.size() + query_terms.size();
+    lists.reserve(max_slots);
+    std::vector<index::RankCounters> counters(max_slots);
     exec::TaskGroup scoring;
     for (const auto& [modality_key, query] : query_codes) {
         if (query.empty()) continue;
@@ -393,7 +422,8 @@ std::vector<std::vector<index::ScoredDoc>> MieServer::linear_search(
         lists.emplace_back();
         const ModalityId modality = modality_key;
         const std::vector<dpe::BitCode>* codes = &query;
-        scoring.run([&repo, &lists, slot, modality, codes, top_k] {
+        scoring.run([&repo, &lists, &counters, slot, modality, codes,
+                     top_k] {
             std::map<index::DocId, double> scores;
             // mielint: allow(R3): scores land in an ordered map
             for (const auto& [id, object] : repo.objects) {
@@ -414,6 +444,7 @@ std::vector<std::vector<index::ScoredDoc>> MieServer::linear_search(
                     total += 1.0 - best;
                 }
                 scores[id] = total / static_cast<double>(codes->size());
+                ++counters[slot].postings_scored;  // one candidate scanned
             }
             lists[slot] = index::top_k_of(std::move(scores), top_k);
         });
@@ -424,7 +455,8 @@ std::vector<std::vector<index::ScoredDoc>> MieServer::linear_search(
         lists.emplace_back();
         const ModalityId modality = modality_key;
         const index::QueryHistogram* terms = &query;
-        scoring.run([&repo, &lists, slot, modality, terms, top_k] {
+        scoring.run([&repo, &lists, &counters, slot, modality, terms,
+                     top_k] {
             std::map<index::DocId, double> scores;
             // mielint: allow(R3): scores land in an ordered map
             for (const auto& [id, object] : repo.objects) {
@@ -437,12 +469,24 @@ std::vector<std::vector<index::ScoredDoc>> MieServer::linear_search(
                         overlap += std::min<double>(freq, match->second);
                     }
                 }
-                if (overlap > 0.0) scores[id] = overlap;
+                if (overlap > 0.0) {
+                    scores[id] = overlap;
+                    ++counters[slot].postings_scored;
+                }
             }
             lists[slot] = index::top_k_of(std::move(scores), top_k);
         });
     }
     scoring.wait();
+    if (work != nullptr) {
+        for (std::size_t slot = 0; slot < lists.size(); ++slot) {
+            work->postings_scored += counters[slot].postings_scored;
+        }
+        for (const auto& [modality, query] : query_codes) {
+            work->query_descriptors += query.size();
+            work->descriptors_kept += query.size();  // nothing is pruned
+        }
+    }
     return lists;
 }
 
@@ -456,13 +500,21 @@ Bytes MieServer::handle_search(const Repository& repo,
         auto& histogram = query_terms[modality];
         for (const auto& [term, freq] : terms) histogram[term] = freq;
     }
+    // Optional trailing field (wire.hpp): IVF probe count. Absent (older
+    // clients) or 0 means the exact path; read leniently so a short tail
+    // keeps the pre-probes behavior instead of failing the request.
+    std::size_t probes = 0;
+    if (reader.remaining() >= 4) probes = reader.read_u32();
 
     // Fetch a deeper pool per modality so fusion has material to merge.
     const std::size_t pool = std::max<std::size_t>(top_k * 4, 32);
+    SearchWork work;
     const auto lists =
         repo.trained
-            ? ranked_search(repo, payload.dense, query_terms, pool)
-            : linear_search(repo, payload.dense, query_terms, pool);
+            ? ranked_search(repo, payload.dense, query_terms, pool, probes,
+                            &work)
+            : linear_search(repo, payload.dense, query_terms, pool, probes,
+                            &work);
 
     const auto fused = fusion::log_isr_fusion(lists, top_k);
 
@@ -473,6 +525,11 @@ Bytes MieServer::handle_search(const Repository& repo,
         writer.write_f64(item.score);
         writer.write_bytes(repo.objects.at(item.doc).blob);
     }
+    // Work-accounting tail; readers that stop after the results above
+    // (all pre-probes parsers do) are unaffected.
+    writer.write_u64(work.postings_scored);
+    writer.write_u64(work.query_descriptors);
+    writer.write_u64(work.descriptors_kept);
     return writer.take();
 }
 
@@ -535,7 +592,8 @@ Bytes MieServer::export_snapshot() const {
         // internally consistent; callers needing a cross-repository
         // consistent cut must quiesce writers themselves (DurableServer
         // checkpoints do, by holding the log mutex).
-        const Repository& repo = *repositories_.at(repo_id);
+        Repository& repo = *repositories_.at(repo_id);
+        ensure_materialized(repo);
         const std::shared_lock repo_lock(repo.mutex);
         writer.write_string(repo_id);
         writer.write_u8(repo.trained ? 1 : 0);
@@ -623,13 +681,199 @@ void MieServer::restore_snapshot(BytesView snapshot) {
     }
 }
 
+// ---- Mapped (mmap) snapshots ----------------------------------------
+
+void MieServer::ensure_materialized(Repository& repo) const {
+    // Double-checked through the atomic flag: the common case (already
+    // materialized) is one acquire load, no lock.
+    if (repo.materialized.load(std::memory_order_acquire)) return;
+    const std::unique_lock repo_lock(repo.mutex);
+    if (repo.materialized.load(std::memory_order_relaxed)) return;
+    materialize_locked(repo);
+}
+
+void MieServer::materialize_locked(Repository& repo) const {
+    // section() CRC-checks the body on first access; durable recovery
+    // verified eagerly, so this only throws on truly late corruption.
+    index::SnapshotCursor cursor(repo.source->section(repo.source_section));
+    parse_repository(cursor, repo);
+    repo.source.reset();  // last repository standing unmaps the file
+    repo.materialized.store(true, std::memory_order_release);
+}
+
+// Section body layout (all via SnapshotWriter, see snapshot.hpp):
+//   u32 trained | u32 ranking | u64 tree_branch | u64 tree_depth |
+//   u32 kmeans_iterations | u64 max_training_samples | u64 seed |
+//   u64 num_objects |
+//   per object (sorted id):
+//     u64 id | bytes blob |
+//     u32 #dense { u32 modality | u32 #codes | bytes code... } |
+//     u32 #sparse { u32 modality | u32 #terms { str term | u32 freq }... }
+//   u32 #dense_states { u32 modality | vocab_tree | inverted_index } |
+//   u32 #sparse_indexes { u32 modality | inverted_index }
+// The IVF coarse-cell table is derived from the tree and rebuilt on
+// parse, never serialized.
+void MieServer::serialize_repository(index::SnapshotWriter& writer,
+                                     const Repository& repo) {
+    writer.write_u32(repo.trained ? 1 : 0);
+    writer.write_u32(static_cast<std::uint32_t>(repo.train_params.ranking));
+    writer.write_u64(repo.train_params.tree_branch);
+    writer.write_u64(repo.train_params.tree_depth);
+    writer.write_u32(
+        static_cast<std::uint32_t>(repo.train_params.kmeans_iterations));
+    writer.write_u64(repo.train_params.max_training_samples);
+    writer.write_u64(repo.train_params.seed);
+
+    std::vector<std::uint64_t> object_ids;
+    object_ids.reserve(repo.objects.size());
+    // mielint: allow(R3): ids are sorted on the next line
+    for (const auto& [id, object] : repo.objects) object_ids.push_back(id);
+    std::sort(object_ids.begin(), object_ids.end());
+    writer.write_u64(object_ids.size());
+    for (const std::uint64_t id : object_ids) {
+        const StoredObject& object = repo.objects.at(id);
+        writer.write_u64(id);
+        writer.write_bytes(object.blob);
+        writer.write_u32(
+            static_cast<std::uint32_t>(object.dense_codes.size()));
+        for (const auto& [modality, codes] : object.dense_codes) {
+            writer.write_u32(modality);
+            writer.write_u32(static_cast<std::uint32_t>(codes.size()));
+            for (const auto& code : codes) {
+                writer.write_bytes(code.serialize());
+            }
+        }
+        writer.write_u32(
+            static_cast<std::uint32_t>(object.sparse_terms.size()));
+        for (const auto& [modality, terms] : object.sparse_terms) {
+            writer.write_u32(modality);
+            writer.write_u32(static_cast<std::uint32_t>(terms.size()));
+            for (const auto& [term, freq] : terms) {
+                writer.write_string(term);
+                writer.write_u32(freq);
+            }
+        }
+    }
+
+    writer.write_u32(static_cast<std::uint32_t>(repo.dense.size()));
+    for (const auto& [modality, state] : repo.dense) {
+        writer.write_u32(modality);
+        index::write_vocab_tree(writer, state.tree);
+        index::write_inverted_index(writer, state.index);
+    }
+    writer.write_u32(static_cast<std::uint32_t>(repo.sparse.size()));
+    for (const auto& [modality, idx] : repo.sparse) {
+        writer.write_u32(modality);
+        index::write_inverted_index(writer, idx);
+    }
+}
+
+void MieServer::parse_repository(index::SnapshotCursor& cursor,
+                                 Repository& repo) {
+    repo.trained = cursor.read_u32() != 0;
+    repo.train_params.ranking =
+        static_cast<TrainParams::Ranking>(cursor.read_u32());
+    repo.train_params.tree_branch = cursor.read_u64();
+    repo.train_params.tree_depth = cursor.read_u64();
+    repo.train_params.kmeans_iterations =
+        static_cast<int>(cursor.read_u32());
+    repo.train_params.max_training_samples = cursor.read_u64();
+    repo.train_params.seed = cursor.read_u64();
+
+    const std::uint64_t num_objects = cursor.read_u64();
+    for (std::uint64_t i = 0; i < num_objects; ++i) {
+        const std::uint64_t id = cursor.read_u64();
+        StoredObject object;
+        object.blob = cursor.read_bytes();
+        const std::uint32_t num_dense = cursor.read_u32();
+        for (std::uint32_t m = 0; m < num_dense; ++m) {
+            const auto modality =
+                static_cast<ModalityId>(cursor.read_u32());
+            const std::uint32_t count = cursor.read_u32();
+            auto& codes = object.dense_codes[modality];
+            codes.reserve(std::min<std::uint32_t>(count, 4096));
+            for (std::uint32_t c = 0; c < count; ++c) {
+                codes.push_back(
+                    dpe::BitCode::deserialize(cursor.read_bytes_view()));
+            }
+        }
+        const std::uint32_t num_sparse = cursor.read_u32();
+        for (std::uint32_t m = 0; m < num_sparse; ++m) {
+            const auto modality =
+                static_cast<ModalityId>(cursor.read_u32());
+            const std::uint32_t count = cursor.read_u32();
+            auto& terms = object.sparse_terms[modality];
+            terms.reserve(std::min<std::uint32_t>(count, 4096));
+            for (std::uint32_t t = 0; t < count; ++t) {
+                index::Term term = cursor.read_string();
+                const std::uint32_t freq = cursor.read_u32();
+                terms.emplace_back(std::move(term), freq);
+            }
+        }
+        repo.objects.emplace(id, std::move(object));
+    }
+
+    const std::uint32_t num_dense_states = cursor.read_u32();
+    for (std::uint32_t m = 0; m < num_dense_states; ++m) {
+        const auto modality = static_cast<ModalityId>(cursor.read_u32());
+        DenseModalityState& state = repo.dense[modality];
+        state.tree = index::read_vocab_tree<index::HammingSpace>(cursor);
+        state.index = index::read_inverted_index(cursor);
+        state.ivf =
+            index::IvfQuantizer<index::HammingSpace>::build(state.tree);
+    }
+    const std::uint32_t num_sparse_states = cursor.read_u32();
+    for (std::uint32_t m = 0; m < num_sparse_states; ++m) {
+        const auto modality = static_cast<ModalityId>(cursor.read_u32());
+        repo.sparse[modality] = index::read_inverted_index(cursor);
+    }
+}
+
+Bytes MieServer::export_mapped_snapshot() const {
+    const std::shared_lock map_lock(map_mutex_);
+    std::vector<std::string> repo_ids;
+    repo_ids.reserve(repositories_.size());
+    // mielint: allow(R3): ids are sorted on the next line
+    for (const auto& [repo_id, repo_ptr] : repositories_) {
+        repo_ids.push_back(repo_id);
+    }
+    std::sort(repo_ids.begin(), repo_ids.end());
+    index::SnapshotFileBuilder builder;
+    for (const std::string& repo_id : repo_ids) {
+        Repository& repo = *repositories_.at(repo_id);
+        // A still-lazy repository round-trips through parse + reserialize;
+        // both are sorted-order pure functions of state, so the bytes are
+        // unchanged (the round-trip tests pin this down).
+        ensure_materialized(repo);
+        const std::shared_lock repo_lock(repo.mutex);
+        index::SnapshotWriter writer;
+        serialize_repository(writer, repo);
+        builder.add_section(repo_id, writer.take());
+    }
+    return builder.finish();
+}
+
+void MieServer::attach_mapped_snapshot(
+    std::shared_ptr<index::MappedSnapshot> snapshot) {
+    const std::unique_lock map_lock(map_mutex_);
+    repositories_.clear();
+    for (std::size_t i = 0; i < snapshot->num_sections(); ++i) {
+        auto repo = std::make_unique<Repository>();
+        repo->materialized.store(false, std::memory_order_release);
+        repo->source = snapshot;
+        repo->source_section = static_cast<std::uint32_t>(i);
+        repositories_[snapshot->section_name(i)] = std::move(repo);
+    }
+}
+
 MieServer::RepoStats MieServer::stats(const std::string& repo_id) const {
     const std::shared_lock map_lock(map_mutex_);
     const auto it = repositories_.find(repo_id);
     if (it == repositories_.end()) {
         throw std::invalid_argument("MieServer: unknown repository");
     }
-    const Repository& repo = *it->second;
+    Repository& repo = *it->second;
+    ensure_materialized(repo);
     const std::shared_lock repo_lock(repo.mutex);
     RepoStats stats;
     stats.num_objects = repo.objects.size();

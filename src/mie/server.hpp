@@ -24,6 +24,7 @@
 // repositories.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -34,7 +35,9 @@
 
 #include "dpe/bitcode.hpp"
 #include "index/inverted_index.hpp"
+#include "index/ivf.hpp"
 #include "index/scoring.hpp"
+#include "index/snapshot.hpp"
 #include "index/space.hpp"
 #include "index/vocab_tree.hpp"
 #include "mie/modality.hpp"
@@ -80,6 +83,31 @@ public:
     /// Replaces this server's state with a snapshot from export_snapshot.
     void restore_snapshot(BytesView snapshot);
 
+    /// Serializes the complete server state — objects AND trained
+    /// structures (vocabulary trees, inverted indexes) — into the
+    /// mmap-able snapshot v1 file format (index/snapshot.hpp), one
+    /// section per repository. Unlike export_snapshot, restoring this
+    /// needs no retraining.
+    Bytes export_mapped_snapshot() const;
+
+    /// O(1)-restart path: replaces server state with unmaterialized
+    /// repositories backed by `snapshot`'s sections. Each repository
+    /// parses its section (and pays its CRC check, unless the caller
+    /// verified eagerly) on first touch; until then only the section
+    /// name is read. The mapping stays alive until the last lazy
+    /// repository has materialized.
+    void attach_mapped_snapshot(
+        std::shared_ptr<index::MappedSnapshot> snapshot);
+
+    /// Per-search work accounting appended to the search response tail
+    /// (bench/fig5_search --probes reads it to prove the ≥3× candidate-
+    /// scoring reduction).
+    struct SearchWork {
+        std::uint64_t postings_scored = 0;
+        std::uint64_t query_descriptors = 0;
+        std::uint64_t descriptors_kept = 0;
+    };
+
 private:
     struct StoredObject {
         Bytes blob;  ///< AES-CTR ciphertext of the data-object
@@ -92,6 +120,9 @@ private:
     struct DenseModalityState {
         index::VocabTree<index::HammingSpace> tree;
         index::InvertedIndex index;
+        /// Coarse cells over `tree`, rebuilt with it (train or snapshot
+        /// materialization); derived data, never serialized.
+        index::IvfQuantizer<index::HammingSpace> ivf;
     };
 
     struct Repository {
@@ -102,6 +133,13 @@ private:
         std::map<ModalityId, index::InvertedIndex> sparse;
         /// Shared by readers (search/stats/list), exclusive for mutations.
         mutable std::shared_mutex mutex;
+        /// Lazy mmap materialization: while false, this repository's
+        /// contents still live in `source`'s section `source_section`;
+        /// ensure_materialized() parses them on first touch under the
+        /// repository mutex (double-checked through the atomic flag).
+        std::atomic<bool> materialized{true};
+        std::shared_ptr<index::MappedSnapshot> source;
+        std::uint32_t source_section = 0;
     };
 
     Bytes handle_create(net::MessageReader& reader);
@@ -125,24 +163,44 @@ private:
     void deindex_object(Repository& repo, std::uint64_t id);
 
     /// Ranks with the repository's configured ranking function.
-    std::vector<index::ScoredDoc> rank(const Repository& repo,
-                                       const index::InvertedIndex& index,
-                                       const index::QueryHistogram& query,
-                                       std::size_t top_k) const;
+    std::vector<index::ScoredDoc> rank(
+        const Repository& repo, const index::InvertedIndex& index,
+        const index::QueryHistogram& query, std::size_t top_k,
+        index::RankCounters* counters = nullptr) const;
 
-    /// Per-modality ranked lists for a trained repository.
+    /// Per-modality ranked lists for a trained repository. `probes` > 0
+    /// routes dense modalities through the IVF coarse quantizer (probe
+    /// the P most-voted sibling subtrees only); 0 is the exact path.
+    /// `work`, when non-null, receives the scoring-work tally.
     std::vector<std::vector<index::ScoredDoc>> ranked_search(
         const Repository& repo,
         const std::map<ModalityId, std::vector<dpe::BitCode>>& query_codes,
         const std::map<ModalityId, index::QueryHistogram>& query_terms,
-        std::size_t top_k) const;
+        std::size_t top_k, std::size_t probes = 0,
+        SearchWork* work = nullptr) const;
 
-    /// Linear-scan fallback for untrained repositories.
+    /// Linear-scan fallback for untrained repositories. There is no
+    /// coarse structure before training, so `probes` is accepted for
+    /// signature symmetry but ignored; `work` counts scanned candidates.
     std::vector<std::vector<index::ScoredDoc>> linear_search(
         const Repository& repo,
         const std::map<ModalityId, std::vector<dpe::BitCode>>& query_codes,
         const std::map<ModalityId, index::QueryHistogram>& query_terms,
-        std::size_t top_k) const;
+        std::size_t top_k, std::size_t probes = 0,
+        SearchWork* work = nullptr) const;
+
+    /// Parses `repo`'s snapshot section if it is still lazily backed by
+    /// a mapped file (no-op otherwise). Must be called before touching
+    /// repository contents; callers must NOT hold the repository mutex.
+    void ensure_materialized(Repository& repo) const;
+    void materialize_locked(Repository& repo) const;
+
+    /// Section-body (de)serialization for the mapped snapshot format.
+    /// Caller holds the repository lock.
+    static void serialize_repository(index::SnapshotWriter& writer,
+                                     const Repository& repo);
+    static void parse_repository(index::SnapshotCursor& cursor,
+                                 Repository& repo);
 
     /// Guards the repository map itself; per-repository state is guarded
     /// by Repository::mutex. Lock order: map_mutex_ before any

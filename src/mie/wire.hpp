@@ -3,6 +3,16 @@
 // One opcode per operation of Definition 2 (plus a stats probe used by
 // tests and benchmarks). Request/response bodies are serialized with
 // net::MessageWriter/Reader; see server.cpp for the exact layouts.
+//
+// kSearch layout (the one request with optional tail fields):
+//   request:  u8 op | str repo | u32 top_k | modalities
+//             [| u32 probes]      IVF probe count; absent or 0 = exact
+//                                 path (index/ivf.hpp). Read leniently,
+//                                 so pre-probes clients stay compatible.
+//   response: u32 count | count x (u64 id | f64 score | bytes blob)
+//             [| u64 postings_scored | u64 query_descriptors
+//              | u64 descriptors_kept]   work-accounting tail; readers
+//                                 that stop after the results ignore it.
 #pragma once
 
 #include <cstdint>

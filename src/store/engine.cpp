@@ -10,10 +10,22 @@ StorageEngine::StorageEngine(Vfs& vfs, std::filesystem::path dir,
       wal_(vfs, dir / "wal", options.wal),
       options_(options) {
     if (const auto loaded = checkpoints_.load_latest()) {
-        restore(loaded->snapshot);
-        recovery_.had_checkpoint = true;
-        recovery_.checkpoint_lsn = loaded->lsn;
-        checkpoint_lsn_ = loaded->lsn;
+        try {
+            restore(loaded->snapshot);
+            recovery_.had_checkpoint = true;
+            recovery_.checkpoint_lsn = loaded->lsn;
+            checkpoint_lsn_ = loaded->lsn;
+        } catch (...) {
+            // The checkpoint is unusable — e.g. the snapshot file a
+            // checkpoint stub references is corrupt or missing. Recovery
+            // can still converge by replaying the full log, but only if
+            // no records were truncated by an earlier checkpoint: the
+            // active segment is never deleted, so oldest_lsn() <= 1 means
+            // complete history is present. (The restore callback must
+            // validate before mutating, so state is untouched here.)
+            if (wal_.oldest_lsn() > 1) throw;
+            checkpoint_lsn_ = 0;
+        }
     }
     wal_.replay(checkpoint_lsn_, [&](Lsn, BytesView payload) {
         apply(payload);

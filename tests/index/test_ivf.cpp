@@ -1,0 +1,163 @@
+// IVF coarse-quantized query path (index/ivf.hpp).
+//
+// The load-bearing contracts: (a) probes == 0, probes >= the cell count,
+// and an unbuilt quantizer all reproduce the exact bovw_histogram
+// BITWISE; (b) probed histograms are subsets of the exact histogram
+// (pruning never invents terms); (c) everything is deterministic at any
+// thread count, because the vote aggregation and cell selection are
+// serial integer code.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dpe/bitcode.hpp"
+#include "exec/exec.hpp"
+#include "index/bovw.hpp"
+#include "index/ivf.hpp"
+#include "index/space.hpp"
+#include "index/vocab_tree.hpp"
+#include "util/rng.hpp"
+
+namespace mie::index {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+struct WidthGuard {
+    ~WidthGuard() { exec::set_max_threads(0); }
+};
+
+std::vector<dpe::BitCode> hamming_points(std::size_t count,
+                                         std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    std::vector<dpe::BitCode> points;
+    points.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        dpe::BitCode code(128);
+        for (std::size_t b = 0; b < 128; ++b) {
+            code.set(b, rng.next_double() < 0.5);
+        }
+        points.push_back(std::move(code));
+    }
+    return points;
+}
+
+std::vector<features::FeatureVec> euclidean_points(std::size_t count,
+                                                   std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    std::vector<features::FeatureVec> points;
+    points.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        features::FeatureVec v(16);
+        for (auto& x : v) x = static_cast<float>(rng.next_double() * 10.0);
+        points.push_back(std::move(v));
+    }
+    return points;
+}
+
+template <typename Space>
+VocabTree<Space> build_tree(const std::vector<typename Space::Point>& pts) {
+    typename VocabTree<Space>::Params params;
+    params.branch = 5;
+    params.depth = 2;
+    params.kmeans_iterations = 6;
+    return VocabTree<Space>::build(pts, params, 2017);
+}
+
+TEST(Ivf, ZeroProbesReproducesExactHistogramBitwise) {
+    const auto training = hamming_points(400, 7);
+    const auto tree = build_tree<HammingSpace>(training);
+    const auto ivf = IvfQuantizer<HammingSpace>::build(tree);
+    ASSERT_GT(ivf.num_cells(), 1u);
+
+    const auto query = hamming_points(50, 99);
+    const QueryHistogram exact = bovw_histogram(tree, query);
+    EXPECT_EQ(ivf_histogram(tree, ivf, query, 0), exact);
+    EXPECT_EQ(ivf_histogram(tree, ivf, query, ivf.num_cells()), exact);
+    EXPECT_EQ(ivf_histogram(tree, ivf, query, ivf.num_cells() + 3), exact);
+    // Unbuilt quantizer: also exact.
+    EXPECT_EQ(ivf_histogram(tree, IvfQuantizer<HammingSpace>{}, query, 2),
+              exact);
+}
+
+TEST(Ivf, ProbedHistogramIsSubsetOfExact) {
+    const auto training = hamming_points(400, 7);
+    const auto tree = build_tree<HammingSpace>(training);
+    const auto ivf = IvfQuantizer<HammingSpace>::build(tree);
+    const auto query = hamming_points(60, 31);
+    const QueryHistogram exact = bovw_histogram(tree, query);
+
+    for (std::size_t probes = 1; probes < ivf.num_cells(); ++probes) {
+        IvfStats stats;
+        const QueryHistogram probed =
+            ivf_histogram(tree, ivf, query, probes, &stats);
+        std::uint64_t kept = 0;
+        for (const auto& [term, freq] : probed) {
+            const auto it = exact.find(term);
+            ASSERT_NE(it, exact.end()) << "probed invented a term";
+            // A probed descriptor descends from the same cell the exact
+            // walk's first step picks, so per-term counts can only drop.
+            EXPECT_LE(freq, it->second);
+            kept += freq;
+        }
+        EXPECT_EQ(stats.query_descriptors, query.size());
+        EXPECT_EQ(stats.descriptors_kept, kept);
+        EXPECT_LE(stats.cells_probed, probes);
+        EXPECT_EQ(stats.cells_total, ivf.num_cells());
+        EXPECT_GT(kept, 0u);  // the most-voted cell always keeps some
+    }
+}
+
+TEST(Ivf, EuclideanSpaceSubsetAndExactFallback) {
+    const auto training = euclidean_points(400, 5);
+    const auto tree = build_tree<EuclideanSpace>(training);
+    const auto ivf = IvfQuantizer<EuclideanSpace>::build(tree);
+    ASSERT_GT(ivf.num_cells(), 1u);
+    const auto query = euclidean_points(40, 77);
+    const QueryHistogram exact = bovw_histogram(tree, query);
+    EXPECT_EQ(ivf_histogram(tree, ivf, query, ivf.num_cells()), exact);
+    const QueryHistogram probed = ivf_histogram(tree, ivf, query, 1);
+    for (const auto& [term, freq] : probed) {
+        const auto it = exact.find(term);
+        ASSERT_NE(it, exact.end());
+        EXPECT_LE(freq, it->second);
+    }
+}
+
+TEST(Ivf, DeterministicAtEveryThreadCount) {
+    const WidthGuard guard;
+    const auto training = hamming_points(400, 7);
+    exec::set_max_threads(1);
+    const auto tree = build_tree<HammingSpace>(training);
+    const auto ivf = IvfQuantizer<HammingSpace>::build(tree);
+    const auto query = hamming_points(80, 13);
+
+    for (std::size_t probes : {std::size_t{1}, std::size_t{2},
+                               ivf.num_cells()}) {
+        IvfStats reference_stats;
+        const QueryHistogram reference =
+            ivf_histogram(tree, ivf, query, probes, &reference_stats);
+        for (const std::size_t threads : kThreadCounts) {
+            exec::set_max_threads(threads);
+            IvfStats stats;
+            EXPECT_EQ(ivf_histogram(tree, ivf, query, probes, &stats),
+                      reference)
+                << "probes=" << probes << " threads=" << threads;
+            EXPECT_EQ(stats.descriptors_kept,
+                      reference_stats.descriptors_kept);
+            EXPECT_EQ(stats.cells_probed, reference_stats.cells_probed);
+        }
+        exec::set_max_threads(1);
+    }
+}
+
+TEST(Ivf, EmptyQueryYieldsEmptyHistogram) {
+    const auto training = hamming_points(300, 3);
+    const auto tree = build_tree<HammingSpace>(training);
+    const auto ivf = IvfQuantizer<HammingSpace>::build(tree);
+    EXPECT_TRUE(ivf_histogram(tree, ivf, {}, 2).empty());
+    EXPECT_TRUE(ivf_histogram(tree, ivf, {}, 0).empty());
+}
+
+}  // namespace
+}  // namespace mie::index

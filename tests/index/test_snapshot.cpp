@@ -1,0 +1,324 @@
+// Snapshot v1 format tests (index/snapshot.hpp): writer/cursor mirror
+// discipline, vocab-tree and inverted-index round trips in both metric
+// spaces, mmap open + lazy section CRC, every rejection path (truncated /
+// corrupted / version-bumped files fail with a clean SnapshotError), and
+// the committed golden fixture that pins on-disk compatibility.
+//
+// Regenerating the golden fixture (only after a DELIBERATE format bump —
+// bump kSnapshotVersion first):
+//   MIE_WRITE_GOLDEN_SNAPSHOT=1 ./test_snapshot --gtest_filter='*Golden*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dpe/bitcode.hpp"
+#include "index/bovw.hpp"
+#include "index/inverted_index.hpp"
+#include "index/snapshot.hpp"
+#include "index/space.hpp"
+#include "index/vocab_tree.hpp"
+#include "util/bytes.hpp"
+#include "util/crc32c.hpp"
+#include "util/rng.hpp"
+
+namespace mie::index {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<dpe::BitCode> hamming_points(std::size_t count,
+                                         std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    std::vector<dpe::BitCode> points;
+    points.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        dpe::BitCode code(128);
+        for (std::size_t b = 0; b < 128; ++b) {
+            code.set(b, rng.next_double() < 0.5);
+        }
+        points.push_back(std::move(code));
+    }
+    return points;
+}
+
+std::vector<features::FeatureVec> euclidean_points(std::size_t count,
+                                                   std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    std::vector<features::FeatureVec> points;
+    points.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        features::FeatureVec v(8);
+        for (auto& x : v) x = static_cast<float>(rng.next_double() * 4.0);
+        points.push_back(std::move(v));
+    }
+    return points;
+}
+
+template <typename Space>
+VocabTree<Space> build_tree(const std::vector<typename Space::Point>& pts) {
+    typename VocabTree<Space>::Params params;
+    params.branch = 4;
+    params.depth = 2;
+    params.kmeans_iterations = 5;
+    return VocabTree<Space>::build(pts, params, 42);
+}
+
+InvertedIndex sample_index() {
+    InvertedIndex index;
+    index.add(visual_word_term(3), 7, 2);
+    index.add(visual_word_term(3), 9, 1);
+    index.add(visual_word_term(1), 9, 4);
+    index.add(visual_word_term(12), 2, 1);
+    return index;
+}
+
+/// The golden snapshot: one section per metric space, deterministic in
+/// every bit (tree training is thread-count- and kernel-level-invariant).
+Bytes build_golden_snapshot() {
+    SnapshotFileBuilder builder;
+    {
+        SnapshotWriter writer;
+        write_vocab_tree(writer, build_tree<HammingSpace>(
+                                     hamming_points(120, 17)));
+        write_inverted_index(writer, sample_index());
+        builder.add_section("hamming", writer.take());
+    }
+    {
+        SnapshotWriter writer;
+        write_vocab_tree(writer, build_tree<EuclideanSpace>(
+                                     euclidean_points(120, 23)));
+        builder.add_section("euclidean", writer.take());
+    }
+    return builder.finish();
+}
+
+fs::path write_temp_snapshot(const Bytes& bytes, const std::string& name) {
+    const fs::path path = fs::path(::testing::TempDir()) / name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    return path;
+}
+
+/// Re-stamps the header CRC after a deliberate header patch, so the
+/// targeted validation error fires instead of the checksum error.
+void fix_header_crc(Bytes& file) {
+    const std::uint32_t crc =
+        crc32c(BytesView(file.data(), kSnapshotHeaderSize - 4));
+    Bytes le;
+    append_le(le, crc);
+    std::copy(le.begin(), le.end(),
+              file.begin() + kSnapshotHeaderSize - 4);
+}
+
+TEST(SnapshotWriterCursor, ScalarsAndBytesRoundTripWithAlignment) {
+    SnapshotWriter writer;
+    writer.write_u32(7);
+    writer.write_u64(0x1122334455667788ull);  // forces 8-alignment pad
+    writer.write_bytes(to_bytes("abc"));      // 3 bytes + 1 pad
+    writer.write_u32(9);
+    writer.write_f32(1.5f);
+    writer.write_string("hello");
+    const Bytes bytes = writer.take();
+    EXPECT_EQ(bytes.size() % 4, 0u);
+
+    SnapshotCursor cursor{BytesView(bytes)};
+    EXPECT_EQ(cursor.read_u32(), 7u);
+    EXPECT_EQ(cursor.read_u64(), 0x1122334455667788ull);
+    EXPECT_EQ(cursor.read_bytes(), to_bytes("abc"));
+    EXPECT_EQ(cursor.read_u32(), 9u);
+    EXPECT_EQ(cursor.read_f32(), 1.5f);
+    EXPECT_EQ(cursor.read_string(), "hello");
+    EXPECT_TRUE(cursor.at_end());
+}
+
+TEST(SnapshotWriterCursor, TruncatedReadThrows) {
+    SnapshotWriter writer;
+    writer.write_u32(4);
+    const Bytes bytes = writer.take();
+    SnapshotCursor cursor{BytesView(bytes)};
+    EXPECT_EQ(cursor.read_u32(), 4u);
+    EXPECT_THROW(cursor.read_u64(), SnapshotError);
+    SnapshotCursor bad_len{BytesView(bytes)};
+    EXPECT_THROW(bad_len.read_bytes(), SnapshotError);  // len 4 > remaining
+}
+
+TEST(SnapshotTree, HammingRoundTripBitwise) {
+    const auto tree = build_tree<HammingSpace>(hamming_points(150, 5));
+    SnapshotWriter writer;
+    write_vocab_tree(writer, tree);
+    const Bytes first = writer.take();
+
+    SnapshotCursor cursor{BytesView(first)};
+    const auto restored = read_vocab_tree<HammingSpace>(cursor);
+    EXPECT_TRUE(cursor.at_end());
+    EXPECT_EQ(restored, tree);
+
+    SnapshotWriter rewriter;
+    write_vocab_tree(rewriter, restored);
+    EXPECT_EQ(rewriter.take(), first);  // bitwise-stable re-serialization
+}
+
+TEST(SnapshotTree, EuclideanRoundTripBitwise) {
+    const auto tree = build_tree<EuclideanSpace>(euclidean_points(150, 9));
+    SnapshotWriter writer;
+    write_vocab_tree(writer, tree);
+    const Bytes first = writer.take();
+    SnapshotCursor cursor{BytesView(first)};
+    const auto restored = read_vocab_tree<EuclideanSpace>(cursor);
+    EXPECT_EQ(restored, tree);
+    SnapshotWriter rewriter;
+    write_vocab_tree(rewriter, restored);
+    EXPECT_EQ(rewriter.take(), first);
+}
+
+TEST(SnapshotTree, WrongMetricSpaceRejected) {
+    const auto tree = build_tree<HammingSpace>(hamming_points(100, 5));
+    SnapshotWriter writer;
+    write_vocab_tree(writer, tree);
+    const Bytes bytes = writer.take();
+    SnapshotCursor cursor{BytesView(bytes)};
+    EXPECT_THROW(read_vocab_tree<EuclideanSpace>(cursor), SnapshotError);
+}
+
+TEST(SnapshotIndex, RoundTripBitwise) {
+    const InvertedIndex index = sample_index();
+    SnapshotWriter writer;
+    write_inverted_index(writer, index);
+    const Bytes first = writer.take();
+
+    SnapshotCursor cursor{BytesView(first)};
+    const InvertedIndex restored = read_inverted_index(cursor);
+    EXPECT_EQ(restored.num_terms(), index.num_terms());
+    EXPECT_EQ(restored.num_postings(), index.num_postings());
+    SnapshotWriter rewriter;
+    write_inverted_index(rewriter, restored);
+    EXPECT_EQ(rewriter.take(), first);
+}
+
+TEST(SnapshotFile, BuildOpenAndReadSections) {
+    const Bytes file = build_golden_snapshot();
+    const auto snapshot = MappedSnapshot::from_bytes(Bytes(file));
+    ASSERT_EQ(snapshot->num_sections(), 2u);
+    EXPECT_EQ(snapshot->section_name(0), "hamming");
+    EXPECT_EQ(snapshot->section_name(1), "euclidean");
+    EXPECT_EQ(snapshot->file_size(), file.size());
+
+    SnapshotCursor hamming{snapshot->section(0)};
+    const auto tree = read_vocab_tree<HammingSpace>(hamming);
+    EXPECT_EQ(tree, build_tree<HammingSpace>(hamming_points(120, 17)));
+    const InvertedIndex index = read_inverted_index(hamming);
+    EXPECT_TRUE(hamming.at_end());
+    EXPECT_EQ(index.num_postings(), sample_index().num_postings());
+
+    SnapshotCursor euclidean{snapshot->section(1)};
+    EXPECT_EQ(read_vocab_tree<EuclideanSpace>(euclidean),
+              build_tree<EuclideanSpace>(euclidean_points(120, 23)));
+}
+
+TEST(SnapshotFile, MmapOpenReadsIdenticalSections) {
+    const Bytes file = build_golden_snapshot();
+    const fs::path path = write_temp_snapshot(file, "snap-open.misnap");
+    const auto mapped = MappedSnapshot::open(path);
+    const auto in_memory = MappedSnapshot::from_bytes(Bytes(file));
+    ASSERT_EQ(mapped->num_sections(), in_memory->num_sections());
+    for (std::size_t i = 0; i < mapped->num_sections(); ++i) {
+        const BytesView a = mapped->section(i);
+        const BytesView b = in_memory->section(i);
+        ASSERT_EQ(a.size(), b.size());
+        EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    }
+    fs::remove(path);
+}
+
+TEST(SnapshotFile, RejectsTruncationAndHeaderCorruption) {
+    const Bytes file = build_golden_snapshot();
+
+    Bytes short_header(file.begin(), file.begin() + 16);
+    EXPECT_THROW(MappedSnapshot::from_bytes(std::move(short_header)),
+                 SnapshotError);
+
+    Bytes bad_magic = file;
+    bad_magic[0] ^= 0xFF;
+    EXPECT_THROW(MappedSnapshot::from_bytes(std::move(bad_magic)),
+                 SnapshotError);
+
+    Bytes flipped_header = file;
+    flipped_header[20] ^= 0x01;  // inside file_size; header CRC catches it
+    EXPECT_THROW(MappedSnapshot::from_bytes(std::move(flipped_header)),
+                 SnapshotError);
+
+    Bytes truncated(file.begin(), file.end() - 8);  // file_size mismatch
+    EXPECT_THROW(MappedSnapshot::from_bytes(std::move(truncated)),
+                 SnapshotError);
+}
+
+TEST(SnapshotFile, RejectsFutureVersionWithCleanError) {
+    Bytes file = build_golden_snapshot();
+    Bytes version;
+    append_le(version, kSnapshotVersion + 1);
+    std::copy(version.begin(), version.end(), file.begin() + 8);
+    fix_header_crc(file);
+    try {
+        MappedSnapshot::from_bytes(std::move(file));
+        FAIL() << "expected SnapshotError";
+    } catch (const SnapshotError& error) {
+        EXPECT_NE(std::string(error.what()).find("unsupported version"),
+                  std::string::npos);
+    }
+}
+
+TEST(SnapshotFile, SectionCorruptionIsCaughtLazilyAndEagerly) {
+    Bytes file = build_golden_snapshot();
+    const auto clean = MappedSnapshot::from_bytes(Bytes(file));
+    // Flip one byte inside section 0's body (bodies start at offset 40).
+    file[kSnapshotHeaderSize + 4] ^= 0x01;
+    const auto corrupt = MappedSnapshot::from_bytes(Bytes(file));
+    // open/from_bytes stays O(#sections): the corruption is NOT noticed...
+    ASSERT_EQ(corrupt->num_sections(), clean->num_sections());
+    // ...until the section is touched, or verify_all_sections() runs.
+    EXPECT_THROW(corrupt->section(0), SnapshotError);
+    EXPECT_THROW(corrupt->verify_all_sections(), SnapshotError);
+    // Untouched sections remain readable (independent CRCs).
+    EXPECT_NO_THROW(corrupt->section(1));
+}
+
+TEST(SnapshotFile, GoldenFixtureStillReadable) {
+    const fs::path path =
+        fs::path(SNAPSHOT_FIXTURE_DIR) / "golden-v1.misnap";
+    const Bytes expected = build_golden_snapshot();
+    if (std::getenv("MIE_WRITE_GOLDEN_SNAPSHOT") != nullptr) {
+        write_temp_snapshot(expected, "unused");  // exercise the writer
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(expected.data()),
+                  static_cast<std::streamsize>(expected.size()));
+        GTEST_SKIP() << "golden fixture regenerated at " << path;
+    }
+    ASSERT_TRUE(fs::exists(path))
+        << "missing committed fixture " << path
+        << " (regenerate with MIE_WRITE_GOLDEN_SNAPSHOT=1)";
+
+    // Byte-compatibility both ways: today's writer still produces the
+    // committed bytes, and today's reader parses them.
+    const auto mapped = MappedSnapshot::open(path);
+    EXPECT_EQ(mapped->file_size(), expected.size());
+    mapped->verify_all_sections();
+    std::ifstream in(path, std::ios::binary);
+    const Bytes on_disk((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(on_disk, expected);
+
+    SnapshotCursor hamming{mapped->section(0)};
+    EXPECT_EQ(read_vocab_tree<HammingSpace>(hamming),
+              build_tree<HammingSpace>(hamming_points(120, 17)));
+    EXPECT_EQ(read_inverted_index(hamming).num_postings(),
+              sample_index().num_postings());
+}
+
+}  // namespace
+}  // namespace mie::index

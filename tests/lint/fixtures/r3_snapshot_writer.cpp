@@ -1,0 +1,16 @@
+// Fixture: exactly one R3 finding (line 12) — a snapshot writer that
+// serializes an unordered_map by direct iteration. On-disk bytes would
+// depend on hash-table order; the real writers sort ids/terms first
+// (see index/snapshot.hpp and MieServer::serialize_repository).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> objects;
+
+void write_snapshot(std::vector<std::uint8_t>& out) {
+    for (const auto& [id, blob] : objects) {
+        out.push_back(static_cast<std::uint8_t>(id));
+        out.insert(out.end(), blob.begin(), blob.end());
+    }
+}

@@ -63,6 +63,7 @@ INSTANTIATE_TEST_SUITE_P(
         GoldenCase{"r1_time_seed.cpp", "R1", 5},
         GoldenCase{"r2_memcmp.cpp", "R2", 5},
         GoldenCase{"r2_secret_eq.cpp", "R2", 7},
+        GoldenCase{"r3_snapshot_writer.cpp", "R3", 12},
         GoldenCase{"r3_unordered_iter.cpp", "R3", 10},
         GoldenCase{"r4_missing_pragma.hpp", "R4", 1},
         GoldenCase{"r4_using_namespace.hpp", "R4", 6},
@@ -90,12 +91,13 @@ TEST(MielintFixtures, WholeDirectoryFindingsAreSortedAndComplete) {
     const char* names[] = {
         "clean.cpp",          "r1_nondeterminism.cpp", "r1_time_seed.cpp",
         "r2_memcmp.cpp",      "r2_secret_eq.cpp",      "r3_allowed.cpp",
-        "r3_unordered_iter.cpp", "r4_missing_pragma.hpp",
+        "r3_snapshot_writer.cpp", "r3_unordered_iter.cpp",
+        "r4_missing_pragma.hpp",
         "r4_using_namespace.hpp", "r5_bytes_key.hpp",  "r5_biguint.hpp"};
     for (const char* name : names) paths.push_back(root + "/" + name);
     const std::vector<Finding> findings =
         mielint::lint_paths(paths, root, test_config());
-    ASSERT_EQ(findings.size(), 9u);
+    ASSERT_EQ(findings.size(), 10u);
     for (std::size_t i = 1; i < findings.size(); ++i) {
         EXPECT_LE(findings[i - 1].file, findings[i].file);
     }
