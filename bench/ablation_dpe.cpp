@@ -38,6 +38,7 @@ double map_with_dpe(double delta, std::size_t bits, std::uint64_t seed) {
     client.train_params.tree_branch = 10;
     client.train_params.tree_depth = 2;
     client.create_repository();
+    // mielint: allow(R3): sim::Dataset::objects is a std::vector
     for (const auto& object : dataset.objects) client.update(object);
     client.train();
     return 100.0 * scheme_map(client, dataset, 16);

@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
             client.train_params.tree_branch = branch;
             client.train_params.tree_depth = depth;
             client.create_repository();
+            // mielint: allow(R3): sim::Dataset::objects is a std::vector
             for (const auto& object : dataset.objects) client.update(object);
             client.train();
             const double map = 100.0 * scheme_map(client, dataset, 16);
@@ -82,6 +83,7 @@ int main(int argc, char** argv) {
         // merged with each fusion function and scored by mAP.
         const auto dataset = make_dataset(302);
         PlaintextRetrieval plaintext;
+        // mielint: allow(R3): sim::Dataset::objects is a std::vector
         for (const auto& object : dataset.objects) plaintext.add(object);
         plaintext.train();
 
@@ -110,6 +112,7 @@ int main(int argc, char** argv) {
             for (const std::size_t query_index : dataset.query_indices) {
                 const auto& query = dataset.objects[query_index];
                 std::unordered_set<std::uint64_t> relevant;
+                // mielint: allow(R3): sim::Dataset::objects is a std::vector
                 for (const auto& object : dataset.objects) {
                     if (object.label == query.label &&
                         object.id != query.id) {
@@ -155,6 +158,7 @@ int main(int argc, char** argv) {
             client.train_params.tree_depth = 2;
             client.train_params.ranking = ranking;
             client.create_repository();
+            // mielint: allow(R3): sim::Dataset::objects is a std::vector
             for (const auto& object : dataset.objects) client.update(object);
             client.train();
             const double map = 100.0 * scheme_map(client, dataset, 16);

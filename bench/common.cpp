@@ -394,6 +394,7 @@ double scheme_map(SearchableScheme& scheme,
     for (const std::size_t query_index : dataset.query_indices) {
         const auto& query = dataset.objects[query_index];
         std::unordered_set<std::uint64_t> relevant;
+        // mielint: allow(R3): sim::Dataset::objects is a std::vector
         for (const auto& object : dataset.objects) {
             if (object.label == query.label && object.id != query.id) {
                 relevant.insert(object.id);
@@ -418,6 +419,7 @@ double plaintext_map(PlaintextRetrieval& system,
     for (const std::size_t query_index : dataset.query_indices) {
         const auto& query = dataset.objects[query_index];
         std::unordered_set<std::uint64_t> relevant;
+        // mielint: allow(R3): sim::Dataset::objects is a std::vector
         for (const auto& object : dataset.objects) {
             if (object.label == query.label && object.id != query.id) {
                 relevant.insert(object.id);

@@ -55,6 +55,7 @@ int run_ann_sweep(int argc, char** argv) {
     // textures are noiseless so quantization is stable and df stays at
     // N/K rather than fragmenting into rare high-IDF words.
     const std::size_t background_variants = 4;
+    // mielint: allow(R3): sim::Dataset::objects is a std::vector
     for (auto& object : dataset.objects) {
         features::Image& image = object.image;
         const double phase =
@@ -85,6 +86,7 @@ int run_ann_sweep(int argc, char** argv) {
         parse_double_flag(argc, argv, "--branch", 32));
     client.train_params.tree_depth = 2;
     client.create_repository();
+    // mielint: allow(R3): sim::Dataset::objects is a std::vector
     for (const auto& object : dataset.objects) client.update(object);
     client.train();
 

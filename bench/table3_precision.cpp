@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
         // Plaintext reference.
         {
             PlaintextRetrieval plaintext;
+            // mielint: allow(R3): sim::Dataset::objects is a std::vector
             for (const auto& object : dataset.objects) plaintext.add(object);
             plaintext.train();
             map_sum[0] += plaintext_map(plaintext, dataset, top_k);
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
                             55 + static_cast<std::uint64_t>(run),
                             /*paillier_bits=*/256);
             bundle.client->create_repository();
+            // mielint: allow(R3): sim::Dataset::objects is a std::vector
             for (const auto& object : dataset.objects) {
                 bundle.client->update(object);
             }

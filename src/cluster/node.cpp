@@ -157,6 +157,7 @@ void Node::load_replication_offset() {
         lsn |= static_cast<std::uint64_t>(data[8 + static_cast<std::size_t>(i)])
                << (8 * i);
     }
+    // mielint: allow(R8): ctor-only helper; no other thread exists yet
     acked_lsn_ = lsn;
 }
 

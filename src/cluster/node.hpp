@@ -141,9 +141,13 @@ private:
     /// atomic. Lock order: mutex_ before durable_'s log mutex (nothing
     /// inside DurableServer calls back into the node).
     mutable std::mutex mutex_;
+    // mielint: guarded_by(mutex_)
     Role role_;
+    // mielint: guarded_by(mutex_)
     std::uint64_t acked_lsn_ = 0;
+    // mielint: guarded_by(mutex_)
     bool acked_dirty_ = false;
+    // mielint: guarded_by(mutex_)
     ReplicationStats repl_stats_;
 };
 

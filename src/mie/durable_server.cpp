@@ -248,11 +248,13 @@ DurableServer::ReplicationSnapshot DurableServer::replication_snapshot()
     return snap;
 }
 
+// mielint: acquires(log_mutex_)
 void DurableServer::maybe_checkpoint_locked() {
     if (!engine_.checkpoint_due()) return;
     write_checkpoint_locked();
 }
 
+// mielint: acquires(log_mutex_)
 void DurableServer::write_checkpoint_locked() {
     if (!mmap_checkpoints_) {
         engine_.checkpoint(inner_.export_snapshot());

@@ -150,9 +150,10 @@ private:
     void write_checkpoint_locked();
 
     MieServer inner_;
-    /// (client, seq) -> response for enveloped mutations; guarded by
-    /// log_mutex_ and rebuilt from the WAL during recovery. Declared
-    /// before engine_: the engine's recovery replay inserts into it.
+    /// (client, seq) -> response for enveloped mutations, rebuilt from
+    /// the WAL during recovery. Declared before engine_: the engine's
+    /// recovery replay inserts into it.
+    // mielint: guarded_by(log_mutex_)
     net::ReplayCache replay_cache_;
     /// Snapshot-file plumbing; declared before engine_ because the
     /// engine's recovery restore callback reads them.
@@ -164,10 +165,15 @@ private:
     /// WAL order matches application order. Lock order: log_mutex_
     /// before the inner server's locks.
     mutable std::mutex log_mutex_;
+    // mielint: guarded_by(log_mutex_)
     std::size_t records_logged_ = 0;
+    // mielint: guarded_by(log_mutex_)
     std::size_t checkpoints_written_ = 0;
+    // mielint: guarded_by(log_mutex_)
     std::size_t replays_suppressed_ = 0;
+    // mielint: guarded_by(log_mutex_)
     std::size_t batches_committed_ = 0;
+    // mielint: guarded_by(log_mutex_)
     std::size_t max_batch_records_ = 0;
 };
 

@@ -107,6 +107,7 @@ Bytes MieServer::handle(BytesView request) {
     throw std::invalid_argument("MieServer: unknown opcode");
 }
 
+// mielint: acquires(map_mutex_)
 MieServer::Repository& MieServer::require_repo(
     const std::string& repo_id) const {
     const auto it = repositories_.find(repo_id);

@@ -206,6 +206,7 @@ private:
     /// by Repository::mutex. Lock order: map_mutex_ before any
     /// Repository::mutex.
     mutable std::shared_mutex map_mutex_;
+    // mielint: guarded_by(map_mutex_)
     std::unordered_map<std::string, std::unique_ptr<Repository>>
         repositories_;
 };

@@ -85,9 +85,12 @@ private:
     Options options_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<Item> queue_;  ///< guarded by mutex_
-    bool stopping_ = false;   ///< guarded by mutex_
-    Stats stats_;             ///< guarded by mutex_
+    // mielint: guarded_by(mutex_)
+    std::deque<Item> queue_;
+    // mielint: guarded_by(mutex_)
+    bool stopping_ = false;
+    // mielint: guarded_by(mutex_)
+    Stats stats_;
     std::thread thread_;
 };
 

@@ -129,6 +129,7 @@ void ReactorServer::stop() {
     }
     connections_.clear();
     paused_.clear();
+    // mielint: allow(R8): loop joined, in-flight drained; no writers left
     ready_.clear();
 }
 
@@ -146,6 +147,7 @@ ReactorServer::Stats ReactorServer::stats() const {
     return out;
 }
 
+// mielint: nonblocking
 void ReactorServer::wake() {
     const std::uint64_t one = 1;
     // The counter saturating (EAGAIN) still leaves it nonzero = readable.
@@ -153,10 +155,14 @@ void ReactorServer::wake() {
         ::write(wakeup_fd_, &one, sizeof(one));
 }
 
+// mielint: nonblocking
 void ReactorServer::loop() {
     constexpr int kMaxEvents = 128;
     epoll_event events[kMaxEvents];
     while (running_.load(std::memory_order_acquire)) {
+        // The loop's one intended wait: bounded by kEpollTimeoutMs and
+        // cut short by the wakeup eventfd on any completion.
+        // mielint: allow(R6): the event loop's one sanctioned wait
         const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents,
                                    kEpollTimeoutMs);
         if (n < 0) {
@@ -208,10 +214,11 @@ void ReactorServer::loop() {
     }
 }
 
+// mielint: nonblocking
 void ReactorServer::accept_all() {
     for (;;) {
-        const int fd =
-            ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+        // mielint: allow(R6): listener fd is SOCK_NONBLOCK; drains EAGAIN
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
         if (fd < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
             if (net::is_transient_accept_error(errno)) {
@@ -248,6 +255,7 @@ void ReactorServer::accept_all() {
     }
 }
 
+// mielint: nonblocking
 void ReactorServer::handle_event(const std::shared_ptr<Connection>& conn,
                                  std::uint32_t events) {
     if (events & (EPOLLERR | EPOLLHUP)) {
@@ -265,9 +273,11 @@ void ReactorServer::handle_event(const std::shared_ptr<Connection>& conn,
     }
 }
 
+// mielint: nonblocking
 void ReactorServer::handle_readable(const std::shared_ptr<Connection>& conn) {
     std::uint8_t chunk[16 * 1024];
     for (;;) {
+        // mielint: allow(R6): connection fds are SOCK_NONBLOCK
         const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
         if (n > 0) {
             conn->decoder.feed(BytesView(chunk, static_cast<std::size_t>(n)));
@@ -292,6 +302,7 @@ void ReactorServer::handle_readable(const std::shared_ptr<Connection>& conn) {
     }
 }
 
+// mielint: nonblocking
 bool ReactorServer::process_frames(const std::shared_ptr<Connection>& conn) {
     for (;;) {
         if (over_per_connection_watermark(*conn)) {
@@ -331,6 +342,7 @@ bool ReactorServer::process_frames(const std::shared_ptr<Connection>& conn) {
     }
 }
 
+// mielint: nonblocking
 void ReactorServer::dispatch(const std::shared_ptr<Connection>& conn,
                              Bytes request) {
     auto slot = std::make_shared<Slot>();
@@ -379,6 +391,7 @@ void ReactorServer::complete(const std::shared_ptr<Connection>& conn,
     total_in_flight_.fetch_sub(1, std::memory_order_release);
 }
 
+// mielint: nonblocking
 bool ReactorServer::flush_completed(const std::shared_ptr<Connection>& conn) {
     while (!conn->pending.empty() &&
            conn->pending.front()->done.load(std::memory_order_acquire)) {
@@ -402,8 +415,10 @@ bool ReactorServer::flush_completed(const std::shared_ptr<Connection>& conn) {
     return true;
 }
 
+// mielint: nonblocking
 bool ReactorServer::try_write(const std::shared_ptr<Connection>& conn) {
     while (conn->out_offset < conn->outbuf.size()) {
+        // mielint: allow(R6): connection fds are SOCK_NONBLOCK
         const ssize_t n = ::send(
             conn->fd, conn->outbuf.data() + conn->out_offset,
             conn->outbuf.size() - conn->out_offset, MSG_NOSIGNAL);
@@ -437,6 +452,7 @@ bool ReactorServer::over_per_connection_watermark(
                options_.write_high_watermark;
 }
 
+// mielint: nonblocking
 void ReactorServer::maybe_resume(const std::shared_ptr<Connection>& conn) {
     if (!conn->paused || over_per_connection_watermark(*conn)) return;
     if (total_in_flight_.load(std::memory_order_relaxed) >=
@@ -453,6 +469,7 @@ void ReactorServer::maybe_resume(const std::shared_ptr<Connection>& conn) {
     try_write(conn);
 }
 
+// mielint: nonblocking
 void ReactorServer::resume_paused() {
     if (paused_.empty()) return;
     // Copy: maybe_resume mutates paused_.
@@ -468,6 +485,7 @@ void ReactorServer::resume_paused() {
     }
 }
 
+// mielint: nonblocking
 void ReactorServer::sweep_idle() {
     const double now = clock_.elapsed_seconds();
     std::vector<std::shared_ptr<Connection>> idle;
@@ -486,6 +504,7 @@ void ReactorServer::sweep_idle() {
     }
 }
 
+// mielint: nonblocking
 void ReactorServer::close_connection(const std::shared_ptr<Connection>& conn) {
     if (conn->closed.exchange(true, std::memory_order_acq_rel)) return;
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
@@ -496,6 +515,7 @@ void ReactorServer::close_connection(const std::shared_ptr<Connection>& conn) {
     // the worker still holds; flush skips them because closed is set.
 }
 
+// mielint: nonblocking
 void ReactorServer::update_interest(const std::shared_ptr<Connection>& conn,
                                     std::uint32_t events) {
     if (events == conn->interest) return;

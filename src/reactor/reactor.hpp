@@ -192,6 +192,7 @@ private:
 
     /// Connections with freshly completed slots, filled by workers.
     std::mutex ready_mutex_;
+    // mielint: guarded_by(ready_mutex_)
     std::vector<std::shared_ptr<Connection>> ready_;
 
     std::atomic<std::uint64_t> connections_accepted_{0};

@@ -1,0 +1,14 @@
+// Companion to r6_blocking.cpp: the same reachable fsync, pinned with a
+// justified inline allow on the blocking line. Must lint clean.
+class R6Pinned {
+public:
+    // mielint: nonblocking
+    void on_event() { flush_now(); }
+
+private:
+    void flush_now() {
+        // mielint: allow(R6): checkpoint fsync is the sanctioned stall
+        ::fsync(fd_);
+    }
+    int fd_ = -1;
+};

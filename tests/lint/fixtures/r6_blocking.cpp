@@ -1,0 +1,12 @@
+// Golden fixture for R6: a nonblocking event-loop entry reaches a
+// blocking fsync through an ordinary helper call. mielint must walk the
+// call graph from the annotated root down to the primitive.
+class R6Server {
+public:
+    // mielint: nonblocking
+    void on_event() { flush_now(); }
+
+private:
+    void flush_now() { ::fsync(fd_); }
+    int fd_ = -1;
+};

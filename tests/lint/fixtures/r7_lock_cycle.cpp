@@ -1,0 +1,20 @@
+// Golden fixture for R7: two methods acquire the same pair of mutexes
+// in opposite orders — the classic ABBA deadlock. The lock-order graph
+// gains ma_ -> mb_ and mb_ -> ma_, and the cycle fails the lint.
+#include <mutex>
+
+class R7Pair {
+public:
+    void ab() {
+        const std::scoped_lock first(ma_);
+        const std::scoped_lock second(mb_);
+    }
+    void ba() {
+        const std::scoped_lock first(mb_);
+        const std::scoped_lock second(ma_);
+    }
+
+private:
+    std::mutex ma_;
+    std::mutex mb_;
+};

@@ -1,0 +1,17 @@
+// Golden fixture for R8: hits_ is guarded by mu_, and snapshot() reads
+// it without holding the lock (and without an acquires() contract).
+#include <mutex>
+
+class R8Counter {
+public:
+    void hit() {
+        const std::scoped_lock lock(mu_);
+        ++hits_;
+    }
+    long snapshot() const { return hits_; }
+
+private:
+    mutable std::mutex mu_;
+    // mielint: guarded_by(mu_)
+    long hits_ = 0;
+};

@@ -1,0 +1,19 @@
+// Clean semantic fixture: guarded state, a locked public entry, and a
+// private helper documenting its caller-holds-the-lock contract with
+// `// mielint: acquires(mu_)`. None of R6-R8 may fire.
+#include <mutex>
+
+class CleanGauge {
+public:
+    void add(long delta) {
+        const std::scoped_lock lock(mu_);
+        add_locked(delta);
+    }
+
+private:
+    // mielint: acquires(mu_)
+    void add_locked(long delta) { total_ += delta; }
+    std::mutex mu_;
+    // mielint: guarded_by(mu_)
+    long total_ = 0;
+};

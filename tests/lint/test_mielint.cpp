@@ -68,7 +68,10 @@ INSTANTIATE_TEST_SUITE_P(
         GoldenCase{"r4_missing_pragma.hpp", "R4", 1},
         GoldenCase{"r4_using_namespace.hpp", "R4", 6},
         GoldenCase{"r5_bytes_key.hpp", "R5", 9},
-        GoldenCase{"r5_biguint.hpp", "R5", 9}),
+        GoldenCase{"r5_biguint.hpp", "R5", 9},
+        GoldenCase{"r6_blocking.cpp", "R6", 10},
+        GoldenCase{"r7_lock_cycle.cpp", "R7", 10},
+        GoldenCase{"r8_unguarded.cpp", "R8", 11}),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
         std::string name = info.param.fixture;
         for (char& c : name) {
@@ -85,6 +88,16 @@ TEST(MielintFixtures, InlineAllowSuppressesR3) {
     EXPECT_TRUE(lint_fixture("r3_allowed.cpp").empty());
 }
 
+TEST(MielintFixtures, SemanticCleanFixtureHasNoFindings) {
+    // Locked entry + acquires()-annotated helper + guarded member: the
+    // whole R6-R8 machinery runs and finds nothing.
+    EXPECT_TRUE(lint_fixture("semantic_clean.cpp").empty());
+}
+
+TEST(MielintFixtures, InlineAllowSuppressesR6) {
+    EXPECT_TRUE(lint_fixture("r6_allowed.cpp").empty());
+}
+
 TEST(MielintFixtures, WholeDirectoryFindingsAreSortedAndComplete) {
     const std::string root = MIELINT_FIXTURE_DIR;
     std::vector<std::string> paths;
@@ -93,11 +106,13 @@ TEST(MielintFixtures, WholeDirectoryFindingsAreSortedAndComplete) {
         "r2_memcmp.cpp",      "r2_secret_eq.cpp",      "r3_allowed.cpp",
         "r3_snapshot_writer.cpp", "r3_unordered_iter.cpp",
         "r4_missing_pragma.hpp",
-        "r4_using_namespace.hpp", "r5_bytes_key.hpp",  "r5_biguint.hpp"};
+        "r4_using_namespace.hpp", "r5_bytes_key.hpp",  "r5_biguint.hpp",
+        "r6_blocking.cpp",    "r6_allowed.cpp",        "r7_lock_cycle.cpp",
+        "r8_unguarded.cpp",   "semantic_clean.cpp"};
     for (const char* name : names) paths.push_back(root + "/" + name);
     const std::vector<Finding> findings =
         mielint::lint_paths(paths, root, test_config());
-    ASSERT_EQ(findings.size(), 10u);
+    ASSERT_EQ(findings.size(), 13u);
     for (std::size_t i = 1; i < findings.size(); ++i) {
         EXPECT_LE(findings[i - 1].file, findings[i].file);
     }
@@ -283,6 +298,235 @@ TEST(MielintTripwire, UnorderedNamesScopeToIncludeClosure) {
     ASSERT_EQ(findings.size(), 1u);
     EXPECT_EQ(findings[0].rule, "R3");
     EXPECT_EQ(findings[0].file, "srv/server.cpp");
+}
+
+// ----------------------------------------------------- call graph ----
+
+// A receiver the symbol table cannot type (a local) falls back to
+// virtual dispatch: an edge to every visible class with that method.
+TEST(MielintCallGraph, UntypedReceiverFallsBackToVisibleClasses) {
+    const mielint::LexedFile sink = mielint::lex(
+        "cg/sink.hpp", "cg/sink.hpp",
+        "#pragma once\n"
+        "struct FsyncSink {\n"
+        "    void handle() { ::fsync(0); }\n"
+        "};\n");
+    const mielint::LexedFile loop = mielint::lex(
+        "cg/loop.cpp", "cg/loop.cpp",
+        "#include \"cg/sink.hpp\"\n"
+        "// mielint: nonblocking\n"
+        "void pump(void* opaque) {\n"
+        "    auto* sink = unwrap(opaque);\n"
+        "    sink->handle();\n"
+        "}\n");
+    const std::vector<Finding> findings =
+        mielint::run_rules({sink, loop}, test_config());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "R6");
+    EXPECT_EQ(findings[0].file, "cg/sink.hpp");
+    EXPECT_EQ(findings[0].line, 3);
+}
+
+// The fallback is scoped to the include closure: the same blocking
+// handler in a file pump() never includes contributes no edge.
+TEST(MielintCallGraph, VirtualFallbackScopesToIncludeClosure) {
+    const mielint::LexedFile sink = mielint::lex(
+        "cg/sink.hpp", "cg/sink.hpp",
+        "#pragma once\n"
+        "struct FsyncSink {\n"
+        "    void handle() { ::fsync(0); }\n"
+        "};\n");
+    const mielint::LexedFile loop = mielint::lex(
+        "cg/loop.cpp", "cg/loop.cpp",
+        "// mielint: nonblocking\n"
+        "void pump(void* opaque) {\n"
+        "    auto* sink = unwrap(opaque);\n"
+        "    sink->handle();\n"
+        "}\n");
+    EXPECT_TRUE(mielint::run_rules({sink, loop}, test_config()).empty());
+}
+
+// ------------------------------------------------ receiver typing ----
+
+// `inner_.mutex` is Inner's mutex, not Outer's: acquiring it must not
+// satisfy a guarded_by(mutex) on an Outer member.
+TEST(MielintLockTyping, WrongObjectsMutexDoesNotCoverGuardedMember) {
+    const mielint::LexedFile file = mielint::lex(
+        "lt/outer.hpp", "lt/outer.hpp",
+        "#pragma once\n"
+        "#include <mutex>\n"
+        "struct Inner { std::mutex mutex; };\n"
+        "struct Outer {\n"
+        "    Inner inner_;\n"
+        "    std::mutex mutex;\n"
+        "    // mielint: guarded_by(mutex)\n"
+        "    int count_ = 0;\n"
+        "    void bump() {\n"
+        "        const std::scoped_lock lock(inner_.mutex);\n"
+        "        ++count_;\n"
+        "    }\n"
+        "};\n");
+    const std::vector<Finding> findings =
+        mielint::run_rules({file}, test_config());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "R8");
+    EXPECT_EQ(findings[0].line, 11);
+}
+
+// Receiver typing looks through containers and smart pointers:
+// `queues_[0]->mutex` is WorkerQueue::mutex even though queues_ is a
+// vector of unique_ptrs — so it does not cover Pool's guarded member.
+TEST(MielintLockTyping, LooksThroughContainersAndSmartPointers) {
+    const mielint::LexedFile file = mielint::lex(
+        "lt/pool.hpp", "lt/pool.hpp",
+        "#pragma once\n"
+        "#include <memory>\n"
+        "#include <mutex>\n"
+        "#include <vector>\n"
+        "struct WorkerQueue { std::mutex mutex; };\n"
+        "struct Pool {\n"
+        "    std::vector<std::unique_ptr<WorkerQueue>> queues_;\n"
+        "    std::mutex mutex;\n"
+        "    // mielint: guarded_by(mutex)\n"
+        "    int jobs_ = 0;\n"
+        "    void push() {\n"
+        "        const std::scoped_lock lock(queues_[0]->mutex);\n"
+        "        ++jobs_;\n"
+        "    }\n"
+        "};\n");
+    const std::vector<Finding> findings =
+        mielint::run_rules({file}, test_config());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "R8");
+    EXPECT_EQ(findings[0].line, 13);
+}
+
+// Same-named mutexes of different classes reached through typed
+// parameters stay distinct — without parameter typing, state.mutex and
+// other.mutex would merge into one bare-name node and fabricate an
+// Api::mx -> mutex -> Api::mx lock-order cycle.
+TEST(MielintLockTyping, ParameterTypesKeepSameNamedMutexesApart) {
+    const mielint::LexedFile file = mielint::lex(
+        "lt/drain.cpp", "lt/drain.cpp",
+        "#include <mutex>\n"
+        "struct State { std::mutex mutex; };\n"
+        "struct Other { std::mutex mutex; };\n"
+        "struct Api { std::mutex mx; };\n"
+        "void f(State& state, Api& api) {\n"
+        "    const std::scoped_lock a(api.mx);\n"
+        "    const std::scoped_lock b(state.mutex);\n"
+        "}\n"
+        "void g(Other& other, Api& api) {\n"
+        "    const std::scoped_lock a(other.mutex);\n"
+        "    const std::scoped_lock b(api.mx);\n"
+        "}\n");
+    EXPECT_TRUE(mielint::run_rules({file}, test_config()).empty());
+}
+
+// ------------------------------------------------ annotations --------
+
+TEST(MielintAnnotations, NonblockingAttachesFromPreviousLine) {
+    const mielint::LexedFile file = mielint::lex(
+        "an/a.cpp", "an/a.cpp",
+        "// mielint: nonblocking\n"
+        "void tick() { ::fsync(0); }\n");
+    const std::vector<Finding> findings =
+        mielint::run_rules({file}, test_config());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "R6");
+    EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(MielintAnnotations, NonblockingAttachesFromDeclarationLine) {
+    const mielint::LexedFile file = mielint::lex(
+        "an/b.cpp", "an/b.cpp",
+        "void tock() {  // mielint: nonblocking\n"
+        "    ::fsync(0);\n"
+        "}\n");
+    const std::vector<Finding> findings =
+        mielint::run_rules({file}, test_config());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "R6");
+    EXPECT_EQ(findings[0].line, 2);
+}
+
+// config `blocking-call <name>` extends R6's primitive set.
+TEST(MielintConfig, BlockingCallDirectiveExtendsR6) {
+    const mielint::LexedFile file = mielint::lex(
+        "an/rpc.cpp", "an/rpc.cpp",
+        "// mielint: nonblocking\n"
+        "void heartbeat() { slow_rpc(); }\n");
+    EXPECT_TRUE(mielint::run_rules({file}, test_config()).empty());
+    const Config config = Config::parse("blocking-call slow_rpc\n");
+    const std::vector<Finding> findings =
+        mielint::run_rules({file}, config);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "R6");
+    EXPECT_EQ(findings[0].line, 2);
+}
+
+// The invariant the R8 gate exists for: delete the lock acquisition in
+// front of a guarded access and the lint fails.
+TEST(MielintTripwire, RemovingGuardedLockAcquisitionFailsLint) {
+    const mielint::LexedFile locked = mielint::lex(
+        "tw/ledger.hpp", "tw/ledger.hpp",
+        "#pragma once\n"
+        "#include <mutex>\n"
+        "struct Ledger {\n"
+        "    void credit() {\n"
+        "        const std::scoped_lock lock(mu_);\n"
+        "        ++balance_;\n"
+        "    }\n"
+        "    std::mutex mu_;\n"
+        "    // mielint: guarded_by(mu_)\n"
+        "    long balance_ = 0;\n"
+        "};\n");
+    EXPECT_TRUE(mielint::run_rules({locked}, test_config()).empty());
+
+    const mielint::LexedFile unlocked = mielint::lex(
+        "tw/ledger.hpp", "tw/ledger.hpp",
+        "#pragma once\n"
+        "#include <mutex>\n"
+        "struct Ledger {\n"
+        "    void credit() {\n"
+        "        ++balance_;\n"
+        "    }\n"
+        "    std::mutex mu_;\n"
+        "    // mielint: guarded_by(mu_)\n"
+        "    long balance_ = 0;\n"
+        "};\n");
+    const std::vector<Finding> findings =
+        mielint::run_rules({unlocked}, test_config());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "R8");
+    EXPECT_EQ(findings[0].line, 5);
+}
+
+// ---------------------------------------------------------- SARIF ----
+
+TEST(MielintReport, SarifShapeAndEscaping) {
+    const std::vector<Finding> findings = {
+        Finding{"R6", "src/reactor/reactor.cpp", 165,
+                "blocking \"call\" reachable"}};
+    const std::string sarif = mielint::to_sarif(findings);
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"R6\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 165"), std::string::npos);
+    EXPECT_NE(sarif.find("src/reactor/reactor.cpp"), std::string::npos);
+    EXPECT_NE(sarif.find("\\\"call\\\""), std::string::npos);
+    // The full rule catalog rides along as tool.driver.rules.
+    for (const auto& rule : mielint::rule_catalog()) {
+        EXPECT_NE(sarif.find("{\"id\": \"" + rule.id + "\""),
+                  std::string::npos);
+    }
+}
+
+TEST(MielintReport, SarifEmptyFindingsIsStillARun) {
+    const std::string sarif = mielint::to_sarif({});
+    EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"mielint\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,258 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mielint {
+
+namespace {
+
+/// Quoted include paths of one file (system includes cannot declare
+/// project symbols, so <...> is ignored).
+std::vector<std::string> quoted_includes(const LexedFile& file) {
+    std::vector<std::string> out;
+    for (const std::string& raw : file.raw_lines) {
+        std::size_t p = raw.find_first_not_of(" \t");
+        if (p == std::string::npos || raw[p] != '#') continue;
+        p = raw.find_first_not_of(" \t", p + 1);
+        if (p == std::string::npos || raw.compare(p, 7, "include") != 0) {
+            continue;
+        }
+        const std::size_t open = raw.find('"', p + 7);
+        if (open == std::string::npos) continue;
+        const std::size_t close = raw.find('"', open + 1);
+        if (close == std::string::npos) continue;
+        out.push_back(raw.substr(open + 1, close - open - 1));
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> include_closures(
+    const std::vector<LexedFile>& files) {
+    const std::size_t n = files.size();
+    // Edge i -> j when file i includes file j, matched by path suffix
+    // ("mie/server.hpp" hits "src/mie/server.hpp").
+    std::vector<std::vector<std::size_t>> edges(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const std::string& inc : quoted_includes(files[i])) {
+            for (std::size_t j = 0; j < n; ++j) {
+                const std::string& display = files[j].display;
+                const bool match =
+                    display == inc ||
+                    (display.size() > inc.size() + 1 &&
+                     display.compare(display.size() - inc.size() - 1,
+                                     inc.size() + 1, "/" + inc) == 0);
+                if (match) edges[i].push_back(j);
+            }
+        }
+    }
+
+    std::vector<std::vector<std::size_t>> closure(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<bool> seen(n, false);
+        std::vector<std::size_t> stack = {i};
+        seen[i] = true;
+        while (!stack.empty()) {
+            const std::size_t at = stack.back();
+            stack.pop_back();
+            closure[i].push_back(at);
+            for (const std::size_t next : edges[at]) {
+                if (!seen[next]) {
+                    seen[next] = true;
+                    stack.push_back(next);
+                }
+            }
+        }
+        std::sort(closure[i].begin(), closure[i].end());
+    }
+    return closure;
+}
+
+namespace {
+
+/// Resolution context for one file: the classes and free functions its
+/// include closure can see.
+struct Visibility {
+    std::set<std::string> classes;
+    std::set<std::string> free_functions;
+};
+
+class Resolver {
+  public:
+    Resolver(const std::vector<LexedFile>& files, const SymbolTable& symbols,
+             CallGraph& graph)
+        : files_(files), symbols_(symbols), graph_(graph) {}
+
+    void run() {
+        graph_.closure = include_closures(files_);
+        graph_.edges.resize(symbols_.functions.size());
+
+        // Group definitions by qualified name, and remember which file
+        // declares each class / free function.
+        std::map<std::string, std::set<std::size_t>> class_decl_files =
+            symbols_.class_files;
+        std::map<std::string, std::set<std::size_t>> free_fn_files;
+        for (std::size_t i = 0; i < symbols_.functions.size(); ++i) {
+            const FunctionDef& fn = symbols_.functions[i];
+            graph_.defs[fn.qualified].push_back(i);
+            if (fn.class_name.empty()) {
+                free_fn_files[fn.name].insert(fn.file);
+            } else {
+                // An out-of-line definition makes the class name usable
+                // from its own translation unit too.
+                class_decl_files[fn.class_name].insert(fn.file);
+            }
+        }
+
+        // Per-file visibility sets.
+        visibility_.resize(files_.size());
+        for (std::size_t i = 0; i < files_.size(); ++i) {
+            const std::set<std::size_t> in_closure(graph_.closure[i].begin(),
+                                                   graph_.closure[i].end());
+            auto visible = [&](const std::set<std::size_t>& decl_files) {
+                for (const std::size_t f : decl_files) {
+                    if (in_closure.count(f) > 0) return true;
+                }
+                return false;
+            };
+            for (const auto& [name, decl_files] : class_decl_files) {
+                if (visible(decl_files)) visibility_[i].classes.insert(name);
+            }
+            for (const auto& [name, decl_files] : free_fn_files) {
+                if (visible(decl_files)) {
+                    visibility_[i].free_functions.insert(name);
+                }
+            }
+        }
+
+        for (std::size_t i = 0; i < symbols_.functions.size(); ++i) {
+            resolve_function(i);
+        }
+    }
+
+  private:
+    const std::vector<LexedFile>& files_;
+    const SymbolTable& symbols_;
+    CallGraph& graph_;
+    std::vector<Visibility> visibility_;
+
+    bool class_has_method(const std::string& cls,
+                          const std::string& name) const {
+        const auto it = symbols_.class_methods.find(cls);
+        return it != symbols_.class_methods.end() &&
+               it->second.count(name) > 0;
+    }
+
+    /// The node name exists in the graph iff some definition carries it.
+    bool has_def(const std::string& qualified) const {
+        return graph_.defs.count(qualified) > 0;
+    }
+
+    void add_edge(std::size_t caller, const RawCall& call,
+                  const std::string& qualified) {
+        if (!has_def(qualified)) return;
+        graph_.edges[caller].push_back(
+            CallEdge{qualified, call.line, call.token});
+    }
+
+    void resolve_function(std::size_t index) {
+        const FunctionDef& fn = symbols_.functions[index];
+        const Visibility& vis = visibility_[fn.file];
+        for (const RawCall& call : fn.calls) {
+            if (call.global_ns) continue;  // `::fsync` etc: primitives only
+
+            if (!call.qualifier.empty()) {
+                if (vis.classes.count(call.qualifier) > 0 &&
+                    class_has_method(call.qualifier, call.name)) {
+                    add_edge(index, call, call.qualifier + "::" + call.name);
+                }
+                continue;  // std::foo, detail::foo: not project symbols
+            }
+
+            if (call.via_this) {
+                if (!fn.class_name.empty()) {
+                    add_edge(index, call, fn.class_name + "::" + call.name);
+                }
+                continue;
+            }
+
+            if (call.is_member_call) {
+                // Typed receiver chain: each link is a parameter (first
+                // link only) or a declared data member of the previous
+                // link's type (`state_->cv.wait` types state_ through
+                // the enclosing class, then cv through State). A chain
+                // that fully resolves to a KNOWN type that is not a
+                // project class (a condition_variable, a std::
+                // container) resolves to nothing — falling back to name
+                // matching there would wire `sleep_cv_.wait(...)` to
+                // every project method named `wait`.
+                if (!call.chain.empty()) {
+                    std::string cls = fn.class_name;
+                    bool typed = true;
+                    for (std::size_t k = 0; k < call.chain.size(); ++k) {
+                        std::string next;
+                        if (k == 0) {
+                            const auto pt =
+                                fn.param_types.find(call.chain[k]);
+                            if (pt != fn.param_types.end()) {
+                                next = pt->second;
+                            }
+                        }
+                        if (next.empty() && !cls.empty()) {
+                            const auto it = symbols_.member_types.find(
+                                {cls, call.chain[k]});
+                            if (it != symbols_.member_types.end()) {
+                                next = it->second;
+                            }
+                        }
+                        if (next.empty()) {
+                            typed = false;
+                            break;
+                        }
+                        cls = next;
+                    }
+                    if (typed) {
+                        if (vis.classes.count(cls) > 0 &&
+                            class_has_method(cls, call.name)) {
+                            add_edge(index, call, cls + "::" + call.name);
+                        }
+                        continue;
+                    }
+                }
+                // Unknown receiver (a local, a chained call): virtual-
+                // dispatch fallback — every visible class with a method
+                // of this name may be the target.
+                for (const std::string& cls : vis.classes) {
+                    if (class_has_method(cls, call.name)) {
+                        add_edge(index, call, cls + "::" + call.name);
+                    }
+                }
+                continue;
+            }
+
+            // Unqualified call: own method first, else a free function.
+            if (!fn.class_name.empty() &&
+                class_has_method(fn.class_name, call.name)) {
+                add_edge(index, call, fn.class_name + "::" + call.name);
+                continue;
+            }
+            if (vis.free_functions.count(call.name) > 0) {
+                add_edge(index, call, call.name);
+            }
+        }
+    }
+};
+
+}  // namespace
+
+CallGraph build_callgraph(const std::vector<LexedFile>& files,
+                          const SymbolTable& symbols) {
+    CallGraph graph;
+    Resolver resolver(files, symbols, graph);
+    resolver.run();
+    return graph;
+}
+
+}  // namespace mielint

@@ -1,0 +1,64 @@
+// Include-closure call graph for mielint's semantic rules.
+//
+// Raw call sites recorded by the symbol table are resolved here against
+// the project's own symbols, scoped by each file's transitive
+// quoted-include closure: a call in file F only resolves to classes and
+// free functions *declared* somewhere F can see, while the definitions
+// those declarations stand for may live in any scanned file (the usual
+// header/impl split). Resolution, in order:
+//
+//   X::name(...)   -> methods of class X (if X is visible), else a free
+//                     function named `name`
+//   this->name(..) -> the enclosing class's method
+//   obj.name(...)  -> the declared type of member `obj` when the
+//                     enclosing class declares it; otherwise a
+//                     virtual-dispatch fallback to EVERY visible class
+//                     with a method of that name (sound for the rules,
+//                     over-approximate by design)
+//   name(...)      -> the enclosing class's own method, else a visible
+//                     free function
+//
+// Calls that resolve to nothing (std::, libc, casts, constructors) are
+// dropped; the blocking-primitive scan in semantic.cpp looks at raw
+// names separately, so `::fsync(...)` is never lost by being
+// unresolvable.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "symbols.hpp"
+
+namespace mielint {
+
+/// Transitive quoted-include closure: closure[i] holds every file index
+/// reachable from file i through `#include "..."` lines (including i
+/// itself). Includes are matched by path suffix; ambiguous suffixes link
+/// every candidate (conservative over-approximation). Shared by R3 and
+/// the call graph.
+std::vector<std::vector<std::size_t>> include_closures(
+    const std::vector<LexedFile>& files);
+
+struct CallEdge {
+    std::string callee;  ///< qualified name ("Class::method" or "fn")
+    int line = 0;
+    std::size_t token = 0;  ///< token index in the caller's file
+};
+
+struct CallGraph {
+    /// qualified name -> indexes into SymbolTable::functions (overloads
+    /// and declaration/definition splits merge into one node).
+    std::map<std::string, std::vector<std::size_t>> defs;
+    /// Parallel to SymbolTable::functions: resolved outgoing edges.
+    std::vector<std::vector<CallEdge>> edges;
+    /// Parallel to the file vector (from include_closures).
+    std::vector<std::vector<std::size_t>> closure;
+};
+
+CallGraph build_callgraph(const std::vector<LexedFile>& files,
+                          const SymbolTable& symbols);
+
+}  // namespace mielint

@@ -74,6 +74,10 @@ Config Config::parse(const std::string& text, const std::string& origin) {
                 fail("expected: public-biguint-member <name>");
             }
             config.public_biguint_members.insert(name);
+        } else if (directive == "blocking-call") {
+            std::string name;
+            if (!(fields >> name)) fail("expected: blocking-call <name>");
+            config.blocking_calls.insert(name);
         } else {
             fail("unknown directive '" + directive + "'");
         }

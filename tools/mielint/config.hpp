@@ -6,6 +6,9 @@
 //   secret-safe-type <name>         type accepted as secret storage (R5)
 //   public-biguint-member <name>    BigUint member public by design inside
 //                                   *Private*/*Secret* aggregates (R5)
+//   blocking-call <name>            extra call name treated as a blocking
+//                                   operation by R6 (extends the built-in
+//                                   fsync/poll/sleep_for/... set)
 //
 // Globs match repo-relative paths: `*` and `?` stop at '/', `**` crosses
 // directories. Finer-grained, one-off exceptions belong in the code as
@@ -29,6 +32,7 @@ struct Config {
     std::map<std::string, std::vector<std::string>> path_allows;
     std::set<std::string> secret_safe_types;
     std::set<std::string> public_biguint_members;
+    std::set<std::string> blocking_calls;
 
     /// Parses the directive format above; throws std::runtime_error with
     /// file:line context on malformed input.

@@ -112,6 +112,20 @@ std::vector<std::string> headers_under(const std::string& dir) {
     return out;
 }
 
+std::vector<std::string> sources_under(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::vector<std::string> out;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".cpp" || ext == ".cc") {
+            out.push_back(entry.path().string());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 std::string to_json(const std::vector<Finding>& findings,
                     std::size_t files_scanned) {
     std::ostringstream out;
@@ -130,6 +144,58 @@ std::string to_json(const std::vector<Finding>& findings,
     }
     out << (findings.empty() ? "]" : "\n  ]") << ",\n"
         << "  \"total\": " << findings.size() << "\n"
+        << "}\n";
+    return out.str();
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"mielint\",\n"
+        << "          \"informationUri\": "
+           "\"tools/mielint/rules.hpp\",\n"
+        << "          \"rules\": [";
+    const auto& catalog = rule_catalog();
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        out << (i == 0 ? "\n" : ",\n")
+            << "            {\"id\": \"" << json_escape(catalog[i].id)
+            << "\", \"shortDescription\": {\"text\": \""
+            << json_escape(catalog[i].title) << "\"}}";
+    }
+    out << (catalog.empty() ? "]" : "\n          ]") << "\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        out << (i == 0 ? "\n" : ",\n")
+            << "        {\n"
+            << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+            << "          \"level\": \"error\",\n"
+            << "          \"message\": {\"text\": \""
+            << json_escape(f.message) << "\"},\n"
+            << "          \"locations\": [\n"
+            << "            {\n"
+            << "              \"physicalLocation\": {\n"
+            << "                \"artifactLocation\": {\"uri\": \""
+            << json_escape(f.file) << "\"},\n"
+            << "                \"region\": {\"startLine\": " << f.line
+            << "}\n"
+            << "              }\n"
+            << "            }\n"
+            << "          ]\n"
+            << "        }";
+    }
+    out << (findings.empty() ? "]" : "\n      ]") << "\n"
+        << "    }\n"
+        << "  ]\n"
         << "}\n";
     return out.str();
 }

@@ -13,29 +13,67 @@ bool ident_char(char c) {
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// Parses "mielint: allow(R1, R2): reason" out of a comment body and
-/// records the rule ids against `line`.
-void parse_allow(const std::string& comment, int line, LexedFile& out) {
+/// Parses the `mielint:` markers out of a comment body: either a
+/// suppression "mielint: allow(R1, R2): reason" (recorded against
+/// `line`) or one of the semantic annotations
+/// nonblocking / acquires(mu) / guarded_by(mu).
+void parse_markers(const std::string& comment, int line, LexedFile& out) {
     const std::size_t marker = comment.find("mielint:");
     if (marker == std::string::npos) return;
+
     const std::size_t open = comment.find("allow(", marker);
-    if (open == std::string::npos) return;
-    const std::size_t close = comment.find(')', open);
-    if (close == std::string::npos) return;
-    std::string id;
-    auto flush = [&] {
-        if (!id.empty()) out.inline_allows[line].insert(id);
-        id.clear();
-    };
-    for (std::size_t i = open + 6; i < close; ++i) {
-        const char c = comment[i];
-        if (c == ',' || c == ' ' || c == '\t') {
-            flush();
-        } else {
-            id.push_back(c);
+    if (open != std::string::npos) {
+        const std::size_t close = comment.find(')', open);
+        if (close == std::string::npos) return;
+        std::string id;
+        auto flush = [&] {
+            if (!id.empty()) out.inline_allows[line].insert(id);
+            id.clear();
+        };
+        for (std::size_t i = open + 6; i < close; ++i) {
+            const char c = comment[i];
+            if (c == ',' || c == ' ' || c == '\t') {
+                flush();
+            } else {
+                id.push_back(c);
+            }
         }
+        flush();
+        return;
     }
-    flush();
+
+    auto word_at = [&](std::size_t pos, const std::string& word) {
+        if (comment.compare(pos, word.size(), word) != 0) return false;
+        const std::size_t end = pos + word.size();
+        return end >= comment.size() || !ident_char(comment[end]);
+    };
+    std::size_t pos = marker + 8;
+    while (pos < comment.size() &&
+           (comment[pos] == ' ' || comment[pos] == '\t')) {
+        ++pos;
+    }
+    if (word_at(pos, "nonblocking")) {
+        out.annotations[line].push_back(Annotation{"nonblocking", ""});
+        return;
+    }
+    for (const char* kind : {"acquires", "guarded_by"}) {
+        const std::string prefix = std::string(kind) + "(";
+        if (comment.compare(pos, prefix.size(), prefix) != 0) continue;
+        const std::size_t close = comment.find(')', pos);
+        if (close == std::string::npos) return;
+        std::string arg =
+            comment.substr(pos + prefix.size(), close - pos - prefix.size());
+        while (!arg.empty() && (arg.front() == ' ' || arg.front() == '\t')) {
+            arg.erase(arg.begin());
+        }
+        while (!arg.empty() && (arg.back() == ' ' || arg.back() == '\t')) {
+            arg.pop_back();
+        }
+        if (!arg.empty()) {
+            out.annotations[line].push_back(Annotation{kind, arg});
+        }
+        return;
+    }
 }
 
 const char* kMultiCharOps[] = {"::", "->", "==", "!=", "&&", "||",
@@ -114,7 +152,7 @@ LexedFile lex(std::string path, std::string display,
         if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
             const std::size_t start = i;
             while (i < n && contents[i] != '\n') ++i;
-            parse_allow(contents.substr(start, i - start), line, out);
+            parse_markers(contents.substr(start, i - start), line, out);
             continue;
         }
         // Block comment.

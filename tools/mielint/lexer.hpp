@@ -14,7 +14,10 @@
 //
 //     // mielint: allow(R3): reason
 //
-// which silence the named rules on the comment's line and the line below.
+// which silence the named rules on the comment's line and the line below,
+// plus the semantic annotations consumed by the symbol table
+// (`mielint: nonblocking`, `mielint: acquires(mu_)`,
+// `mielint: guarded_by(mu_)` — see symbols.hpp).
 // `<` and `>` are deliberately left as single-character tokens so rules
 // can track template-argument depth through nested closers like `>>`.
 #pragma once
@@ -32,6 +35,14 @@ struct Token {
     bool is_identifier = false;
 };
 
+/// A semantic marker parsed from a `// mielint: ...` comment.
+/// kind is "nonblocking", "acquires" or "guarded_by"; arg carries the
+/// mutex name for the latter two ("" for nonblocking).
+struct Annotation {
+    std::string kind;
+    std::string arg;
+};
+
 struct LexedFile {
     std::string path;     // filesystem path the contents came from
     std::string display;  // path reported in findings (relative to root)
@@ -39,6 +50,10 @@ struct LexedFile {
     std::vector<std::string> raw_lines;  // original text, for R4
     /// line -> rules suppressed there (and on the following line).
     std::map<int, std::set<std::string>> inline_allows;
+    /// line -> semantic annotations written there. An annotation applies
+    /// to the declaration starting on its own line or the line below
+    /// (symbols.cpp does the attachment).
+    std::map<int, std::vector<Annotation>> annotations;
 
     bool is_header() const {
         return display.size() >= 4 &&

@@ -2,12 +2,14 @@
 //
 // Usage:
 //   mielint [--compile-commands PATH] [--headers-under DIR]...
-//           [--config PATH] [--root DIR] [--only PREFIX] [--json]
+//           [--sources-under DIR]... [--config PATH] [--root DIR]
+//           [--only PREFIX] [--json] [--sarif PATH]
 //           [--list-rules] [FILE]...
 //
 // Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,12 +26,15 @@ void usage(std::ostream& out) {
            "                           compile_commands.json\n"
            "  --headers-under DIR      also lint all .hpp/.h under DIR\n"
            "                           (repeatable)\n"
+           "  --sources-under DIR      also lint all .cpp/.cc under DIR\n"
+           "                           (repeatable)\n"
            "  --config PATH            mielint.conf with allow/type "
            "directives\n"
            "  --root DIR               report paths relative to DIR\n"
            "  --only PREFIX            keep findings whose display path\n"
            "                           starts with PREFIX (repeatable)\n"
            "  --json                   machine-readable report\n"
+           "  --sarif PATH             also write a SARIF 2.1.0 report\n"
            "  --list-rules             print the rule catalogue and exit\n";
 }
 
@@ -39,6 +44,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> paths;
     std::vector<std::string> only_prefixes;
     std::string config_path;
+    std::string sarif_path;
     std::string root = ".";
     bool json = false;
 
@@ -52,6 +58,7 @@ int main(int argc, char** argv) {
 
     std::vector<std::string> compile_commands;
     std::vector<std::string> header_dirs;
+    std::vector<std::string> source_dirs;
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -66,6 +73,8 @@ int main(int argc, char** argv) {
             compile_commands.push_back(need_value(i, arg));
         } else if (std::strcmp(arg, "--headers-under") == 0) {
             header_dirs.push_back(need_value(i, arg));
+        } else if (std::strcmp(arg, "--sources-under") == 0) {
+            source_dirs.push_back(need_value(i, arg));
         } else if (std::strcmp(arg, "--config") == 0) {
             config_path = need_value(i, arg);
         } else if (std::strcmp(arg, "--root") == 0) {
@@ -74,6 +83,8 @@ int main(int argc, char** argv) {
             only_prefixes.push_back(need_value(i, arg));
         } else if (std::strcmp(arg, "--json") == 0) {
             json = true;
+        } else if (std::strcmp(arg, "--sarif") == 0) {
+            sarif_path = need_value(i, arg);
         } else if (arg[0] == '-' && arg[1] != '\0') {
             std::cerr << "mielint: unknown option " << arg << "\n";
             usage(std::cerr);
@@ -96,6 +107,11 @@ int main(int argc, char** argv) {
         for (const std::string& dir : header_dirs) {
             for (std::string& header : mielint::headers_under(dir)) {
                 paths.push_back(std::move(header));
+            }
+        }
+        for (const std::string& dir : source_dirs) {
+            for (std::string& source : mielint::sources_under(dir)) {
+                paths.push_back(std::move(source));
             }
         }
         if (paths.empty()) {
@@ -132,6 +148,15 @@ int main(int argc, char** argv) {
                 }
             }
             findings = std::move(kept);
+        }
+
+        if (!sarif_path.empty()) {
+            std::ofstream out(sarif_path, std::ios::binary);
+            if (!out) {
+                std::cerr << "mielint: cannot write " << sarif_path << "\n";
+                return 2;
+            }
+            out << mielint::to_sarif(findings);
         }
 
         std::cout << (json ? mielint::to_json(findings, files_scanned)

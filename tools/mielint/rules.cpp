@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cctype>
 
+#include "callgraph.hpp"
+#include "semantic.hpp"
+
 namespace mielint {
 
 namespace {
@@ -177,70 +180,24 @@ std::set<std::string> unordered_names_in(const LexedFile& file) {
     return names;
 }
 
-/// Quoted include paths of one file (system includes can't declare
-/// project containers, so <...> is ignored).
-std::vector<std::string> quoted_includes(const LexedFile& file) {
-    std::vector<std::string> out;
-    for (const std::string& raw : file.raw_lines) {
-        std::size_t p = raw.find_first_not_of(" \t");
-        if (p == std::string::npos || raw[p] != '#') continue;
-        p = raw.find_first_not_of(" \t", p + 1);
-        if (p == std::string::npos || raw.compare(p, 7, "include") != 0) {
-            continue;
-        }
-        const std::size_t open = raw.find('"', p + 7);
-        if (open == std::string::npos) continue;
-        const std::size_t close = raw.find('"', open + 1);
-        if (close == std::string::npos) continue;
-        out.push_back(raw.substr(open + 1, close - open - 1));
-    }
-    return out;
-}
-
 /// Pass 1 of R3: for every file, the unordered-declared names visible
 /// through its transitive quoted-include closure (headers declare,
-/// sources iterate). Scoping to the closure keeps a name like `objects`
-/// that is an unordered_map in one header from tainting an unrelated
-/// vector of the same name elsewhere.
+/// sources iterate; callgraph.hpp owns the closure computation, shared
+/// with the semantic rules). Scoping to the closure keeps a name like
+/// `objects` that is an unordered_map in one header from tainting an
+/// unrelated vector of the same name elsewhere.
 std::vector<std::set<std::string>> collect_unordered_names(
     const std::vector<LexedFile>& files) {
     const std::size_t n = files.size();
     std::vector<std::set<std::string>> own(n);
     for (std::size_t i = 0; i < n; ++i) own[i] = unordered_names_in(files[i]);
 
-    // Edge i -> j when file i includes file j, matched by path suffix
-    // ("mie/server.hpp" hits "src/mie/server.hpp"). Ambiguous suffixes
-    // link every candidate — conservative over-approximation.
-    std::vector<std::vector<std::size_t>> edges(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        for (const std::string& inc : quoted_includes(files[i])) {
-            for (std::size_t j = 0; j < n; ++j) {
-                const std::string& display = files[j].display;
-                const bool match =
-                    display == inc ||
-                    (display.size() > inc.size() + 1 &&
-                     display.compare(display.size() - inc.size() - 1,
-                                     inc.size() + 1, "/" + inc) == 0);
-                if (match) edges[i].push_back(j);
-            }
-        }
-    }
-
+    const std::vector<std::vector<std::size_t>> closure =
+        include_closures(files);
     std::vector<std::set<std::string>> visible(n);
     for (std::size_t i = 0; i < n; ++i) {
-        std::vector<bool> seen(n, false);
-        std::vector<std::size_t> stack = {i};
-        seen[i] = true;
-        while (!stack.empty()) {
-            const std::size_t at = stack.back();
-            stack.pop_back();
+        for (const std::size_t at : closure[i]) {
             visible[i].insert(own[at].begin(), own[at].end());
-            for (const std::size_t next : edges[at]) {
-                if (!seen[next]) {
-                    seen[next] = true;
-                    stack.push_back(next);
-                }
-            }
         }
     }
     return visible;
@@ -468,6 +425,9 @@ const std::vector<RuleInfo>& rule_catalog() {
         {"R3", "unordered-container iteration order escaping"},
         {"R4", "header hygiene (#pragma once, no using namespace)"},
         {"R5", "key material outside zeroizing storage"},
+        {"R6", "blocking operation reachable from a nonblocking function"},
+        {"R7", "lock-order cycle across the call graph"},
+        {"R8", "guarded member accessed without its lock"},
     };
     return kCatalog;
 }
@@ -486,6 +446,7 @@ std::vector<Finding> run_rules(const std::vector<LexedFile>& files,
         rule_r4(file, sink);
         rule_r5(file, config, sink);
     }
+    run_semantic_rules(files, config, findings);
     std::sort(findings.begin(), findings.end(),
               [](const Finding& a, const Finding& b) {
                   if (a.file != b.file) return a.file < b.file;

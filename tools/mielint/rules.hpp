@@ -1,6 +1,6 @@
 // The mielint rule set.
 //
-// Five project invariants, each mechanical enough to check from tokens:
+// Five lexical invariants, each mechanical enough to check from tokens:
 //
 //   R1  banned nondeterminism: rand/srand, std::random_device, the <random>
 //       engines, system_clock, time(nullptr). Fresh entropy enters through
@@ -20,8 +20,16 @@
 //       and BigUint members of *Private*/*Secret* aggregates must be
 //       SecretBigUint unless listed public (n, e, n_squared).
 //
-// Adding a rule: implement a `void rule_rX(...)` in rules.cpp, append it
-// to run_rules() and to rule_catalog(), and add a fixture under
+// Plus three semantic rules over the whole-project symbol table and call
+// graph (see semantic.hpp for their full contracts):
+//
+//   R6  no blocking operation reachable from `// mielint: nonblocking`
+//   R7  global lock-order graph must be acyclic (deadlock freedom)
+//   R8  `// mielint: guarded_by(mu)` members only touched holding mu
+//
+// Adding a rule: implement a `void rule_rX(...)` in rules.cpp (lexical)
+// or semantic.cpp (call-graph based), append it to run_rules() /
+// run_semantic_rules() and to rule_catalog(), and add a fixture under
 // tests/lint/fixtures/ exercising exactly that rule.
 #pragma once
 

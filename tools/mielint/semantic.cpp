@@ -1,0 +1,504 @@
+#include "semantic.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "callgraph.hpp"
+#include "symbols.hpp"
+
+namespace mielint {
+
+namespace {
+
+/// Calls considered blocking wherever they appear (method or free).
+/// Project functions with these names (TaskGroup::wait, thread joins)
+/// are blocking too, so matching by bare name is intentional.
+const std::set<std::string>& blocking_always() {
+    static const std::set<std::string> kSet = {
+        "fsync",      "fdatasync",  "sync_file_range", "epoll_wait",
+        "poll",       "ppoll",      "select",          "pselect",
+        "sleep_for",  "sleep_until", "sleep",          "usleep",
+        "nanosleep",  "wait",       "wait_for",        "wait_until",
+        "join",       "flock",      "connect"};
+    return kSet;
+}
+
+/// Socket calls that only count when spelled `::name(...)` — plenty of
+/// project methods are legitimately named `send`/`accept` and judged on
+/// their own bodies instead.
+const std::set<std::string>& blocking_global_only() {
+    static const std::set<std::string> kSet = {
+        "send",    "recv",    "sendto", "recvfrom",
+        "sendmsg", "recvmsg", "accept", "accept4"};
+    return kSet;
+}
+
+/// Condition-variable waits release their mutex while blocked, so they
+/// never mark the mutex they are passed as slow (they do still count as
+/// blocking operations in their own right).
+bool wait_family(const std::string& name) {
+    return name == "wait" || name == "wait_for" || name == "wait_until";
+}
+
+struct Analysis {
+    const std::vector<LexedFile>& files;
+    const Config& config;
+    SymbolTable symbols;
+    CallGraph graph;
+    /// per file: class names visible through its include closure.
+    std::vector<std::set<std::string>> visible_classes;
+    /// node (qualified name) -> defs / outgoing edges / facts.
+    std::map<std::string, std::vector<std::size_t>> node_defs;
+    std::map<std::string, bool> raw_blocking;
+
+    explicit Analysis(const std::vector<LexedFile>& f, const Config& c)
+        : files(f), config(c) {}
+};
+
+bool is_blocking_call(const Analysis& a, const RawCall& call) {
+    if (blocking_always().count(call.name) > 0) return true;
+    if (a.config.blocking_calls.count(call.name) > 0) return true;
+    return call.global_ns && blocking_global_only().count(call.name) > 0;
+}
+
+/// Resolves a raw mutex name in the context of `fn`:
+///  - a mutex member of the enclosing class wins ("Class::name"),
+///  - else a unique visible class declaring a mutex member of that name,
+///  - else the bare name (same-named mutexes merge — conservative).
+std::string resolve_mutex(const Analysis& a, const FunctionDef& fn,
+                          const std::string& raw) {
+    if (!fn.class_name.empty()) {
+        const auto it = a.symbols.class_mutexes.find(fn.class_name);
+        if (it != a.symbols.class_mutexes.end() &&
+            it->second.count(raw) > 0) {
+            return fn.class_name + "::" + raw;
+        }
+    }
+    std::string found;
+    for (const auto& [cls, names] : a.symbols.class_mutexes) {
+        if (names.count(raw) == 0) continue;
+        if (a.visible_classes[fn.file].count(cls) == 0) continue;
+        if (!found.empty()) return raw;  // ambiguous: merge on bare name
+        found = cls + "::" + raw;
+    }
+    return found.empty() ? raw : found;
+}
+
+/// Lock sites additionally carry the leading identifier of member-access
+/// chains (`queues_[i]->mutex`, `state.mutex`): when that names a typed
+/// parameter or data member of the enclosing class, the mutex belongs to
+/// that type — which keeps it out of the conservative bare-name merge.
+std::string resolve_lock(const Analysis& a, const FunctionDef& fn,
+                         const LockSite& site) {
+    if (!site.receiver.empty()) {
+        std::string type;
+        const auto pt = fn.param_types.find(site.receiver);
+        if (pt != fn.param_types.end()) {
+            type = pt->second;
+        } else if (!fn.class_name.empty()) {
+            const auto it = a.symbols.member_types.find(
+                {fn.class_name, site.receiver});
+            if (it != a.symbols.member_types.end()) type = it->second;
+        }
+        if (!type.empty()) {
+            const auto mx = a.symbols.class_mutexes.find(type);
+            if (mx != a.symbols.class_mutexes.end() &&
+                mx->second.count(site.mutex_expr) > 0) {
+                return type + "::" + site.mutex_expr;
+            }
+        }
+    }
+    return resolve_mutex(a, fn, site.mutex_expr);
+}
+
+void prepare(Analysis& a) {
+    a.symbols = build_symbols(a.files);
+    a.graph = build_callgraph(a.files, a.symbols);
+
+    a.visible_classes.resize(a.files.size());
+    for (std::size_t i = 0; i < a.files.size(); ++i) {
+        const std::set<std::size_t> closure(a.graph.closure[i].begin(),
+                                            a.graph.closure[i].end());
+        for (const auto& [cls, decl_files] : a.symbols.class_files) {
+            for (const std::size_t f : decl_files) {
+                if (closure.count(f) > 0) {
+                    a.visible_classes[i].insert(cls);
+                    break;
+                }
+            }
+        }
+        // Out-of-line definitions make their class name resolvable from
+        // the defining translation unit as well.
+        for (const FunctionDef& fn : a.symbols.functions) {
+            if (fn.file == i && !fn.class_name.empty()) {
+                a.visible_classes[i].insert(fn.class_name);
+            }
+        }
+    }
+
+    a.node_defs = a.graph.defs;
+
+    // raw_blocking: does the node (or anything it can reach) invoke a
+    // blocking primitive? Fixpoint over the (possibly cyclic) graph.
+    for (const auto& [node, defs] : a.node_defs) {
+        bool own = false;
+        for (const std::size_t d : defs) {
+            for (const RawCall& call : a.symbols.functions[d].calls) {
+                if (is_blocking_call(a, call)) {
+                    own = true;
+                    break;
+                }
+            }
+        }
+        a.raw_blocking[node] = own;
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto& [node, defs] : a.node_defs) {
+            if (a.raw_blocking[node]) continue;
+            for (const std::size_t d : defs) {
+                for (const CallEdge& e : a.graph.edges[d]) {
+                    if (a.raw_blocking[e.callee]) {
+                        a.raw_blocking[node] = true;
+                        changed = true;
+                        break;
+                    }
+                }
+                if (a.raw_blocking[node]) break;
+            }
+        }
+    }
+}
+
+void report(const Analysis& a, std::vector<Finding>& out,
+            const std::string& rule, std::size_t file, int line,
+            std::string message) {
+    const LexedFile& f = a.files[file];
+    if (a.config.path_allowed(rule, f.display)) return;
+    if (f.allowed(rule, line)) return;
+    out.push_back(Finding{rule, f.display, line, std::move(message)});
+}
+
+// ---------------------------------------------------------------- R6 ----
+
+void rule_r6(const Analysis& a, std::vector<Finding>& out) {
+    // Pass 1: slow mutexes — held (lexically) around a blocking
+    // operation somewhere in the project.
+    std::set<std::string> slow;
+    for (std::size_t d = 0; d < a.symbols.functions.size(); ++d) {
+        const FunctionDef& fn = a.symbols.functions[d];
+        for (const LockSite& lock : fn.locks) {
+            const std::string resolved = resolve_lock(a, fn, lock);
+            if (slow.count(resolved) > 0) continue;
+            bool blocking_inside = false;
+            for (const RawCall& call : fn.calls) {
+                if (call.token <= lock.token || call.token >= lock.scope_end) {
+                    continue;
+                }
+                if (is_blocking_call(a, call) && !wait_family(call.name)) {
+                    blocking_inside = true;
+                    break;
+                }
+            }
+            if (!blocking_inside) {
+                for (const CallEdge& e : a.graph.edges[d]) {
+                    if (e.token > lock.token && e.token < lock.scope_end &&
+                        a.raw_blocking.count(e.callee) > 0 &&
+                        a.raw_blocking.at(e.callee)) {
+                        blocking_inside = true;
+                        break;
+                    }
+                }
+            }
+            if (blocking_inside) slow.insert(resolved);
+        }
+    }
+
+    // Pass 2: BFS from every nonblocking root; report each blocking
+    // primitive and each slow-mutex acquisition in reach, with the call
+    // path that gets there.
+    std::set<std::string> roots;
+    for (const FunctionDef& fn : a.symbols.functions) {
+        if (fn.nonblocking) roots.insert(fn.qualified);
+    }
+    std::set<std::pair<std::string, int>> reported;  // (file, line) dedup
+    for (const std::string& root : roots) {
+        std::map<std::string, std::string> parent;  // node -> caller
+        std::deque<std::string> queue = {root};
+        parent[root] = "";
+        while (!queue.empty()) {
+            const std::string node = queue.front();
+            queue.pop_front();
+            auto path_to = [&](const std::string& n) {
+                std::string path = n;
+                for (std::string at = parent.at(n); !at.empty();
+                     at = parent.at(at)) {
+                    path = at + " -> " + path;
+                }
+                return path;
+            };
+            const auto defs_it = a.node_defs.find(node);
+            if (defs_it == a.node_defs.end()) continue;
+            for (const std::size_t d : defs_it->second) {
+                const FunctionDef& fn = a.symbols.functions[d];
+                for (const RawCall& call : fn.calls) {
+                    if (!is_blocking_call(a, call)) continue;
+                    if (!reported
+                             .insert({a.files[fn.file].display, call.line})
+                             .second) {
+                        continue;
+                    }
+                    report(a, out, "R6", fn.file, call.line,
+                           "blocking call '" + call.name +
+                               "' reachable from nonblocking '" + root +
+                               "' via " + path_to(node));
+                }
+                for (const LockSite& lock : fn.locks) {
+                    if (lock.try_lock) continue;  // cannot block
+                    const std::string resolved =
+                        resolve_lock(a, fn, lock);
+                    if (slow.count(resolved) == 0) continue;
+                    if (!reported
+                             .insert({a.files[fn.file].display, lock.line})
+                             .second) {
+                        continue;
+                    }
+                    report(a, out, "R6", fn.file, lock.line,
+                           "acquires '" + resolved +
+                               "', which is held around blocking operations "
+                               "elsewhere; reachable from nonblocking '" +
+                               root + "' via " + path_to(node));
+                }
+                for (const CallEdge& e : a.graph.edges[d]) {
+                    if (parent.count(e.callee) == 0) {
+                        parent[e.callee] = node;
+                        queue.push_back(e.callee);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R7 ----
+
+struct OrderEdge {
+    std::size_t file = 0;
+    int line = 0;
+};
+
+void rule_r7(const Analysis& a, std::vector<Finding>& out) {
+    // Acquisition closure per node: every mutex the node (or a callee)
+    // acquires. try_to_lock acquisitions are excluded as *targets* — a
+    // failed try returns instead of waiting, so it cannot deadlock.
+    std::map<std::string, std::set<std::string>> acq;
+    for (const auto& [node, defs] : a.node_defs) {
+        for (const std::size_t d : defs) {
+            const FunctionDef& fn = a.symbols.functions[d];
+            for (const LockSite& lock : fn.locks) {
+                if (lock.try_lock) continue;
+                acq[node].insert(resolve_lock(a, fn, lock));
+            }
+        }
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto& [node, defs] : a.node_defs) {
+            for (const std::size_t d : defs) {
+                for (const CallEdge& e : a.graph.edges[d]) {
+                    const auto it = acq.find(e.callee);
+                    if (it == acq.end()) continue;
+                    for (const std::string& m : it->second) {
+                        if (acq[node].insert(m).second) changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Lock-order edges L -> M: while L is (lexically) held, M gets
+    // acquired — directly, via a callee, or via an acquires() contract.
+    std::map<std::pair<std::string, std::string>, OrderEdge> edges;
+    auto add_edge = [&](const std::string& from, const std::string& to,
+                        std::size_t file, int line) {
+        if (from == to) return;  // instances are indistinguishable
+        edges.emplace(std::make_pair(from, to), OrderEdge{file, line});
+    };
+    for (std::size_t d = 0; d < a.symbols.functions.size(); ++d) {
+        const FunctionDef& fn = a.symbols.functions[d];
+        for (const LockSite& held : fn.locks) {
+            const std::string from = resolve_lock(a, fn, held);
+            for (const LockSite& later : fn.locks) {
+                if (later.try_lock) continue;
+                if (later.token <= held.token ||
+                    later.token >= held.scope_end) {
+                    continue;
+                }
+                add_edge(from, resolve_lock(a, fn, later),
+                         fn.file, later.line);
+            }
+            for (const CallEdge& e : a.graph.edges[d]) {
+                if (e.token <= held.token || e.token >= held.scope_end) {
+                    continue;
+                }
+                const auto it = acq.find(e.callee);
+                if (it == acq.end()) continue;
+                for (const std::string& m : it->second) {
+                    add_edge(from, m, fn.file, e.line);
+                }
+            }
+        }
+        // acquires(mu): the body runs with mu held, so everything it
+        // acquires orders after mu.
+        for (const std::string& raw : fn.acquires) {
+            const std::string from = resolve_mutex(a, fn, raw);
+            for (const LockSite& lock : fn.locks) {
+                if (lock.try_lock) continue;
+                add_edge(from, resolve_lock(a, fn, lock),
+                         fn.file, lock.line);
+            }
+            for (const CallEdge& e : a.graph.edges[d]) {
+                const auto it = acq.find(e.callee);
+                if (it == acq.end()) continue;
+                for (const std::string& m : it->second) {
+                    add_edge(from, m, fn.file, e.line);
+                }
+            }
+        }
+    }
+
+    // Cycle detection: DFS with colors; the first back edge found names
+    // the cycle (deterministic — maps iterate in sorted order).
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [pair, site] : edges) {
+        adj[pair.first].push_back(pair.second);
+    }
+    std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+    std::vector<std::string> stack;
+    std::vector<std::string> cycle;
+
+    std::function<bool(const std::string&)> dfs =
+        [&](const std::string& node) -> bool {
+        color[node] = 1;
+        stack.push_back(node);
+        for (const std::string& next : adj[node]) {
+            if (color[next] == 1) {
+                const auto at =
+                    std::find(stack.begin(), stack.end(), next);
+                cycle.assign(at, stack.end());
+                cycle.push_back(next);
+                return true;
+            }
+            if (color[next] == 0 && dfs(next)) return true;
+        }
+        stack.pop_back();
+        color[node] = 2;
+        return false;
+    };
+    for (const auto& [node, _] : adj) {
+        if (color[node] == 0 && dfs(node)) break;
+    }
+    if (cycle.empty()) return;
+
+    std::string message = "lock-order cycle: ";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        if (i > 0) message += " -> ";
+        message += cycle[i];
+    }
+    message += " (";
+    for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+        const OrderEdge& e = edges.at({cycle[i], cycle[i + 1]});
+        if (i > 0) message += ", ";
+        message += cycle[i] + "->" + cycle[i + 1] + " at " +
+                   a.files[e.file].display + ":" + std::to_string(e.line);
+    }
+    message += ")";
+    const OrderEdge& first = edges.at({cycle[0], cycle[1]});
+    report(a, out, "R7", first.file, first.line, std::move(message));
+}
+
+// ---------------------------------------------------------------- R8 ----
+
+void rule_r8(const Analysis& a, std::vector<Finding>& out) {
+    for (const MemberDecl& m : a.symbols.members) {
+        if (m.guarded_by.empty()) continue;
+        for (std::size_t d = 0; d < a.symbols.functions.size(); ++d) {
+            const FunctionDef& fn = a.symbols.functions[d];
+            if (fn.class_name != m.class_name) continue;
+            if (fn.is_ctor_or_dtor) continue;  // no concurrent access yet
+
+            const std::string target = resolve_mutex(a, fn, m.guarded_by);
+            bool whole_body_held = false;
+            for (const std::string& raw : fn.acquires) {
+                if (resolve_mutex(a, fn, raw) == target) {
+                    whole_body_held = true;
+                    break;
+                }
+            }
+            if (whole_body_held) continue;
+
+            std::vector<std::pair<std::size_t, std::size_t>> held;
+            for (const LockSite& lock : fn.locks) {
+                if (resolve_lock(a, fn, lock) == target) {
+                    held.emplace_back(lock.token, lock.scope_end);
+                }
+            }
+
+            const auto& tokens = a.files[fn.file].tokens;
+            std::set<int> reported_lines;
+            for (std::size_t t = fn.body_begin; t < fn.body_end; ++t) {
+                if (!tokens[t].is_identifier || tokens[t].text != m.name) {
+                    continue;
+                }
+                if (a.symbols.in_lambda(fn.file, t)) continue;
+                // `other.name` touches a different instance whose lock
+                // this function cannot vouch for either way; only
+                // accesses through `this` (implicit or explicit) count.
+                if (t > fn.body_begin &&
+                    (tokens[t - 1].text == "." ||
+                     tokens[t - 1].text == "->") &&
+                    !(t > fn.body_begin + 1 &&
+                      tokens[t - 2].text == "this")) {
+                    continue;
+                }
+                bool covered = false;
+                for (const auto& [begin, end] : held) {
+                    if (t > begin && t < end) {
+                        covered = true;
+                        break;
+                    }
+                }
+                if (covered) continue;
+                if (!reported_lines.insert(tokens[t].line).second) continue;
+                report(a, out, "R8", fn.file, tokens[t].line,
+                       "member '" + m.class_name + "::" + m.name +
+                           "' is guarded by '" + target +
+                           "' but accessed without holding it in '" +
+                           fn.qualified +
+                           "' (lock it, or annotate the function "
+                           "// mielint: acquires(" +
+                           m.guarded_by + ") if callers hold it)");
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void run_semantic_rules(const std::vector<LexedFile>& files,
+                        const Config& config, std::vector<Finding>& out) {
+    Analysis a(files, config);
+    prepare(a);
+    rule_r6(a, out);
+    rule_r7(a, out);
+    rule_r8(a, out);
+}
+
+}  // namespace mielint

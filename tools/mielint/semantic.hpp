@@ -1,0 +1,44 @@
+// Semantic rules R6-R8: whole-project analyses over the symbol table
+// and call graph (symbols.hpp / callgraph.hpp).
+//
+//   R6  no blocking operation reachable from a `// mielint: nonblocking`
+//       function: blocking primitives (fsync, ::send/::recv on sockets,
+//       sleep_for, epoll_wait, condition-variable waits, joins, plus the
+//       config's `blocking-call` additions) and acquisitions of "slow"
+//       mutexes — mutexes some function holds around a blocking
+//       operation (a WAL append under DurableServer::log_mutex_ makes
+//       every log_mutex_ acquisition a potential fsync-length stall).
+//       Condition-variable waits do NOT mark their own mutex slow (wait
+//       releases it), and std::try_to_lock acquisitions never block.
+//   R7  lock-order discipline: per-function mutex acquisition sequences
+//       propagate across the call graph into a global lock-order graph;
+//       any cycle is a potential deadlock and fails the lint. Mutexes
+//       are identified per class (`Node::mutex_`) when resolvable;
+//       same-named members of different classes that cannot be told
+//       apart merge into one conservative node, and self-edges are
+//       dropped (two instances of one class cannot be distinguished
+//       lexically — DESIGN.md §16).
+//   R8  guarded members: a member annotated `// mielint: guarded_by(mu)`
+//       may only be touched inside a scope that holds `mu` — an RAII
+//       lock in the same block, or a function annotated
+//       `// mielint: acquires(mu)` (callers pass the lock down).
+//       Constructors/destructors are exempt (no concurrent access
+//       before/after the object's lifetime), as are lambda bodies
+//       (which run on arbitrary threads and are analyzed as opaque).
+#pragma once
+
+#include <vector>
+
+#include "config.hpp"
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace mielint {
+
+/// Runs R6-R8 over the whole file set and appends findings (unsorted;
+/// run_rules() sorts). Honors config path allowlists and inline allows
+/// exactly like the lexical rules.
+void run_semantic_rules(const std::vector<LexedFile>& files,
+                        const Config& config, std::vector<Finding>& out);
+
+}  // namespace mielint

@@ -1,0 +1,853 @@
+#include "symbols.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <utility>
+
+namespace mielint {
+
+namespace {
+
+const std::set<std::string>& control_keywords() {
+    static const std::set<std::string> kSet = {
+        "if",     "for",    "while",  "switch",        "catch",
+        "return", "sizeof", "alignof", "static_assert", "decltype",
+        "new",    "delete", "throw",  "do",            "else",
+        "case",   "default"};
+    return kSet;
+}
+
+/// Qualifier-ish tokens skipped when extracting a declaration's type head.
+const std::set<std::string>& type_qualifiers() {
+    static const std::set<std::string> kSet = {
+        "const",  "constexpr", "static",   "inline", "mutable",
+        "volatile", "typename", "explicit", "virtual", "friend",
+        "unsigned", "signed",   "long",     "short",  "extern",
+        "register", "thread_local"};
+    return kSet;
+}
+
+const std::set<std::string>& mutex_types() {
+    static const std::set<std::string> kSet = {
+        "mutex",       "shared_mutex",       "recursive_mutex",
+        "timed_mutex", "recursive_timed_mutex", "shared_timed_mutex"};
+    return kSet;
+}
+
+const std::set<std::string>& lock_classes() {
+    static const std::set<std::string> kSet = {"scoped_lock", "lock_guard",
+                                               "unique_lock", "shared_lock"};
+    return kSet;
+}
+
+/// Tokens that may legally sit between a parameter list's ')' and the
+/// body '{' of a function definition (const, noexcept(...), trailing
+/// return types, ref-qualifiers, override/final).
+bool signature_suffix_token(const Token& tok) {
+    if (tok.is_identifier) return true;  // override, final, noexcept, types
+    static const std::set<std::string> kSet = {"::", "->", "<", ">", "*",
+                                               "&",  "&&", ",",  "(", ")",
+                                               "[",  "]"};
+    return kSet.count(tok.text) > 0;
+}
+
+struct Pending {
+    std::string name;  ///< unqualified function name
+    std::string qualifier;  ///< "Class" of an out-of-line "Class::name"
+    bool is_dtor = false;
+    std::size_t decl_start = 0;  ///< first token of the declaration
+};
+
+class FileScan {
+  public:
+    FileScan(const LexedFile& file, std::size_t index, SymbolTable& out)
+        : f_(file), file_(index), out_(out), t_(file.tokens) {}
+
+    void run() {
+        if (!match_braces()) return;  // unbalanced: skip this file
+        scan_region(0, t_.size(), /*class_name=*/"", /*at_class=*/false);
+    }
+
+  private:
+    const LexedFile& f_;
+    std::size_t file_;
+    SymbolTable& out_;
+    const std::vector<Token>& t_;
+    std::map<std::size_t, std::size_t> brace_match_;  // '{' index -> '}'
+
+    bool match_braces() {
+        std::vector<std::size_t> open;
+        for (std::size_t i = 0; i < t_.size(); ++i) {
+            if (t_[i].text == "{") {
+                open.push_back(i);
+            } else if (t_[i].text == "}") {
+                if (open.empty()) return false;
+                brace_match_[open.back()] = i;
+                open.pop_back();
+            }
+        }
+        return open.empty();
+    }
+
+    bool is(std::size_t i, const char* text) const {
+        return i < t_.size() && t_[i].text == text;
+    }
+
+    /// Annotations written on `line` or the line above it.
+    std::vector<Annotation> annotations_for(int line) const {
+        std::vector<Annotation> result;
+        for (const int l : {line - 1, line}) {
+            const auto it = f_.annotations.find(l);
+            if (it == f_.annotations.end()) continue;
+            result.insert(result.end(), it->second.begin(), it->second.end());
+        }
+        return result;
+    }
+
+    /// Skips a balanced `<...>` template section starting at `i` (which
+    /// must point at '<'). Angles are only counted at paren depth 0.
+    std::size_t skip_angles(std::size_t i) const {
+        int angle = 0;
+        int paren = 0;
+        for (; i < t_.size(); ++i) {
+            const std::string& s = t_[i].text;
+            if (s == "(") {
+                ++paren;
+            } else if (s == ")") {
+                --paren;
+            } else if (paren == 0 && s == "<") {
+                ++angle;
+            } else if (paren == 0 && s == ">") {
+                if (--angle == 0) return i + 1;
+            } else if (s == ";" || s == "{") {
+                break;  // malformed; bail out of the template intro
+            }
+        }
+        return i;
+    }
+
+    /// Finds the matching ')' for the '(' at `i`.
+    std::size_t match_paren(std::size_t i) const {
+        int depth = 0;
+        for (; i < t_.size(); ++i) {
+            if (t_[i].text == "(") ++depth;
+            if (t_[i].text == ")" && --depth == 0) return i;
+        }
+        return t_.size();
+    }
+
+    // ---- class / namespace regions ------------------------------------
+
+    void scan_region(std::size_t begin, std::size_t end,
+                     const std::string& class_name, bool at_class) {
+        std::size_t i = begin;
+        std::size_t decl_start = begin;
+        bool saw_assign = false;       // '=' seen since decl_start
+        bool saw_operator = false;     // 'operator' keyword seen
+        std::string operator_syms;     // symbol tokens after 'operator'
+        std::size_t first_skipped_brace = t_.size();
+
+        auto reset_decl = [&](std::size_t next) {
+            decl_start = next;
+            saw_assign = false;
+            saw_operator = false;
+            operator_syms.clear();
+            first_skipped_brace = t_.size();
+        };
+
+        while (i < end) {
+            const Token& tok = t_[i];
+
+            if (tok.text == ";") {
+                if (at_class) {
+                    record_member(decl_start, i, first_skipped_brace,
+                                  saw_assign, class_name);
+                }
+                reset_decl(i + 1);
+                ++i;
+                continue;
+            }
+            if (tok.text == "}") {  // stray (region boundary handled by caller)
+                reset_decl(i + 1);
+                ++i;
+                continue;
+            }
+            if (at_class && tok.is_identifier &&
+                (tok.text == "public" || tok.text == "private" ||
+                 tok.text == "protected") &&
+                is(i + 1, ":")) {
+                reset_decl(i + 2);
+                i += 2;
+                continue;
+            }
+            if (tok.is_identifier && tok.text == "template" &&
+                is(i + 1, "<")) {
+                // Restart the declaration after the parameter list so the
+                // `class T` inside `<...>` cannot masquerade as a class
+                // definition when the '{' is classified later.
+                i = skip_angles(i + 1);
+                reset_decl(i);
+                continue;
+            }
+            if (tok.is_identifier && tok.text == "operator") {
+                saw_operator = true;
+                ++i;
+                while (i < end && !t_[i].is_identifier &&
+                       t_[i].text != "(") {
+                    operator_syms += t_[i].text;
+                    ++i;
+                }
+                // `operator()` : the symbol is the first paren pair.
+                if (operator_syms.empty() && is(i, "(") &&
+                    is(i + 1, ")")) {
+                    operator_syms = "()";
+                    i += 2;
+                }
+                // conversion operators: `operator Type` — consume the
+                // type tokens up to '('.
+                while (i < end && t_[i].text != "(" && t_[i].text != ";" &&
+                       t_[i].text != "{") {
+                    operator_syms += t_[i].text;
+                    ++i;
+                }
+                continue;
+            }
+
+            if (tok.text == "=") {
+                saw_assign = true;
+                ++i;
+                continue;
+            }
+
+            if (tok.text == "(" && !saw_assign) {
+                Pending p;
+                if (pending_signature(i, decl_start, saw_operator,
+                                      operator_syms, p)) {
+                    const std::size_t after =
+                        try_function(i, p, class_name, at_class);
+                    if (after != 0) {
+                        reset_decl(after);
+                        i = after;
+                        continue;
+                    }
+                }
+                // Not a function: skip the parenthesized group wholesale
+                // so commas/angles inside it cannot confuse the scan.
+                i = match_paren(i) + 1;
+                continue;
+            }
+
+            if (tok.text == "{") {
+                const std::size_t close = brace_match_.at(i);
+                const Classified kind = classify_brace(decl_start, i);
+                switch (kind.kind) {
+                    case Classified::kNamespace:
+                        scan_region(i + 1, close, "", /*at_class=*/false);
+                        break;
+                    case Classified::kClass:
+                        register_class(kind.name, t_[decl_start].line);
+                        scan_region(i + 1, close, kind.name,
+                                    /*at_class=*/true);
+                        break;
+                    case Classified::kSkip:
+                        break;  // enum/union/initializer: opaque
+                    case Classified::kMemberInit:
+                        if (first_skipped_brace == t_.size()) {
+                            first_skipped_brace = i;
+                        }
+                        i = close + 1;
+                        continue;  // decl continues after the '}'
+                }
+                reset_decl(close + 1);
+                i = close + 1;
+                continue;
+            }
+
+            ++i;
+        }
+    }
+
+    struct Classified {
+        enum Kind { kNamespace, kClass, kSkip, kMemberInit } kind = kSkip;
+        std::string name;
+    };
+
+    /// Decides what the '{' at `brace` opens, given the declaration
+    /// tokens [decl_start, brace).
+    Classified classify_brace(std::size_t decl_start,
+                              std::size_t brace) const {
+        Classified c;
+        bool saw_enum = false;
+        for (std::size_t j = decl_start; j < brace; ++j) {
+            const std::string& s = t_[j].text;
+            if (s == "enum" || s == "union") saw_enum = true;
+            if (s == "namespace") {
+                c.kind = Classified::kNamespace;
+                // anonymous namespaces have no name token before '{'
+                if (brace > j + 1 && t_[brace - 1].is_identifier) {
+                    c.name = t_[brace - 1].text;
+                }
+                return c;
+            }
+            if ((s == "class" || s == "struct") && !saw_enum) {
+                // name = identifier right after the keyword (skips any
+                // base-clause tokens between the name and the brace)
+                if (j + 1 < brace && t_[j + 1].is_identifier) {
+                    c.kind = Classified::kClass;
+                    c.name = t_[j + 1].text;
+                    return c;
+                }
+                c.kind = Classified::kSkip;  // anonymous struct
+                return c;
+            }
+        }
+        if (saw_enum) {
+            c.kind = Classified::kSkip;
+            return c;
+        }
+        // A brace directly after an identifier inside a declaration is a
+        // brace initializer (`std::atomic<bool> done{false};`).
+        if (brace > decl_start && (t_[brace - 1].is_identifier ||
+                                   t_[brace - 1].text == ">")) {
+            c.kind = Classified::kMemberInit;
+            return c;
+        }
+        c.kind = Classified::kSkip;
+        return c;
+    }
+
+    void register_class(const std::string& name, int /*line*/) {
+        out_.class_files[name].insert(file_);
+        out_.class_methods.emplace(name, std::set<std::string>());
+    }
+
+    // ---- function signatures ------------------------------------------
+
+    /// Checks whether the '(' at `paren` plausibly opens a parameter
+    /// list (identifier before it, no '=' earlier in the declaration)
+    /// and fills in the name/qualifier.
+    bool pending_signature(std::size_t paren, std::size_t decl_start,
+                           bool saw_operator,
+                           const std::string& operator_syms,
+                           Pending& p) const {
+        if (paren == decl_start) return false;
+        p.decl_start = decl_start;
+        if (saw_operator) {
+            p.name = "operator" + operator_syms;
+            // qualifier: `bool Class::operator==(...)`
+            std::size_t j = paren;
+            while (j > decl_start && t_[j - 1].text != "operator") --j;
+            if (j > decl_start + 1 && t_[j - 2].text == "::" &&
+                t_[j - 3].is_identifier) {
+                p.qualifier = t_[j - 3].text;
+            }
+            return true;
+        }
+        const Token& prev = t_[paren - 1];
+        if (!prev.is_identifier || control_keywords().count(prev.text) > 0) {
+            return false;
+        }
+        p.name = prev.text;
+        std::size_t j = paren - 1;
+        if (j > decl_start && t_[j - 1].text == "~") {
+            p.is_dtor = true;
+            --j;
+        }
+        if (j > decl_start + 1 && t_[j - 1].text == "::" &&
+            t_[j - 2].is_identifier) {
+            p.qualifier = t_[j - 2].text;
+        }
+        return true;
+    }
+
+    /// Attempts to parse a function declaration/definition whose
+    /// parameter list opens at `paren`. Returns the token index to
+    /// resume scanning at (after the ';' or the body '}'), or 0 if this
+    /// was not a function after all.
+    std::size_t try_function(std::size_t paren, const Pending& p,
+                             const std::string& class_name, bool at_class) {
+        const std::size_t close = match_paren(paren);
+        if (close >= t_.size()) return 0;
+
+        std::size_t i = close + 1;
+        // Suffix: const/noexcept(...)/override/&&/-> Type ... until one of
+        // '{', ';', '=', ':'.
+        while (i < t_.size()) {
+            const std::string& s = t_[i].text;
+            if (s == "{" || s == ";" || s == "=" || s == ":") break;
+            if (s == "(") {
+                i = match_paren(i) + 1;  // noexcept(...)
+                continue;
+            }
+            if (!signature_suffix_token(t_[i])) return 0;
+            ++i;
+        }
+        if (i >= t_.size()) return 0;
+
+        const std::string owner =
+            !p.qualifier.empty() ? p.qualifier : (at_class ? class_name : "");
+        const bool ctor_or_dtor =
+            p.is_dtor || (!owner.empty() && p.name == owner);
+
+        if (t_[i].text == ";") {
+            // Declaration only: register the method name for dispatch.
+            if (!owner.empty()) declare_method(owner, p);
+            return i + 1;
+        }
+        if (t_[i].text == "=") {
+            // `= default/delete/0;` — still a declaration (pure-virtual
+            // declarations matter for the virtual-dispatch fallback).
+            if (!owner.empty()) declare_method(owner, p);
+            while (i < t_.size() && t_[i].text != ";") ++i;
+            return i < t_.size() ? i + 1 : t_.size();
+        }
+        if (t_[i].text == ":") {
+            if (!ctor_or_dtor) return 0;  // only ctors take init lists
+            ++i;
+            int paren_depth = 0;
+            while (i < t_.size()) {
+                const std::string& s = t_[i].text;
+                if (s == "(") ++paren_depth;
+                if (s == ")") --paren_depth;
+                if (s == ";") return 0;  // malformed
+                if (paren_depth == 0 && s == "{") {
+                    // Brace after an identifier is a member brace-init
+                    // (`b_{x}`); anything else opens the body.
+                    if (t_[i - 1].is_identifier || t_[i - 1].text == ">") {
+                        i = brace_match_.at(i) + 1;
+                        continue;
+                    }
+                    break;
+                }
+                ++i;
+            }
+            if (i >= t_.size()) return 0;
+        }
+
+        // t_[i] == "{": the body.
+        const std::size_t body_open = i;
+        const std::size_t body_close = brace_match_.at(body_open);
+
+        FunctionDef fn;
+        fn.name = p.name;
+        fn.class_name = owner;
+        fn.qualified = owner.empty() ? p.name : owner + "::" + p.name;
+        fn.file = file_;
+        fn.line = t_[p.decl_start].line;
+        fn.body_begin = body_open + 1;
+        fn.body_end = body_close;
+        fn.is_ctor_or_dtor = ctor_or_dtor;
+        for (const Annotation& a : annotations_for(fn.line)) {
+            if (a.kind == "nonblocking") fn.nonblocking = true;
+            if (a.kind == "acquires") fn.acquires.push_back(a.arg);
+        }
+        if (!owner.empty()) declare_method(owner, p);
+
+        record_params(paren, close, fn);
+        scan_function_body(fn);
+        out_.functions.push_back(std::move(fn));
+        return body_close + 1;
+    }
+
+    void declare_method(const std::string& owner, const Pending& p) {
+        if (p.is_dtor || p.name == owner) return;  // ctors/dtors excluded
+        out_.class_methods[owner].insert(p.name);
+    }
+
+    /// Records parameter name -> type head for the list in
+    /// (paren, close). Commas are split at angle/paren depth 0 so
+    /// template arguments stay inside their parameter; default-argument
+    /// tokens after '=' are cut before the name is taken.
+    void record_params(std::size_t paren, std::size_t close,
+                       FunctionDef& fn) const {
+        std::size_t begin = paren + 1;
+        int depth = 0;
+        int angle = 0;
+        auto record = [&](std::size_t pb, std::size_t pe) {
+            for (std::size_t j = pb; j < pe; ++j) {
+                if (t_[j].text == "=") {
+                    pe = j;
+                    break;
+                }
+            }
+            std::size_t name_at = t_.size();
+            for (std::size_t j = pe; j-- > pb;) {
+                if (t_[j].is_identifier) {
+                    name_at = j;
+                    break;
+                }
+                if (t_[j].text != "]" && t_[j].text != "[") return;
+            }
+            if (name_at >= t_.size() || name_at == pb) return;  // unnamed
+            const std::string type = type_head(pb, name_at);
+            if (!type.empty()) fn.param_types[t_[name_at].text] = type;
+        };
+        for (std::size_t j = begin; j < close; ++j) {
+            const std::string& s = t_[j].text;
+            if (s == "(" || s == "[") ++depth;
+            if (s == ")" || s == "]") --depth;
+            if (depth == 0 && s == "<") ++angle;
+            if (depth == 0 && s == ">") --angle;
+            if (s == "," && depth == 0 && angle == 0) {
+                record(begin, j);
+                begin = j + 1;
+            }
+        }
+        if (begin < close) record(begin, close);
+    }
+
+    // ---- member declarations ------------------------------------------
+
+    /// Called at a ';' at class scope: tokens [decl_start, semi) are a
+    /// member declaration (method declarations were already consumed by
+    /// the '(' handler).
+    void record_member(std::size_t decl_start, std::size_t semi,
+                       std::size_t first_skipped_brace, bool saw_assign,
+                       const std::string& class_name) {
+        if (decl_start >= semi || class_name.empty()) return;
+        // Name: last identifier before the first '=' / brace-init / ';'.
+        std::size_t cut = semi;
+        if (first_skipped_brace < cut) cut = first_skipped_brace;
+        if (saw_assign) {
+            for (std::size_t j = decl_start; j < cut; ++j) {
+                if (t_[j].text == "=") {
+                    cut = j;
+                    break;
+                }
+            }
+        }
+        std::size_t name_at = t_.size();
+        for (std::size_t j = cut; j-- > decl_start;) {
+            if (t_[j].is_identifier) {
+                name_at = j;
+                break;
+            }
+            if (t_[j].text != "]" && t_[j].text != "[") break;  // arrays ok
+        }
+        if (name_at >= t_.size() || name_at == decl_start) return;
+
+        MemberDecl m;
+        m.class_name = class_name;
+        m.name = t_[name_at].text;
+        m.file = file_;
+        m.line = t_[name_at].line;
+        m.type_head = type_head(decl_start, name_at);
+        if (m.type_head.empty() ||
+            control_keywords().count(m.name) > 0 ||
+            m.type_head == "using" || m.type_head == "typedef") {
+            return;
+        }
+        m.is_mutex = mutex_types().count(m.type_head) > 0;
+        for (const Annotation& a : annotations_for(m.line)) {
+            if (a.kind == "guarded_by") m.guarded_by = a.arg;
+        }
+        if (m.is_mutex) out_.class_mutexes[class_name].insert(m.name);
+        out_.member_types[{class_name, m.name}] = m.type_head;
+        out_.members.push_back(std::move(m));
+    }
+
+    /// First meaningful type identifier of a declaration: qualifiers and
+    /// namespace prefixes (`foo::`) are skipped, so
+    /// `mutable std::shared_mutex map_mutex_` -> "shared_mutex" and
+    /// `net::RequestHandler& handler_` -> "RequestHandler". Smart-pointer
+    /// wrappers and element containers are looked through
+    /// (`std::vector<std::unique_ptr<WorkerQueue>> queues_` ->
+    /// "WorkerQueue") so calls and lock acquisitions through them keep
+    /// resolving to the element type.
+    std::string type_head(std::size_t begin, std::size_t end) const {
+        static const std::set<std::string> kWrappers = {
+            "unique_ptr", "shared_ptr", "weak_ptr", "optional",
+            "reference_wrapper", "vector", "deque", "array"};
+        // `unsigned`, `long`, ... double as complete types ("long x;"):
+        // remember the last one seen so such declarations still get a
+        // head instead of vanishing from the symbol table.
+        std::string integer_head;
+        for (std::size_t j = begin; j < end; ++j) {
+            if (t_[j].text == "[" && is(j + 1, "[")) {
+                // attribute: skip to ']]'
+                while (j + 1 < end &&
+                       !(t_[j].text == "]" && t_[j + 1].text == "]")) {
+                    ++j;
+                }
+                ++j;
+                continue;
+            }
+            if (!t_[j].is_identifier) continue;
+            if (type_qualifiers().count(t_[j].text) > 0) {
+                if (t_[j].text == "unsigned" || t_[j].text == "signed" ||
+                    t_[j].text == "long" || t_[j].text == "short") {
+                    integer_head = t_[j].text;
+                }
+                continue;
+            }
+            if (t_[j].text == "using" || t_[j].text == "typedef") {
+                return t_[j].text;
+            }
+            if (is(j + 1, "::")) continue;  // namespace prefix
+            if (kWrappers.count(t_[j].text) > 0) continue;
+            return t_[j].text;
+        }
+        return integer_head;
+    }
+
+    // ---- function bodies ----------------------------------------------
+
+    bool lambda_introducer(std::size_t bracket) const {
+        if (bracket == 0) return false;
+        const Token& prev = t_[bracket - 1];
+        if (prev.is_identifier) {
+            return prev.text == "return" || prev.text == "case";
+        }
+        static const std::set<std::string> kBefore = {
+            "(", ",", "=", "{", ";", "&&", "||", "!", ":", "?", "}"};
+        return kBefore.count(prev.text) > 0;
+    }
+
+    void scan_function_body(FunctionDef& fn) {
+        std::vector<std::size_t> open_braces;  // within the body
+        std::size_t i = fn.body_begin;
+        while (i < fn.body_end) {
+            const Token& tok = t_[i];
+
+            if (tok.text == "{") {
+                open_braces.push_back(i);
+                ++i;
+                continue;
+            }
+            if (tok.text == "}") {
+                if (!open_braces.empty()) open_braces.pop_back();
+                ++i;
+                continue;
+            }
+
+            // Attributes: skip `[[...]]`.
+            if (tok.text == "[" && is(i + 1, "[")) {
+                while (i + 1 < fn.body_end &&
+                       !(t_[i].text == "]" && t_[i + 1].text == "]")) {
+                    ++i;
+                }
+                i += 2;
+                continue;
+            }
+
+            // Lambdas: the body is detached — it runs on whatever thread
+            // later invokes it, so nothing inside may be attributed to
+            // this function. Record the range and skip it.
+            if (tok.text == "[" && lambda_introducer(i)) {
+                const std::size_t skip_to = try_skip_lambda(i, fn.body_end);
+                if (skip_to != 0) {
+                    i = skip_to;
+                    continue;
+                }
+                ++i;
+                continue;
+            }
+
+            // RAII lock acquisition.
+            if (tok.is_identifier && lock_classes().count(tok.text) > 0) {
+                const std::size_t after =
+                    try_lock_decl(i, fn, open_braces);
+                if (after != 0) {
+                    i = after;
+                    continue;
+                }
+            }
+
+            // Call site: identifier followed by '('.
+            if (tok.is_identifier && is(i + 1, "(") &&
+                control_keywords().count(tok.text) == 0 &&
+                tok.text != "operator") {
+                fn.calls.push_back(make_call(i));
+            }
+
+            ++i;
+        }
+    }
+
+    /// Returns the token index after the lambda's body, or 0 if the '['
+    /// at `bracket` turned out not to introduce a lambda.
+    std::size_t try_skip_lambda(std::size_t bracket, std::size_t limit) {
+        std::size_t i = bracket;
+        int depth = 0;
+        for (; i < limit; ++i) {  // capture list (may nest: [x = a[0]])
+            if (t_[i].text == "[") ++depth;
+            if (t_[i].text == "]" && --depth == 0) break;
+        }
+        if (i >= limit) return 0;
+        ++i;
+        if (is(i, "(")) i = match_paren(i) + 1;  // parameters
+        while (i < limit && t_[i].text != "{") {
+            const std::string& s = t_[i].text;
+            if (s == "(") {
+                i = match_paren(i) + 1;  // noexcept(...)
+                continue;
+            }
+            if (!signature_suffix_token(t_[i]) && s != "mutable") return 0;
+            ++i;
+        }
+        if (i >= limit || t_[i].text != "{") return 0;
+        const auto it = brace_match_.find(i);
+        if (it == brace_match_.end() || it->second > limit) return 0;
+        out_.lambdas[file_].push_back({i + 1, it->second});
+        return it->second + 1;
+    }
+
+    /// Parses `std::scoped_lock name(args);` style declarations starting
+    /// at the lock-class token. Returns the resume index, or 0 if this
+    /// token was not a lock declaration (e.g. `std::unique_lock` used as
+    /// a type in a parameter).
+    std::size_t try_lock_decl(std::size_t cls, FunctionDef& fn,
+                              const std::vector<std::size_t>& open_braces) {
+        std::size_t i = cls + 1;
+        if (is(i, "<")) i = skip_angles(i);
+        if (i >= t_.size() || !t_[i].is_identifier) return 0;  // no var name
+        const std::size_t var = i;
+        ++i;
+        if (!is(i, "(") && !is(i, "{")) return 0;  // deferred/param: skip
+        const bool paren_form = t_[i].text == "(";
+        const std::size_t open = i;
+        const std::size_t close =
+            paren_form ? match_paren(open) : brace_match_.at(open);
+        if (close >= t_.size()) return 0;
+
+        // Scope: from the declaration to the '}' of the enclosing block.
+        std::size_t scope_end = fn.body_end;
+        if (!open_braces.empty()) {
+            scope_end = brace_match_.at(open_braces.back());
+        }
+
+        // Split the argument list on top-level commas.
+        std::vector<std::pair<std::size_t, std::size_t>> args;
+        std::size_t arg_begin = open + 1;
+        int depth = 0;
+        for (std::size_t j = open + 1; j < close; ++j) {
+            const std::string& s = t_[j].text;
+            if (s == "(" || s == "[" || s == "{") ++depth;
+            if (s == ")" || s == "]" || s == "}") --depth;
+            if (s == "," && depth == 0) {
+                args.emplace_back(arg_begin, j);
+                arg_begin = j + 1;
+            }
+        }
+        if (arg_begin < close) args.emplace_back(arg_begin, close);
+
+        bool try_lock = false;
+        std::vector<std::string> mutexes;
+        std::vector<std::string> receivers;
+        std::vector<int> lines;
+        for (const auto& [ab, ae] : args) {
+            std::string first_ident;
+            std::string last_ident;
+            int line = t_[var].line;
+            for (std::size_t j = ab; j < ae; ++j) {
+                if (t_[j].is_identifier) {
+                    if (first_ident.empty()) first_ident = t_[j].text;
+                    last_ident = t_[j].text;
+                    line = t_[j].line;
+                }
+            }
+            if (last_ident.empty()) continue;
+            if (last_ident == "try_to_lock") {
+                try_lock = true;
+                continue;
+            }
+            if (last_ident == "defer_lock") return close + 1;  // no lock
+            if (last_ident == "adopt_lock") continue;  // already held
+            mutexes.push_back(last_ident);
+            // Member-access chain: the leading identifier names the
+            // object whose mutex this is (`state_->mutex`).
+            receivers.push_back(first_ident == last_ident ? ""
+                                                          : first_ident);
+            lines.push_back(line);
+        }
+        for (std::size_t k = 0; k < mutexes.size(); ++k) {
+            LockSite site;
+            site.mutex_expr = mutexes[k];
+            site.receiver = receivers[k];
+            site.line = lines[k];
+            site.token = cls;
+            site.scope_end = scope_end;
+            site.try_lock = try_lock;
+            fn.locks.push_back(std::move(site));
+        }
+        return close + 1;
+    }
+
+    RawCall make_call(std::size_t name_at) const {
+        RawCall c;
+        c.name = t_[name_at].text;
+        c.line = t_[name_at].line;
+        c.token = name_at;
+        if (name_at == 0) return c;
+        const Token& prev = t_[name_at - 1];
+        if (prev.text == "::") {
+            if (name_at >= 2 && t_[name_at - 2].is_identifier) {
+                c.qualifier = t_[name_at - 2].text;
+            } else {
+                c.global_ns = true;  // `::send(...)`
+            }
+        } else if (prev.text == "." || prev.text == "->") {
+            if (name_at >= 2 && t_[name_at - 2].is_identifier) {
+                if (t_[name_at - 2].text == "this") {
+                    c.via_this = true;
+                } else {
+                    c.receiver = t_[name_at - 2].text;
+                    // Walk the whole access chain leftwards while it is
+                    // `ident (. | ->) ident ...`; a `this->` root means
+                    // the chain starts at a member of the own class.
+                    std::size_t j = name_at - 2;
+                    c.chain.push_back(t_[j].text);
+                    while (j >= 2 && (t_[j - 1].text == "." ||
+                                      t_[j - 1].text == "->") &&
+                           t_[j - 2].is_identifier) {
+                        j -= 2;
+                        if (t_[j].text == "this") break;
+                        c.chain.push_back(t_[j].text);
+                    }
+                    std::reverse(c.chain.begin(), c.chain.end());
+                    // A non-identifier head (`]`, `)`) means the root is
+                    // an expression we cannot type: drop the chain so the
+                    // resolver treats the receiver as unknown.
+                    if (j >= 1 && (t_[j - 1].text == "]" ||
+                                   t_[j - 1].text == ")" ||
+                                   t_[j - 1].text == "." ||
+                                   t_[j - 1].text == "->")) {
+                        c.chain.clear();
+                    }
+                }
+            }
+            c.is_member_call = true;
+        }
+        return c;
+    }
+};
+
+}  // namespace
+
+bool SymbolTable::in_lambda(std::size_t file, std::size_t token) const {
+    if (file >= lambdas.size()) return false;
+    for (const auto& [begin, end] : lambdas[file]) {
+        if (token >= begin && token < end) return true;
+    }
+    return false;
+}
+
+SymbolTable build_symbols(const std::vector<LexedFile>& files) {
+    SymbolTable table;
+    table.lambdas.resize(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        FileScan scan(files[i], i, table);
+        scan.run();
+        std::sort(table.lambdas[i].begin(), table.lambdas[i].end());
+    }
+    // Out-of-line definitions also register their method names.
+    for (const FunctionDef& fn : table.functions) {
+        if (!fn.class_name.empty() && !fn.is_ctor_or_dtor) {
+            table.class_methods[fn.class_name].insert(fn.name);
+        }
+    }
+    return table;
+}
+
+}  // namespace mielint

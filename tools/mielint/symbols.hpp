@@ -1,0 +1,129 @@
+// Whole-project symbol table for mielint's semantic rules (R6-R8).
+//
+// The lexical rules (R1-R5) look at one token window at a time; the
+// semantic rules need to know *which function* a token belongs to, which
+// class declared a member, where locks are acquired and how far their
+// RAII scopes extend, and which annotations a function or member
+// carries. build_symbols() recovers all of that from the token streams
+// with a scope-tracking scan — no AST, no compiler — which keeps the
+// tool dependency-free at the cost of documented approximations
+// (DESIGN.md §16): overloads merge into one symbol, lambda bodies are
+// detached from their enclosing function (they run on whatever thread
+// invokes them, which the lexical view cannot know), and types are
+// resolved only through declared data members.
+//
+// Annotation grammar (comments, same line as the declaration or the
+// line above it):
+//
+//   // mielint: nonblocking            function must never reach a
+//                                      blocking operation (R6 root)
+//   // mielint: acquires(mu_)          function body runs with mu_ held
+//                                      (the *_locked helper convention)
+//   // mielint: guarded_by(mu_)        member may only be touched while
+//                                      mu_ is held (R8)
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace mielint {
+
+/// One RAII lock acquisition (std::scoped_lock / lock_guard /
+/// unique_lock / shared_lock) inside a function body. The scope runs
+/// from the declaration to the closing brace of the enclosing block —
+/// the lexical over-approximation of where the lock is held.
+struct LockSite {
+    std::string mutex_expr;   ///< last identifier of the mutex argument
+    /// First identifier of the argument when the mutex is reached through
+    /// a member-access chain (`queues_[i]->mutex` -> "queues_"); empty
+    /// when the argument is a plain name. Lets semantic.cpp type the
+    /// owning object instead of merging on the bare member name.
+    std::string receiver;
+    int line = 0;
+    std::size_t token = 0;       ///< index of the lock-class token
+    std::size_t scope_end = 0;   ///< one past the enclosing block's '}'
+    bool try_lock = false;       ///< std::try_to_lock: cannot deadlock
+};
+
+/// An unresolved call site inside a function body: an identifier
+/// followed by '('. callgraph.cpp resolves these against the include
+/// closure; names that resolve to nothing (std:: calls, casts, local
+/// constructors) are simply dropped.
+struct RawCall {
+    std::string name;       ///< callee identifier
+    std::string qualifier;  ///< "X" for `X::name(...)`, else ""
+    std::string receiver;   ///< "obj" for `obj.name(...)` / `obj->name(...)`
+    /// Full member-access chain, outermost first: `state_->cv.wait(...)`
+    /// yields {"state_", "cv"}. Empty when the receiver is not a plain
+    /// identifier chain (subscripts, chained call results).
+    std::vector<std::string> chain;
+    bool via_this = false;  ///< `this->name(...)`
+    bool global_ns = false;  ///< `::name(...)` — a raw libc/syscall
+    bool is_member_call = false;  ///< preceded by '.' or '->'
+    int line = 0;
+    std::size_t token = 0;
+};
+
+/// A function definition (free function, method, ctor/dtor). Overloads
+/// share a qualified name and become separate FunctionDef entries that
+/// the call graph merges into one node.
+struct FunctionDef {
+    std::string qualified;   ///< "Class::name" or bare "name"
+    std::string class_name;  ///< "" for free functions
+    std::string name;
+    std::size_t file = 0;  ///< index into the lexed-file vector
+    int line = 0;          ///< first line of the signature
+    std::size_t body_begin = 0;  ///< token index just after '{'
+    std::size_t body_end = 0;    ///< token index of the closing '}'
+    bool is_ctor_or_dtor = false;
+    bool nonblocking = false;
+    std::vector<std::string> acquires;  ///< raw names from acquires(...)
+    /// parameter name -> type head (`void drain(State& state)` yields
+    /// {"state", "State"}), for typing lock receivers and call chains.
+    std::map<std::string, std::string> param_types;
+    std::vector<LockSite> locks;
+    std::vector<RawCall> calls;
+};
+
+/// A data-member declaration inside a class body.
+struct MemberDecl {
+    std::string class_name;
+    std::string name;
+    std::string type_head;  ///< e.g. "DurableServer", "mutex", "map"
+    std::size_t file = 0;
+    int line = 0;
+    bool is_mutex = false;      ///< std::mutex / shared_mutex / ...
+    std::string guarded_by;     ///< raw mutex name, "" when unannotated
+};
+
+struct SymbolTable {
+    std::vector<FunctionDef> functions;
+    std::vector<MemberDecl> members;
+
+    /// class -> method names (declarations inside the class body plus
+    /// out-of-line qualified definitions).
+    std::map<std::string, std::set<std::string>> class_methods;
+    /// class -> files where the class body was seen (include-closure
+    /// visibility gating happens against this).
+    std::map<std::string, std::set<std::size_t>> class_files;
+    /// (class, member) -> type head, for receiver resolution.
+    std::map<std::pair<std::string, std::string>, std::string> member_types;
+    /// class -> mutex-typed member names.
+    std::map<std::string, std::set<std::string>> class_mutexes;
+
+    /// Lambda body token ranges per file, sorted by begin. Tokens inside
+    /// them belong to no named function and are skipped by every
+    /// semantic rule.
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> lambdas;
+
+    bool in_lambda(std::size_t file, std::size_t token) const;
+};
+
+SymbolTable build_symbols(const std::vector<LexedFile>& files);
+
+}  // namespace mielint
